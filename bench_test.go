@@ -1,0 +1,839 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured results). The benchmarks report the figures'
+// headline statistics through b.ReportMetric, so `go test -bench .`
+// reproduces the numbers alongside the timings.
+package resourcecentral_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"resourcecentral/internal/charz"
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/featuredata"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/ml/eval"
+	"resourcecentral/internal/ml/feature"
+	"resourcecentral/internal/ml/forest"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/sim"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// ---- shared fixtures (built once, reused across benchmarks) ----
+
+type benchFixture struct {
+	tr      *trace.Trace
+	stats   []charz.VMStat
+	res     *pipeline.Result
+	store   *store.Store
+	client  *core.Client
+	inputs  []*model.ClientInputs // held-out inputs with known subscriptions
+	cutoff  trace.Minutes
+	simTr   *trace.Trace
+	simPred sim.Predictor
+}
+
+var (
+	fixOnce sync.Once
+	fix     *benchFixture
+	fixErr  error
+)
+
+func benchSetup(b *testing.B) *benchFixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixErr = buildFixture()
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fix
+}
+
+func buildFixture() error {
+	// Characterization + prediction fixture: long enough for the FFT and
+	// lifetime statistics to be meaningful.
+	cfg := synth.DefaultConfig()
+	cfg.Days = 24
+	cfg.TargetVMs = 12000
+	cfg.MaxDeploymentVMs = 300
+	cfg.Seed = 1
+	wl, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	f := &benchFixture{tr: wl.Trace, cutoff: wl.Trace.Horizon * 2 / 3}
+
+	if f.stats, err = charz.ComputeVMStats(f.tr, nil); err != nil {
+		return err
+	}
+	if f.res, err = pipeline.Run(f.tr, pipeline.Config{TrainCutoff: f.cutoff, Seed: 1}); err != nil {
+		return err
+	}
+	f.store = store.New()
+	if err := pipeline.Publish(f.store, f.res); err != nil {
+		return err
+	}
+	if f.client, err = core.New(core.Config{Store: f.store, Mode: core.Push}); err != nil {
+		return err
+	}
+	if err := f.client.Initialize(); err != nil {
+		return err
+	}
+	for i := range f.tr.VMs {
+		v := &f.tr.VMs[i]
+		if v.Created >= f.cutoff {
+			if _, ok := f.res.Features[v.Subscription]; ok {
+				in := model.FromVM(v, 1)
+				f.inputs = append(f.inputs, &in)
+			}
+		}
+	}
+	if len(f.inputs) == 0 {
+		return fmt.Errorf("bench fixture: no held-out inputs")
+	}
+
+	// Scheduler fixture: the regime where the baseline produces ~0.25%
+	// failures, as in Section 6.2.
+	simCfg := synth.DefaultConfig()
+	simCfg.Days = 12
+	simCfg.TargetVMs = 6000
+	simCfg.MaxDeploymentVMs = 150
+	simCfg.Seed = 7
+	simWl, err := synth.Generate(simCfg)
+	if err != nil {
+		return err
+	}
+	f.simTr = simWl.Trace
+	simRes, err := pipeline.Run(f.simTr, pipeline.Config{TrainCutoff: f.simTr.Horizon / 3, Seed: 1})
+	if err != nil {
+		return err
+	}
+	simStore := store.New()
+	if err := pipeline.Publish(simStore, simRes); err != nil {
+		return err
+	}
+	simClient, err := core.New(core.Config{Store: simStore, Mode: core.Push})
+	if err != nil {
+		return err
+	}
+	if err := simClient.Initialize(); err != nil {
+		return err
+	}
+	f.simPred = &sim.ClientPredictor{Client: simClient}
+
+	fix = f
+	return nil
+}
+
+// simShape is the benchmark cluster: scaled down from the paper's 880
+// servers to match the fixture trace volume, at the same 16-core/112-GB
+// server shape and the load point where the baseline fails ~0.25%.
+func simShape(policy cluster.Policy) cluster.Config {
+	return cluster.Config{
+		Servers:        80,
+		CoresPerServer: 16,
+		MemGBPerServer: 112,
+		Policy:         policy,
+		MaxOversub:     1.25,
+		MaxUtil:        1.0,
+	}
+}
+
+// ---- Section 3: Figures 1-8 ----
+
+func BenchmarkFig1UtilizationCDF(b *testing.B) {
+	f := benchSetup(b)
+	var pairs []charz.CDFPair
+	for i := 0; i < b.N; i++ {
+		var err error
+		pairs, err = charz.UtilizationCDFs(f.tr, f.stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		if p.Group == charz.All {
+			b.ReportMetric(p.Avg.At(20), "P(avg<=20%)")
+			b.ReportMetric(p.P95.At(50), "P(p95<=50%)")
+		}
+	}
+}
+
+func BenchmarkFig2CoreBuckets(b *testing.B) {
+	f := benchSetup(b)
+	var bd *charz.Breakdown
+	for i := 0; i < b.N; i++ {
+		bd = charz.CoreBuckets(f.tr)
+	}
+	b.ReportMetric(bd.Share[charz.All][0]+bd.Share[charz.All][1], "frac-1-2-cores")
+}
+
+func BenchmarkFig3MemoryBuckets(b *testing.B) {
+	f := benchSetup(b)
+	var bd *charz.Breakdown
+	for i := 0; i < b.N; i++ {
+		bd = charz.MemoryBuckets(f.tr)
+	}
+	lowMem := bd.Share[charz.All][0] + bd.Share[charz.All][1] + bd.Share[charz.All][2]
+	b.ReportMetric(lowMem, "frac-below-4GB")
+}
+
+func BenchmarkFig4DeploymentCDF(b *testing.B) {
+	f := benchSetup(b)
+	var cdfs []charz.GroupCDF
+	for i := 0; i < b.N; i++ {
+		var err error
+		cdfs, err = charz.DeploymentSizeCDF(f.tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range cdfs {
+		if d.Group == charz.All {
+			b.ReportMetric(d.CDF.At(1), "P(size=1)")
+			b.ReportMetric(d.CDF.At(5), "P(size<=5)")
+		}
+	}
+}
+
+func BenchmarkFig5LifetimeCDF(b *testing.B) {
+	f := benchSetup(b)
+	var cdfs []charz.GroupCDF
+	for i := 0; i < b.N; i++ {
+		var err error
+		cdfs, err = charz.LifetimeCDF(f.tr, f.stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range cdfs {
+		if d.Group == charz.All {
+			b.ReportMetric(d.CDF.At(1440), "P(life<=1day)")
+		}
+	}
+}
+
+func BenchmarkFig6WorkloadClass(b *testing.B) {
+	f := benchSetup(b)
+	var shares []charz.ClassShares
+	for i := 0; i < b.N; i++ {
+		shares = charz.WorkloadClassShares(f.tr, f.stats)
+	}
+	for _, s := range shares {
+		if s.Group == charz.All {
+			b.ReportMetric(s.DelayInsensitive, "delay-insensitive-CH")
+			b.ReportMetric(s.Interactive, "interactive-CH")
+		}
+	}
+}
+
+func BenchmarkFig7Arrivals(b *testing.B) {
+	f := benchSetup(b)
+	var rep *charz.ArrivalReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = charz.ArrivalSeries(f.tr, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Weibull.K, "weibull-shape")
+	b.ReportMetric(rep.KS, "weibull-KS")
+}
+
+func BenchmarkFig8Correlations(b *testing.B) {
+	f := benchSetup(b)
+	var m *charz.CorrelationMatrix
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = charz.Correlations(f.tr, f.stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	idx := map[string]int{}
+	for i, n := range m.Names {
+		idx[n] = i
+	}
+	b.ReportMetric(m.Rho[idx["cores"]][idx["memory"]], "rho-cores-memory")
+	b.ReportMetric(m.Rho[idx["avg util"]][idx["p95 util"]], "rho-avg-p95")
+	b.ReportMetric(m.Rho[idx["class"]][idx["lifetime"]], "rho-class-lifetime")
+}
+
+// ---- Tables 1 and 4 ----
+
+func BenchmarkTable1ModelSizes(b *testing.B) {
+	f := benchSetup(b)
+	totalBytes := 0
+	for i := 0; i < b.N; i++ {
+		totalBytes = 0
+		for _, m := range metric.All {
+			data, err := f.res.ByMetric[m].Model.Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalBytes += len(data)
+		}
+	}
+	b.ReportMetric(float64(totalBytes)/1024, "models-total-KB")
+	b.ReportMetric(float64(f.res.FeatureDataBytes)/1024, "featuredata-KB")
+	b.ReportMetric(float64(f.res.ByMetric[metric.AvgCPU].Model.Spec.NumFeatures()), "features")
+}
+
+func BenchmarkTable4PredictionQuality(b *testing.B) {
+	f := benchSetup(b)
+	// Re-validate the published models against the held-out inputs on
+	// every iteration; report the headline accuracies.
+	for i := 0; i < b.N; i++ {
+		for _, m := range metric.All {
+			rep := f.res.ByMetric[m].Report
+			if rep == nil {
+				b.Fatalf("%s: no report", m)
+			}
+		}
+	}
+	for _, m := range metric.All {
+		rep := f.res.ByMetric[m].Report
+		b.ReportMetric(rep.Accuracy, "acc-"+m.String())
+	}
+}
+
+// ---- Section 6.1: client performance ----
+
+// BenchmarkFig10ModelExecution measures the prediction latency on result
+// cache misses for each metric (the paper reports 95-147 µs medians).
+func BenchmarkFig10ModelExecution(b *testing.B) {
+	f := benchSetup(b)
+	for _, m := range metric.All {
+		b.Run(m.String(), func(b *testing.B) {
+			// A small result cache forces the execution path.
+			client, err := core.New(core.Config{Store: f.store, Mode: core.Push, ResultCacheCap: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := client.Initialize(); err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			name := m.String()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := *f.inputs[i%len(f.inputs)]
+				in.RequestedVMs = i // defeat the result cache
+				if _, err := client.PredictSingle(name, &in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkResultCacheHit measures the hit path (paper: P99 1.3 µs).
+func BenchmarkResultCacheHit(b *testing.B) {
+	f := benchSetup(b)
+	in := f.inputs[0]
+	if _, err := f.client.PredictSingle("lifetime", in); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := f.client.PredictSingle("lifetime", in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !p.FromResultCache && i > 0 {
+			b.Fatal("expected cache hit")
+		}
+	}
+}
+
+// BenchmarkStorePullLatency measures a pull-mode feature-record fetch with
+// the paper's injected store latency (median 2.9 ms, P99 5.6 ms).
+func BenchmarkStorePullLatency(b *testing.B) {
+	f := benchSetup(b)
+	st := store.New()
+	if err := pipeline.Publish(st, f.res); err != nil {
+		b.Fatal(err)
+	}
+	st.Latency = store.LatencyModel{Median: 2900 * time.Microsecond, P99: 5600 * time.Microsecond}
+	st.Sleep = true
+	keys := make([]string, 0, len(f.res.Features))
+	for sub := range f.res.Features {
+		keys = append(keys, pipeline.SubFeatureKey(sub))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Section 6.2: scheduler study ----
+
+func reportSim(b *testing.B, res *sim.Result) {
+	b.ReportMetric(float64(res.Failures), "failures")
+	b.ReportMetric(100*res.FailureRate, "failure-%")
+	b.ReportMetric(float64(res.ReadingsAbove100), "readings>100%")
+	b.ReportMetric(res.AvgUtilizationPct, "avg-util-%")
+}
+
+func runSim(b *testing.B, cfg sim.Config) *sim.Result {
+	b.Helper()
+	var res *sim.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.Run(fix.simTr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkSec62CompareSchedulers(b *testing.B) {
+	benchSetup(b)
+	cases := []struct {
+		name   string
+		policy cluster.Policy
+		pred   sim.Predictor
+	}{
+		{"Baseline", cluster.Baseline, nil},
+		{"Naive", cluster.Naive, nil},
+		{"RCInformedSoft", cluster.RCSoft, fix.simPred},
+		{"RCInformedHard", cluster.RCHard, fix.simPred},
+		{"RCSoftRight", cluster.RCSoft, &sim.OraclePredictor{Horizon: fix.simTr.Horizon}},
+		{"RCSoftWrong", cluster.RCSoft, &sim.WrongPredictor{Horizon: fix.simTr.Horizon}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			res := runSim(b, sim.Config{Cluster: simShape(tc.policy), Predictor: tc.pred})
+			reportSim(b, res)
+		})
+	}
+}
+
+func BenchmarkSec62OversubSensitivity(b *testing.B) {
+	benchSetup(b)
+	for _, factor := range []float64{1.25, 1.20, 1.15} {
+		b.Run(fmt.Sprintf("MaxOversub%.0f", 100*factor), func(b *testing.B) {
+			shape := simShape(cluster.RCSoft)
+			shape.MaxOversub = factor
+			res := runSim(b, sim.Config{Cluster: shape, Predictor: fix.simPred})
+			reportSim(b, res)
+		})
+	}
+}
+
+func BenchmarkSec62MaxUtilSensitivity(b *testing.B) {
+	benchSetup(b)
+	for _, target := range []float64{1.0, 0.9, 0.8} {
+		b.Run(fmt.Sprintf("MaxUtil%.0f", 100*target), func(b *testing.B) {
+			shape := simShape(cluster.RCSoft)
+			shape.MaxUtil = target
+			res := runSim(b, sim.Config{Cluster: shape, Predictor: fix.simPred})
+			reportSim(b, res)
+		})
+	}
+}
+
+func BenchmarkSec62HighUtilSensitivity(b *testing.B) {
+	benchSetup(b)
+	for _, tc := range []struct {
+		name   string
+		policy cluster.Policy
+	}{{"Soft", cluster.RCSoft}, {"Hard", cluster.RCHard}} {
+		b.Run(tc.name, func(b *testing.B) {
+			res := runSim(b, sim.Config{
+				Cluster:     simShape(tc.policy),
+				Predictor:   fix.simPred,
+				UtilScale:   1.25,
+				BucketShift: 1,
+			})
+			reportSim(b, res)
+		})
+	}
+}
+
+// ---- Ablations (design choices called out in DESIGN.md) ----
+
+// BenchmarkAblationSubscriptionFeatures quantifies the paper's claim that
+// per-subscription bucket history is the most important attribute: the
+// same pipeline with and without subscription feature data.
+func BenchmarkAblationSubscriptionFeatures(b *testing.B) {
+	f := benchSetup(b)
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"WithHistory", false}, {"ClientInputsOnly", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = pipeline.Run(f.tr, pipeline.Config{
+					TrainCutoff:                 f.cutoff,
+					Seed:                        1,
+					ForestTrees:                 15,
+					GBTRounds:                   20,
+					DisableSubscriptionFeatures: tc.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ByMetric[metric.Lifetime].Report.Accuracy, "acc-lifetime")
+			b.ReportMetric(res.ByMetric[metric.P95CPU].Report.Accuracy, "acc-p95")
+		})
+	}
+}
+
+// BenchmarkAblationBucketGranularity shows why RC predicts coarse buckets
+// rather than fine-grained values: the same learner on 4 vs 10 utilization
+// buckets.
+func BenchmarkAblationBucketGranularity(b *testing.B) {
+	f := benchSetup(b)
+	for _, buckets := range []int{4, 10} {
+		b.Run(fmt.Sprintf("%dbuckets", buckets), func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				acc = bucketGranularityAccuracy(b, f, buckets)
+			}
+			b.ReportMetric(acc, "accuracy")
+		})
+	}
+}
+
+func bucketGranularityAccuracy(b *testing.B, f *benchFixture, buckets int) float64 {
+	b.Helper()
+	spec, err := model.NewSpec(metric.AvgCPU, []string{"IaaS", "WebRole", "WorkerRole", "CacheRole", "GatewayRole"},
+		[]string{"linux", "windows", "freebsd"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bucketOf := func(avg float64) int {
+		k := int(avg / (100.0 / float64(buckets)))
+		if k >= buckets {
+			k = buckets - 1
+		}
+		return k
+	}
+	train := &feature.Dataset{NumClasses: buckets, Names: spec.FeatureNames()}
+	var testX [][]float64
+	var testY []int
+	for i := range f.tr.VMs {
+		v := &f.tr.VMs[i]
+		sub := f.res.Features[v.Subscription]
+		if sub == nil {
+			continue
+		}
+		in := model.FromVM(v, 1)
+		x := spec.Featurize(&in, sub, nil)
+		end := f.cutoff
+		if v.Created >= f.cutoff {
+			end = f.tr.Horizon
+		}
+		avg, _ := trace.SummaryStats(v, end)
+		if v.Created < f.cutoff {
+			train.Add(x, bucketOf(avg))
+		} else {
+			testX = append(testX, x)
+			testY = append(testY, bucketOf(avg))
+		}
+	}
+	fr, err := forest.Train(train, forest.Config{Trees: 15, MaxDepth: 12, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	correct := 0
+	for i, x := range testX {
+		pred, _, err := fr.Predict(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pred == testY[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(testY))
+}
+
+// BenchmarkAblationClientVsRemote contrasts the DLL design (local model
+// execution against in-memory caches) with a prediction service that sits
+// behind the store's interconnect on every request (Section 4.2's
+// justification).
+func BenchmarkAblationClientVsRemote(b *testing.B) {
+	f := benchSetup(b)
+	b.Run("ClientSide", func(b *testing.B) {
+		client, err := core.New(core.Config{Store: f.store, Mode: core.Push, ResultCacheCap: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := client.Initialize(); err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := *f.inputs[i%len(f.inputs)]
+			in.RequestedVMs = i
+			if _, err := client.PredictSingle("p95-cpu-util", &in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RemoteServing", func(b *testing.B) {
+		st := store.New()
+		if err := pipeline.Publish(st, f.res); err != nil {
+			b.Fatal(err)
+		}
+		st.Latency = store.LatencyModel{Median: 2900 * time.Microsecond, P99: 5600 * time.Microsecond}
+		st.Sleep = true
+		trained := f.res.ByMetric[metric.P95CPU].Model
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := f.inputs[i%len(f.inputs)]
+			// Every prediction crosses the interconnect for feature data.
+			blob, err := st.Get(pipeline.SubFeatureKey(in.Subscription))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec, err := featuredata.DecodeRecord(blob.Data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := trained.Spec.Featurize(in, rec, nil)
+			if _, _, err := trained.Predict(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationResultCache contrasts hit and miss paths directly.
+func BenchmarkAblationResultCache(b *testing.B) {
+	f := benchSetup(b)
+	b.Run("Hits", func(b *testing.B) {
+		in := f.inputs[0]
+		if _, err := f.client.PredictSingle("avg-cpu-util", in); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.client.PredictSingle("avg-cpu-util", in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Misses", func(b *testing.B) {
+		client, err := core.New(core.Config{Store: f.store, Mode: core.Push, ResultCacheCap: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := client.Initialize(); err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := *f.inputs[i%len(f.inputs)]
+			in.RequestedVMs = i
+			if _, err := client.PredictSingle("avg-cpu-util", &in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationConfidence sweeps the no-prediction threshold and
+// reports the precision/recall trade-off (the paper uses 0.6).
+func BenchmarkAblationConfidence(b *testing.B) {
+	f := benchSetup(b)
+	// Collect scored predictions once.
+	trained := f.res.ByMetric[metric.Lifetime].Model
+	var preds []eval.Prediction
+	for i := range f.tr.VMs {
+		v := &f.tr.VMs[i]
+		if v.Created < f.cutoff {
+			continue
+		}
+		sub := f.res.Features[v.Subscription]
+		if sub == nil {
+			continue
+		}
+		var truth int
+		if v.Deleted <= f.tr.Horizon {
+			life, _ := v.Lifetime()
+			truth = metric.Lifetime.Bucket(float64(life))
+		} else if f.tr.Horizon-v.Created > 1440 {
+			truth = 3
+		} else {
+			continue
+		}
+		in := model.FromVM(v, 1)
+		x := trained.Spec.Featurize(&in, sub, nil)
+		cls, score, err := trained.Predict(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		preds = append(preds, eval.Prediction{Truth: truth, Pred: cls, Score: score})
+	}
+	for _, threshold := range []float64{0.4, 0.6, 0.8} {
+		b.Run(fmt.Sprintf("theta%.0f", 100*threshold), func(b *testing.B) {
+			var rep *eval.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = eval.Evaluate(preds, metric.Lifetime.Buckets(), threshold)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ThresholdedPrecision, "P-theta")
+			b.ReportMetric(rep.ThresholdedRecall, "R-theta")
+			b.ReportMetric(rep.Answered, "answered")
+		})
+	}
+}
+
+// BenchmarkAblationLifetimeColocation measures the §4.1 extension:
+// lifetime-aware co-location should multiply complete server drains
+// (maintenance without migration) at equal placement success.
+func BenchmarkAblationLifetimeColocation(b *testing.B) {
+	benchSetup(b)
+	for _, tc := range []struct {
+		name  string
+		aware bool
+	}{{"Plain", false}, {"LifetimeAware", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			shape := simShape(cluster.Baseline)
+			shape.LifetimeAware = tc.aware
+			cfg := sim.Config{Cluster: shape}
+			if tc.aware {
+				cfg.LifetimePredictor = &sim.OracleLifetimePredictor{Horizon: fix.simTr.Horizon}
+			}
+			res := runSim(b, cfg)
+			b.ReportMetric(float64(res.ServerDrains), "server-drains")
+			b.ReportMetric(float64(res.Failures), "failures")
+		})
+	}
+}
+
+// BenchmarkAblationModelVsMajority contrasts the trained lifetime model
+// with the naive predictor that always answers the subscription's
+// majority historical bucket — quantifying what the learner adds beyond
+// raw history.
+func BenchmarkAblationModelVsMajority(b *testing.B) {
+	f := benchSetup(b)
+	// Ground-truth labels for held-out VMs (same rules as the pipeline).
+	type labeled struct {
+		sub   string
+		x     []float64
+		truth int
+	}
+	spec := f.res.ByMetric[metric.Lifetime].Model.Spec
+	var samples []labeled
+	for i := range f.tr.VMs {
+		v := &f.tr.VMs[i]
+		if v.Created < f.cutoff {
+			continue
+		}
+		sub := f.res.Features[v.Subscription]
+		if sub == nil {
+			continue
+		}
+		var truth int
+		if v.Deleted <= f.tr.Horizon {
+			life, _ := v.Lifetime()
+			truth = metric.Lifetime.Bucket(float64(life))
+		} else if f.tr.Horizon-v.Created > 1440 {
+			truth = 3
+		} else {
+			continue
+		}
+		in := model.FromVM(v, 1)
+		samples = append(samples, labeled{
+			sub:   v.Subscription,
+			x:     spec.Featurize(&in, sub, nil),
+			truth: truth,
+		})
+	}
+	if len(samples) == 0 {
+		b.Fatal("no labeled samples")
+	}
+
+	b.Run("TrainedModel", func(b *testing.B) {
+		trained := f.res.ByMetric[metric.Lifetime].Model
+		acc := 0.0
+		for i := 0; i < b.N; i++ {
+			correct := 0
+			for _, s := range samples {
+				cls, _, err := trained.Predict(s.x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cls == s.truth {
+					correct++
+				}
+			}
+			acc = float64(correct) / float64(len(samples))
+		}
+		b.ReportMetric(acc, "accuracy")
+	})
+	b.Run("MajorityBucket", func(b *testing.B) {
+		acc := 0.0
+		for i := 0; i < b.N; i++ {
+			correct := 0
+			for _, s := range samples {
+				fr := f.res.Features[s.sub].LifetimeBuckets
+				best := 0
+				for k := 1; k < 4; k++ {
+					if fr[k] > fr[best] {
+						best = k
+					}
+				}
+				if best == s.truth {
+					correct++
+				}
+			}
+			acc = float64(correct) / float64(len(samples))
+		}
+		b.ReportMetric(acc, "accuracy")
+	})
+}
+
+// BenchmarkClusterSelection measures the §4.1 smart-cluster-selection
+// use-case: deployments placed by predicted final size strand fewer
+// growth VMs than placement by the initial request.
+func BenchmarkClusterSelection(b *testing.B) {
+	benchSetup(b)
+	fleet := []int{64, 64, 128, 256, 2048}
+	oracle := &sim.OracleDeployPredictor{Totals: sim.DeploymentCoreTotals(fix.simTr)}
+	for _, tc := range []struct {
+		name string
+		pred sim.DeploySizePredictor
+	}{{"InitialRequestOnly", nil}, {"PredictedMaxSize", oracle}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *sim.ClusterSelResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.RunClusterSelection(fix.simTr, sim.ClusterSelConfig{
+					ClusterCores: fleet,
+					Predictor:    tc.pred,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.StrandedVMs), "stranded-vms")
+			b.ReportMetric(float64(res.Rejected), "rejected-deployments")
+		})
+	}
+}

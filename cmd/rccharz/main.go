@@ -1,0 +1,154 @@
+// Command rccharz runs the Section 3 workload characterization and prints
+// the data behind every figure: utilization CDFs (Fig 1), VM size
+// breakdowns (Figs 2-3), deployment sizes (Fig 4), lifetimes (Fig 5),
+// workload classes (Fig 6), arrivals (Fig 7), metric correlations (Fig 8),
+// and the per-subscription consistency statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"resourcecentral/internal/charz"
+	"resourcecentral/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rccharz: ")
+
+	var src cli.TraceSource
+	src.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	tr, err := src.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d VMs over %d days\n\n", len(tr.VMs), tr.Horizon/(24*60))
+
+	vs, err := charz.ComputeVMStats(tr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Figure 1: CPU utilization CDFs (percent -> cumulative fraction) ==")
+	pairs, err := charz.UtilizationCDFs(tr, vs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("%-12s avg:", p.Group)
+		for _, x := range []float64{10, 20, 30, 40, 50, 60, 70, 80, 90} {
+			fmt.Printf(" %3.0f%%:%.2f", x, p.Avg.At(x))
+		}
+		fmt.Printf("\n%-12s p95:", p.Group)
+		for _, x := range []float64{10, 20, 30, 40, 50, 60, 70, 80, 90} {
+			fmt.Printf(" %3.0f%%:%.2f", x, p.P95.At(x))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Figure 2: virtual cores per VM ==")
+	cores := charz.CoreBuckets(tr)
+	printBreakdown(cores)
+
+	fmt.Println("\n== Figure 3: memory per VM (GB) ==")
+	printBreakdown(charz.MemoryBuckets(tr))
+
+	fmt.Println("\n== Figure 4: max deployment size CDF (per subscription-region-day) ==")
+	deps, err := charz.DeploymentSizeCDF(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range deps {
+		fmt.Printf("%-12s", d.Group)
+		for _, x := range []float64{1, 2, 5, 10, 20, 50, 100} {
+			fmt.Printf(" <=%g:%.2f", x, d.CDF.At(x))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Figure 5: VM lifetime CDF (minutes) ==")
+	lifetimes, err := charz.LifetimeCDF(tr, vs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range lifetimes {
+		fmt.Printf("%-12s", d.Group)
+		for _, x := range []float64{15, 60, 360, 1440, 4320, 10080} {
+			fmt.Printf(" <=%gm:%.2f", x, d.CDF.At(x))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Figure 6: core-hour share by workload class ==")
+	for _, s := range charz.WorkloadClassShares(tr, vs) {
+		fmt.Printf("%-12s delay-insensitive:%.2f interactive:%.2f unknown:%.2f\n",
+			s.Group, s.DelayInsensitive, s.Interactive, s.Unknown)
+	}
+
+	fmt.Println("\n== Figure 7: arrivals (first week, hourly) ==")
+	arr, err := charz.ArrivalSeries(tr, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hours := len(arr.Hourly)
+	if hours > 7*24 {
+		hours = 7 * 24
+	}
+	for d := 0; d*24 < hours; d++ {
+		fmt.Printf("day %d:", d)
+		for h := 0; h < 24 && d*24+h < hours; h += 3 {
+			fmt.Printf(" %02dh:%d", h, arr.Hourly[d*24+h])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("inter-arrival Weibull fit: shape=%.3f scale=%.1fmin KS=%.3f\n",
+		arr.Weibull.K, arr.Weibull.Lambda, arr.KS)
+
+	for _, g := range charz.Groups {
+		fmt.Printf("\n== Figure 8: Spearman correlations (%s) ==\n", g)
+		corr, err := charz.CorrelationsGroup(tr, vs, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s", "")
+		for _, n := range corr.Names {
+			fmt.Printf("%12s", n)
+		}
+		fmt.Println()
+		for i, n := range corr.Names {
+			fmt.Printf("%-12s", n)
+			for j := range corr.Names {
+				fmt.Printf("%12.2f", corr.Rho[i][j])
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("\n== Per-subscription consistency (Section 3) ==")
+	cons, err := charz.Consistency(tr, vs, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subscriptions with >=%d VMs: %d\n", cons.MinVMs, cons.Subscriptions)
+	fmt.Printf("single-type subscriptions: %.0f%% (paper: 96%%)\n", 100*cons.SingleType)
+	fmt.Printf("single-class subscriptions: %.0f%% (paper: 76%%)\n", 100*cons.SingleClass)
+	for name, frac := range cons.CoVBelow1 {
+		fmt.Printf("CoV<1 for %-10s %.0f%%\n", name+":", 100*frac)
+	}
+	fmt.Printf(">1-day VMs' core-hour share: %.0f%% (paper: >95%%)\n", 100*cons.LongRunnerCoreHourShare)
+	fmt.Printf("classified (>=3d) VMs' core-hour share: %.0f%% (paper: 94%%)\n", 100*cons.ClassifiedCoreHourShare)
+}
+
+func printBreakdown(b *charz.Breakdown) {
+	for _, g := range charz.Groups {
+		fmt.Printf("%-12s", g)
+		for i, label := range b.Labels {
+			fmt.Printf(" %s:%.2f", label, b.Share[g][i])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,146 @@
+// Command rcsched reproduces the Section 6.2 case study: RC-informed VM
+// scheduling with CPU oversubscription, simulated over a synthetic trace
+// on an 880-server cluster. It compares Baseline, Naive, RC-informed-soft,
+// RC-informed-hard, RC-soft-right (oracle), and RC-soft-wrong schedules,
+// and runs the three sensitivity sweeps (MAX_OVERSUB, MAX_UTIL, +25%
+// utilization).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"resourcecentral/internal/cli"
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/sim"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rcsched: ")
+
+	var src cli.TraceSource
+	src.RegisterFlags(flag.CommandLine)
+	servers := flag.Int("servers", 880, "cluster size (paper: 880)")
+	coresPer := flag.Int("cores", 16, "cores per server (paper: 16)")
+	memPer := flag.Float64("mem", 112, "memory GB per server (paper: 112)")
+	sweep := flag.String("sweep", "compare", "study: compare | oversub | maxutil | highutil | all")
+	lifetimeAware := flag.Bool("lifetime-aware", false, "enable the §4.1 lifetime co-location rule and report server drains")
+	flag.Parse()
+
+	tr, err := src.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d VMs over %d days; cluster: %d servers x %d cores x %gGB\n\n",
+		len(tr.VMs), tr.Horizon/(24*60), *servers, *coresPer, *memPer)
+
+	// Train RC on the first third of the window so predictions are
+	// available for the simulated arrivals.
+	cutoff := tr.Horizon / 3
+	client := trainClient(tr, cutoff, src.Seed)
+	defer client.Close()
+
+	base := cluster.Config{
+		Servers:        *servers,
+		CoresPerServer: *coresPer,
+		MemGBPerServer: *memPer,
+		MaxOversub:     1.25,
+		MaxUtil:        1.0,
+	}
+	rcPred := &sim.ClientPredictor{Client: client}
+	oracle := &sim.OraclePredictor{Horizon: tr.Horizon}
+	wrong := &sim.WrongPredictor{Horizon: tr.Horizon}
+
+	run := func(name string, policy cluster.Policy, pred sim.Predictor, mutate func(*sim.Config)) {
+		cfg := sim.Config{Cluster: base, Predictor: pred}
+		cfg.Cluster.Policy = policy
+		if *lifetimeAware {
+			cfg.Cluster.LifetimeAware = true
+			cfg.LifetimePredictor = &sim.ClientLifetimePredictor{Client: client}
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s failures %6d (%.3f%%)  readings>100%% %6d  max %6.1f%%  avg util %5.1f%%  drains %5d\n",
+			name, res.Failures, 100*res.FailureRate, res.ReadingsAbove100,
+			res.MaxReadingPct, res.AvgUtilizationPct, res.ServerDrains)
+	}
+
+	doCompare := *sweep == "compare" || *sweep == "all"
+	doOversub := *sweep == "oversub" || *sweep == "all"
+	doMaxutil := *sweep == "maxutil" || *sweep == "all"
+	doHighutil := *sweep == "highutil" || *sweep == "all"
+
+	if doCompare {
+		fmt.Println("== Section 6.2: comparing schedulers (MAX_OVERSUB=125%, MAX_UTIL=100%) ==")
+		run("baseline", cluster.Baseline, nil, nil)
+		run("naive", cluster.Naive, nil, nil)
+		run("rc-informed-soft", cluster.RCSoft, rcPred, nil)
+		run("rc-informed-hard", cluster.RCHard, rcPred, nil)
+		run("rc-soft-right", cluster.RCSoft, oracle, nil)
+		run("rc-soft-wrong", cluster.RCSoft, wrong, nil)
+		fmt.Println()
+	}
+	if doOversub {
+		fmt.Println("== Sensitivity: MAX_OVERSUB (RC-informed-soft) ==")
+		for _, factor := range []float64{1.25, 1.20, 1.15} {
+			f := factor
+			run(fmt.Sprintf("oversub %.0f%%", 100*f), cluster.RCSoft, rcPred,
+				func(c *sim.Config) { c.Cluster.MaxOversub = f })
+		}
+		fmt.Println()
+	}
+	if doMaxutil {
+		fmt.Println("== Sensitivity: MAX_UTIL (RC-informed-soft, MAX_OVERSUB=125%) ==")
+		for _, target := range []float64{1.0, 0.9, 0.8} {
+			u := target
+			run(fmt.Sprintf("max util %.0f%%", 100*u), cluster.RCSoft, rcPred,
+				func(c *sim.Config) { c.Cluster.MaxUtil = u })
+		}
+		fmt.Println()
+	}
+	if doHighutil {
+		fmt.Println("== Sensitivity: +25% utilization, +1 bucket predictions ==")
+		for _, p := range []cluster.Policy{cluster.RCSoft, cluster.RCHard} {
+			policy := p
+			run("highutil "+policy.String(), policy, rcPred, func(c *sim.Config) {
+				c.UtilScale = 1.25
+				c.BucketShift = 1
+			})
+		}
+	}
+}
+
+// trainClient runs the offline pipeline on the pre-cutoff window and
+// returns an initialized push-mode client.
+func trainClient(tr *trace.Trace, cutoff trace.Minutes, seed uint64) *core.Client {
+	res, err := pipeline.Run(tr, pipeline.Config{TrainCutoff: cutoff, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.New()
+	if err := pipeline.Publish(st, res); err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.New(core.Config{Store: st, Mode: core.Push})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RC trained on first %d days (P95 model accuracy %.2f)\n\n",
+		cutoff/(24*60), res.ByMetric[metric.P95CPU].Report.Accuracy)
+	return client
+}

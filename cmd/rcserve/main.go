@@ -1,0 +1,175 @@
+// Command rcserve is a long-running Resource Central deployment demo: it
+// trains models on a synthetic trace, publishes them to the store,
+// periodically re-publishes (exercising push-based cache updates), and
+// serves predictions over HTTP through the client library.
+//
+//	GET /models
+//	GET /predict?model=lifetime&subscription=sub-...&type=IaaS&cores=2&memgb=3.5
+//	GET /stats
+//
+// The prediction path never blocks on the store: it runs entirely against
+// the client-side caches, as in the paper's DLL design.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"resourcecentral/internal/cli"
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rcserve: ")
+
+	var src cli.TraceSource
+	src.RegisterFlags(flag.CommandLine)
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	republish := flag.Duration("republish", 0, "re-run the pipeline and push new models at this interval (0 = never)")
+	flag.Parse()
+
+	tr, err := src.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cutoff := tr.Horizon * 2 / 3
+	log.Printf("training on %d VMs (first %d days)", len(tr.VMs), cutoff/(24*60))
+	res, err := pipeline.Run(tr, pipeline.Config{TrainCutoff: cutoff, Seed: src.Seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := store.New()
+	if err := pipeline.Publish(st, res); err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.New(core.Config{Store: st, Mode: core.Push})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if *republish > 0 {
+		go func() {
+			for range time.Tick(*republish) {
+				if err := pipeline.Publish(st, res); err != nil {
+					log.Printf("republish: %v", err)
+					continue
+				}
+				log.Printf("republished models (push update)")
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, client.AvailableModels())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, client.Stats())
+	})
+	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		modelName := q.Get("model")
+		if modelName == "" {
+			http.Error(w, "missing model parameter", http.StatusBadRequest)
+			return
+		}
+		in, err := inputsFromQuery(q.Get)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pred, err := client.PredictSingle(modelName, in)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, pred)
+	})
+
+	log.Printf("serving predictions on http://%s", *addr)
+	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(server.ListenAndServe())
+}
+
+// inputsFromQuery parses client inputs from URL query parameters, with
+// sensible defaults for omitted fields.
+func inputsFromQuery(get func(string) string) (*model.ClientInputs, error) {
+	in := &model.ClientInputs{
+		Subscription: get("subscription"),
+		VMType:       orDefault(get("type"), "IaaS"),
+		Role:         orDefault(get("role"), "IaaS"),
+		OS:           orDefault(get("os"), "linux"),
+		Party:        orDefault(get("party"), "third"),
+		Cores:        1,
+		MemoryGB:     1.75,
+		RequestedVMs: 1,
+	}
+	if in.Subscription == "" {
+		return nil, fmt.Errorf("missing subscription parameter")
+	}
+	if s := get("cores"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("cores: %w", err)
+		}
+		in.Cores = v
+	}
+	if s := get("memgb"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("memgb: %w", err)
+		}
+		in.MemoryGB = v
+	}
+	if s := get("production"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("production: %w", err)
+		}
+		in.Production = v
+	}
+	if s := get("requested"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("requested: %w", err)
+		}
+		in.RequestedVMs = v
+	}
+	if s := get("minute"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("minute: %w", err)
+		}
+		in.CreateMinute = trace.Minutes(v)
+	}
+	return in, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestInputsFromQuery(t *testing.T) {
+	q := map[string]string{
+		"subscription": "sub-1",
+		"type":         "PaaS",
+		"role":         "WebRole",
+		"os":           "windows",
+		"party":        "first",
+		"cores":        "4",
+		"memgb":        "7",
+		"production":   "true",
+		"requested":    "10",
+		"minute":       "1440",
+	}
+	in, err := inputsFromQuery(func(k string) string { return q[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Subscription != "sub-1" || in.VMType != "PaaS" || in.Role != "WebRole" ||
+		in.OS != "windows" || in.Party != "first" || in.Cores != 4 ||
+		in.MemoryGB != 7 || !in.Production || in.RequestedVMs != 10 ||
+		in.CreateMinute != 1440 {
+		t.Errorf("parsed inputs = %+v", in)
+	}
+}
+
+func TestInputsFromQueryDefaults(t *testing.T) {
+	q := map[string]string{"subscription": "s"}
+	in, err := inputsFromQuery(func(k string) string { return q[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.VMType != "IaaS" || in.OS != "linux" || in.Party != "third" ||
+		in.Cores != 1 || in.MemoryGB != 1.75 || in.RequestedVMs != 1 {
+		t.Errorf("defaults = %+v", in)
+	}
+}
+
+func TestInputsFromQueryErrors(t *testing.T) {
+	cases := []map[string]string{
+		{},                                       // missing subscription
+		{"subscription": "s", "cores": "x"},      // bad cores
+		{"subscription": "s", "memgb": "x"},      // bad memory
+		{"subscription": "s", "production": "x"}, // bad bool
+		{"subscription": "s", "requested": "x"},  // bad int
+		{"subscription": "s", "minute": "x"},     // bad minute
+	}
+	for i, q := range cases {
+		if _, err := inputsFromQuery(func(k string) string { return q[k] }); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Command rctrain runs Resource Central's offline pipeline on a trace and
+// prints Table 1 (models, feature counts, sizes) and Table 4 (prediction
+// quality per metric and bucket). With -latency it also reproduces the
+// Section 6.1 client-side performance study: result-cache hit latency,
+// model execution latency (Figure 10), and pull-mode store latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"resourcecentral/internal/cli"
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rctrain: ")
+
+	var src cli.TraceSource
+	src.RegisterFlags(flag.CommandLine)
+	cutoffFrac := flag.Float64("train-frac", 2.0/3, "fraction of the window used for training (paper: 2 of 3 months)")
+	threshold := flag.Float64("threshold", 0.6, "confidence threshold for P^θ/R^θ")
+	trees := flag.Int("forest-trees", 40, "random forest size")
+	rounds := flag.Int("gbt-rounds", 40, "boosting rounds")
+	latency := flag.Bool("latency", false, "also run the Section 6.1 latency study")
+	flag.Parse()
+
+	tr, err := src.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cutoff := trace.Minutes(float64(tr.Horizon) * *cutoffFrac)
+	fmt.Printf("trace: %d VMs over %d days; training on first %d days\n\n",
+		len(tr.VMs), tr.Horizon/(24*60), cutoff/(24*60))
+
+	start := time.Now()
+	res, err := pipeline.Run(tr, pipeline.Config{
+		TrainCutoff: cutoff,
+		Threshold:   *threshold,
+		ForestTrees: *trees,
+		GBTRounds:   *rounds,
+		Seed:        src.Seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline pipeline completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	printTable1(res)
+	printTable4(res)
+	printTopFeatures(res)
+
+	if *latency {
+		runLatencyStudy(tr, res, cutoff)
+	}
+}
+
+func printTable1(res *pipeline.Result) {
+	fmt.Println("== Table 1: metrics, approaches, model and feature data sizes ==")
+	fmt.Printf("%-20s %-38s %9s %10s %14s\n", "Metric", "Approach", "#features", "Model size", "Feature data")
+	for _, m := range metric.All {
+		mr := res.ByMetric[m]
+		fmt.Printf("%-20s %-38s %9d %9.0fKB %12.1fMB\n",
+			m, m.Approach(), mr.Model.Spec.NumFeatures(),
+			float64(mr.Model.SizeBytes())/1024,
+			float64(res.FeatureDataBytes)/(1<<20))
+	}
+	fmt.Printf("(feature dataset: %d subscriptions)\n\n", len(res.Features))
+}
+
+func printTable4(res *pipeline.Result) {
+	fmt.Println("== Table 4: prediction quality ==")
+	fmt.Printf("%-20s %5s", "Metric", "Acc")
+	for b := 1; b <= 4; b++ {
+		fmt.Printf(" | b%d: %%    P    R ", b)
+	}
+	fmt.Printf(" | P^θ   R^θ\n")
+	for _, m := range metric.All {
+		mr := res.ByMetric[m]
+		rep := mr.Report
+		if rep == nil {
+			fmt.Printf("%-20s (no evaluable test samples; train %d)\n", m, mr.TrainSamples)
+			continue
+		}
+		fmt.Printf("%-20s %.3f", m, rep.Accuracy)
+		for b := 0; b < 4; b++ {
+			if b < m.Buckets() {
+				fmt.Printf(" | %3.0f%% %.2f %.2f", 100*rep.Share[b], rep.Precision[b], rep.Recall[b])
+			} else {
+				fmt.Printf(" |   NA   NA   NA")
+			}
+		}
+		fmt.Printf(" | %.2f %.2f  (train %d, test %d, no-feature %d)\n",
+			rep.ThresholdedPrecision, rep.ThresholdedRecall,
+			mr.TrainSamples, mr.TestSamples, mr.NoFeatureData)
+	}
+	fmt.Println()
+}
+
+// printTopFeatures reports each model's most important attributes — the
+// paper finds the subscription's per-bucket history dominates.
+func printTopFeatures(res *pipeline.Result) {
+	fmt.Println("== Most important attributes per model (Section 6.1 discussion) ==")
+	for _, m := range metric.All {
+		fmt.Printf("%-20s", m)
+		for _, fi := range res.ByMetric[m].Model.TopFeatures(4) {
+			fmt.Printf("  %s:%.2f", fi.Name, fi.Importance)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// runLatencyStudy measures the client-side performance numbers of §6.1.
+func runLatencyStudy(tr *trace.Trace, res *pipeline.Result, cutoff trace.Minutes) {
+	st := store.New()
+	if err := pipeline.Publish(st, res); err != nil {
+		log.Fatal(err)
+	}
+	client, err := core.New(core.Config{Store: st, Mode: core.Push})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Initialize(); err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Test-month inputs, as in the paper's dummy client.
+	var inputs []*model.ClientInputs
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Created >= cutoff {
+			in := model.FromVM(v, 1)
+			inputs = append(inputs, &in)
+		}
+		if len(inputs) >= 20000 {
+			break
+		}
+	}
+	if len(inputs) == 0 {
+		log.Fatal("no test-window inputs")
+	}
+
+	fmt.Println("== Figure 10: model execution latency (result-cache misses) ==")
+	for _, m := range metric.All {
+		client.FlushCache() //nolint:errcheck
+		if err := client.ForceReloadCache(); err != nil {
+			log.Fatal(err)
+		}
+		var lats []time.Duration
+		for k, in := range inputs[:min(4000, len(inputs))] {
+			// Force a result-cache miss so the model-execution path is
+			// what gets measured.
+			unique := *in
+			unique.RequestedVMs = 100000 + k
+			t0 := time.Now()
+			if _, err := client.PredictSingle(m.String(), &unique); err != nil {
+				log.Fatal(err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("%-20s median %8v   p99 %8v\n", m,
+			lats[len(lats)/2], lats[int(0.99*float64(len(lats)))])
+	}
+
+	fmt.Println("\n== Result cache hit latency ==")
+	in := inputs[0]
+	if _, err := client.PredictSingle("lifetime", in); err != nil {
+		log.Fatal(err)
+	}
+	var hits []time.Duration
+	for i := 0; i < 100000; i++ {
+		t0 := time.Now()
+		if _, err := client.PredictSingle("lifetime", in); err != nil {
+			log.Fatal(err)
+		}
+		hits = append(hits, time.Since(t0))
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+	fmt.Printf("hit median %v, p99 %v (paper: p99 1.3µs)\n",
+		hits[len(hits)/2], hits[int(0.99*float64(len(hits)))])
+
+	fmt.Println("\n== Pull-mode store latency (850-byte feature records) ==")
+	st.Latency = store.LatencyModel{Median: 2900 * time.Microsecond, P99: 5600 * time.Microsecond}
+	st.Sleep = true
+	var pulls []time.Duration
+	for i := 0; i < 300 && i < len(inputs); i++ {
+		key := pipeline.SubFeatureKey(inputs[i].Subscription)
+		t0 := time.Now()
+		if _, err := st.Get(key); err != nil {
+			continue
+		}
+		pulls = append(pulls, time.Since(t0))
+	}
+	sort.Slice(pulls, func(i, j int) bool { return pulls[i] < pulls[j] })
+	if len(pulls) > 0 {
+		fmt.Printf("store median %v, p99 %v (paper: 2.9ms / 5.6ms)\n",
+			pulls[len(pulls)/2].Round(time.Microsecond),
+			pulls[int(0.99*float64(len(pulls)))].Round(time.Microsecond))
+	}
+
+	stats := client.Stats()
+	fmt.Printf("\nclient stats: %+v\n", stats)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

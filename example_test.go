@@ -1,0 +1,79 @@
+package resourcecentral_test
+
+import (
+	"fmt"
+	"log"
+
+	rc "resourcecentral"
+)
+
+// ExampleGenerateWorkload shows trace synthesis with the paper-calibrated
+// defaults scaled down.
+func ExampleGenerateWorkload() {
+	cfg := rc.DefaultWorkloadConfig()
+	cfg.Days = 7
+	cfg.TargetVMs = 1000
+	cfg.Seed = 1
+
+	workload, err := rc.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace spans %v with %d subscriptions\n",
+		workload.Trace.Horizon.Duration(), len(workload.Subscriptions))
+	// Output: trace spans 168h0m0s with 29 subscriptions
+}
+
+// ExampleClient_PredictSingle runs the full train-and-serve flow and asks
+// for one prediction. (Unverified output: model training is deterministic
+// but slow, so this example is compile-checked only.)
+func ExampleClient_PredictSingle() {
+	cfg := rc.DefaultWorkloadConfig()
+	cfg.Days = 10
+	cfg.TargetVMs = 3000
+	workload, err := rc.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := workload.Trace
+
+	client, _, err := rc.TrainAndServe(tr, rc.PipelineConfig{TrainCutoff: tr.Horizon * 2 / 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	in := rc.InputsFromVM(&tr.VMs[len(tr.VMs)-1], 1)
+	pred, err := client.PredictSingle(rc.Lifetime.String(), &in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pred.OK {
+		fmt.Printf("predicted lifetime: %s (score %.2f)\n",
+			rc.Lifetime.BucketLabel(pred.Bucket), pred.Score)
+	} else {
+		fmt.Println("no prediction:", pred.Reason)
+	}
+}
+
+// ExampleSimulate runs the Section 6.2 study on a tiny cluster.
+// (Compile-checked only; see examples/oversubscription for a full run.)
+func ExampleSimulate() {
+	cfg := rc.DefaultWorkloadConfig()
+	cfg.Days = 7
+	cfg.TargetVMs = 1000
+	workload, err := rc.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	simCfg := rc.SimConfig{Cluster: rc.ClusterConfig{
+		Servers: 16, CoresPerServer: 16, MemGBPerServer: 112,
+		Policy: rc.PolicyBaseline,
+	}}
+	res, err := rc.Simulate(workload.Trace, simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d of %d VMs\n", res.Placed, res.Arrivals)
+}

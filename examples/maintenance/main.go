@@ -1,0 +1,103 @@
+// Maintenance: the health-management use-case of Section 4.1. A server
+// starts misbehaving; the health system asks Resource Central for the
+// expected lifetimes of the VMs running on it, estimates when the server
+// will drain naturally, and decides between waiting for the drain and
+// live-migrating the stragglers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rc "resourcecentral"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	wcfg := rc.DefaultWorkloadConfig()
+	wcfg.Days = 12
+	wcfg.TargetVMs = 5000
+	wcfg.Seed = 19
+	workload, err := rc.GenerateWorkload(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := workload.Trace
+
+	client, result, err := rc.TrainAndServe(tr, rc.PipelineConfig{
+		TrainCutoff: tr.Horizon * 2 / 3,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Pretend these running VMs are co-located on the misbehaving server:
+	// a realistic mix of freshly created (likely short-lived) and old
+	// (long-running) VMs.
+	now := tr.Horizon * 2 / 3
+	var young, old []*rc.VM
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if !v.AliveAt(now) {
+			continue
+		}
+		if _, ok := result.Features[v.Subscription]; !ok {
+			continue
+		}
+		if age := now - v.Created; age < 12*60 && len(young) < 5 {
+			young = append(young, v)
+		} else if age > 24*60 && len(old) < 3 {
+			old = append(old, v)
+		}
+		if len(young) == 5 && len(old) == 3 {
+			break
+		}
+	}
+	onServer := append(young, old...)
+	if len(onServer) == 0 {
+		log.Fatal("no running VMs found")
+	}
+
+	fmt.Printf("server S-042 reports correctable memory errors; %d VMs on board\n\n", len(onServer))
+
+	planner := &rc.MaintenancePlanner{
+		Client:   client,
+		Deadline: 24 * 60, // wait at most a day for the drain
+	}
+	plan, err := planner.Plan(now, onServer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %-28s %-16s %s\n", "vm", "subscription", "pred lifetime", "decision")
+	byID := map[int64]*rc.VM{}
+	for _, v := range onServer {
+		byID[v.ID] = v
+	}
+	for _, d := range plan.Decisions {
+		label := "?"
+		if d.Predicted {
+			label = rc.Lifetime.BucketLabel(d.Bucket)
+		}
+		decision := "let drain"
+		if d.Migrate {
+			decision = "live-migrate"
+		}
+		fmt.Printf("%-6d %-28s %-16s %s\n", d.VMID, byID[d.VMID].Subscription, label, decision)
+	}
+
+	fmt.Println()
+	if plan.WaitForDrain {
+		fmt.Printf("all VMs predicted to terminate by minute %d: schedule maintenance\n", plan.DrainBy)
+		fmt.Println("after natural drain — no live migration, no VM downtime.")
+	} else {
+		fmt.Printf("%d VM(s) must be live-migrated; the rest drain naturally", plan.Migrations)
+		if plan.DrainBy > 0 {
+			fmt.Printf(" by minute %d", plan.DrainBy)
+		}
+		fmt.Println(".")
+	}
+}

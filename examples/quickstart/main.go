@@ -1,0 +1,84 @@
+// Quickstart: generate a synthetic cloud workload, train Resource Central
+// on its first two thirds, and ask the client library for all six
+// behaviour predictions of a newly arriving VM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rc "resourcecentral"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A small Azure-like workload (see Section 3 of the paper).
+	wcfg := rc.DefaultWorkloadConfig()
+	wcfg.Days = 12
+	wcfg.TargetVMs = 5000
+	wcfg.Seed = 42
+	workload, err := rc.GenerateWorkload(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := workload.Trace
+	fmt.Printf("generated %d VMs across %d subscriptions over %d days\n",
+		len(tr.VMs), len(workload.Subscriptions), wcfg.Days)
+
+	// 2. Offline pipeline + store + client library in one call.
+	client, result, err := rc.TrainAndServe(tr, rc.PipelineConfig{
+		TrainCutoff: tr.Horizon * 2 / 3,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	fmt.Printf("trained %d models on %d subscriptions of feature data\n\n",
+		len(client.AvailableModels()), len(result.Features))
+
+	// 3. A "new" VM arrives: take one from the held-out window and ask RC
+	// what it will do. In production the VM scheduler supplies these
+	// inputs at deployment time.
+	var vm *rc.VM
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Created >= tr.Horizon*2/3 {
+			if _, ok := result.Features[v.Subscription]; ok {
+				vm = v
+				break
+			}
+		}
+	}
+	if vm == nil {
+		log.Fatal("no held-out VM found")
+	}
+	in := rc.InputsFromVM(vm, 1)
+	fmt.Printf("predicting behaviour of a new %d-core %.2fGB %s VM from %s:\n",
+		vm.Cores, vm.MemoryGB, in.VMType, in.Subscription)
+
+	for _, m := range []rc.Metric{
+		rc.AvgCPU, rc.P95CPU, rc.DeploySizeVMs, rc.DeploySizeCores,
+		rc.Lifetime, rc.WorkloadClass,
+	} {
+		pred, err := client.PredictSingle(m.String(), &in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !pred.OK {
+			fmt.Printf("  %-18s no prediction (%s)\n", m, pred.Reason)
+			continue
+		}
+		fmt.Printf("  %-18s bucket %d (%s), confidence %.2f\n",
+			m, pred.Bucket+1, m.BucketLabel(pred.Bucket), pred.Score)
+	}
+
+	// 4. Predictions are cached: the second request is a result-cache hit.
+	if _, err := client.PredictSingle(rc.Lifetime.String(), &in); err != nil {
+		log.Fatal(err)
+	}
+	stats := client.Stats()
+	fmt.Printf("\nclient cache: %d hits, %d misses, %d model executions\n",
+		stats.ResultHits, stats.ResultMisses, stats.ModelExecs)
+}

@@ -1,0 +1,109 @@
+// Rightsizing: the deployment-recommendation use-case of Section 4.1. At
+// deployment time, the platform predicts the workload's class and
+// utilization and recommends a (possibly tighter) VM size — tighter
+// sizing for delay-insensitive workloads, headroom for interactive ones.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	rc "resourcecentral"
+)
+
+// menu is the platform's size offering (cores, memory GB).
+var menu = []struct {
+	Cores int
+	MemGB float64
+}{
+	{1, 0.75}, {1, 1.75}, {2, 3.5}, {4, 7}, {8, 14}, {16, 28},
+}
+
+func main() {
+	log.SetFlags(0)
+
+	wcfg := rc.DefaultWorkloadConfig()
+	wcfg.Days = 12
+	wcfg.TargetVMs = 5000
+	wcfg.Seed = 23
+	workload, err := rc.GenerateWorkload(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := workload.Trace
+
+	client, result, err := rc.TrainAndServe(tr, rc.PipelineConfig{
+		TrainCutoff: tr.Horizon * 2 / 3,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// A few deployment requests from the held-out window.
+	seen := map[string]bool{}
+	shown := 0
+	fmt.Printf("%-28s %-10s %-10s %-20s %s\n",
+		"subscription", "requested", "pred util", "pred class", "recommendation")
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Created < tr.Horizon*2/3 || seen[v.Subscription] {
+			continue
+		}
+		if _, ok := result.Features[v.Subscription]; !ok {
+			continue
+		}
+		seen[v.Subscription] = true
+
+		in := rc.InputsFromVM(v, 1)
+		util, err := client.PredictSingle(rc.AvgCPU.String(), &in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		class, err := client.PredictSingle(rc.WorkloadClass.String(), &in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !util.OK || !class.OK {
+			continue
+		}
+
+		rec := recommend(v.Cores, util.Bucket, class.Bucket)
+		classLabel := rc.WorkloadClass.BucketLabel(class.Bucket)
+		fmt.Printf("%-28s %dc/%-6.2gGB %-10s %-20s %s\n",
+			v.Subscription, v.Cores, v.MemoryGB,
+			rc.AvgCPU.BucketLabel(util.Bucket), classLabel, rec)
+
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+	fmt.Println("\nDelay-insensitive VMs with low predicted utilization are sized")
+	fmt.Println("down to the demand; interactive VMs keep headroom for their")
+	fmt.Println("latency-sensitive peaks (the paper's recommended asymmetry).")
+}
+
+// recommend picks a size for the workload: delay-insensitive VMs are
+// sized to the predicted demand (bucket mid-point), interactive VMs to
+// the bucket's highest value plus 50% headroom.
+func recommend(requestedCores, utilBucket, classBucket int) string {
+	var demandFrac float64
+	if classBucket == 1 { // interactive: headroom over the worst case
+		demandFrac = math.Min(1, rc.AvgCPU.BucketHigh(utilBucket)/100*1.5)
+	} else { // delay-insensitive: tight sizing to the expected demand
+		demandFrac = rc.AvgCPU.BucketMid(utilBucket) / 100
+	}
+	needed := math.Max(1, float64(requestedCores)*demandFrac)
+	for _, size := range menu {
+		if float64(size.Cores) >= needed {
+			if size.Cores == requestedCores {
+				return "keep requested size"
+			}
+			return fmt.Sprintf("resize to %dc/%.2gGB", size.Cores, size.MemGB)
+		}
+	}
+	return "keep requested size"
+}

@@ -1,0 +1,3 @@
+module resourcecentral
+
+go 1.24

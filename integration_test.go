@@ -1,0 +1,177 @@
+package resourcecentral_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	rc "resourcecentral"
+	"resourcecentral/internal/trace"
+)
+
+// The integration fixture exercises the full public flow once: generate →
+// train → publish → serve → simulate.
+var (
+	intOnce     sync.Once
+	intWorkload *rc.Workload
+	intClient   *rc.Client
+	intResult   *rc.PipelineResult
+	intErr      error
+)
+
+func setup(t *testing.T) (*rc.Workload, *rc.Client, *rc.PipelineResult) {
+	t.Helper()
+	intOnce.Do(func() {
+		cfg := rc.DefaultWorkloadConfig()
+		cfg.Days = 12
+		cfg.TargetVMs = 5000
+		cfg.MaxDeploymentVMs = 200
+		cfg.Seed = 99
+		intWorkload, intErr = rc.GenerateWorkload(cfg)
+		if intErr != nil {
+			return
+		}
+		intClient, intResult, intErr = rc.TrainAndServe(intWorkload.Trace, rc.PipelineConfig{
+			TrainCutoff:    intWorkload.Trace.Horizon * 2 / 3,
+			ForestTrees:    10,
+			ForestMaxDepth: 10,
+			GBTRounds:      12,
+			Seed:           1,
+		})
+	})
+	if intErr != nil {
+		t.Fatal(intErr)
+	}
+	return intWorkload, intClient, intResult
+}
+
+func TestEndToEndPredictions(t *testing.T) {
+	workload, client, result := setup(t)
+
+	if got := len(client.AvailableModels()); got != 6 {
+		t.Fatalf("available models = %d, want 6", got)
+	}
+
+	// Predict for every held-out VM of known subscriptions; predictions
+	// must be well-formed and mostly confident.
+	tr := workload.Trace
+	tried, ok, confident := 0, 0, 0
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Created < tr.Horizon*2/3 {
+			continue
+		}
+		in := rc.InputsFromVM(v, 1)
+		pred, err := client.PredictSingle(rc.Lifetime.String(), &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tried++
+		if pred.OK {
+			ok++
+			if pred.Score >= 0.6 {
+				confident++
+			}
+		}
+		if tried == 1000 {
+			break
+		}
+	}
+	if tried == 0 {
+		t.Fatal("no held-out VMs")
+	}
+	if frac := float64(ok) / float64(tried); frac < 0.5 {
+		t.Errorf("prediction coverage = %.2f, want >= 0.5", frac)
+	}
+	if confident == 0 {
+		t.Error("no confident predictions at all")
+	}
+	_ = result
+}
+
+func TestEndToEndSimulation(t *testing.T) {
+	workload, client, _ := setup(t)
+	tr := workload.Trace
+
+	shape := rc.ClusterConfig{
+		Servers: 64, CoresPerServer: 16, MemGBPerServer: 112,
+		MaxOversub: 1.25, MaxUtil: 1.0,
+	}
+	baseCfg := rc.SimConfig{Cluster: shape}
+	baseCfg.Cluster.Policy = rc.PolicyBaseline
+	base, err := rc.Simulate(tr, baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcCfg := rc.SimConfig{Cluster: shape, Predictor: rc.NewClientPredictor(client)}
+	rcCfg.Cluster.Policy = rc.PolicyRCSoft
+	rcSoft, err := rc.Simulate(tr, rcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Arrivals != rcSoft.Arrivals {
+		t.Errorf("arrival counts differ: %d vs %d", base.Arrivals, rcSoft.Arrivals)
+	}
+	// Baseline never exceeds physical capacity.
+	if base.ReadingsAbove100 != 0 {
+		t.Errorf("baseline produced %d readings above 100%%", base.ReadingsAbove100)
+	}
+	// RC-informed oversubscription keeps exhaustion rare: well under 0.1%
+	// of busy readings (the paper reports 77 readings over a month across
+	// 880 servers).
+	if rcSoft.BusyReadings > 0 {
+		frac := float64(rcSoft.ReadingsAbove100) / float64(rcSoft.BusyReadings)
+		if frac > 0.001 {
+			t.Errorf("rc-soft exhaustion fraction %.5f too high", frac)
+		}
+	}
+}
+
+func TestTraceCSVRoundTripThroughPublicTypes(t *testing.T) {
+	workload, _, _ := setup(t)
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, workload.Trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != len(workload.Trace.VMs) {
+		t.Fatalf("round trip lost VMs: %d vs %d", len(got.VMs), len(workload.Trace.VMs))
+	}
+	for i := range got.VMs {
+		if got.VMs[i] != workload.Trace.VMs[i] {
+			t.Fatalf("vm %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestPredictManyMatchesSingle(t *testing.T) {
+	workload, client, result := setup(t)
+	tr := workload.Trace
+	var inputs []*rc.ClientInputs
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if _, known := result.Features[v.Subscription]; known && v.Created >= tr.Horizon*2/3 {
+			in := rc.InputsFromVM(v, 1)
+			inputs = append(inputs, &in)
+		}
+		if len(inputs) == 50 {
+			break
+		}
+	}
+	many, err := client.PredictMany(rc.P95CPU.String(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		single, err := client.PredictSingle(rc.P95CPU.String(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Bucket != many[i].Bucket || single.OK != many[i].OK {
+			t.Errorf("input %d: single %+v != many %+v", i, single, many[i])
+		}
+	}
+}

@@ -1,0 +1,576 @@
+// Package charz is the workload characterization engine: it regenerates
+// every distribution of Section 3 (Figures 1-8) from a trace, including
+// the per-subscription consistency statistics that motivate Resource
+// Central's prediction approach.
+package charz
+
+import (
+	"errors"
+	"fmt"
+
+	"resourcecentral/internal/fftperiod"
+	"resourcecentral/internal/stats"
+	"resourcecentral/internal/trace"
+)
+
+// Group selects a workload subset, matching the paper's per-figure
+// breakdowns.
+type Group int
+
+// Groups.
+const (
+	All Group = iota
+	First
+	Third
+)
+
+// String implements fmt.Stringer.
+func (g Group) String() string {
+	switch g {
+	case First:
+		return "first-party"
+	case Third:
+		return "third-party"
+	default:
+		return "all"
+	}
+}
+
+// Groups lists the three standard breakdowns.
+var Groups = []Group{All, First, Third}
+
+func (g Group) match(v *trace.VM) bool {
+	switch g {
+	case First:
+		return v.Party == trace.FirstParty
+	case Third:
+		return v.Party == trace.ThirdParty
+	default:
+		return true
+	}
+}
+
+// VMStat caches the per-VM derived statistics that several figures share.
+type VMStat struct {
+	AvgCPU    float64
+	P95MaxCPU float64
+	// LifetimeMin is the lifetime in minutes; Completed is false for VMs
+	// censored by the window end.
+	LifetimeMin float64
+	Completed   bool
+	Class       fftperiod.Class
+	CoreHours   float64
+}
+
+// ComputeVMStats derives the per-VM statistics for the whole trace. It is
+// the expensive pass; figure functions accept its output.
+func ComputeVMStats(tr *trace.Trace, det *fftperiod.Detector) ([]VMStat, error) {
+	if len(tr.VMs) == 0 {
+		return nil, errors.New("charz: empty trace")
+	}
+	if det == nil {
+		det = fftperiod.NewDetector()
+	}
+	out := make([]VMStat, len(tr.VMs))
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		st := &out[i]
+		st.AvgCPU, st.P95MaxCPU = trace.SummaryStats(v, tr.Horizon)
+		if life, ok := v.Lifetime(); ok {
+			st.LifetimeMin = float64(life)
+			st.Completed = true
+		}
+		st.Class, _ = det.Classify(trace.AvgSeries(v, tr.Horizon))
+		st.CoreHours = v.CoreHours(tr.Horizon)
+	}
+	return out, nil
+}
+
+// CDFPair is Figure 1's content for one group: the CDFs of average CPU
+// utilization and of the 95th percentile of maximum utilizations.
+type CDFPair struct {
+	Group Group
+	Avg   *stats.CDF
+	P95   *stats.CDF
+}
+
+// UtilizationCDFs computes Figure 1 for the three groups.
+func UtilizationCDFs(tr *trace.Trace, vs []VMStat) ([]CDFPair, error) {
+	if len(vs) != len(tr.VMs) {
+		return nil, fmt.Errorf("charz: %d stats for %d VMs", len(vs), len(tr.VMs))
+	}
+	out := make([]CDFPair, 0, len(Groups))
+	for _, g := range Groups {
+		var avgs, p95s []float64
+		for i := range tr.VMs {
+			if g.match(&tr.VMs[i]) {
+				avgs = append(avgs, vs[i].AvgCPU)
+				p95s = append(p95s, vs[i].P95MaxCPU)
+			}
+		}
+		if len(avgs) == 0 {
+			continue
+		}
+		avgCDF, err := stats.NewCDF(avgs)
+		if err != nil {
+			return nil, err
+		}
+		p95CDF, err := stats.NewCDF(p95s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CDFPair{Group: g, Avg: avgCDF, P95: p95CDF})
+	}
+	return out, nil
+}
+
+// Breakdown is a categorical share table (Figures 2 and 3): Share[g][k] is
+// group g's fraction of VMs in category Labels[k].
+type Breakdown struct {
+	Labels []string
+	Share  map[Group][]float64
+}
+
+// CoreBuckets computes Figure 2: virtual core counts per VM.
+func CoreBuckets(tr *trace.Trace) *Breakdown {
+	cats := []int{1, 2, 4, 8, 16}
+	labels := []string{"1", "2", "4", "8", ">=16"}
+	b := &Breakdown{Labels: labels, Share: make(map[Group][]float64)}
+	for _, g := range Groups {
+		counts := make([]float64, len(cats))
+		total := 0.0
+		for i := range tr.VMs {
+			v := &tr.VMs[i]
+			if !g.match(v) {
+				continue
+			}
+			total++
+			idx := len(cats) - 1
+			for k, c := range cats[:len(cats)-1] {
+				if v.Cores <= c {
+					idx = k
+					break
+				}
+			}
+			counts[idx]++
+		}
+		if total > 0 {
+			for k := range counts {
+				counts[k] /= total
+			}
+		}
+		b.Share[g] = counts
+	}
+	return b
+}
+
+// MemoryBuckets computes Figure 3: memory per VM in GBytes.
+func MemoryBuckets(tr *trace.Trace) *Breakdown {
+	bounds := []float64{0.75, 1.75, 3.5, 7, 14, 28}
+	labels := []string{"0.75", "1.75", "3.5", "7", "14", "28", ">28"}
+	b := &Breakdown{Labels: labels, Share: make(map[Group][]float64)}
+	for _, g := range Groups {
+		counts := make([]float64, len(bounds)+1)
+		total := 0.0
+		for i := range tr.VMs {
+			v := &tr.VMs[i]
+			if !g.match(v) {
+				continue
+			}
+			total++
+			idx := len(bounds)
+			for k, m := range bounds {
+				if v.MemoryGB <= m {
+					idx = k
+					break
+				}
+			}
+			counts[idx]++
+		}
+		if total > 0 {
+			for k := range counts {
+				counts[k] /= total
+			}
+		}
+		b.Share[g] = counts
+	}
+	return b
+}
+
+// GroupCDF is one group's CDF (Figures 4 and 5).
+type GroupCDF struct {
+	Group Group
+	CDF   *stats.CDF
+}
+
+// DeploymentSizeCDF computes Figure 4: the paper redefines a deployment as
+// the set of VMs a subscription deploys to one region during one day, then
+// takes each deployment's maximum (final) size.
+func DeploymentSizeCDF(tr *trace.Trace) ([]GroupCDF, error) {
+	type key struct {
+		sub, region string
+		day         int64
+	}
+	type agg struct {
+		count int
+		party trace.Party
+	}
+	groups := make(map[key]*agg)
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		k := key{sub: v.Subscription, region: v.Region, day: int64(v.Created) / (24 * 60)}
+		a := groups[k]
+		if a == nil {
+			a = &agg{party: v.Party}
+			groups[k] = a
+		}
+		a.count++
+	}
+	var out []GroupCDF
+	for _, g := range Groups {
+		var sizes []float64
+		for _, a := range groups {
+			switch g {
+			case First:
+				if a.party != trace.FirstParty {
+					continue
+				}
+			case Third:
+				if a.party != trace.ThirdParty {
+					continue
+				}
+			}
+			sizes = append(sizes, float64(a.count))
+		}
+		if len(sizes) == 0 {
+			continue
+		}
+		cdf, err := stats.NewCDF(sizes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupCDF{Group: g, CDF: cdf})
+	}
+	return out, nil
+}
+
+// LifetimeCDF computes Figure 5 over VMs that completed in the window.
+func LifetimeCDF(tr *trace.Trace, vs []VMStat) ([]GroupCDF, error) {
+	var out []GroupCDF
+	for _, g := range Groups {
+		var lifetimes []float64
+		for i := range tr.VMs {
+			if g.match(&tr.VMs[i]) && vs[i].Completed {
+				lifetimes = append(lifetimes, vs[i].LifetimeMin)
+			}
+		}
+		if len(lifetimes) == 0 {
+			continue
+		}
+		cdf, err := stats.NewCDF(lifetimes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupCDF{Group: g, CDF: cdf})
+	}
+	return out, nil
+}
+
+// ClassShares is Figure 6's content for one group: core-hour shares of the
+// three classes.
+type ClassShares struct {
+	Group            Group
+	DelayInsensitive float64
+	Interactive      float64
+	Unknown          float64
+}
+
+// WorkloadClassShares computes Figure 6.
+func WorkloadClassShares(tr *trace.Trace, vs []VMStat) []ClassShares {
+	out := make([]ClassShares, 0, len(Groups))
+	for _, g := range Groups {
+		var s ClassShares
+		s.Group = g
+		total := 0.0
+		for i := range tr.VMs {
+			if !g.match(&tr.VMs[i]) {
+				continue
+			}
+			ch := vs[i].CoreHours
+			total += ch
+			switch vs[i].Class {
+			case fftperiod.ClassInteractive:
+				s.Interactive += ch
+			case fftperiod.ClassDelayInsensitive:
+				s.DelayInsensitive += ch
+			default:
+				s.Unknown += ch
+			}
+		}
+		if total > 0 {
+			s.Interactive /= total
+			s.DelayInsensitive /= total
+			s.Unknown /= total
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ArrivalReport is Figure 7's content: hourly VM arrival counts at one
+// region plus the Weibull fit of the deployment inter-arrival gaps.
+type ArrivalReport struct {
+	Region string
+	// Hourly[h] counts VM arrivals in hour h of the window.
+	Hourly []int
+	// Weibull is fitted to the inter-arrival times of deployment groups.
+	Weibull stats.Weibull
+	// KS is the Kolmogorov-Smirnov distance of the fit.
+	KS float64
+}
+
+// ArrivalSeries computes Figure 7 for one region ("" = whole platform).
+func ArrivalSeries(tr *trace.Trace, region string) (*ArrivalReport, error) {
+	hours := int(tr.Horizon / 60)
+	if hours == 0 {
+		return nil, errors.New("charz: horizon shorter than an hour")
+	}
+	rep := &ArrivalReport{Region: region, Hourly: make([]int, hours)}
+	seen := make(map[string]bool)
+	var arrivals []float64
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if region != "" && v.Region != region {
+			continue
+		}
+		if h := int(v.Created / 60); h < hours {
+			rep.Hourly[h]++
+		}
+		if !seen[v.Deployment] {
+			seen[v.Deployment] = true
+			arrivals = append(arrivals, float64(v.Created))
+		}
+	}
+	gaps := make([]float64, 0, len(arrivals))
+	for i := 1; i < len(arrivals); i++ {
+		if d := arrivals[i] - arrivals[i-1]; d > 0 {
+			gaps = append(gaps, d)
+		}
+	}
+	if len(gaps) >= 2 {
+		w, err := stats.FitWeibull(gaps)
+		if err == nil {
+			rep.Weibull = w
+			rep.KS, _ = stats.KolmogorovSmirnov(gaps, w)
+		}
+	}
+	return rep, nil
+}
+
+// CorrelationMatrix computes Figure 8: Spearman correlations between the
+// studied metrics over VMs with complete data (completed lifetime and a
+// known class; the paper numbers classes 1 and 2).
+type CorrelationMatrix struct {
+	Names []string
+	Rho   [][]float64
+}
+
+// Correlations computes the Figure 8 matrix over the whole platform.
+func Correlations(tr *trace.Trace, vs []VMStat) (*CorrelationMatrix, error) {
+	return CorrelationsGroup(tr, vs, All)
+}
+
+// CorrelationsGroup computes the Figure 8 matrix for one workload group
+// (the paper notes the correlations differ between first- and third-party
+// workloads).
+func CorrelationsGroup(tr *trace.Trace, vs []VMStat, g Group) (*CorrelationMatrix, error) {
+	// Deployment sizes via the Figure 4 grouping.
+	type key struct {
+		sub, region string
+		day         int64
+	}
+	sizes := make(map[key]int)
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		sizes[key{v.Subscription, v.Region, int64(v.Created) / (24 * 60)}]++
+	}
+
+	names := []string{"avg util", "p95 util", "cores", "memory", "lifetime", "deploy size", "class"}
+	cols := make([][]float64, len(names))
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if !g.match(v) || vs[i].Class == fftperiod.ClassUnknown {
+			continue
+		}
+		class := 1.0
+		if vs[i].Class == fftperiod.ClassInteractive {
+			class = 2.0
+		}
+		// Lifetime uses the observed in-window duration for VMs censored
+		// by the window end; rank correlations only need the ordering,
+		// and excluding censored VMs would systematically drop the
+		// longest-lived (interactive-heavy) population.
+		life := vs[i].LifetimeMin
+		if !vs[i].Completed {
+			end := v.Deleted
+			if end > tr.Horizon {
+				end = tr.Horizon
+			}
+			life = float64(end - v.Created)
+		}
+		dep := sizes[key{v.Subscription, v.Region, int64(v.Created) / (24 * 60)}]
+		row := []float64{
+			vs[i].AvgCPU, vs[i].P95MaxCPU, float64(v.Cores), v.MemoryGB,
+			life, float64(dep), class,
+		}
+		for c, x := range row {
+			cols[c] = append(cols[c], x)
+		}
+	}
+	if len(cols[0]) < 2 {
+		return nil, errors.New("charz: too few complete VMs for correlations")
+	}
+	m := &CorrelationMatrix{Names: names, Rho: make([][]float64, len(names))}
+	for a := range names {
+		m.Rho[a] = make([]float64, len(names))
+		for b := range names {
+			rho, err := stats.Spearman(cols[a], cols[b])
+			if err != nil {
+				return nil, err
+			}
+			m.Rho[a][b] = rho
+		}
+	}
+	return m, nil
+}
+
+// ConsistencyReport summarizes the per-subscription perspective: for each
+// metric, the fraction of subscriptions (with at least MinVMs VMs) whose
+// coefficient of variation is below 1.
+type ConsistencyReport struct {
+	MinVMs        int
+	Subscriptions int
+	// CoVBelow1 maps metric name to the fraction of subscriptions with
+	// CoV < 1.
+	CoVBelow1 map[string]float64
+	// SingleType is the fraction of subscriptions whose VMs are all one
+	// type (the paper reports 96%).
+	SingleType float64
+	// SingleClass is the fraction of subscriptions with long-running VMs
+	// dominated (>75%) by one workload class (the paper reports 76%).
+	SingleClass float64
+	// LongRunnerCoreHourShare is the core-hour share of VMs that ran
+	// longer than a day (the paper: the relatively few long-running VMs
+	// account for >95% of core hours).
+	LongRunnerCoreHourShare float64
+	// ClassifiedCoreHourShare is the core-hour share of VMs that lived at
+	// least 3 days and therefore have a workload class (the paper: 94%).
+	ClassifiedCoreHourShare float64
+}
+
+// Consistency computes the per-subscription statistics quoted throughout
+// Section 3.
+func Consistency(tr *trace.Trace, vs []VMStat, minVMs int) (*ConsistencyReport, error) {
+	if minVMs < 2 {
+		minVMs = 2
+	}
+	type acc struct {
+		avg, p95, cores, mem, lifetimes []float64
+		types                           map[trace.VMType]bool
+		classCounts                     [3]int
+	}
+	subs := make(map[string]*acc)
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		a := subs[v.Subscription]
+		if a == nil {
+			a = &acc{types: make(map[trace.VMType]bool)}
+			subs[v.Subscription] = a
+		}
+		a.avg = append(a.avg, vs[i].AvgCPU)
+		a.p95 = append(a.p95, vs[i].P95MaxCPU)
+		a.cores = append(a.cores, float64(v.Cores))
+		a.mem = append(a.mem, v.MemoryGB)
+		if vs[i].Completed {
+			a.lifetimes = append(a.lifetimes, vs[i].LifetimeMin)
+		}
+		a.types[v.Type] = true
+		a.classCounts[int(vs[i].Class)]++
+	}
+
+	rep := &ConsistencyReport{
+		MinVMs:    minVMs,
+		CoVBelow1: make(map[string]float64),
+	}
+	counts := map[string][2]int{} // metric → {below-1, eligible}
+	singleType, singleClass, classEligible := 0, 0, 0
+	for _, a := range subs {
+		if len(a.avg) >= minVMs {
+			rep.Subscriptions++
+		}
+		if len(a.types) == 1 {
+			singleType++
+		}
+		// Single-class dominance among classified VMs.
+		classified := a.classCounts[int(fftperiod.ClassDelayInsensitive)] +
+			a.classCounts[int(fftperiod.ClassInteractive)]
+		if classified > 0 {
+			classEligible++
+			for _, c := range []fftperiod.Class{fftperiod.ClassDelayInsensitive, fftperiod.ClassInteractive} {
+				if float64(a.classCounts[int(c)]) > 0.75*float64(classified) {
+					singleClass++
+					break
+				}
+			}
+		}
+		for name, xs := range map[string][]float64{
+			"avg util": a.avg, "p95 util": a.p95, "cores": a.cores,
+			"memory": a.mem, "lifetime": a.lifetimes,
+		} {
+			if len(xs) < minVMs {
+				continue
+			}
+			cv, err := stats.CoV(xs)
+			if err != nil {
+				return nil, err
+			}
+			c := counts[name]
+			c[1]++
+			if cv < 1 {
+				c[0]++
+			}
+			counts[name] = c
+		}
+	}
+	for name, c := range counts {
+		if c[1] > 0 {
+			rep.CoVBelow1[name] = float64(c[0]) / float64(c[1])
+		}
+	}
+	rep.SingleType = float64(singleType) / float64(len(subs))
+	if classEligible > 0 {
+		rep.SingleClass = float64(singleClass) / float64(classEligible)
+	}
+
+	var longCH, classifiedCH, totalCH float64
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		ch := vs[i].CoreHours
+		totalCH += ch
+		end := v.Deleted
+		if end > tr.Horizon {
+			end = tr.Horizon
+		}
+		if end-v.Created > 1440 {
+			longCH += ch
+		}
+		if vs[i].Class != fftperiod.ClassUnknown {
+			classifiedCH += ch
+		}
+	}
+	if totalCH > 0 {
+		rep.LongRunnerCoreHourShare = longCH / totalCH
+		rep.ClassifiedCoreHourShare = classifiedCH / totalCH
+	}
+	return rep, nil
+}

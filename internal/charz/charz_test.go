@@ -1,0 +1,340 @@
+package charz
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+var (
+	once    sync.Once
+	chTrace *trace.Trace
+	chStats []VMStat
+	chErr   error
+)
+
+func fixture(t *testing.T) (*trace.Trace, []VMStat) {
+	t.Helper()
+	once.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 33
+		cfg.TargetVMs = 8000
+		cfg.MaxDeploymentVMs = 250
+		cfg.Seed = 33
+		res, err := synth.Generate(cfg)
+		if err != nil {
+			chErr = err
+			return
+		}
+		chTrace = res.Trace
+		chStats, chErr = ComputeVMStats(chTrace, nil)
+	})
+	if chErr != nil {
+		t.Fatal(chErr)
+	}
+	return chTrace, chStats
+}
+
+func TestComputeVMStatsErrors(t *testing.T) {
+	if _, err := ComputeVMStats(&trace.Trace{}, nil); err == nil {
+		t.Error("expected error on empty trace")
+	}
+}
+
+// Figure 1: ~60% of VMs below 20% average utilization; ~40% below 50% at
+// the 95th percentile; first-party utilization lower than third-party.
+func TestFig1UtilizationCDFs(t *testing.T) {
+	tr, vs := fixture(t)
+	pairs, err := UtilizationCDFs(tr, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("groups = %d", len(pairs))
+	}
+	byGroup := map[Group]CDFPair{}
+	for _, p := range pairs {
+		byGroup[p.Group] = p
+	}
+	all := byGroup[All]
+	if got := all.Avg.At(20); math.Abs(got-0.60) > 0.15 {
+		t.Errorf("P(avg<=20%%) = %.3f, paper ~0.60", got)
+	}
+	if got := all.P95.At(50); math.Abs(got-0.40) > 0.15 {
+		t.Errorf("P(p95<=50%%) = %.3f, paper ~0.40", got)
+	}
+	// First-party lower utilization: its CDF dominates third-party's.
+	if byGroup[First].Avg.At(20) <= byGroup[Third].Avg.At(20) {
+		t.Errorf("first-party avg CDF (%.3f) not above third-party (%.3f) at 20%%",
+			byGroup[First].Avg.At(20), byGroup[Third].Avg.At(20))
+	}
+	// A large share of VMs needs >80% at the 95th percentile.
+	if got := 1 - all.P95.At(80); got < 0.25 {
+		t.Errorf("P(p95>80%%) = %.3f, paper reports a large share", got)
+	}
+}
+
+// Figure 2: ~80% of VMs use 1-2 cores; shares sum to 1.
+func TestFig2CoreBuckets(t *testing.T) {
+	tr, _ := fixture(t)
+	b := CoreBuckets(tr)
+	for _, g := range Groups {
+		sum := 0.0
+		for _, s := range b.Share[g] {
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v shares sum to %v", g, sum)
+		}
+	}
+	small := b.Share[All][0] + b.Share[All][1]
+	if math.Abs(small-0.80) > 0.12 {
+		t.Errorf("1-2 core share = %.3f, paper ~0.80", small)
+	}
+}
+
+// Figure 3: ~70% of VMs below 4 GB.
+func TestFig3MemoryBuckets(t *testing.T) {
+	tr, _ := fixture(t)
+	b := MemoryBuckets(tr)
+	lowMem := b.Share[All][0] + b.Share[All][1] + b.Share[All][2] // 0.75+1.75+3.5
+	if math.Abs(lowMem-0.70) > 0.13 {
+		t.Errorf("<4GB share = %.3f, paper ~0.70", lowMem)
+	}
+	if len(b.Labels) != len(b.Share[All]) {
+		t.Error("labels/share length mismatch")
+	}
+}
+
+// Figure 4: ~40% single-VM deployments; ~80% at most 5 VMs.
+func TestFig4DeploymentSizeCDF(t *testing.T) {
+	tr, _ := fixture(t)
+	cdfs, err := DeploymentSizeCDF(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all *GroupCDF
+	for i := range cdfs {
+		if cdfs[i].Group == All {
+			all = &cdfs[i]
+		}
+	}
+	if all == nil {
+		t.Fatal("no all-group CDF")
+	}
+	// The subscription-region-day merge makes this statistic sensitive to
+	// trace scale: daily-active subscriptions absorb their single-VM
+	// deployments into one group. Enforce a broad band around the paper's
+	// ~0.40.
+	if got := all.CDF.At(1); got < 0.18 || got > 0.62 {
+		t.Errorf("P(size=1) = %.3f, paper ~0.40", got)
+	}
+	if got := all.CDF.At(5); got < 0.60 {
+		t.Errorf("P(size<=5) = %.3f, paper ~0.80", got)
+	}
+}
+
+// Figure 5: >90% of lifetimes shorter than a day; the curve flattens
+// beyond; first-party has more very short VMs.
+func TestFig5LifetimeCDF(t *testing.T) {
+	tr, vs := fixture(t)
+	cdfs, err := LifetimeCDF(tr, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all, first, third *GroupCDF
+	for i := range cdfs {
+		switch cdfs[i].Group {
+		case All:
+			all = &cdfs[i]
+		case First:
+			first = &cdfs[i]
+		case Third:
+			third = &cdfs[i]
+		}
+	}
+	if got := all.CDF.At(1440); got < 0.85 {
+		t.Errorf("P(lifetime<=1day) = %.3f, paper >0.90", got)
+	}
+	if first.CDF.At(15) <= third.CDF.At(15) {
+		t.Errorf("first-party short-VM share (%.3f) not above third-party (%.3f)",
+			first.CDF.At(15), third.CDF.At(15))
+	}
+}
+
+// Figure 6: delay-insensitive VMs consume most core-hours (~68%),
+// interactive a significant share (~28%).
+func TestFig6WorkloadClassShares(t *testing.T) {
+	tr, vs := fixture(t)
+	shares := WorkloadClassShares(tr, vs)
+	var all ClassShares
+	for _, s := range shares {
+		if s.Group == All {
+			all = s
+		}
+	}
+	if all.DelayInsensitive < 0.45 {
+		t.Errorf("delay-insensitive share = %.3f, paper ~0.68", all.DelayInsensitive)
+	}
+	if all.Interactive < 0.08 || all.Interactive > 0.45 {
+		t.Errorf("interactive share = %.3f, paper ~0.28", all.Interactive)
+	}
+	total := all.DelayInsensitive + all.Interactive + all.Unknown
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v", total)
+	}
+}
+
+// Figure 7: diurnal arrivals with weekend dip, heavy-tailed Weibull gaps.
+func TestFig7Arrivals(t *testing.T) {
+	tr, _ := fixture(t)
+	rep, err := ArrivalSeries(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Hourly) != int(tr.Horizon/60) {
+		t.Fatalf("hourly length = %d", len(rep.Hourly))
+	}
+	if rep.Weibull.K <= 0 || rep.Weibull.K >= 1.05 {
+		t.Errorf("Weibull shape = %.3f, want heavy-tailed (<1)", rep.Weibull.K)
+	}
+	if rep.KS > 0.15 {
+		t.Errorf("Weibull KS = %.3f, paper reports a near-perfect fit", rep.KS)
+	}
+	// Region filter returns a subset.
+	region, err := ArrivalSeries(tr, tr.VMs[0].Region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalAll, totalRegion := 0, 0
+	for i := range rep.Hourly {
+		totalAll += rep.Hourly[i]
+		totalRegion += region.Hourly[i]
+	}
+	if totalRegion <= 0 || totalRegion >= totalAll {
+		t.Errorf("region arrivals %d not a strict subset of %d", totalRegion, totalAll)
+	}
+}
+
+// Figure 8: structural relationships — cores strongly correlate with
+// memory, avg with p95 utilization; diagonal is 1.
+func TestFig8Correlations(t *testing.T) {
+	tr, vs := fixture(t)
+	m, err := Correlations(tr, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, n := range m.Names {
+		idx[n] = i
+	}
+	for i := range m.Names {
+		if math.Abs(m.Rho[i][i]-1) > 1e-9 {
+			t.Errorf("diagonal %s = %v", m.Names[i], m.Rho[i][i])
+		}
+		for j := range m.Names {
+			if math.Abs(m.Rho[i][j]-m.Rho[j][i]) > 1e-9 {
+				t.Error("matrix not symmetric")
+			}
+		}
+	}
+	if rho := m.Rho[idx["cores"]][idx["memory"]]; rho < 0.6 {
+		t.Errorf("cores-memory rho = %.3f, paper strongly positive", rho)
+	}
+	if rho := m.Rho[idx["avg util"]][idx["p95 util"]]; rho < 0.5 {
+		t.Errorf("avg-p95 rho = %.3f, paper strongly positive", rho)
+	}
+	if rho := m.Rho[idx["class"]][idx["lifetime"]]; rho < 0 {
+		t.Errorf("class-lifetime rho = %.3f, paper lightly positive", rho)
+	}
+}
+
+// Per-subscription consistency (Sections 3.2-3.6).
+func TestConsistencyReport(t *testing.T) {
+	tr, vs := fixture(t)
+	rep, err := Consistency(tr, vs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SingleType < 0.90 {
+		t.Errorf("single-type share = %.3f, paper 0.96", rep.SingleType)
+	}
+	if rep.CoVBelow1["avg util"] < 0.75 {
+		t.Errorf("avg util CoV<1 share = %.3f, paper ~0.80", rep.CoVBelow1["avg util"])
+	}
+	if rep.CoVBelow1["cores"] < 0.85 {
+		t.Errorf("cores CoV<1 share = %.3f, paper ~all", rep.CoVBelow1["cores"])
+	}
+	if rep.CoVBelow1["lifetime"] < 0.60 {
+		t.Errorf("lifetime CoV<1 share = %.3f, paper ~0.75", rep.CoVBelow1["lifetime"])
+	}
+	if rep.SingleClass < 0.70 {
+		t.Errorf("single-class share = %.3f, paper 0.76", rep.SingleClass)
+	}
+}
+
+func TestGroupStrings(t *testing.T) {
+	if All.String() != "all" || First.String() != "first-party" || Third.String() != "third-party" {
+		t.Error("group strings wrong")
+	}
+}
+
+func TestUtilizationCDFsLengthMismatch(t *testing.T) {
+	tr, _ := fixture(t)
+	if _, err := UtilizationCDFs(tr, nil); err == nil {
+		t.Error("expected error for stats/VM mismatch")
+	}
+}
+
+func TestCorrelationsPerGroup(t *testing.T) {
+	tr, vs := fixture(t)
+	for _, g := range Groups {
+		m, err := CorrelationsGroup(tr, vs, g)
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		for i := range m.Names {
+			if math.Abs(m.Rho[i][i]-1) > 1e-9 {
+				t.Errorf("%v: diagonal %s = %v", g, m.Names[i], m.Rho[i][i])
+			}
+		}
+	}
+	// Group matrices must differ from each other somewhere (the paper
+	// highlights first- vs third-party differences).
+	first, err := CorrelationsGroup(tr, vs, First)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := CorrelationsGroup(tr, vs, Third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for i := range first.Names {
+		for j := range first.Names {
+			if math.Abs(first.Rho[i][j]-third.Rho[i][j]) > 0.05 {
+				differ = true
+			}
+		}
+	}
+	if !differ {
+		t.Error("first- and third-party correlation matrices identical")
+	}
+}
+
+func TestCoreHourConcentration(t *testing.T) {
+	tr, vs := fixture(t)
+	rep, err := Consistency(tr, vs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LongRunnerCoreHourShare < 0.75 {
+		t.Errorf("long-runner core-hour share = %.3f, paper >0.95", rep.LongRunnerCoreHourShare)
+	}
+	if rep.ClassifiedCoreHourShare < 0.70 {
+		t.Errorf("classified core-hour share = %.3f, paper 0.94", rep.ClassifiedCoreHourShare)
+	}
+}

@@ -1,0 +1,54 @@
+// Package cli carries the flag plumbing shared by the command-line tools:
+// every tool consumes a workload trace that either comes from a CSV file
+// (written by rcgen) or is synthesized on the fly.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// TraceSource holds the common trace-selection flags.
+type TraceSource struct {
+	Path string
+	Days int
+	VMs  int
+	Seed uint64
+}
+
+// RegisterFlags installs the shared flags on fs.
+func (s *TraceSource) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&s.Path, "trace", "", "trace CSV produced by rcgen (empty = synthesize)")
+	fs.IntVar(&s.Days, "days", 30, "synthetic trace length in days")
+	fs.IntVar(&s.VMs, "vms", 30000, "synthetic trace target VM count")
+	fs.Uint64Var(&s.Seed, "seed", 1, "synthetic trace seed")
+}
+
+// Load returns the trace from the file or the generator.
+func (s *TraceSource) Load() (*trace.Trace, error) {
+	if s.Path != "" {
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return nil, fmt.Errorf("open trace: %w", err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("parse trace %s: %w", s.Path, err)
+		}
+		return tr, nil
+	}
+	cfg := synth.DefaultConfig()
+	cfg.Days = s.Days
+	cfg.TargetVMs = s.VMs
+	cfg.Seed = s.Seed
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}

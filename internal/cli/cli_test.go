@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"resourcecentral/internal/trace"
+)
+
+func TestRegisterFlagsDefaults(t *testing.T) {
+	var src TraceSource
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	src.RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if src.Days != 30 || src.VMs != 30000 || src.Seed != 1 || src.Path != "" {
+		t.Errorf("defaults = %+v", src)
+	}
+}
+
+func TestLoadSynthesizes(t *testing.T) {
+	src := TraceSource{Days: 5, VMs: 500, Seed: 3}
+	tr, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.VMs) == 0 {
+		t.Fatal("no VMs synthesized")
+	}
+	if tr.Horizon != 5*24*60 {
+		t.Errorf("horizon = %d", tr.Horizon)
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	src := TraceSource{Days: 4, VMs: 300, Seed: 9}
+	orig, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fileSrc := TraceSource{Path: path}
+	got, err := fileSrc.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != len(orig.VMs) {
+		t.Errorf("loaded %d VMs, want %d", len(got.VMs), len(orig.VMs))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := (&TraceSource{Path: "/nonexistent/trace.csv"}).Load(); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,trace\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&TraceSource{Path: bad}).Load(); err == nil {
+		t.Error("expected error for malformed trace")
+	}
+	if _, err := (&TraceSource{Days: 0, VMs: 10}).Load(); err == nil {
+		t.Error("expected error for invalid synth config")
+	}
+}

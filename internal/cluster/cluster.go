@@ -1,0 +1,430 @@
+// Package cluster models an Azure-style server cluster and the rule-chain
+// VM scheduler of Section 5, including the CPU-oversubscription rule of
+// Algorithm 1 in both its hard and soft variants, with the bookkeeping
+// functions PlaceVM and VMCompleted.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"resourcecentral/internal/trace"
+)
+
+// Kind tags a server's oversubscription group (Algorithm 1 logically
+// splits servers into oversubscribable and non-oversubscribable; empty
+// servers are untagged until their first placement).
+type Kind int
+
+// Server kinds.
+const (
+	Empty Kind = iota
+	Oversubscribable
+	NonOversubscribable
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Oversubscribable:
+		return "oversubscribable"
+	case NonOversubscribable:
+		return "non-oversubscribable"
+	default:
+		return "empty"
+	}
+}
+
+// Server is one physical server's scheduler-visible state.
+type Server struct {
+	ID          int
+	FaultDomain int
+	Cores       int
+	MemoryGB    float64
+
+	Kind Kind
+	// AllocCores is the sum of placed VMs' core allocations (V.alloc).
+	AllocCores int
+	// AllocMemGB is the sum of placed VMs' memory allocations.
+	AllocMemGB float64
+	// PredUtilCores is the sum of placed VMs' predicted 95th-percentile
+	// utilizations in core units (c.util in Algorithm 1); only maintained
+	// on oversubscribable servers.
+	PredUtilCores float64
+
+	vmCount int
+	// sumPredEnd accumulates placed VMs' predicted completion times (for
+	// the lifetime-aware co-location rule); predEndCount tracks how many
+	// carried a prediction.
+	sumPredEnd   float64
+	predEndCount int
+}
+
+// MeanPredEnd returns the mean predicted completion time of the VMs on
+// the server, and ok=false when none carried a prediction.
+func (s *Server) MeanPredEnd() (trace.Minutes, bool) {
+	if s.predEndCount == 0 {
+		return 0, false
+	}
+	return trace.Minutes(s.sumPredEnd / float64(s.predEndCount)), true
+}
+
+// Empty reports whether no VM is placed (c.alloc == 0 in Algorithm 1).
+func (s *Server) Empty() bool { return s.AllocCores == 0 && s.vmCount == 0 }
+
+// VMCount returns the number of VMs currently placed.
+func (s *Server) VMCount() int { return s.vmCount }
+
+// Request is one VM placement request with its prediction-derived
+// utilization estimate.
+type Request struct {
+	VM *trace.VM
+	// Production mirrors the prod/non-prod annotation (V.type in
+	// Algorithm 1); only non-production VMs oversubscribe.
+	Production bool
+	// PredUtilCores is the VM's estimated 95th-percentile utilization in
+	// core units (V.util = Highest_Util_in_Bucket[pred] * V.alloc); for a
+	// low-confidence or missing prediction the caller must set it to the
+	// full allocation.
+	PredUtilCores float64
+	// Deployment is used by the spreading rule.
+	Deployment string
+	// PredEndTime is the predicted completion time (creation time plus
+	// the predicted lifetime bucket's upper bound); zero means no
+	// prediction. Used only when the cluster's lifetime-aware co-location
+	// rule is enabled.
+	PredEndTime trace.Minutes
+}
+
+// Policy selects the scheduler variant compared in Section 6.2.
+type Policy int
+
+// Policies.
+const (
+	// Baseline: no oversubscription, no production/non-production
+	// distinction.
+	Baseline Policy = iota
+	// Naive: CPU oversubscription up to MaxOversub but no utilization
+	// check (no predictions).
+	Naive
+	// RCHard: Algorithm 1 as a hard rule — the utilization check can
+	// cause scheduling failures.
+	RCHard
+	// RCSoft: the utilization check is best-effort; if it would eliminate
+	// every server that has the resources, it is disregarded.
+	RCSoft
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case Naive:
+		return "naive"
+	case RCHard:
+		return "rc-informed-hard"
+	case RCSoft:
+		return "rc-informed-soft"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes the cluster and scheduler.
+type Config struct {
+	Servers        int
+	CoresPerServer int
+	MemGBPerServer float64
+	FaultDomains   int
+	Policy         Policy
+	// MaxOversub is the allowed virtual-to-physical core ratio on
+	// oversubscribable servers (the paper's default is 1.25).
+	MaxOversub float64
+	// MaxUtil is the target maximum physical utilization as a fraction of
+	// capacity (the paper's default is 1.0).
+	MaxUtil float64
+	// LifetimeAware enables the Section 4.1 co-location extension: a soft
+	// rule that prefers servers whose VMs are predicted to terminate
+	// around the same time as the new VM, so servers drain completely and
+	// maintenance needs no live migration.
+	LifetimeAware bool
+}
+
+// Cluster is the scheduler plus its server fleet.
+type Cluster struct {
+	cfg     Config
+	Servers []*Server
+	// placement remembers which server each VM landed on.
+	placement map[int64]*Server
+	// deployDomains counts VMs per (deployment, fault domain) for the
+	// spreading rule.
+	deployDomains map[string][]int
+}
+
+// New builds an idle cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Servers <= 0 || cfg.CoresPerServer <= 0 || cfg.MemGBPerServer <= 0 {
+		return nil, fmt.Errorf("cluster: invalid shape %d x %d cores x %v GB",
+			cfg.Servers, cfg.CoresPerServer, cfg.MemGBPerServer)
+	}
+	if cfg.FaultDomains <= 0 {
+		cfg.FaultDomains = 5
+	}
+	if cfg.MaxOversub <= 0 {
+		cfg.MaxOversub = 1.25
+	}
+	if cfg.MaxUtil <= 0 {
+		cfg.MaxUtil = 1.0
+	}
+	c := &Cluster{
+		cfg:           cfg,
+		placement:     make(map[int64]*Server),
+		deployDomains: make(map[string][]int),
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		c.Servers = append(c.Servers, &Server{
+			ID:          i,
+			FaultDomain: i % cfg.FaultDomains,
+			Cores:       cfg.CoresPerServer,
+			MemoryGB:    cfg.MemGBPerServer,
+		})
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Schedule runs the rule chain for the request and, on success, places
+// the VM (PlaceVM bookkeeping included). It returns the chosen server, or
+// ok=false for a scheduling failure.
+func (c *Cluster) Schedule(req *Request) (*Server, bool) {
+	candidates := c.selectCandidates(req)
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	// Soft spreading rule: prefer fault domains not already hosting a VM
+	// of this deployment.
+	candidates = c.spreadRule(req, candidates)
+	// Soft lifetime co-location rule (Section 4.1 extension): prefer
+	// servers whose VMs terminate around the same predicted time.
+	if c.cfg.LifetimeAware && req.PredEndTime > 0 {
+		candidates = c.lifetimeRule(req, candidates)
+	}
+	// Soft packing rule: fill used servers before empty ones, tightest
+	// first, so empty servers stay free for the other group.
+	best := candidates[0]
+	for _, s := range candidates[1:] {
+		if packingBetter(s, best) {
+			best = s
+		}
+	}
+	c.PlaceVM(req, best)
+	return best, true
+}
+
+// lifetimeRule keeps the candidates whose mean predicted completion time
+// is within one lifetime-bucket-scale window of the request's, falling
+// back to all candidates if none qualifies (soft rule). Servers without
+// predictions (or empty ones) always qualify.
+func (c *Cluster) lifetimeRule(req *Request, candidates []*Server) []*Server {
+	const window = 24 * 60 // minutes; the paper's lifetime knee is 1 day
+	var out []*Server
+	for _, s := range candidates {
+		mean, ok := s.MeanPredEnd()
+		if !ok {
+			out = append(out, s)
+			continue
+		}
+		d := int64(mean - req.PredEndTime)
+		if d < 0 {
+			d = -d
+		}
+		if d <= window {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return candidates
+	}
+	return out
+}
+
+// packingBetter orders candidate servers: non-empty before empty, then
+// higher core allocation (tighter packing), then lower ID for determinism.
+func packingBetter(a, b *Server) bool {
+	if (a.AllocCores > 0) != (b.AllocCores > 0) {
+		return a.AllocCores > 0
+	}
+	if a.AllocCores != b.AllocCores {
+		return a.AllocCores > b.AllocCores
+	}
+	return a.ID < b.ID
+}
+
+// selectCandidates implements SELECTCANDIDATESERVERS of Algorithm 1 (and
+// the Baseline/Naive variants of Section 6.2).
+func (c *Cluster) selectCandidates(req *Request) []*Server {
+	var out []*Server
+	switch c.cfg.Policy {
+	case Baseline:
+		for _, s := range c.Servers {
+			if c.fitsBasic(s, req, 1.0) {
+				out = append(out, s)
+			}
+		}
+	case Naive:
+		// Oversubscribe non-production VMs by allocation alone.
+		if req.Production {
+			return c.prodCandidates(req)
+		}
+		for _, s := range c.Servers {
+			if (s.Kind == Oversubscribable || s.Empty()) && c.fitsBasic(s, req, c.cfg.MaxOversub) {
+				out = append(out, s)
+			}
+		}
+	case RCHard, RCSoft:
+		if req.Production {
+			return c.prodCandidates(req)
+		}
+		// Hard part: allocation fit under the oversubscription cap.
+		var allocFit []*Server
+		for _, s := range c.Servers {
+			if (s.Kind == Oversubscribable || s.Empty()) && c.fitsBasic(s, req, c.cfg.MaxOversub) {
+				allocFit = append(allocFit, s)
+			}
+		}
+		// Utilization check (lines 15-17 of Algorithm 1).
+		maxUtil := c.cfg.MaxUtil * float64(c.cfg.CoresPerServer)
+		for _, s := range allocFit {
+			if s.PredUtilCores+req.PredUtilCores <= maxUtil {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 && c.cfg.Policy == RCSoft {
+			// Soft rule: disregarded when it would exclude every server
+			// that has the resources.
+			out = allocFit
+		}
+	}
+	return out
+}
+
+// prodCandidates lists servers eligible for a production VM: empty or
+// non-oversubscribable, with un-oversubscribed allocation headroom
+// (lines 4-7 of Algorithm 1).
+func (c *Cluster) prodCandidates(req *Request) []*Server {
+	var out []*Server
+	for _, s := range c.Servers {
+		if (s.Kind == NonOversubscribable || s.Empty()) && c.fitsBasic(s, req, 1.0) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// fitsBasic checks core (scaled by the oversubscription factor) and
+// memory headroom.
+func (c *Cluster) fitsBasic(s *Server, req *Request, coreFactor float64) bool {
+	if float64(s.AllocCores+req.VM.Cores) > coreFactor*float64(s.Cores) {
+		return false
+	}
+	return s.AllocMemGB+req.VM.MemoryGB <= s.MemoryGB
+}
+
+// spreadRule keeps only servers in fault domains hosting the fewest VMs
+// of this deployment; it is soft by construction (never empties the set).
+func (c *Cluster) spreadRule(req *Request, candidates []*Server) []*Server {
+	counts := c.deployDomains[req.Deployment]
+	if counts == nil {
+		return candidates
+	}
+	best := -1
+	for _, s := range candidates {
+		n := counts[s.FaultDomain]
+		if best == -1 || n < best {
+			best = n
+		}
+	}
+	out := candidates[:0]
+	for _, s := range candidates {
+		if counts[s.FaultDomain] == best {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PlaceVM applies the bookkeeping of Algorithm 1: tag empty servers by the
+// VM's production annotation, then charge allocation and predicted
+// utilization.
+func (c *Cluster) PlaceVM(req *Request, s *Server) {
+	if s.Empty() {
+		if req.Production {
+			s.Kind = NonOversubscribable
+		} else {
+			s.Kind = Oversubscribable
+		}
+	}
+	s.AllocCores += req.VM.Cores
+	s.AllocMemGB += req.VM.MemoryGB
+	s.vmCount++
+	if s.Kind == Oversubscribable {
+		s.PredUtilCores += req.PredUtilCores
+	}
+	if req.PredEndTime > 0 {
+		s.sumPredEnd += float64(req.PredEndTime)
+		s.predEndCount++
+	}
+	c.placement[req.VM.ID] = s
+	counts := c.deployDomains[req.Deployment]
+	if counts == nil {
+		counts = make([]int, c.cfg.FaultDomains)
+		c.deployDomains[req.Deployment] = counts
+	}
+	counts[s.FaultDomain]++
+}
+
+// VMCompleted releases the VM's resources (Algorithm 1's bookkeeping). It
+// returns the server the VM ran on.
+func (c *Cluster) VMCompleted(req *Request) (*Server, error) {
+	s, ok := c.placement[req.VM.ID]
+	if !ok {
+		return nil, fmt.Errorf("cluster: VM %d was never placed", req.VM.ID)
+	}
+	delete(c.placement, req.VM.ID)
+	s.AllocCores -= req.VM.Cores
+	s.AllocMemGB -= req.VM.MemoryGB
+	s.vmCount--
+	if s.Kind == Oversubscribable {
+		s.PredUtilCores -= req.PredUtilCores
+		if s.PredUtilCores < 1e-9 {
+			s.PredUtilCores = 0
+		}
+	}
+	if req.PredEndTime > 0 {
+		s.sumPredEnd -= float64(req.PredEndTime)
+		s.predEndCount--
+		if s.predEndCount <= 0 {
+			s.sumPredEnd, s.predEndCount = 0, 0
+		}
+	}
+	if s.AllocCores < 0 || s.AllocMemGB < -1e-9 || s.vmCount < 0 {
+		return nil, errors.New("cluster: negative allocation after release")
+	}
+	if s.Empty() {
+		s.Kind = Empty // server can be re-tagged by its next VM
+	}
+	counts := c.deployDomains[req.Deployment]
+	if counts != nil {
+		counts[s.FaultDomain]--
+	}
+	return s, nil
+}
+
+// ServerOf returns the server currently hosting the VM.
+func (c *Cluster) ServerOf(vmID int64) (*Server, bool) {
+	s, ok := c.placement[vmID]
+	return s, ok
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"testing"
+
+	"resourcecentral/internal/trace"
+)
+
+func testConfig(policy Policy) Config {
+	return Config{
+		Servers:        4,
+		CoresPerServer: 16,
+		MemGBPerServer: 112,
+		FaultDomains:   2,
+		Policy:         policy,
+		MaxOversub:     1.25,
+		MaxUtil:        1.0,
+	}
+}
+
+var nextID int64
+
+func req(cores int, memGB float64, prod bool, predCores float64) *Request {
+	nextID++
+	return &Request{
+		VM:            &trace.VM{ID: nextID, Cores: cores, MemoryGB: memGB},
+		Production:    prod,
+		PredUtilCores: predCores,
+		Deployment:    "dep",
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected error for zero shape")
+	}
+	c, err := New(testConfig(Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Servers) != 4 {
+		t.Errorf("servers = %d", len(c.Servers))
+	}
+}
+
+func TestBaselinePlacesUntilFull(t *testing.T) {
+	c, _ := New(testConfig(Baseline))
+	placed := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Schedule(req(4, 7, true, 4)); ok {
+			placed++
+		}
+	}
+	// 4 servers x 16 cores / 4 cores per VM = 16 VMs.
+	if placed != 16 {
+		t.Errorf("placed %d VMs, want 16 (no oversubscription)", placed)
+	}
+}
+
+func TestBaselineMemoryBound(t *testing.T) {
+	c, _ := New(testConfig(Baseline))
+	placed := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Schedule(req(1, 56, true, 1)); ok {
+			placed++
+		}
+	}
+	// Memory binds first: 112/56 = 2 VMs per server.
+	if placed != 8 {
+		t.Errorf("placed %d VMs, want 8 (memory bound)", placed)
+	}
+}
+
+func TestProductionNeverOversubscribed(t *testing.T) {
+	c, _ := New(testConfig(RCHard))
+	placed := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Schedule(req(4, 7, true, 0.4)); ok {
+			placed++
+		}
+	}
+	if placed != 16 {
+		t.Errorf("production VMs placed %d, want 16 (no oversubscription)", placed)
+	}
+}
+
+func TestNonProductionOversubscribedUpToCap(t *testing.T) {
+	c, _ := New(testConfig(RCHard))
+	placed := 0
+	// Each VM predicts only 0.4 cores of P95 utilization: the util check
+	// passes easily; the 125% allocation cap binds.
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Schedule(req(4, 7, false, 0.4)); ok {
+			placed++
+		}
+	}
+	// 16 * 1.25 = 20 cores allocatable → 5 VMs per server → 20 total.
+	if placed != 20 {
+		t.Errorf("placed %d VMs, want 20 (125%% oversubscription)", placed)
+	}
+}
+
+func TestHardUtilizationCheckBlocks(t *testing.T) {
+	c, _ := New(testConfig(RCHard))
+	placed := 0
+	// Predicted utilization equals the full allocation: the MAX_UTIL
+	// check binds at 16 cores → 4 VMs per server, no oversubscription
+	// benefit.
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Schedule(req(4, 7, false, 4)); ok {
+			placed++
+		}
+	}
+	if placed != 16 {
+		t.Errorf("placed %d VMs, want 16 (utilization check binds)", placed)
+	}
+}
+
+func TestSoftUtilizationCheckYields(t *testing.T) {
+	c, _ := New(testConfig(RCSoft))
+	placed := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Schedule(req(4, 7, false, 4)); ok {
+			placed++
+		}
+	}
+	// Soft rule yields when it would exclude every alloc-feasible server:
+	// the 125% cap then binds → 20 placements.
+	if placed != 20 {
+		t.Errorf("placed %d VMs, want 20 (soft rule yields)", placed)
+	}
+}
+
+func TestNaiveIgnoresUtilization(t *testing.T) {
+	c, _ := New(testConfig(Naive))
+	placed := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Schedule(req(4, 7, false, 4)); ok {
+			placed++
+		}
+	}
+	if placed != 20 {
+		t.Errorf("placed %d VMs, want 20 (naive ignores utilization)", placed)
+	}
+}
+
+func TestGroupSegregation(t *testing.T) {
+	c, _ := New(testConfig(RCHard))
+	// First production VM tags a server non-oversubscribable.
+	sProd, ok := c.Schedule(req(2, 3.5, true, 2))
+	if !ok {
+		t.Fatal("production placement failed")
+	}
+	if sProd.Kind != NonOversubscribable {
+		t.Errorf("server kind = %v", sProd.Kind)
+	}
+	// Non-production VM must land elsewhere.
+	sNon, ok := c.Schedule(req(2, 3.5, false, 0.5))
+	if !ok {
+		t.Fatal("non-production placement failed")
+	}
+	if sNon == sProd {
+		t.Error("non-production VM placed on a production server")
+	}
+	if sNon.Kind != Oversubscribable {
+		t.Errorf("server kind = %v", sNon.Kind)
+	}
+}
+
+func TestPackingPrefersUsedServers(t *testing.T) {
+	c, _ := New(testConfig(Baseline))
+	first, _ := c.Schedule(req(2, 3.5, true, 2))
+	second, _ := c.Schedule(req(2, 3.5, true, 2))
+	// The spreading rule may route within the same fault domain; the
+	// second VM (different deployment counts share "dep") should prefer
+	// the already-used server if the domain rule allows.
+	_ = first
+	_ = second
+	used := 0
+	for _, s := range c.Servers {
+		if s.AllocCores > 0 {
+			used++
+		}
+	}
+	if used > 2 {
+		t.Errorf("VMs scattered across %d servers", used)
+	}
+}
+
+func TestSpreadRuleSeparatesDeploymentAcrossDomains(t *testing.T) {
+	cfg := testConfig(Baseline)
+	cfg.Servers = 4
+	cfg.FaultDomains = 2
+	c, _ := New(cfg)
+	domains := map[int]int{}
+	for i := 0; i < 4; i++ {
+		s, ok := c.Schedule(req(2, 3.5, true, 2))
+		if !ok {
+			t.Fatal("placement failed")
+		}
+		domains[s.FaultDomain]++
+	}
+	// 4 VMs of one deployment over 2 domains → 2 per domain.
+	if domains[0] != 2 || domains[1] != 2 {
+		t.Errorf("domain spread = %v, want even", domains)
+	}
+}
+
+func TestVMCompletedReleasesResources(t *testing.T) {
+	c, _ := New(testConfig(RCHard))
+	r := req(4, 7, false, 1.5)
+	s, ok := c.Schedule(r)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if s.AllocCores != 4 || s.PredUtilCores != 1.5 || s.VMCount() != 1 {
+		t.Errorf("after place: %+v", s)
+	}
+	got, err := c.VMCompleted(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Error("completed on wrong server")
+	}
+	if s.AllocCores != 0 || s.PredUtilCores != 0 || !s.Empty() {
+		t.Errorf("after release: %+v", s)
+	}
+	if s.Kind != Empty {
+		t.Errorf("server not re-taggable: %v", s.Kind)
+	}
+	// Double completion is an error.
+	if _, err := c.VMCompleted(r); err == nil {
+		t.Error("expected error for double completion")
+	}
+}
+
+func TestEmptyServerRetagging(t *testing.T) {
+	c, _ := New(testConfig(RCHard))
+	r := req(2, 3.5, false, 0.5)
+	s, _ := c.Schedule(r)
+	if s.Kind != Oversubscribable {
+		t.Fatal("expected oversubscribable tag")
+	}
+	if _, err := c.VMCompleted(r); err != nil {
+		t.Fatal(err)
+	}
+	// Now a production VM can claim the same (empty) server.
+	r2 := req(2, 3.5, true, 2)
+	s2, ok := c.Schedule(r2)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if s2 == s && s2.Kind != NonOversubscribable {
+		t.Errorf("server not retagged: %v", s2.Kind)
+	}
+}
+
+func TestServerOf(t *testing.T) {
+	c, _ := New(testConfig(Baseline))
+	r := req(1, 1.75, true, 1)
+	s, _ := c.Schedule(r)
+	got, ok := c.ServerOf(r.VM.ID)
+	if !ok || got != s {
+		t.Error("ServerOf mismatch")
+	}
+	if _, ok := c.ServerOf(99999); ok {
+		t.Error("ServerOf found unplaced VM")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		Baseline: "baseline", Naive: "naive",
+		RCHard: "rc-informed-hard", RCSoft: "rc-informed-soft",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Empty.String() != "empty" || Oversubscribable.String() != "oversubscribable" ||
+		NonOversubscribable.String() != "non-oversubscribable" {
+		t.Error("kind strings wrong")
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"resourcecentral/internal/trace"
+)
+
+// checkInvariants verifies the cluster's global bookkeeping invariants.
+func checkInvariants(t *testing.T, c *Cluster, live map[int64]*Request) {
+	t.Helper()
+	var allocCores int
+	var allocMem float64
+	vms := 0
+	for _, s := range c.Servers {
+		if s.AllocCores < 0 || s.AllocMemGB < -1e-9 || s.VMCount() < 0 {
+			t.Fatalf("server %d has negative accounting: %+v", s.ID, s)
+		}
+		if s.AllocMemGB > s.MemoryGB+1e-9 {
+			t.Fatalf("server %d memory over capacity: %v > %v", s.ID, s.AllocMemGB, s.MemoryGB)
+		}
+		if float64(s.AllocCores) > c.Config().MaxOversub*float64(s.Cores)+1e-9 {
+			t.Fatalf("server %d cores beyond oversubscription cap: %d", s.ID, s.AllocCores)
+		}
+		if s.Kind == NonOversubscribable && s.AllocCores > s.Cores {
+			t.Fatalf("non-oversubscribable server %d oversubscribed: %d > %d",
+				s.ID, s.AllocCores, s.Cores)
+		}
+		if s.Empty() && s.Kind != Empty {
+			t.Fatalf("empty server %d still tagged %v", s.ID, s.Kind)
+		}
+		if s.PredUtilCores < 0 {
+			t.Fatalf("server %d negative predicted utilization", s.ID)
+		}
+		allocCores += s.AllocCores
+		allocMem += s.AllocMemGB
+		vms += s.VMCount()
+	}
+	var wantCores int
+	var wantMem float64
+	for _, req := range live {
+		wantCores += req.VM.Cores
+		wantMem += req.VM.MemoryGB
+	}
+	if allocCores != wantCores || vms != len(live) {
+		t.Fatalf("global accounting: %d cores / %d vms, want %d / %d",
+			allocCores, vms, wantCores, len(live))
+	}
+	if diff := allocMem - wantMem; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("global memory accounting off by %v", diff)
+	}
+}
+
+// TestQuickClusterInvariants drives random place/complete sequences under
+// every policy and checks the bookkeeping invariants throughout.
+func TestQuickClusterInvariants(t *testing.T) {
+	f := func(seed uint64, policyRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 77))
+		policy := Policy(policyRaw % 4)
+		c, err := New(Config{
+			Servers: 6, CoresPerServer: 16, MemGBPerServer: 112,
+			Policy: policy, MaxOversub: 1.25, MaxUtil: 1.0,
+		})
+		if err != nil {
+			return false
+		}
+		live := make(map[int64]*Request)
+		var id int64
+		for step := 0; step < 300; step++ {
+			if r.Float64() < 0.6 || len(live) == 0 {
+				id++
+				cores := []int{1, 1, 2, 2, 4, 8}[r.IntN(6)]
+				req := &Request{
+					VM: &trace.VM{
+						ID: id, Cores: cores, MemoryGB: float64(cores) * 1.75,
+					},
+					Production:    r.Float64() < 0.7,
+					PredUtilCores: float64(cores) * r.Float64(),
+					Deployment:    []string{"a", "b", "c"}[r.IntN(3)],
+				}
+				if _, ok := c.Schedule(req); ok {
+					live[id] = req
+				}
+			} else {
+				// Complete a random live VM.
+				for vid, req := range live {
+					if _, err := c.VMCompleted(req); err != nil {
+						t.Logf("completion failed: %v", err)
+						return false
+					}
+					delete(live, vid)
+					break
+				}
+			}
+			checkInvariants(t, c, live)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProductionIsolation: under the RC policies, production VMs
+// never share a server with oversubscribed (non-production) VMs.
+func TestQuickProductionIsolation(t *testing.T) {
+	f := func(seed uint64, hard bool) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		policy := RCSoft
+		if hard {
+			policy = RCHard
+		}
+		c, err := New(Config{
+			Servers: 5, CoresPerServer: 16, MemGBPerServer: 112,
+			Policy: policy, MaxOversub: 1.25, MaxUtil: 1.0,
+		})
+		if err != nil {
+			return false
+		}
+		// serverHas[production][serverID]
+		serverHas := map[bool]map[int]bool{true: {}, false: {}}
+		var id int64
+		for step := 0; step < 200; step++ {
+			id++
+			prod := r.Float64() < 0.5
+			req := &Request{
+				VM:            &trace.VM{ID: id, Cores: 1 + r.IntN(4), MemoryGB: 3.5},
+				Production:    prod,
+				PredUtilCores: 0.5,
+				Deployment:    "d",
+			}
+			if s, ok := c.Schedule(req); ok {
+				serverHas[prod][s.ID] = true
+				if serverHas[true][s.ID] && serverHas[false][s.ID] {
+					t.Logf("server %d mixed production and non-production", s.ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

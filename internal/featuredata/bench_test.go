@@ -1,0 +1,38 @@
+package featuredata
+
+import "testing"
+
+func benchRecord() *SubscriptionFeatures {
+	return &SubscriptionFeatures{
+		Subscription:   "sub-third-01234",
+		VMCount:        412,
+		DeployCount:    37,
+		AvgUtilBuckets: [4]float64{0.7, 0.2, 0.08, 0.02},
+		MeanCores:      2.2, MeanMemoryGB: 3.9, IaaSFrac: 0.5,
+	}
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	rec := benchRecord()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRecord(b *testing.B) {
+	data, err := EncodeRecord(benchRecord())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRecord(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

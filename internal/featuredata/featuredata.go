@@ -1,0 +1,331 @@
+// Package featuredata builds and serializes the per-subscription feature
+// data that Resource Central's models consume alongside client inputs
+// (Section 4.2). For every metric the record carries the fraction of the
+// subscription's VMs observed in each prediction bucket to date — the
+// attribute the paper found most important for prediction accuracy — plus
+// scalar aggregates (mean size, type mix, production share).
+package featuredata
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"resourcecentral/internal/fftperiod"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/trace"
+)
+
+// SubscriptionFeatures is the feature-data record of one subscription,
+// summarizing its history up to the build cutoff.
+type SubscriptionFeatures struct {
+	Subscription string
+
+	// VMCount and DeployCount are the history sizes behind the fractions.
+	VMCount     int
+	DeployCount int
+
+	// Per-metric bucket fractions to date (each sums to ~1 when the
+	// corresponding count is non-zero).
+	AvgUtilBuckets    [4]float64
+	P95UtilBuckets    [4]float64
+	LifetimeBuckets   [4]float64
+	DeployVMBuckets   [4]float64
+	DeployCoreBuckets [4]float64
+	// ClassShares over {unknown, delay-insensitive, interactive} of
+	// long-running VMs (>= 3 days of history at the cutoff).
+	ClassShares [3]float64
+
+	// Scalar aggregates.
+	MeanCores       float64
+	MeanMemoryGB    float64
+	IaaSFrac        float64
+	ProdFrac        float64
+	MeanLifetimeMin float64
+	MeanAvgUtil     float64
+	MeanP95Util     float64
+}
+
+// BucketFracs returns the record's bucket-fraction vector for m.
+func (f *SubscriptionFeatures) BucketFracs(m metric.Metric) []float64 {
+	switch m {
+	case metric.AvgCPU:
+		return f.AvgUtilBuckets[:]
+	case metric.P95CPU:
+		return f.P95UtilBuckets[:]
+	case metric.DeploySizeVMs:
+		return f.DeployVMBuckets[:]
+	case metric.DeploySizeCores:
+		return f.DeployCoreBuckets[:]
+	case metric.Lifetime:
+		return f.LifetimeBuckets[:]
+	case metric.WorkloadClass:
+		return f.ClassShares[1:] // delay-insensitive, interactive
+	}
+	return nil
+}
+
+// Build computes feature data from all VMs created before cutoff, using
+// only telemetry visible up to the cutoff (no leakage from the future).
+// det classifies workload class from utilization series; nil uses the
+// default detector.
+func Build(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detector) (map[string]*SubscriptionFeatures, error) {
+	if cutoff <= 0 || cutoff > tr.Horizon {
+		return nil, fmt.Errorf("featuredata: cutoff %d outside (0, %d]", cutoff, tr.Horizon)
+	}
+	if det == nil {
+		det = fftperiod.NewDetector()
+	}
+
+	out := make(map[string]*SubscriptionFeatures)
+	type depAgg struct {
+		sub   string
+		vms   int
+		cores int
+	}
+	deps := make(map[string]*depAgg)
+
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Created >= cutoff {
+			continue
+		}
+		f := out[v.Subscription]
+		if f == nil {
+			f = &SubscriptionFeatures{Subscription: v.Subscription}
+			out[v.Subscription] = f
+		}
+		f.VMCount++
+		f.MeanCores += float64(v.Cores)
+		f.MeanMemoryGB += v.MemoryGB
+		if v.Type == trace.IaaS {
+			f.IaaSFrac++
+		}
+		if v.Production {
+			f.ProdFrac++
+		}
+
+		avg, p95 := trace.SummaryStats(v, cutoff)
+		f.AvgUtilBuckets[metric.AvgCPU.Bucket(avg)]++
+		f.P95UtilBuckets[metric.P95CPU.Bucket(p95)]++
+		f.MeanAvgUtil += avg
+		f.MeanP95Util += p95
+
+		if v.Deleted <= cutoff {
+			life, _ := v.Lifetime()
+			f.LifetimeBuckets[metric.Lifetime.Bucket(float64(life))]++
+			f.MeanLifetimeMin += float64(life)
+		}
+
+		cls, _ := det.Classify(trace.AvgSeries(v, cutoff))
+		switch cls {
+		case fftperiod.ClassDelayInsensitive:
+			f.ClassShares[1]++
+		case fftperiod.ClassInteractive:
+			f.ClassShares[2]++
+		default:
+			f.ClassShares[0]++
+		}
+
+		d := deps[v.Deployment]
+		if d == nil {
+			d = &depAgg{sub: v.Subscription}
+			deps[v.Deployment] = d
+		}
+		d.vms++
+		d.cores += v.Cores
+	}
+
+	for _, d := range deps {
+		f := out[d.sub]
+		f.DeployCount++
+		f.DeployVMBuckets[metric.DeploySizeVMs.Bucket(float64(d.vms))]++
+		f.DeployCoreBuckets[metric.DeploySizeCores.Bucket(float64(d.cores))]++
+	}
+
+	// Normalize counts into fractions.
+	for _, f := range out {
+		n := float64(f.VMCount)
+		f.MeanCores /= n
+		f.MeanMemoryGB /= n
+		f.IaaSFrac /= n
+		f.ProdFrac /= n
+		f.MeanAvgUtil /= n
+		f.MeanP95Util /= n
+		normalize(f.AvgUtilBuckets[:])
+		normalize(f.P95UtilBuckets[:])
+		completed := normalize(f.LifetimeBuckets[:])
+		if completed > 0 {
+			f.MeanLifetimeMin /= completed
+		}
+		normalize(f.ClassShares[:])
+		normalize(f.DeployVMBuckets[:])
+		normalize(f.DeployCoreBuckets[:])
+	}
+	return out, nil
+}
+
+// normalize divides xs by its sum in place and returns the original sum.
+func normalize(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum > 0 {
+		for i := range xs {
+			xs[i] /= sum
+		}
+	}
+	return sum
+}
+
+// --- binary serialization ---
+//
+// Fixed little-endian layout: the paper's store holds one small record per
+// subscription (~850 bytes); this layout is a few hundred bytes.
+
+const recordMagic = uint32(0x52435344) // "RCSD"
+
+// EncodeRecord serializes one record.
+func EncodeRecord(f *SubscriptionFeatures) ([]byte, error) {
+	if f == nil {
+		return nil, errors.New("featuredata: nil record")
+	}
+	var buf bytes.Buffer
+	w := func(v any) {
+		binary.Write(&buf, binary.LittleEndian, v) //nolint:errcheck // bytes.Buffer cannot fail
+	}
+	w(recordMagic)
+	name := []byte(f.Subscription)
+	if len(name) > math.MaxUint16 {
+		return nil, fmt.Errorf("featuredata: subscription name too long (%d bytes)", len(name))
+	}
+	w(uint16(len(name)))
+	buf.Write(name)
+	w(int64(f.VMCount))
+	w(int64(f.DeployCount))
+	for _, arr := range [][]float64{
+		f.AvgUtilBuckets[:], f.P95UtilBuckets[:], f.LifetimeBuckets[:],
+		f.DeployVMBuckets[:], f.DeployCoreBuckets[:], f.ClassShares[:],
+	} {
+		for _, x := range arr {
+			w(x)
+		}
+	}
+	for _, x := range []float64{
+		f.MeanCores, f.MeanMemoryGB, f.IaaSFrac, f.ProdFrac,
+		f.MeanLifetimeMin, f.MeanAvgUtil, f.MeanP95Util,
+	} {
+		w(x)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRecord parses a record produced by EncodeRecord.
+func DecodeRecord(data []byte) (*SubscriptionFeatures, error) {
+	r := bytes.NewReader(data)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("featuredata: truncated record: %w", err)
+	}
+	if magic != recordMagic {
+		return nil, fmt.Errorf("featuredata: bad magic %#x", magic)
+	}
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("featuredata: truncated name: %w", err)
+	}
+	f := &SubscriptionFeatures{Subscription: string(name)}
+	var vmCount, depCount int64
+	if err := binary.Read(r, binary.LittleEndian, &vmCount); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &depCount); err != nil {
+		return nil, err
+	}
+	f.VMCount, f.DeployCount = int(vmCount), int(depCount)
+	for _, arr := range [][]float64{
+		f.AvgUtilBuckets[:], f.P95UtilBuckets[:], f.LifetimeBuckets[:],
+		f.DeployVMBuckets[:], f.DeployCoreBuckets[:], f.ClassShares[:],
+	} {
+		for i := range arr {
+			if err := binary.Read(r, binary.LittleEndian, &arr[i]); err != nil {
+				return nil, fmt.Errorf("featuredata: truncated buckets: %w", err)
+			}
+		}
+	}
+	for _, p := range []*float64{
+		&f.MeanCores, &f.MeanMemoryGB, &f.IaaSFrac, &f.ProdFrac,
+		&f.MeanLifetimeMin, &f.MeanAvgUtil, &f.MeanP95Util,
+	} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("featuredata: truncated scalars: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// EncodeSet serializes a whole feature dataset (order-independent; records
+// are written sorted by subscription for determinism).
+func EncodeSet(set map[string]*SubscriptionFeatures) ([]byte, error) {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(len(keys))) //nolint:errcheck
+	for _, k := range keys {
+		rec, err := EncodeRecord(set[k])
+		if err != nil {
+			return nil, err
+		}
+		binary.Write(&buf, binary.LittleEndian, uint32(len(rec))) //nolint:errcheck
+		buf.Write(rec)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSet parses a dataset produced by EncodeSet.
+func DecodeSet(data []byte) (map[string]*SubscriptionFeatures, error) {
+	r := bytes.NewReader(data)
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("featuredata: truncated set: %w", err)
+	}
+	// Never trust length fields from the wire for allocation sizing: a
+	// corrupted header must not force a multi-gigabyte allocation.
+	hint := int(n)
+	if hint > r.Len() {
+		hint = r.Len()
+	}
+	out := make(map[string]*SubscriptionFeatures, hint)
+	for i := uint32(0); i < n; i++ {
+		var recLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &recLen); err != nil {
+			return nil, fmt.Errorf("featuredata: truncated set at %d: %w", i, err)
+		}
+		if int(recLen) > r.Len() {
+			return nil, fmt.Errorf("featuredata: record %d length %d exceeds remaining input %d",
+				i, recLen, r.Len())
+		}
+		rec := make([]byte, recLen)
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, fmt.Errorf("featuredata: truncated record %d: %w", i, err)
+		}
+		f, err := DecodeRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("featuredata: record %d: %w", i, err)
+		}
+		out[f.Subscription] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,331 @@
+package featuredata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// tinyTrace builds a hand-constructed trace with known statistics.
+func tinyTrace() *trace.Trace {
+	return &trace.Trace{
+		Horizon: 20000,
+		VMs: []trace.VM{
+			// sub-a: two short idle VMs in one deployment.
+			{
+				ID: 1, Subscription: "sub-a", Deployment: "d1", Type: trace.IaaS,
+				Production: true, Cores: 2, MemoryGB: 3.5, Created: 0, Deleted: 10,
+				Util: trace.UtilModel{Kind: trace.UtilIdle, Base: 1, Seed: 1},
+			},
+			{
+				ID: 2, Subscription: "sub-a", Deployment: "d1", Type: trace.IaaS,
+				Production: true, Cores: 2, MemoryGB: 3.5, Created: 0, Deleted: 12,
+				Util: trace.UtilModel{Kind: trace.UtilIdle, Base: 1, Seed: 2},
+			},
+			// sub-b: one long flat-high VM.
+			{
+				ID: 3, Subscription: "sub-b", Deployment: "d2", Type: trace.PaaS,
+				Production: false, Cores: 4, MemoryGB: 7, Created: 0, Deleted: 9000,
+				Util: trace.UtilModel{Kind: trace.UtilFlat, Base: 80, Seed: 3},
+			},
+			// Created after the cutoff used in tests; must be excluded.
+			{
+				ID: 4, Subscription: "sub-a", Deployment: "d3", Type: trace.PaaS,
+				Production: false, Cores: 16, MemoryGB: 112, Created: 15000, Deleted: 16000,
+				Util: trace.UtilModel{Kind: trace.UtilFlat, Base: 50, Seed: 4},
+			},
+		},
+	}
+}
+
+func TestBuildBasic(t *testing.T) {
+	set, err := Build(tinyTrace(), 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("subscriptions = %d, want 2", len(set))
+	}
+	a := set["sub-a"]
+	if a.VMCount != 2 || a.DeployCount != 1 {
+		t.Errorf("sub-a counts = %d VMs, %d deploys", a.VMCount, a.DeployCount)
+	}
+	if a.MeanCores != 2 || a.IaaSFrac != 1 || a.ProdFrac != 1 {
+		t.Errorf("sub-a aggregates: %+v", a)
+	}
+	// Both VMs are idle → avg util bucket 0.
+	if a.AvgUtilBuckets[0] != 1 {
+		t.Errorf("sub-a avg util buckets = %v", a.AvgUtilBuckets)
+	}
+	// Lifetimes 10 and 12 minutes → bucket 0.
+	if a.LifetimeBuckets[0] != 1 {
+		t.Errorf("sub-a lifetime buckets = %v", a.LifetimeBuckets)
+	}
+	if math.Abs(a.MeanLifetimeMin-11) > 1e-9 {
+		t.Errorf("sub-a mean lifetime = %v", a.MeanLifetimeMin)
+	}
+	// Deployment of 2 VMs → VM bucket 1; 4 cores → core bucket 1.
+	if a.DeployVMBuckets[1] != 1 || a.DeployCoreBuckets[1] != 1 {
+		t.Errorf("sub-a deploy buckets = %v / %v", a.DeployVMBuckets, a.DeployCoreBuckets)
+	}
+
+	b := set["sub-b"]
+	// Flat 80% → avg bucket 3.
+	if b.AvgUtilBuckets[3] != 1 {
+		t.Errorf("sub-b avg util buckets = %v", b.AvgUtilBuckets)
+	}
+	// 9000 min > 3 days: classified, flat → delay-insensitive share 1.
+	if b.ClassShares[1] != 1 {
+		t.Errorf("sub-b class shares = %v", b.ClassShares)
+	}
+	// sub-a VMs are too short to classify → unknown.
+	if a.ClassShares[0] != 1 {
+		t.Errorf("sub-a class shares = %v", a.ClassShares)
+	}
+}
+
+func TestBuildExcludesPostCutoffVMs(t *testing.T) {
+	set, err := Build(tinyTrace(), 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set["sub-a"].VMCount != 2 {
+		t.Errorf("VM created after cutoff leaked into features")
+	}
+	// With a later cutoff it appears.
+	set, err = Build(tinyTrace(), 20000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set["sub-a"].VMCount != 3 {
+		t.Errorf("expected 3 VMs at full cutoff, got %d", set["sub-a"].VMCount)
+	}
+}
+
+func TestBuildCutoffValidation(t *testing.T) {
+	tr := tinyTrace()
+	if _, err := Build(tr, 0, nil); err == nil {
+		t.Error("expected error for zero cutoff")
+	}
+	if _, err := Build(tr, tr.Horizon+1, nil); err == nil {
+		t.Error("expected error for cutoff beyond horizon")
+	}
+}
+
+func TestBucketFracsSelectors(t *testing.T) {
+	f := &SubscriptionFeatures{
+		AvgUtilBuckets:    [4]float64{1, 0, 0, 0},
+		P95UtilBuckets:    [4]float64{0, 1, 0, 0},
+		LifetimeBuckets:   [4]float64{0, 0, 1, 0},
+		DeployVMBuckets:   [4]float64{0, 0, 0, 1},
+		DeployCoreBuckets: [4]float64{0.5, 0.5, 0, 0},
+		ClassShares:       [3]float64{0.2, 0.7, 0.1},
+	}
+	if f.BucketFracs(metric.AvgCPU)[0] != 1 {
+		t.Error("avg selector")
+	}
+	if f.BucketFracs(metric.P95CPU)[1] != 1 {
+		t.Error("p95 selector")
+	}
+	if f.BucketFracs(metric.Lifetime)[2] != 1 {
+		t.Error("lifetime selector")
+	}
+	if f.BucketFracs(metric.DeploySizeVMs)[3] != 1 {
+		t.Error("deploy vm selector")
+	}
+	if f.BucketFracs(metric.DeploySizeCores)[0] != 0.5 {
+		t.Error("deploy core selector")
+	}
+	cs := f.BucketFracs(metric.WorkloadClass)
+	if len(cs) != 2 || cs[0] != 0.7 || cs[1] != 0.1 {
+		t.Errorf("class selector = %v", cs)
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	set, err := Build(tinyTrace(), 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range set {
+		data, err := EncodeRecord(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *f {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, f)
+		}
+	}
+}
+
+func TestRecordSizeCompact(t *testing.T) {
+	// The paper's per-subscription record is ~850 bytes; ours must be in
+	// the same small ballpark so client caching conclusions carry over.
+	f := &SubscriptionFeatures{Subscription: "sub-with-a-typical-name-000123"}
+	data, err := EncodeRecord(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 1024 {
+		t.Errorf("record size = %d bytes, want <= 1024", len(data))
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	if _, err := DecodeRecord(nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := DecodeRecord([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err == nil {
+		t.Error("expected error on bad magic")
+	}
+	good, _ := EncodeRecord(&SubscriptionFeatures{Subscription: "x"})
+	if _, err := DecodeRecord(good[:len(good)-4]); err == nil {
+		t.Error("expected error on truncation")
+	}
+	if _, err := EncodeRecord(nil); err == nil {
+		t.Error("expected error on nil record")
+	}
+}
+
+func TestSetEncodeDecodeRoundTrip(t *testing.T) {
+	set, err := Build(tinyTrace(), 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(set) {
+		t.Fatalf("set size = %d, want %d", len(got), len(set))
+	}
+	for k, f := range set {
+		if *got[k] != *f {
+			t.Errorf("record %s mismatch", k)
+		}
+	}
+}
+
+func TestDecodeSetErrors(t *testing.T) {
+	if _, err := DecodeSet(nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	set := map[string]*SubscriptionFeatures{"a": {Subscription: "a"}}
+	data, _ := EncodeSet(set)
+	if _, err := DecodeSet(data[:len(data)-2]); err == nil {
+		t.Error("expected error on truncation")
+	}
+}
+
+// On a synthetic trace, bucket fractions must reflect the sharpened
+// per-subscription behaviour: most subscriptions have a dominant lifetime
+// bucket holding most of the mass.
+func TestBuildOnSyntheticTraceShowsConsistency(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Days = 10
+	cfg.TargetVMs = 3000
+	cfg.MaxDeploymentVMs = 200
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Build(res.Trace, res.Trace.Horizon, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dominant := 0
+	n := 0
+	for _, f := range set {
+		if f.VMCount < 10 {
+			continue
+		}
+		n++
+		for _, frac := range f.LifetimeBuckets {
+			if frac >= 0.6 {
+				dominant++
+				break
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no subscriptions with enough VMs")
+	}
+	if share := float64(dominant) / float64(n); share < 0.6 {
+		t.Errorf("dominant-bucket share = %.3f over %d subs, want >= 0.6", share, n)
+	}
+}
+
+// Property: fractions are normalized and in [0,1].
+func TestQuickBuildFractionsNormalized(t *testing.T) {
+	set, err := Build(tinyTrace(), 10000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range set {
+		for _, arr := range [][]float64{
+			f.AvgUtilBuckets[:], f.P95UtilBuckets[:], f.DeployVMBuckets[:],
+			f.DeployCoreBuckets[:], f.ClassShares[:],
+		} {
+			sum := 0.0
+			for _, x := range arr {
+				if x < 0 || x > 1 {
+					t.Fatalf("fraction out of range: %v", arr)
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("fractions not normalized: %v", arr)
+			}
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary records.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(name string, vms, deps uint16, vals [8]float64) bool {
+		rec := &SubscriptionFeatures{
+			Subscription: name,
+			VMCount:      int(vms),
+			DeployCount:  int(deps),
+		}
+		for i, v := range vals[:4] {
+			if math.IsNaN(v) {
+				return true
+			}
+			rec.AvgUtilBuckets[i] = v
+		}
+		rec.MeanCores = vals[4]
+		rec.MeanMemoryGB = vals[5]
+		rec.MeanAvgUtil = vals[6]
+		rec.MeanP95Util = vals[7]
+		for _, v := range vals[4:] {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRecord(data)
+		if err != nil {
+			return false
+		}
+		return *got == *rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package featuredata
+
+import "testing"
+
+// FuzzDecodeRecord: the binary record parser must never panic, and
+// accepted payloads must re-encode to an equal record.
+func FuzzDecodeRecord(f *testing.F) {
+	good, err := EncodeRecord(&SubscriptionFeatures{
+		Subscription: "sub-1", VMCount: 3, DeployCount: 1,
+		MeanCores: 2, MeanMemoryGB: 3.5,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x44, 0x53, 0x43, 0x52})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("accepted record failed to encode: %v", err)
+		}
+		again, err := DecodeRecord(out)
+		if err != nil {
+			t.Fatalf("re-encoded record failed to decode: %v", err)
+		}
+		if again.Subscription != rec.Subscription || again.VMCount != rec.VMCount {
+			t.Fatal("round trip changed the record")
+		}
+	})
+}
+
+// FuzzDecodeSet: the set parser must never panic on arbitrary input.
+func FuzzDecodeSet(f *testing.F) {
+	set := map[string]*SubscriptionFeatures{
+		"a": {Subscription: "a", VMCount: 1},
+		"b": {Subscription: "b", VMCount: 2},
+	}
+	good, err := EncodeSet(set)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeSet(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeSet(decoded)
+		if err != nil {
+			t.Fatalf("accepted set failed to encode: %v", err)
+		}
+		again, err := DecodeSet(out)
+		if err != nil {
+			t.Fatalf("re-encoded set failed to decode: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatal("round trip changed the set size")
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package fftperiod
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifyThreeDays(b *testing.B) {
+	d := NewDetector()
+	perDay := 24 * 60 / 5
+	xs := make([]float64, 4*perDay)
+	for i := range xs {
+		xs[i] = 30 + 25*math.Sin(2*math.Pi*float64(i%perDay)/float64(perDay))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cls, _ := d.Classify(xs); cls != ClassInteractive {
+			b.Fatal("misclassified")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package fftperiod implements the Fast Fourier Transform and the
+// diurnal-periodicity detector used by Section 3.6 of the paper to classify
+// VM workloads as potentially interactive (periodic at the daily scale) or
+// delay-insensitive.
+package fftperiod
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time discrete Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("fftperiod: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse transform of x in place.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+	return nil
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Periodogram returns the power spectrum of the real series xs: the squared
+// magnitude of each positive-frequency FFT bin, after mean removal and
+// zero-padding to a power of two. The returned slice has padded/2 entries;
+// entry k corresponds to frequency k / (padded * dt) for sample spacing dt.
+// It also returns the padded length so callers can map bins to periods.
+func Periodogram(xs []float64) (power []float64, padded int, err error) {
+	if len(xs) < 4 {
+		return nil, 0, errors.New("fftperiod: series too short")
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+
+	padded = nextPow2(len(xs))
+	buf := make([]complex128, padded)
+	for i, x := range xs {
+		buf[i] = complex(x-mean, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, 0, err
+	}
+	power = make([]float64, padded/2)
+	for k := range power {
+		power[k] = real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+	}
+	return power, padded, nil
+}
+
+// Class labels a workload per Section 3.6.
+type Class int
+
+// Workload classes. Unknown covers VMs that did not run long enough
+// (< MinSamples of history) for a reliable periodicity verdict.
+const (
+	ClassUnknown Class = iota
+	ClassDelayInsensitive
+	ClassInteractive
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassDelayInsensitive:
+		return "delay-insensitive"
+	default:
+		return "unknown"
+	}
+}
+
+// Detector classifies utilization time series by looking for spectral
+// concentration at the diurnal frequency and its harmonics.
+type Detector struct {
+	// SampleInterval is the spacing of the utilization series in minutes
+	// (the paper's telemetry reports every 5 minutes).
+	SampleIntervalMin float64
+	// MinDays is the minimum series length in days to attempt
+	// classification (the paper uses 3 days).
+	MinDays float64
+	// PowerRatio is the fraction of total (mean-removed) spectral power
+	// that must be concentrated at diurnal-scale bins to call the series
+	// periodic. The classification is deliberately conservative in the
+	// interactive direction (Section 3.6): false interactive positives are
+	// acceptable, false delay-insensitive positives are not, so the
+	// threshold is low.
+	PowerRatio float64
+	// Harmonics is how many multiples of the diurnal frequency to include
+	// (1 = 24h only; 2 adds 12h; ...). Interactive workloads often carry
+	// harmonic energy because their daily shape is not sinusoidal.
+	Harmonics int
+}
+
+// NewDetector returns a detector configured as in the paper: 5-minute
+// samples, 3-day minimum window.
+func NewDetector() *Detector {
+	return &Detector{
+		SampleIntervalMin: 5,
+		MinDays:           3,
+		PowerRatio:        0.18,
+		Harmonics:         3,
+	}
+}
+
+// MinSamples returns the minimum number of samples required to classify.
+func (d *Detector) MinSamples() int {
+	return int(d.MinDays * 24 * 60 / d.SampleIntervalMin)
+}
+
+// maxClassifyWindow bounds the series length used for classification
+// (~14 days of 5-minute samples). Diurnal behaviour is stationary at that
+// scale, and the bound keeps classification O(1) per VM over month-long
+// traces.
+const maxClassifyWindow = 4096
+
+// Classify analyses the utilization series and returns its workload class
+// plus the diurnal power ratio that drove the decision. Series shorter than
+// MinSamples return ClassUnknown with ratio 0; series longer than ~14 days
+// are classified on their most recent window.
+func (d *Detector) Classify(util []float64) (Class, float64) {
+	if len(util) < d.MinSamples() {
+		return ClassUnknown, 0
+	}
+	if len(util) > maxClassifyWindow {
+		util = util[len(util)-maxClassifyWindow:]
+	}
+	power, padded, err := Periodogram(util)
+	if err != nil {
+		return ClassUnknown, 0
+	}
+	total := 0.0
+	for _, p := range power {
+		total += p
+	}
+	if total == 0 {
+		// A perfectly flat series has no periodic structure.
+		return ClassDelayInsensitive, 0
+	}
+
+	samplesPerDay := 24 * 60 / d.SampleIntervalMin
+	// Frequency bin of a 24-hour period: k = padded / samplesPerDay.
+	base := float64(padded) / samplesPerDay
+	diurnal := 0.0
+	for h := 1; h <= d.Harmonics; h++ {
+		center := base * float64(h)
+		// Spectral leakage: integrate a small neighbourhood around each
+		// harmonic bin.
+		lo := int(math.Floor(center)) - 1
+		hi := int(math.Ceil(center)) + 1
+		for k := lo; k <= hi; k++ {
+			if k >= 1 && k < len(power) {
+				diurnal += power[k]
+			}
+		}
+	}
+	ratio := diurnal / total
+	if ratio >= d.PowerRatio {
+		return ClassInteractive, ratio
+	}
+	return ClassDelayInsensitive, ratio
+}

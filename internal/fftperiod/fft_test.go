@@ -1,0 +1,274 @@
+package fftperiod
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of [1,0,0,0] is [1,1,1,1].
+	x := []complex128{1, 0, 0, 0}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTImpulseAtOne(t *testing.T) {
+	// FFT of [0,1,0,0] is [1, -i, -1, i].
+	x := []complex128{0, 1, 0, 0}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{1, complex(0, -1), -1, complex(0, 1)}
+	for i := range want {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("bin %d = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Error("expected error for length 3")
+	}
+	if err := FFT(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	x := make([]complex128, 256)
+	orig := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	n := 128
+	x := make([]complex128, n)
+	timeEnergy := 0.0
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+		timeEnergy += real(x[i]) * real(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	freqEnergy := 0.0
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6 {
+		t.Errorf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestPeriodogramPeakAtSinusoidFrequency(t *testing.T) {
+	// 1024 samples of a sinusoid with exactly 8 cycles → peak at bin 8.
+	n := 1024
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 5 + 2*math.Sin(2*math.Pi*8*float64(i)/float64(n))
+	}
+	power, padded, err := Periodogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded != n {
+		t.Errorf("padded = %d, want %d", padded, n)
+	}
+	best := 0
+	for k, p := range power {
+		if p > power[best] {
+			best = k
+		}
+	}
+	if best != 8 {
+		t.Errorf("peak at bin %d, want 8", best)
+	}
+}
+
+func TestPeriodogramTooShort(t *testing.T) {
+	if _, _, err := Periodogram([]float64{1, 2}); err == nil {
+		t.Error("expected error for short series")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	cases := map[Class]string{
+		ClassUnknown:          "unknown",
+		ClassInteractive:      "interactive",
+		ClassDelayInsensitive: "delay-insensitive",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// diurnalSeries builds a days-long 5-minute series with a daily sinusoidal
+// swing plus noise — the shape of an interactive workload.
+func diurnalSeries(days int, amplitude, base, noise float64, r *rand.Rand) []float64 {
+	perDay := 24 * 60 / 5
+	xs := make([]float64, days*perDay)
+	for i := range xs {
+		phase := 2 * math.Pi * float64(i%perDay) / float64(perDay)
+		xs[i] = base + amplitude*math.Sin(phase) + noise*r.NormFloat64()
+		if xs[i] < 0 {
+			xs[i] = 0
+		}
+		if xs[i] > 100 {
+			xs[i] = 100
+		}
+	}
+	return xs
+}
+
+func TestDetectorClassifiesDiurnalAsInteractive(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	d := NewDetector()
+	class, ratio := d.Classify(diurnalSeries(4, 25, 40, 3, r))
+	if class != ClassInteractive {
+		t.Errorf("diurnal series classified %v (ratio %v), want interactive", class, ratio)
+	}
+}
+
+func TestDetectorClassifiesNoiseAsDelayInsensitive(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	d := NewDetector()
+	perDay := 24 * 60 / 5
+	xs := make([]float64, 4*perDay)
+	for i := range xs {
+		xs[i] = 50 + 10*r.NormFloat64()
+	}
+	class, _ := d.Classify(xs)
+	if class != ClassDelayInsensitive {
+		t.Errorf("white noise classified %v, want delay-insensitive", class)
+	}
+}
+
+func TestDetectorClassifiesFlatAsDelayInsensitive(t *testing.T) {
+	d := NewDetector()
+	xs := make([]float64, d.MinSamples())
+	for i := range xs {
+		xs[i] = 70
+	}
+	class, ratio := d.Classify(xs)
+	if class != ClassDelayInsensitive || ratio != 0 {
+		t.Errorf("flat series classified %v ratio %v", class, ratio)
+	}
+}
+
+func TestDetectorShortSeriesUnknown(t *testing.T) {
+	d := NewDetector()
+	xs := make([]float64, d.MinSamples()-1)
+	class, _ := d.Classify(xs)
+	if class != ClassUnknown {
+		t.Errorf("short series classified %v, want unknown", class)
+	}
+}
+
+func TestDetectorMinSamples(t *testing.T) {
+	d := NewDetector()
+	// 3 days of 5-minute samples = 864.
+	if got := d.MinSamples(); got != 864 {
+		t.Errorf("MinSamples = %d, want 864", got)
+	}
+}
+
+func TestDetectorBatchRampNotInteractive(t *testing.T) {
+	// A monotone ramp (e.g. a long batch job heating up) has low-frequency
+	// energy but no diurnal peak; it must not be classified interactive.
+	d := NewDetector()
+	xs := make([]float64, d.MinSamples())
+	for i := range xs {
+		xs[i] = 100 * float64(i) / float64(len(xs))
+	}
+	class, _ := d.Classify(xs)
+	if class == ClassInteractive {
+		t.Error("monotone ramp classified as interactive")
+	}
+}
+
+// Property: FFT is linear — FFT(a*x + b*y) == a*FFT(x) + b*FFT(y).
+func TestQuickFFTLinearity(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		r := rand.New(rand.NewPCG(seedA, seedB))
+		n := 64
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			y[i] = complex(r.NormFloat64(), r.NormFloat64())
+			sum[i] = 2*x[i] + 3*y[i]
+		}
+		if FFT(x) != nil || FFT(y) != nil || FFT(sum) != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(sum[i]-(2*x[i]+3*y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the periodogram never produces negative power and detects the
+// planted frequency for any cycle count in range.
+func TestQuickPeriodogramPlantedFrequency(t *testing.T) {
+	f := func(cycles uint8) bool {
+		k := int(cycles)%30 + 2 // 2..31 cycles
+		n := 512
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Sin(2 * math.Pi * float64(k) * float64(i) / float64(n))
+		}
+		power, _, err := Periodogram(xs)
+		if err != nil {
+			return false
+		}
+		best := 0
+		for i, p := range power {
+			if p < 0 {
+				return false
+			}
+			if p > power[best] {
+				best = i
+			}
+		}
+		return best == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

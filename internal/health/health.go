@@ -1,0 +1,110 @@
+// Package health implements the server-maintenance use-case of
+// Section 4.1: when a server misbehaves, the health management system
+// queries Resource Central for the expected lifetimes of the VMs on the
+// server and decides whether maintenance can wait for a natural drain or
+// which VMs must be live-migrated.
+package health
+
+import (
+	"errors"
+	"fmt"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/trace"
+)
+
+// Planner turns lifetime predictions into maintenance decisions.
+type Planner struct {
+	// Client serves the lifetime predictions. Required.
+	Client *core.Client
+	// Confidence is the minimum prediction score to act on (0 = 0.6);
+	// below it the planner conservatively assumes the VM stays.
+	Confidence float64
+	// Deadline is how long the planner may wait for a drain before
+	// falling back to live migration (0 = 24h).
+	Deadline trace.Minutes
+}
+
+// Decision is the verdict for one VM.
+type Decision struct {
+	VMID int64
+	// Predicted is true when a confident lifetime prediction was
+	// available.
+	Predicted bool
+	// Bucket is the predicted lifetime bucket (valid when Predicted).
+	Bucket int
+	// ExpectedEnd is the latest time the VM is expected to terminate
+	// (creation time plus the bucket's upper bound).
+	ExpectedEnd trace.Minutes
+	// Migrate is true when the VM must be live-migrated to meet the
+	// deadline.
+	Migrate bool
+}
+
+// Plan is the maintenance schedule for one server.
+type Plan struct {
+	Decisions []Decision
+	// Migrations counts the VMs that need live migration.
+	Migrations int
+	// DrainBy is the latest expected termination among VMs that are
+	// allowed to drain naturally.
+	DrainBy trace.Minutes
+	// WaitForDrain is true when no migration is needed: maintenance can
+	// be scheduled at DrainBy with zero VM downtime.
+	WaitForDrain bool
+}
+
+// Plan evaluates the VMs currently on a server at time now.
+func (p *Planner) Plan(now trace.Minutes, vms []*trace.VM) (*Plan, error) {
+	if p.Client == nil {
+		return nil, errors.New("health: Planner.Client is required")
+	}
+	if len(vms) == 0 {
+		return nil, errors.New("health: no VMs to plan for")
+	}
+	confidence := p.Confidence
+	if confidence == 0 {
+		confidence = 0.6
+	}
+	deadline := p.Deadline
+	if deadline == 0 {
+		deadline = 24 * 60
+	}
+
+	plan := &Plan{Decisions: make([]Decision, 0, len(vms))}
+	for _, v := range vms {
+		d := Decision{VMID: v.ID}
+		in := model.FromVM(v, 1)
+		pred, err := p.Client.PredictSingle(metric.Lifetime.String(), &in)
+		if err != nil {
+			return nil, fmt.Errorf("health: vm %d: %w", v.ID, err)
+		}
+		switch {
+		case !pred.OK || pred.Score < confidence:
+			// No usable prediction: conservatively assume the VM stays
+			// (the paper's no-prediction handling).
+			d.Migrate = true
+		default:
+			d.Predicted = true
+			d.Bucket = pred.Bucket
+			d.ExpectedEnd = v.Created + trace.Minutes(metric.Lifetime.BucketHigh(pred.Bucket))
+			if d.ExpectedEnd <= now {
+				// The VM already outlived its predicted bucket; the
+				// prediction is known-wrong, so assume it stays.
+				d.Migrate = true
+			} else if d.ExpectedEnd > now+deadline {
+				d.Migrate = true
+			}
+		}
+		if d.Migrate {
+			plan.Migrations++
+		} else if d.ExpectedEnd > plan.DrainBy {
+			plan.DrainBy = d.ExpectedEnd
+		}
+		plan.Decisions = append(plan.Decisions, d)
+	}
+	plan.WaitForDrain = plan.Migrations == 0
+	return plan, nil
+}

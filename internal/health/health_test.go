@@ -1,0 +1,188 @@
+package health
+
+import (
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+var (
+	once   sync.Once
+	client *core.Client
+	tra    *trace.Trace
+	feats  map[string]bool
+	setupE error
+)
+
+func setup(t *testing.T) (*core.Client, *trace.Trace) {
+	t.Helper()
+	once.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 10
+		cfg.TargetVMs = 3000
+		cfg.MaxDeploymentVMs = 150
+		cfg.Seed = 17
+		wl, err := synth.Generate(cfg)
+		if err != nil {
+			setupE = err
+			return
+		}
+		tra = wl.Trace
+		res, err := pipeline.Run(tra, pipeline.Config{
+			TrainCutoff: tra.Horizon * 2 / 3,
+			ForestTrees: 8, GBTRounds: 10, Seed: 1,
+		})
+		if err != nil {
+			setupE = err
+			return
+		}
+		feats = make(map[string]bool, len(res.Features))
+		for sub := range res.Features {
+			feats[sub] = true
+		}
+		st := store.New()
+		if err := pipeline.Publish(st, res); err != nil {
+			setupE = err
+			return
+		}
+		client, err = core.New(core.Config{Store: st, Mode: core.Push})
+		if err != nil {
+			setupE = err
+			return
+		}
+		setupE = client.Initialize()
+	})
+	if setupE != nil {
+		t.Fatal(setupE)
+	}
+	return client, tra
+}
+
+// serverVMs picks VMs alive at `now` from subscriptions with feature data.
+func serverVMs(t *testing.T, tr *trace.Trace, now trace.Minutes, n int) []*trace.VM {
+	t.Helper()
+	var out []*trace.VM
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.AliveAt(now) && feats[v.Subscription] {
+			out = append(out, v)
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no live VMs found")
+	}
+	return out
+}
+
+func TestPlannerValidation(t *testing.T) {
+	p := &Planner{}
+	if _, err := p.Plan(0, []*trace.VM{{}}); err == nil {
+		t.Error("expected error for nil client")
+	}
+	c, _ := setup(t)
+	p = &Planner{Client: c}
+	if _, err := p.Plan(0, nil); err == nil {
+		t.Error("expected error for empty VM list")
+	}
+}
+
+func TestPlanCoversEveryVM(t *testing.T) {
+	c, tr := setup(t)
+	now := tr.Horizon * 2 / 3
+	vms := serverVMs(t, tr, now, 10)
+	p := &Planner{Client: c}
+	plan, err := p.Plan(now, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Decisions) != len(vms) {
+		t.Fatalf("decisions = %d, want %d", len(plan.Decisions), len(vms))
+	}
+	migrations := 0
+	for _, d := range plan.Decisions {
+		if d.Migrate {
+			migrations++
+		} else {
+			if !d.Predicted {
+				t.Errorf("vm %d drains without a prediction", d.VMID)
+			}
+			if d.ExpectedEnd <= now || d.ExpectedEnd > now+24*60 {
+				t.Errorf("vm %d drain end %d outside (now, now+24h]", d.VMID, d.ExpectedEnd)
+			}
+			if d.ExpectedEnd > plan.DrainBy {
+				t.Errorf("DrainBy %d below a drain decision %d", plan.DrainBy, d.ExpectedEnd)
+			}
+		}
+	}
+	if migrations != plan.Migrations {
+		t.Errorf("migrations = %d, plan says %d", migrations, plan.Migrations)
+	}
+	if plan.WaitForDrain != (plan.Migrations == 0) {
+		t.Error("WaitForDrain inconsistent with Migrations")
+	}
+}
+
+func TestPlanConservativeOnUnknownSubscription(t *testing.T) {
+	c, tr := setup(t)
+	now := tr.Horizon * 2 / 3
+	vm := *serverVMs(t, tr, now, 1)[0]
+	vm.Subscription = "sub-nobody-knows"
+	p := &Planner{Client: c}
+	plan, err := p.Plan(now, []*trace.VM{&vm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Decisions[0].Migrate {
+		t.Error("no-prediction VM must be migrated, not drained")
+	}
+	if plan.WaitForDrain {
+		t.Error("plan with migrations cannot wait for drain")
+	}
+}
+
+func TestPlanShortDeadlineForcesMigration(t *testing.T) {
+	c, tr := setup(t)
+	now := tr.Horizon * 2 / 3
+	vms := serverVMs(t, tr, now, 8)
+	// A deadline of one minute cannot be met by any bucket except VMs
+	// whose predicted end is within a minute — effectively none.
+	p := &Planner{Client: c, Deadline: 1}
+	plan, err := p.Plan(now, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed := &Planner{Client: c, Deadline: 40 * 24 * 60}
+	relaxedPlan, err := relaxed.Plan(now, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Migrations < relaxedPlan.Migrations {
+		t.Errorf("tighter deadline yielded fewer migrations: %d vs %d",
+			plan.Migrations, relaxedPlan.Migrations)
+	}
+}
+
+func TestPlanOutlivedPredictionMigrates(t *testing.T) {
+	c, tr := setup(t)
+	now := tr.Horizon * 2 / 3
+	vm := *serverVMs(t, tr, now, 1)[0]
+	// Pretend the VM was created long ago: whatever bucket is predicted,
+	// its upper bound is already exceeded.
+	vm.Created = 0
+	p := &Planner{Client: c}
+	plan, err := p.Plan(60*24*60, []*trace.VM{&vm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Decisions[0].Migrate {
+		t.Error("VM that outlived its predicted bucket must be migrated")
+	}
+}

@@ -1,0 +1,178 @@
+// Package metric defines the six predicted metrics and their prediction
+// buckets (Tables 1 and 3 of the paper). Formulating the predictions as
+// bucketed classification rather than regression is a deliberate design
+// decision of Resource Central: buckets are easier to predict, and clients
+// convert a predicted bucket back to a number with the bucket's highest,
+// middle, or lowest value.
+package metric
+
+import "fmt"
+
+// Metric identifies one predicted VM/deployment behaviour.
+type Metric int
+
+// The six metrics of Table 1.
+const (
+	AvgCPU Metric = iota
+	P95CPU
+	DeploySizeVMs
+	DeploySizeCores
+	Lifetime
+	WorkloadClass
+)
+
+// All lists every metric in Table 1 order.
+var All = []Metric{AvgCPU, P95CPU, DeploySizeVMs, DeploySizeCores, Lifetime, WorkloadClass}
+
+// String implements fmt.Stringer with the model names used as store keys.
+func (m Metric) String() string {
+	switch m {
+	case AvgCPU:
+		return "avg-cpu-util"
+	case P95CPU:
+		return "p95-cpu-util"
+	case DeploySizeVMs:
+		return "deploy-size-vms"
+	case DeploySizeCores:
+		return "deploy-size-cores"
+	case Lifetime:
+		return "lifetime"
+	case WorkloadClass:
+		return "workload-class"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Parse resolves the String form.
+func Parse(s string) (Metric, error) {
+	for _, m := range All {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("metric: unknown metric %q", s)
+}
+
+// Buckets returns the number of prediction buckets (Table 3).
+func (m Metric) Buckets() int {
+	if m == WorkloadClass {
+		return 2
+	}
+	return 4
+}
+
+// Workload class buckets.
+const (
+	ClassDelayInsensitive = 0
+	ClassInteractive      = 1
+)
+
+// utilization bucket upper bounds (percent).
+var utilBounds = [3]float64{25, 50, 75}
+
+// deployment-size bucket upper bounds (count).
+var deployBounds = [3]float64{1, 10, 100}
+
+// lifetime bucket upper bounds (minutes).
+var lifetimeBounds = [3]float64{15, 60, 1440}
+
+// Bucket maps a raw metric value to its bucket index. For WorkloadClass the
+// value is already a class index (0 or 1).
+func (m Metric) Bucket(value float64) int {
+	var bounds [3]float64
+	switch m {
+	case AvgCPU, P95CPU:
+		bounds = utilBounds
+	case DeploySizeVMs, DeploySizeCores:
+		bounds = deployBounds
+	case Lifetime:
+		bounds = lifetimeBounds
+	case WorkloadClass:
+		if value >= 1 {
+			return ClassInteractive
+		}
+		return ClassDelayInsensitive
+	}
+	for i, b := range bounds {
+		if value <= b {
+			return i
+		}
+	}
+	return 3
+}
+
+// BucketLabel returns the human-readable bucket description from Table 3.
+func (m Metric) BucketLabel(bucket int) string {
+	switch m {
+	case AvgCPU, P95CPU:
+		return [...]string{"0-25%", "25-50%", "50-75%", "75-100%"}[bucket]
+	case DeploySizeVMs, DeploySizeCores:
+		return [...]string{"1", ">1 & <=10", ">10 & <=100", ">100"}[bucket]
+	case Lifetime:
+		return [...]string{"<=15 min", ">15 & <=60 min", ">1 & <=24 h", ">24 h"}[bucket]
+	case WorkloadClass:
+		return [...]string{"delay-insensitive", "interactive"}[bucket]
+	}
+	return ""
+}
+
+// BucketHigh returns the highest numeric value of the bucket, the
+// conversion the oversubscription rule in Algorithm 1 uses
+// (Highest_Util_in_Bucket). For unbounded top buckets it returns a
+// representative cap: 100% utilization, 1000 VMs/cores, 60 days.
+func (m Metric) BucketHigh(bucket int) float64 {
+	switch m {
+	case AvgCPU, P95CPU:
+		return [...]float64{25, 50, 75, 100}[bucket]
+	case DeploySizeVMs, DeploySizeCores:
+		return [...]float64{1, 10, 100, 1000}[bucket]
+	case Lifetime:
+		return [...]float64{15, 60, 1440, 60 * 1440}[bucket]
+	case WorkloadClass:
+		return float64(bucket)
+	}
+	return 0
+}
+
+// BucketMid returns the middle numeric value of the bucket.
+func (m Metric) BucketMid(bucket int) float64 {
+	switch m {
+	case AvgCPU, P95CPU:
+		return [...]float64{12.5, 37.5, 62.5, 87.5}[bucket]
+	case DeploySizeVMs, DeploySizeCores:
+		return [...]float64{1, 5.5, 55, 550}[bucket]
+	case Lifetime:
+		return [...]float64{7.5, 37.5, 750, 30.5 * 1440}[bucket]
+	case WorkloadClass:
+		return float64(bucket)
+	}
+	return 0
+}
+
+// BucketLow returns the lowest numeric value of the bucket.
+func (m Metric) BucketLow(bucket int) float64 {
+	switch m {
+	case AvgCPU, P95CPU:
+		return [...]float64{0, 25, 50, 75}[bucket]
+	case DeploySizeVMs, DeploySizeCores:
+		return [...]float64{1, 2, 11, 101}[bucket]
+	case Lifetime:
+		return [...]float64{0, 15, 60, 1440}[bucket]
+	case WorkloadClass:
+		return float64(bucket)
+	}
+	return 0
+}
+
+// Approach names the modelling approach from Table 1.
+func (m Metric) Approach() string {
+	switch m {
+	case AvgCPU, P95CPU:
+		return "Random Forest"
+	case WorkloadClass:
+		return "FFT, Extreme Gradient Boosting Tree"
+	default:
+		return "Extreme Gradient Boosting Tree"
+	}
+}

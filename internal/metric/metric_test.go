@@ -1,0 +1,112 @@
+package metric
+
+import "testing"
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, m := range All {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestBucketCounts(t *testing.T) {
+	for _, m := range All {
+		want := 4
+		if m == WorkloadClass {
+			want = 2
+		}
+		if got := m.Buckets(); got != want {
+			t.Errorf("%v.Buckets() = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestUtilBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {25, 0}, {25.01, 1}, {50, 1}, {60, 2}, {75, 2}, {75.1, 3}, {100, 3}}
+	for _, c := range cases {
+		if got := AvgCPU.Bucket(c.v); got != c.want {
+			t.Errorf("AvgCPU.Bucket(%v) = %d, want %d", c.v, got, c.want)
+		}
+		if got := P95CPU.Bucket(c.v); got != c.want {
+			t.Errorf("P95CPU.Bucket(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDeployBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{{1, 0}, {2, 1}, {10, 1}, {11, 2}, {100, 2}, {101, 3}, {5000, 3}}
+	for _, c := range cases {
+		if got := DeploySizeVMs.Bucket(c.v); got != c.want {
+			t.Errorf("DeploySizeVMs.Bucket(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLifetimeBuckets(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{{1, 0}, {15, 0}, {16, 1}, {60, 1}, {61, 2}, {1440, 2}, {1441, 3}}
+	for _, c := range cases {
+		if got := Lifetime.Bucket(c.v); got != c.want {
+			t.Errorf("Lifetime.Bucket(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestWorkloadClassBucket(t *testing.T) {
+	if WorkloadClass.Bucket(0) != ClassDelayInsensitive {
+		t.Error("0 should be delay-insensitive")
+	}
+	if WorkloadClass.Bucket(1) != ClassInteractive {
+		t.Error("1 should be interactive")
+	}
+}
+
+func TestBucketValueOrdering(t *testing.T) {
+	for _, m := range All {
+		for b := 0; b < m.Buckets(); b++ {
+			lo, mid, hi := m.BucketLow(b), m.BucketMid(b), m.BucketHigh(b)
+			if lo > mid || mid > hi {
+				t.Errorf("%v bucket %d: low %v mid %v high %v not ordered", m, b, lo, mid, hi)
+			}
+			if m.BucketLabel(b) == "" {
+				t.Errorf("%v bucket %d: empty label", m, b)
+			}
+		}
+	}
+}
+
+func TestBucketValueConsistentWithBucket(t *testing.T) {
+	// The mid value of each bucket must map back to the same bucket.
+	for _, m := range []Metric{AvgCPU, P95CPU, DeploySizeVMs, DeploySizeCores, Lifetime} {
+		for b := 0; b < m.Buckets(); b++ {
+			if got := m.Bucket(m.BucketMid(b)); got != b {
+				t.Errorf("%v: Bucket(BucketMid(%d)) = %d", m, b, got)
+			}
+		}
+	}
+}
+
+func TestApproachNames(t *testing.T) {
+	if AvgCPU.Approach() != "Random Forest" {
+		t.Error("avg cpu approach")
+	}
+	if Lifetime.Approach() != "Extreme Gradient Boosting Tree" {
+		t.Error("lifetime approach")
+	}
+	if WorkloadClass.Approach() != "FFT, Extreme Gradient Boosting Tree" {
+		t.Error("class approach")
+	}
+}

@@ -1,0 +1,156 @@
+// Package eval provides classifier evaluation: confusion matrices,
+// accuracy, per-class precision/recall, and the confidence-thresholded
+// precision/recall (P^θ / R^θ) columns of the paper's Table 4.
+package eval
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Confusion is a confusion matrix; Counts[truth][pred] accumulates.
+type Confusion struct {
+	Counts [][]int
+	total  int
+}
+
+// NewConfusion creates a k-class confusion matrix.
+func NewConfusion(k int) (*Confusion, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: need at least 2 classes, got %d", k)
+	}
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, k)
+	}
+	return &Confusion{Counts: counts}, nil
+}
+
+// Add records one (truth, predicted) pair.
+func (c *Confusion) Add(truth, pred int) error {
+	k := len(c.Counts)
+	if truth < 0 || truth >= k || pred < 0 || pred >= k {
+		return fmt.Errorf("eval: class out of range: truth=%d pred=%d k=%d", truth, pred, k)
+	}
+	c.Counts[truth][pred]++
+	c.total++
+	return nil
+}
+
+// Total returns the number of recorded pairs.
+func (c *Confusion) Total() int { return c.total }
+
+// Accuracy returns the fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(c.total)
+}
+
+// ClassShare returns the fraction of samples whose true class is k
+// (the "%" columns of Table 4).
+func (c *Confusion) ClassShare(k int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range c.Counts[k] {
+		n += v
+	}
+	return float64(n) / float64(c.total)
+}
+
+// Precision returns TP / (TP + FP) for class k (0 when the class is never
+// predicted).
+func (c *Confusion) Precision(k int) float64 {
+	predicted := 0
+	for truth := range c.Counts {
+		predicted += c.Counts[truth][k]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(c.Counts[k][k]) / float64(predicted)
+}
+
+// Recall returns TP / (TP + FN) for class k (0 when the class never
+// occurs).
+func (c *Confusion) Recall(k int) float64 {
+	actual := 0
+	for _, v := range c.Counts[k] {
+		actual += v
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(c.Counts[k][k]) / float64(actual)
+}
+
+// Prediction is one scored prediction against ground truth.
+type Prediction struct {
+	Truth int
+	Pred  int
+	Score float64
+}
+
+// Report is the evaluation summary for one metric — one row of Table 4.
+type Report struct {
+	Accuracy float64
+	// Share, Precision, Recall are per-bucket.
+	Share     []float64
+	Precision []float64
+	Recall    []float64
+	// ThresholdedPrecision/Recall are P^θ/R^θ: predictions with score
+	// below the threshold are replaced by no-prediction; precision is
+	// measured over answered predictions, recall over all samples.
+	ThresholdedPrecision float64
+	ThresholdedRecall    float64
+	// Answered is the fraction of samples with score >= threshold.
+	Answered float64
+}
+
+// Evaluate computes the Table 4 row for the predictions with the given
+// number of classes and confidence threshold (the paper uses 0.6).
+func Evaluate(preds []Prediction, k int, threshold float64) (*Report, error) {
+	if len(preds) == 0 {
+		return nil, errors.New("eval: no predictions")
+	}
+	conf, err := NewConfusion(k)
+	if err != nil {
+		return nil, err
+	}
+	answered, answeredCorrect := 0, 0
+	for _, p := range preds {
+		if err := conf.Add(p.Truth, p.Pred); err != nil {
+			return nil, err
+		}
+		if p.Score >= threshold {
+			answered++
+			if p.Truth == p.Pred {
+				answeredCorrect++
+			}
+		}
+	}
+	rep := &Report{
+		Accuracy:  conf.Accuracy(),
+		Share:     make([]float64, k),
+		Precision: make([]float64, k),
+		Recall:    make([]float64, k),
+	}
+	for c := 0; c < k; c++ {
+		rep.Share[c] = conf.ClassShare(c)
+		rep.Precision[c] = conf.Precision(c)
+		rep.Recall[c] = conf.Recall(c)
+	}
+	if answered > 0 {
+		rep.ThresholdedPrecision = float64(answeredCorrect) / float64(answered)
+	}
+	rep.ThresholdedRecall = float64(answeredCorrect) / float64(len(preds))
+	rep.Answered = float64(answered) / float64(len(preds))
+	return rep, nil
+}

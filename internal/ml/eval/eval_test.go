@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c, err := NewConfusion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 correct class-0, 1 correct class-1, 1 class-1 predicted as 0.
+	pairs := [][2]int{{0, 0}, {0, 0}, {0, 0}, {1, 1}, {1, 0}}
+	for _, p := range pairs {
+		if err := c.Add(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Total() != 5 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := c.ClassShare(0); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("share(0) = %v", got)
+	}
+	// Precision of class 0: 3 TP of 4 predicted-0.
+	if got := c.Precision(0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("precision(0) = %v", got)
+	}
+	// Recall of class 1: 1 of 2.
+	if got := c.Recall(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("recall(1) = %v", got)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	if _, err := NewConfusion(1); err == nil {
+		t.Error("expected error for k=1")
+	}
+	c, _ := NewConfusion(3)
+	if err := c.Add(3, 0); err == nil {
+		t.Error("expected range error")
+	}
+	if err := c.Add(0, -1); err == nil {
+		t.Error("expected range error")
+	}
+	if c.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	// Never-predicted class has precision 0; never-occurring class recall 0.
+	c.Add(0, 0)
+	if c.Precision(1) != 0 || c.Recall(2) != 0 {
+		t.Error("expected zero precision/recall for absent class")
+	}
+}
+
+func TestEvaluateThresholded(t *testing.T) {
+	preds := []Prediction{
+		{Truth: 0, Pred: 0, Score: 0.9},  // answered, correct
+		{Truth: 0, Pred: 1, Score: 0.9},  // answered, wrong
+		{Truth: 1, Pred: 1, Score: 0.95}, // answered, correct
+		{Truth: 1, Pred: 0, Score: 0.3},  // below threshold (wrong anyway)
+		{Truth: 0, Pred: 0, Score: 0.4},  // below threshold (correct)
+	}
+	rep, err := Evaluate(preds, 2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy counts all five: 3 correct.
+	if math.Abs(rep.Accuracy-0.6) > 1e-12 {
+		t.Errorf("accuracy = %v", rep.Accuracy)
+	}
+	// Thresholded precision: 2 of 3 answered correct.
+	if math.Abs(rep.ThresholdedPrecision-2.0/3) > 1e-12 {
+		t.Errorf("P^θ = %v", rep.ThresholdedPrecision)
+	}
+	// Thresholded recall: 2 correct-answered of 5 total.
+	if math.Abs(rep.ThresholdedRecall-0.4) > 1e-12 {
+		t.Errorf("R^θ = %v", rep.ThresholdedRecall)
+	}
+	if math.Abs(rep.Answered-0.6) > 1e-12 {
+		t.Errorf("answered = %v", rep.Answered)
+	}
+	if len(rep.Share) != 2 || len(rep.Precision) != 2 || len(rep.Recall) != 2 {
+		t.Error("per-class slices wrong length")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, 2, 0.5); err == nil {
+		t.Error("expected error for no predictions")
+	}
+	if _, err := Evaluate([]Prediction{{Truth: 9, Pred: 0}}, 2, 0.5); err == nil {
+		t.Error("expected error for out-of-range class")
+	}
+}
+
+func TestEvaluateAllBelowThreshold(t *testing.T) {
+	preds := []Prediction{{Truth: 0, Pred: 0, Score: 0.1}, {Truth: 1, Pred: 1, Score: 0.2}}
+	rep, err := Evaluate(preds, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThresholdedPrecision != 0 || rep.ThresholdedRecall != 0 || rep.Answered != 0 {
+		t.Errorf("expected zero thresholded stats, got %+v", rep)
+	}
+	if rep.Accuracy != 1 {
+		t.Errorf("raw accuracy = %v", rep.Accuracy)
+	}
+}
+
+// Property: for any prediction set, micro metrics are consistent:
+// accuracy == sum_k share_k * recall_k, and R^θ <= P^θ, R^θ <= answered.
+func TestQuickEvaluateConsistency(t *testing.T) {
+	f := func(raw []struct {
+		T, P  uint8
+		Score float64
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := 3
+		preds := make([]Prediction, len(raw))
+		for i, r := range raw {
+			s := math.Abs(r.Score)
+			s -= math.Floor(s)
+			preds[i] = Prediction{Truth: int(r.T) % k, Pred: int(r.P) % k, Score: s}
+		}
+		rep, err := Evaluate(preds, k, 0.5)
+		if err != nil {
+			return false
+		}
+		acc := 0.0
+		for c := 0; c < k; c++ {
+			acc += rep.Share[c] * rep.Recall[c]
+		}
+		if math.Abs(acc-rep.Accuracy) > 1e-9 {
+			return false
+		}
+		if rep.ThresholdedRecall > rep.ThresholdedPrecision+1e-12 {
+			return false
+		}
+		return rep.ThresholdedRecall <= rep.Answered+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package feature provides the dataset and feature-encoding substrate for
+// the hand-rolled learners: dense feature matrices with class labels,
+// deterministic train/test splitting, one-hot encoding of categoricals with
+// vocabulary capping, and standardization.
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Dataset is a dense classification dataset: X[i] is the feature vector of
+// sample i and Y[i] its class in [0, NumClasses).
+type Dataset struct {
+	X          [][]float64
+	Y          []int
+	Names      []string
+	NumClasses int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the feature dimensionality (0 when empty).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks structural invariants.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("feature: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	if d.NumClasses < 2 {
+		return fmt.Errorf("feature: NumClasses %d < 2", d.NumClasses)
+	}
+	nf := d.NumFeatures()
+	if len(d.Names) != 0 && len(d.Names) != nf {
+		return fmt.Errorf("feature: %d names for %d features", len(d.Names), nf)
+	}
+	for i, row := range d.X {
+		if len(row) != nf {
+			return fmt.Errorf("feature: row %d has %d features, want %d", i, len(row), nf)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("feature: row %d feature %d is %v", i, j, v)
+			}
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.NumClasses {
+			return fmt.Errorf("feature: label %d of sample %d out of [0,%d)", y, i, d.NumClasses)
+		}
+	}
+	return nil
+}
+
+// Add appends one sample.
+func (d *Dataset) Add(x []float64, y int) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Split partitions the dataset into train/test with the given test
+// fraction, shuffled deterministically by seed. The underlying rows are
+// shared, not copied.
+func (d *Dataset) Split(testFrac float64, seed uint64) (train, test *Dataset, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("feature: test fraction %v out of (0,1)", testFrac)
+	}
+	if d.Len() < 2 {
+		return nil, nil, errors.New("feature: need at least 2 samples to split")
+	}
+	r := rand.New(rand.NewPCG(seed, 0xdeadbeef))
+	idx := r.Perm(d.Len())
+	nTest := int(testFrac * float64(d.Len()))
+	if nTest == 0 {
+		nTest = 1
+	}
+	test = d.subset(idx[:nTest])
+	train = d.subset(idx[nTest:])
+	return train, test, nil
+}
+
+func (d *Dataset) subset(idx []int) *Dataset {
+	out := &Dataset{
+		Names:      d.Names,
+		NumClasses: d.NumClasses,
+		X:          make([][]float64, len(idx)),
+		Y:          make([]int, len(idx)),
+	}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// ClassCounts returns the number of samples per class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses)
+	for _, y := range d.Y {
+		if y >= 0 && y < d.NumClasses {
+			counts[y]++
+		}
+	}
+	return counts
+}
+
+// OneHot encodes string categories as one-hot feature groups with a capped
+// vocabulary; categories beyond the cap (by frequency at Fit time) share an
+// "other" slot. This mirrors the paper's treatment of attributes like
+// service name ("the name of a top first-party subscription or 'unknown'
+// for the others").
+type OneHot struct {
+	Name  string
+	Index map[string]int
+	// Width is the number of slots including the trailing "other".
+	Width int
+}
+
+// FitOneHot builds an encoder over the observed values keeping at most cap
+// explicit categories (most frequent first; ties broken lexicographically
+// for determinism).
+func FitOneHot(name string, values []string, cap int) (*OneHot, error) {
+	if cap < 1 {
+		return nil, fmt.Errorf("feature: one-hot cap %d < 1", cap)
+	}
+	freq := make(map[string]int)
+	for _, v := range values {
+		freq[v]++
+	}
+	keys := make([]string, 0, len(freq))
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if freq[keys[i]] != freq[keys[j]] {
+			return freq[keys[i]] > freq[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > cap {
+		keys = keys[:cap]
+	}
+	idx := make(map[string]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	return &OneHot{Name: name, Index: idx, Width: len(keys) + 1}, nil
+}
+
+// Encode appends the one-hot encoding of value to dst and returns it.
+func (o *OneHot) Encode(dst []float64, value string) []float64 {
+	start := len(dst)
+	for i := 0; i < o.Width; i++ {
+		dst = append(dst, 0)
+	}
+	if i, ok := o.Index[value]; ok {
+		dst[start+i] = 1
+	} else {
+		dst[start+o.Width-1] = 1 // "other"
+	}
+	return dst
+}
+
+// FeatureNames returns the names of the encoded slots.
+func (o *OneHot) FeatureNames() []string {
+	names := make([]string, o.Width)
+	inv := make([]string, o.Width-1)
+	for k, i := range o.Index {
+		inv[i] = k
+	}
+	for i, k := range inv {
+		names[i] = o.Name + "=" + k
+	}
+	names[o.Width-1] = o.Name + "=<other>"
+	return names
+}
+
+// Scaler standardizes features to zero mean and unit variance (paper:
+// "feature engineering and normalization"). Constant features are left
+// unscaled.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes column statistics.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 {
+		return nil, errors.New("feature: cannot fit scaler on empty data")
+	}
+	nf := len(X[0])
+	mean := make([]float64, nf)
+	std := make([]float64, nf)
+	for _, row := range X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(X))
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(X)))
+	}
+	return &Scaler{Mean: mean, Std: std}, nil
+}
+
+// Transform standardizes row in place and returns it.
+func (s *Scaler) Transform(row []float64) []float64 {
+	for j := range row {
+		if j < len(s.Mean) && s.Std[j] > 0 {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return row
+}

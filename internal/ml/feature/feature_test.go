@@ -1,0 +1,228 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func smallDataset() *Dataset {
+	return &Dataset{
+		X:          [][]float64{{1, 0}, {2, 1}, {3, 0}, {4, 1}},
+		Y:          []int{0, 1, 0, 1},
+		Names:      []string{"a", "b"},
+		NumClasses: 2,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := smallDataset().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Dataset){
+		func(d *Dataset) { d.Y = d.Y[:2] },                       // length mismatch
+		func(d *Dataset) { d.NumClasses = 1 },                    // too few classes
+		func(d *Dataset) { d.X[1] = []float64{1} },               // ragged rows
+		func(d *Dataset) { d.X[0][0] = math.NaN() },              // NaN
+		func(d *Dataset) { d.X[0][1] = math.Inf(1) },             // Inf
+		func(d *Dataset) { d.Y[0] = 5 },                          // label out of range
+		func(d *Dataset) { d.Y[0] = -1 },                         // negative label
+		func(d *Dataset) { d.Names = []string{"only one name"} }, // name count
+	}
+	for i, mutate := range cases {
+		d := smallDataset()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAddAndCounts(t *testing.T) {
+	d := &Dataset{NumClasses: 3}
+	d.Add([]float64{1}, 0)
+	d.Add([]float64{2}, 2)
+	d.Add([]float64{3}, 2)
+	counts := d.ClassCounts()
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	if d.Len() != 3 || d.NumFeatures() != 1 {
+		t.Errorf("len=%d nf=%d", d.Len(), d.NumFeatures())
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	d := &Dataset{NumClasses: 2}
+	for i := 0; i < 100; i++ {
+		d.Add([]float64{float64(i)}, i%2)
+	}
+	train, test, err := d.Split(0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.Len() != 25 || train.Len() != 75 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// No overlap and full coverage.
+	seen := map[float64]int{}
+	for _, row := range train.X {
+		seen[row[0]]++
+	}
+	for _, row := range test.X {
+		seen[row[0]]++
+	}
+	if len(seen) != 100 {
+		t.Errorf("coverage %d, want 100", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("sample %v appears %d times", v, n)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d := &Dataset{NumClasses: 2}
+	for i := 0; i < 50; i++ {
+		d.Add([]float64{float64(i)}, i%2)
+	}
+	_, t1, _ := d.Split(0.2, 3)
+	_, t2, _ := d.Split(0.2, 3)
+	for i := range t1.X {
+		if t1.X[i][0] != t2.X[i][0] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	d := smallDataset()
+	if _, _, err := d.Split(0, 1); err == nil {
+		t.Error("expected error for frac 0")
+	}
+	if _, _, err := d.Split(1, 1); err == nil {
+		t.Error("expected error for frac 1")
+	}
+	tiny := &Dataset{NumClasses: 2, X: [][]float64{{1}}, Y: []int{0}}
+	if _, _, err := tiny.Split(0.5, 1); err == nil {
+		t.Error("expected error for tiny dataset")
+	}
+}
+
+func TestOneHotEncode(t *testing.T) {
+	enc, err := FitOneHot("os", []string{"linux", "linux", "windows", "windows", "linux", "bsd"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Width != 3 {
+		t.Fatalf("width = %d, want 3", enc.Width)
+	}
+	// linux is most frequent → slot 0.
+	got := enc.Encode(nil, "linux")
+	if got[0] != 1 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("linux encoding = %v", got)
+	}
+	// bsd fell out of the cap → other slot.
+	got = enc.Encode(nil, "bsd")
+	if got[2] != 1 {
+		t.Errorf("bsd encoding = %v", got)
+	}
+	// unseen value → other slot.
+	got = enc.Encode(nil, "plan9")
+	if got[2] != 1 {
+		t.Errorf("plan9 encoding = %v", got)
+	}
+}
+
+func TestOneHotAppends(t *testing.T) {
+	enc, _ := FitOneHot("x", []string{"a", "b"}, 4)
+	dst := []float64{9, 9}
+	dst = enc.Encode(dst, "a")
+	if len(dst) != 2+enc.Width || dst[0] != 9 {
+		t.Errorf("encode did not append: %v", dst)
+	}
+}
+
+func TestOneHotNames(t *testing.T) {
+	enc, _ := FitOneHot("role", []string{"web", "web", "worker"}, 5)
+	names := enc.FeatureNames()
+	if len(names) != enc.Width {
+		t.Fatalf("names = %v", names)
+	}
+	if names[0] != "role=web" || names[len(names)-1] != "role=<other>" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestOneHotCapError(t *testing.T) {
+	if _, err := FitOneHot("x", []string{"a"}, 0); err == nil {
+		t.Error("expected cap error")
+	}
+}
+
+func TestOneHotDeterministicTieBreak(t *testing.T) {
+	a, _ := FitOneHot("x", []string{"b", "a"}, 1)
+	b, _ := FitOneHot("x", []string{"a", "b"}, 1)
+	if len(a.Index) != 1 || len(b.Index) != 1 {
+		t.Fatal("cap not applied")
+	}
+	if _, ok := a.Index["a"]; !ok {
+		t.Error("tie not broken lexicographically")
+	}
+	if _, ok := b.Index["a"]; !ok {
+		t.Error("tie break not order-independent")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{0, 5}, {10, 5}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := s.Transform([]float64{0, 5})
+	if math.Abs(row[0]+1) > 1e-9 {
+		t.Errorf("scaled = %v, want -1", row[0])
+	}
+	// Constant column untouched.
+	if row[1] != 5 {
+		t.Errorf("constant column changed: %v", row[1])
+	}
+	if _, err := FitScaler(nil); err == nil {
+		t.Error("expected error on empty")
+	}
+}
+
+// Property: split preserves total size and class counts.
+func TestQuickSplitPreservesCounts(t *testing.T) {
+	f := func(n uint8, seed uint64) bool {
+		size := int(n)%200 + 4
+		d := &Dataset{NumClasses: 3}
+		for i := 0; i < size; i++ {
+			d.Add([]float64{float64(i)}, i%3)
+		}
+		train, test, err := d.Split(0.3, seed)
+		if err != nil {
+			return false
+		}
+		if train.Len()+test.Len() != size {
+			return false
+		}
+		tc := train.ClassCounts()
+		sc := test.ClassCounts()
+		orig := d.ClassCounts()
+		for c := 0; c < 3; c++ {
+			if tc[c]+sc[c] != orig[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package forest implements random-forest classifiers (bootstrap
+// aggregation of CART trees with per-split feature subsampling) — the
+// modelling approach the paper uses for the average and P95 CPU
+// utilization metrics (Table 1).
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"resourcecentral/internal/ml/dtree"
+	"resourcecentral/internal/ml/feature"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the ensemble size (0 = 100).
+	Trees int
+	// MaxDepth limits each tree (0 = 64).
+	MaxDepth int
+	// MinLeaf is the per-tree minimum leaf size (0 = 1).
+	MinLeaf int
+	// MaxFeatures examined per split (0 = sqrt of feature count).
+	MaxFeatures int
+	// Criterion is the split impurity measure.
+	Criterion dtree.Criterion
+	// Seed makes training reproducible.
+	Seed uint64
+	// Workers bounds training parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults(numFeatures int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MaxFeatures <= 0 {
+		c.MaxFeatures = int(math.Sqrt(float64(numFeatures)))
+		if c.MaxFeatures < 1 {
+			c.MaxFeatures = 1
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	Trees      []*dtree.Tree
+	NumClasses int
+}
+
+// Train fits the ensemble. Trees are trained concurrently but the result
+// is deterministic for a given Config.Seed.
+func Train(ds *feature.Dataset, cfg Config) (*Forest, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, errors.New("forest: empty dataset")
+	}
+	cfg = cfg.withDefaults(ds.NumFeatures())
+
+	f := &Forest{
+		Trees:      make([]*dtree.Tree, cfg.Trees),
+		NumClasses: ds.NumClasses,
+	}
+	// Pre-derive one seed per tree so concurrency cannot affect results.
+	seeds := make([]uint64, cfg.Trees)
+	seedGen := rand.New(rand.NewPCG(cfg.Seed, 0xf0125))
+	for i := range seeds {
+		seeds[i] = seedGen.Uint64()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Trees)
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Trees; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := rand.New(rand.NewPCG(seeds[i], 0xb001))
+			boot := bootstrap(ds, r)
+			tree, err := dtree.Train(boot, dtree.Config{
+				MaxDepth:    cfg.MaxDepth,
+				MinLeaf:     cfg.MinLeaf,
+				MaxFeatures: cfg.MaxFeatures,
+				Criterion:   cfg.Criterion,
+				Seed:        seeds[i] ^ 0x51ee7,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			f.Trees[i] = tree
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree training: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// bootstrap draws n samples with replacement (rows shared, not copied).
+func bootstrap(ds *feature.Dataset, r *rand.Rand) *feature.Dataset {
+	n := ds.Len()
+	out := &feature.Dataset{
+		Names:      ds.Names,
+		NumClasses: ds.NumClasses,
+		X:          make([][]float64, n),
+		Y:          make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		j := r.IntN(n)
+		out.X[i] = ds.X[j]
+		out.Y[i] = ds.Y[j]
+	}
+	return out
+}
+
+// PredictProba averages the trees' class distributions.
+func (f *Forest) PredictProba(x []float64) ([]float64, error) {
+	if len(f.Trees) == 0 {
+		return nil, errors.New("forest: no trees")
+	}
+	acc := make([]float64, f.NumClasses)
+	for _, t := range f.Trees {
+		p, err := t.PredictProba(x)
+		if err != nil {
+			return nil, err
+		}
+		for c, v := range p {
+			acc[c] += v
+		}
+	}
+	for c := range acc {
+		acc[c] /= float64(len(f.Trees))
+	}
+	return acc, nil
+}
+
+// Predict returns the most likely class and its averaged probability,
+// which serves as the prediction confidence score.
+func (f *Forest) Predict(x []float64) (int, float64, error) {
+	probs, err := f.PredictProba(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best, probs[best], nil
+}
+
+// Importance averages the trees' impurity-decrease feature importances,
+// normalized to sum to 1 (all zeros if the forest never split).
+func (f *Forest) Importance() []float64 {
+	if len(f.Trees) == 0 {
+		return nil
+	}
+	out := make([]float64, f.Trees[0].NumFeatures)
+	for _, t := range f.Trees {
+		for i, v := range t.Importance {
+			out[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the in-memory model size.
+func (f *Forest) SizeBytes() int {
+	size := 0
+	for _, t := range f.Trees {
+		size += t.SizeBytes()
+	}
+	return size
+}

@@ -1,0 +1,216 @@
+package gbt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"resourcecentral/internal/ml/feature"
+)
+
+func spiralish(n int, seed uint64) *feature.Dataset {
+	r := rand.New(rand.NewPCG(seed, 1))
+	d := &feature.Dataset{NumClasses: 4, Names: []string{"x", "y"}}
+	for i := 0; i < n; i++ {
+		x := r.Float64()*2 - 1
+		y := r.Float64()*2 - 1
+		label := 0
+		if x > 0 {
+			label += 1
+		}
+		if y > 0 {
+			label += 2
+		}
+		d.Add([]float64{x, y}, label)
+	}
+	return d
+}
+
+func modelAccuracy(t *testing.T, m *Model, ds *feature.Dataset) float64 {
+	t.Helper()
+	correct := 0
+	for i := range ds.X {
+		pred, _, err := m.Predict(ds.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestGBTLearnsQuadrants(t *testing.T) {
+	train := spiralish(800, 1)
+	test := spiralish(300, 2)
+	m, err := Train(train, Config{Rounds: 30, MaxDepth: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := modelAccuracy(t, m, test); acc < 0.97 {
+		t.Errorf("quadrant accuracy = %.3f, want >= 0.97", acc)
+	}
+}
+
+func TestGBTImprovesWithRounds(t *testing.T) {
+	train := spiralish(600, 4)
+	test := spiralish(300, 5)
+	weak, err := Train(train, Config{Rounds: 1, MaxDepth: 1, LearningRate: 0.1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Train(train, Config{Rounds: 40, MaxDepth: 3, LearningRate: 0.3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa := modelAccuracy(t, weak, test)
+	sa := modelAccuracy(t, strong, test)
+	if sa <= wa {
+		t.Errorf("more rounds did not help: weak %.3f, strong %.3f", wa, sa)
+	}
+}
+
+func TestGBTSubsample(t *testing.T) {
+	train := spiralish(500, 7)
+	m, err := Train(train, Config{Rounds: 25, MaxDepth: 3, Subsample: 0.7, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := modelAccuracy(t, m, train); acc < 0.95 {
+		t.Errorf("subsampled accuracy = %.3f", acc)
+	}
+}
+
+func TestGBTDeterministic(t *testing.T) {
+	train := spiralish(300, 9)
+	cfg := Config{Rounds: 10, MaxDepth: 3, Subsample: 0.8, Seed: 10}
+	a, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -0.4}
+	pa, _ := a.PredictProba(probe)
+	pb, _ := b.PredictProba(probe)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestGBTClassPriorsOnly(t *testing.T) {
+	// Constant features: GBT should fall back to class priors.
+	d := &feature.Dataset{NumClasses: 2}
+	for i := 0; i < 100; i++ {
+		label := 0
+		if i < 80 {
+			label = 1 // 80% class 1
+		}
+		d.Add([]float64{1}, label)
+	}
+	m, err := Train(d, Config{Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, score, err := m.Predict([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Errorf("pred = %d, want majority class 1", pred)
+	}
+	if score < 0.6 {
+		t.Errorf("majority score = %.3f, want > 0.6", score)
+	}
+}
+
+func TestGBTErrors(t *testing.T) {
+	if _, err := Train(&feature.Dataset{NumClasses: 2}, Config{}); err == nil {
+		t.Error("expected error on empty dataset")
+	}
+	m, _ := Train(spiralish(100, 11), Config{Rounds: 2})
+	if _, err := m.PredictProba([]float64{1}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestGBTSizeBytes(t *testing.T) {
+	m, _ := Train(spiralish(100, 12), Config{Rounds: 3})
+	if m.SizeBytes() <= 0 {
+		t.Error("size should be positive")
+	}
+}
+
+func TestSortEntries(t *testing.T) {
+	r := rand.New(rand.NewPCG(13, 14))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.IntN(500)
+		es := make([]entry, n)
+		for i := range es {
+			es[i] = entry{v: r.Float64(), g: float64(i), h: 1}
+		}
+		sortEntries(es)
+		for i := 1; i < n; i++ {
+			if es[i].v < es[i-1].v {
+				t.Fatalf("trial %d: not sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	out := make([]float64, 3)
+	softmaxInto([]float64{1, 1, 1}, out)
+	for _, p := range out {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Errorf("uniform softmax = %v", out)
+		}
+	}
+	// Large scores must not overflow.
+	softmaxInto([]float64{1000, 0, -1000}, out)
+	if out[0] < 0.999 || math.IsNaN(out[0]) {
+		t.Errorf("softmax overflow: %v", out)
+	}
+}
+
+// Property: probabilities are valid and Predict is the argmax.
+func TestQuickGBTProbsValid(t *testing.T) {
+	m, err := Train(spiralish(300, 15), Config{Rounds: 8, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		probs, err := m.PredictProba([]float64{x, y})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		best := 0
+		for c, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+			if p > probs[best] {
+				best = c
+			}
+		}
+		cls, score, err := m.Predict([]float64{x, y})
+		if err != nil {
+			return false
+		}
+		return math.Abs(sum-1) < 1e-9 && cls == best && score == probs[best]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

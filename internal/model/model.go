@@ -1,0 +1,329 @@
+// Package model defines Resource Central's model specifications: the
+// client inputs each model accepts, the featurization that combines client
+// inputs with per-subscription feature data (shared verbatim between
+// offline training and online prediction, which is what makes the client
+// DLL's model execution correct), and the serialized form models are
+// published to the store in.
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+
+	"resourcecentral/internal/featuredata"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/ml/feature"
+	"resourcecentral/internal/ml/forest"
+	"resourcecentral/internal/ml/gbt"
+	"resourcecentral/internal/trace"
+)
+
+// ClientInputs is the information a client system (VM scheduler, health
+// manager, ...) passes with a prediction request (Section 4.2). All fields
+// are known at VM deployment time.
+type ClientInputs struct {
+	Subscription string
+	VMType       string // "IaaS" or "PaaS"
+	Role         string
+	OS           string
+	Party        string // "first" or "third"
+	Production   bool
+	Cores        int
+	MemoryGB     float64
+	// CreateMinute is the deployment time as minutes from trace start;
+	// only its hour-of-day and day-of-week reach the feature vector.
+	CreateMinute trace.Minutes
+	// RequestedVMs is the size of the initial deployment request.
+	RequestedVMs int
+}
+
+// CacheKey hashes the model name and client inputs for the result cache.
+// Identical inputs always produce identical keys.
+func (c *ClientInputs) CacheKey(modelName string) uint64 {
+	h := fnv.New64a()
+	write := func(s string) {
+		h.Write([]byte(s)) //nolint:errcheck // fnv cannot fail
+		h.Write([]byte{0})
+	}
+	write(modelName)
+	write(c.Subscription)
+	write(c.VMType)
+	write(c.Role)
+	write(c.OS)
+	write(c.Party)
+	write(strconv.FormatBool(c.Production))
+	write(strconv.Itoa(c.Cores))
+	write(strconv.FormatFloat(c.MemoryGB, 'g', -1, 64))
+	write(strconv.FormatInt(int64(c.CreateMinute/60), 10)) // hour granularity
+	write(strconv.Itoa(c.RequestedVMs))
+	return h.Sum64()
+}
+
+// FromVM derives client inputs from a trace VM record plus the size of its
+// deployment request.
+func FromVM(v *trace.VM, requestedVMs int) ClientInputs {
+	return ClientInputs{
+		Subscription: v.Subscription,
+		VMType:       v.Type.String(),
+		Role:         v.Role,
+		OS:           v.OS,
+		Party:        v.Party.String(),
+		Production:   v.Production,
+		Cores:        v.Cores,
+		MemoryGB:     v.MemoryGB,
+		CreateMinute: v.Created,
+		RequestedVMs: requestedVMs,
+	}
+}
+
+// Spec describes one model's inputs: which metric it predicts and the
+// fitted categorical encoders. It fully determines the feature layout.
+type Spec struct {
+	Metric  metric.Metric
+	RoleEnc *feature.OneHot
+	OSEnc   *feature.OneHot
+	// TrainedAt records the feature-data cutoff used in training.
+	TrainedAt trace.Minutes
+	// Version is the published model version.
+	Version int
+}
+
+// NewSpec fits the categorical encoders over the training population.
+func NewSpec(m metric.Metric, roles, oses []string) (*Spec, error) {
+	roleEnc, err := feature.FitOneHot("role", roles, 8)
+	if err != nil {
+		return nil, err
+	}
+	osEnc, err := feature.FitOneHot("os", oses, 6)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{Metric: m, RoleEnc: roleEnc, OSEnc: osEnc}, nil
+}
+
+// FeatureNames lists the feature layout, in Featurize order.
+func (s *Spec) FeatureNames() []string {
+	names := []string{
+		"cores", "log2-memgb", "production", "is-iaas", "is-third-party",
+		"hour-sin", "hour-cos", "day-of-week", "is-weekend",
+		"log-requested-vms",
+	}
+	names = append(names, s.RoleEnc.FeatureNames()...)
+	names = append(names, s.OSEnc.FeatureNames()...)
+	names = append(names, "sub-known", "log-sub-vms", "log-sub-deploys",
+		"sub-mean-cores", "sub-mean-memgb", "sub-iaas-frac", "sub-prod-frac",
+		"sub-mean-lifetime", "sub-mean-avg-util", "sub-mean-p95-util")
+	for _, m := range metric.All {
+		for b := 0; b < m.Buckets(); b++ {
+			names = append(names, fmt.Sprintf("sub-%s-b%d", m, b+1))
+		}
+	}
+	return names
+}
+
+// NumFeatures returns the feature dimensionality.
+func (s *Spec) NumFeatures() int { return len(s.FeatureNames()) }
+
+// Featurize builds the model input vector from client inputs and the
+// subscription's feature data (sub may be nil for an unknown
+// subscription; the sub-known flag tells the model). dst is appended to
+// and returned, so callers can reuse buffers.
+func (s *Spec) Featurize(in *ClientInputs, sub *featuredata.SubscriptionFeatures, dst []float64) []float64 {
+	hour := float64((in.CreateMinute / 60) % 24)
+	day := float64((in.CreateMinute / (24 * 60)) % 7)
+	isWeekend := 0.0
+	if day == 5 || day == 6 {
+		isWeekend = 1
+	}
+	isIaaS := 0.0
+	if in.VMType == trace.IaaS.String() {
+		isIaaS = 1
+	}
+	isThird := 0.0
+	if in.Party == trace.ThirdParty.String() {
+		isThird = 1
+	}
+	prod := 0.0
+	if in.Production {
+		prod = 1
+	}
+	dst = append(dst,
+		float64(in.Cores),
+		math.Log2(math.Max(in.MemoryGB, 0.25)),
+		prod, isIaaS, isThird,
+		math.Sin(2*math.Pi*hour/24),
+		math.Cos(2*math.Pi*hour/24),
+		day, isWeekend,
+		math.Log1p(float64(in.RequestedVMs)),
+	)
+	dst = s.RoleEnc.Encode(dst, in.Role)
+	dst = s.OSEnc.Encode(dst, in.OS)
+
+	if sub == nil {
+		sub = &featuredata.SubscriptionFeatures{}
+		dst = append(dst, 0) // sub-known
+	} else {
+		dst = append(dst, 1)
+	}
+	dst = append(dst,
+		math.Log1p(float64(sub.VMCount)),
+		math.Log1p(float64(sub.DeployCount)),
+		sub.MeanCores, sub.MeanMemoryGB, sub.IaaSFrac, sub.ProdFrac,
+		math.Log1p(sub.MeanLifetimeMin), sub.MeanAvgUtil, sub.MeanP95Util,
+	)
+	for _, m := range metric.All {
+		fr := sub.BucketFracs(m)
+		dst = append(dst, fr...)
+	}
+	return dst
+}
+
+// Classifier is the prediction interface both learner families satisfy.
+type Classifier interface {
+	PredictProba(x []float64) ([]float64, error)
+	SizeBytes() int
+}
+
+// Trained couples a spec with its fitted classifier. Exactly one of Forest
+// and GBT is non-nil; the union keeps gob serialization simple and
+// explicit.
+type Trained struct {
+	Spec   Spec
+	Forest *forest.Forest
+	GBT    *gbt.Model
+}
+
+// Name returns the model's store name.
+func (t *Trained) Name() string { return t.Spec.Metric.String() }
+
+// Classifier returns the fitted learner.
+func (t *Trained) Classifier() (Classifier, error) {
+	switch {
+	case t.Forest != nil && t.GBT != nil:
+		return nil, errors.New("model: both learners set")
+	case t.Forest != nil:
+		return t.Forest, nil
+	case t.GBT != nil:
+		return t.GBT, nil
+	default:
+		return nil, errors.New("model: no learner set")
+	}
+}
+
+// PredictProba runs the model on a featurized input.
+func (t *Trained) PredictProba(x []float64) ([]float64, error) {
+	c, err := t.Classifier()
+	if err != nil {
+		return nil, err
+	}
+	return c.PredictProba(x)
+}
+
+// Predict returns the most likely bucket and its confidence score.
+func (t *Trained) Predict(x []float64) (int, float64, error) {
+	probs, err := t.PredictProba(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best, probs[best], nil
+}
+
+// SizeBytes reports the learner size (Table 1).
+func (t *Trained) SizeBytes() int {
+	c, err := t.Classifier()
+	if err != nil {
+		return 0
+	}
+	return c.SizeBytes()
+}
+
+// FeatureImportance pairs a feature name with its normalized importance.
+type FeatureImportance struct {
+	Name       string
+	Importance float64
+}
+
+// TopFeatures returns the k most important features, most important first
+// (the paper reports that the per-subscription bucket history dominates).
+func (t *Trained) TopFeatures(k int) []FeatureImportance {
+	var imp []float64
+	switch {
+	case t.Forest != nil:
+		imp = t.Forest.Importance()
+	case t.GBT != nil:
+		imp = t.GBT.Importance()
+	}
+	names := t.Spec.FeatureNames()
+	if len(imp) != len(names) {
+		return nil
+	}
+	out := make([]FeatureImportance, len(names))
+	for i := range names {
+		out[i] = FeatureImportance{Name: names[i], Importance: imp[i]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Importance > out[j].Importance })
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// SanityCheck verifies the model produces valid distributions on a probe
+// input, the check RC applies before publishing models (Section 4.2).
+func (t *Trained) SanityCheck() error {
+	probe := t.Spec.Featurize(&ClientInputs{
+		Subscription: "sanity", VMType: "IaaS", Role: "IaaS", OS: "linux",
+		Party: "third", Cores: 2, MemoryGB: 3.5,
+	}, nil, nil)
+	probs, err := t.PredictProba(probe)
+	if err != nil {
+		return fmt.Errorf("model %s: probe failed: %w", t.Name(), err)
+	}
+	if len(probs) != t.Spec.Metric.Buckets() {
+		return fmt.Errorf("model %s: %d outputs for %d buckets", t.Name(), len(probs), t.Spec.Metric.Buckets())
+	}
+	sum := 0.0
+	for _, p := range probs {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("model %s: invalid probability %v", t.Name(), p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("model %s: probabilities sum to %v", t.Name(), sum)
+	}
+	return nil
+}
+
+// Encode serializes the model for publication to the store.
+func (t *Trained) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
+		return nil, fmt.Errorf("model: encode %s: %w", t.Name(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a model published by Encode.
+func Decode(data []byte) (*Trained, error) {
+	var t Trained
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("model: decode: %w", err)
+	}
+	if _, err := t.Classifier(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

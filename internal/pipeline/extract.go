@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"resourcecentral/internal/fftperiod"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/trace"
+)
+
+// fft class aliases for readability in the switch below.
+const (
+	fftClassInteractive      = fftperiod.ClassInteractive
+	fftClassDelayInsensitive = fftperiod.ClassDelayInsensitive
+)
+
+// sample is one labeled training/test example for a metric.
+type sample struct {
+	in    model.ClientInputs
+	label int
+}
+
+// extractor walks a trace once to index deployments, then collects
+// per-metric samples for arbitrary windows.
+type extractor struct {
+	tr  *trace.Trace
+	cfg Config
+
+	// deployments indexed by id.
+	deps map[string]*deployment
+}
+
+// deployment aggregates a deployment's waves.
+type deployment struct {
+	firstVM   *trace.VM
+	firstTime trace.Minutes
+	// requested is the size of the initial wave (what the scheduler sees).
+	requested int
+	// arrivals lists (time, vms, cores) per VM for windowed maxima.
+	times []trace.Minutes
+	cores []int
+}
+
+func newExtractor(tr *trace.Trace, cfg Config) *extractor {
+	e := &extractor{tr: tr, cfg: cfg, deps: make(map[string]*deployment)}
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		d := e.deps[v.Deployment]
+		if d == nil {
+			d = &deployment{firstVM: v, firstTime: v.Created}
+			e.deps[v.Deployment] = d
+		}
+		if v.Created < d.firstTime {
+			d.firstTime = v.Created
+			d.firstVM = v
+		}
+		d.times = append(d.times, v.Created)
+		d.cores = append(d.cores, v.Cores)
+	}
+	for _, d := range e.deps {
+		for _, t := range d.times {
+			if t == d.firstTime {
+				d.requested++
+			}
+		}
+	}
+	return e
+}
+
+// sizeBy returns the deployment's VM and core counts visible by `end`.
+func (d *deployment) sizeBy(end trace.Minutes) (vms, cores int) {
+	for i, t := range d.times {
+		if t < end {
+			vms++
+			cores += d.cores[i]
+		}
+	}
+	return vms, cores
+}
+
+// collect gathers per-metric samples for VMs/deployments created in
+// [from, to), labeling them with telemetry visible up to `to`.
+func (e *extractor) collect(from, to trace.Minutes) map[metric.Metric][]sample {
+	out := make(map[metric.Metric][]sample, len(metric.All))
+
+	for i := range e.tr.VMs {
+		v := &e.tr.VMs[i]
+		if v.Created < from || v.Created >= to {
+			continue
+		}
+		d := e.deps[v.Deployment]
+		in := model.FromVM(v, d.requested)
+
+		avg, p95 := trace.SummaryStats(v, to)
+		out[metric.AvgCPU] = append(out[metric.AvgCPU],
+			sample{in: in, label: metric.AvgCPU.Bucket(avg)})
+		out[metric.P95CPU] = append(out[metric.P95CPU],
+			sample{in: in, label: metric.P95CPU.Bucket(p95)})
+
+		// Lifetime: completed VMs are labeled exactly; VMs still running
+		// but already older than a day are provably in the >24h bucket;
+		// other censored VMs are skipped.
+		if v.Deleted <= to {
+			life, _ := v.Lifetime()
+			out[metric.Lifetime] = append(out[metric.Lifetime],
+				sample{in: in, label: metric.Lifetime.Bucket(float64(life))})
+		} else if to-v.Created > 1440 {
+			out[metric.Lifetime] = append(out[metric.Lifetime],
+				sample{in: in, label: 3})
+		}
+
+		// Workload class: only VMs with enough history for the FFT.
+		cls, _ := e.cfg.Detector.Classify(trace.AvgSeries(v, to))
+		switch cls {
+		case fftClassInteractive:
+			out[metric.WorkloadClass] = append(out[metric.WorkloadClass],
+				sample{in: in, label: metric.ClassInteractive})
+		case fftClassDelayInsensitive:
+			out[metric.WorkloadClass] = append(out[metric.WorkloadClass],
+				sample{in: in, label: metric.ClassDelayInsensitive})
+		}
+	}
+
+	// Deployment-size metrics: one sample per deployment created in the
+	// window, labeled with the maximum size reached by `to`.
+	for _, d := range e.deps {
+		if d.firstTime < from || d.firstTime >= to {
+			continue
+		}
+		vms, cores := d.sizeBy(to)
+		if vms == 0 {
+			continue
+		}
+		in := model.FromVM(d.firstVM, d.requested)
+		out[metric.DeploySizeVMs] = append(out[metric.DeploySizeVMs],
+			sample{in: in, label: metric.DeploySizeVMs.Bucket(float64(vms))})
+		out[metric.DeploySizeCores] = append(out[metric.DeploySizeCores],
+			sample{in: in, label: metric.DeploySizeCores.Bucket(float64(cores))})
+	}
+	return out
+}

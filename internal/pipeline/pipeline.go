@@ -1,0 +1,329 @@
+// Package pipeline implements Resource Central's offline workflow
+// (Figure 9): data extraction and cleanup from a trace, aggregation,
+// feature-data generation, model training, validation against a held-out
+// window, and publication of versioned models and feature data to the
+// store. The paper trains on two months of telemetry and tests on the
+// third; Config.TrainCutoff sets that split point.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"resourcecentral/internal/featuredata"
+	"resourcecentral/internal/fftperiod"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/ml/eval"
+	"resourcecentral/internal/ml/feature"
+	"resourcecentral/internal/ml/forest"
+	"resourcecentral/internal/ml/gbt"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/trace"
+)
+
+// Config controls the offline run. TrainCutoff is required; everything
+// else has working defaults.
+type Config struct {
+	// TrainCutoff splits the trace: VMs created before it train the
+	// models, VMs created at or after it evaluate them.
+	TrainCutoff trace.Minutes
+	// Threshold is the confidence cut for P^θ/R^θ (0 = 0.6, as in §6.1).
+	Threshold float64
+	// ForestTrees / ForestMaxDepth configure the Random Forest metrics.
+	ForestTrees    int
+	ForestMaxDepth int
+	// GBTRounds / GBTMaxDepth / GBTColSample configure the boosted-tree
+	// metrics.
+	GBTRounds    int
+	GBTMaxDepth  int
+	GBTColSample float64
+	// InteractiveBoost duplicates interactive training samples to push the
+	// workload-class model toward high interactive recall — the paper
+	// deliberately trades interactive precision (7%) for recall (84%).
+	InteractiveBoost int
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// Detector classifies workload class (nil = default 3-day detector).
+	Detector *fftperiod.Detector
+	// DisableSubscriptionFeatures trains and evaluates the models with
+	// only client inputs (no per-subscription history). This is the
+	// ablation for the paper's claim that the subscription's bucket
+	// history is the most important attribute.
+	DisableSubscriptionFeatures bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.6
+	}
+	if c.ForestTrees <= 0 {
+		c.ForestTrees = 40
+	}
+	if c.ForestMaxDepth <= 0 {
+		c.ForestMaxDepth = 14
+	}
+	if c.GBTRounds <= 0 {
+		c.GBTRounds = 40
+	}
+	if c.GBTMaxDepth <= 0 {
+		c.GBTMaxDepth = 4
+	}
+	if c.GBTColSample <= 0 {
+		c.GBTColSample = 0.5
+	}
+	if c.InteractiveBoost <= 0 {
+		c.InteractiveBoost = 15
+	}
+	if c.Detector == nil {
+		c.Detector = fftperiod.NewDetector()
+	}
+	return c
+}
+
+// MetricResult is the trained model and validation report for one metric.
+// Report is nil when the held-out window produced no evaluable samples
+// for the metric (e.g. no VM lived long enough to classify) — the model
+// is still trained and publishable.
+type MetricResult struct {
+	Model        *model.Trained
+	Report       *eval.Report
+	TrainSamples int
+	TestSamples  int
+	// NoFeatureData counts test samples whose subscription had no feature
+	// data at the cutoff. RC answers those with a no-prediction (push
+	// mode, Section 4.2), so they are excluded from the report, exactly as
+	// a client would never receive a bucket for them.
+	NoFeatureData int
+}
+
+// Result is the output of one offline run.
+type Result struct {
+	ByMetric map[metric.Metric]*MetricResult
+	// Features is the per-subscription feature data at the train cutoff.
+	Features map[string]*featuredata.SubscriptionFeatures
+	// FeatureDataBytes is the encoded size of the full feature dataset
+	// (the rightmost column of Table 1).
+	FeatureDataBytes int
+	// Threshold echoes the confidence threshold used for P^θ/R^θ.
+	Threshold float64
+}
+
+// Run executes the offline pipeline on the trace.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TrainCutoff <= 0 || cfg.TrainCutoff >= tr.Horizon {
+		return nil, fmt.Errorf("pipeline: TrainCutoff %d outside (0, %d)", cfg.TrainCutoff, tr.Horizon)
+	}
+	if len(tr.VMs) == 0 {
+		return nil, errors.New("pipeline: empty trace")
+	}
+
+	// Feature-data generation over the training window.
+	feats, err := featuredata.Build(tr, cfg.TrainCutoff, cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := featuredata.EncodeSet(feats)
+	if err != nil {
+		return nil, err
+	}
+
+	// Extraction: training and test samples for every metric.
+	ext := newExtractor(tr, cfg)
+	trainSamples := ext.collect(0, cfg.TrainCutoff)
+	testSamples := ext.collect(cfg.TrainCutoff, tr.Horizon)
+
+	// Categorical vocabularies come from the training window only.
+	var roles, oses []string
+	for _, s := range trainSamples[metric.AvgCPU] {
+		roles = append(roles, s.in.Role)
+		oses = append(oses, s.in.OS)
+	}
+	if len(roles) == 0 {
+		return nil, errors.New("pipeline: no training samples before cutoff")
+	}
+
+	res := &Result{
+		ByMetric:         make(map[metric.Metric]*MetricResult, len(metric.All)),
+		Features:         feats,
+		FeatureDataBytes: len(encoded),
+		Threshold:        cfg.Threshold,
+	}
+
+	// Train and validate the six metrics concurrently.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make([]error, len(metric.All))
+	for i, m := range metric.All {
+		wg.Add(1)
+		go func(i int, m metric.Metric) {
+			defer wg.Done()
+			mr, err := trainOne(m, cfg, roles, oses, feats,
+				trainSamples[m], testSamples[m])
+			if err != nil {
+				errs[i] = fmt.Errorf("pipeline: %s: %w", m, err)
+				return
+			}
+			mu.Lock()
+			res.ByMetric[m] = mr
+			mu.Unlock()
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// trainOne fits and validates the model for one metric.
+func trainOne(m metric.Metric, cfg Config, roles, oses []string,
+	feats map[string]*featuredata.SubscriptionFeatures,
+	train, test []sample) (*MetricResult, error) {
+
+	if len(train) == 0 {
+		return nil, errors.New("no training samples")
+	}
+	spec, err := model.NewSpec(m, roles, oses)
+	if err != nil {
+		return nil, err
+	}
+	spec.TrainedAt = cfg.TrainCutoff
+
+	lookup := func(sub string) *featuredata.SubscriptionFeatures {
+		if cfg.DisableSubscriptionFeatures {
+			return nil
+		}
+		return feats[sub]
+	}
+
+	ds := &feature.Dataset{NumClasses: m.Buckets(), Names: spec.FeatureNames()}
+	for _, s := range train {
+		repeat := 1
+		if m == metric.WorkloadClass && s.label == metric.ClassInteractive {
+			repeat = cfg.InteractiveBoost
+		}
+		x := spec.Featurize(&s.in, lookup(s.in.Subscription), nil)
+		for r := 0; r < repeat; r++ {
+			ds.Add(x, s.label)
+		}
+	}
+
+	trained := &model.Trained{Spec: *spec}
+	switch m {
+	case metric.AvgCPU, metric.P95CPU:
+		f, err := forest.Train(ds, forest.Config{
+			Trees:    cfg.ForestTrees,
+			MaxDepth: cfg.ForestMaxDepth,
+			Seed:     cfg.Seed ^ uint64(m),
+		})
+		if err != nil {
+			return nil, err
+		}
+		trained.Forest = f
+	default:
+		g, err := gbt.Train(ds, gbt.Config{
+			Rounds:    cfg.GBTRounds,
+			MaxDepth:  cfg.GBTMaxDepth,
+			ColSample: cfg.GBTColSample,
+			Subsample: 0.8,
+			Seed:      cfg.Seed ^ uint64(m),
+		})
+		if err != nil {
+			return nil, err
+		}
+		trained.GBT = g
+	}
+	if err := trained.SanityCheck(); err != nil {
+		return nil, err
+	}
+
+	// Validation on the held-out window: prediction requests use only the
+	// train-window feature data, exactly as the online client would.
+	// Subscriptions without feature data receive a no-prediction in push
+	// mode, so they are excluded here and counted separately.
+	preds := make([]eval.Prediction, 0, len(test))
+	noFeature := 0
+	var buf []float64
+	for _, s := range test {
+		sub := lookup(s.in.Subscription)
+		if sub == nil && !cfg.DisableSubscriptionFeatures {
+			noFeature++
+			continue
+		}
+		buf = spec.Featurize(&s.in, sub, buf[:0])
+		cls, score, err := trained.Predict(buf)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, eval.Prediction{Truth: s.label, Pred: cls, Score: score})
+	}
+	var report *eval.Report
+	if len(preds) > 0 {
+		report, err = eval.Evaluate(preds, m.Buckets(), cfg.Threshold)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &MetricResult{
+		Model:         trained,
+		Report:        report,
+		TrainSamples:  len(train),
+		TestSamples:   len(test),
+		NoFeatureData: noFeature,
+	}, nil
+}
+
+// --- store publication ---
+
+// ModelKey is the store key of a published model.
+func ModelKey(m metric.Metric) string { return "model/" + m.String() }
+
+// FeatureSetKey is the store key of the full feature dataset.
+const FeatureSetKey = "featuredata/all"
+
+// SubFeatureKey is the store key of one subscription's feature record
+// (used by pull-based caching).
+func SubFeatureKey(subscription string) string { return "featuredata/sub/" + subscription }
+
+// Publish writes the trained models and feature data to the store with
+// fresh versions, triggering push notifications to subscribed clients.
+func Publish(st *store.Store, res *Result) error {
+	for _, m := range metric.All {
+		mr, ok := res.ByMetric[m]
+		if !ok {
+			return fmt.Errorf("pipeline: no result for metric %s", m)
+		}
+		if err := mr.Model.SanityCheck(); err != nil {
+			return err
+		}
+		data, err := mr.Model.Encode()
+		if err != nil {
+			return err
+		}
+		if _, err := st.Put(ModelKey(m), data); err != nil {
+			return err
+		}
+	}
+	all, err := featuredata.EncodeSet(res.Features)
+	if err != nil {
+		return err
+	}
+	if _, err := st.Put(FeatureSetKey, all); err != nil {
+		return err
+	}
+	for sub, f := range res.Features {
+		rec, err := featuredata.EncodeRecord(f)
+		if err != nil {
+			return err
+		}
+		if _, err := st.Put(SubFeatureKey(sub), rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

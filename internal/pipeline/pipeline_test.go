@@ -1,0 +1,316 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"resourcecentral/internal/featuredata"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// pipelineTrace is a mid-sized synthetic trace shared across tests (the
+// pipeline is the expensive part; generate once).
+var pipelineTrace *trace.Trace
+
+func testTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	if pipelineTrace == nil {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 15
+		cfg.TargetVMs = 6000
+		cfg.MaxDeploymentVMs = 200
+		cfg.Seed = 7
+		res, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipelineTrace = res.Trace
+	}
+	return pipelineTrace
+}
+
+// fastConfig keeps unit-test runtime low; benches use the full defaults.
+func fastConfig(tr *trace.Trace) Config {
+	return Config{
+		TrainCutoff:    tr.Horizon * 2 / 3,
+		ForestTrees:    12,
+		ForestMaxDepth: 12,
+		GBTRounds:      15,
+		GBTMaxDepth:    3,
+		Seed:           1,
+	}
+}
+
+var cachedRun *Result
+
+func runPipeline(t *testing.T) *Result {
+	t.Helper()
+	if cachedRun == nil {
+		tr := testTrace(t)
+		res, err := Run(tr, fastConfig(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedRun = res
+	}
+	return cachedRun
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := testTrace(t)
+	if _, err := Run(tr, Config{TrainCutoff: 0}); err == nil {
+		t.Error("expected error for zero cutoff")
+	}
+	if _, err := Run(tr, Config{TrainCutoff: tr.Horizon}); err == nil {
+		t.Error("expected error for cutoff at horizon")
+	}
+	if _, err := Run(&trace.Trace{Horizon: 100}, Config{TrainCutoff: 50}); err == nil {
+		t.Error("expected error for empty trace")
+	}
+}
+
+func TestRunProducesAllMetrics(t *testing.T) {
+	res := runPipeline(t)
+	for _, m := range metric.All {
+		mr := res.ByMetric[m]
+		if mr == nil {
+			t.Fatalf("no result for %s", m)
+		}
+		if mr.Model == nil || mr.Report == nil {
+			t.Fatalf("%s: incomplete result", m)
+		}
+		if mr.TrainSamples == 0 || mr.TestSamples == 0 {
+			t.Errorf("%s: %d train / %d test samples", m, mr.TrainSamples, mr.TestSamples)
+		}
+		if err := mr.Model.SanityCheck(); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+	if res.FeatureDataBytes == 0 || len(res.Features) == 0 {
+		t.Error("feature data missing")
+	}
+}
+
+// The headline reproduction check: prediction accuracy in the ballpark the
+// paper reports (0.79-0.90 across metrics). The floor here is deliberately
+// looser (small trace, small models); EXPERIMENTS.md records the
+// full-scale numbers.
+func TestPredictionAccuracyBallpark(t *testing.T) {
+	res := runPipeline(t)
+	for _, m := range metric.All {
+		rep := res.ByMetric[m].Report
+		if rep.Accuracy < 0.65 {
+			t.Errorf("%s: accuracy %.3f below floor 0.65", m, rep.Accuracy)
+		}
+		if rep.Accuracy > 0.999 && m != metric.WorkloadClass {
+			t.Errorf("%s: accuracy %.3f suspiciously perfect (leakage?)", m, rep.Accuracy)
+		}
+	}
+}
+
+// Thresholding must improve precision without collapsing recall (the
+// paper's P^θ between 0.85 and 0.94, R^θ between 0.73 and 0.98).
+func TestThresholdingImprovesPrecision(t *testing.T) {
+	res := runPipeline(t)
+	for _, m := range metric.All {
+		rep := res.ByMetric[m].Report
+		if rep.ThresholdedPrecision < rep.Accuracy-0.02 {
+			t.Errorf("%s: P^θ %.3f below accuracy %.3f", m, rep.ThresholdedPrecision, rep.Accuracy)
+		}
+		if rep.ThresholdedRecall < 0.4 {
+			t.Errorf("%s: R^θ %.3f collapsed", m, rep.ThresholdedRecall)
+		}
+	}
+}
+
+// The workload-class model must favour interactive recall over precision,
+// matching the paper's conservative design (recall 0.84, precision 0.07).
+func TestWorkloadClassFavorsInteractiveRecall(t *testing.T) {
+	res := runPipeline(t)
+	mr := res.ByMetric[metric.WorkloadClass]
+	rep := mr.Report
+	// Recall is only statistically meaningful with enough interactive
+	// samples in the (small) test window.
+	evaluated := float64(mr.TestSamples - mr.NoFeatureData)
+	interactiveSamples := rep.Share[metric.ClassInteractive] * evaluated
+	if interactiveSamples >= 10 && rep.Recall[metric.ClassInteractive] < 0.4 {
+		t.Errorf("interactive recall %.3f too low over %.0f samples",
+			rep.Recall[metric.ClassInteractive], interactiveSamples)
+	}
+	// Delay-insensitive dominates the classified population (the paper
+	// reports 99%; our interactive VMs are bigger and fewer, so the count
+	// share is higher — see EXPERIMENTS.md).
+	if rep.Share[metric.ClassDelayInsensitive] < 0.7 {
+		t.Errorf("delay-insensitive share %.3f unexpectedly low", rep.Share[metric.ClassDelayInsensitive])
+	}
+}
+
+func TestModelAndFeatureSizesCompact(t *testing.T) {
+	res := runPipeline(t)
+	for _, m := range metric.All {
+		size := res.ByMetric[m].Model.SizeBytes()
+		// Table 1: models are hundreds of KB; ours must also be small
+		// enough for client-side caching. Allow up to 32 MB.
+		if size <= 0 || size > 32<<20 {
+			t.Errorf("%s: model size %d bytes out of range", m, size)
+		}
+	}
+	// Feature data: paper ~376 MB for millions of subscriptions; ours must
+	// scale at a few hundred bytes per subscription.
+	perSub := float64(res.FeatureDataBytes) / float64(len(res.Features))
+	if perSub > 2048 {
+		t.Errorf("feature data %.0f bytes/subscription, want <= 2048", perSub)
+	}
+}
+
+func TestPublishWritesStore(t *testing.T) {
+	res := runPipeline(t)
+	st := store.New()
+	if err := Publish(st, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range metric.All {
+		blob, err := st.Get(ModelKey(m))
+		if err != nil {
+			t.Fatalf("model %s not in store: %v", m, err)
+		}
+		decoded, err := model.Decode(blob.Data)
+		if err != nil {
+			t.Fatalf("model %s does not decode: %v", m, err)
+		}
+		if decoded.Spec.Metric != m {
+			t.Errorf("model %s decoded with metric %s", m, decoded.Spec.Metric)
+		}
+	}
+	blob, err := st.Get(FeatureSetKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := featuredata.DecodeSet(blob.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != len(res.Features) {
+		t.Errorf("decoded %d feature records, want %d", len(set), len(res.Features))
+	}
+	// Per-subscription record exists for an arbitrary subscription.
+	for sub := range res.Features {
+		if _, err := st.Get(SubFeatureKey(sub)); err != nil {
+			t.Errorf("per-sub record missing for %s: %v", sub, err)
+		}
+		break
+	}
+}
+
+func TestPublishRejectsIncompleteResult(t *testing.T) {
+	res := runPipeline(t)
+	broken := &Result{ByMetric: map[metric.Metric]*MetricResult{}, Features: res.Features}
+	if err := Publish(store.New(), broken); err == nil {
+		t.Error("expected error for missing metrics")
+	}
+}
+
+func TestExtractorDeploymentRequested(t *testing.T) {
+	tr := &trace.Trace{
+		Horizon: 10000,
+		VMs: []trace.VM{
+			{ID: 1, Deployment: "d", Subscription: "s", Created: 100, Deleted: 5000, Cores: 2},
+			{ID: 2, Deployment: "d", Subscription: "s", Created: 100, Deleted: 5000, Cores: 2},
+			{ID: 3, Deployment: "d", Subscription: "s", Created: 2000, Deleted: 6000, Cores: 4},
+		},
+	}
+	e := newExtractor(tr, Config{}.withDefaults())
+	d := e.deps["d"]
+	if d.requested != 2 {
+		t.Errorf("requested = %d, want 2 (initial wave)", d.requested)
+	}
+	vms, cores := d.sizeBy(10000)
+	if vms != 3 || cores != 8 {
+		t.Errorf("sizeBy(horizon) = %d VMs, %d cores", vms, cores)
+	}
+	vms, cores = d.sizeBy(1000)
+	if vms != 2 || cores != 4 {
+		t.Errorf("sizeBy(1000) = %d VMs, %d cores", vms, cores)
+	}
+}
+
+func TestExtractorLifetimeCensoring(t *testing.T) {
+	tr := &trace.Trace{
+		Horizon: 10000,
+		VMs: []trace.VM{
+			// Completed: exact label (30 min → bucket 1).
+			{ID: 1, Deployment: "a", Subscription: "s", Created: 0, Deleted: 30, Cores: 1},
+			// Alive and older than a day: provably bucket 3.
+			{ID: 2, Deployment: "b", Subscription: "s", Created: 0, Deleted: trace.NoEnd, Cores: 1},
+			// Alive, younger than a day at window end: censored, skipped.
+			{ID: 3, Deployment: "c", Subscription: "s", Created: 9500, Deleted: trace.NoEnd, Cores: 1},
+		},
+	}
+	e := newExtractor(tr, Config{}.withDefaults())
+	samples := e.collect(0, 10000)
+	life := samples[metric.Lifetime]
+	if len(life) != 2 {
+		t.Fatalf("lifetime samples = %d, want 2", len(life))
+	}
+	labels := map[int]bool{}
+	for _, s := range life {
+		labels[s.label] = true
+	}
+	if !labels[1] || !labels[3] {
+		t.Errorf("lifetime labels = %v, want {1,3}", labels)
+	}
+}
+
+func TestRunGracefulWhenNoTestSamples(t *testing.T) {
+	// A trace whose VMs all live in the training window only; they run
+	// long enough (5 days) that every metric has training samples, but
+	// the held-out day sees no new VMs.
+	tr := &trace.Trace{Horizon: 10 * 24 * 60}
+	for i := 0; i < 30; i++ {
+		created := trace.Minutes(i * 10)
+		tr.VMs = append(tr.VMs, trace.VM{
+			ID: int64(i), Deployment: fmt.Sprintf("d%d", i), Subscription: "s",
+			Created: created, Deleted: created + 5*24*60, Cores: 1,
+			Util: trace.UtilModel{Kind: trace.UtilFlat, Base: 30, Seed: uint64(i)},
+		})
+	}
+	res, err := Run(tr, Config{TrainCutoff: 9 * 24 * 60, ForestTrees: 2, GBTRounds: 2})
+	if err != nil {
+		t.Fatalf("empty test window should degrade gracefully: %v", err)
+	}
+	for m, mr := range res.ByMetric {
+		if mr.Report != nil {
+			t.Errorf("%s: unexpected report with no test samples", m)
+		}
+		if mr.Model == nil {
+			t.Errorf("%s: model missing", m)
+		}
+	}
+}
+
+// The paper's most important attribute for every metric is the
+// subscription's per-bucket history to date; the trained models must
+// agree (their top feature is one of the sub-* history features).
+func TestFeatureImportanceMatchesPaper(t *testing.T) {
+	res := runPipeline(t)
+	for _, m := range []metric.Metric{metric.Lifetime, metric.P95CPU, metric.AvgCPU} {
+		top := res.ByMetric[m].Model.TopFeatures(3)
+		if len(top) == 0 {
+			t.Fatalf("%s: no importances", m)
+		}
+		found := false
+		for _, fi := range top {
+			if strings.HasPrefix(fi.Name, "sub-") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: top features %v lack subscription history", m, top)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package power implements the power-oversubscription-and-capping
+// use-case of Section 4.1: during a power emergency, apportion the
+// available budget so that VMs predicted to run interactive workloads
+// keep their full power while delay-insensitive VMs absorb the cut.
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/trace"
+)
+
+// Capper apportions a power budget using workload-class predictions.
+type Capper struct {
+	// Client serves the workload-class predictions. Required.
+	Client *core.Client
+	// Confidence is the minimum score to act on a delay-insensitive
+	// prediction (0 = 0.6). The asymmetry is deliberate: misclassifying
+	// an interactive VM as delay-insensitive hurts customers, the reverse
+	// only costs some savings (Section 3.6).
+	Confidence float64
+	// WattsPerCore is the full power budget per allocated core (0 = 10).
+	WattsPerCore float64
+}
+
+// Allocation is one VM's power assignment.
+type Allocation struct {
+	VMID int64
+	// Protected is true when the VM keeps full power (predicted
+	// interactive, or no confident prediction).
+	Protected bool
+	Watts     float64
+}
+
+// Result is the outcome of one apportionment.
+type Result struct {
+	Allocations []Allocation
+	// CapFactor is the fraction of full power granted to unprotected VMs.
+	CapFactor float64
+	// ProtectedWatts and TotalWatts summarize the assignment.
+	ProtectedWatts float64
+	TotalWatts     float64
+	// Feasible is false when even the protected set alone exceeds the
+	// budget; allocations are then scaled down uniformly.
+	Feasible bool
+}
+
+// Apportion distributes budgetWatts across the VMs.
+func (c *Capper) Apportion(budgetWatts float64, vms []*trace.VM) (*Result, error) {
+	if c.Client == nil {
+		return nil, errors.New("power: Capper.Client is required")
+	}
+	if len(vms) == 0 {
+		return nil, errors.New("power: no VMs to apportion for")
+	}
+	if budgetWatts <= 0 {
+		return nil, fmt.Errorf("power: budget %v must be positive", budgetWatts)
+	}
+	confidence := c.Confidence
+	if confidence == 0 {
+		confidence = 0.6
+	}
+	perCore := c.WattsPerCore
+	if perCore == 0 {
+		perCore = 10
+	}
+
+	type classified struct {
+		vm        *trace.VM
+		protected bool
+	}
+	items := make([]classified, 0, len(vms))
+	var protectedWatts, unprotectedFull float64
+	for _, v := range vms {
+		in := model.FromVM(v, 1)
+		pred, err := c.Client.PredictSingle(metric.WorkloadClass.String(), &in)
+		if err != nil {
+			return nil, fmt.Errorf("power: vm %d: %w", v.ID, err)
+		}
+		// Protect unless confidently delay-insensitive.
+		protected := true
+		if pred.OK && pred.Bucket == metric.ClassDelayInsensitive && pred.Score >= confidence {
+			protected = false
+		}
+		full := float64(v.Cores) * perCore
+		if protected {
+			protectedWatts += full
+		} else {
+			unprotectedFull += full
+		}
+		items = append(items, classified{vm: v, protected: protected})
+	}
+
+	res := &Result{
+		CapFactor:      1,
+		ProtectedWatts: protectedWatts,
+		Feasible:       true,
+	}
+	scale := 1.0
+	switch {
+	case protectedWatts > budgetWatts:
+		// Even interactive VMs must shed power: uniform emergency scale.
+		res.Feasible = false
+		scale = budgetWatts / (protectedWatts + unprotectedFull)
+		res.CapFactor = scale
+	case unprotectedFull > 0:
+		res.CapFactor = (budgetWatts - protectedWatts) / unprotectedFull
+		if res.CapFactor > 1 {
+			res.CapFactor = 1
+		}
+	}
+
+	for _, it := range items {
+		full := float64(it.vm.Cores) * perCore
+		watts := full
+		if !res.Feasible {
+			watts = full * scale
+		} else if !it.protected {
+			watts = full * res.CapFactor
+		}
+		res.Allocations = append(res.Allocations, Allocation{
+			VMID: it.vm.ID, Protected: it.protected, Watts: watts,
+		})
+		res.TotalWatts += watts
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package power
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+var (
+	once   sync.Once
+	client *core.Client
+	tra    *trace.Trace
+	feats  map[string]bool
+	setupE error
+)
+
+func setup(t *testing.T) (*core.Client, *trace.Trace) {
+	t.Helper()
+	once.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 12
+		cfg.TargetVMs = 4000
+		cfg.MaxDeploymentVMs = 150
+		cfg.Seed = 29
+		wl, err := synth.Generate(cfg)
+		if err != nil {
+			setupE = err
+			return
+		}
+		tra = wl.Trace
+		res, err := pipeline.Run(tra, pipeline.Config{
+			TrainCutoff: tra.Horizon * 2 / 3,
+			ForestTrees: 8, GBTRounds: 10, Seed: 1,
+		})
+		if err != nil {
+			setupE = err
+			return
+		}
+		feats = make(map[string]bool, len(res.Features))
+		for sub := range res.Features {
+			feats[sub] = true
+		}
+		st := store.New()
+		if err := pipeline.Publish(st, res); err != nil {
+			setupE = err
+			return
+		}
+		client, err = core.New(core.Config{Store: st, Mode: core.Push})
+		if err != nil {
+			setupE = err
+			return
+		}
+		setupE = client.Initialize()
+	})
+	if setupE != nil {
+		t.Fatal(setupE)
+	}
+	return client, tra
+}
+
+func rackVMs(t *testing.T, tr *trace.Trace, n int) []*trace.VM {
+	t.Helper()
+	now := tr.Horizon * 2 / 3
+	var out []*trace.VM
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.AliveAt(now) && now-v.Created > 3*24*60 && feats[v.Subscription] {
+			out = append(out, v)
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no rack VMs found")
+	}
+	return out
+}
+
+func totalFullWatts(vms []*trace.VM, perCore float64) float64 {
+	total := 0.0
+	for _, v := range vms {
+		total += float64(v.Cores) * perCore
+	}
+	return total
+}
+
+func TestCapperValidation(t *testing.T) {
+	c := &Capper{}
+	if _, err := c.Apportion(100, []*trace.VM{{}}); err == nil {
+		t.Error("expected error for nil client")
+	}
+	cl, _ := setup(t)
+	c = &Capper{Client: cl}
+	if _, err := c.Apportion(100, nil); err == nil {
+		t.Error("expected error for no VMs")
+	}
+	if _, err := c.Apportion(0, []*trace.VM{{}}); err == nil {
+		t.Error("expected error for zero budget")
+	}
+}
+
+func TestApportionMeetsBudget(t *testing.T) {
+	cl, tr := setup(t)
+	vms := rackVMs(t, tr, 12)
+	full := totalFullWatts(vms, 10)
+	budget := full * 0.7
+	c := &Capper{Client: cl}
+	res, err := c.Apportion(budget, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWatts > budget+1e-6 {
+		t.Errorf("assigned %v W over budget %v W", res.TotalWatts, budget)
+	}
+	if len(res.Allocations) != len(vms) {
+		t.Fatalf("allocations = %d, want %d", len(res.Allocations), len(vms))
+	}
+	// Protected VMs keep full power when feasible.
+	if res.Feasible {
+		byID := map[int64]*trace.VM{}
+		for _, v := range vms {
+			byID[v.ID] = v
+		}
+		for _, a := range res.Allocations {
+			fullW := float64(byID[a.VMID].Cores) * 10
+			if a.Protected && math.Abs(a.Watts-fullW) > 1e-9 {
+				t.Errorf("protected vm %d got %v W, full is %v W", a.VMID, a.Watts, fullW)
+			}
+			if !a.Protected && a.Watts > fullW+1e-9 {
+				t.Errorf("unprotected vm %d above full power", a.VMID)
+			}
+		}
+	}
+	if res.CapFactor <= 0 || res.CapFactor > 1 {
+		t.Errorf("cap factor = %v", res.CapFactor)
+	}
+}
+
+func TestApportionGenerousBudgetLeavesEveryoneAlone(t *testing.T) {
+	cl, tr := setup(t)
+	vms := rackVMs(t, tr, 8)
+	full := totalFullWatts(vms, 10)
+	c := &Capper{Client: cl}
+	res, err := c.Apportion(full*2, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapFactor != 1 {
+		t.Errorf("cap factor = %v with surplus budget", res.CapFactor)
+	}
+	if math.Abs(res.TotalWatts-full) > 1e-6 {
+		t.Errorf("total = %v, want full %v", res.TotalWatts, full)
+	}
+}
+
+func TestApportionInfeasibleScalesUniformly(t *testing.T) {
+	cl, tr := setup(t)
+	vms := rackVMs(t, tr, 8)
+	// Guarantee at least one protected VM: an unknown subscription gets
+	// no prediction and is protected by the conservative rule.
+	opaque := *vms[0]
+	opaque.Subscription = "sub-opaque"
+	opaque.ID = 999999
+	vms = append(vms, &opaque)
+	c := &Capper{Client: cl}
+	// A budget below anything the protected set could need.
+	res, err := c.Apportion(1, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("1W budget reported feasible")
+	}
+	if res.TotalWatts > 1+1e-6 {
+		t.Errorf("assigned %v W over the 1 W budget", res.TotalWatts)
+	}
+}
+
+func TestUnknownSubscriptionIsProtected(t *testing.T) {
+	cl, tr := setup(t)
+	vm := *rackVMs(t, tr, 1)[0]
+	vm.Subscription = "sub-opaque"
+	c := &Capper{Client: cl}
+	res, err := c.Apportion(5, []*trace.VM{&vm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Allocations[0].Protected {
+		t.Error("no-prediction VM must be protected (conservative direction)")
+	}
+}

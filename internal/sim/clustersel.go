@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/trace"
+)
+
+// DeploySizePredictor supplies maximum-deployment-size (in cores)
+// predictions for the smart cluster selection use-case of Section 4.1.
+type DeploySizePredictor interface {
+	// PredictDeployCoresBucket returns the predicted Table 3 bucket for
+	// the deployment's final core count.
+	PredictDeployCoresBucket(v *trace.VM, requestedVMs int) (bucket int, score float64, ok bool)
+}
+
+// ClientDeployPredictor serves deployment-size predictions from the RC
+// client library.
+type ClientDeployPredictor struct {
+	Client *core.Client
+}
+
+// PredictDeployCoresBucket implements DeploySizePredictor.
+func (p *ClientDeployPredictor) PredictDeployCoresBucket(v *trace.VM, requestedVMs int) (int, float64, bool) {
+	in := model.FromVM(v, requestedVMs)
+	pred, err := p.Client.PredictSingle(metric.DeploySizeCores.String(), &in)
+	if err != nil || !pred.OK {
+		return 0, 0, false
+	}
+	return pred.Bucket, pred.Score, true
+}
+
+// OracleDeployPredictor predicts the deployment's true final core bucket.
+type OracleDeployPredictor struct {
+	// Totals maps deployment id to its final core count; build it with
+	// DeploymentCoreTotals.
+	Totals map[string]int
+}
+
+// PredictDeployCoresBucket implements DeploySizePredictor.
+func (p *OracleDeployPredictor) PredictDeployCoresBucket(v *trace.VM, _ int) (int, float64, bool) {
+	total, ok := p.Totals[v.Deployment]
+	if !ok {
+		return 0, 0, false
+	}
+	return metric.DeploySizeCores.Bucket(float64(total)), 1, true
+}
+
+// DeploymentCoreTotals computes each deployment's final core count.
+func DeploymentCoreTotals(tr *trace.Trace) map[string]int {
+	out := make(map[string]int)
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		out[v.Deployment] += v.Cores
+	}
+	return out
+}
+
+// ClusterSelConfig parameterizes the cluster-selection study.
+type ClusterSelConfig struct {
+	// ClusterCores lists each cluster's core capacity.
+	ClusterCores []int
+	// Predictor estimates final deployment sizes; nil means the selector
+	// only knows the initial request (the naive strategy).
+	Predictor DeploySizePredictor
+	// ConfidenceThreshold gates predictions (0 = 0.6).
+	ConfidenceThreshold float64
+}
+
+// ClusterSelResult summarizes one run.
+type ClusterSelResult struct {
+	Deployments int
+	// Rejected counts deployments no cluster had headroom for at
+	// admission time.
+	Rejected int
+	// StrandedVMs counts growth-wave VMs that arrived after admission but
+	// no longer fit their deployment's cluster — the paper's "eventual
+	// deployment failures".
+	StrandedVMs int
+	// PlacedVMs counts VMs that landed in their cluster.
+	PlacedVMs int
+}
+
+// clusterSelState is one cluster's committed allocation.
+type clusterSelState struct {
+	capacity int
+	used     int
+}
+
+// RunClusterSelection replays the trace's deployments against a set of
+// clusters: each deployment is admitted to one cluster at its first wave
+// (sized by the predicted final core count when a predictor is given, by
+// the initial request otherwise) and all its growth must fit in that same
+// cluster, as in the paper's deployment model.
+func RunClusterSelection(tr *trace.Trace, cfg ClusterSelConfig) (*ClusterSelResult, error) {
+	if len(tr.VMs) == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	if len(cfg.ClusterCores) == 0 {
+		return nil, errors.New("sim: no clusters configured")
+	}
+	if cfg.ConfidenceThreshold == 0 {
+		cfg.ConfidenceThreshold = 0.6
+	}
+
+	clusters := make([]*clusterSelState, len(cfg.ClusterCores))
+	for i, c := range cfg.ClusterCores {
+		if c <= 0 {
+			return nil, errors.New("sim: cluster capacity must be positive")
+		}
+		clusters[i] = &clusterSelState{capacity: c}
+	}
+
+	requested := countInitialWaves(tr)
+	res := &ClusterSelResult{}
+	// deployment id → cluster index (-1 = rejected).
+	assignment := make(map[string]int)
+	var completions clusterSelHeap
+
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		for len(completions) > 0 && completions[0].at <= v.Created {
+			done := heap.Pop(&completions).(clusterSelCompletion)
+			clusters[done.cluster].used -= done.cores
+		}
+
+		ci, seen := assignment[v.Deployment]
+		if !seen {
+			res.Deployments++
+			ci = selectCluster(clusters, v, requested[v.Deployment], cfg)
+			assignment[v.Deployment] = ci
+			if ci < 0 {
+				res.Rejected++
+			}
+		}
+		if ci < 0 {
+			// The whole deployment was rejected at admission.
+			res.StrandedVMs++
+			continue
+		}
+		cl := clusters[ci]
+		if cl.used+v.Cores > cl.capacity {
+			res.StrandedVMs++
+			continue
+		}
+		cl.used += v.Cores
+		res.PlacedVMs++
+		if v.Deleted < trace.NoEnd {
+			heap.Push(&completions, clusterSelCompletion{at: v.Deleted, cluster: ci, cores: v.Cores})
+		}
+	}
+	return res, nil
+}
+
+// selectCluster picks the cluster for a new deployment: the smallest
+// cluster whose free capacity covers the expected final size (best fit
+// keeps the big clusters free for big deployments).
+func selectCluster(clusters []*clusterSelState, v *trace.VM, requestedVMs int, cfg ClusterSelConfig) int {
+	expected := v.Cores // the first VM's cores: minimum knowledge
+	if requestedVMs > 0 {
+		expected = requestedVMs * v.Cores
+	}
+	if cfg.Predictor != nil {
+		if b, score, ok := cfg.Predictor.PredictDeployCoresBucket(v, requestedVMs); ok && score >= cfg.ConfidenceThreshold {
+			if pred := int(metric.DeploySizeCores.BucketHigh(b)); pred > expected {
+				expected = pred
+			}
+		}
+	}
+	best := -1
+	bestFree := 0
+	for i, cl := range clusters {
+		free := cl.capacity - cl.used
+		if free >= expected && (best < 0 || free < bestFree) {
+			best = i
+			bestFree = free
+		}
+	}
+	return best
+}
+
+type clusterSelCompletion struct {
+	at      trace.Minutes
+	cluster int
+	cores   int
+}
+
+type clusterSelHeap []clusterSelCompletion
+
+func (h clusterSelHeap) Len() int           { return len(h) }
+func (h clusterSelHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h clusterSelHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *clusterSelHeap) Push(x any)        { *h = append(*h, x.(clusterSelCompletion)) }
+func (h *clusterSelHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,269 @@
+// Package sim drives the cluster scheduler with a VM trace and aggregates
+// physical CPU utilization, reproducing the methodology of Section 6.2:
+// VMs arrive in trace order, the scheduler places or fails them, and for
+// every server the co-located VMs' maximum utilizations are summed in each
+// 5-minute period — pessimistically assuming each interval maximum lasts
+// the whole interval, so aggregated server utilization can exceed 100%.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/trace"
+)
+
+// Predictor supplies P95-utilization bucket predictions to the scheduler.
+type Predictor interface {
+	// PredictP95Bucket returns the predicted Table 3 utilization bucket
+	// for the VM and a confidence score; ok=false is a no-prediction.
+	PredictP95Bucket(v *trace.VM, requestedVMs int) (bucket int, score float64, ok bool)
+}
+
+// LifetimePredictor supplies lifetime bucket predictions for the
+// Section 4.1 lifetime-aware co-location extension.
+type LifetimePredictor interface {
+	// PredictLifetimeBucket returns the predicted Table 3 lifetime bucket
+	// and a confidence score; ok=false is a no-prediction.
+	PredictLifetimeBucket(v *trace.VM, requestedVMs int) (bucket int, score float64, ok bool)
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Cluster cluster.Config
+	// Predictor provides the RC predictions; nil means no predictions
+	// (Baseline and Naive policies, or "assume 100%" behaviour).
+	Predictor Predictor
+	// ConfidenceThreshold is Algorithm 1's score cut (0 = 0.6); below it
+	// the VM is assumed to use its full allocation.
+	ConfidenceThreshold float64
+	// UtilScale multiplies all real utilization values in the aggregation
+	// and the oracle (the "+25%" sensitivity study uses 1.25).
+	UtilScale float64
+	// BucketShift adds to every predicted bucket, saturating at the top
+	// bucket (the sensitivity study adds 1).
+	BucketShift int
+	// LifetimePredictor enables lifetime-aware co-location when the
+	// cluster's LifetimeAware flag is set.
+	LifetimePredictor LifetimePredictor
+}
+
+// Result summarizes one run.
+type Result struct {
+	Policy   cluster.Policy
+	Arrivals int
+	Placed   int
+	Failures int
+	// FailuresProd / FailuresNonProd split the failures by the VM's
+	// production tag (diagnosing the segregation cost of Algorithm 1).
+	FailuresProd    int
+	FailuresNonProd int
+	// FailureRate is Failures / Arrivals.
+	FailureRate float64
+	// ReadingsAbove100 counts (server, 5-minute) aggregated utilization
+	// readings exceeding 100% of physical cores.
+	ReadingsAbove100 int
+	// BusyReadings counts readings on servers hosting at least some load.
+	BusyReadings int
+	// MaxReadingPct is the highest aggregated server reading observed, as
+	// a percentage of server capacity.
+	MaxReadingPct float64
+	// AvgUtilizationPct is the mean aggregated utilization over all
+	// servers and intervals relative to capacity — the "more capacity
+	// from the same hardware" measure.
+	AvgUtilizationPct float64
+	// AllocatedCoreHours is the total core-hours of allocation the
+	// cluster hosted (placement-weighted).
+	AllocatedCoreHours float64
+	// ServerDrains counts transitions of a server to fully empty — each
+	// one is a maintenance opportunity that needs no live migration
+	// (Section 4.1's lifetime-aware co-location measures this).
+	ServerDrains int
+}
+
+// Run simulates the trace against a fresh cluster.
+func Run(tr *trace.Trace, cfg Config) (*Result, error) {
+	if len(tr.VMs) == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	if cfg.ConfidenceThreshold == 0 {
+		cfg.ConfidenceThreshold = 0.6
+	}
+	if cfg.UtilScale == 0 {
+		cfg.UtilScale = 1
+	}
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+
+	intervals := int(tr.Horizon / trace.ReadingIntervalMin)
+	if intervals <= 0 {
+		return nil, fmt.Errorf("sim: horizon %d too short", tr.Horizon)
+	}
+	series := make([][]float32, len(cl.Servers))
+	for i := range series {
+		series[i] = make([]float32, intervals)
+	}
+
+	deployRequested := countInitialWaves(tr)
+
+	res := &Result{Policy: cfg.Cluster.Policy}
+	var completions completionHeap
+
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		// Release every VM that completed before this arrival.
+		for len(completions) > 0 && completions[0].at <= v.Created {
+			done := heap.Pop(&completions).(completion)
+			srv, err := cl.VMCompleted(done.req)
+			if err != nil {
+				return nil, err
+			}
+			if srv.Empty() {
+				res.ServerDrains++
+			}
+		}
+
+		res.Arrivals++
+		req := &cluster.Request{
+			VM:         v,
+			Production: v.Production,
+			Deployment: v.Deployment,
+		}
+		req.PredUtilCores = c95Cores(v, cfg, deployRequested[v.Deployment])
+		if cfg.LifetimePredictor != nil {
+			if b, score, ok := cfg.LifetimePredictor.PredictLifetimeBucket(v, deployRequested[v.Deployment]); ok && score >= cfg.ConfidenceThreshold {
+				req.PredEndTime = v.Created + trace.Minutes(metric.Lifetime.BucketHigh(b))
+			}
+		}
+
+		server, ok := cl.Schedule(req)
+		if !ok {
+			res.Failures++
+			if req.Production {
+				res.FailuresProd++
+			} else {
+				res.FailuresNonProd++
+			}
+			continue
+		}
+		res.Placed++
+
+		end := v.Deleted
+		if end > tr.Horizon {
+			end = tr.Horizon
+		}
+		res.AllocatedCoreHours += float64(end-v.Created) / 60 * float64(v.Cores)
+		addUtilization(series[server.ID], v, end, cfg.UtilScale)
+		if v.Deleted < trace.NoEnd {
+			heap.Push(&completions, completion{at: v.Deleted, req: req})
+		}
+	}
+
+	capacity := float32(cfg.Cluster.CoresPerServer)
+	var sum float64
+	for _, s := range series {
+		for _, reading := range s {
+			pct := float64(reading) / float64(capacity) * 100
+			sum += pct
+			if reading > 0 {
+				res.BusyReadings++
+			}
+			if pct > 100 {
+				res.ReadingsAbove100++
+			}
+			if pct > res.MaxReadingPct {
+				res.MaxReadingPct = pct
+			}
+		}
+	}
+	res.AvgUtilizationPct = sum / float64(len(series)*intervals)
+	res.FailureRate = float64(res.Failures) / float64(res.Arrivals)
+	return res, nil
+}
+
+// c95Cores computes V.util of Algorithm 1: the predicted 95th-percentile
+// utilization in cores, falling back to the full allocation when there is
+// no prediction or the confidence is low (lines 10-13).
+func c95Cores(v *trace.VM, cfg Config, requested int) float64 {
+	full := float64(v.Cores)
+	if cfg.Predictor == nil {
+		return full
+	}
+	bucket, score, ok := cfg.Predictor.PredictP95Bucket(v, requested)
+	if !ok || score < cfg.ConfidenceThreshold {
+		return full
+	}
+	bucket += cfg.BucketShift
+	if max := metric.P95CPU.Buckets() - 1; bucket > max {
+		bucket = max
+	}
+	return metric.P95CPU.BucketHigh(bucket) / 100 * full
+}
+
+// addUtilization folds the VM's per-interval maximum utilization (in
+// cores) into the server's series, following the paper's pessimistic
+// aggregation. Contributions are aligned to the 5-minute grid and only
+// cover intervals the VM fully occupies: two VMs that time-share a server
+// slot within one window must not double-count, otherwise even
+// non-oversubscribed servers would report readings above 100% (the paper's
+// Baseline never does).
+func addUtilization(series []float32, v *trace.VM, end trace.Minutes, scale float64) {
+	cores := float64(v.Cores)
+	start := v.Created
+	if rem := start % trace.ReadingIntervalMin; rem != 0 {
+		start += trace.ReadingIntervalMin - rem
+	}
+	for t := start; t+trace.ReadingIntervalMin <= end; t += trace.ReadingIntervalMin {
+		idx := int(t / trace.ReadingIntervalMin)
+		if idx < 0 || idx >= len(series) {
+			continue
+		}
+		_, _, max := v.Util.At(t)
+		series[idx] += float32(max / 100 * cores * scale)
+	}
+}
+
+// countInitialWaves maps deployment id to its initial request size (the
+// number of VMs in its first wave), the client input RC models consume.
+func countInitialWaves(tr *trace.Trace) map[string]int {
+	first := make(map[string]trace.Minutes)
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if t, ok := first[v.Deployment]; !ok || v.Created < t {
+			first[v.Deployment] = v.Created
+		}
+	}
+	count := make(map[string]int, len(first))
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Created == first[v.Deployment] {
+			count[v.Deployment]++
+		}
+	}
+	return count
+}
+
+// completion is a pending VM termination.
+type completion struct {
+	at  trace.Minutes
+	req *cluster.Request
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,414 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+var (
+	simOnce  sync.Once
+	simTrace *trace.Trace
+	simErr   error
+)
+
+// loadTrace generates a trace sized to stress a small test cluster.
+func loadTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	simOnce.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 10
+		cfg.TargetVMs = 5000
+		cfg.MaxDeploymentVMs = 150
+		cfg.Seed = 21
+		res, err := synth.Generate(cfg)
+		if err != nil {
+			simErr = err
+			return
+		}
+		simTrace = res.Trace
+	})
+	if simErr != nil {
+		t.Fatal(simErr)
+	}
+	return simTrace
+}
+
+func clusterConfig(policy cluster.Policy, servers int) cluster.Config {
+	return cluster.Config{
+		Servers:        servers,
+		CoresPerServer: 16,
+		MemGBPerServer: 112,
+		Policy:         policy,
+		MaxOversub:     1.25,
+		MaxUtil:        1.0,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(&trace.Trace{Horizon: 100}, Config{}); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	tr := loadTrace(t)
+	if _, err := Run(tr, Config{Cluster: cluster.Config{}}); err == nil {
+		t.Error("expected error for invalid cluster config")
+	}
+}
+
+// A huge cluster places everything; accounting must balance.
+func TestRunAccounting(t *testing.T) {
+	tr := loadTrace(t)
+	res, err := Run(tr, Config{Cluster: clusterConfig(cluster.Baseline, 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals != len(tr.VMs) {
+		t.Errorf("arrivals = %d, want %d", res.Arrivals, len(tr.VMs))
+	}
+	if res.Placed+res.Failures != res.Arrivals {
+		t.Errorf("placed %d + failures %d != arrivals %d", res.Placed, res.Failures, res.Arrivals)
+	}
+	if res.Failures != 0 {
+		t.Errorf("failures on an oversized cluster: %d", res.Failures)
+	}
+	if res.AllocatedCoreHours <= 0 {
+		t.Error("no core-hours accounted")
+	}
+	if res.ReadingsAbove100 != 0 {
+		t.Errorf("baseline produced %d readings above 100%%", res.ReadingsAbove100)
+	}
+}
+
+// Baseline on a tight cluster fails some placements but never exceeds
+// physical capacity in allocation terms.
+func TestBaselineTightCluster(t *testing.T) {
+	tr := loadTrace(t)
+	res, err := Run(tr, Config{Cluster: clusterConfig(cluster.Baseline, 40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Log("warning: expected some failures on a tight cluster")
+	}
+	if res.ReadingsAbove100 != 0 {
+		t.Errorf("baseline exceeded 100%%: %d readings (no oversubscription!)", res.ReadingsAbove100)
+	}
+}
+
+// RC-informed oversubscription accepts at least as many VMs as baseline
+// on the same tight cluster, with few >100% readings.
+func TestRCInformedBeatsBaseline(t *testing.T) {
+	tr := loadTrace(t)
+	// Moderate load: in extreme overload the prod/non-prod segregation
+	// dominates and no policy helps (see EXPERIMENTS.md).
+	servers := 72
+	base, err := Run(tr, Config{Cluster: clusterConfig(cluster.Baseline, servers)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &OraclePredictor{Horizon: tr.Horizon}
+	rc, err := Run(tr, Config{
+		Cluster:   clusterConfig(cluster.RCSoft, servers),
+		Predictor: oracle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Failures > base.Failures {
+		t.Errorf("rc-soft failures %d > baseline %d", rc.Failures, base.Failures)
+	}
+	if rc.Placed < base.Placed {
+		t.Errorf("rc-soft placed %d < baseline %d", rc.Placed, base.Placed)
+	}
+}
+
+// Naive oversubscription produces more >100% readings than RC-informed.
+func TestNaiveWorseThanRC(t *testing.T) {
+	tr := loadTrace(t)
+	servers := 72
+	oracle := &OraclePredictor{Horizon: tr.Horizon}
+	rc, err := Run(tr, Config{
+		Cluster:   clusterConfig(cluster.RCSoft, servers),
+		Predictor: oracle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Run(tr, Config{Cluster: clusterConfig(cluster.Naive, servers)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.ReadingsAbove100 < rc.ReadingsAbove100 {
+		t.Errorf("naive readings>100 (%d) below rc-informed (%d)",
+			naive.ReadingsAbove100, rc.ReadingsAbove100)
+	}
+}
+
+// Wrong predictions must be worse than right predictions on resource
+// exhaustion (the RC-soft-wrong vs RC-soft-right comparison).
+func TestWrongPredictionsWorseThanRight(t *testing.T) {
+	tr := loadTrace(t)
+	servers := 72
+	right, err := Run(tr, Config{
+		Cluster:   clusterConfig(cluster.RCSoft, servers),
+		Predictor: &OraclePredictor{Horizon: tr.Horizon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := Run(tr, Config{
+		Cluster:   clusterConfig(cluster.RCSoft, servers),
+		Predictor: &WrongPredictor{Horizon: tr.Horizon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrong.ReadingsAbove100 < right.ReadingsAbove100 {
+		t.Errorf("wrong predictions produced fewer exhaustion readings (%d) than right (%d)",
+			wrong.ReadingsAbove100, right.ReadingsAbove100)
+	}
+}
+
+// Lower MAX_OVERSUB lowers exhaustion but raises failures.
+func TestOversubSensitivityDirection(t *testing.T) {
+	tr := loadTrace(t)
+	servers := 40
+	run := func(maxOversub float64) *Result {
+		cfg := clusterConfig(cluster.RCSoft, servers)
+		cfg.MaxOversub = maxOversub
+		res, err := Run(tr, Config{Cluster: cfg, Predictor: &OraclePredictor{Horizon: tr.Horizon}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hi := run(1.25)
+	lo := run(1.05)
+	if lo.Failures < hi.Failures {
+		t.Errorf("lower oversubscription should not reduce failures: %d vs %d", lo.Failures, hi.Failures)
+	}
+	if lo.ReadingsAbove100 > hi.ReadingsAbove100 {
+		t.Errorf("lower oversubscription should not increase exhaustion: %d vs %d",
+			lo.ReadingsAbove100, hi.ReadingsAbove100)
+	}
+}
+
+// BucketShift saturates and biases predictions upward → fewer exhaustion
+// readings, potentially more failures under RC-hard.
+func TestBucketShift(t *testing.T) {
+	tr := loadTrace(t)
+	servers := 40
+	plain, err := Run(tr, Config{
+		Cluster:   clusterConfig(cluster.RCHard, servers),
+		Predictor: &OraclePredictor{Horizon: tr.Horizon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := Run(tr, Config{
+		Cluster:     clusterConfig(cluster.RCHard, servers),
+		Predictor:   &OraclePredictor{Horizon: tr.Horizon},
+		BucketShift: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.ReadingsAbove100 > plain.ReadingsAbove100 {
+		t.Errorf("upward-biased predictions increased exhaustion: %d vs %d",
+			shifted.ReadingsAbove100, plain.ReadingsAbove100)
+	}
+}
+
+func TestUtilScaleIncreasesReadings(t *testing.T) {
+	tr := loadTrace(t)
+	servers := 40
+	plain, err := Run(tr, Config{
+		Cluster:   clusterConfig(cluster.RCSoft, servers),
+		Predictor: &OraclePredictor{Horizon: tr.Horizon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Run(tr, Config{
+		Cluster:   clusterConfig(cluster.RCSoft, servers),
+		Predictor: &OraclePredictor{Horizon: tr.Horizon}, // predictions unaware of the scale
+		UtilScale: 1.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.ReadingsAbove100 < plain.ReadingsAbove100 {
+		t.Errorf("+25%% utilization lowered exhaustion readings: %d vs %d",
+			scaled.ReadingsAbove100, plain.ReadingsAbove100)
+	}
+}
+
+func TestPredictorImplementations(t *testing.T) {
+	tr := loadTrace(t)
+	v := &tr.VMs[0]
+
+	oracle := &OraclePredictor{Horizon: tr.Horizon}
+	b, score, ok := oracle.PredictP95Bucket(v, 1)
+	if !ok || score != 1 {
+		t.Error("oracle must always predict")
+	}
+	_, p95 := trace.SummaryStats(v, tr.Horizon)
+	if b != metric.P95CPU.Bucket(p95) {
+		t.Error("oracle predicted wrong bucket")
+	}
+
+	wrong := &WrongPredictor{Horizon: tr.Horizon}
+	wb, _, ok := wrong.PredictP95Bucket(v, 1)
+	if !ok {
+		t.Error("wrong predictor must predict")
+	}
+	if wb == b {
+		t.Error("wrong predictor matched the truth")
+	}
+	if wb < 0 || wb >= metric.P95CPU.Buckets() {
+		t.Errorf("wrong bucket %d out of range", wb)
+	}
+}
+
+func TestCompletionsFreeCapacity(t *testing.T) {
+	// Two sequential short VMs that both need the whole cluster: the
+	// second must succeed only because the first completed.
+	tr := &trace.Trace{
+		Horizon: 1000,
+		VMs: []trace.VM{
+			{ID: 1, Deployment: "a", Subscription: "s", Production: true,
+				Cores: 16, MemoryGB: 100, Created: 0, Deleted: 100},
+			{ID: 2, Deployment: "b", Subscription: "s", Production: true,
+				Cores: 16, MemoryGB: 100, Created: 200, Deleted: 300},
+		},
+	}
+	res, err := Run(tr, Config{Cluster: clusterConfig(cluster.Baseline, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Errorf("failures = %d, want 0 (completion must free capacity)", res.Failures)
+	}
+}
+
+// Lifetime-aware co-location (the §4.1 extension) should increase the
+// number of complete server drains — maintenance opportunities without
+// live migration — without hurting placement success.
+func TestLifetimeColocationIncreasesDrains(t *testing.T) {
+	tr := loadTrace(t)
+	servers := 72
+	plainCfg := clusterConfig(cluster.Baseline, servers)
+	plain, err := Run(tr, Config{Cluster: plainCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awareCfg := clusterConfig(cluster.Baseline, servers)
+	awareCfg.LifetimeAware = true
+	aware, err := Run(tr, Config{
+		Cluster:           awareCfg,
+		LifetimePredictor: &OracleLifetimePredictor{Horizon: tr.Horizon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aware.ServerDrains <= plain.ServerDrains {
+		t.Errorf("lifetime-aware drains %d not above plain %d",
+			aware.ServerDrains, plain.ServerDrains)
+	}
+	if aware.Failures > plain.Failures*3/2+5 {
+		t.Errorf("lifetime-aware failures %d much worse than plain %d",
+			aware.Failures, plain.Failures)
+	}
+}
+
+func TestLifetimePredictorImplementations(t *testing.T) {
+	tr := loadTrace(t)
+	oracle := &OracleLifetimePredictor{Horizon: tr.Horizon}
+	for i := range tr.VMs[:50] {
+		v := &tr.VMs[i]
+		b, score, ok := oracle.PredictLifetimeBucket(v, 1)
+		if !ok || score != 1 {
+			t.Fatal("oracle must always predict")
+		}
+		if life, completed := v.Lifetime(); completed && v.Deleted <= tr.Horizon {
+			if want := metric.Lifetime.Bucket(float64(life)); b != want {
+				t.Fatalf("vm %d: bucket %d, want %d", v.ID, b, want)
+			}
+		} else if b != metric.Lifetime.Buckets()-1 {
+			t.Fatalf("censored vm %d: bucket %d, want top", v.ID, b)
+		}
+	}
+}
+
+func TestClusterSelectionValidation(t *testing.T) {
+	tr := loadTrace(t)
+	if _, err := RunClusterSelection(&trace.Trace{}, ClusterSelConfig{ClusterCores: []int{10}}); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	if _, err := RunClusterSelection(tr, ClusterSelConfig{}); err == nil {
+		t.Error("expected error for no clusters")
+	}
+	if _, err := RunClusterSelection(tr, ClusterSelConfig{ClusterCores: []int{0}}); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+}
+
+func TestClusterSelectionAccounting(t *testing.T) {
+	tr := loadTrace(t)
+	res, err := RunClusterSelection(tr, ClusterSelConfig{ClusterCores: []int{1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlacedVMs+res.StrandedVMs != len(tr.VMs) {
+		t.Errorf("placed %d + stranded %d != %d VMs", res.PlacedVMs, res.StrandedVMs, len(tr.VMs))
+	}
+	// A nearly infinite cluster strands nothing.
+	if res.StrandedVMs != 0 || res.Rejected != 0 {
+		t.Errorf("oversized cluster rejected %d, stranded %d", res.Rejected, res.StrandedVMs)
+	}
+}
+
+// Predicted cluster selection must strand fewer growth VMs than selecting
+// by the initial request alone (the §4.1 claim).
+func TestClusterSelectionPredictionsReduceStranding(t *testing.T) {
+	tr := loadTrace(t)
+	// A mixed fleet: small clusters are attractive to the naive selector
+	// but cannot absorb growth.
+	fleet := []int{64, 64, 128, 256, 2048}
+	naive, err := RunClusterSelection(tr, ClusterSelConfig{ClusterCores: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &OracleDeployPredictor{Totals: DeploymentCoreTotals(tr)}
+	pred, err := RunClusterSelection(tr, ClusterSelConfig{ClusterCores: fleet, Predictor: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.StrandedVMs >= naive.StrandedVMs {
+		t.Errorf("predicted stranding %d not below naive %d", pred.StrandedVMs, naive.StrandedVMs)
+	}
+	if naive.Deployments != pred.Deployments {
+		t.Errorf("deployment counts differ: %d vs %d", naive.Deployments, pred.Deployments)
+	}
+}
+
+func TestOracleDeployPredictor(t *testing.T) {
+	tr := loadTrace(t)
+	totals := DeploymentCoreTotals(tr)
+	p := &OracleDeployPredictor{Totals: totals}
+	v := &tr.VMs[0]
+	b, score, ok := p.PredictDeployCoresBucket(v, 1)
+	if !ok || score != 1 {
+		t.Fatal("oracle must predict")
+	}
+	if want := metric.DeploySizeCores.Bucket(float64(totals[v.Deployment])); b != want {
+		t.Errorf("bucket %d, want %d", b, want)
+	}
+	if _, _, ok := p.PredictDeployCoresBucket(&trace.VM{Deployment: "missing"}, 1); ok {
+		t.Error("unknown deployment must be a no-prediction")
+	}
+}

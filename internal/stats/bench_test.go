@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	r := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	return xs
+}
+
+func BenchmarkPercentile10k(b *testing.B) {
+	xs := benchSample(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Percentile(xs, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpearman10k(b *testing.B) {
+	xs := benchSample(10000)
+	ys := benchSample(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Spearman(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeibullFit(b *testing.B) {
+	r := rand.New(rand.NewPCG(3, 4))
+	w := Weibull{K: 0.6, Lambda: 50}
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = w.Sample(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitWeibull(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMomentsAdd(b *testing.B) {
+	var m Moments
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add(float64(i % 100))
+	}
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// PiecewiseCDF is a distribution specified by CDF control points, sampled
+// by inverse transform with linear interpolation between points. The
+// synthetic workload generator uses these to reproduce the published CDF
+// figures (utilization, lifetime, deployment size) directly from the curves
+// in the paper.
+type PiecewiseCDF struct {
+	xs []float64 // ascending values
+	ps []float64 // ascending cumulative probabilities, ps[len-1] == 1
+}
+
+// NewPiecewiseCDF builds a distribution from (value, cumulative
+// probability) control points. Points must be strictly ascending in both
+// coordinates; the final probability must be 1. A leading implicit point at
+// probability 0 uses the first value (i.e. the first value is the
+// distribution minimum).
+func NewPiecewiseCDF(points []Point) (*PiecewiseCDF, error) {
+	if len(points) < 2 {
+		return nil, errors.New("stats: piecewise CDF needs at least 2 points")
+	}
+	xs := make([]float64, len(points))
+	ps := make([]float64, len(points))
+	for i, pt := range points {
+		xs[i] = pt.X
+		ps[i] = pt.Y
+		if i > 0 {
+			if xs[i] <= xs[i-1] {
+				return nil, fmt.Errorf("stats: piecewise CDF x not ascending at %d", i)
+			}
+			if ps[i] <= ps[i-1] {
+				return nil, fmt.Errorf("stats: piecewise CDF p not ascending at %d", i)
+			}
+		}
+		if pt.Y < 0 || pt.Y > 1 {
+			return nil, fmt.Errorf("stats: piecewise CDF p %v out of [0,1]", pt.Y)
+		}
+	}
+	if ps[len(ps)-1] != 1 {
+		return nil, errors.New("stats: piecewise CDF must end at probability 1")
+	}
+	return &PiecewiseCDF{xs: xs, ps: ps}, nil
+}
+
+// Sample draws one variate.
+func (d *PiecewiseCDF) Sample(r *rand.Rand) float64 {
+	return d.Quantile(r.Float64())
+}
+
+// Quantile returns the value at cumulative probability p.
+func (d *PiecewiseCDF) Quantile(p float64) float64 {
+	if p <= d.ps[0] {
+		return d.xs[0]
+	}
+	if p >= 1 {
+		return d.xs[len(d.xs)-1]
+	}
+	i := sort.SearchFloat64s(d.ps, p)
+	// ps[i-1] < p <= ps[i]; interpolate on the segment.
+	x0, x1 := d.xs[i-1], d.xs[i]
+	p0, p1 := d.ps[i-1], d.ps[i]
+	frac := (p - p0) / (p1 - p0)
+	return x0 + frac*(x1-x0)
+}
+
+// CDF returns P(X <= x) under the piecewise model.
+func (d *PiecewiseCDF) CDF(x float64) float64 {
+	if x <= d.xs[0] {
+		return d.ps[0]
+	}
+	if x >= d.xs[len(d.xs)-1] {
+		return 1
+	}
+	i := sort.SearchFloat64s(d.xs, x)
+	if d.xs[i] == x {
+		return d.ps[i]
+	}
+	x0, x1 := d.xs[i-1], d.xs[i]
+	p0, p1 := d.ps[i-1], d.ps[i]
+	frac := (x - x0) / (x1 - x0)
+	return p0 + frac*(p1-p0)
+}
+
+// Discrete is a categorical distribution over integer categories with
+// explicit weights (e.g. the VM core-count mix of Figure 2).
+type Discrete struct {
+	values []int
+	cum    []float64
+}
+
+// NewDiscrete builds a categorical distribution; weights need not sum to 1
+// but must be non-negative with a positive total.
+func NewDiscrete(values []int, weights []float64) (*Discrete, error) {
+	if len(values) == 0 || len(values) != len(weights) {
+		return nil, errors.New("stats: discrete needs equal-length non-empty values and weights")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("stats: negative weight at %d", i)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		return nil, errors.New("stats: discrete needs positive total weight")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Discrete{values: append([]int(nil), values...), cum: cum}, nil
+}
+
+// Sample draws one category.
+func (d *Discrete) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.values) {
+		i = len(d.values) - 1
+	}
+	return d.values[i]
+}
+
+// Prob returns the probability mass of value v (0 when absent).
+func (d *Discrete) Prob(v int) float64 {
+	for i, val := range d.values {
+		if val == v {
+			prev := 0.0
+			if i > 0 {
+				prev = d.cum[i-1]
+			}
+			return d.cum[i] - prev
+		}
+	}
+	return 0
+}

@@ -1,0 +1,369 @@
+// Package stats provides the statistical substrate used throughout the
+// Resource Central reproduction: empirical CDFs, histograms, percentiles,
+// coefficients of variation, Spearman rank correlation, Weibull
+// fitting/sampling, and streaming moment accumulators.
+//
+// All functions are deterministic and depend only on the standard library.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between closest ranks. xs does not need to be sorted; the
+// input slice is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,1]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// PercentileSorted is Percentile for data already in ascending order. It
+// avoids the copy and sort, which matters on hot simulation paths.
+func PercentileSorted(sorted []float64, p float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,1]", p)
+	}
+	return percentileSorted(sorted, p), nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// CoV returns the coefficient of variation (stddev / mean) of xs. Section 3
+// of the paper uses the CoV to show per-subscription behavioural
+// consistency. A mean of zero yields CoV 0 by convention (all-zero samples
+// are perfectly consistent).
+func CoV(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, nil
+	}
+	return sd / math.Abs(m), nil
+}
+
+// Moments accumulates count, mean and variance incrementally using
+// Welford's algorithm. The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (m *Moments) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// Merge folds the other accumulator into m (parallel Welford merge).
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n := m.n + o.n
+	delta := o.mean - m.mean
+	mean := m.mean + delta*float64(o.n)/float64(n)
+	m2 := m.m2 + o.m2 + delta*delta*float64(m.n)*float64(o.n)/float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n, m.mean, m.m2 = n, mean, m2
+}
+
+// Count returns the number of samples added.
+func (m *Moments) Count() int { return m.n }
+
+// Mean returns the running mean (0 for the empty accumulator).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Min returns the smallest sample seen (0 for the empty accumulator).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest sample seen (0 for the empty accumulator).
+func (m *Moments) Max() float64 { return m.max }
+
+// Variance returns the running population variance.
+func (m *Moments) Variance() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// CoV returns the running coefficient of variation (0 if the mean is 0).
+func (m *Moments) CoV() float64 {
+	if m.mean == 0 {
+		return 0
+	}
+	return m.StdDev() / math.Abs(m.mean)
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied.
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of samples <= x, so search for the first > x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile of the sample.
+func (c *CDF) Quantile(p float64) float64 {
+	q, _ := PercentileSorted(c.sorted, p) // sample is never empty
+	return q
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Points evaluates the CDF at n evenly spaced x positions between the
+// sample min and max, returning (x, P(X<=x)) pairs — the series plotted in
+// the paper's CDF figures.
+func (c *CDF) Points(n int) []Point {
+	if n < 2 {
+		n = 2
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = Point{X: x, Y: c.At(x)}
+	}
+	return pts
+}
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// Histogram counts samples into caller-defined bucket boundaries.
+// A sample x lands in bucket i when Bounds[i-1] < x <= Bounds[i]
+// (bucket 0 is x <= Bounds[0]; the last bucket is x > Bounds[len-1]).
+type Histogram struct {
+	Bounds []float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+// There are len(bounds)+1 buckets, the last one catching overflow.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, errors.New("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: histogram bounds not ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int, len(bounds)+1),
+	}, nil
+}
+
+// Add places x into its bucket.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.Bounds, x)
+	h.Counts[i]++
+	h.total++
+}
+
+// Bucket returns the bucket index for x without modifying the histogram.
+func (h *Histogram) Bucket(x float64) int {
+	return sort.SearchFloat64s(h.Bounds, x)
+}
+
+// Total returns the number of samples added.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns each bucket's share of the total (all zeros when empty).
+func (h *Histogram) Fractions() []float64 {
+	fr := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return fr
+	}
+	for i, c := range h.Counts {
+		fr[i] = float64(c) / float64(h.total)
+	}
+	return fr
+}
+
+// Spearman computes Spearman's rank correlation coefficient between xs and
+// ys (used for the Figure 8 heat map). Ties receive average ranks.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("stats: spearman needs at least 2 samples")
+	}
+	rx := Ranks(xs)
+	ry := Ranks(ys)
+	return pearson(rx, ry)
+}
+
+// Ranks assigns 1-based average ranks to xs (ties share the mean rank).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// average rank for the tie group [i, j]
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func pearson(xs, ys []float64) (float64, error) {
+	mx, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil // constant series: no relationship by convention
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Pearson computes the Pearson product-moment correlation of xs and ys.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("stats: pearson needs at least 2 samples")
+	}
+	return pearson(xs, ys)
+}

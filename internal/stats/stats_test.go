@@ -1,0 +1,534 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		approx(t, got, c.want, 1e-12, "percentile")
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 0.5); err == nil {
+		t.Error("expected error on empty sample")
+	}
+	if _, err := Percentile([]float64{1}, 1.5); err == nil {
+		t.Error("expected error on p out of range")
+	}
+	if _, err := Percentile([]float64{1}, -0.1); err == nil {
+		t.Error("expected error on negative p")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, err := Percentile([]float64{0, 10}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, got, 9.5, 1e-12, "P95 of {0,10}")
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, m, 5, 1e-12, "mean")
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 4, 1e-12, "variance")
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sd, 2, 1e-12, "stddev")
+}
+
+func TestCoV(t *testing.T) {
+	cv, err := CoV([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, cv, 0.4, 1e-12, "cov")
+
+	cv, err = CoV([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, cv, 0, 1e-12, "cov of zeros")
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 1000)
+	var m Moments
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		m.Add(xs[i])
+	}
+	bm, _ := Mean(xs)
+	bv, _ := Variance(xs)
+	approx(t, m.Mean(), bm, 1e-9, "moments mean")
+	approx(t, m.Variance(), bv, 1e-9, "moments variance")
+	if m.Count() != 1000 {
+		t.Errorf("count = %d", m.Count())
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	var all, a, b Moments
+	for i := 0; i < 500; i++ {
+		x := r.ExpFloat64()
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	approx(t, a.Mean(), all.Mean(), 1e-9, "merged mean")
+	approx(t, a.Variance(), all.Variance(), 1e-9, "merged variance")
+	approx(t, a.Min(), all.Min(), 0, "merged min")
+	approx(t, a.Max(), all.Max(), 0, "merged max")
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(5)
+	a.Merge(b) // merging empty is a no-op
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Errorf("merge empty changed accumulator: %+v", a)
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 5 {
+		t.Errorf("merge into empty: %+v", b)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, c.At(0), 0, 0, "At(0)")
+	approx(t, c.At(2), 0.6, 1e-12, "At(2)")
+	approx(t, c.At(10), 1, 0, "At(10)")
+	approx(t, c.Quantile(0), 1, 0, "Quantile(0)")
+	approx(t, c.Quantile(1), 4, 0, "Quantile(1)")
+	if c.N() != 5 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, err := NewCDF([]float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[4].X != 100 {
+		t.Errorf("endpoints wrong: %v", pts)
+	}
+	if pts[4].Y != 1 {
+		t.Errorf("last Y = %v, want 1", pts[4].Y)
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("CDF not monotone at %d: %v", i, pts)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Error("expected error on empty sample")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{25, 50, 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{10, 25, 26, 80, 100} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	approx(t, fr[0], 0.4, 1e-12, "fraction 0")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0.5, 0}, {1, 0}, {1.01, 1}, {10, 1}, {11, 2}, {100, 2}, {101, 3}}
+	for _, c := range cases {
+		if got := h.Bucket(c.x); got != c.want {
+			t.Errorf("Bucket(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("expected error on no bounds")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("expected error on non-ascending bounds")
+	}
+}
+
+func TestHistogramFractionsEmpty(t *testing.T) {
+	h, _ := NewHistogram([]float64{1})
+	fr := h.Fractions()
+	if fr[0] != 0 || fr[1] != 0 {
+		t.Errorf("fractions of empty histogram = %v", fr)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		approx(t, got[i], want[i], 1e-12, "rank")
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 100, 1000, 10000, 100000} // monotone, nonlinear
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rho, 1, 1e-12, "spearman monotone")
+
+	rev := []float64{5, 4, 3, 2, 1}
+	rho, err = Spearman(xs, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rho, -1, 1e-12, "spearman reversed")
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho) > 0.05 {
+		t.Errorf("independent spearman = %v, want ~0", rho)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := Spearman([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected too-few-samples error")
+	}
+}
+
+func TestSpearmanConstantSeries(t *testing.T) {
+	rho, err := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rho, 0, 0, "constant series")
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	rho, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rho, 1, 1e-12, "pearson linear")
+}
+
+func TestWeibullSampleFitRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 12))
+	w := Weibull{K: 0.7, Lambda: 120}
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = w.Sample(r)
+	}
+	fit, err := FitWeibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fit.K, w.K, 0.05, "fitted shape")
+	approx(t, fit.Lambda, w.Lambda, 8, "fitted scale")
+
+	ks, err := KolmogorovSmirnov(xs, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 0.02 {
+		t.Errorf("KS statistic %v too large for a good fit", ks)
+	}
+}
+
+func TestWeibullCDFQuantileInverse(t *testing.T) {
+	w := Weibull{K: 1.5, Lambda: 10}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		x := w.Quantile(p)
+		approx(t, w.CDF(x), p, 1e-9, "weibull CDF(Quantile(p))")
+	}
+	if w.CDF(-1) != 0 {
+		t.Error("CDF of negative should be 0")
+	}
+	if w.Quantile(0) != 0 {
+		t.Error("Quantile(0) should be 0")
+	}
+	if !math.IsInf(w.Quantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	// k=1 reduces to exponential with mean lambda.
+	w := Weibull{K: 1, Lambda: 42}
+	approx(t, w.Mean(), 42, 1e-9, "exponential mean")
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull([]float64{1}); err == nil {
+		t.Error("expected error on single sample")
+	}
+	if _, err := FitWeibull([]float64{1, -2}); err == nil {
+		t.Error("expected error on non-positive sample")
+	}
+}
+
+func TestPiecewiseCDFQuantileEndpoints(t *testing.T) {
+	d, err := NewPiecewiseCDF([]Point{{X: 0, Y: 0.1}, {X: 50, Y: 0.6}, {X: 100, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Quantile(0), 0, 0, "quantile 0")
+	approx(t, d.Quantile(0.05), 0, 0, "quantile below first point")
+	approx(t, d.Quantile(1), 100, 0, "quantile 1")
+	// Midpoint of the first segment: p=0.35 is halfway between 0.1 and 0.6.
+	approx(t, d.Quantile(0.35), 25, 1e-9, "quantile interior")
+}
+
+func TestPiecewiseCDFRoundTrip(t *testing.T) {
+	d, err := NewPiecewiseCDF([]Point{{X: 1, Y: 0.2}, {X: 10, Y: 0.9}, {X: 20, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.95} {
+		x := d.Quantile(p)
+		approx(t, d.CDF(x), p, 1e-9, "piecewise CDF(Quantile(p))")
+	}
+}
+
+func TestPiecewiseCDFSampleMatches(t *testing.T) {
+	d, err := NewPiecewiseCDF([]Point{{X: 0, Y: 0}, {X: 1, Y: 1}}) // uniform(0,1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(21, 22))
+	var m Moments
+	for i := 0; i < 20000; i++ {
+		m.Add(d.Sample(r))
+	}
+	approx(t, m.Mean(), 0.5, 0.01, "uniform mean")
+	approx(t, m.Variance(), 1.0/12, 0.005, "uniform variance")
+}
+
+func TestPiecewiseCDFErrors(t *testing.T) {
+	bad := [][]Point{
+		{{X: 0, Y: 1}},                                 // too few
+		{{X: 1, Y: 0.5}, {X: 0, Y: 1}},                 // x not ascending
+		{{X: 0, Y: 0.9}, {X: 1, Y: 0.5}},               // p not ascending
+		{{X: 0, Y: 0.5}, {X: 1, Y: 0.9}},               // doesn't end at 1
+		{{X: 0, Y: -0.1}, {X: 1, Y: 1}},                // p out of range
+		{{X: 0, Y: 0.1}, {X: 1, Y: 0.1}, {X: 2, Y: 1}}, // equal p
+	}
+	for i, pts := range bad {
+		if _, err := NewPiecewiseCDF(pts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDiscrete(t *testing.T) {
+	d, err := NewDiscrete([]int{1, 2, 4}, []float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Prob(1), 0.5, 1e-12, "prob 1")
+	approx(t, d.Prob(4), 0.2, 1e-12, "prob 4")
+	approx(t, d.Prob(99), 0, 0, "prob missing")
+
+	r := rand.New(rand.NewPCG(31, 32))
+	counts := map[int]int{}
+	n := 50000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	approx(t, float64(counts[1])/float64(n), 0.5, 0.01, "sampled frequency 1")
+	approx(t, float64(counts[2])/float64(n), 0.3, 0.01, "sampled frequency 2")
+}
+
+func TestDiscreteErrors(t *testing.T) {
+	if _, err := NewDiscrete(nil, nil); err == nil {
+		t.Error("expected error on empty")
+	}
+	if _, err := NewDiscrete([]int{1}, []float64{-1}); err == nil {
+		t.Error("expected error on negative weight")
+	}
+	if _, err := NewDiscrete([]int{1}, []float64{0}); err == nil {
+		t.Error("expected error on zero total")
+	}
+	if _, err := NewDiscrete([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error on length mismatch")
+	}
+}
+
+// Property: for any sample, the empirical CDF is monotone and bounded, and
+// Quantile inverts At within sample resolution.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for _, pt := range c.Points(16) {
+			if pt.Y < prev || pt.Y < 0 || pt.Y > 1 {
+				return false
+			}
+			prev = pt.Y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks are a permutation-invariant assignment summing to
+// n(n+1)/2.
+func TestQuickRanksSum(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		n := len(xs)
+		if n == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, rk := range Ranks(xs) {
+			sum += rk
+		}
+		return math.Abs(sum-float64(n*(n+1))/2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Spearman is bounded in [-1, 1].
+func TestQuickSpearmanBounded(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+				return true
+			}
+			xs[i], ys[i] = p[0], p[1]
+		}
+		rho, err := Spearman(xs, ys)
+		if err != nil {
+			return false
+		}
+		return rho >= -1-1e-9 && rho <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+)
+
+// Weibull is a two-parameter Weibull distribution with shape K and scale
+// Lambda. Section 3.7 of the paper reports that VM inter-arrival times fit
+// Weibull distributions "nearly perfectly"; the synthetic arrival process
+// samples from this type and the characterization refits it.
+type Weibull struct {
+	K      float64 // shape
+	Lambda float64 // scale
+}
+
+// Sample draws one variate using inverse transform sampling.
+func (w Weibull) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	for u == 0 {
+		u = r.Float64()
+	}
+	return w.Lambda * math.Pow(-math.Log(u), 1/w.K)
+}
+
+// Mean returns the distribution mean lambda * Gamma(1 + 1/k).
+func (w Weibull) Mean() float64 {
+	return w.Lambda * math.Gamma(1+1/w.K)
+}
+
+// CDF returns P(X <= x).
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+}
+
+// Quantile returns the p-quantile.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Lambda * math.Pow(-math.Log(1-p), 1/w.K)
+}
+
+// FitWeibull estimates Weibull parameters from positive samples by maximum
+// likelihood, solving the shape equation with bisection + Newton polish.
+// Non-positive samples are rejected.
+func FitWeibull(xs []float64) (Weibull, error) {
+	if len(xs) < 2 {
+		return Weibull{}, errors.New("stats: weibull fit needs at least 2 samples")
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return Weibull{}, errors.New("stats: weibull fit needs positive samples")
+		}
+		logs[i] = math.Log(x)
+	}
+	meanLog, _ := Mean(logs)
+
+	// MLE shape k solves: sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0.
+	f := func(k float64) float64 {
+		var num, den float64
+		for _, x := range xs {
+			xk := math.Pow(x, k)
+			num += xk * math.Log(x)
+			den += xk
+		}
+		return num/den - 1/k - meanLog
+	}
+
+	// Bracket the root. f is increasing in k; start from a wide bracket.
+	lo, hi := 1e-3, 1.0
+	for f(hi) < 0 && hi < 1e4 {
+		hi *= 2
+	}
+	if f(hi) < 0 {
+		return Weibull{}, errors.New("stats: weibull shape did not converge")
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10 {
+			break
+		}
+	}
+	k := (lo + hi) / 2
+
+	// Scale lambda = (mean(x^k))^(1/k).
+	var sum float64
+	for _, x := range xs {
+		sum += math.Pow(x, k)
+	}
+	lambda := math.Pow(sum/float64(len(xs)), 1/k)
+	return Weibull{K: k, Lambda: lambda}, nil
+}
+
+// KolmogorovSmirnov returns the KS statistic of xs against the Weibull w —
+// the max absolute difference between the empirical CDF and w.CDF. The
+// characterization uses it to verify the "nearly perfect" Weibull fit of
+// inter-arrival times.
+func KolmogorovSmirnov(xs []float64, w Weibull) (float64, error) {
+	cdf, err := NewCDF(xs)
+	if err != nil {
+		return 0, err
+	}
+	maxD := 0.0
+	n := float64(len(cdf.sorted))
+	for i, x := range cdf.sorted {
+		theo := w.CDF(x)
+		// Compare against both step edges of the empirical CDF.
+		dHi := math.Abs(float64(i+1)/n - theo)
+		dLo := math.Abs(float64(i)/n - theo)
+		if dHi > maxD {
+			maxD = dHi
+		}
+		if dLo > maxD {
+			maxD = dLo
+		}
+	}
+	return maxD, nil
+}

@@ -1,0 +1,35 @@
+package store
+
+import (
+	"strconv"
+	"testing"
+)
+
+func BenchmarkGet(b *testing.B) {
+	s := New()
+	payload := make([]byte, 850)
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Put("k"+strconv.Itoa(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("k" + strconv.Itoa(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New()
+	payload := make([]byte, 850)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put("k"+strconv.Itoa(i%100), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	v, err := s.Put("model/lifetime", []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("version = %d, want 1", v)
+	}
+	b, err := s.Get("model/lifetime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b.Data) != "abc" || b.Version != 1 || b.Key != "model/lifetime" {
+		t.Errorf("blob = %+v", b)
+	}
+}
+
+func TestVersionsIncrement(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("1"))
+	v, _ := s.Put("k", []byte("2"))
+	if v != 2 {
+		t.Errorf("version = %d, want 2", v)
+	}
+	b, _ := s.Get("k")
+	if string(b.Data) != "2" {
+		t.Errorf("data = %q", b.Data)
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	s := New()
+	data := []byte("orig")
+	s.Put("k", data)
+	data[0] = 'X'
+	b, _ := s.Get("k")
+	if string(b.Data) != "orig" {
+		t.Error("store aliased caller's buffer")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	_, err := s.Get("nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s := New()
+	if _, err := s.Put("", nil); err == nil {
+		t.Error("expected error for empty key")
+	}
+}
+
+func TestUnavailability(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("v"))
+	s.SetAvailable(false)
+	if _, err := s.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	// Puts still succeed (pipeline side).
+	if _, err := s.Put("k", []byte("v2")); err != nil {
+		t.Errorf("put while unavailable: %v", err)
+	}
+	s.SetAvailable(true)
+	b, err := s.Get("k")
+	if err != nil || string(b.Data) != "v2" {
+		t.Errorf("recovered get = %+v, %v", b, err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	s := New()
+	s.Put("b", nil)
+	s.Put("a", nil)
+	keys := s.Keys()
+	sort.Strings(keys)
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestPushNotification(t *testing.T) {
+	s := New()
+	ch := make(chan Notification, 4)
+	s.Subscribe(ch)
+	s.Put("m", []byte("x"))
+	s.Put("m", []byte("y"))
+	n1 := <-ch
+	n2 := <-ch
+	if n1.Key != "m" || n1.Version != 1 || n2.Version != 2 {
+		t.Errorf("notifications = %+v %+v", n1, n2)
+	}
+}
+
+func TestPushDoesNotBlockOnSlowSubscriber(t *testing.T) {
+	s := New()
+	ch := make(chan Notification) // unbuffered and never drained
+	s.Subscribe(ch)
+	done := make(chan struct{})
+	go func() {
+		s.Put("k", nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Put blocked on slow subscriber")
+	}
+}
+
+func TestLatencyModelDistribution(t *testing.T) {
+	l := LatencyModel{Median: 2900 * time.Microsecond, P99: 5600 * time.Microsecond}
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = float64(l.sample(uint64(i)))
+	}
+	sort.Float64s(samples)
+	median := time.Duration(samples[len(samples)/2])
+	p99 := time.Duration(samples[int(0.99*float64(len(samples)))])
+	if median < 2500*time.Microsecond || median > 3300*time.Microsecond {
+		t.Errorf("median = %v, want ~2.9ms", median)
+	}
+	if p99 < 4800*time.Microsecond || p99 > 6500*time.Microsecond {
+		t.Errorf("p99 = %v, want ~5.6ms", p99)
+	}
+}
+
+func TestZeroLatencyModel(t *testing.T) {
+	var l LatencyModel
+	if l.sample(1) != 0 {
+		t.Error("zero model should inject no latency")
+	}
+}
+
+func TestLatencyReportedWithoutSleep(t *testing.T) {
+	s := New()
+	s.Latency = LatencyModel{Median: time.Millisecond, P99: 2 * time.Millisecond}
+	s.Put("k", nil)
+	start := time.Now()
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Microsecond {
+		t.Logf("get took %v (expected fast path without Sleep)", elapsed)
+	}
+	if s.LastLatency() <= 0 {
+		t.Error("LastLatency not recorded")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := []string{"a", "b", "c"}[j%3]
+				if i%2 == 0 {
+					s.Put(key, []byte{byte(j)})
+				} else {
+					s.Get(key)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Survived the race detector; verify final state readable.
+	if _, err := s.Get("a"); err != nil && !errors.Is(err, ErrNotFound) {
+		t.Errorf("final get: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package synth
+
+import "resourcecentral/internal/trace"
+
+// vmSize is one entry of the VM size menu (roughly Azure's A/D series).
+type vmSize struct {
+	Cores    int
+	MemoryGB float64
+}
+
+// sizeMenu is the VM size offering. Weights below reference entries by
+// index. The menu couples cores and memory, which produces the strong
+// cores-memory Spearman correlation of Figure 8.
+var sizeMenu = []vmSize{
+	{1, 0.75}, // 0: A0
+	{1, 1.75}, // 1: A1
+	{2, 3.5},  // 2: A2
+	{4, 7},    // 3: A3
+	{8, 14},   // 4: A4
+	{16, 28},  // 5: A5-ish
+	{1, 3.5},  // 6: D1-ish (memory heavy small)
+	{2, 7},    // 7: D2-ish
+	{4, 14},   // 8: D3-ish
+	{8, 28},   // 9: D4-ish
+	{16, 56},  // 10
+	{16, 112}, // 11: largest
+}
+
+// lifetime buckets (paper Table 3): <=15 min, 15-60 min, 1-24 h, >24 h.
+// Sampling within a bucket is log-uniform between the bucket edges; the
+// >24h bucket extends to longTailDays.
+const longTailDays = 40
+
+// archetype is a workload behaviour template. Every subscription is an
+// instance of one archetype with sharpened (more concentrated) parameter
+// choices, which produces the strong per-subscription consistency that
+// Section 3 reports and that makes history predictive.
+type archetype struct {
+	name string
+
+	// weightFP / weightTP set the archetype's share of first-/third-party
+	// VM volume.
+	weightFP, weightTP float64
+
+	// prodProb is the probability that a subscription of this archetype is
+	// tagged production (first-party only; third-party is always treated
+	// as production by the scheduler).
+	prodProb float64
+
+	// iaasBias shifts the per-party IaaS probability for subscriptions of
+	// this archetype (0 = use the party default).
+	iaasBias float64
+
+	// lifetimeWeights are the archetype-level probabilities of the four
+	// lifetime buckets. Each subscription sharpens these around a dominant
+	// bucket.
+	lifetimeWeights [4]float64
+
+	// sizeWeights index into sizeMenu.
+	sizeWeights map[int]float64
+
+	// deployWeights are probabilities of the four deployment-size buckets
+	// (1, 2-10, 11-100, >100); per-subscription sharpening applies.
+	deployWeights [4]float64
+
+	// util describes the utilization template ranges; per-subscription
+	// values are drawn uniformly within and then jittered slightly per VM.
+	util utilTemplate
+
+	// longLifeLoDays raises the lower bound of the >24h lifetime bucket
+	// for subscriptions dominated by it (interactive services tend to
+	// live much longer than a day — the source of the paper's positive
+	// class-lifetime correlation in Figure 8).
+	longLifeLoDays float64
+}
+
+// utilTemplate bounds the utilization model parameters of an archetype.
+type utilTemplate struct {
+	kind         trace.UtilKind
+	baseLo       float64
+	baseHi       float64
+	ampLo        float64
+	ampHi        float64
+	spikeLo      float64
+	spikeHi      float64
+	noiseLo      float64
+	noiseHi      float64
+	diurnalFrac  float64 // fraction of subscriptions that are diurnal instead
+	diurnalAmpLo float64
+	diurnalAmpHi float64
+	// vmDiurnalProb gives individual VMs a mild daily swing even in
+	// non-interactive subscriptions (Section 3.6 notes some background
+	// VMs "appear periodic"; the FFT deliberately classifies them as
+	// interactive). This makes workload class non-trivial to predict.
+	vmDiurnalProb float64
+}
+
+// archetypes is the calibrated population. The calibration targets are the
+// "% truly in bucket" columns of Table 4 plus the Figure 1-7 shapes; see
+// synth tests for the tolerances enforced.
+var archetypes = []archetype{
+	{
+		// First-party VM-creation test workloads (Section 3.2): ~15% of
+		// first-party VMs, created and killed within minutes, idle.
+		name:            "fp-test",
+		weightFP:        0.15,
+		weightTP:        0,
+		prodProb:        0.02,
+		iaasBias:        0.2,
+		lifetimeWeights: [4]float64{0.92, 0.08, 0, 0},
+		sizeWeights:     map[int]float64{0: 0.5, 1: 0.35, 2: 0.15},
+		deployWeights:   [4]float64{0.75, 0.25, 0, 0},
+		util: utilTemplate{
+			kind: trace.UtilIdle, baseLo: 0.2, baseHi: 2.5,
+			noiseLo: 0.1, noiseHi: 0.8,
+		},
+	},
+	{
+		// Short batch jobs: low average with high spikes; the bulk of the
+		// <=1h lifetimes and of the P95>75% bucket.
+		name:            "short-batch",
+		weightFP:        0.33,
+		weightTP:        0.40,
+		prodProb:        0.72,
+		lifetimeWeights: [4]float64{0.40, 0.50, 0.10, 0},
+		sizeWeights:     map[int]float64{0: 0.18, 1: 0.28, 2: 0.28, 6: 0.08, 3: 0.14, 8: 0.04},
+		deployWeights:   [4]float64{0.20, 0.56, 0.21, 0.03},
+		util: utilTemplate{
+			kind: trace.UtilBursty, baseLo: 3, baseHi: 14,
+			ampLo: 55, ampHi: 92, spikeLo: 0.08, spikeHi: 0.3,
+			noiseLo: 1, noiseHi: 5,
+		},
+	},
+	{
+		// Medium batch: hours-long delay-insensitive work.
+		name:            "mid-batch",
+		weightFP:        0.22,
+		weightTP:        0.27,
+		prodProb:        0.55,
+		lifetimeWeights: [4]float64{0.04, 0.16, 0.78, 0.02},
+		sizeWeights:     map[int]float64{1: 0.20, 2: 0.30, 6: 0.08, 7: 0.10, 3: 0.22, 8: 0.08, 4: 0.02},
+		deployWeights:   [4]float64{0.25, 0.55, 0.18, 0.02},
+		util: utilTemplate{
+			kind: trace.UtilBursty, baseLo: 4, baseHi: 18,
+			ampLo: 45, ampHi: 80, spikeLo: 0.08, spikeHi: 0.3,
+			noiseLo: 2, noiseHi: 7,
+			vmDiurnalProb: 0.05, diurnalAmpLo: 12, diurnalAmpHi: 32,
+		},
+	},
+	{
+		// Development/test: light flat usage, work-day lifetimes.
+		name:            "dev-test",
+		weightFP:        0.14,
+		weightTP:        0.12,
+		prodProb:        0.12,
+		lifetimeWeights: [4]float64{0.12, 0.36, 0.50, 0.02},
+		sizeWeights:     map[int]float64{0: 0.18, 1: 0.36, 2: 0.28, 6: 0.10, 3: 0.08},
+		deployWeights:   [4]float64{0.35, 0.63, 0.02, 0},
+		util: utilTemplate{
+			kind: trace.UtilFlat, baseLo: 2, baseHi: 18,
+			noiseLo: 1, noiseHi: 6,
+			vmDiurnalProb: 0.04, diurnalAmpLo: 10, diurnalAmpHi: 28,
+		},
+	},
+	{
+		// Overprovisioned first-party services: long-lived, consistently
+		// low utilization (the paper's factor (1) for low first-party
+		// utilizations).
+		name:            "fp-service",
+		weightFP:        0.130,
+		weightTP:        0.02,
+		prodProb:        0.35,
+		iaasBias:        -0.25,
+		lifetimeWeights: [4]float64{0, 0.02, 0.30, 0.68},
+		sizeWeights:     map[int]float64{1: 0.2, 2: 0.35, 7: 0.25, 3: 0.15, 8: 0.05},
+		deployWeights:   [4]float64{0.18, 0.55, 0.25, 0.02},
+		longLifeLoDays:  2,
+		util: utilTemplate{
+			kind: trace.UtilFlat, baseLo: 3, baseHi: 16,
+			noiseLo: 1, noiseHi: 4,
+			vmDiurnalProb: 0.02, diurnalAmpLo: 10, diurnalAmpHi: 25,
+		},
+	},
+	{
+		// Steady high-utilization third-party workloads: small VMs driven
+		// hard for long periods (databases, render farms, miners).
+		name:            "steady-high",
+		weightFP:        0.02,
+		weightTP:        0.178,
+		prodProb:        0.88,
+		iaasBias:        0.3,
+		lifetimeWeights: [4]float64{0, 0.02, 0.38, 0.60},
+		sizeWeights:     map[int]float64{0: 0.15, 1: 0.3, 2: 0.3, 6: 0.15, 7: 0.1},
+		deployWeights:   [4]float64{0.40, 0.50, 0.10, 0},
+		longLifeLoDays:  2,
+		util: utilTemplate{
+			kind: trace.UtilFlat, baseLo: 45, baseHi: 92,
+			noiseLo: 2, noiseHi: 8,
+		},
+	},
+	{
+		// Interactive customer-facing services: diurnal utilization,
+		// long-lived, load-balanced deployments (Section 3.6).
+		name:            "interactive",
+		weightFP:        0.010,
+		weightTP:        0.012,
+		prodProb:        0.97,
+		iaasBias:        -0.3,
+		lifetimeWeights: [4]float64{0, 0.01, 0.14, 0.85},
+		sizeWeights:     map[int]float64{3: 0.35, 8: 0.30, 4: 0.20, 9: 0.10, 10: 0.05},
+		deployWeights:   [4]float64{0.15, 0.62, 0.22, 0.01},
+		longLifeLoDays:  12,
+		util: utilTemplate{
+			kind: trace.UtilDiurnal, baseLo: 8, baseHi: 28,
+			ampLo: 30, ampHi: 65,
+			noiseLo: 2, noiseHi: 6,
+			diurnalFrac: 1,
+		},
+	},
+}
+
+// roles by VM type; PaaS roles leak functional information (Section 3.1),
+// IaaS roles are opaque.
+var paasRoles = []string{"WebRole", "WorkerRole", "CacheRole", "GatewayRole"}
+
+const iaasRole = "IaaS"
+
+// osMenu is the guest operating system mix; subscriptions stick to one OS.
+var osMenu = []string{"linux", "linux", "linux", "windows", "windows", "freebsd"}

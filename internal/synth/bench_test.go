@@ -1,0 +1,18 @@
+package synth
+
+import "testing"
+
+func BenchmarkGenerate5k(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Days = 10
+	cfg.TargetVMs = 5000
+	cfg.MaxDeploymentVMs = 150
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,782 @@
+// Package synth generates synthetic Azure-like VM workload traces whose
+// distributions reproduce the characterization in Section 3 of the paper:
+// VM type mix, utilization CDFs, size mix, deployment sizes, lifetimes,
+// workload classes, bursty diurnal Weibull arrivals, and — critically — the
+// strong per-subscription behavioural consistency that makes history an
+// accurate predictor of future VM behaviour.
+//
+// The generator substitutes for the proprietary three-month Azure dataset;
+// see DESIGN.md for the substitution argument.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"resourcecentral/internal/stats"
+	"resourcecentral/internal/trace"
+)
+
+// Config parameterizes trace generation. The zero value is not usable; use
+// DefaultConfig and override fields.
+type Config struct {
+	// Seed makes the whole trace reproducible.
+	Seed uint64
+	// Days is the observation window length (the paper uses ~92 days).
+	Days int
+	// TargetVMs is the approximate number of VMs to generate.
+	TargetVMs int
+	// Regions is the number of regions VMs deploy into.
+	Regions int
+	// FirstPartyFrac is the fraction of VM volume that is first-party.
+	FirstPartyFrac float64
+	// VMsPerSubscription controls how many subscriptions exist (mean VM
+	// volume per subscription before Zipf skew).
+	VMsPerSubscription float64
+	// ArrivalShape is the Weibull shape of inter-arrival gaps; < 1 is
+	// heavy-tailed/bursty as in Section 3.7.
+	ArrivalShape float64
+	// Sharpen is the probability mass a subscription concentrates on its
+	// dominant lifetime/deployment bucket (per-subscription consistency).
+	Sharpen float64
+	// MaxDeploymentVMs caps the largest deployment (the >100-VM bucket is
+	// sampled log-uniformly between 101 and this cap). Must be > 101.
+	MaxDeploymentVMs int
+}
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Days:               90,
+		TargetVMs:          50000,
+		Regions:            8,
+		FirstPartyFrac:     0.52,
+		VMsPerSubscription: 45,
+		ArrivalShape:       0.55,
+		Sharpen:            0.80,
+		MaxDeploymentVMs:   500,
+	}
+}
+
+// Subscription is the generator's ground-truth record of one customer
+// subscription: the behavioural template every one of its VMs follows.
+type Subscription struct {
+	ID        string
+	Party     trace.Party
+	Archetype string
+
+	// Production is the subscription-level prod/non-prod tag (first-party
+	// semantics; third-party subscriptions are always production).
+	Production bool
+	// IaaSProb is the per-VM probability of IaaS (0/1 for the 96% of
+	// subscriptions that are single-type).
+	IaaSProb float64
+	Role     string
+	// OS is the subscription's guest operating system family.
+	OS string
+
+	// PreferredSize indexes sizeMenu; most VMs use it.
+	PreferredSize int
+	// LifetimeWeights and DeployWeights are the sharpened bucket
+	// probabilities.
+	LifetimeWeights [4]float64
+	DeployWeights   [4]float64
+	// DomLifetimeBucket is the subscription's dominant lifetime bucket and
+	// TypLifetime a typical lifetime (minutes) inside it; deployments in
+	// the dominant bucket cluster around it, which yields the low
+	// per-subscription lifetime CoV of Section 3.5.
+	DomLifetimeBucket int
+	TypLifetime       float64
+
+	// Utilization template (concrete values for this subscription).
+	UtilKind  trace.UtilKind
+	UtilBase  float64
+	UtilAmp   float64
+	UtilSpike float64
+	UtilNoise float64
+	PhaseMin  int64
+
+	Regions []string
+
+	// weight is the subscription's share of arrival volume.
+	weight float64
+
+	archIdx int
+
+	// lifeQuota and depQuota deterministically realize the bucket weights
+	// (largest-remainder scheduling), so the generated marginals track the
+	// targets with minimal variance even at small trace sizes.
+	lifeQuota *quota
+	depQuota  *quota
+}
+
+// quota is a weighted largest-remainder scheduler over four buckets: each
+// call to next picks the bucket with the largest deficit relative to its
+// target share and charges it the given weight.
+type quota struct {
+	target [4]float64
+	cum    [4]float64
+	tot    float64
+}
+
+func newQuota(target [4]float64) *quota {
+	sum := 0.0
+	for _, x := range target {
+		sum += x
+	}
+	if sum > 0 {
+		for i := range target {
+			target[i] /= sum
+		}
+	}
+	return &quota{target: target}
+}
+
+func (q *quota) next(w float64) int {
+	q.tot += w
+	best, bestDef := 0, math.Inf(-1)
+	for b, t := range q.target {
+		if t == 0 {
+			continue
+		}
+		if def := t*q.tot - q.cum[b]; def > bestDef {
+			best, bestDef = b, def
+		}
+	}
+	q.cum[best] += w
+	return best
+}
+
+// Result bundles the generated trace with the subscription ground truth.
+type Result struct {
+	Trace         *trace.Trace
+	Subscriptions []*Subscription
+	// BySubscription maps subscription id to its record.
+	BySubscription map[string]*Subscription
+}
+
+// Generate produces a synthetic trace for cfg.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.Days <= 0 {
+		return nil, errors.New("synth: Days must be positive")
+	}
+	if cfg.TargetVMs <= 0 {
+		return nil, errors.New("synth: TargetVMs must be positive")
+	}
+	if cfg.Regions <= 0 {
+		return nil, errors.New("synth: Regions must be positive")
+	}
+	if cfg.FirstPartyFrac < 0 || cfg.FirstPartyFrac > 1 {
+		return nil, fmt.Errorf("synth: FirstPartyFrac %v out of [0,1]", cfg.FirstPartyFrac)
+	}
+	if cfg.VMsPerSubscription <= 0 {
+		return nil, errors.New("synth: VMsPerSubscription must be positive")
+	}
+	if cfg.ArrivalShape <= 0 {
+		return nil, errors.New("synth: ArrivalShape must be positive")
+	}
+	if cfg.Sharpen < 0 || cfg.Sharpen >= 1 {
+		return nil, fmt.Errorf("synth: Sharpen %v out of [0,1)", cfg.Sharpen)
+	}
+	if cfg.MaxDeploymentVMs <= 101 {
+		return nil, fmt.Errorf("synth: MaxDeploymentVMs %d must exceed 101", cfg.MaxDeploymentVMs)
+	}
+
+	r := rand.New(rand.NewPCG(cfg.Seed, 0x5ca1ab1e))
+	g := &generator{cfg: cfg, r: r}
+	g.buildSubscriptions()
+	g.run()
+
+	sort.Slice(g.vms, func(i, j int) bool { return g.vms[i].Created < g.vms[j].Created })
+	for i := range g.vms {
+		g.vms[i].ID = int64(i + 1)
+	}
+
+	bySub := make(map[string]*Subscription, len(g.subs))
+	for _, s := range g.subs {
+		bySub[s.ID] = s
+	}
+	return &Result{
+		Trace:          &trace.Trace{Horizon: trace.Minutes(cfg.Days * 24 * 60), VMs: g.vms},
+		Subscriptions:  g.subs,
+		BySubscription: bySub,
+	}, nil
+}
+
+type generator struct {
+	cfg  Config
+	r    *rand.Rand
+	subs []*Subscription
+	vms  []trace.VM
+
+	subPicker   *weightedPicker
+	deployCount int
+}
+
+// buildSubscriptions instantiates subscriptions per archetype and party,
+// assigning Zipf-skewed volume weights.
+func (g *generator) buildSubscriptions() {
+	for ai, a := range archetypes {
+		for _, party := range []trace.Party{trace.FirstParty, trace.ThirdParty} {
+			var volume float64
+			if party == trace.FirstParty {
+				volume = a.weightFP * g.cfg.FirstPartyFrac * float64(g.cfg.TargetVMs)
+			} else {
+				volume = a.weightTP * (1 - g.cfg.FirstPartyFrac) * float64(g.cfg.TargetVMs)
+			}
+			if volume < 1 {
+				continue
+			}
+			n := int(math.Ceil(volume / g.cfg.VMsPerSubscription))
+			if n < 1 {
+				n = 1
+			}
+			// Zipf-ish popularity within the archetype.
+			weights := make([]float64, n)
+			total := 0.0
+			for i := range weights {
+				weights[i] = math.Pow(float64(i+1), -0.7)
+				total += weights[i]
+			}
+			group := make([]*Subscription, 0, n)
+			for i := 0; i < n; i++ {
+				s := g.newSubscription(ai, a, party)
+				s.weight = volume * weights[i] / total
+				g.subs = append(g.subs, s)
+				group = append(group, s)
+			}
+			g.assignTypes(group, a, party)
+			g.assignBuckets(group, a)
+			g.assignSizes(group, a)
+		}
+	}
+	w := make([]float64, len(g.subs))
+	for i, s := range g.subs {
+		// The picker chooses deployment events, so normalize by the mean
+		// deployment size of the subscription to keep VM volume on target.
+		w[i] = s.weight / meanDeploySize(s.DeployWeights)
+	}
+	g.subPicker = newWeightedPicker(w, g.r)
+}
+
+func (g *generator) newSubscription(ai int, a archetype, party trace.Party) *Subscription {
+	r := g.r
+	s := &Subscription{
+		ID:        fmt.Sprintf("sub-%s-%05d", party, len(g.subs)),
+		Party:     party,
+		Archetype: a.name,
+		archIdx:   ai,
+	}
+	// Production tag: third-party is always production from the
+	// scheduler's perspective.
+	if party == trace.ThirdParty {
+		s.Production = true
+	} else {
+		s.Production = r.Float64() < a.prodProb
+	}
+
+	// VM type: 96% of subscriptions are single-type; those are assigned in
+	// a weight-balanced pass (assignTypes) after the whole group exists,
+	// marked pending here. The remaining 4% are genuinely mixed.
+	if r.Float64() < 0.96 {
+		s.IaaSProb = -1 // pending single-type assignment
+	} else {
+		s.IaaSProb = 0.3 + 0.4*r.Float64()
+		s.setRole(r)
+	}
+
+	// Preferred size and lifetime/deployment bucket weights are assigned
+	// in weight-balanced group passes after the whole group exists.
+
+	// Utilization template: concrete subscription-level parameters.
+	u := a.util
+	s.UtilKind = u.kind
+	if u.diurnalFrac > 0 && r.Float64() < u.diurnalFrac {
+		s.UtilKind = trace.UtilDiurnal
+		if u.ampLo == 0 && u.diurnalAmpLo > 0 {
+			u.ampLo, u.ampHi = u.diurnalAmpLo, u.diurnalAmpHi
+		}
+	}
+	s.UtilBase = uniform(r, u.baseLo, u.baseHi)
+	s.UtilAmp = uniform(r, u.ampLo, u.ampHi)
+	s.UtilSpike = uniform(r, u.spikeLo, u.spikeHi)
+	s.UtilNoise = uniform(r, u.noiseLo, u.noiseHi)
+	// Interactive peak between 10:00 and 16:00 local.
+	s.PhaseMin = int64(10*60 + r.IntN(6*60))
+
+	s.OS = osMenu[r.IntN(len(osMenu))]
+
+	// Home regions: 1-3 regions out of the fleet.
+	n := 1 + r.IntN(3)
+	perm := r.Perm(g.cfg.Regions)
+	for i := 0; i < n && i < len(perm); i++ {
+		s.Regions = append(s.Regions, fmt.Sprintf("region-%d", perm[i]))
+	}
+	return s
+}
+
+// setRole picks the subscription role from its (now known) dominant type.
+func (s *Subscription) setRole(r *rand.Rand) {
+	if s.IaaSProb > 0.5 {
+		s.Role = iaasRole
+	} else {
+		s.Role = paasRoles[r.IntN(len(paasRoles))]
+	}
+}
+
+// assignTypes resolves pending single-type subscriptions so the group's
+// VM-volume-weighted IaaS share tracks the party/archetype target. Greedy
+// weighted balancing keeps the platform split near 52/48 even though
+// volume is Zipf-skewed across few subscriptions.
+func (g *generator) assignTypes(group []*Subscription, a archetype, party trace.Party) {
+	// Party bases are set so the net realized split (after archetype
+	// biases) lands at the paper's 53%/47% first/third-party IaaS shares.
+	base := 0.54
+	if party == trace.ThirdParty {
+		base = 0.42
+	}
+	target := clamp01(base + a.iaasBias)
+	var wIaaS, wTotal float64
+	for _, s := range group {
+		wTotal += s.weight
+		if s.IaaSProb >= 0 { // mixed subscription, already decided
+			wIaaS += s.weight * s.IaaSProb
+			continue
+		}
+		// Choose the type that keeps the running share closest to target.
+		if math.Abs((wIaaS+s.weight)/wTotal-target) <= math.Abs(wIaaS/wTotal-target) {
+			s.IaaSProb = 1
+			wIaaS += s.weight
+		} else {
+			s.IaaSProb = 0
+		}
+		s.setRole(g.r)
+	}
+}
+
+// run drives the arrival process over the window.
+func (g *generator) run() {
+	horizon := float64(g.cfg.Days * 24 * 60)
+
+	// Effective minutes: integral of the diurnal rate factor, hour steps.
+	effective := 0.0
+	for h := 0; h < g.cfg.Days*24; h++ {
+		effective += 60 * rateFactor(float64(h*60))
+	}
+
+	events := float64(g.cfg.TargetVMs) / g.meanGlobalDeploySize()
+	w := stats.Weibull{K: g.cfg.ArrivalShape, Lambda: 1}
+	meanRaw := w.Mean()
+	// Scale so the expected number of arrivals over the window ≈ events.
+	w.Lambda = effective / (events * meanRaw)
+
+	t := 0.0
+	for {
+		f := rateFactor(t)
+		gap := w.Sample(g.r) / f
+		// Cap pathological gaps from the heavy tail so the arrival stream
+		// never stalls for days.
+		if gap > 36*60 {
+			gap = 36 * 60
+		}
+		t += gap
+		if t >= horizon {
+			break
+		}
+		g.emitDeployment(trace.Minutes(t))
+	}
+}
+
+// meanGlobalDeploySize is the volume-weighted mean deployment size.
+func (g *generator) meanGlobalDeploySize() float64 {
+	num, den := 0.0, 0.0
+	for _, s := range g.subs {
+		m := meanDeploySize(s.DeployWeights)
+		num += s.weight
+		den += s.weight / m
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// emitDeployment creates one deployment (a group of VMs arriving together)
+// for a weight-chosen subscription.
+func (g *generator) emitDeployment(at trace.Minutes) {
+	s := g.subs[g.subPicker.pick()]
+	g.deployCount++
+	depID := fmt.Sprintf("dep-%05d-%d", g.deployCount, g.r.Uint64()%100000)
+	region := s.Regions[g.r.IntN(len(s.Regions))]
+
+	size := deploySizeInBucket(g.r, s.depQuota.next(1), g.cfg.MaxDeploymentVMs)
+	// Deployment-level lifetime: VMs in a group terminate roughly
+	// together (they are logically one workload). Deployments in the
+	// subscription's dominant bucket cluster around its typical lifetime.
+	bucket := s.lifeQuota.next(float64(size))
+	var baseLife float64
+	if bucket == s.DomLifetimeBucket {
+		baseLife = clampf(s.TypLifetime*logUniform(g.r, 0.7, 1.45),
+			lifetimeEdges[bucket], lifetimeEdges[bucket+1])
+	} else {
+		baseLife = sampleLifetimeMinutes(g.r, bucket)
+	}
+
+	// Deployments do not always arrive in one shot (Section 3.4): about
+	// half of the multi-VM ones grow over time, so the scheduler only sees
+	// an initial request and the maximum size must be predicted.
+	initial := size
+	if size > 1 && baseLife > 60 && g.r.Float64() < 0.5 {
+		initial = 1 + int(float64(size)*(0.35+0.5*g.r.Float64()))
+		if initial > size {
+			initial = size
+		}
+	}
+	g.emitWave(s, depID, region, at, initial, baseLife)
+	remaining := size - initial
+	growAt := at
+	for remaining > 0 {
+		w := remaining
+		if remaining > 3 && g.r.Float64() < 0.6 {
+			w = 1 + g.r.IntN(remaining)
+		}
+		growAt += trace.Minutes(logUniform(g.r, 30, math.Min(baseLife, 3*1440)))
+		if growAt >= trace.Minutes(g.cfg.Days*24*60) {
+			break // deployment never finished growing inside the window
+		}
+		g.emitWave(s, depID, region, growAt, w, baseLife)
+		remaining -= w
+	}
+}
+
+// emitWave creates count VMs of one deployment wave at the given time.
+func (g *generator) emitWave(s *Subscription, depID, region string, at trace.Minutes, count int, baseLife float64) {
+	horizon := trace.Minutes(g.cfg.Days * 24 * 60)
+	for i := 0; i < count; i++ {
+		life := baseLife * (0.85 + 0.3*g.r.Float64())
+		v := trace.VM{
+			Subscription: s.ID,
+			Deployment:   depID,
+			Region:       region,
+			Role:         s.Role,
+			OS:           s.OS,
+			Party:        s.Party,
+			Production:   s.Production,
+			Created:      at,
+		}
+		if g.r.Float64() < s.IaaSProb {
+			v.Type = trace.IaaS
+		} else {
+			v.Type = trace.PaaS
+		}
+		sz := g.sampleVMSize(s)
+		v.Cores, v.MemoryGB = sz.Cores, sz.MemoryGB
+
+		end := at + trace.Minutes(math.Max(1, life))
+		if end >= horizon {
+			v.Deleted = trace.NoEnd
+		} else {
+			v.Deleted = end
+		}
+
+		v.Util = g.buildUtilModel(s, life)
+		g.vms = append(g.vms, v)
+	}
+}
+
+// sampleVMSize returns the subscription's preferred size most of the time,
+// falling back to the archetype menu (low per-subscription size CoV).
+func (g *generator) sampleVMSize(s *Subscription) vmSize {
+	if g.r.Float64() < 0.85 {
+		return sizeMenu[s.PreferredSize]
+	}
+	return sizeMenu[samplePreferredSize(g.r, archetypes[s.archIdx].sizeWeights)]
+}
+
+// buildUtilModel instantiates the per-VM utilization model with small
+// jitter around the subscription template. A small fraction of VMs in
+// non-interactive archetypes get a mild diurnal swing (they will "appear
+// periodic" to the FFT, per Section 3.6).
+func (g *generator) buildUtilModel(s *Subscription, lifeMin float64) trace.UtilModel {
+	j := func(x float64) float64 { return x * (0.9 + 0.2*g.r.Float64()) }
+	m := trace.UtilModel{
+		Kind:      s.UtilKind,
+		Base:      j(s.UtilBase),
+		Amplitude: j(s.UtilAmp),
+		NoiseSD:   j(s.UtilNoise),
+		SpikeProb: s.UtilSpike,
+		PhaseMin:  s.PhaseMin + int64(g.r.IntN(61)) - 30,
+		Seed:      g.r.Uint64(),
+	}
+	u := archetypes[s.archIdx].util
+	if m.Kind != trace.UtilDiurnal && u.vmDiurnalProb > 0 && g.r.Float64() < u.vmDiurnalProb {
+		m.Kind = trace.UtilDiurnal
+		m.Amplitude = uniform(g.r, u.diurnalAmpLo, u.diurnalAmpHi)
+	}
+	if m.Kind == trace.UtilRamp {
+		m.RampLifetime = int64(math.Max(lifeMin, 10))
+	}
+	return m
+}
+
+// --- sampling helpers ---
+
+func clampf(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func uniform(r *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// assignBuckets gives every subscription in the group its dominant
+// lifetime and deployment-size buckets via weighted balancing, so the
+// realized group marginals track the archetype weights with low variance
+// despite the Zipf volume skew, then sharpens the per-subscription weights
+// around the dominant bucket.
+func (g *generator) assignBuckets(group []*Subscription, a archetype) {
+	domLife := balanceAssign(group, a.lifetimeWeights[:])
+
+	// Deployment buckets determine how many deployment *events* a
+	// subscription emits for its VM volume (volume / mean size), so the
+	// per-event marginal over-represents small-deployment subscriptions.
+	// Compensate by scaling the volume targets by the effective mean size
+	// of a subscription dominated by each bucket.
+	archMean := meanDeploySize(a.deployWeights)
+	var adj [4]float64
+	for b := range adj {
+		mEff := g.cfg.Sharpen*deployBucketMeans[b] + (1-g.cfg.Sharpen)*archMean
+		adj[b] = a.deployWeights[b] * mEff
+	}
+	domDeploy := balanceAssign(group, adj[:])
+
+	for i, s := range group {
+		s.DomLifetimeBucket = domLife[i]
+		s.LifetimeWeights = sharpenAt(a.lifetimeWeights, domLife[i], g.cfg.Sharpen)
+		s.DeployWeights = sharpenAt(a.deployWeights, domDeploy[i], g.cfg.Sharpen)
+		s.TypLifetime = sampleLifetimeMinutes(g.r, s.DomLifetimeBucket)
+		if a.longLifeLoDays > 1 && s.DomLifetimeBucket == 3 {
+			s.TypLifetime = logUniform(g.r, a.longLifeLoDays*1440, lifetimeEdges[4])
+		}
+		s.lifeQuota = newQuota(s.LifetimeWeights)
+		s.depQuota = newQuota(s.DeployWeights)
+	}
+}
+
+// assignSizes gives every subscription its preferred VM size via weighted
+// balancing over the archetype size menu, so the realized core/memory mix
+// tracks Figures 2-3 despite Zipf volume skew.
+func (g *generator) assignSizes(group []*Subscription, a archetype) {
+	keys := make([]int, 0, len(a.sizeWeights))
+	for k := range a.sizeWeights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	targets := make([]float64, len(keys))
+	for i, k := range keys {
+		targets[i] = a.sizeWeights[k]
+	}
+	for i, pick := range balanceAssign(group, targets) {
+		group[i].PreferredSize = keys[pick]
+	}
+}
+
+// balanceAssign chooses one category per subscription such that the
+// weight-accumulated category shares track the target proportions (greedy
+// largest-deficit assignment in descending weight order).
+func balanceAssign(group []*Subscription, target []float64) []int {
+	total := 0.0
+	for _, x := range target {
+		total += x
+	}
+	cum := make([]float64, len(target))
+	wTot := 0.0
+	out := make([]int, len(group))
+	for i, s := range group {
+		wTot += s.weight
+		best, bestDeficit := -1, math.Inf(-1)
+		for b := range target {
+			if target[b] == 0 {
+				continue
+			}
+			deficit := target[b]/total*wTot - cum[b]
+			if deficit > bestDeficit {
+				best, bestDeficit = b, deficit
+			}
+		}
+		out[i] = best
+		cum[best] += s.weight
+	}
+	return out
+}
+
+// sharpenAt concentrates probability mass on the dominant bucket: dominant
+// gets `mass`, the rest keeps the archetype shape.
+func sharpenAt(w [4]float64, dom int, mass float64) [4]float64 {
+	var out [4]float64
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	for i := range out {
+		out[i] = (1 - mass) * w[i] / total
+	}
+	out[dom] += mass
+	return out
+}
+
+func sampleBucket(r *rand.Rand, w [4]float64) int {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	return 3
+}
+
+func samplePreferredSize(r *rand.Rand, weights map[int]float64) int {
+	// Deterministic iteration order: sort keys.
+	keys := make([]int, 0, len(weights))
+	total := 0.0
+	for k, w := range weights {
+		keys = append(keys, k)
+		total += w
+	}
+	sort.Ints(keys)
+	u := r.Float64() * total
+	acc := 0.0
+	for _, k := range keys {
+		acc += weights[k]
+		if u < acc {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// lifetime bucket edges in minutes (Table 3).
+var lifetimeEdges = [5]float64{0.5, 15, 60, 1440, longTailDays * 1440}
+
+// sampleLifetimeMinutes draws log-uniformly within the bucket.
+func sampleLifetimeMinutes(r *rand.Rand, bucket int) float64 {
+	lo, hi := lifetimeEdges[bucket], lifetimeEdges[bucket+1]
+	return logUniform(r, lo, hi)
+}
+
+func logUniform(r *rand.Rand, lo, hi float64) float64 {
+	return math.Exp(uniform(r, math.Log(lo), math.Log(hi)))
+}
+
+// deploySizeInBucket samples a deployment size within the given Table 3
+// bucket (1, 2-10, 11-100, >100).
+func deploySizeInBucket(r *rand.Rand, bucket, maxVMs int) int {
+	switch bucket {
+	case 0:
+		return 1
+	case 1:
+		return 1 + int(logUniform(r, 1, 10)) // 2..10 skewed small
+	case 2:
+		return int(logUniform(r, 11, 100))
+	default:
+		return int(logUniform(r, 101, float64(maxVMs)))
+	}
+}
+
+// deployBucketMeans are the expected sizes of the within-bucket samplers.
+var deployBucketMeans = [4]float64{1, 4.3, 39, 200}
+
+// meanDeploySize approximates the expected deployment size under w.
+func meanDeploySize(w [4]float64) float64 {
+	means := deployBucketMeans
+	total, sum := 0.0, 0.0
+	for i, x := range w {
+		total += x
+		sum += x * means[i]
+	}
+	if total == 0 {
+		return 1
+	}
+	return sum / total
+}
+
+// rateFactor is the diurnal/weekly arrival-rate modulation of Section 3.7:
+// daytime peak, night trough, weekend dip. t is minutes from trace start
+// (day 0 is a Monday).
+func rateFactor(t float64) float64 {
+	day := int(t / (24 * 60))
+	minOfDay := math.Mod(t, 24*60)
+	// Peak at 14:00, trough at 02:00.
+	f := 1 + 0.5*math.Cos(2*math.Pi*(minOfDay-14*60)/(24*60))
+	if wd := day % 7; wd == 5 || wd == 6 {
+		f *= 0.55
+	}
+	return f
+}
+
+// weightedPicker allocates successive picks to indices proportionally to
+// fixed weights using largest-remainder scheduling, so realized event
+// counts track the weights with minimal variance.
+type weightedPicker struct {
+	share []float64
+	count []float64
+	n     float64
+}
+
+func newWeightedPicker(w []float64, r *rand.Rand) *weightedPicker {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	share := make([]float64, len(w))
+	count := make([]float64, len(w))
+	for i, x := range w {
+		share[i] = x / total
+		// Random initial phase: without it, low-rate subscriptions would
+		// all receive their first event a full period into the trace,
+		// leaving the first days without any long-lived workloads.
+		count[i] = -r.Float64()
+	}
+	return &weightedPicker{share: share, count: count}
+}
+
+func (p *weightedPicker) pick() int {
+	p.n++
+	best, bestDef := 0, math.Inf(-1)
+	for i, s := range p.share {
+		if def := s*p.n - p.count[i]; def > bestDef {
+			best, bestDef = i, def
+		}
+	}
+	p.count[best]++
+	return best
+}

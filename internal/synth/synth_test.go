@@ -1,0 +1,530 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"resourcecentral/internal/stats"
+	"resourcecentral/internal/trace"
+)
+
+// testConfig is small enough to run quickly but large enough for the
+// marginal-distribution checks to be statistically meaningful.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 21
+	cfg.TargetVMs = 15000
+	cfg.MaxDeploymentVMs = 300
+	cfg.Seed = 42
+	return cfg
+}
+
+var cachedResult *Result
+
+func generated(t *testing.T) *Result {
+	t.Helper()
+	if cachedResult == nil {
+		res, err := Generate(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedResult = res
+	}
+	return cachedResult
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := DefaultConfig()
+	mutations := []func(*Config){
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.TargetVMs = 0 },
+		func(c *Config) { c.Regions = 0 },
+		func(c *Config) { c.FirstPartyFrac = 1.5 },
+		func(c *Config) { c.VMsPerSubscription = 0 },
+		func(c *Config) { c.ArrivalShape = 0 },
+		func(c *Config) { c.Sharpen = 1 },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := testConfig()
+	cfg.TargetVMs = 800
+	cfg.Days = 7
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.VMs) != len(b.Trace.VMs) {
+		t.Fatalf("vm counts differ: %d vs %d", len(a.Trace.VMs), len(b.Trace.VMs))
+	}
+	for i := range a.Trace.VMs {
+		if a.Trace.VMs[i] != b.Trace.VMs[i] {
+			t.Fatalf("vm %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := testConfig()
+	cfg.TargetVMs = 500
+	cfg.Days = 7
+	a, _ := Generate(cfg)
+	cfg.Seed = 99
+	b, _ := Generate(cfg)
+	if len(a.Trace.VMs) == len(b.Trace.VMs) {
+		same := true
+		for i := range a.Trace.VMs {
+			if a.Trace.VMs[i].Util.Seed != b.Trace.VMs[i].Util.Seed {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestVMCountNearTarget(t *testing.T) {
+	res := generated(t)
+	n := len(res.Trace.VMs)
+	target := testConfig().TargetVMs
+	if n < target/2 || n > target*2 {
+		t.Errorf("generated %d VMs, want within 2x of %d", n, target)
+	}
+}
+
+func TestVMsSortedAndIDsAssigned(t *testing.T) {
+	res := generated(t)
+	for i := 1; i < len(res.Trace.VMs); i++ {
+		if res.Trace.VMs[i].Created < res.Trace.VMs[i-1].Created {
+			t.Fatal("VMs not sorted by creation time")
+		}
+	}
+	for i, v := range res.Trace.VMs {
+		if v.ID != int64(i+1) {
+			t.Fatalf("vm %d has id %d", i, v.ID)
+		}
+	}
+}
+
+func TestVMFieldsValid(t *testing.T) {
+	res := generated(t)
+	horizon := res.Trace.Horizon
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		if v.Cores <= 0 || v.MemoryGB <= 0 {
+			t.Fatalf("vm %d has size %d/%v", v.ID, v.Cores, v.MemoryGB)
+		}
+		if v.Created < 0 || v.Created >= horizon {
+			t.Fatalf("vm %d created at %d outside window", v.ID, v.Created)
+		}
+		if v.Deleted != trace.NoEnd && v.Deleted <= v.Created {
+			t.Fatalf("vm %d deleted %d <= created %d", v.ID, v.Deleted, v.Created)
+		}
+		if v.Subscription == "" || v.Deployment == "" || v.Region == "" || v.Role == "" {
+			t.Fatalf("vm %d missing identity fields: %+v", v.ID, v)
+		}
+		if _, ok := res.BySubscription[v.Subscription]; !ok {
+			t.Fatalf("vm %d references unknown subscription %s", v.ID, v.Subscription)
+		}
+	}
+}
+
+// Section 3.1: workload split roughly half IaaS / half PaaS (52/48), with
+// first-party slightly more IaaS and third-party slightly more PaaS.
+func TestVMTypeSplit(t *testing.T) {
+	res := generated(t)
+	var iaas, fpIaaS, fpTotal, tpIaaS, tpTotal float64
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		if v.Type == trace.IaaS {
+			iaas++
+		}
+		if v.Party == trace.FirstParty {
+			fpTotal++
+			if v.Type == trace.IaaS {
+				fpIaaS++
+			}
+		} else {
+			tpTotal++
+			if v.Type == trace.IaaS {
+				tpIaaS++
+			}
+		}
+	}
+	n := float64(len(res.Trace.VMs))
+	if share := iaas / n; math.Abs(share-0.50) > 0.09 {
+		t.Errorf("IaaS share = %.3f, want ~0.50 (paper: 52%% overall, 53/47 by party)", share)
+	}
+	if fpTotal > 0 && tpTotal > 0 {
+		fp := fpIaaS / fpTotal
+		tp := tpIaaS / tpTotal
+		if fp <= tp-0.02 {
+			t.Errorf("first-party IaaS share %.3f not above third-party %.3f", fp, tp)
+		}
+	}
+}
+
+// Section 3.1: 96% of subscriptions create VMs of a single type.
+func TestSingleTypeSubscriptions(t *testing.T) {
+	res := generated(t)
+	types := make(map[string]map[trace.VMType]bool)
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		if types[v.Subscription] == nil {
+			types[v.Subscription] = make(map[trace.VMType]bool)
+		}
+		types[v.Subscription][v.Type] = true
+	}
+	single, multi := 0, 0
+	for _, set := range types {
+		if len(set) == 1 {
+			single++
+		} else {
+			multi++
+		}
+	}
+	frac := float64(single) / float64(single+multi)
+	if frac < 0.90 {
+		t.Errorf("single-type subscription share = %.3f, want >= 0.90 (paper: 0.96)", frac)
+	}
+}
+
+// Section 3.3 / Figure 2-3: ~80% of VMs need 1-2 cores, ~70% < 4 GB.
+func TestSizeMix(t *testing.T) {
+	res := generated(t)
+	small, lowMem := 0, 0
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		if v.Cores <= 2 {
+			small++
+		}
+		if v.MemoryGB < 4 {
+			lowMem++
+		}
+	}
+	n := float64(len(res.Trace.VMs))
+	if frac := float64(small) / n; math.Abs(frac-0.80) > 0.10 {
+		t.Errorf("1-2 core share = %.3f, want ~0.80", frac)
+	}
+	if frac := float64(lowMem) / n; math.Abs(frac-0.70) > 0.12 {
+		t.Errorf("<4GB share = %.3f, want ~0.70", frac)
+	}
+}
+
+// Table 4 marginals for lifetime buckets: 29/32/32/7 (completed VMs).
+func TestLifetimeBuckets(t *testing.T) {
+	res := generated(t)
+	var counts [4]int
+	total := 0
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		life, ok := v.Lifetime()
+		if !ok {
+			continue
+		}
+		total++
+		switch m := float64(life); {
+		case m <= 15:
+			counts[0]++
+		case m <= 60:
+			counts[1]++
+		case m <= 1440:
+			counts[2]++
+		default:
+			counts[3]++
+		}
+	}
+	want := [4]float64{0.29, 0.32, 0.32, 0.07}
+	for i := range counts {
+		got := float64(counts[i]) / float64(total)
+		if math.Abs(got-want[i]) > 0.09 {
+			t.Errorf("lifetime bucket %d share = %.3f, want ~%.2f", i+1, got, want[i])
+		}
+	}
+}
+
+// Section 3.5: VMs that complete within the window are the vast majority,
+// and long-running VMs dominate core-hours.
+func TestCompletionAndCoreHourConcentration(t *testing.T) {
+	res := generated(t)
+	completed := 0
+	var longCH, totalCH float64
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		if _, ok := v.Lifetime(); ok {
+			completed++
+		}
+		ch := v.CoreHours(res.Trace.Horizon)
+		totalCH += ch
+		// "long-running" = lived more than a day within the window.
+		end := v.Deleted
+		if end > res.Trace.Horizon {
+			end = res.Trace.Horizon
+		}
+		if end-v.Created > 1440 {
+			longCH += ch
+		}
+	}
+	frac := float64(completed) / float64(len(res.Trace.VMs))
+	if frac < 0.80 {
+		t.Errorf("completed share = %.3f, want >= 0.80 (paper: 0.94)", frac)
+	}
+	if share := longCH / totalCH; share < 0.75 {
+		t.Errorf(">1day VMs core-hour share = %.3f, want >= 0.75 (paper: >0.95)", share)
+	}
+}
+
+// Table 4 marginals for deployment size (#VMs): 49/40/10/1.
+func TestDeploymentSizeBuckets(t *testing.T) {
+	res := generated(t)
+	sizes := make(map[string]int)
+	for i := range res.Trace.VMs {
+		sizes[res.Trace.VMs[i].Deployment]++
+	}
+	var counts [4]int
+	for _, n := range sizes {
+		switch {
+		case n == 1:
+			counts[0]++
+		case n <= 10:
+			counts[1]++
+		case n <= 100:
+			counts[2]++
+		default:
+			counts[3]++
+		}
+	}
+	total := float64(len(sizes))
+	want := [4]float64{0.49, 0.40, 0.10, 0.01}
+	for i := range counts {
+		got := float64(counts[i]) / total
+		if math.Abs(got-want[i]) > 0.09 {
+			t.Errorf("deployment bucket %d share = %.3f, want ~%.2f", i+1, got, want[i])
+		}
+	}
+}
+
+// Table 4 marginals for utilization: avg CPU 74/19/6/2, P95 max 25/15/14/46.
+func TestUtilizationBuckets(t *testing.T) {
+	res := generated(t)
+	var avgCounts, p95Counts [4]int
+	total := 0
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		avg, p95 := trace.SummaryStats(v, res.Trace.Horizon)
+		total++
+		avgCounts[utilBucket(avg)]++
+		p95Counts[utilBucket(p95)]++
+	}
+	wantAvg := [4]float64{0.74, 0.19, 0.06, 0.02}
+	wantP95 := [4]float64{0.25, 0.15, 0.14, 0.46}
+	for i := 0; i < 4; i++ {
+		gotA := float64(avgCounts[i]) / float64(total)
+		if math.Abs(gotA-wantAvg[i]) > 0.10 {
+			t.Errorf("avg util bucket %d = %.3f, want ~%.2f", i+1, gotA, wantAvg[i])
+		}
+		gotP := float64(p95Counts[i]) / float64(total)
+		if math.Abs(gotP-wantP95[i]) > 0.12 {
+			t.Errorf("p95 util bucket %d = %.3f, want ~%.2f", i+1, gotP, wantP95[i])
+		}
+	}
+}
+
+func utilBucket(x float64) int {
+	switch {
+	case x <= 25:
+		return 0
+	case x <= 50:
+		return 1
+	case x <= 75:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Section 6.2: the trace used in scheduling has ~71% production VMs.
+func TestProductionShare(t *testing.T) {
+	res := generated(t)
+	prod := 0
+	for i := range res.Trace.VMs {
+		if res.Trace.VMs[i].Production {
+			prod++
+		}
+	}
+	share := float64(prod) / float64(len(res.Trace.VMs))
+	if math.Abs(share-0.71) > 0.10 {
+		t.Errorf("production share = %.3f, want ~0.71", share)
+	}
+}
+
+// Section 3.2/3.3/3.5: per-subscription consistency — most subscriptions
+// have CoV < 1 for avg utilization, cores, and lifetime.
+func TestPerSubscriptionConsistency(t *testing.T) {
+	res := generated(t)
+	type acc struct {
+		utils, cores, lifetimes []float64
+	}
+	bySub := make(map[string]*acc)
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		a := bySub[v.Subscription]
+		if a == nil {
+			a = &acc{}
+			bySub[v.Subscription] = a
+		}
+		avg, _ := trace.SummaryStats(v, res.Trace.Horizon)
+		a.utils = append(a.utils, avg)
+		a.cores = append(a.cores, float64(v.Cores))
+		if life, ok := v.Lifetime(); ok {
+			a.lifetimes = append(a.lifetimes, float64(life))
+		}
+	}
+	check := func(name string, sel func(*acc) []float64, wantFrac float64) {
+		t.Helper()
+		low, n := 0, 0
+		for _, a := range bySub {
+			xs := sel(a)
+			if len(xs) < 5 {
+				continue
+			}
+			n++
+			cv, err := stats.CoV(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cv < 1 {
+				low++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s: no subscriptions with enough VMs", name)
+		}
+		if frac := float64(low) / float64(n); frac < wantFrac {
+			t.Errorf("%s: CoV<1 share = %.3f over %d subscriptions, want >= %.2f", name, frac, n, wantFrac)
+		}
+	}
+	check("avg util", func(a *acc) []float64 { return a.utils }, 0.80)
+	check("cores", func(a *acc) []float64 { return a.cores }, 0.90)
+	check("lifetime", func(a *acc) []float64 { return a.lifetimes }, 0.70)
+}
+
+// Section 3.7: arrivals are diurnal (weekday day rate >> night rate),
+// weekends dip, and hourly counts are bursty.
+func TestArrivalPattern(t *testing.T) {
+	res := generated(t)
+	days := int(res.Trace.Horizon) / (24 * 60)
+	// Count deployment-group arrivals (the scheduler-visible arrival
+	// process); per-VM counts are dominated by a few huge deployments.
+	hourly := make([]float64, days*24)
+	seen := make(map[string]bool)
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		if seen[v.Deployment] {
+			continue
+		}
+		seen[v.Deployment] = true
+		h := int(v.Created) / 60
+		if h < len(hourly) {
+			hourly[h]++
+		}
+	}
+	var dayRate, nightRate, weekdayRate, weekendRate stats.Moments
+	for h, c := range hourly {
+		hourOfDay := h % 24
+		day := h / 24
+		if hourOfDay >= 10 && hourOfDay < 18 {
+			dayRate.Add(c)
+		}
+		if hourOfDay < 6 {
+			nightRate.Add(c)
+		}
+		if wd := day % 7; wd == 5 || wd == 6 {
+			weekendRate.Add(c)
+		} else {
+			weekdayRate.Add(c)
+		}
+	}
+	if dayRate.Mean() <= nightRate.Mean()*1.3 {
+		t.Errorf("day rate %.2f not clearly above night rate %.2f", dayRate.Mean(), nightRate.Mean())
+	}
+	if weekendRate.Mean() >= weekdayRate.Mean()*0.9 {
+		t.Errorf("weekend rate %.2f not below weekday rate %.2f", weekendRate.Mean(), weekdayRate.Mean())
+	}
+}
+
+// Inter-arrival gaps between deployment groups fit a Weibull with shape<1
+// (heavy-tailed), per Section 3.7.
+func TestInterArrivalWeibull(t *testing.T) {
+	res := generated(t)
+	seen := make(map[string]bool)
+	var arrivals []float64
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		if !seen[v.Deployment] {
+			seen[v.Deployment] = true
+			arrivals = append(arrivals, float64(v.Created))
+		}
+	}
+	gaps := make([]float64, 0, len(arrivals))
+	for i := 1; i < len(arrivals); i++ {
+		if d := arrivals[i] - arrivals[i-1]; d > 0 {
+			gaps = append(gaps, d)
+		}
+	}
+	if len(gaps) < 100 {
+		t.Fatalf("too few gaps: %d", len(gaps))
+	}
+	w, err := stats.FitWeibull(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.K >= 1.05 {
+		t.Errorf("fitted Weibull shape = %.3f, want < 1 (heavy-tailed)", w.K)
+	}
+	ks, err := stats.KolmogorovSmirnov(gaps, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 0.15 {
+		t.Errorf("Weibull KS distance = %.3f, want reasonable fit", ks)
+	}
+}
+
+// The interactive (diurnal) population should consume a substantial share
+// of core-hours (paper: ~28%) while being a small share of VM count.
+func TestInteractiveCoreHourShare(t *testing.T) {
+	res := generated(t)
+	var interCH, totalCH float64
+	interCount := 0
+	for i := range res.Trace.VMs {
+		v := &res.Trace.VMs[i]
+		ch := v.CoreHours(res.Trace.Horizon)
+		totalCH += ch
+		if v.Util.Kind == trace.UtilDiurnal {
+			interCH += ch
+			interCount++
+		}
+	}
+	share := interCH / totalCH
+	if share < 0.12 || share > 0.45 {
+		t.Errorf("interactive core-hour share = %.3f, want ~0.28 (0.12-0.45)", share)
+	}
+	countShare := float64(interCount) / float64(len(res.Trace.VMs))
+	if countShare > 0.15 {
+		t.Errorf("interactive VM count share = %.3f, want small", countShare)
+	}
+}

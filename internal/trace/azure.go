@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadAzureVMTable parses a vmtable.csv in the schema of the public
+// AzurePublicDataset (V1) that accompanied the paper:
+//
+//	vmid, subscriptionid, deploymentid, vmcreated, vmdeleted,
+//	maxcpu, avgcpu, p95maxcpu, vmcategory, vmcorecount, vmmemory
+//
+// Timestamps are seconds from the trace start at 300-second granularity;
+// CPU columns are percentages of the allocation; vmcategory is one of
+// "Delay-insensitive", "Interactive", or "Unknown".
+//
+// The public dataset carries whole-life summary statistics rather than the
+// 5-minute series, so each VM receives a deterministic utilization model
+// fitted to its (avg, p95max) pair: a diurnal shape for interactive VMs
+// and a bursty shape otherwise. The fitted model reproduces the published
+// summary statistics, which is all the characterization, pipeline, and
+// scheduler consume. horizonSeconds bounds the observation window; VMs
+// deleted at or beyond it are treated as still running.
+func ReadAzureVMTable(r io.Reader, horizonSeconds int64) (*Trace, error) {
+	if horizonSeconds <= 0 {
+		return nil, fmt.Errorf("trace: horizon %d must be positive", horizonSeconds)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+
+	tr := &Trace{Horizon: Minutes(horizonSeconds / 60)}
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure vmtable line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && looksLikeHeader(row) {
+			continue
+		}
+		if len(row) != 11 {
+			return nil, fmt.Errorf("trace: azure vmtable line %d has %d fields, want 11", line, len(row))
+		}
+		v, err := parseAzureRow(row, tr.Horizon)
+		if err != nil {
+			return nil, fmt.Errorf("trace: azure vmtable line %d: %w", line, err)
+		}
+		v.ID = int64(len(tr.VMs) + 1)
+		tr.VMs = append(tr.VMs, v)
+	}
+	if len(tr.VMs) == 0 {
+		return nil, fmt.Errorf("trace: azure vmtable contains no VM rows")
+	}
+	return tr, nil
+}
+
+func looksLikeHeader(row []string) bool {
+	return len(row) > 0 && strings.EqualFold(strings.TrimSpace(row[0]), "vmid")
+}
+
+func parseAzureRow(row []string, horizon Minutes) (VM, error) {
+	var v VM
+	v.Subscription = row[1]
+	v.Deployment = row[2]
+	v.Region = "azure"
+	v.Role = "IaaS"
+	v.OS = "unknown"
+	// The public dataset does not label party or production status; treat
+	// everything as third-party production, the conservative choice for
+	// the oversubscription rule.
+	v.Party = ThirdParty
+	v.Production = true
+	v.Type = IaaS
+
+	created, err := strconv.ParseInt(row[3], 10, 64)
+	if err != nil {
+		return v, fmt.Errorf("vmcreated: %w", err)
+	}
+	deleted, err := strconv.ParseInt(row[4], 10, 64)
+	if err != nil {
+		return v, fmt.Errorf("vmdeleted: %w", err)
+	}
+	v.Created = Minutes(created / 60)
+	if del := Minutes(deleted / 60); del <= v.Created || del >= horizon {
+		v.Deleted = NoEnd
+	} else {
+		v.Deleted = del
+	}
+
+	maxCPU, err := strconv.ParseFloat(row[5], 64)
+	if err != nil {
+		return v, fmt.Errorf("maxcpu: %w", err)
+	}
+	avgCPU, err := strconv.ParseFloat(row[6], 64)
+	if err != nil {
+		return v, fmt.Errorf("avgcpu: %w", err)
+	}
+	p95, err := strconv.ParseFloat(row[7], 64)
+	if err != nil {
+		return v, fmt.Errorf("p95maxcpu: %w", err)
+	}
+	category := strings.TrimSpace(row[8])
+
+	cores, err := strconv.Atoi(strings.TrimPrefix(row[9], ">"))
+	if err != nil || cores <= 0 {
+		return v, fmt.Errorf("vmcorecount %q invalid", row[9])
+	}
+	v.Cores = cores
+	mem, err := strconv.ParseFloat(strings.TrimPrefix(row[10], ">"), 64)
+	if err != nil || mem <= 0 {
+		return v, fmt.Errorf("vmmemory %q invalid", row[10])
+	}
+	v.MemoryGB = mem
+
+	v.Util = fitUtilModel(avgCPU, p95, maxCPU, category, uint64(created)*2654435761+uint64(len(row)))
+	return v, nil
+}
+
+// fitUtilModel builds a deterministic utilization model whose whole-life
+// average and high-percentile maximum approximate the dataset's summary
+// columns.
+func fitUtilModel(avg, p95, max float64, category string, seed uint64) UtilModel {
+	avg = clampPct(avg)
+	p95 = clampPct(p95)
+	if p95 < avg {
+		p95 = avg
+	}
+	if max < p95 {
+		max = p95
+	}
+	if strings.EqualFold(category, "Interactive") {
+		// Diurnal: mean = base + amp/2, peak ≈ base + amp.
+		base := clampPct(2*avg - p95)
+		return UtilModel{
+			Kind:      UtilDiurnal,
+			Base:      base,
+			Amplitude: clampPct(p95 - base),
+			NoiseSD:   2,
+			PhaseMin:  12 * 60,
+			Seed:      seed,
+		}
+	}
+	// Bursty: mean = base + spikeProb*amp; p95 of maxes ≈ base + amp for
+	// spike probabilities comfortably above 5%.
+	const spikeProb = 0.1
+	base := clampPct((avg - spikeProb*p95) / (1 - spikeProb))
+	return UtilModel{
+		Kind:      UtilBursty,
+		Base:      base,
+		Amplitude: clampPct(p95 - base),
+		SpikeProb: spikeProb,
+		NoiseSD:   1.5,
+		Seed:      seed,
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const azureSample = `vmid,subscriptionid,deploymentid,vmcreated,vmdeleted,maxcpu,avgcpu,p95maxcpu,vmcategory,vmcorecount,vmmemory
+hash-vm-1,hash-sub-1,hash-dep-1,0,86400,99.5,12.3,85.0,Delay-insensitive,2,3.5
+hash-vm-2,hash-sub-1,hash-dep-2,3600,2592000,70.0,35.0,65.0,Interactive,4,7
+hash-vm-3,hash-sub-2,hash-dep-3,600,900,5.0,1.0,4.0,Unknown,1,0.75
+`
+
+func TestReadAzureVMTable(t *testing.T) {
+	tr, err := ReadAzureVMTable(strings.NewReader(azureSample), 30*24*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.VMs) != 3 {
+		t.Fatalf("parsed %d VMs, want 3", len(tr.VMs))
+	}
+	if tr.Horizon != 30*24*60 {
+		t.Errorf("horizon = %d", tr.Horizon)
+	}
+
+	v1 := &tr.VMs[0]
+	if v1.Subscription != "hash-sub-1" || v1.Cores != 2 || v1.MemoryGB != 3.5 {
+		t.Errorf("vm1 = %+v", v1)
+	}
+	if v1.Created != 0 || v1.Deleted != 1440 {
+		t.Errorf("vm1 window = %d..%d", v1.Created, v1.Deleted)
+	}
+	if v1.Util.Kind != UtilBursty {
+		t.Errorf("vm1 kind = %v, want bursty", v1.Util.Kind)
+	}
+
+	v2 := &tr.VMs[1]
+	if v2.Util.Kind != UtilDiurnal {
+		t.Errorf("interactive vm kind = %v, want diurnal", v2.Util.Kind)
+	}
+	// Deleted at the horizon → still running.
+	if v2.Deleted != NoEnd {
+		t.Errorf("vm2 deleted = %d, want NoEnd", v2.Deleted)
+	}
+
+	// All VMs conservatively production/third-party.
+	for i := range tr.VMs {
+		if !tr.VMs[i].Production || tr.VMs[i].Party != ThirdParty {
+			t.Errorf("vm %d not conservative: %+v", i, tr.VMs[i])
+		}
+	}
+}
+
+// The fitted utilization models must reproduce the dataset's summary
+// statistics within tolerance.
+func TestAzureFitReproducesSummaries(t *testing.T) {
+	tr, err := ReadAzureVMTable(strings.NewReader(azureSample), 30*24*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := []float64{12.3, 35.0, 1.0}
+	wantP95 := []float64{85.0, 65.0, 4.0}
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		avg, p95 := SummaryStats(v, tr.Horizon)
+		if math.Abs(avg-wantAvg[i]) > 6 {
+			t.Errorf("vm %d avg = %.1f, dataset says %.1f", i, avg, wantAvg[i])
+		}
+		// The within-interval spread biases the fitted p95 upward a
+		// little; allow a wider band.
+		if math.Abs(p95-wantP95[i]) > 15 {
+			t.Errorf("vm %d p95 = %.1f, dataset says %.1f", i, p95, wantP95[i])
+		}
+	}
+}
+
+func TestReadAzureVMTableHeaderless(t *testing.T) {
+	raw := "vm,sub,dep,0,600,50,10,40,Delay-insensitive,1,1.75\n"
+	tr, err := ReadAzureVMTable(strings.NewReader(raw), 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.VMs) != 1 {
+		t.Fatalf("parsed %d VMs", len(tr.VMs))
+	}
+}
+
+func TestReadAzureVMTableErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		hz   int64
+	}{
+		{"bad horizon", azureSample, 0},
+		{"empty", "", 86400},
+		{"short row", "a,b,c\n", 86400},
+		{"bad created", "v,s,d,x,600,50,10,40,Unknown,1,1\n", 86400},
+		{"bad deleted", "v,s,d,0,x,50,10,40,Unknown,1,1\n", 86400},
+		{"bad cpu", "v,s,d,0,600,x,10,40,Unknown,1,1\n", 86400},
+		{"bad avg", "v,s,d,0,600,50,x,40,Unknown,1,1\n", 86400},
+		{"bad p95", "v,s,d,0,600,50,10,x,Unknown,1,1\n", 86400},
+		{"bad cores", "v,s,d,0,600,50,10,40,Unknown,zero,1\n", 86400},
+		{"bad memory", "v,s,d,0,600,50,10,40,Unknown,1,zero\n", 86400},
+		{"header only", "vmid,subscriptionid,deploymentid,vmcreated,vmdeleted,maxcpu,avgcpu,p95maxcpu,vmcategory,vmcorecount,vmmemory\n", 86400},
+	}
+	for _, c := range cases {
+		if _, err := ReadAzureVMTable(strings.NewReader(c.raw), c.hz); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFitUtilModelEdgeCases(t *testing.T) {
+	// p95 below avg gets clamped up; values beyond 100 are clamped.
+	m := fitUtilModel(80, 20, 10, "Delay-insensitive", 1)
+	if m.Base < 0 || m.Base > 100 || m.Amplitude < 0 {
+		t.Errorf("model out of range: %+v", m)
+	}
+	m = fitUtilModel(120, 150, 200, "Interactive", 2)
+	if m.Base > 100 || m.Base+m.Amplitude > 200 {
+		t.Errorf("clamping failed: %+v", m)
+	}
+}

@@ -1,0 +1,24 @@
+package trace
+
+import "testing"
+
+func BenchmarkUtilModelAt(b *testing.B) {
+	m := UtilModel{Kind: UtilBursty, Base: 10, Amplitude: 70, SpikeProb: 0.1, NoiseSD: 3, Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.At(Minutes(i * 5))
+	}
+}
+
+func BenchmarkSummaryStatsMonth(b *testing.B) {
+	v := VM{
+		Cores: 2, Created: 0, Deleted: 30 * 24 * 60,
+		Util: UtilModel{Kind: UtilDiurnal, Base: 20, Amplitude: 50, NoiseSD: 4, Seed: 9},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SummaryStats(&v, v.Deleted)
+	}
+}

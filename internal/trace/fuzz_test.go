@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the trace parser must never panic and must round-trip
+// whatever it accepts.
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &Trace{Horizon: 100, VMs: []VM{{
+		ID: 1, Subscription: "s", Deployment: "d", Region: "r", Role: "ro",
+		OS: "os", Cores: 1, MemoryGB: 1, Created: 0, Deleted: 50,
+	}}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("#horizon,100\n")
+	f.Add("#horizon,abc\nnot,a,row\n")
+	f.Fuzz(func(t *testing.T, raw string) {
+		tr, err := ReadCSV(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive a write/read cycle unchanged.
+		var out bytes.Buffer
+		if err := WriteCSV(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", err)
+		}
+		if len(again.VMs) != len(tr.VMs) || again.Horizon != tr.Horizon {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}
+
+// FuzzReadAzureVMTable: the public-dataset parser must never panic, and
+// accepted rows must produce valid utilization models.
+func FuzzReadAzureVMTable(f *testing.F) {
+	f.Add("v,s,d,0,600,50,10,40,Delay-insensitive,2,3.5\n", int64(86400))
+	f.Add("v,s,d,0,600,50,10,40,Interactive,1,1\n", int64(3600))
+	f.Add("", int64(1))
+	f.Fuzz(func(t *testing.T, raw string, horizon int64) {
+		tr, err := ReadAzureVMTable(strings.NewReader(raw), horizon)
+		if err != nil {
+			return
+		}
+		for i := range tr.VMs {
+			v := &tr.VMs[i]
+			min, avg, max := v.Util.At(v.Created)
+			if min < 0 || min > avg || avg > max || max > 100 {
+				t.Fatalf("invalid utilization from accepted row: %v/%v/%v", min, avg, max)
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The on-disk trace format is CSV with a header, one VM per row, carrying
+// both the schedule columns (in the spirit of the public AzurePublicDataset
+// vmtable) and the deterministic utilization-model columns that replace
+// materialized readings.
+
+var vmHeader = []string{
+	"vmid", "subscription", "deployment", "region", "role", "os", "type",
+	"party", "production", "cores", "memgb", "created", "deleted",
+	"utilkind", "base", "amplitude", "noisesd", "phasemin", "spikeprob",
+	"seed", "ramplifetime",
+}
+
+// WriteCSV writes the trace to w. The horizon is recorded in a leading
+// comment-style row ("#horizon", minutes).
+func WriteCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#horizon", strconv.FormatInt(int64(tr.Horizon), 10)}); err != nil {
+		return fmt.Errorf("trace: write horizon: %w", err)
+	}
+	if err := cw.Write(vmHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(vmHeader))
+	for i := range tr.VMs {
+		encodeVMRow(&tr.VMs[i], row)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write vm %d: %w", tr.VMs[i].ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // the horizon row has 2 fields
+
+	horizonRow, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read horizon: %w", err)
+	}
+	if len(horizonRow) != 2 || horizonRow[0] != "#horizon" {
+		return nil, fmt.Errorf("trace: missing #horizon row, got %v", horizonRow)
+	}
+	horizon, err := strconv.ParseInt(horizonRow[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad horizon: %w", err)
+	}
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(vmHeader) {
+		return nil, fmt.Errorf("trace: header has %d fields, want %d", len(header), len(vmHeader))
+	}
+
+	tr := &Trace{Horizon: Minutes(horizon)}
+	line := 2
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		line++
+		v, err := parseVMRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		tr.VMs = append(tr.VMs, v)
+	}
+	return tr, nil
+}
+
+func parseVMRow(row []string) (VM, error) {
+	var v VM
+	if len(row) != len(vmHeader) {
+		return v, fmt.Errorf("row has %d fields, want %d", len(row), len(vmHeader))
+	}
+	var err error
+	if v.ID, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+		return v, fmt.Errorf("vmid: %w", err)
+	}
+	v.Subscription, v.Deployment, v.Region, v.Role, v.OS = row[1], row[2], row[3], row[4], row[5]
+	if v.Type, err = ParseVMType(row[6]); err != nil {
+		return v, err
+	}
+	if v.Party, err = ParseParty(row[7]); err != nil {
+		return v, err
+	}
+	if v.Production, err = strconv.ParseBool(row[8]); err != nil {
+		return v, fmt.Errorf("production: %w", err)
+	}
+	if v.Cores, err = strconv.Atoi(row[9]); err != nil {
+		return v, fmt.Errorf("cores: %w", err)
+	}
+	if v.MemoryGB, err = strconv.ParseFloat(row[10], 64); err != nil {
+		return v, fmt.Errorf("memgb: %w", err)
+	}
+	created, err := strconv.ParseInt(row[11], 10, 64)
+	if err != nil {
+		return v, fmt.Errorf("created: %w", err)
+	}
+	v.Created = Minutes(created)
+	deleted, err := strconv.ParseInt(row[12], 10, 64)
+	if err != nil {
+		return v, fmt.Errorf("deleted: %w", err)
+	}
+	if deleted < 0 {
+		v.Deleted = NoEnd
+	} else {
+		v.Deleted = Minutes(deleted)
+	}
+	if v.Util.Kind, err = ParseUtilKind(row[13]); err != nil {
+		return v, err
+	}
+	if v.Util.Base, err = strconv.ParseFloat(row[14], 64); err != nil {
+		return v, fmt.Errorf("base: %w", err)
+	}
+	if v.Util.Amplitude, err = strconv.ParseFloat(row[15], 64); err != nil {
+		return v, fmt.Errorf("amplitude: %w", err)
+	}
+	if v.Util.NoiseSD, err = strconv.ParseFloat(row[16], 64); err != nil {
+		return v, fmt.Errorf("noisesd: %w", err)
+	}
+	if v.Util.PhaseMin, err = strconv.ParseInt(row[17], 10, 64); err != nil {
+		return v, fmt.Errorf("phasemin: %w", err)
+	}
+	if v.Util.SpikeProb, err = strconv.ParseFloat(row[18], 64); err != nil {
+		return v, fmt.Errorf("spikeprob: %w", err)
+	}
+	if v.Util.Seed, err = strconv.ParseUint(row[19], 10, 64); err != nil {
+		return v, fmt.Errorf("seed: %w", err)
+	}
+	if v.Util.RampLifetime, err = strconv.ParseInt(row[20], 10, 64); err != nil {
+		return v, fmt.Errorf("ramplifetime: %w", err)
+	}
+	return v, nil
+}
+
+// WriteReadingsCSV materializes and writes the 5-minute readings of the
+// given VMs up to the horizon, in the paper's (id, timestamp, min, avg,
+// max) shape. Intended for exporting small subsets, not whole traces.
+func WriteReadingsCSV(w io.Writer, tr *Trace, vmIdx []int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vmid", "timestamp_min", "mincpu", "avgcpu", "maxcpu"}); err != nil {
+		return err
+	}
+	for _, i := range vmIdx {
+		if i < 0 || i >= len(tr.VMs) {
+			return fmt.Errorf("trace: vm index %d out of range", i)
+		}
+		v := &tr.VMs[i]
+		end := v.Deleted
+		if end > tr.Horizon {
+			end = tr.Horizon
+		}
+		for t := v.Created; t < end; t += ReadingIntervalMin {
+			min, avg, max := v.Util.At(t)
+			err := cw.Write([]string{
+				strconv.FormatInt(v.ID, 10),
+				strconv.FormatInt(int64(t), 10),
+				strconv.FormatFloat(min, 'f', 3, 64),
+				strconv.FormatFloat(avg, 'f', 3, 64),
+				strconv.FormatFloat(max, 'f', 3, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVWriter writes a trace incrementally, one VM at a time, so traces
+// larger than memory can be produced (the paper's dataset has tens of
+// millions of VMs). The header and horizon row are emitted on the first
+// Write.
+type CSVWriter struct {
+	cw      *csv.Writer
+	horizon Minutes
+	started bool
+	row     []string
+}
+
+// NewCSVWriter creates a streaming writer for a trace with the given
+// horizon.
+func NewCSVWriter(w io.Writer, horizon Minutes) *CSVWriter {
+	return &CSVWriter{
+		cw:      csv.NewWriter(w),
+		horizon: horizon,
+		row:     make([]string, len(vmHeader)),
+	}
+}
+
+// Write appends one VM record.
+func (w *CSVWriter) Write(v *VM) error {
+	if !w.started {
+		w.started = true
+		if err := w.cw.Write([]string{"#horizon", strconv.FormatInt(int64(w.horizon), 10)}); err != nil {
+			return fmt.Errorf("trace: write horizon: %w", err)
+		}
+		if err := w.cw.Write(vmHeader); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+	}
+	encodeVMRow(v, w.row)
+	if err := w.cw.Write(w.row); err != nil {
+		return fmt.Errorf("trace: write vm %d: %w", v.ID, err)
+	}
+	return nil
+}
+
+// Flush completes the stream. An empty trace still gets its horizon row
+// and header so the output parses back as a valid zero-VM trace.
+func (w *CSVWriter) Flush() error {
+	if !w.started {
+		w.started = true
+		if err := w.cw.Write([]string{"#horizon", strconv.FormatInt(int64(w.horizon), 10)}); err != nil {
+			return fmt.Errorf("trace: write horizon: %w", err)
+		}
+		if err := w.cw.Write(vmHeader); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+	}
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// CSVReader reads a trace incrementally.
+type CSVReader struct {
+	cr      *csv.Reader
+	horizon Minutes
+	line    int
+}
+
+// NewCSVReader opens a stream written by WriteCSV or CSVWriter and parses
+// the horizon row and header eagerly.
+func NewCSVReader(r io.Reader) (*CSVReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	horizonRow, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read horizon: %w", err)
+	}
+	if len(horizonRow) != 2 || horizonRow[0] != "#horizon" {
+		return nil, fmt.Errorf("trace: missing #horizon row, got %v", horizonRow)
+	}
+	horizon, err := strconv.ParseInt(horizonRow[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad horizon: %w", err)
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(vmHeader) {
+		return nil, fmt.Errorf("trace: header has %d fields, want %d", len(header), len(vmHeader))
+	}
+	return &CSVReader{cr: cr, horizon: Minutes(horizon), line: 2}, nil
+}
+
+// Horizon returns the trace window length.
+func (r *CSVReader) Horizon() Minutes { return r.horizon }
+
+// Read returns the next VM, or io.EOF at the end of the stream.
+func (r *CSVReader) Read() (VM, error) {
+	row, err := r.cr.Read()
+	if err == io.EOF {
+		return VM{}, io.EOF
+	}
+	if err != nil {
+		return VM{}, fmt.Errorf("trace: line %d: %w", r.line+1, err)
+	}
+	r.line++
+	v, err := parseVMRow(row)
+	if err != nil {
+		return VM{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+	}
+	return v, nil
+}
+
+// encodeVMRow fills row with v's columns (row must have len(vmHeader)).
+func encodeVMRow(v *VM, row []string) {
+	deleted := int64(v.Deleted)
+	if v.Deleted == NoEnd {
+		deleted = -1
+	}
+	row[0] = strconv.FormatInt(v.ID, 10)
+	row[1] = v.Subscription
+	row[2] = v.Deployment
+	row[3] = v.Region
+	row[4] = v.Role
+	row[5] = v.OS
+	row[6] = v.Type.String()
+	row[7] = v.Party.String()
+	row[8] = strconv.FormatBool(v.Production)
+	row[9] = strconv.Itoa(v.Cores)
+	row[10] = strconv.FormatFloat(v.MemoryGB, 'g', -1, 64)
+	row[11] = strconv.FormatInt(int64(v.Created), 10)
+	row[12] = strconv.FormatInt(deleted, 10)
+	row[13] = v.Util.Kind.String()
+	row[14] = strconv.FormatFloat(v.Util.Base, 'g', -1, 64)
+	row[15] = strconv.FormatFloat(v.Util.Amplitude, 'g', -1, 64)
+	row[16] = strconv.FormatFloat(v.Util.NoiseSD, 'g', -1, 64)
+	row[17] = strconv.FormatInt(v.Util.PhaseMin, 10)
+	row[18] = strconv.FormatFloat(v.Util.SpikeProb, 'g', -1, 64)
+	row[19] = strconv.FormatUint(v.Util.Seed, 10)
+	row[20] = strconv.FormatInt(v.Util.RampLifetime, 10)
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamWriterReaderRoundTrip(t *testing.T) {
+	src := sampleTrace()
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf, src.Horizon)
+	for i := range src.VMs {
+		if err := w.Write(&src.VMs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewCSVReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Horizon() != src.Horizon {
+		t.Errorf("horizon = %d", r.Horizon())
+	}
+	var got []VM
+	for {
+		v, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	if len(got) != len(src.VMs) {
+		t.Fatalf("read %d VMs, want %d", len(got), len(src.VMs))
+	}
+	for i := range got {
+		if got[i] != src.VMs[i] {
+			t.Errorf("vm %d mismatch", i)
+		}
+	}
+}
+
+func TestStreamInteropWithBatchAPIs(t *testing.T) {
+	src := sampleTrace()
+	// Stream-written output parses with the batch reader.
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf, src.Horizon)
+	for i := range src.VMs {
+		if err := w.Write(&src.VMs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.VMs) != len(src.VMs) {
+		t.Errorf("batch read %d VMs", len(batch.VMs))
+	}
+
+	// Batch-written output parses with the stream reader.
+	buf.Reset()
+	if err := WriteCSV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewCSVReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(src.VMs) {
+		t.Errorf("stream read %d VMs", n)
+	}
+}
+
+func TestStreamEmptyFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf, 777)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Horizon != 777 || len(tr.VMs) != 0 {
+		t.Errorf("empty stream parsed as %+v", tr)
+	}
+}
+
+func TestStreamReaderErrors(t *testing.T) {
+	if _, err := NewCSVReader(strings.NewReader("")); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := NewCSVReader(strings.NewReader("#horizon,abc\n")); err == nil {
+		t.Error("expected error on bad horizon")
+	}
+	// Corrupted row surfaces at Read.
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf, 10)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("garbage row\n")
+	r, err := NewCSVReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("expected parse error, got %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// UtilKind names the shape of a VM's utilization time series.
+type UtilKind int
+
+// Utilization shapes. Diurnal models interactive workloads with a daily
+// cycle; Flat models steady background services; Bursty models batch
+// workloads with random spikes; Ramp models jobs whose demand grows over
+// their lifetime; Idle models the first-party VM-creation-test workloads
+// described in Section 3.2 (created and quickly killed, doing no work).
+const (
+	UtilFlat UtilKind = iota
+	UtilDiurnal
+	UtilBursty
+	UtilRamp
+	UtilIdle
+)
+
+// String implements fmt.Stringer.
+func (k UtilKind) String() string {
+	switch k {
+	case UtilFlat:
+		return "flat"
+	case UtilDiurnal:
+		return "diurnal"
+	case UtilBursty:
+		return "bursty"
+	case UtilRamp:
+		return "ramp"
+	case UtilIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("UtilKind(%d)", int(k))
+	}
+}
+
+// ParseUtilKind parses the String form.
+func ParseUtilKind(s string) (UtilKind, error) {
+	for _, k := range []UtilKind{UtilFlat, UtilDiurnal, UtilBursty, UtilRamp, UtilIdle} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown util kind %q", s)
+}
+
+// UtilModel is a compact deterministic generator of 5-minute utilization
+// readings. Given the same parameters, At(t) always returns the same
+// values, for any t in any order — noise comes from a counter-based hash of
+// (Seed, t), not from sequential PRNG state. All levels are percentages of
+// the VM's CPU allocation in [0, 100].
+type UtilModel struct {
+	Kind UtilKind
+	// Base is the baseline average utilization level.
+	Base float64
+	// Amplitude is the peak-to-baseline swing for the diurnal shape, or
+	// the spike height for the bursty shape, or the total rise for ramps.
+	Amplitude float64
+	// NoiseSD is the standard deviation of per-interval Gaussian noise.
+	NoiseSD float64
+	// PhaseMin shifts the diurnal cycle (minutes).
+	PhaseMin int64
+	// SpikeProb is the per-interval probability of a spike (bursty only).
+	SpikeProb float64
+	// Seed decorrelates VMs with identical parameters.
+	Seed uint64
+	// RampLifetime is the lifetime over which a ramp rises (minutes);
+	// zero disables the ramp term even for UtilRamp.
+	RampLifetime int64
+}
+
+const minutesPerDay = 24 * 60
+
+// At returns the (min, avg, max) utilization over the 5-minute interval
+// starting at minute t. Values are clamped to [0, 100].
+func (m *UtilModel) At(t Minutes) (min, avg, max float64) {
+	level := m.Base
+	switch m.Kind {
+	case UtilDiurnal:
+		phase := 2 * math.Pi * float64((int64(t)+m.PhaseMin)%minutesPerDay) / minutesPerDay
+		// Peak mid-day: sin with a -pi/2 shift so minute 0 is the trough.
+		level += m.Amplitude * (0.5 - 0.5*math.Cos(phase))
+	case UtilBursty:
+		if m.SpikeProb > 0 && hashFloat(m.Seed, uint64(t), 1) < m.SpikeProb {
+			level += m.Amplitude
+		}
+	case UtilRamp:
+		if m.RampLifetime > 0 {
+			frac := float64(int64(t)%m.RampLifetime) / float64(m.RampLifetime)
+			level += m.Amplitude * frac
+		}
+	case UtilIdle:
+		level = m.Base // typically ~0-2%
+	}
+	noise := m.NoiseSD * hashNorm(m.Seed, uint64(t), 2)
+	avg = clampPct(level + noise)
+	// Within-interval spread: max above avg, min below, each with its own
+	// deterministic jitter. Bursty workloads additionally burn CPU in
+	// sub-interval bursts, so their per-interval max frequently approaches
+	// the full allocation even when the interval average stays low — the
+	// low-average/high-P95 pattern of Section 3.2.
+	spread := 4 + m.NoiseSD
+	max = clampPct(avg + spread*(0.5+0.5*hashFloat(m.Seed, uint64(t), 3)))
+	if m.Kind == UtilBursty {
+		u := hashFloat(m.Seed, uint64(t), 5)
+		max = clampPct(max + m.Amplitude*u*u)
+	}
+	min = clampPct(avg - spread*(0.5+0.5*hashFloat(m.Seed, uint64(t), 4)))
+	if min > avg {
+		min = avg
+	}
+	if max < avg {
+		max = avg
+	}
+	return min, avg, max
+}
+
+func clampPct(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 100 {
+		return 100
+	}
+	return x
+}
+
+// splitmix64 is the standard 64-bit finalizer used as a counter-based hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashFloat maps (seed, t, stream) to a uniform float64 in [0, 1).
+func hashFloat(seed, t, stream uint64) float64 {
+	h := splitmix64(seed ^ splitmix64(t^splitmix64(stream)))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// hashNorm maps (seed, t, stream) to a standard normal variate via
+// Box-Muller on two hashed uniforms.
+func hashNorm(seed, t, stream uint64) float64 {
+	u1 := hashFloat(seed, t, stream*2+101)
+	u2 := hashFloat(seed, t, stream*2+102)
+	for u1 == 0 {
+		u1 = 0.5
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,177 @@
+// Package resourcecentral is a from-scratch reproduction of Resource
+// Central (Cortez et al., SOSP 2017): a system that learns the behaviour
+// of cloud VM workloads offline and serves bucketed behaviour predictions
+// online from a client-side library, plus the prediction-informed VM
+// scheduler oversubscription case study the paper evaluates.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - workload generation (internal/synth) reproduces the Azure trace
+//     characterization of Section 3;
+//   - the offline pipeline (internal/pipeline) extracts features, trains
+//     the six Table 1 models, validates them (Table 4), and publishes to a
+//     highly available store (internal/store);
+//   - the client library (internal/core) serves predictions with result,
+//     model, and feature-data caches (Table 2's API);
+//   - the cluster simulator (internal/cluster, internal/sim) reproduces
+//     the Section 6.2 scheduling study.
+//
+// See the examples directory for runnable end-to-end uses, and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package resourcecentral
+
+import (
+	"time"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/health"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/power"
+	"resourcecentral/internal/sim"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// Re-exported core types. The facade keeps downstream imports to a single
+// package for the common end-to-end flow: generate (or load) a trace, run
+// the offline pipeline, publish, create a client, predict, and simulate.
+type (
+	// Trace is a VM workload trace (see internal/trace for the schema).
+	Trace = trace.Trace
+	// VM is one trace record.
+	VM = trace.VM
+	// Minutes is a trace timestamp in minutes.
+	Minutes = trace.Minutes
+
+	// WorkloadConfig parameterizes synthetic trace generation.
+	WorkloadConfig = synth.Config
+	// Workload bundles a generated trace with subscription ground truth.
+	Workload = synth.Result
+
+	// PipelineConfig controls the offline training run.
+	PipelineConfig = pipeline.Config
+	// PipelineResult carries trained models, feature data, and Table 4
+	// reports.
+	PipelineResult = pipeline.Result
+
+	// Store is the highly available model/feature store.
+	Store = store.Store
+
+	// Client is the RC client library (the paper's client DLL).
+	Client = core.Client
+	// ClientConfig configures a client.
+	ClientConfig = core.Config
+	// Prediction is a client prediction result.
+	Prediction = core.Prediction
+	// ClientInputs carries the per-request model inputs.
+	ClientInputs = model.ClientInputs
+
+	// Metric identifies one of the six predicted metrics.
+	Metric = metric.Metric
+
+	// ClusterConfig shapes the simulated cluster and scheduler policy.
+	ClusterConfig = cluster.Config
+	// SchedulerPolicy selects the Section 6.2 scheduler variant.
+	SchedulerPolicy = cluster.Policy
+	// SimConfig parameterizes a scheduling simulation.
+	SimConfig = sim.Config
+	// SimResult summarizes a scheduling simulation.
+	SimResult = sim.Result
+
+	// MaintenancePlanner decides server maintenance from lifetime
+	// predictions (the §4.1 health-management use-case).
+	MaintenancePlanner = health.Planner
+	// MaintenancePlan is a maintenance decision for one server.
+	MaintenancePlan = health.Plan
+	// PowerCapper apportions a power budget from workload-class
+	// predictions (the §4.1 power-capping use-case).
+	PowerCapper = power.Capper
+	// PowerResult is the outcome of one power apportionment.
+	PowerResult = power.Result
+)
+
+// Metrics (Table 1).
+const (
+	AvgCPU          = metric.AvgCPU
+	P95CPU          = metric.P95CPU
+	DeploySizeVMs   = metric.DeploySizeVMs
+	DeploySizeCores = metric.DeploySizeCores
+	Lifetime        = metric.Lifetime
+	WorkloadClass   = metric.WorkloadClass
+)
+
+// Scheduler policies (Section 6.2).
+const (
+	PolicyBaseline = cluster.Baseline
+	PolicyNaive    = cluster.Naive
+	PolicyRCHard   = cluster.RCHard
+	PolicyRCSoft   = cluster.RCSoft
+)
+
+// Client cache modes (Section 4.2).
+const (
+	PushMode      = core.Push
+	PullMode      = core.Pull
+	PullAsyncMode = core.PullAsync
+)
+
+// DefaultWorkloadConfig returns the paper-calibrated generator settings.
+func DefaultWorkloadConfig() WorkloadConfig { return synth.DefaultConfig() }
+
+// GenerateWorkload produces a synthetic Azure-like trace.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) { return synth.Generate(cfg) }
+
+// RunPipeline executes the offline workflow on a trace.
+func RunPipeline(tr *Trace, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.Run(tr, cfg)
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return store.New() }
+
+// Publish writes a pipeline result's models and feature data to the store.
+func Publish(st *Store, res *PipelineResult) error { return pipeline.Publish(st, res) }
+
+// NewClient creates an RC client library instance; call Initialize on it
+// before requesting predictions.
+func NewClient(cfg ClientConfig) (*Client, error) { return core.New(cfg) }
+
+// Simulate runs the Section 6.2 scheduler study on a trace.
+func Simulate(tr *Trace, cfg SimConfig) (*SimResult, error) { return sim.Run(tr, cfg) }
+
+// NewClientPredictor adapts a client into the simulator's prediction
+// source, the way Azure's scheduler would call the DLL.
+func NewClientPredictor(c *Client) sim.Predictor { return &sim.ClientPredictor{Client: c} }
+
+// TrainAndServe is the batteries-included helper: it runs the pipeline on
+// the trace, publishes to a fresh store, and returns an initialized
+// push-mode client (caller must Close it) together with the pipeline
+// result.
+func TrainAndServe(tr *Trace, cfg PipelineConfig) (*Client, *PipelineResult, error) {
+	res, err := pipeline.Run(tr, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := store.New()
+	if err := pipeline.Publish(st, res); err != nil {
+		return nil, nil, err
+	}
+	client, err := core.New(core.Config{Store: st, Mode: core.Push, DiskCacheExpiry: 24 * time.Hour})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := client.Initialize(); err != nil {
+		return nil, nil, err
+	}
+	return client, res, nil
+}
+
+// InputsFromVM derives prediction inputs from a trace VM and the size of
+// its initial deployment request.
+func InputsFromVM(v *VM, requestedVMs int) ClientInputs {
+	return model.FromVM(v, requestedVMs)
+}

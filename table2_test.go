@@ -1,0 +1,87 @@
+package resourcecentral_test
+
+import (
+	"testing"
+
+	rc "resourcecentral"
+)
+
+// TestTable2API exercises every client-library method of the paper's
+// Table 2 through the public facade:
+//
+//	initialize            → Client.Initialize
+//	get_available_models  → Client.AvailableModels
+//	predict_single        → Client.PredictSingle
+//	predict_many          → Client.PredictMany
+//	force_reload_cache    → Client.ForceReloadCache
+//	flush_cache           → Client.FlushCache
+func TestTable2API(t *testing.T) {
+	workload, client, result := setup(t)
+	tr := workload.Trace
+
+	// get_available_models: all six Table 1 models.
+	models := client.AvailableModels()
+	if len(models) != 6 {
+		t.Fatalf("get_available_models returned %d models", len(models))
+	}
+
+	var in rc.ClientInputs
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if _, ok := result.Features[v.Subscription]; ok {
+			in = rc.InputsFromVM(v, 1)
+			break
+		}
+	}
+	if in.Subscription == "" {
+		t.Fatal("no known subscription")
+	}
+
+	// predict_single returns a value and a score.
+	pred, err := client.PredictSingle(rc.AvgCPU.String(), &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.OK || pred.Score <= 0 {
+		t.Fatalf("predict_single = %+v", pred)
+	}
+
+	// predict_many returns one prediction per input, in order.
+	batch := []*rc.ClientInputs{&in, &in, &in}
+	preds, err := client.PredictMany(rc.AvgCPU.String(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(batch) {
+		t.Fatalf("predict_many returned %d results", len(preds))
+	}
+	for i, p := range preds {
+		if p.Bucket != pred.Bucket {
+			t.Errorf("batch result %d differs from single", i)
+		}
+	}
+
+	// flush_cache: everything becomes a no-prediction.
+	if err := client.FlushCache(); err != nil {
+		t.Fatal(err)
+	}
+	flushed, err := client.PredictSingle(rc.AvgCPU.String(), &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed.OK {
+		t.Error("prediction served from a flushed cache")
+	}
+
+	// force_reload_cache: service restored, same answer as before.
+	if err := client.ForceReloadCache(); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := client.PredictSingle(rc.AvgCPU.String(), &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded.OK || reloaded.Bucket != pred.Bucket {
+		t.Errorf("after reload: %+v, want bucket %d", reloaded, pred.Bucket)
+	}
+}
