@@ -20,6 +20,7 @@ import (
 	"resourcecentral/internal/ml/feature"
 	"resourcecentral/internal/ml/forest"
 	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
 	"resourcecentral/internal/pipeline"
 	"resourcecentral/internal/sim"
 	"resourcecentral/internal/store"
@@ -353,6 +354,65 @@ func BenchmarkResultCacheHit(b *testing.B) {
 		if !p.FromResultCache && i > 0 {
 			b.Fatal("expected cache hit")
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures what the metrics instrumentation adds to
+// the result-cache hit path, by timing the same hit workload against an
+// instrumented client and one built on a no-op registry. The delta per
+// operation must stay within obs.OverheadBudget (the hit path's paper
+// P99 is 1.3 µs, so the budget keeps instrumentation under ~8% of it);
+// the benchmark fails if the budget is exceeded.
+func BenchmarkObsOverhead(b *testing.B) {
+	f := benchSetup(b)
+	in := f.inputs[0]
+
+	// Time b.N cache hits on a fresh client; min of three rounds to
+	// shed scheduler noise.
+	timeHits := func(reg *obs.Registry) time.Duration {
+		client, err := core.New(core.Config{Store: f.store, Mode: core.Push, Obs: reg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		if err := client.Initialize(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.PredictSingle("lifetime", in); err != nil {
+			b.Fatal(err)
+		}
+		best := time.Duration(1<<63 - 1)
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.PredictSingle("lifetime", in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	nop := timeHits(obs.NewNopRegistry())
+	instrumented := timeHits(obs.NewRegistry())
+	b.ResetTimer() // the loop above is the measurement; report per-op stats
+
+	perOpNop := float64(nop.Nanoseconds()) / float64(b.N)
+	perOpInst := float64(instrumented.Nanoseconds()) / float64(b.N)
+	delta := perOpInst - perOpNop
+	b.ReportMetric(perOpNop, "nop-ns/op")
+	b.ReportMetric(perOpInst, "instr-ns/op")
+	b.ReportMetric(delta, "delta-ns/op")
+
+	// Only judge the budget once the harness has scaled b.N enough for
+	// per-op figures to be meaningful (the first calibration runs use
+	// tiny N where a single cache miss would dominate).
+	if b.N >= 10000 && delta > float64(obs.OverheadBudget.Nanoseconds()) {
+		b.Errorf("instrumentation overhead %.1f ns/op exceeds budget %v (nop %.1f, instrumented %.1f)",
+			delta, obs.OverheadBudget, perOpNop, perOpInst)
 	}
 }
 

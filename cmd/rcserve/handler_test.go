@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/synth"
+)
+
+var (
+	srvOnce    sync.Once
+	srvHandler *handlerFixture
+	srvErr     error
+)
+
+type handlerFixture struct {
+	client *core.Client
+	reg    *obs.Registry
+	sub    string
+}
+
+// fixture trains a small pipeline once and builds the instrumented
+// handler stack exactly as main does.
+func fixture(t *testing.T) *handlerFixture {
+	t.Helper()
+	srvOnce.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 9
+		cfg.TargetVMs = 1500
+		cfg.MaxDeploymentVMs = 150
+		cfg.Seed = 5
+		gen, err := synth.Generate(cfg)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		reg := obs.NewRegistry()
+		res, err := pipeline.Run(gen.Trace, pipeline.Config{
+			TrainCutoff:    gen.Trace.Horizon * 2 / 3,
+			ForestTrees:    4,
+			ForestMaxDepth: 6,
+			GBTRounds:      4,
+			Seed:           1,
+			Obs:            reg,
+		})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		st := store.New()
+		st.Instrument(reg)
+		if err := pipeline.Publish(st, res, reg); err != nil {
+			srvErr = err
+			return
+		}
+		client, err := core.New(core.Config{Store: st, Mode: core.Push, Obs: reg})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		if err := client.Initialize(); err != nil {
+			srvErr = err
+			return
+		}
+		sub := ""
+		for s := range res.Features {
+			sub = s
+			break
+		}
+		srvHandler = &handlerFixture{client: client, reg: reg, sub: sub}
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srvHandler
+}
+
+func get(t *testing.T, f *handlerFixture, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	newHandler(f.client, f.reg, time.Now().Add(-time.Second)).ServeHTTP(rec,
+		httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	f := fixture(t)
+	rec := get(t, f, "/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+	if body["models"].(float64) != 6 {
+		t.Errorf("models = %v, want 6", body["models"])
+	}
+	if body["uptime_seconds"].(float64) <= 0 {
+		t.Errorf("uptime = %v", body["uptime_seconds"])
+	}
+}
+
+func TestPredictAndMetricsEndpoint(t *testing.T) {
+	f := fixture(t)
+
+	// Two identical predictions: a miss then a result-cache hit.
+	for i := 0; i < 2; i++ {
+		rec := get(t, f, "/predict?model=lifetime&subscription="+f.sub)
+		if rec.Code != 200 {
+			t.Fatalf("predict status = %d, body %s", rec.Code, rec.Body.String())
+		}
+	}
+	rec := get(t, f, "/predict?model=lifetime") // missing subscription
+	if rec.Code != 400 {
+		t.Fatalf("bad request status = %d", rec.Code)
+	}
+
+	rec = get(t, f, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		// Client predict-latency histogram with hit/miss split (§6.1).
+		`rc_client_predict_seconds_bucket{result="hit",le=`,
+		`rc_client_predict_seconds_bucket{result="miss",le=`,
+		`rc_client_model_exec_seconds_bucket{model="lifetime",le=`,
+		// Store and pipeline instrumentation.
+		"rc_store_puts_total",
+		"rc_store_record_bytes_bucket",
+		`rc_pipeline_stage_seconds_bucket{stage="run",le=`,
+		// HTTP middleware, route-labeled.
+		`rc_http_requests_total{route="/predict",code="200"} 2`,
+		`rc_http_requests_total{route="/predict",code="400"} 1`,
+		`rc_http_request_seconds_bucket{route="/predict",le=`,
+		// Gauges.
+		"rc_client_result_cache_size",
+		"rc_client_models_loaded 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// JSON exposition of the same registry.
+	rec = get(t, f, "/metrics?format=json")
+	var fams []obs.Family
+	if err := json.Unmarshal(rec.Body.Bytes(), &fams); err != nil {
+		t.Fatalf("json metrics: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Error("json metrics empty")
+	}
+}
+
+func TestStatsEndpointStillServes(t *testing.T) {
+	f := fixture(t)
+	rec := get(t, f, "/stats")
+	if rec.Code != 200 {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var s core.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+}

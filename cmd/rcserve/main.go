@@ -6,23 +6,34 @@
 //	GET /models
 //	GET /predict?model=lifetime&subscription=sub-...&type=IaaS&cores=2&memgb=3.5
 //	GET /stats
+//	GET /healthz
+//	GET /metrics            (Prometheus text v0.0.4; ?format=json for JSON)
 //
 // The prediction path never blocks on the store: it runs entirely against
-// the client-side caches, as in the paper's DLL design.
+// the client-side caches, as in the paper's DLL design. /metrics exposes
+// the Section 6.1 numbers live — predict-latency histograms split by
+// result-cache hit/miss, per-model execution times, store pull latency —
+// plus HTTP middleware metrics. The server shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests before closing the client.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"resourcecentral/internal/cli"
 	"resourcecentral/internal/core"
 	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
 	"resourcecentral/internal/pipeline"
 	"resourcecentral/internal/store"
 	"resourcecentral/internal/trace"
@@ -36,7 +47,10 @@ func main() {
 	src.RegisterFlags(flag.CommandLine)
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	republish := flag.Duration("republish", 0, "re-run the pipeline and push new models at this interval (0 = never)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
 
 	tr, err := src.Load()
 	if err != nil {
@@ -44,16 +58,17 @@ func main() {
 	}
 	cutoff := tr.Horizon * 2 / 3
 	log.Printf("training on %d VMs (first %d days)", len(tr.VMs), cutoff/(24*60))
-	res, err := pipeline.Run(tr, pipeline.Config{TrainCutoff: cutoff, Seed: src.Seed})
+	res, err := pipeline.Run(tr, pipeline.Config{TrainCutoff: cutoff, Seed: src.Seed, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	st := store.New()
-	if err := pipeline.Publish(st, res); err != nil {
+	st.Instrument(reg)
+	if err := pipeline.Publish(st, res, reg); err != nil {
 		log.Fatal(err)
 	}
-	client, err := core.New(core.Config{Store: st, Mode: core.Push})
+	client, err := core.New(core.Config{Store: st, Mode: core.Push, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,26 +77,89 @@ func main() {
 	}
 	defer client.Close()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if *republish > 0 {
+		ticker := time.NewTicker(*republish)
+		defer ticker.Stop()
 		go func() {
-			for range time.Tick(*republish) {
-				if err := pipeline.Publish(st, res); err != nil {
-					log.Printf("republish: %v", err)
-					continue
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := pipeline.Publish(st, res, reg); err != nil {
+						log.Printf("republish: %v", err)
+						continue
+					}
+					log.Printf("republished models (push update)")
 				}
-				log.Printf("republished models (push update)")
 			}
 		}()
 	}
 
+	handler := newHandler(client, reg, time.Now())
+	server := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving predictions on http://%s", *addr)
+		errCh <- server.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (so a
+	// final /metrics scrape completes), then close the client's
+	// background cache maintenance.
+	log.Printf("signal received, draining (budget %v)", *shutdownTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := server.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("drained, closing client")
+}
+
+// newHandler builds the HTTP mux with per-route metrics middleware.
+func newHandler(client *core.Client, reg *obs.Registry, start time.Time) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle("GET "+route, instrument(reg, route, h))
+	}
+	handle("/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, client.AvailableModels())
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, client.Stats())
 	})
-	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		models := client.AvailableModels()
+		status := http.StatusOK
+		state := "ok"
+		if len(models) == 0 {
+			// No models loaded: the client can only answer no-predictions.
+			status = http.StatusServiceUnavailable
+			state = "degraded"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         state,
+			"uptime_seconds": time.Since(start).Seconds(),
+			"models":         len(models),
+			"result_cache":   client.ResultCacheLen(),
+		})
+	})
+	handle("/predict", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		modelName := q.Get("model")
 		if modelName == "" {
@@ -100,10 +178,39 @@ func main() {
 		}
 		writeJSON(w, pred)
 	})
+	mux.Handle("GET /metrics", reg.Handler())
+	return mux
+}
 
-	log.Printf("serving predictions on http://%s", *addr)
-	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	log.Fatal(server.ListenAndServe())
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// observation, labeled by route (the registered pattern, not the raw
+// URL, to keep label cardinality bounded).
+func instrument(reg *obs.Registry, route string, next http.Handler) http.Handler {
+	seconds := reg.Histogram("rc_http_request_seconds",
+		"HTTP request latency in seconds, by route.", nil, "route", route)
+	requests := func(code int) obs.Counter {
+		return reg.Counter("rc_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			"route", route, "code", strconv.Itoa(code))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		seconds.ObserveSince(start)
+		requests(rec.status).Inc()
+	})
 }
 
 // inputsFromQuery parses client inputs from URL query parameters, with

@@ -149,6 +149,11 @@ type Config struct {
 	// around the same time as the new VM, so servers drain completely and
 	// maintenance needs no live migration.
 	LifetimeAware bool
+	// RuleHook, when set, is called once per rule evaluation in the
+	// scheduling chain ("admission", "spread", "lifetime", "packing") so
+	// callers can count rule activity without the cluster depending on a
+	// metrics package. It runs synchronously on the scheduling path.
+	RuleHook func(rule string)
 }
 
 // Cluster is the scheduler plus its server fleet.
@@ -196,24 +201,35 @@ func New(cfg Config) (*Cluster, error) {
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// ruleEvaluated reports one rule evaluation to the configured hook.
+func (c *Cluster) ruleEvaluated(rule string) {
+	if c.cfg.RuleHook != nil {
+		c.cfg.RuleHook(rule)
+	}
+}
+
 // Schedule runs the rule chain for the request and, on success, places
 // the VM (PlaceVM bookkeeping included). It returns the chosen server, or
 // ok=false for a scheduling failure.
 func (c *Cluster) Schedule(req *Request) (*Server, bool) {
+	c.ruleEvaluated("admission")
 	candidates := c.selectCandidates(req)
 	if len(candidates) == 0 {
 		return nil, false
 	}
 	// Soft spreading rule: prefer fault domains not already hosting a VM
 	// of this deployment.
+	c.ruleEvaluated("spread")
 	candidates = c.spreadRule(req, candidates)
 	// Soft lifetime co-location rule (Section 4.1 extension): prefer
 	// servers whose VMs terminate around the same predicted time.
 	if c.cfg.LifetimeAware && req.PredEndTime > 0 {
+		c.ruleEvaluated("lifetime")
 		candidates = c.lifetimeRule(req, candidates)
 	}
 	// Soft packing rule: fill used servers before empty ones, tightest
 	// first, so empty servers stay free for the other group.
+	c.ruleEvaluated("packing")
 	best := candidates[0]
 	for _, s := range candidates[1:] {
 		if packingBetter(s, best) {

@@ -20,6 +20,7 @@ import (
 	"resourcecentral/internal/featuredata"
 	"resourcecentral/internal/metric"
 	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
 	"resourcecentral/internal/pipeline"
 	"resourcecentral/internal/store"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	// ResultCacheCap bounds the number of cached prediction results
 	// (0 = 1<<20). When full, an arbitrary half of the entries is evicted.
 	ResultCacheCap int
+	// Obs receives the client's metrics (predict latency histograms,
+	// cache counters and gauges — the live Section 6.1 numbers). nil
+	// creates a private registry so Stats() keeps working; pass
+	// obs.NewNopRegistry() to disable recording entirely. When one
+	// registry is shared by several clients the counters are shared too
+	// (a process-wide view), and the cache-size gauges report the first
+	// client's caches.
+	Obs *obs.Registry
 }
 
 // Prediction is the result of one prediction request. When OK is false the
@@ -78,7 +87,9 @@ type Prediction struct {
 }
 
 // Stats counts client-side events for the Section 6.1 performance
-// analysis.
+// analysis. It is a compatibility snapshot of the registry-backed
+// counters in Config.Obs; the live view (including latency histograms)
+// is the registry itself.
 type Stats struct {
 	ResultHits    uint64
 	ResultMisses  uint64
@@ -102,8 +113,11 @@ type Client struct {
 	models   map[string]*model.Trained
 	features map[string]*featuredata.SubscriptionFeatures
 	results  map[uint64]resultEntry
-	stats    Stats
 	inited   bool
+
+	// obs holds the registry-backed atomic counters and latency
+	// histograms; hot paths record without taking mu.
+	obs *clientMetrics
 
 	notif chan store.Notification
 	done  chan struct{}
@@ -126,15 +140,24 @@ func New(cfg Config) (*Client, error) {
 	if cfg.ResultCacheCap <= 0 {
 		cfg.ResultCacheCap = 1 << 20
 	}
-	return &Client{
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	c := &Client{
 		cfg:      cfg,
 		models:   make(map[string]*model.Trained),
 		features: make(map[string]*featuredata.SubscriptionFeatures),
 		results:  make(map[uint64]resultEntry),
 		done:     make(chan struct{}),
 		inflight: make(map[string]bool),
-	}, nil
+		obs:      newClientMetrics(cfg.Obs),
+	}
+	c.registerGauges()
+	return c, nil
 }
+
+// Obs returns the registry holding the client's metrics.
+func (c *Client) Obs() *obs.Registry { return c.cfg.Obs }
 
 // Initialize loads caches and, in push mode, subscribes to store updates
 // (Table 2: initialize).
@@ -157,7 +180,11 @@ func (c *Client) Initialize() error {
 		c.wg.Add(1)
 		go c.pushLoop()
 	case PullAsync:
+		// Under mu: the fetch-queue-depth gauge may read c.fetchQ
+		// concurrently.
+		c.mu.Lock()
 		c.fetchQ = make(chan string, 4096)
+		c.mu.Unlock()
 		c.wg.Add(1)
 		go c.fetchLoop()
 	}
@@ -235,9 +262,7 @@ func (c *Client) pushLoop() {
 			return
 		case n := <-c.notif:
 			if err := c.applyUpdate(n.Key); err == nil {
-				c.mu.Lock()
-				c.stats.PushUpdates++
-				c.mu.Unlock()
+				c.obs.pushUpdates.Inc()
 			}
 		}
 	}
@@ -308,17 +333,13 @@ func (c *Client) loadFeatureSet() error {
 func (c *Client) fetch(key string) ([]byte, error) {
 	blob, err := c.cfg.Store.Get(key)
 	if err == nil {
-		c.mu.Lock()
-		c.stats.StoreFetches++
-		c.mu.Unlock()
+		c.obs.storeFetches.Inc()
 		c.writeDisk(key, blob.Data)
 		return blob.Data, nil
 	}
 	if errors.Is(err, store.ErrUnavailable) {
 		if data, derr := c.readDisk(key); derr == nil {
-			c.mu.Lock()
-			c.stats.DiskHits++
-			c.mu.Unlock()
+			c.obs.diskHits.Inc()
 			return data, nil
 		}
 	}
@@ -381,32 +402,27 @@ func (c *Client) AvailableModels() []string {
 // never returns an error for missing models/feature data — those become
 // no-predictions, which callers must handle; errors indicate misuse.
 func (c *Client) PredictSingle(modelName string, in *model.ClientInputs) (Prediction, error) {
+	start := time.Now()
 	if in == nil {
 		return Prediction{}, errors.New("core: nil client inputs")
 	}
-	c.mu.RLock()
-	inited := c.inited
-	c.mu.RUnlock()
-	if !inited {
-		return Prediction{}, errors.New("core: client not initialized")
-	}
-
 	key := in.CacheKey(modelName)
 	c.mu.RLock()
+	if !c.inited {
+		c.mu.RUnlock()
+		return Prediction{}, errors.New("core: client not initialized")
+	}
 	if entry, ok := c.results[key]; ok {
 		c.mu.RUnlock()
-		c.mu.Lock()
-		c.stats.ResultHits++
-		c.mu.Unlock()
+		c.obs.resultHits.Inc()
+		c.obs.predictHit.ObserveSince(start)
 		return Prediction{OK: true, Bucket: entry.bucket, Score: entry.score, FromResultCache: true}, nil
 	}
 	trained := c.models[modelName]
 	sub := c.features[in.Subscription]
 	c.mu.RUnlock()
 
-	c.mu.Lock()
-	c.stats.ResultMisses++
-	c.mu.Unlock()
+	c.obs.resultMisses.Inc()
 
 	// Pull mode fetches what is missing on demand; PullAsync returns a
 	// no-prediction and fetches in the background instead.
@@ -423,7 +439,7 @@ func (c *Client) PredictSingle(modelName string, in *model.ClientInputs) (Predic
 		}
 	}
 	if trained == nil {
-		return c.noPrediction("model " + modelName + " not available"), nil
+		return c.noPrediction(start, "model "+modelName+" not available"), nil
 	}
 	if sub == nil {
 		switch c.cfg.Mode {
@@ -441,21 +457,24 @@ func (c *Client) PredictSingle(modelName string, in *model.ClientInputs) (Predic
 		}
 	}
 	if sub == nil {
-		return c.noPrediction("no feature data for subscription " + in.Subscription), nil
+		return c.noPrediction(start, "no feature data for subscription "+in.Subscription), nil
 	}
 
+	execStart := time.Now()
 	x := trained.Spec.Featurize(in, sub, nil)
 	bucket, score, err := trained.Predict(x)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: model %s execution: %w", modelName, err)
 	}
+	c.obs.modelExecs.Inc()
+	c.obs.execHist(modelName).ObserveSince(execStart)
 	c.mu.Lock()
-	c.stats.ModelExecs++
 	if len(c.results) >= c.cfg.ResultCacheCap {
 		c.evictLocked()
 	}
 	c.results[key] = resultEntry{bucket: bucket, score: score}
 	c.mu.Unlock()
+	c.obs.predictMiss.ObserveSince(start)
 	return Prediction{OK: true, Bucket: bucket, Score: score}, nil
 }
 
@@ -463,6 +482,7 @@ func (c *Client) PredictSingle(modelName string, in *model.ClientInputs) (Predic
 // makes this an arbitrary-victim policy; entries are tiny and rebuilt on
 // demand). Caller holds mu.
 func (c *Client) evictLocked() {
+	c.obs.evictions.Inc()
 	target := c.cfg.ResultCacheCap / 2
 	for k := range c.results {
 		if len(c.results) <= target {
@@ -472,10 +492,9 @@ func (c *Client) evictLocked() {
 	}
 }
 
-func (c *Client) noPrediction(reason string) Prediction {
-	c.mu.Lock()
-	c.stats.NoPredictions++
-	c.mu.Unlock()
+func (c *Client) noPrediction(start time.Time, reason string) Prediction {
+	c.obs.noPredictions.Inc()
+	c.obs.predictMiss.ObserveSince(start)
 	return Prediction{OK: false, Reason: reason}
 }
 
@@ -526,11 +545,20 @@ func (c *Client) FlushCache() error {
 	return nil
 }
 
-// Stats returns a snapshot of the client counters.
+// Stats returns a race-safe snapshot of the client counters. It is a
+// compatibility shim over the registry-backed atomics; each field is
+// loaded independently, so the snapshot is weakly consistent under
+// concurrent predictions.
 func (c *Client) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.stats
+	return Stats{
+		ResultHits:    c.obs.resultHits.Value(),
+		ResultMisses:  c.obs.resultMisses.Value(),
+		ModelExecs:    c.obs.modelExecs.Value(),
+		NoPredictions: c.obs.noPredictions.Value(),
+		StoreFetches:  c.obs.storeFetches.Value(),
+		PushUpdates:   c.obs.pushUpdates.Value(),
+		DiskHits:      c.obs.diskHits.Value(),
+	}
 }
 
 // ResultCacheLen reports the number of cached prediction results (the

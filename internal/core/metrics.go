@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/obs"
+)
+
+// Exported metric names (see README "Observability"). All latency
+// histograms are in seconds with obs.DefaultLatencyBuckets, matching the
+// Section 6.1 measurements: predict latency split by result-cache
+// hit/miss (Fig 10, the 1.3 µs hit P99), and per-model execution time
+// (the 95–147 µs medians).
+const (
+	MetricPredictSeconds   = "rc_client_predict_seconds"
+	MetricModelExecSeconds = "rc_client_model_exec_seconds"
+)
+
+// clientMetrics is the registry-backed replacement for the old
+// unsynchronized Stats struct. Every field is an atomic metric, so hot
+// paths record without taking the client mutex; Stats() snapshots the
+// counters for backward compatibility.
+type clientMetrics struct {
+	reg *obs.Registry
+
+	predictHit  obs.Histogram // predict latency, result-cache hits
+	predictMiss obs.Histogram // predict latency, misses (incl. no-predictions)
+
+	resultHits    obs.Counter
+	resultMisses  obs.Counter
+	modelExecs    obs.Counter
+	noPredictions obs.Counter
+	storeFetches  obs.Counter
+	pushUpdates   obs.Counter
+	diskHits      obs.Counter
+	evictions     obs.Counter
+
+	// execHists caches the per-model execution-time histograms; the six
+	// paper metrics are pre-registered, other model names fall through to
+	// the registry.
+	execMu    sync.RWMutex
+	execHists map[string]obs.Histogram
+}
+
+// newClientMetrics registers the client's metrics on reg (which may be
+// nil or a no-op registry; instrumentation then discards updates but
+// Stats() would read zeros, so New falls back to a private real registry
+// in that case).
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	m := &clientMetrics{
+		reg: reg,
+		predictHit: reg.Histogram(MetricPredictSeconds,
+			"PredictSingle latency in seconds, by result-cache outcome.", nil,
+			"result", "hit"),
+		predictMiss: reg.Histogram(MetricPredictSeconds, "", nil,
+			"result", "miss"),
+		resultHits: reg.Counter("rc_client_result_cache_hits_total",
+			"Predictions answered from the result cache."),
+		resultMisses: reg.Counter("rc_client_result_cache_misses_total",
+			"Predictions that missed the result cache."),
+		modelExecs: reg.Counter("rc_client_model_execs_total",
+			"Model executions (result-cache misses that ran a model)."),
+		noPredictions: reg.Counter("rc_client_no_predictions_total",
+			"Requests answered with the no-prediction flag."),
+		storeFetches: reg.Counter("rc_client_store_fetches_total",
+			"Successful fetches from the store."),
+		pushUpdates: reg.Counter("rc_client_push_updates_total",
+			"Push notifications applied to the caches."),
+		diskHits: reg.Counter("rc_client_disk_cache_hits_total",
+			"Fetches served from the local disk cache."),
+		evictions: reg.Counter("rc_client_result_cache_evictions_total",
+			"Result-cache eviction sweeps."),
+		execHists: make(map[string]obs.Histogram, len(metric.All)),
+	}
+	for _, mt := range metric.All {
+		name := mt.String()
+		m.execHists[name] = reg.Histogram(MetricModelExecSeconds,
+			"Model execution time in seconds, by model.", nil,
+			"model", name)
+	}
+	return m
+}
+
+// execHist returns the execution-time histogram for a model name.
+func (m *clientMetrics) execHist(model string) obs.Histogram {
+	m.execMu.RLock()
+	h, ok := m.execHists[model]
+	m.execMu.RUnlock()
+	if ok {
+		return h
+	}
+	h = m.reg.Histogram(MetricModelExecSeconds, "", nil, "model", model)
+	m.execMu.Lock()
+	m.execHists[model] = h
+	m.execMu.Unlock()
+	return h
+}
+
+// registerGauges exposes the client's cache and queue sizes as callback
+// gauges. Called once the client struct is fully constructed.
+func (c *Client) registerGauges() {
+	reg := c.obs.reg
+	reg.GaugeFunc("rc_client_result_cache_size",
+		"Entries in the prediction result cache.",
+		func() float64 { return float64(c.ResultCacheLen()) })
+	reg.GaugeFunc("rc_client_models_loaded",
+		"Models resident in the in-memory cache.",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(len(c.models))
+		})
+	reg.GaugeFunc("rc_client_features_loaded",
+		"Per-subscription feature records resident in memory.",
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(len(c.features))
+		})
+	reg.GaugeFunc("rc_client_fetch_queue_depth",
+		"Background fetch requests queued in PullAsync mode.",
+		func() float64 {
+			c.mu.RLock()
+			q := c.fetchQ
+			c.mu.RUnlock()
+			return float64(len(q))
+		})
+}

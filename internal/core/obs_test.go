@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/obs"
+)
+
+// TestConcurrentPredictSingle hammers the instrumented client from many
+// goroutines mixing result-cache hits, misses and no-predictions; run
+// under -race it is the regression test for the old unsynchronized
+// Stats counters.
+func TestConcurrentPredictSingle(t *testing.T) {
+	c := newPushClient(t, publishedStore(t))
+	in := knownInputs(t)
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				local := *in
+				switch i % 3 {
+				case 0:
+					// Same inputs: result-cache hit after the first call.
+				case 1:
+					// Unique inputs: cache miss and model execution.
+					local.RequestedVMs = w*perWorker + i + 2
+				case 2:
+					// Unknown subscription: no-prediction.
+					local.Subscription = "sub-missing"
+				}
+				if _, err := c.PredictSingle("lifetime", &local); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = c.Stats()
+				_ = c.ResultCacheLen()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	total := s.ResultHits + s.ResultMisses
+	if total != workers*perWorker {
+		t.Errorf("hits+misses = %d, want %d", total, workers*perWorker)
+	}
+	if s.NoPredictions == 0 || s.ModelExecs == 0 || s.ResultHits == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ResultMisses != s.ModelExecs+s.NoPredictions {
+		t.Errorf("misses %d != execs %d + nopreds %d", s.ResultMisses, s.ModelExecs, s.NoPredictions)
+	}
+}
+
+func TestClientMetricsExposed(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(Config{Store: publishedStore(t), Mode: Push, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	in := knownInputs(t)
+	for i := 0; i < 5; i++ {
+		if _, err := c.PredictSingle("lifetime", in); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hit, ok := reg.Snapshot(MetricPredictSeconds, "result", "hit")
+	if !ok || hit.Count != 4 {
+		t.Errorf("hit histogram count = %d (ok=%v), want 4", hit.Count, ok)
+	}
+	miss, ok := reg.Snapshot(MetricPredictSeconds, "result", "miss")
+	if !ok || miss.Count != 1 {
+		t.Errorf("miss histogram count = %d (ok=%v), want 1", miss.Count, ok)
+	}
+	exec, ok := reg.Snapshot(MetricModelExecSeconds, "model", "lifetime")
+	if !ok || exec.Count != 1 {
+		t.Errorf("exec histogram count = %d (ok=%v), want 1", exec.Count, ok)
+	}
+	if q := hit.Quantile(0.99); !(q > 0) {
+		t.Errorf("hit P99 = %g, want > 0", q)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`rc_client_predict_seconds_bucket{result="hit",le="+Inf"} 4`,
+		"rc_client_result_cache_hits_total 4",
+		"rc_client_result_cache_misses_total 1",
+		"rc_client_result_cache_size 1",
+		"rc_client_models_loaded",
+		"rc_client_features_loaded",
+		"rc_client_fetch_queue_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestNopRegistryClient checks a client with observability disabled
+// still predicts correctly (Stats then reads zeros by design).
+func TestNopRegistryClient(t *testing.T) {
+	c, err := New(Config{Store: publishedStore(t), Mode: Push, Obs: obs.NewNopRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	in := knownInputs(t)
+	p, err := c.PredictSingle("lifetime", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.OK {
+		t.Fatalf("prediction = %+v", p)
+	}
+	if s := c.Stats(); s.ResultMisses != 0 {
+		t.Errorf("nop registry recorded stats: %+v", s)
+	}
+	if got := c.Obs().Gather(); got != nil {
+		t.Errorf("nop Gather = %v", got)
+	}
+}

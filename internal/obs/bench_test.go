@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("rc_bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("rc_bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("rc_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.2e-4)
+	}
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	h := NewRegistry().Histogram("rc_bench_seconds", "", nil)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}
+
+// BenchmarkHitPathInstrumentation measures the full per-prediction
+// instrumentation cost of the client's result-cache hit path (one
+// counter increment plus one latency observation including the clock
+// read) against the documented OverheadBudget.
+func BenchmarkHitPathInstrumentation(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("rc_bench_hits_total", "")
+	h := r.Histogram("rc_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		c.Inc()
+		h.ObserveSince(start)
+	}
+}
+
+func BenchmarkHitPathInstrumentationNop(b *testing.B) {
+	r := NewNopRegistry()
+	c := r.Counter("rc_bench_hits_total", "")
+	h := r.Histogram("rc_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		c.Inc()
+		h.ObserveSince(start)
+	}
+}
+
+func BenchmarkRegistryGetCounter(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("rc_bench_total", "", "model", "lifetime")
+	}
+}

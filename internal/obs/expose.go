@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Sample is one metric instance at gather time. Value carries counter
+// and gauge readings; Histogram is set for histogram families.
+type Sample struct {
+	Labels    []Label       `json:"labels,omitempty"`
+	Value     float64       `json:"value"`
+	Histogram *HistSnapshot `json:"histogram,omitempty"`
+}
+
+// Family is one named metric family at gather time.
+type Family struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help,omitempty"`
+	Kind    Kind     `json:"kind"`
+	Samples []Sample `json:"samples"`
+}
+
+// Gather snapshots every registered metric in registration order.
+// Callback gauges are evaluated outside all registry locks, so they may
+// safely take their owners' locks.
+func (r *Registry) Gather() []Family {
+	if r == nil || r.nop {
+		return nil
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		// Copy the child structs under the family lock (gaugeFn may be set
+		// after creation), then evaluate callbacks outside it.
+		f.mu.RLock()
+		children := make([]child, 0, len(f.order))
+		for _, sig := range f.order {
+			children = append(children, *f.children[sig])
+		}
+		f.mu.RUnlock()
+
+		fam := Family{Name: f.name, Help: f.help, Kind: f.kind, Samples: make([]Sample, 0, len(children))}
+		for _, c := range children {
+			s := Sample{Labels: c.labels}
+			switch {
+			case c.counter != nil:
+				s.Value = float64(c.counter.Value())
+			case c.gaugeFn != nil:
+				s.Value = c.gaugeFn()
+			case c.gauge != nil:
+				s.Value = c.gauge.Value()
+			case c.hist != nil:
+				snap := c.hist.Snapshot()
+				s.Histogram = &snap
+			}
+			fam.Samples = append(fam.Samples, s)
+		}
+		out = append(out, fam)
+	}
+	return out
+}
+
+// Snapshot returns the histogram snapshot for the (name, labels) metric,
+// or false when it is not registered. Useful for reading quantiles
+// programmatically (e.g. asserting Fig 10 percentiles in tests).
+func (r *Registry) Snapshot(name string, labels ...string) (HistSnapshot, bool) {
+	if r == nil || r.nop {
+		return HistSnapshot{}, false
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != KindHistogram {
+		return HistSnapshot{}, false
+	}
+	_, sig := parseLabels(labels)
+	f.mu.RLock()
+	c := f.children[sig]
+	f.mu.RUnlock()
+	if c == nil || c.hist == nil {
+		return HistSnapshot{}, false
+	}
+	return c.hist.Snapshot(), true
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format, version 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind); err != nil {
+			return err
+		}
+		for _, s := range fam.Samples {
+			if err := writeSample(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, fam Family, s Sample) error {
+	if s.Histogram == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.Name, labelString(s.Labels, "", ""), formatFloat(s.Value))
+		return err
+	}
+	h := s.Histogram
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		le := formatFloat(bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, labelString(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, labelString(s.Labels, "le", "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.Name, labelString(s.Labels, "", ""), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.Name, labelString(s.Labels, "", ""), h.Count)
+	return err
+}
+
+// labelString renders {k="v",...}, appending the extra pair (used for
+// "le") when extraKey is non-empty. Returns "" for no labels.
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, per the
+// text format spec.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes every metric as a JSON array of families.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := r.Gather()
+	if fams == nil {
+		fams = []Family{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fams)
+}
+
+// Handler returns an http.Handler serving the registry: Prometheus text
+// format by default, JSON with ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

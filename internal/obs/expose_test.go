@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("rc_requests_total", "Total requests.", "path", "/predict").Add(7)
+	g := r.Gauge("rc_cache_size", "Entries in the cache.")
+	g.Set(12)
+	h := r.Histogram("rc_latency_seconds", "Request latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.5) // overflow
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP rc_requests_total Total requests.",
+		"# TYPE rc_requests_total counter",
+		`rc_requests_total{path="/predict"} 7`,
+		"# TYPE rc_cache_size gauge",
+		"rc_cache_size 12",
+		"# TYPE rc_latency_seconds histogram",
+		`rc_latency_seconds_bucket{le="0.001"} 1`,
+		`rc_latency_seconds_bucket{le="0.01"} 2`,
+		`rc_latency_seconds_bucket{le="0.1"} 2`,
+		`rc_latency_seconds_bucket{le="+Inf"} 3`,
+		"rc_latency_seconds_sum 0.5055",
+		"rc_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rc_esc_total", "multi\nline \\help", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP rc_esc_total multi\nline \\help`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `rc_esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var fams []Family
+	if err := json.Unmarshal([]byte(b.String()), &fams); err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["rc_requests_total"]; f.Samples[0].Value != 7 {
+		t.Errorf("counter = %+v", f)
+	}
+	h := byName["rc_latency_seconds"].Samples[0].Histogram
+	if h == nil || h.Count != 3 {
+		t.Errorf("histogram = %+v", h)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := testRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "rc_requests_total") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var fams []Family
+	if err := json.Unmarshal(rec.Body.Bytes(), &fams); err != nil {
+		t.Fatalf("json body: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets spans 100 ns to ~5.6 s with a ×1.5 progression —
+// fine enough that interpolated quantiles over the paper's Fig 10 range
+// (1 µs model executions to 10 ms store pulls) land within one bucket
+// width of the true value. Values are seconds.
+var DefaultLatencyBuckets = ExponentialBuckets(100e-9, 1.5, 45)
+
+// DefaultSizeBuckets spans 64 B to ~256 MB with a ×4 progression, for
+// record/payload size histograms. Values are bytes.
+var DefaultSizeBuckets = ExponentialBuckets(64, 4, 12)
+
+// DefaultDurationBuckets spans 1 ms to ~2.3 h with a ×2 progression, for
+// coarse stage/run durations. Values are seconds.
+var DefaultDurationBuckets = ExponentialBuckets(1e-3, 2, 24)
+
+// ExponentialBuckets returns n bucket upper bounds starting at start and
+// multiplying by factor: start, start·factor, start·factor², ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket upper bounds starting at start and
+// stepping by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets needs width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// histogram is the atomic Histogram implementation. counts[i] holds
+// observations with v <= bounds[i] (Prometheus "le" semantics);
+// counts[len(bounds)] is the +Inf overflow bucket. Buckets are
+// non-cumulative in memory and cumulated at exposition time.
+type histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (h *histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+func (h *histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Counts[i] holds
+// observations with value <= Bounds[i]; Counts[len(Bounds)] is the
+// overflow bucket. Snapshots from histograms with identical bounds can
+// be merged, so per-shard or per-process histograms aggregate exactly.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Merge returns a new snapshot combining s and o. The bucket bounds must
+// match exactly; merged quantiles equal what a single histogram fed both
+// observation streams would report.
+func (s HistSnapshot) Merge(o HistSnapshot) (HistSnapshot, error) {
+	if len(s.Bounds) == 0 {
+		return o.clone(), nil
+	}
+	if len(o.Bounds) == 0 {
+		return s.clone(), nil
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistSnapshot{}, fmt.Errorf("obs: merge: %d vs %d buckets", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistSnapshot{}, fmt.Errorf("obs: merge: bound %d differs (%g vs %g)", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	out := s.clone()
+	for i, c := range o.Counts {
+		out.Counts[i] += c
+	}
+	out.Count += o.Count
+	out.Sum += o.Sum
+	return out, nil
+}
+
+func (s HistSnapshot) clone() HistSnapshot {
+	out := s
+	out.Counts = make([]uint64, len(s.Counts))
+	copy(out.Counts, s.Counts)
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank, the same
+// estimator as Prometheus histogram_quantile. Observations below the
+// first bound interpolate from zero (latencies and sizes are
+// non-negative); ranks landing in the overflow bucket return the highest
+// bound. Returns NaN for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) {
+			// Overflow bucket: the best available estimate is the top bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - float64(cum-c)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observed value, or NaN when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}

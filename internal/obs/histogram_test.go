@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	want = []float64{10, 15, 20}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}
+
+func TestHistogramObserveAndCounts(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: 0.5 and 1 land in bucket le=1; 1.5 in le=2; 3 in le=4;
+	// 100 overflows.
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 5 || s.Sum != 106 {
+		t.Fatalf("Count=%d Sum=%g", s.Count, s.Sum)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN((HistSnapshot{}).Quantile(0.5)) {
+		t.Fatal("empty snapshot should give NaN")
+	}
+	h := newHistogram([]float64{1, 2})
+	h.Observe(10) // overflow only
+	if got := h.Snapshot().Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %g, want top bound 2", got)
+	}
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(0.5)
+	s := h2.Snapshot()
+	if got := s.Quantile(-1); got < 0 || got > 1 {
+		t.Fatalf("clamped q=-1 gave %g", got)
+	}
+	if got := s.Quantile(2); got < 0 || got > 1 {
+		t.Fatalf("clamped q=2 gave %g", got)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets)
+	start := time.Now().Add(-time.Millisecond)
+	h.ObserveSince(start)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum < 0.001 || s.Sum > 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := newHistogram([]float64{1, 2}).Snapshot()
+	b := newHistogram([]float64{1, 3}).Snapshot()
+	if _, err := a.Merge(b); err == nil {
+		t.Fatal("expected bound mismatch error")
+	}
+	c := newHistogram([]float64{1}).Snapshot()
+	if _, err := a.Merge(c); err == nil {
+		t.Fatal("expected bucket count mismatch error")
+	}
+	// Merging with an empty (zero) snapshot is the identity.
+	ha := newHistogram([]float64{1, 2})
+	ha.Observe(1.5)
+	m, err := ha.Snapshot().Merge(HistSnapshot{})
+	if err != nil || m.Count != 1 {
+		t.Fatalf("identity merge = %+v, %v", m, err)
+	}
+}
+
+// exactQuantile is the empirical quantile of sorted values.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketWidth returns the width of the bucket that holds v.
+func bucketWidth(bounds []float64, v float64) float64 {
+	i := sort.SearchFloat64s(bounds, v)
+	if i >= len(bounds) {
+		i = len(bounds) - 1
+	}
+	if i == 0 {
+		return bounds[0]
+	}
+	return bounds[i] - bounds[i-1]
+}
+
+// checkQuantiles verifies the histogram estimate of P50/P95/P99 stays
+// within one bucket width of the exact empirical quantile, and that a
+// snapshot merged from a 2-way split of the stream matches the single
+// histogram exactly.
+func checkQuantiles(t *testing.T, name string, bounds []float64, values []float64) bool {
+	t.Helper()
+	whole := newHistogram(bounds)
+	partA, partB := newHistogram(bounds), newHistogram(bounds)
+	for i, v := range values {
+		whole.Observe(v)
+		if i%2 == 0 {
+			partA.Observe(v)
+		} else {
+			partB.Observe(v)
+		}
+	}
+	merged, err := partA.Snapshot().Merge(partB.Snapshot())
+	if err != nil {
+		t.Errorf("%s: merge: %v", name, err)
+		return false
+	}
+	single := whole.Snapshot()
+	if merged.Count != single.Count || math.Abs(merged.Sum-single.Sum) > 1e-9*math.Abs(single.Sum) {
+		t.Errorf("%s: merged (count=%d sum=%g) != single (count=%d sum=%g)",
+			name, merged.Count, merged.Sum, single.Count, single.Sum)
+		return false
+	}
+	for i := range single.Counts {
+		if merged.Counts[i] != single.Counts[i] {
+			t.Errorf("%s: merged bucket %d = %d, want %d", name, i, merged.Counts[i], single.Counts[i])
+			return false
+		}
+	}
+
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		exact := exactQuantile(sorted, q)
+		for which, est := range map[string]float64{
+			"single": single.Quantile(q),
+			"merged": merged.Quantile(q),
+		} {
+			if tol := bucketWidth(bounds, exact); math.Abs(est-exact) > tol {
+				t.Errorf("%s/%s: P%g estimate %g vs exact %g exceeds bucket width %g",
+					name, which, q*100, est, exact, tol)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQuantileAccuracyProperty drives checkQuantiles with testing/quick
+// over random seeds for three distributions: uniform, exponential, and a
+// lognormal covering the paper's Fig 10 latency range (1 µs – 10 ms).
+func TestQuantileAccuracyProperty(t *testing.T) {
+	const n = 5000
+	cfg := &quick.Config{MaxCount: 12}
+
+	uniformBounds := LinearBuckets(0.01, 0.01, 100)
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() // [0, 1)
+		}
+		return checkQuantiles(t, "uniform", uniformBounds, values)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	expBounds := LinearBuckets(0.02, 0.02, 200) // covers up to 4.0
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, n)
+		for i := range values {
+			v := rng.ExpFloat64() * 0.2 // mean 0.2
+			if v > 3.9 {
+				v = 3.9
+			}
+			values[i] = v
+		}
+		return checkQuantiles(t, "exponential", expBounds, values)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, n)
+		for i := range values {
+			// Lognormal centered near 120 µs (the Fig 10 model-execution
+			// medians are 95–147 µs), clamped to [1 µs, 10 ms].
+			v := 120e-6 * math.Exp(rng.NormFloat64()*0.8)
+			if v < 1e-6 {
+				v = 1e-6
+			}
+			if v > 10e-3 {
+				v = 10e-3
+			}
+			values[i] = v
+		}
+		return checkQuantiles(t, "fig10", DefaultLatencyBuckets, values)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 5000; j++ {
+				h.Observe(1e-4)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	s := h.Snapshot()
+	if s.Count != 20000 {
+		t.Fatalf("Count = %d, want 20000", s.Count)
+	}
+	if math.Abs(s.Sum-20000*1e-4) > 1e-6 {
+		t.Fatalf("Sum = %g", s.Sum)
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// counter is the atomic Counter implementation.
+type counter struct {
+	v atomic.Uint64
+}
+
+func (c *counter) Inc()          { c.v.Add(1) }
+func (c *counter) Add(n uint64)  { c.v.Add(n) }
+func (c *counter) Value() uint64 { return c.v.Load() }
+
+// gauge is the atomic Gauge implementation; the value is stored as
+// float64 bits so Set is a single store and Add a CAS loop.
+type gauge struct {
+	bits atomic.Uint64
+}
+
+func (g *gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+func (g *gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (g *gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// No-op implementations handed out by nil and no-op registries. They
+// deliberately do no work at all — in particular nopHistogram
+// .ObserveSince does not read the clock — so instrumented code run
+// against a no-op registry measures the true "observability disabled"
+// baseline.
+type nopCounter struct{}
+
+func (nopCounter) Inc()          {}
+func (nopCounter) Add(uint64)    {}
+func (nopCounter) Value() uint64 { return 0 }
+
+type nopGauge struct{}
+
+func (nopGauge) Set(float64)    {}
+func (nopGauge) Add(float64)    {}
+func (nopGauge) Value() float64 { return 0 }
+
+type nopHistogram struct{}
+
+func (nopHistogram) Observe(float64)        {}
+func (nopHistogram) ObserveSince(time.Time) {}
+func (nopHistogram) Snapshot() HistSnapshot { return HistSnapshot{} }

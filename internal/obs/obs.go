@@ -1,0 +1,345 @@
+// Package obs is a dependency-free observability subsystem for the
+// Resource Central reproduction: atomic counters and gauges, fixed-bucket
+// latency histograms with mergeable snapshots and quantile estimation,
+// span-style timers with tracing hooks, and a named registry that exposes
+// everything in Prometheus text format (v0.0.4) and JSON.
+//
+// The package exists so the Section 6.1 performance numbers — model
+// execution latency percentiles (Fig 10), result-cache hit rates and hit
+// latency, store pull-path latency — can be observed live on a running
+// system instead of only in one-shot benchmarks. Instrumentation is
+// designed for hot paths: recording into a counter is one atomic add, and
+// a histogram observation is a binary search plus two atomic operations.
+// The documented overhead budget for the client's result-cache hit path
+// is OverheadBudget (the paper reports a 1.3 µs P99 for that path).
+//
+// All constructors are get-or-create: asking a Registry for the same
+// (name, labels) twice returns the same metric, so independent components
+// can share a registry without coordination. A nil *Registry is valid and
+// returns no-op metrics, as does NewNopRegistry; this is how
+// instrumented code runs with observability disabled.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OverheadBudget is the documented instrumentation budget for the
+// client's result-cache hit path: the paper's 1.3 µs P99 leaves room for
+// at most this much added latency per prediction. BenchmarkObsOverhead
+// (repo root) asserts the measured delta stays under it.
+const OverheadBudget = 100 * time.Nanosecond
+
+// Kind identifies a metric family's type.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// MarshalJSON encodes the kind as its Prometheus TYPE name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a Prometheus TYPE name back into a Kind.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"counter"`:
+		*k = KindCounter
+	case `"gauge"`:
+		*k = KindGauge
+	case `"histogram"`:
+		*k = KindHistogram
+	default:
+		return fmt.Errorf("obs: unknown metric kind %s", data)
+	}
+	return nil
+}
+
+// Label is one name=value pair attached to a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Registry holds named metric families. The zero value is not usable;
+// call NewRegistry. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+
+	spanMu    sync.RWMutex
+	spanHooks []func(SpanEvent)
+
+	nop bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// NewNopRegistry creates a registry whose metrics discard every update
+// and whose Gather returns nothing. Use it to run instrumented code with
+// observability disabled (e.g. to measure instrumentation overhead).
+func NewNopRegistry() *Registry {
+	return &Registry{nop: true}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil && !r.nop }
+
+// family is one named metric family; children are the per-label-set
+// metrics.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histogram bucket upper bounds
+
+	mu       sync.RWMutex
+	children map[string]*child
+	order    []string
+}
+
+// child is one metric instance within a family. Exactly one of the value
+// fields is set, matching the family kind (gauges may instead be backed
+// by a callback).
+type child struct {
+	labels  []Label
+	counter *counter
+	gauge   *gauge
+	gaugeFn func() float64
+	hist    *histogram
+}
+
+// Counter is a monotonically increasing counter.
+type Counter interface {
+	Inc()
+	Add(n uint64)
+	Value() uint64
+}
+
+// Gauge is a value that can go up and down.
+type Gauge interface {
+	Set(v float64)
+	Add(d float64)
+	Value() float64
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram interface {
+	// Observe records one value (for latency histograms, in seconds).
+	Observe(v float64)
+	// ObserveSince records the elapsed time since start, in seconds.
+	ObserveSince(start time.Time)
+	// Snapshot returns a point-in-time copy of the buckets. Under
+	// concurrent writes the copy is weakly consistent (counts and sum may
+	// disagree by in-flight observations).
+	Snapshot() HistSnapshot
+}
+
+// Counter returns the counter with the given name and labels, creating
+// it on first use. Labels are alternating key, value strings. A nil or
+// no-op registry returns a discarding counter.
+func (r *Registry) Counter(name, help string, labels ...string) Counter {
+	if r == nil || r.nop {
+		return nopCounter{}
+	}
+	return r.getFamily(name, help, KindCounter, nil).get(labels).counter
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...string) Gauge {
+	if r == nil || r.nop {
+		return nopGauge{}
+	}
+	return r.getFamily(name, help, KindGauge, nil).get(labels).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at gather
+// time (for values that already live elsewhere, like a cache size). The
+// first registration for a (name, labels) pair wins; later calls are
+// no-ops, so restarted components can re-register safely.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil || r.nop || fn == nil {
+		return
+	}
+	f := r.getFamily(name, help, KindGauge, nil)
+	c := f.get(labels)
+	f.mu.Lock()
+	if c.gaugeFn == nil {
+		c.gaugeFn = fn
+	}
+	f.mu.Unlock()
+}
+
+// Histogram returns the histogram with the given name, bucket bounds and
+// labels, creating it on first use. The family's bounds are fixed by the
+// first call; later calls may pass nil to reuse them. Passing nil bounds
+// on the first call uses DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) Histogram {
+	if r == nil || r.nop {
+		return nopHistogram{}
+	}
+	return r.getFamily(name, help, KindHistogram, bounds).get(labels).hist
+}
+
+// getFamily returns the named family, creating it on first use and
+// panicking on a kind mismatch (programmer error, like prometheus
+// MustRegister).
+func (r *Registry) getFamily(name, help string, kind Kind, bounds []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		if err := checkMetricName(name); err != nil {
+			panic("obs: " + err.Error())
+		}
+		if kind == KindHistogram {
+			if bounds == nil {
+				bounds = DefaultLatencyBuckets
+			}
+			bounds = checkBounds(name, bounds)
+		}
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{
+				name:     name,
+				help:     help,
+				kind:     kind,
+				bounds:   bounds,
+				children: make(map[string]*child),
+			}
+			r.families[name] = f
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	return f
+}
+
+// get returns the family's child for the label set, creating it on first
+// use.
+func (f *family) get(labelPairs []string) *child {
+	labels, sig := parseLabels(labelPairs)
+	f.mu.RLock()
+	c := f.children[sig]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c = f.children[sig]; c != nil {
+		return c
+	}
+	c = &child{labels: labels}
+	switch f.kind {
+	case KindCounter:
+		c.counter = &counter{}
+	case KindGauge:
+		c.gauge = &gauge{}
+	case KindHistogram:
+		c.hist = newHistogram(f.bounds)
+	}
+	f.children[sig] = c
+	f.order = append(f.order, sig)
+	return c
+}
+
+// parseLabels converts alternating key, value strings into labels plus a
+// lookup signature. Invalid names and odd-length pairs panic
+// (registration-time programmer errors).
+func parseLabels(pairs []string) ([]Label, string) {
+	if len(pairs) == 0 {
+		return nil, ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pair count %d (want key, value, ...)", len(pairs)))
+	}
+	labels := make([]Label, 0, len(pairs)/2)
+	sig := ""
+	for i := 0; i < len(pairs); i += 2 {
+		k, v := pairs[i], pairs[i+1]
+		if err := checkLabelName(k); err != nil {
+			panic("obs: " + err.Error())
+		}
+		labels = append(labels, Label{Key: k, Value: v})
+		sig += k + "\x00" + v + "\x00"
+	}
+	return labels, sig
+}
+
+// checkMetricName enforces the Prometheus metric name charset.
+func checkMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// checkLabelName enforces the Prometheus label name charset.
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty label name")
+	}
+	for i, r := range name {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+	}
+	return nil
+}
+
+// checkBounds validates histogram bucket bounds (strictly increasing,
+// non-empty) and returns a private copy.
+func checkBounds(name string, bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q has no buckets", name))
+	}
+	out := make([]float64, len(bounds))
+	copy(out, bounds)
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("rc_test_total", "help", "k", "v")
+	b := r.Counter("rc_test_total", "help", "k", "v")
+	if a != b {
+		t.Fatal("same (name, labels) should return the same counter")
+	}
+	c := r.Counter("rc_test_total", "help", "k", "other")
+	if a == c {
+		t.Fatal("different labels should return a different counter")
+	}
+	a.Inc()
+	a.Add(4)
+	if got := b.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if c.Value() != 0 {
+		t.Fatalf("sibling counter = %d, want 0", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rc_test_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("rc_test_gauge", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value = %g, want 1.5", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("rc_test_fn", "", func() float64 { n++; return n })
+	fams := r.Gather()
+	if len(fams) != 1 || len(fams[0].Samples) != 1 {
+		t.Fatalf("Gather = %+v", fams)
+	}
+	if fams[0].Samples[0].Value != 42 {
+		t.Fatalf("value = %g, want 42", fams[0].Samples[0].Value)
+	}
+	// First registration wins; a second callback must not replace it.
+	r.GaugeFunc("rc_test_fn", "", func() float64 { return -1 })
+	if v := r.Gather()[0].Samples[0].Value; v != 43 {
+		t.Fatalf("after re-register: value = %g, want 43", v)
+	}
+}
+
+func TestNilAndNopRegistries(t *testing.T) {
+	var nilReg *Registry
+	for name, r := range map[string]*Registry{"nil": nilReg, "nop": NewNopRegistry()} {
+		if r.Enabled() {
+			t.Errorf("%s: Enabled() = true", name)
+		}
+		c := r.Counter("x", "")
+		c.Inc()
+		if c.Value() != 0 {
+			t.Errorf("%s: nop counter recorded", name)
+		}
+		g := r.Gauge("x2", "")
+		g.Set(3)
+		if g.Value() != 0 {
+			t.Errorf("%s: nop gauge recorded", name)
+		}
+		h := r.Histogram("x3", "", nil)
+		h.Observe(1)
+		if h.Snapshot().Count != 0 {
+			t.Errorf("%s: nop histogram recorded", name)
+		}
+		if got := r.Gather(); got != nil {
+			t.Errorf("%s: Gather = %v, want nil", name, got)
+		}
+		if sp := r.StartSpan("s"); sp.End() != 0 {
+			t.Errorf("%s: nop span measured time", name)
+		}
+	}
+	if !NewRegistry().Enabled() {
+		t.Error("real registry: Enabled() = false")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rc_test_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("rc_test_total", "")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	cases := []func(r *Registry){
+		func(r *Registry) { r.Counter("", "") },
+		func(r *Registry) { r.Counter("bad name", "") },
+		func(r *Registry) { r.Counter("0starts_with_digit", "") },
+		func(r *Registry) { r.Counter("ok_name", "", "odd") },
+		func(r *Registry) { r.Counter("ok_name", "", "bad key", "v") },
+		func(r *Registry) { r.Histogram("rc_h", "", []float64{2, 1}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn(NewRegistry())
+		}()
+	}
+}
+
+func TestSpanHooksAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rc_span_seconds", "", nil)
+	var events []SpanEvent
+	r.OnSpanEnd(func(e SpanEvent) { events = append(events, e) })
+
+	sp := r.StartSpan("stage")
+	time.Sleep(time.Millisecond)
+	d := sp.End(h)
+	if d < time.Millisecond {
+		t.Fatalf("duration = %v, want >= 1ms", d)
+	}
+	if len(events) != 1 || events[0].Name != "stage" || events[0].Duration != d {
+		t.Fatalf("events = %+v", events)
+	}
+	if s := h.Snapshot(); s.Count != 1 || s.Sum < 0.001 {
+		t.Fatalf("histogram = %+v", s)
+	}
+}
+
+func TestRegistrySnapshotLookup(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rc_lat_seconds", "", nil, "result", "hit")
+	h.Observe(0.5)
+	s, ok := r.Snapshot("rc_lat_seconds", "result", "hit")
+	if !ok || s.Count != 1 {
+		t.Fatalf("Snapshot = %+v, %v", s, ok)
+	}
+	if _, ok := r.Snapshot("rc_lat_seconds", "result", "miss"); ok {
+		t.Fatal("unexpected snapshot for unregistered labels")
+	}
+	if _, ok := r.Snapshot("rc_nope"); ok {
+		t.Fatal("unexpected snapshot for unregistered family")
+	}
+}
+
+func TestConcurrentRegistrationAndGather(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("rc_conc_total", "", "worker", string(rune('a'+i))).Inc()
+				r.Histogram("rc_conc_seconds", "", nil).Observe(0.001)
+				r.GaugeFunc("rc_conc_fn", "", func() float64 { return 1 })
+				_ = r.Gather()
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total uint64
+	for _, fam := range r.Gather() {
+		if fam.Name == "rc_conc_total" {
+			for _, s := range fam.Samples {
+				total += uint64(s.Value)
+			}
+		}
+	}
+	if total != 800 {
+		t.Fatalf("total = %d, want 800", total)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import "time"
+
+// SpanEvent describes one completed span (a named timed region, e.g. a
+// pipeline stage or a store fetch).
+type SpanEvent struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// OnSpanEnd registers a tracing hook invoked synchronously whenever a
+// span started from this registry ends. Hooks must be fast and must not
+// start spans themselves.
+func (r *Registry) OnSpanEnd(fn func(SpanEvent)) {
+	if r == nil || r.nop || fn == nil {
+		return
+	}
+	r.spanMu.Lock()
+	r.spanHooks = append(r.spanHooks, fn)
+	r.spanMu.Unlock()
+}
+
+// Span is a lightweight in-flight timed region. The zero Span (from a
+// nil or no-op registry) is inert: End returns 0 without reading the
+// clock.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a named span. Ending it fires the registry's span
+// hooks and optionally records the duration into histograms.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil || r.nop {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End finishes the span, observes the elapsed seconds into each given
+// histogram, fires the registry's span hooks, and returns the duration.
+func (s Span) End(hists ...Histogram) time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	sec := d.Seconds()
+	for _, h := range hists {
+		if h != nil {
+			h.Observe(sec)
+		}
+	}
+	s.r.spanMu.RLock()
+	hooks := s.r.spanHooks
+	s.r.spanMu.RUnlock()
+	for _, fn := range hooks {
+		fn(SpanEvent{Name: s.name, Start: s.start, Duration: d})
+	}
+	return d
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"testing"
+
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/store"
+	"resourcecentral/internal/synth"
+)
+
+// TestRunInstrumented checks the offline pipeline reports per-stage
+// durations and row counts.
+func TestRunInstrumented(t *testing.T) {
+	gen, err := synth.Generate(func() synth.Config {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 9
+		cfg.TargetVMs = 1500
+		cfg.MaxDeploymentVMs = 150
+		cfg.Seed = 7
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	res, err := Run(gen.Trace, Config{
+		TrainCutoff:    gen.Trace.Horizon * 2 / 3,
+		ForestTrees:    4,
+		ForestMaxDepth: 6,
+		GBTRounds:      4,
+		Seed:           1,
+		Obs:            reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stage := range []string{"featuredata", "extract", "train", "run"} {
+		snap, ok := reg.Snapshot("rc_pipeline_stage_seconds", "stage", stage)
+		if !ok || snap.Count != 1 {
+			t.Errorf("stage %q: count = %d (ok=%v), want 1", stage, snap.Count, ok)
+		}
+	}
+	for _, m := range metric.All {
+		snap, ok := reg.Snapshot("rc_pipeline_train_seconds", "metric", m.String())
+		if !ok || snap.Count != 1 {
+			t.Errorf("train %s: count = %d (ok=%v), want 1", m, snap.Count, ok)
+		}
+	}
+
+	values := map[string]map[string]float64{} // family -> label sig -> value
+	for _, fam := range reg.Gather() {
+		values[fam.Name] = map[string]float64{}
+		for _, s := range fam.Samples {
+			sig := ""
+			for _, l := range s.Labels {
+				sig += l.Key + "=" + l.Value + ";"
+			}
+			values[fam.Name][sig] = s.Value
+		}
+	}
+	if got := values["rc_pipeline_runs_total"][""]; got != 1 {
+		t.Errorf("runs_total = %g", got)
+	}
+	if got := values["rc_pipeline_feature_records"][""]; got != float64(len(res.Features)) {
+		t.Errorf("feature_records = %g, want %d", got, len(res.Features))
+	}
+	if got := values["rc_pipeline_feature_bytes"][""]; got != float64(res.FeatureDataBytes) {
+		t.Errorf("feature_bytes = %g, want %d", got, res.FeatureDataBytes)
+	}
+	trainRows := values["rc_pipeline_samples_total"]["window=train;metric="+metric.AvgCPU.String()+";"]
+	if trainRows <= 0 {
+		t.Errorf("train sample rows = %g, want > 0", trainRows)
+	}
+
+	// Publish with a registry records the publish stage and record count.
+	st := store.New()
+	if err := Publish(st, res, reg); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := reg.Snapshot("rc_pipeline_stage_seconds", "stage", "publish")
+	if !ok || snap.Count != 1 {
+		t.Errorf("publish stage count = %d (ok=%v)", snap.Count, ok)
+	}
+	wantRecords := float64(len(metric.All) + 1 + len(res.Features))
+	if got := values["rc_pipeline_published_records_total"]; got != nil {
+		t.Errorf("published before Publish: %v", got)
+	}
+	var published float64
+	for _, fam := range reg.Gather() {
+		if fam.Name == "rc_pipeline_published_records_total" {
+			published = fam.Samples[0].Value
+		}
+	}
+	if published != wantRecords {
+		t.Errorf("published records = %g, want %g", published, wantRecords)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"resourcecentral/internal/ml/forest"
 	"resourcecentral/internal/ml/gbt"
 	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
 	"resourcecentral/internal/store"
 	"resourcecentral/internal/trace"
 )
@@ -52,6 +53,17 @@ type Config struct {
 	// ablation for the paper's claim that the subscription's bucket
 	// history is the most important attribute.
 	DisableSubscriptionFeatures bool
+	// Obs receives per-stage durations and row counts (nil disables
+	// instrumentation).
+	Obs *obs.Registry
+}
+
+// stageHist returns the per-stage duration histogram for one stage of
+// the extract→publish workflow.
+func stageHist(reg *obs.Registry, stage string) obs.Histogram {
+	return reg.Histogram("rc_pipeline_stage_seconds",
+		"Offline pipeline stage durations in seconds.",
+		obs.DefaultDurationBuckets, "stage", stage)
 }
 
 func (c Config) withDefaults() Config {
@@ -120,7 +132,12 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		return nil, errors.New("pipeline: empty trace")
 	}
 
+	reg := cfg.Obs
+	runSpan := reg.StartSpan("pipeline.run")
+	reg.Counter("rc_pipeline_runs_total", "Offline pipeline runs started.").Inc()
+
 	// Feature-data generation over the training window.
+	span := reg.StartSpan("pipeline.featuredata")
 	feats, err := featuredata.Build(tr, cfg.TrainCutoff, cfg.Detector)
 	if err != nil {
 		return nil, err
@@ -129,11 +146,25 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	span.End(stageHist(reg, "featuredata"))
+	reg.Gauge("rc_pipeline_feature_records",
+		"Per-subscription feature records produced by the last run.").Set(float64(len(feats)))
+	reg.Gauge("rc_pipeline_feature_bytes",
+		"Encoded size of the last run's full feature dataset (Table 1).").Set(float64(len(encoded)))
 
 	// Extraction: training and test samples for every metric.
+	span = reg.StartSpan("pipeline.extract")
 	ext := newExtractor(tr, cfg)
 	trainSamples := ext.collect(0, cfg.TrainCutoff)
 	testSamples := ext.collect(cfg.TrainCutoff, tr.Horizon)
+	span.End(stageHist(reg, "extract"))
+	for _, m := range metric.All {
+		reg.Counter("rc_pipeline_samples_total",
+			"Samples extracted from the trace, by window and metric.",
+			"window", "train", "metric", m.String()).Add(uint64(len(trainSamples[m])))
+		reg.Counter("rc_pipeline_samples_total", "",
+			"window", "test", "metric", m.String()).Add(uint64(len(testSamples[m])))
+	}
 
 	// Categorical vocabularies come from the training window only.
 	var roles, oses []string
@@ -156,12 +187,17 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	errs := make([]error, len(metric.All))
+	trainSpan := reg.StartSpan("pipeline.train")
 	for i, m := range metric.All {
 		wg.Add(1)
 		go func(i int, m metric.Metric) {
 			defer wg.Done()
+			sp := reg.StartSpan("pipeline.train." + m.String())
 			mr, err := trainOne(m, cfg, roles, oses, feats,
 				trainSamples[m], testSamples[m])
+			sp.End(reg.Histogram("rc_pipeline_train_seconds",
+				"Per-metric train+validate duration in seconds.",
+				obs.DefaultDurationBuckets, "metric", m.String()))
 			if err != nil {
 				errs[i] = fmt.Errorf("pipeline: %s: %w", m, err)
 				return
@@ -172,11 +208,13 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		}(i, m)
 	}
 	wg.Wait()
+	trainSpan.End(stageHist(reg, "train"))
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	runSpan.End(stageHist(reg, "run"))
 	return res, nil
 }
 
@@ -292,7 +330,20 @@ func SubFeatureKey(subscription string) string { return "featuredata/sub/" + sub
 
 // Publish writes the trained models and feature data to the store with
 // fresh versions, triggering push notifications to subscribed clients.
-func Publish(st *store.Store, res *Result) error {
+// An optional registry records the publish stage duration and record
+// count (the store's own metrics cover per-record sizes).
+func Publish(st *store.Store, res *Result, obsReg ...*obs.Registry) error {
+	var reg *obs.Registry
+	if len(obsReg) > 0 {
+		reg = obsReg[0]
+	}
+	span := reg.StartSpan("pipeline.publish")
+	records := 0
+	defer func() {
+		span.End(stageHist(reg, "publish"))
+		reg.Counter("rc_pipeline_published_records_total",
+			"Records written to the store by Publish.").Add(uint64(records))
+	}()
 	for _, m := range metric.All {
 		mr, ok := res.ByMetric[m]
 		if !ok {
@@ -308,6 +359,7 @@ func Publish(st *store.Store, res *Result) error {
 		if _, err := st.Put(ModelKey(m), data); err != nil {
 			return err
 		}
+		records++
 	}
 	all, err := featuredata.EncodeSet(res.Features)
 	if err != nil {
@@ -316,6 +368,7 @@ func Publish(st *store.Store, res *Result) error {
 	if _, err := st.Put(FeatureSetKey, all); err != nil {
 		return err
 	}
+	records++
 	for sub, f := range res.Features {
 		rec, err := featuredata.EncodeRecord(f)
 		if err != nil {
@@ -324,6 +377,7 @@ func Publish(st *store.Store, res *Result) error {
 		if _, err := st.Put(SubFeatureKey(sub), rec); err != nil {
 			return err
 		}
+		records++
 	}
 	return nil
 }

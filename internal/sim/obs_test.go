@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/obs"
+)
+
+// TestRunInstrumented checks the simulation reports arrival/placement
+// counters, rule-evaluation counts, and a placement rate.
+func TestRunInstrumented(t *testing.T) {
+	tr := loadTrace(t)
+	reg := obs.NewRegistry()
+	res, err := Run(tr, Config{Cluster: clusterConfig(cluster.Baseline, 2000), Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	values := map[string]map[string]float64{}
+	for _, fam := range reg.Gather() {
+		values[fam.Name] = map[string]float64{}
+		for _, s := range fam.Samples {
+			sig := ""
+			for _, l := range s.Labels {
+				sig += l.Key + "=" + l.Value + ";"
+			}
+			values[fam.Name][sig] = s.Value
+		}
+	}
+
+	if got := values["rc_sim_arrivals_total"][""]; got != float64(res.Arrivals) {
+		t.Errorf("arrivals metric = %g, want %d", got, res.Arrivals)
+	}
+	if got := values["rc_sim_placements_total"][""]; got != float64(res.Placed) {
+		t.Errorf("placements metric = %g, want %d", got, res.Placed)
+	}
+	if got := values["rc_sim_failures_total"][""]; got != float64(res.Failures) {
+		t.Errorf("failures metric = %g, want %d", got, res.Failures)
+	}
+	// Every Schedule call evaluates the admission rule; spread and
+	// packing only run when candidates exist (all of them here, since
+	// nothing failed).
+	if got := values["rc_sim_rule_evaluations_total"]["rule=admission;"]; got != float64(res.Arrivals) {
+		t.Errorf("admission evaluations = %g, want %d", got, res.Arrivals)
+	}
+	if got := values["rc_sim_rule_evaluations_total"]["rule=packing;"]; got != float64(res.Placed) {
+		t.Errorf("packing evaluations = %g, want %d", got, res.Placed)
+	}
+	if got := values["rc_sim_placements_per_second"][""]; got <= 0 {
+		t.Errorf("placements/sec = %g, want > 0", got)
+	}
+	if snap, ok := reg.Snapshot("rc_sim_run_seconds"); !ok || snap.Count != 1 {
+		t.Errorf("run_seconds count = %d (ok=%v)", snap.Count, ok)
+	}
+}
+
+// TestRunUninstrumented ensures a nil registry stays the fast path.
+func TestRunUninstrumented(t *testing.T) {
+	tr := loadTrace(t)
+	if _, err := Run(tr, Config{Cluster: clusterConfig(cluster.Baseline, 2000)}); err != nil {
+		t.Fatal(err)
+	}
+}

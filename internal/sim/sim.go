@@ -13,6 +13,7 @@ import (
 
 	"resourcecentral/internal/cluster"
 	"resourcecentral/internal/metric"
+	"resourcecentral/internal/obs"
 	"resourcecentral/internal/trace"
 )
 
@@ -49,6 +50,10 @@ type Config struct {
 	// LifetimePredictor enables lifetime-aware co-location when the
 	// cluster's LifetimeAware flag is set.
 	LifetimePredictor LifetimePredictor
+	// Obs receives simulation metrics: arrivals/placements/failures,
+	// rule-evaluation counts by rule, predictor calls, and the
+	// placements-per-second rate of the run (nil disables them).
+	Obs *obs.Registry
 }
 
 // Result summarizes one run.
@@ -95,6 +100,30 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if cfg.UtilScale == 0 {
 		cfg.UtilScale = 1
 	}
+	reg := cfg.Obs
+	runSpan := reg.StartSpan("sim.run")
+	arrivals := reg.Counter("rc_sim_arrivals_total", "VM arrivals simulated.")
+	placements := reg.Counter("rc_sim_placements_total", "VMs placed by the scheduler.")
+	failures := reg.Counter("rc_sim_failures_total", "Scheduling failures.")
+	predictions := reg.Counter("rc_sim_predictions_total",
+		"Predictor calls made by the simulation, by kind.", "kind", "p95cpu")
+	lifetimePreds := reg.Counter("rc_sim_predictions_total", "", "kind", "lifetime")
+	if reg.Enabled() {
+		ruleCounters := map[string]obs.Counter{}
+		for _, rule := range []string{"admission", "spread", "lifetime", "packing"} {
+			ruleCounters[rule] = reg.Counter("rc_sim_rule_evaluations_total",
+				"Scheduler rule-chain evaluations, by rule.", "rule", rule)
+		}
+		prev := cfg.Cluster.RuleHook
+		cfg.Cluster.RuleHook = func(rule string) {
+			if c, ok := ruleCounters[rule]; ok {
+				c.Inc()
+			}
+			if prev != nil {
+				prev(rule)
+			}
+		}
+	}
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
@@ -129,13 +158,18 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		}
 
 		res.Arrivals++
+		arrivals.Inc()
 		req := &cluster.Request{
 			VM:         v,
 			Production: v.Production,
 			Deployment: v.Deployment,
 		}
 		req.PredUtilCores = c95Cores(v, cfg, deployRequested[v.Deployment])
+		if cfg.Predictor != nil {
+			predictions.Inc()
+		}
 		if cfg.LifetimePredictor != nil {
+			lifetimePreds.Inc()
 			if b, score, ok := cfg.LifetimePredictor.PredictLifetimeBucket(v, deployRequested[v.Deployment]); ok && score >= cfg.ConfidenceThreshold {
 				req.PredEndTime = v.Created + trace.Minutes(metric.Lifetime.BucketHigh(b))
 			}
@@ -144,6 +178,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		server, ok := cl.Schedule(req)
 		if !ok {
 			res.Failures++
+			failures.Inc()
 			if req.Production {
 				res.FailuresProd++
 			} else {
@@ -152,6 +187,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			continue
 		}
 		res.Placed++
+		placements.Inc()
 
 		end := v.Deleted
 		if end > tr.Horizon {
@@ -183,6 +219,12 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	}
 	res.AvgUtilizationPct = sum / float64(len(series)*intervals)
 	res.FailureRate = float64(res.Failures) / float64(res.Arrivals)
+	if d := runSpan.End(reg.Histogram("rc_sim_run_seconds",
+		"Wall time of one simulation run.", obs.DefaultDurationBuckets)); d > 0 {
+		reg.Gauge("rc_sim_placements_per_second",
+			"Placement throughput of the most recent run.").
+			Set(float64(res.Placed) / d.Seconds())
+	}
 	return res, nil
 }
 

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"resourcecentral/internal/obs"
+)
+
+func TestStoreInstrumented(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.Instrument(reg)
+
+	// One subscriber with a full channel to exercise the dropped-notification
+	// counter alongside a healthy one.
+	healthy := make(chan Notification, 4)
+	full := make(chan Notification) // unbuffered, never read
+	s.Subscribe(healthy)
+	s.Subscribe(full)
+
+	if _, err := s.Put("model/x", make([]byte, 850)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("model/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("missing"); err == nil {
+		t.Fatal("expected not-found")
+	}
+	s.SetAvailable(false)
+	if _, err := s.Get("model/x"); err == nil {
+		t.Fatal("expected unavailable")
+	}
+	s.SetAvailable(true)
+
+	counts := map[string]float64{}
+	gauges := map[string]float64{}
+	for _, fam := range reg.Gather() {
+		for _, sm := range fam.Samples {
+			if sm.Histogram == nil {
+				counts[fam.Name] = sm.Value
+				gauges[fam.Name] = sm.Value
+			}
+		}
+	}
+	for name, want := range map[string]float64{
+		"rc_store_puts_total":                  1,
+		"rc_store_gets_total":                  2, // hit + not-found (store was up)
+		"rc_store_get_errors_total":            2, // not-found + unavailable
+		"rc_store_notifications_sent_total":    1,
+		"rc_store_notifications_dropped_total": 1,
+		"rc_store_keys":                        1,
+		"rc_store_subscribers":                 2,
+	} {
+		if counts[name] != want {
+			t.Errorf("%s = %g, want %g", name, counts[name], want)
+		}
+	}
+
+	bytesSnap, ok := reg.Snapshot("rc_store_record_bytes")
+	if !ok || bytesSnap.Count != 1 || bytesSnap.Sum != 850 {
+		t.Errorf("record bytes = %+v (ok=%v)", bytesSnap, ok)
+	}
+	latSnap, ok := reg.Snapshot("rc_store_get_seconds")
+	if !ok || latSnap.Count != 2 {
+		t.Errorf("get seconds = %+v (ok=%v)", latSnap, ok)
+	}
+}
+
+// TestStoreLatencyHistogramMatchesModel checks the exposed pull-latency
+// histogram reproduces the injected Section 6.1 distribution (median
+// 2.9 ms) without sleeping.
+func TestStoreLatencyHistogramMatchesModel(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.Instrument(reg)
+	s.Latency = LatencyModel{Median: 2900 * time.Microsecond, P99: 5600 * time.Microsecond}
+	if _, err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := s.Get("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, ok := reg.Snapshot("rc_store_get_seconds")
+	if !ok || snap.Count != 2000 {
+		t.Fatalf("snapshot = %+v (ok=%v)", snap, ok)
+	}
+	p50 := snap.Quantile(0.5)
+	if p50 < 2e-3 || p50 > 4e-3 {
+		t.Errorf("P50 = %.4gs, want ~2.9ms", p50)
+	}
+	p99 := snap.Quantile(0.99)
+	if p99 < 4e-3 || p99 > 9e-3 {
+		t.Errorf("P99 = %.4gs, want ~5.6ms", p99)
+	}
+}
+
+func TestUninstrumentedStoreStillWorks(t *testing.T) {
+	s := New()
+	if _, err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+}
