@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"resourcecentral/internal/model"
+)
+
+// benchClient builds a push-mode client over the shared fixture.
+func benchClient(b *testing.B) (*Client, *model.ClientInputs) {
+	b.Helper()
+	c := newPushClient(b, publishedStore(b))
+	return c, knownInputs(b)
+}
+
+// BenchmarkPredictSingleParallel measures the prediction path under
+// GOMAXPROCS-way concurrency — the Section 6.1 scenario of a VM scheduler
+// issuing predictions from many allocation threads at once. "hit" is the
+// result-cache fast path (the paper's 1.3 µs P99); "miss" forces a model
+// execution per request by making every request's inputs unique.
+func BenchmarkPredictSingleParallel(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		c, in := benchClient(b)
+		if _, err := c.PredictSingle("lifetime", in); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				p, err := c.PredictSingle("lifetime", in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !p.OK {
+					b.Fatal(p.Reason)
+				}
+			}
+		})
+	})
+	b.Run("miss", func(b *testing.B) {
+		c, base := benchClient(b)
+		var ctr atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			in := *base
+			for pb.Next() {
+				// Unique RequestedVMs per request → unique cache key.
+				in.RequestedVMs = int(ctr.Add(1))
+				p, err := c.PredictSingle("lifetime", &in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !p.OK {
+					b.Fatal(p.Reason)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkPredictMany measures the batch path with a scheduler-shaped
+// batch: 256 requests, 7/8 of which repeat earlier inputs (cache hits)
+// and 1/8 are new deployments (misses on the first iteration, hits after).
+func BenchmarkPredictMany(b *testing.B) {
+	for _, size := range []int{16, 256} {
+		b.Run(strconv.Itoa(size), func(b *testing.B) {
+			c, base := benchClient(b)
+			ins := make([]*model.ClientInputs, size)
+			for i := range ins {
+				in := *base
+				in.RequestedVMs = i%(size/8+1) + 1
+				ins[i] = &in
+			}
+			if _, err := c.PredictMany("lifetime", ins); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				preds, err := c.PredictMany("lifetime", ins)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(preds) != size {
+					b.Fatal("short batch")
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resourcecentral/internal/featuredata"
@@ -100,20 +101,21 @@ type Stats struct {
 	DiskHits      uint64
 }
 
-type resultEntry struct {
-	bucket int
-	score  float64
-}
-
 // Client is the thread-safe RC client library.
 type Client struct {
 	cfg Config
 
+	// mu guards the model and feature caches only; the result cache has
+	// its own per-shard locks, so a prediction served from cache never
+	// contends with model/feature updates.
 	mu       sync.RWMutex
 	models   map[string]*model.Trained
 	features map[string]*featuredata.SubscriptionFeatures
-	results  map[uint64]resultEntry
-	inited   bool
+
+	// results is the sharded prediction-result cache.
+	results *resultCache
+
+	inited atomic.Bool
 
 	// obs holds the registry-backed atomic counters and latency
 	// histograms; hot paths record without taking mu.
@@ -123,8 +125,10 @@ type Client struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
-	// fetchQ carries background fetch requests in PullAsync mode;
-	// inflight deduplicates them.
+	// fetchMu guards the PullAsync background-fetch state (fetchQ and the
+	// inflight dedup map). It is separate from mu so enqueueing a
+	// background fetch never touches the prediction locks.
+	fetchMu  sync.Mutex
 	fetchQ   chan string
 	inflight map[string]bool
 }
@@ -147,7 +151,7 @@ func New(cfg Config) (*Client, error) {
 		cfg:      cfg,
 		models:   make(map[string]*model.Trained),
 		features: make(map[string]*featuredata.SubscriptionFeatures),
-		results:  make(map[uint64]resultEntry),
+		results:  newResultCache(cfg.ResultCacheCap),
 		done:     make(chan struct{}),
 		inflight: make(map[string]bool),
 		obs:      newClientMetrics(cfg.Obs),
@@ -162,13 +166,9 @@ func (c *Client) Obs() *obs.Registry { return c.cfg.Obs }
 // Initialize loads caches and, in push mode, subscribes to store updates
 // (Table 2: initialize).
 func (c *Client) Initialize() error {
-	c.mu.Lock()
-	if c.inited {
-		c.mu.Unlock()
+	if !c.inited.CompareAndSwap(false, true) {
 		return errors.New("core: already initialized")
 	}
-	c.inited = true
-	c.mu.Unlock()
 
 	switch c.cfg.Mode {
 	case Push:
@@ -180,11 +180,11 @@ func (c *Client) Initialize() error {
 		c.wg.Add(1)
 		go c.pushLoop()
 	case PullAsync:
-		// Under mu: the fetch-queue-depth gauge may read c.fetchQ
+		// Under fetchMu: the fetch-queue-depth gauge may read c.fetchQ
 		// concurrently.
-		c.mu.Lock()
+		c.fetchMu.Lock()
 		c.fetchQ = make(chan string, 4096)
-		c.mu.Unlock()
+		c.fetchMu.Unlock()
 		c.wg.Add(1)
 		go c.fetchLoop()
 	}
@@ -200,9 +200,9 @@ func (c *Client) fetchLoop() {
 			return
 		case key := <-c.fetchQ:
 			c.backgroundFetch(key)
-			c.mu.Lock()
+			c.fetchMu.Lock()
 			delete(c.inflight, key)
-			c.mu.Unlock()
+			c.fetchMu.Unlock()
 		}
 	}
 }
@@ -228,22 +228,23 @@ func (c *Client) backgroundFetch(key string) {
 	}
 }
 
-// enqueueFetch schedules a background fetch if one is not in flight.
+// enqueueFetch schedules a background fetch if one is not in flight. It
+// only takes the small fetchMu, never the prediction locks.
 func (c *Client) enqueueFetch(key string) {
-	c.mu.Lock()
+	c.fetchMu.Lock()
 	if c.inflight[key] {
-		c.mu.Unlock()
+		c.fetchMu.Unlock()
 		return
 	}
 	c.inflight[key] = true
-	c.mu.Unlock()
+	c.fetchMu.Unlock()
 	select {
 	case c.fetchQ <- key:
 	default:
 		// Queue full: drop; the next miss re-enqueues.
-		c.mu.Lock()
+		c.fetchMu.Lock()
 		delete(c.inflight, key)
-		c.mu.Unlock()
+		c.fetchMu.Unlock()
 	}
 }
 
@@ -304,9 +305,12 @@ func (c *Client) loadModel(name string) error {
 	}
 	c.mu.Lock()
 	c.models[name] = trained
-	// Models changed; cached results may be stale.
-	c.results = make(map[uint64]resultEntry)
 	c.mu.Unlock()
+	// Only this model's cached results are stale; every other model's
+	// entries survive the reload, so a Pull-mode miss storm on one model
+	// cannot wipe the whole result cache.
+	c.results.invalidateModel(name)
+	c.obs.invalidations.Inc()
 	return nil
 }
 
@@ -322,8 +326,9 @@ func (c *Client) loadFeatureSet() error {
 	}
 	c.mu.Lock()
 	c.features = set
-	c.results = make(map[uint64]resultEntry)
 	c.mu.Unlock()
+	// Feature data feeds every model, so all cached results are stale.
+	c.results.clear()
 	return nil
 }
 
@@ -406,90 +411,97 @@ func (c *Client) PredictSingle(modelName string, in *model.ClientInputs) (Predic
 	if in == nil {
 		return Prediction{}, errors.New("core: nil client inputs")
 	}
-	key := in.CacheKey(modelName)
-	c.mu.RLock()
-	if !c.inited {
-		c.mu.RUnlock()
+	if !c.inited.Load() {
 		return Prediction{}, errors.New("core: client not initialized")
 	}
-	if entry, ok := c.results[key]; ok {
-		c.mu.RUnlock()
+	key := in.CacheKey(modelName)
+	if entry, ok := c.results.get(key); ok {
 		c.obs.resultHits.Inc()
 		c.obs.predictHit.ObserveSince(start)
 		return Prediction{OK: true, Bucket: entry.bucket, Score: entry.score, FromResultCache: true}, nil
 	}
+	c.obs.resultMisses.Inc()
+
+	c.mu.RLock()
 	trained := c.models[modelName]
 	sub := c.features[in.Subscription]
 	c.mu.RUnlock()
 
-	c.obs.resultMisses.Inc()
-
-	// Pull mode fetches what is missing on demand; PullAsync returns a
-	// no-prediction and fetches in the background instead.
-	if trained == nil {
-		switch c.cfg.Mode {
-		case Pull:
-			if err := c.loadModel(modelName); err == nil {
-				c.mu.RLock()
-				trained = c.models[modelName]
-				c.mu.RUnlock()
-			}
-		case PullAsync:
-			c.enqueueFetch("model/" + modelName)
-		}
-	}
+	trained = c.resolveModel(trained, modelName)
 	if trained == nil {
 		return c.noPrediction(start, "model "+modelName+" not available"), nil
 	}
-	if sub == nil {
-		switch c.cfg.Mode {
-		case Pull:
-			if data, err := c.fetch(pipeline.SubFeatureKey(in.Subscription)); err == nil {
-				if rec, err := featuredata.DecodeRecord(data); err == nil {
-					c.mu.Lock()
-					c.features[in.Subscription] = rec
-					c.mu.Unlock()
-					sub = rec
-				}
-			}
-		case PullAsync:
-			c.enqueueFetch(pipeline.SubFeatureKey(in.Subscription))
-		}
-	}
+	sub = c.resolveFeatures(sub, in.Subscription)
 	if sub == nil {
 		return c.noPrediction(start, "no feature data for subscription "+in.Subscription), nil
 	}
 
-	execStart := time.Now()
-	x := trained.Spec.Featurize(in, sub, nil)
-	bucket, score, err := trained.Predict(x)
+	bucket, score, _, err := c.execute(trained, modelName, in, sub, nil)
 	if err != nil {
-		return Prediction{}, fmt.Errorf("core: model %s execution: %w", modelName, err)
+		return Prediction{}, err
 	}
-	c.obs.modelExecs.Inc()
-	c.obs.execHist(modelName).ObserveSince(execStart)
-	c.mu.Lock()
-	if len(c.results) >= c.cfg.ResultCacheCap {
-		c.evictLocked()
+	if c.results.put(key, resultEntry{bucket: bucket, score: score, model: modelName}) {
+		c.obs.evictions.Inc()
 	}
-	c.results[key] = resultEntry{bucket: bucket, score: score}
-	c.mu.Unlock()
 	c.obs.predictMiss.ObserveSince(start)
 	return Prediction{OK: true, Bucket: bucket, Score: score}, nil
 }
 
-// evictLocked drops roughly half of the result cache (map iteration order
-// makes this an arbitrary-victim policy; entries are tiny and rebuilt on
-// demand). Caller holds mu.
-func (c *Client) evictLocked() {
-	c.obs.evictions.Inc()
-	target := c.cfg.ResultCacheCap / 2
-	for k := range c.results {
-		if len(c.results) <= target {
-			break
-		}
-		delete(c.results, k)
+// resolveModel applies the cache-mode policy to a model-cache miss: Pull
+// fetches it synchronously, PullAsync schedules a background fetch and
+// answers no-prediction (trained stays nil), Push leaves the miss as-is.
+func (c *Client) resolveModel(trained *model.Trained, modelName string) *model.Trained {
+	if trained != nil {
+		return trained
 	}
+	switch c.cfg.Mode {
+	case Pull:
+		if err := c.loadModel(modelName); err == nil {
+			c.mu.RLock()
+			trained = c.models[modelName]
+			c.mu.RUnlock()
+		}
+	case PullAsync:
+		c.enqueueFetch("model/" + modelName)
+	}
+	return trained
+}
+
+// resolveFeatures applies the cache-mode policy to a feature-cache miss.
+func (c *Client) resolveFeatures(sub *featuredata.SubscriptionFeatures, subscription string) *featuredata.SubscriptionFeatures {
+	if sub != nil {
+		return sub
+	}
+	switch c.cfg.Mode {
+	case Pull:
+		if data, err := c.fetch(pipeline.SubFeatureKey(subscription)); err == nil {
+			if rec, err := featuredata.DecodeRecord(data); err == nil {
+				c.mu.Lock()
+				c.features[subscription] = rec
+				c.mu.Unlock()
+				sub = rec
+			}
+		}
+	case PullAsync:
+		c.enqueueFetch(pipeline.SubFeatureKey(subscription))
+	}
+	return sub
+}
+
+// execute featurizes one input into scratch and runs the model, recording
+// the execution metrics. scratch may be nil; batch paths pass the
+// returned buffer back in to reuse its capacity across the batch.
+func (c *Client) execute(trained *model.Trained, modelName string, in *model.ClientInputs,
+	sub *featuredata.SubscriptionFeatures, scratch []float64) (int, float64, []float64, error) {
+	execStart := time.Now()
+	x := trained.Spec.Featurize(in, sub, scratch[:0])
+	bucket, score, err := trained.Predict(x)
+	if err != nil {
+		return 0, 0, x, fmt.Errorf("core: model %s execution: %w", modelName, err)
+	}
+	c.obs.modelExecs.Inc()
+	c.obs.execHist(modelName).ObserveSince(execStart)
+	return bucket, score, x, nil
 }
 
 func (c *Client) noPrediction(start time.Time, reason string) Prediction {
@@ -500,14 +512,101 @@ func (c *Client) noPrediction(start time.Time, reason string) Prediction {
 
 // PredictMany produces predictions for a batch of inputs (Table 2:
 // predict_many). Entry i of the result corresponds to ins[i].
+//
+// This is a real batch path, not a loop over PredictSingle: the lookup
+// and insert passes visit each cache shard at most once per batch, the
+// featurize scratch buffer is shared across the whole batch, and inputs
+// repeated within the batch execute the model only once (later
+// occurrences are reported as result-cache hits, matching the sequential
+// semantics).
 func (c *Client) PredictMany(modelName string, ins []*model.ClientInputs) ([]Prediction, error) {
+	start := time.Now()
+	if !c.inited.Load() {
+		return nil, errors.New("core: client not initialized")
+	}
 	out := make([]Prediction, len(ins))
+	if len(ins) == 0 {
+		return out, nil
+	}
+	keys := make([]uint64, len(ins))
 	for i, in := range ins {
-		p, err := c.PredictSingle(modelName, in)
+		if in == nil {
+			return nil, fmt.Errorf("core: input %d: nil client inputs", i)
+		}
+		keys[i] = in.CacheKey(modelName)
+	}
+
+	// Lookup pass: each shard's lock is taken at most once for the batch.
+	found := c.results.getBatch(keys, func(i int, e resultEntry) {
+		out[i] = Prediction{OK: true, Bucket: e.bucket, Score: e.score, FromResultCache: true}
+	})
+	if found > 0 {
+		c.obs.resultHits.Add(uint64(found))
+		// The per-item cost of a batched hit is the batch lookup divided
+		// across its hits; recording that per item keeps the hit
+		// histogram's totals comparable with the single-call path.
+		perHit := time.Since(start).Seconds() / float64(found)
+		for i := 0; i < found; i++ {
+			c.obs.predictHit.Observe(perHit)
+		}
+	}
+	if found == len(ins) {
+		return out, nil
+	}
+
+	// Miss pass: resolve the model once for the whole batch, then execute
+	// each distinct missing input with a shared featurize scratch buffer.
+	c.mu.RLock()
+	trained := c.models[modelName]
+	c.mu.RUnlock()
+	trained = c.resolveModel(trained, modelName)
+
+	var scratch []float64
+	computed := make(map[uint64]resultEntry)
+	var inserts []cacheInsert
+	for i := range ins {
+		if out[i].OK {
+			continue // served by the lookup pass
+		}
+		key, in := keys[i], ins[i]
+		if e, ok := computed[key]; ok {
+			// Repeated input within the batch: the first occurrence's
+			// execution serves it, exactly as if it had hit the cache.
+			c.obs.resultHits.Inc()
+			out[i] = Prediction{OK: true, Bucket: e.bucket, Score: e.score, FromResultCache: true}
+			continue
+		}
+		c.obs.resultMisses.Inc()
+		itemStart := time.Now()
+		if trained == nil {
+			out[i] = c.noPrediction(itemStart, "model "+modelName+" not available")
+			continue
+		}
+		c.mu.RLock()
+		sub := c.features[in.Subscription]
+		c.mu.RUnlock()
+		sub = c.resolveFeatures(sub, in.Subscription)
+		if sub == nil {
+			out[i] = c.noPrediction(itemStart, "no feature data for subscription "+in.Subscription)
+			continue
+		}
+		var bucket int
+		var score float64
+		var err error
+		bucket, score, scratch, err = c.execute(trained, modelName, in, sub, scratch)
 		if err != nil {
 			return nil, fmt.Errorf("core: input %d: %w", i, err)
 		}
-		out[i] = p
+		e := resultEntry{bucket: bucket, score: score, model: modelName}
+		computed[key] = e
+		inserts = append(inserts, cacheInsert{key: key, entry: e})
+		out[i] = Prediction{OK: true, Bucket: bucket, Score: score}
+		c.obs.predictMiss.ObserveSince(itemStart)
+	}
+
+	// Insert pass: again one lock acquisition per shard.
+	if evictions := c.results.putBatch(inserts); evictions > 0 {
+		c.obs.evictions.Add(uint64(evictions))
 	}
 	return out, nil
 }
@@ -524,8 +623,8 @@ func (c *Client) FlushCache() error {
 	c.mu.Lock()
 	c.models = make(map[string]*model.Trained)
 	c.features = make(map[string]*featuredata.SubscriptionFeatures)
-	c.results = make(map[uint64]resultEntry)
 	c.mu.Unlock()
+	c.results.clear()
 	if c.cfg.DiskCacheDir != "" {
 		entries, err := os.ReadDir(c.cfg.DiskCacheDir)
 		if err != nil {
@@ -563,8 +662,8 @@ func (c *Client) Stats() Stats {
 
 // ResultCacheLen reports the number of cached prediction results (the
 // Section 6.1 result cache stays small: ~25 MB for a month of requests).
+// The count sums the shards one at a time, so it is weakly consistent
+// under concurrent predictions.
 func (c *Client) ResultCacheLen() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.results)
+	return c.results.len()
 }

@@ -24,7 +24,7 @@ var (
 	fixtureErr    error
 )
 
-func fixture(t *testing.T) (*pipeline.Result, *trace.Trace) {
+func fixture(t testing.TB) (*pipeline.Result, *trace.Trace) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		cfg := synth.DefaultConfig()
@@ -52,7 +52,7 @@ func fixture(t *testing.T) (*pipeline.Result, *trace.Trace) {
 	return fixtureResult, fixtureTrace
 }
 
-func publishedStore(t *testing.T) *store.Store {
+func publishedStore(t testing.TB) *store.Store {
 	t.Helper()
 	res, _ := fixture(t)
 	st := store.New()
@@ -64,7 +64,7 @@ func publishedStore(t *testing.T) *store.Store {
 
 // knownInputs returns client inputs for a subscription that has feature
 // data.
-func knownInputs(t *testing.T) *model.ClientInputs {
+func knownInputs(t testing.TB) *model.ClientInputs {
 	t.Helper()
 	res, tr := fixture(t)
 	for i := range tr.VMs {
@@ -78,7 +78,7 @@ func knownInputs(t *testing.T) *model.ClientInputs {
 	return nil
 }
 
-func newPushClient(t *testing.T, st *store.Store) *Client {
+func newPushClient(t testing.TB, st *store.Store) *Client {
 	t.Helper()
 	c, err := New(Config{Store: st, Mode: Push})
 	if err != nil {

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/model"
+)
+
+// TestConcurrentPredictUnderEviction hammers PredictSingle and
+// PredictMany from GOMAXPROCS goroutines against a tiny result cache, so
+// evictions run constantly, while another goroutine keeps reloading a
+// model (per-model invalidation sweeps). Run under -race this is the
+// regression test for the sharded cache: no prediction may be lost, the
+// accounting must balance, and the cache must respect its bound.
+func TestConcurrentPredictUnderEviction(t *testing.T) {
+	st := publishedStore(t)
+	c, err := New(Config{Store: st, Mode: Push, ResultCacheCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	base := knownInputs(t)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const perWorker = 150
+	const batch = 8
+
+	done := make(chan struct{})
+	var reloadWG sync.WaitGroup
+	reloadWG.Add(1)
+	go func() {
+		defer reloadWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				// Concurrent model reload: invalidates only "lifetime"
+				// entries while predictions keep flowing.
+				if err := c.loadModel("lifetime"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				in := *base
+				in.Cores = (w*perWorker+i)%64 + 1
+				p, err := c.PredictSingle("lifetime", &in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !p.OK {
+					t.Errorf("lost prediction: %s", p.Reason)
+					return
+				}
+				ins := make([]*model.ClientInputs, batch)
+				for j := range ins {
+					bi := *base
+					bi.RequestedVMs = (i+j)%32 + 1
+					ins[j] = &bi
+				}
+				preds, err := c.PredictMany("avg-cpu-util", ins)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j, p := range preds {
+					if !p.OK {
+						t.Errorf("batch[%d] lost prediction: %s", j, p.Reason)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	reloadWG.Wait()
+
+	if n := c.ResultCacheLen(); n > 32 {
+		t.Errorf("result cache grew to %d entries, cap 32", n)
+	}
+	s := c.Stats()
+	want := uint64(workers * perWorker * (1 + batch))
+	if got := s.ResultHits + s.ResultMisses; got != want {
+		t.Errorf("hits+misses = %d, want %d", got, want)
+	}
+	if s.ResultMisses != s.ModelExecs+s.NoPredictions {
+		t.Errorf("misses %d != execs %d + nopreds %d",
+			s.ResultMisses, s.ModelExecs, s.NoPredictions)
+	}
+}
+
+// TestLoadModelInvalidatesOnlyThatModel pins the per-model invalidation
+// semantics: reloading one model must not evict other models' cached
+// results (the pre-sharding client wiped the whole cache, so a Pull-mode
+// miss storm on one model destroyed every model's hit rate).
+func TestLoadModelInvalidatesOnlyThatModel(t *testing.T) {
+	c := newPushClient(t, publishedStore(t))
+	in := knownInputs(t)
+
+	if _, err := c.PredictSingle("lifetime", in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictSingle("avg-cpu-util", in); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.loadModel("lifetime"); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := c.PredictSingle("avg-cpu-util", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FromResultCache {
+		t.Error("avg-cpu-util entry was evicted by a lifetime reload")
+	}
+	p, err = c.PredictSingle("lifetime", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FromResultCache {
+		t.Error("lifetime entry survived its own model's reload")
+	}
+}
+
+// TestPredictManyBatchSemantics pins the batch path's contract: entry i
+// matches ins[i], in-batch duplicates are served by the first
+// occurrence's execution, and a later batch hits the cache.
+func TestPredictManyBatchSemantics(t *testing.T) {
+	c := newPushClient(t, publishedStore(t))
+	base := knownInputs(t)
+
+	ins := make([]*model.ClientInputs, 6)
+	for i := range ins {
+		in := *base
+		in.Cores = i%3 + 1 // three distinct inputs, each twice
+		ins[i] = &in
+	}
+	preds, err := c.PredictMany("lifetime", ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		if !p.OK {
+			t.Fatalf("preds[%d]: %s", i, p.Reason)
+		}
+		dup := preds[i%3]
+		if p.Bucket != dup.Bucket || p.Score != dup.Score {
+			t.Errorf("preds[%d] disagrees with its duplicate", i)
+		}
+		if i >= 3 && !p.FromResultCache {
+			t.Errorf("preds[%d]: duplicate should be served as a hit", i)
+		}
+	}
+	s := c.Stats()
+	if s.ModelExecs != 3 {
+		t.Errorf("model execs = %d, want 3 (one per distinct input)", s.ModelExecs)
+	}
+	if s.ResultHits != 3 || s.ResultMisses != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+
+	// The whole batch again: all hits, none recomputed.
+	preds, err = c.PredictMany("lifetime", ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		if !p.OK || !p.FromResultCache {
+			t.Fatalf("preds[%d] = %+v, want cache hit", i, p)
+		}
+	}
+	if s := c.Stats(); s.ModelExecs != 3 {
+		t.Errorf("second batch re-executed the model: %+v", s)
+	}
+
+	// Mixed batch: known + unknown subscription → per-item no-prediction.
+	bad := *base
+	bad.Subscription = "sub-not-there"
+	mixed, err := c.PredictMany("lifetime", []*model.ClientInputs{ins[0], &bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mixed[0].OK || mixed[1].OK {
+		t.Errorf("mixed batch = %+v", mixed)
+	}
+}
+
+// TestResultCacheShardBounds checks the sharded cache keeps its global
+// bound for a range of capacities, including caps smaller than the
+// default shard count.
+func TestResultCacheShardBounds(t *testing.T) {
+	for _, capacity := range []int{1, 3, 8, 100, 1000} {
+		rc := newResultCache(capacity)
+		for i := 0; i < 10*capacity+100; i++ {
+			rc.put(uint64(i)*0x9e3779b97f4a7c15, resultEntry{bucket: i})
+		}
+		if n := rc.len(); n > capacity {
+			t.Errorf("cap %d: cache holds %d entries", capacity, n)
+		}
+	}
+}

@@ -35,6 +35,7 @@ type clientMetrics struct {
 	pushUpdates   obs.Counter
 	diskHits      obs.Counter
 	evictions     obs.Counter
+	invalidations obs.Counter
 
 	// execHists caches the per-model execution-time histograms; the six
 	// paper metrics are pre-registered, other model names fall through to
@@ -71,6 +72,8 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 			"Fetches served from the local disk cache."),
 		evictions: reg.Counter("rc_client_result_cache_evictions_total",
 			"Result-cache eviction sweeps."),
+		invalidations: reg.Counter("rc_client_result_cache_invalidations_total",
+			"Per-model result-cache invalidations (model reloads)."),
 		execHists: make(map[string]obs.Histogram, len(metric.All)),
 	}
 	for _, mt := range metric.All {
@@ -121,9 +124,9 @@ func (c *Client) registerGauges() {
 	reg.GaugeFunc("rc_client_fetch_queue_depth",
 		"Background fetch requests queued in PullAsync mode.",
 		func() float64 {
-			c.mu.RLock()
+			c.fetchMu.Lock()
 			q := c.fetchQ
-			c.mu.RUnlock()
+			c.fetchMu.Unlock()
 			return float64(len(q))
 		})
 }

@@ -1,0 +1,213 @@
+package core
+
+import "sync"
+
+// maxResultShards bounds the shard count of the result cache. 64 shards
+// keep lock contention negligible at scheduler request rates while the
+// per-shard maps stay large enough to amortize map overhead.
+const maxResultShards = 64
+
+type resultEntry struct {
+	bucket int
+	score  float64
+	// model tags the entry with the model that produced it, so a model
+	// reload invalidates only its own entries.
+	model string
+}
+
+// resultShard is one lock domain of the result cache.
+type resultShard struct {
+	mu      sync.RWMutex
+	entries map[uint64]resultEntry
+}
+
+// resultCache is a sharded prediction-result cache. Keys (FNV-64a of the
+// model name and client inputs) are uniformly distributed, so the low
+// bits pick the shard. Each shard has its own lock and its own segment of
+// the capacity; eviction is per-shard, so an eviction sweep never stalls
+// predictions hashing to the other shards.
+type resultCache struct {
+	shards   []resultShard
+	mask     uint64
+	shardCap int
+}
+
+// newResultCache builds a cache with capacity entries total. The shard
+// count is the largest power of two ≤ min(maxResultShards, capacity), so
+// small caps (tests use single digits) still respect the global bound.
+func newResultCache(capacity int) *resultCache {
+	n := maxResultShards
+	for n > 1 && n > capacity {
+		n >>= 1
+	}
+	rc := &resultCache{
+		shards:   make([]resultShard, n),
+		mask:     uint64(n - 1),
+		shardCap: capacity / n,
+	}
+	for i := range rc.shards {
+		rc.shards[i].entries = make(map[uint64]resultEntry)
+	}
+	return rc
+}
+
+func (rc *resultCache) shard(key uint64) *resultShard {
+	return &rc.shards[key&rc.mask]
+}
+
+// get returns the cached entry for key, if any.
+func (rc *resultCache) get(key uint64) (resultEntry, bool) {
+	s := rc.shard(key)
+	s.mu.RLock()
+	e, ok := s.entries[key]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+// put inserts an entry, evicting within the key's shard if that shard is
+// at capacity. It reports whether an eviction sweep ran.
+func (rc *resultCache) put(key uint64, e resultEntry) (evicted bool) {
+	s := rc.shard(key)
+	s.mu.Lock()
+	if len(s.entries) >= rc.shardCap {
+		rc.evictShardLocked(s)
+		evicted = true
+	}
+	s.entries[key] = e
+	s.mu.Unlock()
+	return evicted
+}
+
+// evictShardLocked drops roughly half of one shard (map iteration order
+// makes this an arbitrary-victim policy; entries are tiny and rebuilt on
+// demand). Caller holds the shard's lock.
+func (rc *resultCache) evictShardLocked(s *resultShard) {
+	target := rc.shardCap / 2
+	for k := range s.entries {
+		if len(s.entries) <= target {
+			break
+		}
+		delete(s.entries, k)
+	}
+}
+
+// cacheInsert is one pending insert of a batch put.
+type cacheInsert struct {
+	key   uint64
+	entry resultEntry
+}
+
+// groupByShard bucket-sorts the indices 0..n-1 by the shard of their key
+// (keyAt maps an index to its key). It returns the sorted index order and
+// the per-shard offsets: order[offsets[s]:offsets[s+1]] are the indices
+// whose keys live in shard s.
+func (rc *resultCache) groupByShard(n int, keyAt func(int) uint64) (order []int, offsets []int) {
+	shards := len(rc.shards)
+	offsets = make([]int, shards+1)
+	for i := 0; i < n; i++ {
+		offsets[(keyAt(i)&rc.mask)+1]++
+	}
+	for s := 1; s <= shards; s++ {
+		offsets[s] += offsets[s-1]
+	}
+	order = make([]int, n)
+	pos := make([]int, shards)
+	copy(pos, offsets[:shards])
+	for i := 0; i < n; i++ {
+		s := keyAt(i) & rc.mask
+		order[pos[s]] = i
+		pos[s]++
+	}
+	return order, offsets
+}
+
+// getBatch looks up all keys, calling onHit(i, entry) for each key found,
+// and returns the hit count. Each shard's lock is acquired at most once
+// for the whole batch.
+func (rc *resultCache) getBatch(keys []uint64, onHit func(int, resultEntry)) int {
+	order, offsets := rc.groupByShard(len(keys), func(i int) uint64 { return keys[i] })
+	hits := 0
+	for s := range rc.shards {
+		lo, hi := offsets[s], offsets[s+1]
+		if lo == hi {
+			continue
+		}
+		sh := &rc.shards[s]
+		sh.mu.RLock()
+		for _, i := range order[lo:hi] {
+			if e, ok := sh.entries[keys[i]]; ok {
+				onHit(i, e)
+				hits++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return hits
+}
+
+// putBatch inserts all entries (keys must be distinct), acquiring each
+// shard's lock at most once. It returns the number of eviction sweeps.
+func (rc *resultCache) putBatch(inserts []cacheInsert) (evictions int) {
+	if len(inserts) == 0 {
+		return 0
+	}
+	order, offsets := rc.groupByShard(len(inserts), func(i int) uint64 { return inserts[i].key })
+	for s := range rc.shards {
+		lo, hi := offsets[s], offsets[s+1]
+		if lo == hi {
+			continue
+		}
+		sh := &rc.shards[s]
+		sh.mu.Lock()
+		for _, i := range order[lo:hi] {
+			if len(sh.entries) >= rc.shardCap {
+				rc.evictShardLocked(sh)
+				evictions++
+			}
+			sh.entries[inserts[i].key] = inserts[i].entry
+		}
+		sh.mu.Unlock()
+	}
+	return evictions
+}
+
+// invalidateModel removes the entries produced by one model, leaving the
+// other models' cached results intact. Shards are swept one at a time, so
+// concurrent predictions only ever wait on the shard currently being
+// swept.
+func (rc *resultCache) invalidateModel(model string) {
+	for i := range rc.shards {
+		s := &rc.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if e.model == model {
+				delete(s.entries, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// clear empties the cache (feature data changed: every model's results
+// are stale).
+func (rc *resultCache) clear() {
+	for i := range rc.shards {
+		s := &rc.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[uint64]resultEntry)
+		s.mu.Unlock()
+	}
+}
+
+// len reports the total number of cached entries. The count is weakly
+// consistent under concurrent inserts (shards are read one at a time).
+func (rc *resultCache) len() int {
+	n := 0
+	for i := range rc.shards {
+		s := &rc.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,6 +1,57 @@
 package featuredata
 
-import "testing"
+import (
+	"testing"
+
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// benchTrace generates the synthetic trace the Build benchmark walks:
+// big enough that per-VM classification (the FFT) dominates, as it does
+// on the paper's month-scale telemetry.
+func benchTrace(b *testing.B) (*trace.Trace, trace.Minutes) {
+	b.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Days = 12
+	cfg.TargetVMs = 4000
+	cfg.MaxDeploymentVMs = 200
+	cfg.Seed = 11
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Trace, res.Trace.Horizon * 2 / 3
+}
+
+// BenchmarkFeatureDataBuild measures the feature-data generation stage of
+// the offline pipeline (Figure 9) over a 4k-VM synthetic trace.
+// "default" is the Build entry point (GOMAXPROCS workers); the numbered
+// variants pin the worker count so the scaling curve is visible on
+// multi-core runners.
+func BenchmarkFeatureDataBuild(b *testing.B) {
+	tr, cutoff := benchTrace(b)
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildParallel(tr, cutoff, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("default", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(tr, cutoff, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers=1", run(1))
+	b.Run("workers=4", run(4))
+}
 
 func benchRecord() *SubscriptionFeatures {
 	return &SubscriptionFeatures{

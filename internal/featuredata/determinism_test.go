@@ -1,0 +1,45 @@
+package featuredata
+
+import (
+	"bytes"
+	"testing"
+
+	"resourcecentral/internal/synth"
+)
+
+// TestBuildParallelDeterministic is the guard for the repo's determinism
+// guarantee: the encoded feature dataset must be byte-identical for the
+// same trace regardless of how many workers Build spreads the
+// subscriptions over.
+func TestBuildParallelDeterministic(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Days = 8
+	cfg.TargetVMs = 1200
+	cfg.MaxDeploymentVMs = 200
+	cfg.Seed = 7
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	cutoff := tr.Horizon * 2 / 3
+
+	var want []byte
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		set, err := BuildParallel(tr, cutoff, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		enc, err := EncodeSet(set)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = enc
+			continue
+		}
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("workers=%d: EncodeSet bytes differ from workers=1", workers)
+		}
+	}
+}

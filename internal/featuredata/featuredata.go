@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"resourcecentral/internal/fftperiod"
 	"resourcecentral/internal/metric"
@@ -72,33 +75,39 @@ func (f *SubscriptionFeatures) BucketFracs(m metric.Metric) []float64 {
 // Build computes feature data from all VMs created before cutoff, using
 // only telemetry visible up to the cutoff (no leakage from the future).
 // det classifies workload class from utilization series; nil uses the
-// default detector.
+// default detector. It parallelizes across subscriptions with GOMAXPROCS
+// workers; use BuildParallel to pick the worker count explicitly.
 func Build(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detector) (map[string]*SubscriptionFeatures, error) {
-	if cutoff <= 0 || cutoff > tr.Horizon {
-		return nil, fmt.Errorf("featuredata: cutoff %d outside (0, %d]", cutoff, tr.Horizon)
-	}
-	if det == nil {
-		det = fftperiod.NewDetector()
-	}
+	return BuildParallel(tr, cutoff, det, 0)
+}
 
-	out := make(map[string]*SubscriptionFeatures)
-	type depAgg struct {
-		sub   string
-		vms   int
-		cores int
-	}
-	deps := make(map[string]*depAgg)
+// subWork is one subscription's unit of parallel work: the indices of its
+// VMs created before the cutoff, in trace order.
+type subWork struct {
+	name string
+	vms  []int
+}
 
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
-		if v.Created >= cutoff {
-			continue
-		}
-		f := out[v.Subscription]
-		if f == nil {
-			f = &SubscriptionFeatures{Subscription: v.Subscription}
-			out[v.Subscription] = f
-		}
+// subBuilder is one worker's state: the FFT plan and the per-VM scratch
+// buffers live for the worker's whole sweep, so the heavy per-VM loop
+// allocates nothing in steady state.
+type subBuilder struct {
+	tr     *trace.Trace
+	cutoff trace.Minutes
+	det    *fftperiod.Detector
+	plan   fftperiod.Plan
+	series []float64
+	stats  []float64
+}
+
+// build computes one subscription's un-normalized aggregates. VMs are
+// visited in trace order — the same accumulation order the serial build
+// used — so the floating-point sums are bit-identical no matter how
+// subscriptions are spread over workers.
+func (b *subBuilder) build(w *subWork) *SubscriptionFeatures {
+	f := &SubscriptionFeatures{Subscription: w.name}
+	for _, i := range w.vms {
+		v := &b.tr.VMs[i]
 		f.VMCount++
 		f.MeanCores += float64(v.Cores)
 		f.MeanMemoryGB += v.MemoryGB
@@ -109,19 +118,23 @@ func Build(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detector) (map[
 			f.ProdFrac++
 		}
 
-		avg, p95 := trace.SummaryStats(v, cutoff)
+		// One fused walk over the VM's telemetry yields the summary stats
+		// and the series for the FFT; the utilization model is by far the
+		// most expensive thing to evaluate here.
+		var avg, p95 float64
+		avg, p95, b.series, b.stats = trace.SummarizeSeries(v, b.cutoff, b.series, b.stats)
 		f.AvgUtilBuckets[metric.AvgCPU.Bucket(avg)]++
 		f.P95UtilBuckets[metric.P95CPU.Bucket(p95)]++
 		f.MeanAvgUtil += avg
 		f.MeanP95Util += p95
 
-		if v.Deleted <= cutoff {
+		if v.Deleted <= b.cutoff {
 			life, _ := v.Lifetime()
 			f.LifetimeBuckets[metric.Lifetime.Bucket(float64(life))]++
 			f.MeanLifetimeMin += float64(life)
 		}
 
-		cls, _ := det.Classify(trace.AvgSeries(v, cutoff))
+		cls, _ := b.det.ClassifyWith(&b.plan, b.series)
 		switch cls {
 		case fftperiod.ClassDelayInsensitive:
 			f.ClassShares[1]++
@@ -130,6 +143,50 @@ func Build(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detector) (map[
 		default:
 			f.ClassShares[0]++
 		}
+	}
+	return f
+}
+
+// BuildParallel is Build with an explicit worker count (≤ 0 means
+// GOMAXPROCS). The output is byte-identical (same EncodeSet bytes) for
+// any worker count: the cheap grouping and deployment-aggregation passes
+// stay serial in trace order, the heavy per-VM pass (utilization summary
+// + FFT classification) runs per subscription with each subscription's
+// VMs in trace order, and the remaining cross-subscription merges only
+// add exactly-representable increments.
+func BuildParallel(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detector, workers int) (map[string]*SubscriptionFeatures, error) {
+	if cutoff <= 0 || cutoff > tr.Horizon {
+		return nil, fmt.Errorf("featuredata: cutoff %d outside (0, %d]", cutoff, tr.Horizon)
+	}
+	if det == nil {
+		det = fftperiod.NewDetector()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Pass 1 (serial, cheap): group VM indices by subscription and
+	// aggregate deployments, both in trace order.
+	type depAgg struct {
+		sub   string
+		vms   int
+		cores int
+	}
+	deps := make(map[string]*depAgg)
+	subIdx := make(map[string]int)
+	var subs []*subWork
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		if v.Created >= cutoff {
+			continue
+		}
+		j, ok := subIdx[v.Subscription]
+		if !ok {
+			j = len(subs)
+			subIdx[v.Subscription] = j
+			subs = append(subs, &subWork{name: v.Subscription})
+		}
+		subs[j].vms = append(subs[j].vms, i)
 
 		d := deps[v.Deployment]
 		if d == nil {
@@ -140,6 +197,44 @@ func Build(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detector) (map[
 		d.cores += v.Cores
 	}
 
+	// Pass 2 (parallel): the per-VM heavy work, one subscription at a
+	// time per worker, each worker with its own detector scratch.
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	results := make([]*SubscriptionFeatures, len(subs))
+	if workers <= 1 {
+		b := &subBuilder{tr: tr, cutoff: cutoff, det: det}
+		for j, w := range subs {
+			results[j] = b.build(w)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := &subBuilder{tr: tr, cutoff: cutoff, det: det}
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(subs) {
+						return
+					}
+					results[j] = b.build(subs[j])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out := make(map[string]*SubscriptionFeatures, len(subs))
+	for j, w := range subs {
+		out[w.name] = results[j]
+	}
+
+	// Pass 3 (serial): deployment aggregates. Map iteration order is
+	// random, but every merge adds small integers — exact in float64 —
+	// so the result does not depend on the order.
 	for _, d := range deps {
 		f := out[d.sub]
 		f.DeployCount++

@@ -21,6 +21,37 @@ func BenchmarkFFT1024(b *testing.B) {
 	}
 }
 
+// BenchmarkFFTDetector measures the per-VM classification cost the
+// offline pipeline pays for every VM in the trace: "alloc" is the
+// plain Classify path, "planned" reuses one Plan's scratch buffers the
+// way featuredata.Build's workers do.
+func BenchmarkFFTDetector(b *testing.B) {
+	d := NewDetector()
+	perDay := 24 * 60 / 5
+	xs := make([]float64, 12*perDay)
+	for i := range xs {
+		xs[i] = 30 + 25*math.Sin(2*math.Pi*float64(i%perDay)/float64(perDay)) +
+			5*math.Sin(float64(i))
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cls, _ := d.Classify(xs); cls != ClassInteractive {
+				b.Fatal("misclassified")
+			}
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		var p Plan
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cls, _ := d.ClassifyWith(&p, xs); cls != ClassInteractive {
+				b.Fatal("misclassified")
+			}
+		}
+	})
+}
+
 func BenchmarkClassifyThreeDays(b *testing.B) {
 	d := NewDetector()
 	perDay := 24 * 60 / 5

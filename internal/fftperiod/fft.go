@@ -10,10 +10,35 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
+// twiddleCache maps transform size n to its precomputed twiddle table
+// (exp(-2πi·j/n) for j in [0, n/2)). Tables are immutable once published,
+// so concurrent transforms share them without copying. The detector's
+// bounded classify window keeps the set of sizes small (a handful of
+// powers of two), so the cache never grows past a few entries.
+var twiddleCache sync.Map // int -> []complex128
+
+// twiddles returns the twiddle table for transform size n (a power of
+// two), computing and caching it on first use.
+func twiddles(n int) []complex128 {
+	if t, ok := twiddleCache.Load(n); ok {
+		return t.([]complex128)
+	}
+	t := make([]complex128, n/2)
+	for j := range t {
+		angle := -2 * math.Pi * float64(j) / float64(n)
+		t[j] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	actual, _ := twiddleCache.LoadOrStore(n, t)
+	return actual.([]complex128)
+}
+
 // FFT computes the in-place radix-2 decimation-in-time discrete Fourier
-// transform of x. len(x) must be a power of two.
+// transform of x. len(x) must be a power of two. Twiddle factors come
+// from a per-size cached table, so repeated transforms of the same size
+// (the detector's steady state) never call cmplx.Exp.
 func FFT(x []complex128) error {
 	n := len(x)
 	if n == 0 || n&(n-1) != 0 {
@@ -27,13 +52,17 @@ func FFT(x []complex128) error {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Butterflies.
+	// Butterflies. At stage `size` the factor for butterfly k is
+	// exp(-2πi·k/size) = tw[k·(n/size)].
+	tw := twiddles(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := -2 * math.Pi / float64(size)
+		stride := n / size
 		for start := 0; start < n; start += size {
+			ti := 0
 			for k := 0; k < half; k++ {
-				w := cmplx.Exp(complex(0, step*float64(k)))
+				w := tw[ti]
+				ti += stride
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
@@ -67,12 +96,41 @@ func nextPow2(n int) int {
 	return 1 << bits.Len(uint(n-1))
 }
 
-// Periodogram returns the power spectrum of the real series xs: the squared
-// magnitude of each positive-frequency FFT bin, after mean removal and
-// zero-padding to a power of two. The returned slice has padded/2 entries;
-// entry k corresponds to frequency k / (padded * dt) for sample spacing dt.
-// It also returns the padded length so callers can map bins to periods.
-func Periodogram(xs []float64) (power []float64, padded int, err error) {
+// Plan holds reusable FFT scratch buffers so repeated periodograms and
+// classifications (the offline pipeline runs one per VM) allocate nothing
+// in steady state. A Plan is not safe for concurrent use; give each
+// worker its own. The zero value is ready to use.
+type Plan struct {
+	buf   []complex128
+	power []float64
+}
+
+// complexScratch returns a zeroed complex buffer of length n, growing the
+// plan's scratch as needed.
+func (p *Plan) complexScratch(n int) []complex128 {
+	if cap(p.buf) < n {
+		p.buf = make([]complex128, n)
+	}
+	p.buf = p.buf[:n]
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	return p.buf
+}
+
+// powerScratch returns a power buffer of length n from the plan.
+func (p *Plan) powerScratch(n int) []float64 {
+	if cap(p.power) < n {
+		p.power = make([]float64, n)
+	}
+	p.power = p.power[:n]
+	return p.power
+}
+
+// Periodogram is the plan-backed variant of the package-level Periodogram.
+// The returned power slice aliases the plan's scratch and is only valid
+// until the plan's next use.
+func (p *Plan) Periodogram(xs []float64) (power []float64, padded int, err error) {
 	if len(xs) < 4 {
 		return nil, 0, errors.New("fftperiod: series too short")
 	}
@@ -83,18 +141,29 @@ func Periodogram(xs []float64) (power []float64, padded int, err error) {
 	mean /= float64(len(xs))
 
 	padded = nextPow2(len(xs))
-	buf := make([]complex128, padded)
+	buf := p.complexScratch(padded)
 	for i, x := range xs {
 		buf[i] = complex(x-mean, 0)
 	}
 	if err := FFT(buf); err != nil {
 		return nil, 0, err
 	}
-	power = make([]float64, padded/2)
+	power = p.powerScratch(padded / 2)
 	for k := range power {
 		power[k] = real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
 	}
 	return power, padded, nil
+}
+
+// Periodogram returns the power spectrum of the real series xs: the squared
+// magnitude of each positive-frequency FFT bin, after mean removal and
+// zero-padding to a power of two. The returned slice has padded/2 entries;
+// entry k corresponds to frequency k / (padded * dt) for sample spacing dt.
+// It also returns the padded length so callers can map bins to periods.
+// The result is freshly allocated; hot loops should reuse a Plan instead.
+func Periodogram(xs []float64) (power []float64, padded int, err error) {
+	var p Plan
+	return p.Periodogram(xs)
 }
 
 // Class labels a workload per Section 3.6.
@@ -167,15 +236,26 @@ const maxClassifyWindow = 4096
 // Classify analyses the utilization series and returns its workload class
 // plus the diurnal power ratio that drove the decision. Series shorter than
 // MinSamples return ClassUnknown with ratio 0; series longer than ~14 days
-// are classified on their most recent window.
+// are classified on their most recent window. It allocates per call;
+// batch callers should hold a Plan and use ClassifyWith.
 func (d *Detector) Classify(util []float64) (Class, float64) {
+	return d.ClassifyWith(nil, util)
+}
+
+// ClassifyWith is Classify with caller-owned scratch: repeated calls with
+// the same plan reuse its FFT buffers and allocate nothing. A nil plan
+// uses temporary buffers (equivalent to Classify).
+func (d *Detector) ClassifyWith(p *Plan, util []float64) (Class, float64) {
 	if len(util) < d.MinSamples() {
 		return ClassUnknown, 0
 	}
 	if len(util) > maxClassifyWindow {
 		util = util[len(util)-maxClassifyWindow:]
 	}
-	power, padded, err := Periodogram(util)
+	if p == nil {
+		p = &Plan{}
+	}
+	power, padded, err := p.Periodogram(util)
 	if err != nil {
 		return ClassUnknown, 0
 	}

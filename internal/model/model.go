@@ -11,7 +11,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"strconv"
@@ -43,26 +42,45 @@ type ClientInputs struct {
 	RequestedVMs int
 }
 
-// CacheKey hashes the model name and client inputs for the result cache.
-// Identical inputs always produce identical keys.
-func (c *ClientInputs) CacheKey(modelName string) uint64 {
-	h := fnv.New64a()
-	write := func(s string) {
-		h.Write([]byte(s)) //nolint:errcheck // fnv cannot fail
-		h.Write([]byte{0})
+// FNV-64a parameters (hash/fnv), inlined so CacheKey hashes without heap
+// allocation or interface dispatch — it sits on the prediction fast path,
+// where the paper budgets ~1 µs for a whole result-cache hit.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds s plus a 0-byte separator into an FNV-64a state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
 	}
-	write(modelName)
-	write(c.Subscription)
-	write(c.VMType)
-	write(c.Role)
-	write(c.OS)
-	write(c.Party)
-	write(strconv.FormatBool(c.Production))
-	write(strconv.Itoa(c.Cores))
-	write(strconv.FormatFloat(c.MemoryGB, 'g', -1, 64))
-	write(strconv.FormatInt(int64(c.CreateMinute/60), 10)) // hour granularity
-	write(strconv.Itoa(c.RequestedVMs))
-	return h.Sum64()
+	return h * fnvPrime64 // separator byte 0: h ^ 0 == h
+}
+
+// CacheKey hashes the model name and client inputs for the result cache.
+// Identical inputs always produce identical keys. The hash is FNV-64a
+// over the same byte sequence the fnv-package implementation consumed,
+// computed allocation-free.
+func (c *ClientInputs) CacheKey(modelName string) uint64 {
+	var num [32]byte
+	h := uint64(fnvOffset64)
+	h = fnvString(h, modelName)
+	h = fnvString(h, c.Subscription)
+	h = fnvString(h, c.VMType)
+	h = fnvString(h, c.Role)
+	h = fnvString(h, c.OS)
+	h = fnvString(h, c.Party)
+	if c.Production {
+		h = fnvString(h, "true")
+	} else {
+		h = fnvString(h, "false")
+	}
+	h = fnvString(h, string(strconv.AppendInt(num[:0], int64(c.Cores), 10)))
+	h = fnvString(h, string(strconv.AppendFloat(num[:0], c.MemoryGB, 'g', -1, 64)))
+	h = fnvString(h, string(strconv.AppendInt(num[:0], int64(c.CreateMinute/60), 10))) // hour granularity
+	h = fnvString(h, string(strconv.AppendInt(num[:0], int64(c.RequestedVMs), 10)))
+	return h
 }
 
 // FromVM derives client inputs from a trace VM record plus the size of its

@@ -20,13 +20,19 @@ type sample struct {
 }
 
 // extractor walks a trace once to index deployments, then collects
-// per-metric samples for arbitrary windows.
+// per-metric samples for arbitrary windows. It is not safe for concurrent
+// use: the FFT plan and scratch buffers below are reused across VMs so
+// the per-VM labeling loop allocates nothing in steady state.
 type extractor struct {
 	tr  *trace.Trace
 	cfg Config
 
 	// deployments indexed by id.
 	deps map[string]*deployment
+
+	plan   fftperiod.Plan
+	series []float64
+	stats  []float64
 }
 
 // deployment aggregates a deployment's waves.
@@ -90,7 +96,10 @@ func (e *extractor) collect(from, to trace.Minutes) map[metric.Metric][]sample {
 		d := e.deps[v.Deployment]
 		in := model.FromVM(v, d.requested)
 
-		avg, p95 := trace.SummaryStats(v, to)
+		// Fused single walk: summary stats and the FFT series from one pass
+		// over the utilization model.
+		var avg, p95 float64
+		avg, p95, e.series, e.stats = trace.SummarizeSeries(v, to, e.series, e.stats)
 		out[metric.AvgCPU] = append(out[metric.AvgCPU],
 			sample{in: in, label: metric.AvgCPU.Bucket(avg)})
 		out[metric.P95CPU] = append(out[metric.P95CPU],
@@ -109,7 +118,7 @@ func (e *extractor) collect(from, to trace.Minutes) map[metric.Metric][]sample {
 		}
 
 		// Workload class: only VMs with enough history for the FFT.
-		cls, _ := e.cfg.Detector.Classify(trace.AvgSeries(v, to))
+		cls, _ := e.cfg.Detector.ClassifyWith(&e.plan, e.series)
 		switch cls {
 		case fftClassInteractive:
 			out[metric.WorkloadClass] = append(out[metric.WorkloadClass],

@@ -9,6 +9,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"resourcecentral/internal/featuredata"
@@ -284,21 +285,9 @@ func trainOne(m metric.Metric, cfg Config, roles, oses []string,
 	// train-window feature data, exactly as the online client would.
 	// Subscriptions without feature data receive a no-prediction in push
 	// mode, so they are excluded here and counted separately.
-	preds := make([]eval.Prediction, 0, len(test))
-	noFeature := 0
-	var buf []float64
-	for _, s := range test {
-		sub := lookup(s.in.Subscription)
-		if sub == nil && !cfg.DisableSubscriptionFeatures {
-			noFeature++
-			continue
-		}
-		buf = spec.Featurize(&s.in, sub, buf[:0])
-		cls, score, err := trained.Predict(buf)
-		if err != nil {
-			return nil, err
-		}
-		preds = append(preds, eval.Prediction{Truth: s.label, Pred: cls, Score: score})
+	preds, noFeature, err := validate(trained, spec, cfg, lookup, test)
+	if err != nil {
+		return nil, err
 	}
 	var report *eval.Report
 	if len(preds) > 0 {
@@ -314,6 +303,73 @@ func trainOne(m metric.Metric, cfg Config, roles, oses []string,
 		TestSamples:   len(test),
 		NoFeatureData: noFeature,
 	}, nil
+}
+
+// validateChunkMin is the smallest per-goroutine slice of held-out
+// samples worth the spawn overhead.
+const validateChunkMin = 512
+
+// validate scores the trained model over the held-out samples, chunked
+// across GOMAXPROCS goroutines with per-chunk featurize buffers. Chunks
+// are concatenated in order, so the prediction list (and therefore the
+// evaluation report) is identical to the serial sweep's.
+func validate(trained *model.Trained, spec *model.Spec, cfg Config,
+	lookup func(string) *featuredata.SubscriptionFeatures,
+	test []sample) ([]eval.Prediction, int, error) {
+
+	workers := runtime.GOMAXPROCS(0)
+	if max := (len(test) + validateChunkMin - 1) / validateChunkMin; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunkLen := (len(test) + workers - 1) / workers
+
+	chunkPreds := make([][]eval.Prediction, workers)
+	chunkNoFeat := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunkLen
+		hi := lo + chunkLen
+		if hi > len(test) {
+			hi = len(test)
+		}
+		wg.Add(1)
+		go func(w int, chunk []sample) {
+			defer wg.Done()
+			preds := make([]eval.Prediction, 0, len(chunk))
+			var buf []float64
+			for _, s := range chunk {
+				sub := lookup(s.in.Subscription)
+				if sub == nil && !cfg.DisableSubscriptionFeatures {
+					chunkNoFeat[w]++
+					continue
+				}
+				buf = spec.Featurize(&s.in, sub, buf[:0])
+				cls, score, err := trained.Predict(buf)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				preds = append(preds, eval.Prediction{Truth: s.label, Pred: cls, Score: score})
+			}
+			chunkPreds[w] = preds
+		}(w, test[lo:hi])
+	}
+	wg.Wait()
+
+	preds := make([]eval.Prediction, 0, len(test))
+	noFeature := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, 0, errs[w]
+		}
+		preds = append(preds, chunkPreds[w]...)
+		noFeature += chunkNoFeat[w]
+	}
+	return preds, noFeature, nil
 }
 
 // --- store publication ---

@@ -176,7 +176,8 @@ func (tr *Trace) Subscriptions() map[string][]int {
 }
 
 // AvgSeries materializes the average-CPU series of v between its creation
-// and min(deletion, horizon), one sample per 5 minutes.
+// and min(deletion, horizon), one sample per 5 minutes. It allocates per
+// call; hot loops should use AvgSeriesAppend with a reused buffer.
 func AvgSeries(v *VM, horizon Minutes) []float64 {
 	end := v.Deleted
 	if end > horizon {
@@ -185,13 +186,21 @@ func AvgSeries(v *VM, horizon Minutes) []float64 {
 	if end <= v.Created {
 		return nil
 	}
-	n := int((end - v.Created) / ReadingIntervalMin)
-	out := make([]float64, 0, n)
+	return AvgSeriesAppend(v, horizon, make([]float64, 0, int((end-v.Created)/ReadingIntervalMin)))
+}
+
+// AvgSeriesAppend appends v's average-CPU series to dst and returns it,
+// reusing dst's capacity. Pass buf[:0] to overwrite a scratch buffer.
+func AvgSeriesAppend(v *VM, horizon Minutes, dst []float64) []float64 {
+	end := v.Deleted
+	if end > horizon {
+		end = horizon
+	}
 	for t := v.Created; t < end; t += ReadingIntervalMin {
 		_, avg, _ := v.Util.At(t)
-		out = append(out, avg)
+		dst = append(dst, avg)
 	}
-	return out
+	return dst
 }
 
 // SummaryStats computes the whole-life average CPU utilization and the 95th
@@ -199,26 +208,64 @@ func AvgSeries(v *VM, horizon Minutes) []float64 {
 // metrics of Figure 1. It streams the deterministic model rather than
 // materializing readings.
 func SummaryStats(v *VM, horizon Minutes) (avgCPU, p95Max float64) {
+	avgCPU, p95Max, _ = SummaryStatsBuf(v, horizon, nil)
+	return avgCPU, p95Max
+}
+
+// SummaryStatsBuf is SummaryStats with a caller-owned scratch buffer: it
+// returns the (possibly grown) buffer so per-VM loops allocate it once.
+// The buffer's contents are overwritten.
+func SummaryStatsBuf(v *VM, horizon Minutes, scratch []float64) (avgCPU, p95Max float64, buf []float64) {
 	end := v.Deleted
 	if end > horizon {
 		end = horizon
 	}
 	if end <= v.Created {
-		return 0, 0
+		return 0, 0, scratch
 	}
 	var sum float64
-	maxes := make([]float64, 0, int((end-v.Created)/ReadingIntervalMin))
+	maxes := scratch[:0]
 	for t := v.Created; t < end; t += ReadingIntervalMin {
 		_, avg, max := v.Util.At(t)
 		sum += avg
 		maxes = append(maxes, max)
 	}
 	if len(maxes) == 0 {
-		return 0, 0
+		return 0, 0, maxes
 	}
 	avgCPU = sum / float64(len(maxes))
 	p95Max = quickP95(maxes)
-	return avgCPU, p95Max
+	return avgCPU, p95Max, maxes
+}
+
+// SummarizeSeries walks v's telemetry once, producing everything the
+// feature-data and extraction hot loops need: the whole-life average CPU,
+// the P95 of per-interval maxima, and the average-CPU series (for the
+// periodicity FFT). SummaryStats + AvgSeries compute the same values in
+// two passes; fusing them halves the utilization-model evaluations, the
+// dominant cost of walking a trace. series and maxes are caller-owned
+// scratch buffers (contents overwritten, capacity reused); the returned
+// slices must be taken back by the caller.
+func SummarizeSeries(v *VM, horizon Minutes, series, maxes []float64) (avgCPU, p95Max float64, seriesOut, maxesOut []float64) {
+	series, maxes = series[:0], maxes[:0]
+	end := v.Deleted
+	if end > horizon {
+		end = horizon
+	}
+	if end <= v.Created {
+		return 0, 0, series, maxes
+	}
+	var sum float64
+	for t := v.Created; t < end; t += ReadingIntervalMin {
+		_, avg, max := v.Util.At(t)
+		sum += avg
+		series = append(series, avg)
+		maxes = append(maxes, max)
+	}
+	if len(maxes) == 0 {
+		return 0, 0, series, maxes
+	}
+	return sum / float64(len(maxes)), quickP95(maxes), series, maxes
 }
 
 // quickP95 computes the 95th percentile with a partial selection rather
