@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-paper fmt
+.PHONY: check build test vet race bench bench-sim bench-paper fmt
 
 # Tier-1 gate: everything CI (and reviewers) must see green.
 check: vet build test race
@@ -15,18 +15,26 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrent hot paths: the client caches,
-# the store's subscriber fan-out, the parallel feature-data build, and
-# the metrics registry itself.
+# the store's subscriber fan-out, the parallel feature-data build, the
+# metrics registry, the parallel sweep runner, the indexed cluster, and
+# the parallel characterization pass.
 race:
-	$(GO) test -race ./internal/core ./internal/featuredata ./internal/store/... ./internal/obs/...
+	$(GO) test -race ./internal/core ./internal/featuredata ./internal/store/... ./internal/obs/... \
+		./internal/sim ./internal/cluster ./internal/charz
 
-# Performance benchmarks for the two hot paths (README "Performance").
+# Performance benchmarks for the hot paths (README "Performance").
 # Output is test2json (one JSON event per line) so future PRs can track
 # the trajectory mechanically.
-bench:
+bench: bench-sim
 	$(GO) test -run '^$$' -bench 'BenchmarkPredict' -benchmem -json ./internal/core > BENCH_predict.json
 	$(GO) test -run '^$$' -bench 'BenchmarkFeatureDataBuild|BenchmarkFFTDetector|BenchmarkFFT1024' -benchmem -json \
 		./internal/featuredata ./internal/fftperiod > BENCH_pipeline.json
+
+# Simulator benchmarks: trace replay at growing cluster sizes, the
+# parallel sweep grid, and linear-vs-indexed candidate selection.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkSimSweep|BenchmarkSchedule' -benchmem -json \
+		./internal/sim ./internal/cluster > BENCH_sim.json
 
 # Regenerate the paper's evaluation numbers (Tables 4-6, Figs 9-11).
 bench-paper:

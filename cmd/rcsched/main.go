@@ -3,7 +3,7 @@
 // on an 880-server cluster. It compares Baseline, Naive, RC-informed-soft,
 // RC-informed-hard, RC-soft-right (oracle), and RC-soft-wrong schedules,
 // and runs the three sensitivity sweeps (MAX_OVERSUB, MAX_UTIL, +25%
-// utilization).
+// utilization). All selected sweep points run as one parallel sweep.
 package main
 
 import (
@@ -21,6 +21,13 @@ import (
 	"resourcecentral/internal/trace"
 )
 
+// point is one named sweep configuration, grouped into an output section.
+type point struct {
+	section string
+	name    string
+	cfg     sim.Config
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rcsched: ")
@@ -32,6 +39,7 @@ func main() {
 	memPer := flag.Float64("mem", 112, "memory GB per server (paper: 112)")
 	sweep := flag.String("sweep", "compare", "study: compare | oversub | maxutil | highutil | all")
 	lifetimeAware := flag.Bool("lifetime-aware", false, "enable the §4.1 lifetime co-location rule and report server drains")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	tr, err := src.Load()
@@ -58,8 +66,9 @@ func main() {
 	oracle := &sim.OraclePredictor{Horizon: tr.Horizon}
 	wrong := &sim.WrongPredictor{Horizon: tr.Horizon}
 
-	run := func(name string, policy cluster.Policy, pred sim.Predictor, mutate func(*sim.Config)) {
-		cfg := sim.Config{Cluster: base, Predictor: pred}
+	var points []point
+	add := func(section, name string, policy cluster.Policy, pred sim.Predictor, mutate func(*sim.Config)) {
+		cfg := sim.Config{Cluster: base, Predictor: pred, RunLabel: name}
 		cfg.Cluster.Policy = policy
 		if *lifetimeAware {
 			cfg.Cluster.LifetimeAware = true
@@ -68,13 +77,7 @@ func main() {
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		res, err := sim.Run(tr, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-22s failures %6d (%.3f%%)  readings>100%% %6d  max %6.1f%%  avg util %5.1f%%  drains %5d\n",
-			name, res.Failures, 100*res.FailureRate, res.ReadingsAbove100,
-			res.MaxReadingPct, res.AvgUtilizationPct, res.ServerDrains)
+		points = append(points, point{section: section, name: name, cfg: cfg})
 	}
 
 	doCompare := *sweep == "compare" || *sweep == "all"
@@ -83,42 +86,65 @@ func main() {
 	doHighutil := *sweep == "highutil" || *sweep == "all"
 
 	if doCompare {
-		fmt.Println("== Section 6.2: comparing schedulers (MAX_OVERSUB=125%, MAX_UTIL=100%) ==")
-		run("baseline", cluster.Baseline, nil, nil)
-		run("naive", cluster.Naive, nil, nil)
-		run("rc-informed-soft", cluster.RCSoft, rcPred, nil)
-		run("rc-informed-hard", cluster.RCHard, rcPred, nil)
-		run("rc-soft-right", cluster.RCSoft, oracle, nil)
-		run("rc-soft-wrong", cluster.RCSoft, wrong, nil)
-		fmt.Println()
+		section := "Section 6.2: comparing schedulers (MAX_OVERSUB=125%, MAX_UTIL=100%)"
+		add(section, "baseline", cluster.Baseline, nil, nil)
+		add(section, "naive", cluster.Naive, nil, nil)
+		add(section, "rc-informed-soft", cluster.RCSoft, rcPred, nil)
+		add(section, "rc-informed-hard", cluster.RCHard, rcPred, nil)
+		add(section, "rc-soft-right", cluster.RCSoft, oracle, nil)
+		add(section, "rc-soft-wrong", cluster.RCSoft, wrong, nil)
 	}
 	if doOversub {
-		fmt.Println("== Sensitivity: MAX_OVERSUB (RC-informed-soft) ==")
+		section := "Sensitivity: MAX_OVERSUB (RC-informed-soft)"
 		for _, factor := range []float64{1.25, 1.20, 1.15} {
 			f := factor
-			run(fmt.Sprintf("oversub %.0f%%", 100*f), cluster.RCSoft, rcPred,
+			add(section, fmt.Sprintf("oversub %.0f%%", 100*f), cluster.RCSoft, rcPred,
 				func(c *sim.Config) { c.Cluster.MaxOversub = f })
 		}
-		fmt.Println()
 	}
 	if doMaxutil {
-		fmt.Println("== Sensitivity: MAX_UTIL (RC-informed-soft, MAX_OVERSUB=125%) ==")
+		section := "Sensitivity: MAX_UTIL (RC-informed-soft, MAX_OVERSUB=125%)"
 		for _, target := range []float64{1.0, 0.9, 0.8} {
 			u := target
-			run(fmt.Sprintf("max util %.0f%%", 100*u), cluster.RCSoft, rcPred,
+			add(section, fmt.Sprintf("max util %.0f%%", 100*u), cluster.RCSoft, rcPred,
 				func(c *sim.Config) { c.Cluster.MaxUtil = u })
 		}
-		fmt.Println()
 	}
 	if doHighutil {
-		fmt.Println("== Sensitivity: +25% utilization, +1 bucket predictions ==")
+		section := "Sensitivity: +25% utilization, +1 bucket predictions"
 		for _, p := range []cluster.Policy{cluster.RCSoft, cluster.RCHard} {
 			policy := p
-			run("highutil "+policy.String(), policy, rcPred, func(c *sim.Config) {
+			add(section, "highutil "+policy.String(), policy, rcPred, func(c *sim.Config) {
 				c.UtilScale = 1.25
 				c.BucketShift = 1
 			})
 		}
+	}
+
+	cfgs := make([]sim.Config, len(points))
+	for i, p := range points {
+		cfgs[i] = p.cfg
+	}
+	res, err := sim.RunSweep(tr, cfgs, sim.SweepOptions{Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Points ran concurrently; print them grouped by section, in the
+	// stable order they were declared.
+	section := ""
+	for i, p := range points {
+		if p.section != section {
+			if section != "" {
+				fmt.Println()
+			}
+			section = p.section
+			fmt.Printf("== %s ==\n", section)
+		}
+		r := res.Results[i]
+		fmt.Printf("%-22s failures %6d (%.3f%%)  readings>100%% %6d  max %6.1f%%  avg util %5.1f%%  drains %5d\n",
+			p.name, r.Failures, 100*r.FailureRate, r.ReadingsAbove100,
+			r.MaxReadingPct, r.AvgUtilizationPct, r.ServerDrains)
 	}
 }
 

@@ -7,6 +7,9 @@ package charz
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"resourcecentral/internal/fftperiod"
 	"resourcecentral/internal/stats"
@@ -63,8 +66,15 @@ type VMStat struct {
 }
 
 // ComputeVMStats derives the per-VM statistics for the whole trace. It is
-// the expensive pass; figure functions accept its output.
+// the expensive pass; figure functions accept its output. VMs are
+// independent, so the work fans out across GOMAXPROCS workers; the output
+// is identical for any worker count (each VM's entry depends only on that
+// VM).
 func ComputeVMStats(tr *trace.Trace, det *fftperiod.Detector) ([]VMStat, error) {
+	return computeVMStats(tr, det, runtime.GOMAXPROCS(0))
+}
+
+func computeVMStats(tr *trace.Trace, det *fftperiod.Detector, workers int) ([]VMStat, error) {
 	if len(tr.VMs) == 0 {
 		return nil, errors.New("charz: empty trace")
 	}
@@ -72,17 +82,46 @@ func ComputeVMStats(tr *trace.Trace, det *fftperiod.Detector) ([]VMStat, error) 
 		det = fftperiod.NewDetector()
 	}
 	out := make([]VMStat, len(tr.VMs))
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
-		st := &out[i]
-		st.AvgCPU, st.P95MaxCPU = trace.SummaryStats(v, tr.Horizon)
-		if life, ok := v.Lifetime(); ok {
-			st.LifetimeMin = float64(life)
-			st.Completed = true
-		}
-		st.Class, _ = det.Classify(trace.AvgSeries(v, tr.Horizon))
-		st.CoreHours = v.CoreHours(tr.Horizon)
+	if workers < 1 {
+		workers = 1
 	}
+	// Chunked work-stealing: VM telemetry lengths vary wildly, so static
+	// partitioning would leave workers idle behind the long-lived VMs.
+	const chunk = 64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker scratch: the FFT plan and the fused series walk
+			// reuse their buffers across every VM this worker claims.
+			var plan fftperiod.Plan
+			var series, maxes []float64
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= len(tr.VMs) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(tr.VMs) {
+					hi = len(tr.VMs)
+				}
+				for i := lo; i < hi; i++ {
+					v := &tr.VMs[i]
+					st := &out[i]
+					st.AvgCPU, st.P95MaxCPU, series, maxes = trace.SummarizeSeries(v, tr.Horizon, series, maxes)
+					if life, ok := v.Lifetime(); ok {
+						st.LifetimeMin = float64(life)
+						st.Completed = true
+					}
+					st.Class, _ = det.ClassifyWith(&plan, series)
+					st.CoreHours = v.CoreHours(tr.Horizon)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return out, nil
 }
 

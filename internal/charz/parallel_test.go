@@ -1,0 +1,34 @@
+package charz
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestComputeVMStatsDeterministic proves the parallel statistics pass is
+// identical for any worker count: each VMStat depends only on its VM, so
+// scheduling must never change the output.
+func TestComputeVMStatsDeterministic(t *testing.T) {
+	tr, _ := fixture(t)
+	want, err := computeVMStats(tr, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64, -1} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := computeVMStats(tr, nil, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("vm %d: %+v != %+v", i, got[i], want[i])
+					}
+				}
+				t.Fatal("stats diverge")
+			}
+		})
+	}
+}

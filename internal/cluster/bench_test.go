@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSchedule drives the seed-equivalence workload through linear
+// and indexed candidate selection at growing fleet sizes. The linear
+// scan's per-arrival cost grows with the fleet; the indexed scheduler
+// visits only servers that can host the request.
+func BenchmarkSchedule(b *testing.B) {
+	for _, servers := range []int{250, 1000, 4000} {
+		for _, impl := range []struct {
+			name   string
+			linear bool
+		}{{"linear", true}, {"indexed", false}} {
+			b.Run(fmt.Sprintf("impl=%s/servers=%d", impl.name, servers), func(b *testing.B) {
+				ops := genWorkload(3, 4000)
+				cfg := Config{
+					Servers: servers, CoresPerServer: 16, MemGBPerServer: 112,
+					FaultDomains: 10, Policy: RCSoft,
+					MaxOversub: 1.25, MaxUtil: 1.0,
+					forceLinear: impl.linear,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c, err := New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var live []*Request
+					for _, o := range ops {
+						if o.complete {
+							if len(live) == 0 {
+								continue
+							}
+							idx := o.liveIdx % len(live)
+							req := live[idx]
+							live = append(live[:idx], live[idx+1:]...)
+							if _, err := c.VMCompleted(req); err != nil {
+								b.Fatal(err)
+							}
+							continue
+						}
+						req := o.req
+						if s, ok := c.Schedule(&req); ok && s != nil {
+							live = append(live, &req)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -58,6 +58,9 @@ type Server struct {
 	// carried a prediction.
 	sumPredEnd   float64
 	predEndCount int
+	// bucketPos is the server's position in its serverIndex bucket, for
+	// O(1) removal.
+	bucketPos int
 }
 
 // MeanPredEnd returns the mean predicted completion time of the VMs on
@@ -154,6 +157,10 @@ type Config struct {
 	// callers can count rule activity without the cluster depending on a
 	// metrics package. It runs synchronously on the scheduling path.
 	RuleHook func(rule string)
+	// forceLinear disables the free-capacity index and selects candidates
+	// by scanning every server, as the original implementation did. It
+	// exists for the seed-equivalence tests and before/after benchmarks.
+	forceLinear bool
 }
 
 // Cluster is the scheduler plus its server fleet.
@@ -165,6 +172,14 @@ type Cluster struct {
 	// deployDomains counts VMs per (deployment, fault domain) for the
 	// spreading rule.
 	deployDomains map[string][]int
+	// index is the free-capacity server index behind selectCandidates.
+	index serverIndex
+	// candScratch, allocScratch and lifeScratch are reusable candidate
+	// buffers so steady-state scheduling allocates nothing. They are only
+	// valid within one Schedule call.
+	candScratch  []*Server
+	allocScratch []*Server
+	lifeScratch  []*Server
 }
 
 // New builds an idle cluster.
@@ -195,6 +210,7 @@ func New(cfg Config) (*Cluster, error) {
 			MemoryGB:    cfg.MemGBPerServer,
 		})
 	}
+	c.index.init(c.Servers, cfg.FaultDomains, int(cfg.MaxOversub*float64(cfg.CoresPerServer))+1)
 	return c, nil
 }
 
@@ -246,7 +262,7 @@ func (c *Cluster) Schedule(req *Request) (*Server, bool) {
 // predictions (or empty ones) always qualify.
 func (c *Cluster) lifetimeRule(req *Request, candidates []*Server) []*Server {
 	const window = 24 * 60 // minutes; the paper's lifetime knee is 1 day
-	var out []*Server
+	out := c.lifeScratch[:0]
 	for _, s := range candidates {
 		mean, ok := s.MeanPredEnd()
 		if !ok {
@@ -261,6 +277,7 @@ func (c *Cluster) lifetimeRule(req *Request, candidates []*Server) []*Server {
 			out = append(out, s)
 		}
 	}
+	c.lifeScratch = out[:0]
 	if len(out) == 0 {
 		return candidates
 	}
@@ -280,8 +297,90 @@ func packingBetter(a, b *Server) bool {
 }
 
 // selectCandidates implements SELECTCANDIDATESERVERS of Algorithm 1 (and
-// the Baseline/Naive variants of Section 6.2).
+// the Baseline/Naive variants of Section 6.2) over the free-capacity
+// index. The returned slice is scratch owned by the cluster; it is valid
+// until the next Schedule call.
 func (c *Cluster) selectCandidates(req *Request) []*Server {
+	if c.cfg.forceLinear {
+		return c.selectCandidatesLinear(req)
+	}
+	out := c.candScratch[:0]
+	switch c.cfg.Policy {
+	case Baseline:
+		out = c.appendEmptyCandidates(out, req, 1.0)
+		out = c.appendKindCandidates(out, req, Oversubscribable, 1.0)
+		out = c.appendKindCandidates(out, req, NonOversubscribable, 1.0)
+	case Naive:
+		// Oversubscribe non-production VMs by allocation alone.
+		if req.Production {
+			return c.prodCandidates(req)
+		}
+		out = c.appendEmptyCandidates(out, req, c.cfg.MaxOversub)
+		out = c.appendKindCandidates(out, req, Oversubscribable, c.cfg.MaxOversub)
+	case RCHard, RCSoft:
+		if req.Production {
+			return c.prodCandidates(req)
+		}
+		// Hard part: allocation fit under the oversubscription cap.
+		allocFit := c.allocScratch[:0]
+		allocFit = c.appendEmptyCandidates(allocFit, req, c.cfg.MaxOversub)
+		allocFit = c.appendKindCandidates(allocFit, req, Oversubscribable, c.cfg.MaxOversub)
+		c.allocScratch = allocFit[:0]
+		// Utilization check (lines 15-17 of Algorithm 1).
+		maxUtil := c.cfg.MaxUtil * float64(c.cfg.CoresPerServer)
+		for _, s := range allocFit {
+			if s.PredUtilCores+req.PredUtilCores <= maxUtil {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 && c.cfg.Policy == RCSoft {
+			// Soft rule: disregarded when it would exclude every server
+			// that has the resources.
+			c.candScratch = out[:0]
+			return allocFit
+		}
+	}
+	c.candScratch = out[:0]
+	return out
+}
+
+// appendKindCandidates appends every non-empty server of the kind that
+// passes fitsBasic under the core factor, walking the allocation buckets
+// from empty-most upward and stopping at the first bucket whose servers
+// no longer fit.
+func (c *Cluster) appendKindCandidates(dst []*Server, req *Request, kind Kind, coreFactor float64) []*Server {
+	for alloc, bucket := range c.index.byAlloc[kindSlot(kind)] {
+		// Server shapes are uniform, so the core-fit check is a property
+		// of the bucket; float64(alloc) grows monotonically, so once a
+		// bucket fails every later one does too.
+		if float64(alloc+req.VM.Cores) > coreFactor*float64(c.cfg.CoresPerServer) {
+			break
+		}
+		for _, s := range bucket {
+			if c.fitsBasic(s, req, coreFactor) {
+				dst = append(dst, s)
+			}
+		}
+	}
+	return dst
+}
+
+// appendEmptyCandidates appends at most one empty server per fault domain
+// — the lowest-ID one, which is the only empty server any rule chain can
+// select (empty servers are interchangeable up to ID and fault domain).
+func (c *Cluster) appendEmptyCandidates(dst []*Server, req *Request, coreFactor float64) []*Server {
+	for d := range c.index.emptyByDomain {
+		if s := c.index.peekEmpty(d); s != nil && c.fitsBasic(s, req, coreFactor) {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// selectCandidatesLinear is the pre-index implementation: a full fleet
+// scan per arrival. Kept as the reference for seed-equivalence tests and
+// before/after benchmarks.
+func (c *Cluster) selectCandidatesLinear(req *Request) []*Server {
 	var out []*Server
 	switch c.cfg.Policy {
 	case Baseline:
@@ -293,7 +392,7 @@ func (c *Cluster) selectCandidates(req *Request) []*Server {
 	case Naive:
 		// Oversubscribe non-production VMs by allocation alone.
 		if req.Production {
-			return c.prodCandidates(req)
+			return c.prodCandidatesLinear(req)
 		}
 		for _, s := range c.Servers {
 			if (s.Kind == Oversubscribable || s.Empty()) && c.fitsBasic(s, req, c.cfg.MaxOversub) {
@@ -302,7 +401,7 @@ func (c *Cluster) selectCandidates(req *Request) []*Server {
 		}
 	case RCHard, RCSoft:
 		if req.Production {
-			return c.prodCandidates(req)
+			return c.prodCandidatesLinear(req)
 		}
 		// Hard part: allocation fit under the oversubscription cap.
 		var allocFit []*Server
@@ -331,6 +430,18 @@ func (c *Cluster) selectCandidates(req *Request) []*Server {
 // non-oversubscribable, with un-oversubscribed allocation headroom
 // (lines 4-7 of Algorithm 1).
 func (c *Cluster) prodCandidates(req *Request) []*Server {
+	if c.cfg.forceLinear {
+		return c.prodCandidatesLinear(req)
+	}
+	out := c.candScratch[:0]
+	out = c.appendEmptyCandidates(out, req, 1.0)
+	out = c.appendKindCandidates(out, req, NonOversubscribable, 1.0)
+	c.candScratch = out[:0]
+	return out
+}
+
+// prodCandidatesLinear is the pre-index production scan.
+func (c *Cluster) prodCandidatesLinear(req *Request) []*Server {
 	var out []*Server
 	for _, s := range c.Servers {
 		if (s.Kind == NonOversubscribable || s.Empty()) && c.fitsBasic(s, req, 1.0) {
@@ -376,6 +487,7 @@ func (c *Cluster) spreadRule(req *Request, candidates []*Server) []*Server {
 // VM's production annotation, then charge allocation and predicted
 // utilization.
 func (c *Cluster) PlaceVM(req *Request, s *Server) {
+	oldKind, oldAlloc := s.Kind, s.AllocCores
 	if s.Empty() {
 		if req.Production {
 			s.Kind = NonOversubscribable
@@ -393,6 +505,7 @@ func (c *Cluster) PlaceVM(req *Request, s *Server) {
 		s.sumPredEnd += float64(req.PredEndTime)
 		s.predEndCount++
 	}
+	c.index.reindex(s, oldKind, oldAlloc)
 	c.placement[req.VM.ID] = s
 	counts := c.deployDomains[req.Deployment]
 	if counts == nil {
@@ -410,6 +523,7 @@ func (c *Cluster) VMCompleted(req *Request) (*Server, error) {
 		return nil, fmt.Errorf("cluster: VM %d was never placed", req.VM.ID)
 	}
 	delete(c.placement, req.VM.ID)
+	oldKind, oldAlloc := s.Kind, s.AllocCores
 	s.AllocCores -= req.VM.Cores
 	s.AllocMemGB -= req.VM.MemoryGB
 	s.vmCount--
@@ -432,6 +546,7 @@ func (c *Cluster) VMCompleted(req *Request) (*Server, error) {
 	if s.Empty() {
 		s.Kind = Empty // server can be re-tagged by its next VM
 	}
+	c.index.reindex(s, oldKind, oldAlloc)
 	counts := c.deployDomains[req.Deployment]
 	if counts != nil {
 		counts[s.FaultDomain]--

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"resourcecentral/internal/trace"
+)
+
+// op is one step of a recorded workload: a placement request or the
+// completion of a previously placed VM (by position in the live list).
+type op struct {
+	complete bool
+	liveIdx  int
+	req      Request
+}
+
+// genWorkload builds a seeded random request/completion sequence that
+// exercises every rule: mixed production tags, fractional predicted
+// utilizations, several deployments, lifetime predictions, and enough
+// volume to fill and drain the cluster repeatedly.
+func genWorkload(seed uint64, steps int) []op {
+	r := rand.New(rand.NewPCG(seed, 0xec0))
+	ops := make([]op, 0, steps)
+	var id int64
+	live := 0
+	for i := 0; i < steps; i++ {
+		if r.Float64() < 0.4 && live > 0 {
+			ops = append(ops, op{complete: true, liveIdx: r.IntN(live)})
+			live--
+			continue
+		}
+		id++
+		cores := []int{1, 1, 2, 2, 4, 8, 16}[r.IntN(7)]
+		o := op{req: Request{
+			VM: &trace.VM{
+				ID:       id,
+				Cores:    cores,
+				MemoryGB: float64(cores) * []float64{1.75, 3.5, 7}[r.IntN(3)],
+			},
+			Production:    r.Float64() < 0.5,
+			PredUtilCores: float64(cores) * r.Float64(),
+			Deployment:    []string{"a", "b", "c", "d"}[r.IntN(4)],
+		}}
+		if r.Float64() < 0.5 {
+			o.req.PredEndTime = trace.Minutes(r.IntN(7 * 24 * 60))
+		}
+		ops = append(ops, o)
+		live++
+	}
+	return ops
+}
+
+// replay drives one cluster through the workload and records, per op, the
+// chosen server ID (-1 for scheduling failures, -2 for completions).
+func replay(t *testing.T, c *Cluster, ops []op) []int {
+	t.Helper()
+	out := make([]int, 0, len(ops))
+	var live []*Request
+	for _, o := range ops {
+		if o.complete {
+			// Scheduling failures mean the live list can be shorter than
+			// the generator assumed; resolve the index against the actual
+			// list. Both clusters replay identically up to the first
+			// divergence, which the caller's comparison reports.
+			if len(live) == 0 {
+				out = append(out, -3)
+				continue
+			}
+			idx := o.liveIdx % len(live)
+			req := live[idx]
+			live = append(live[:idx], live[idx+1:]...)
+			if _, err := c.VMCompleted(req); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, -2)
+			continue
+		}
+		req := o.req // fresh copy per cluster
+		if s, ok := c.Schedule(&req); ok {
+			live = append(live, &req)
+			out = append(out, s.ID)
+		} else {
+			out = append(out, -1)
+		}
+	}
+	return out
+}
+
+// TestIndexedMatchesLinear is the seed-equivalence proof for the indexed
+// scheduler: on seeded random workloads, for every policy (with and
+// without the lifetime rule), the indexed candidate selection must pick
+// byte-identical placements to the original full-fleet linear scan.
+func TestIndexedMatchesLinear(t *testing.T) {
+	for _, policy := range []Policy{Baseline, Naive, RCHard, RCSoft} {
+		for _, lifetime := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/lifetime=%v", policy, lifetime), func(t *testing.T) {
+				for seed := uint64(1); seed <= 8; seed++ {
+					cfg := Config{
+						Servers: 23, CoresPerServer: 16, MemGBPerServer: 112,
+						FaultDomains: 5, Policy: policy,
+						MaxOversub: 1.25, MaxUtil: 1.0,
+						LifetimeAware: lifetime,
+					}
+					indexed, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.forceLinear = true
+					linear, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ops := genWorkload(seed, 1200)
+					got := replay(t, indexed, ops)
+					want := replay(t, linear, ops)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d step %d: indexed chose %d, linear chose %d",
+								seed, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIndexedMatchesLinearTightCluster repeats the equivalence check on a
+// tiny overloaded cluster where failures, the RCSoft fallback, and empty
+// retagging dominate.
+func TestIndexedMatchesLinearTightCluster(t *testing.T) {
+	for _, policy := range []Policy{Baseline, Naive, RCHard, RCSoft} {
+		for seed := uint64(20); seed < 26; seed++ {
+			cfg := Config{
+				Servers: 3, CoresPerServer: 16, MemGBPerServer: 56,
+				FaultDomains: 2, Policy: policy,
+				MaxOversub: 1.25, MaxUtil: 0.9,
+			}
+			indexed, _ := New(cfg)
+			cfg.forceLinear = true
+			linear, _ := New(cfg)
+			ops := genWorkload(seed, 600)
+			got := replay(t, indexed, ops)
+			want := replay(t, linear, ops)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("policy %v seed %d step %d: indexed %d, linear %d",
+						policy, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

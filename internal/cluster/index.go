@@ -1,0 +1,155 @@
+// Server pools indexed by kind and free capacity, so candidate selection
+// touches only servers that can actually host the request instead of
+// scanning the whole fleet per arrival.
+//
+// Two structures cover the scheduler's queries:
+//
+//   - Non-empty servers live in per-kind bucket lists keyed by AllocCores.
+//     A request's core-fit check depends only on AllocCores (server shapes
+//     are uniform within a cluster), so eligible servers are exactly the
+//     buckets below the request's allocation threshold; full servers are
+//     never visited.
+//   - Empty servers are interchangeable except for their fault domain (the
+//     spreading rule) and their ID (the packing tie-break), so the index
+//     keeps one lazy min-heap of empty-server IDs per fault domain and
+//     candidate selection emits at most one representative — the lowest ID
+//     empty server — per domain. Every scheduling rule treats empty
+//     servers identically (no allocation, no predicted utilization, no
+//     mean predicted end time), so the representative's fate is the fate
+//     of every empty server in its domain, and the chosen placement is
+//     provably identical to scanning them all (see the seed-equivalence
+//     tests).
+//
+// Index maintenance is O(1) per placement/completion; selection cost is
+// proportional to the number of eligible servers plus the number of fault
+// domains, independent of fleet size.
+package cluster
+
+// kindSlot maps a non-empty Kind to its byAlloc slot.
+func kindSlot(k Kind) int {
+	if k == Oversubscribable {
+		return 0
+	}
+	return 1
+}
+
+// serverIndex is the cluster's free-capacity index.
+type serverIndex struct {
+	// byAlloc[kindSlot(kind)][alloc] lists the non-empty servers of that
+	// kind with AllocCores == alloc. Servers track their position for
+	// O(1) swap-removal.
+	byAlloc [2][][]*Server
+	// emptyByDomain[d] is a min-heap of server IDs that were empty when
+	// pushed. Entries are lazily discarded at peek time once the server
+	// is no longer empty, so pushes and placements never search the heap.
+	emptyByDomain [][]int
+	// servers resolves heap entries (IDs) back to servers.
+	servers []*Server
+}
+
+// init indexes an all-empty fleet.
+func (ix *serverIndex) init(servers []*Server, domains, maxAlloc int) {
+	for i := range ix.byAlloc {
+		ix.byAlloc[i] = make([][]*Server, maxAlloc+1)
+	}
+	ix.servers = servers
+	ix.emptyByDomain = make([][]int, domains)
+	// Server IDs ascend, so each per-domain slice is already a valid
+	// min-heap.
+	for _, s := range servers {
+		ix.emptyByDomain[s.FaultDomain] = append(ix.emptyByDomain[s.FaultDomain], s.ID)
+	}
+}
+
+// add registers a non-empty server under its current (Kind, AllocCores).
+func (ix *serverIndex) add(s *Server) {
+	buckets := &ix.byAlloc[kindSlot(s.Kind)]
+	for len(*buckets) <= s.AllocCores {
+		*buckets = append(*buckets, nil)
+	}
+	lst := (*buckets)[s.AllocCores]
+	s.bucketPos = len(lst)
+	(*buckets)[s.AllocCores] = append(lst, s)
+}
+
+// remove deregisters a server from the non-empty bucket it occupied under
+// (kind, alloc) — the values captured before the bookkeeping mutation.
+func (ix *serverIndex) remove(s *Server, kind Kind, alloc int) {
+	lst := ix.byAlloc[kindSlot(kind)][alloc]
+	last := len(lst) - 1
+	moved := lst[last]
+	lst[s.bucketPos] = moved
+	moved.bucketPos = s.bucketPos
+	ix.byAlloc[kindSlot(kind)][alloc] = lst[:last]
+}
+
+// pushEmpty records that the server just became empty.
+func (ix *serverIndex) pushEmpty(s *Server) {
+	h := ix.emptyByDomain[s.FaultDomain]
+	h = append(h, s.ID)
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	ix.emptyByDomain[s.FaultDomain] = h
+}
+
+// peekEmpty returns the lowest-ID empty server in the fault domain, or
+// nil when the domain has none. Stale heap entries (servers that have
+// since been placed on) are discarded on the way.
+func (ix *serverIndex) peekEmpty(domain int) *Server {
+	h := ix.emptyByDomain[domain]
+	for len(h) > 0 {
+		s := ix.servers[h[0]]
+		if s.Kind == Empty {
+			ix.emptyByDomain[domain] = h
+			return s
+		}
+		// Pop the stale minimum: move the last entry to the root and
+		// sift down.
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(h) && h[l] < h[smallest] {
+				smallest = l
+			}
+			if r < len(h) && h[r] < h[smallest] {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			h[i], h[smallest] = h[smallest], h[i]
+			i = smallest
+		}
+	}
+	ix.emptyByDomain[domain] = h
+	return nil
+}
+
+// reindex moves a server whose (Kind, AllocCores) key changed from
+// (oldKind, oldAlloc) to its current values. Empty servers live in the
+// domain heaps, not the alloc buckets.
+func (ix *serverIndex) reindex(s *Server, oldKind Kind, oldAlloc int) {
+	if oldKind == s.Kind && oldAlloc == s.AllocCores {
+		return
+	}
+	if oldKind != Empty {
+		ix.remove(s, oldKind, oldAlloc)
+	}
+	if s.Kind == Empty {
+		ix.pushEmpty(s)
+	} else {
+		ix.add(s)
+	}
+}

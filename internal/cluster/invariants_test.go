@@ -51,6 +51,67 @@ func checkInvariants(t *testing.T, c *Cluster, live map[int64]*Request) {
 	if diff := allocMem - wantMem; diff > 1e-6 || diff < -1e-6 {
 		t.Fatalf("global memory accounting off by %v", diff)
 	}
+	checkIndex(t, c)
+}
+
+// checkIndex audits the free-capacity index against the fleet: every
+// non-empty server sits in exactly the (Kind, AllocCores) bucket matching
+// its state at the recorded position, and every empty server is reachable
+// through its fault domain's heap. The audit runs after every operation in
+// the randomized workloads, so any PlaceVM/VMCompleted path that forgets a
+// reindex fails immediately.
+func checkIndex(t *testing.T, c *Cluster) {
+	t.Helper()
+	seen := make(map[int]bool, len(c.Servers))
+	for slot := range c.index.byAlloc {
+		for alloc, bucket := range c.index.byAlloc[slot] {
+			for pos, s := range bucket {
+				if seen[s.ID] {
+					t.Fatalf("server %d indexed twice", s.ID)
+				}
+				seen[s.ID] = true
+				if s.Kind == Empty {
+					t.Fatalf("empty server %d in alloc bucket (%d, %d)", s.ID, slot, alloc)
+				}
+				if kindSlot(s.Kind) != slot || s.AllocCores != alloc {
+					t.Fatalf("server %d (kind %v, alloc %d) filed under (%d, %d)",
+						s.ID, s.Kind, s.AllocCores, slot, alloc)
+				}
+				if s.bucketPos != pos {
+					t.Fatalf("server %d bucketPos %d, actually at %d", s.ID, s.bucketPos, pos)
+				}
+			}
+		}
+	}
+	// Heap entries may be stale (lazily discarded), but every live empty
+	// server must appear in its own domain's heap exactly as many times as
+	// needed to be found — at least once.
+	inHeap := make(map[int]bool)
+	for d, h := range c.index.emptyByDomain {
+		for i, id := range h {
+			s := c.index.servers[id]
+			if s.FaultDomain != d {
+				t.Fatalf("server %d (domain %d) in domain %d heap", id, s.FaultDomain, d)
+			}
+			if i > 0 && h[(i-1)/2] > id {
+				t.Fatalf("domain %d heap violates min order at %d: %v", d, i, h)
+			}
+			inHeap[id] = true
+		}
+	}
+	for _, s := range c.Servers {
+		switch {
+		case s.Kind == Empty:
+			if !inHeap[s.ID] {
+				t.Fatalf("empty server %d unreachable from domain %d heap", s.ID, s.FaultDomain)
+			}
+			if seen[s.ID] {
+				t.Fatalf("empty server %d also in an alloc bucket", s.ID)
+			}
+		case !seen[s.ID]:
+			t.Fatalf("non-empty server %d missing from the index", s.ID)
+		}
+	}
 }
 
 // TestQuickClusterInvariants drives random place/complete sequences under
@@ -62,6 +123,7 @@ func TestQuickClusterInvariants(t *testing.T) {
 		c, err := New(Config{
 			Servers: 6, CoresPerServer: 16, MemGBPerServer: 112,
 			Policy: policy, MaxOversub: 1.25, MaxUtil: 1.0,
+			LifetimeAware: seed%2 == 0,
 		})
 		if err != nil {
 			return false
@@ -79,6 +141,9 @@ func TestQuickClusterInvariants(t *testing.T) {
 					Production:    r.Float64() < 0.7,
 					PredUtilCores: float64(cores) * r.Float64(),
 					Deployment:    []string{"a", "b", "c"}[r.IntN(3)],
+				}
+				if r.Float64() < 0.5 {
+					req.PredEndTime = trace.Minutes(r.IntN(10000))
 				}
 				if _, ok := c.Schedule(req); ok {
 					live[id] = req

@@ -1,0 +1,84 @@
+package obs
+
+import "fmt"
+
+// MergeFamilies combines gathered snapshots from several registries into
+// one, as if every metric had been recorded against a single registry:
+// counter samples with the same (name, labels) sum, gauges keep the last
+// snapshot's value, and histograms merge bucket-by-bucket. Families and
+// samples keep first-seen order, so merging per-worker registries from a
+// deterministic sweep yields a deterministic snapshot. Returned data is
+// deep-copied — mutating it never aliases the inputs.
+//
+// A name appearing with different kinds across snapshots is an error
+// (the same programmer error a shared registry reports by panicking);
+// histograms with mismatched bounds are likewise rejected.
+func MergeFamilies(snaps ...[]Family) ([]Family, error) {
+	// Slots address samples by index: out grows while merging, so pointers
+	// into it would dangle across appends.
+	type sampleSlot struct {
+		fam int
+		idx int
+	}
+	var out []Family
+	famAt := map[string]int{}
+	samples := map[string]sampleSlot{}
+
+	for _, snap := range snaps {
+		for _, f := range snap {
+			fi, seen := famAt[f.Name]
+			if !seen {
+				fi = len(out)
+				famAt[f.Name] = fi
+				out = append(out, Family{Name: f.Name, Help: f.Help, Kind: f.Kind})
+			} else {
+				if out[fi].Kind != f.Kind {
+					return nil, fmt.Errorf("obs: merge: family %q is both %s and %s",
+						f.Name, out[fi].Kind, f.Kind)
+				}
+				if out[fi].Help == "" {
+					out[fi].Help = f.Help
+				}
+			}
+			for _, s := range f.Samples {
+				sig := f.Name
+				for _, l := range s.Labels {
+					sig += "\x00" + l.Key + "\x00" + l.Value
+				}
+				slot, ok := samples[sig]
+				if !ok {
+					ns := Sample{Labels: append([]Label(nil), s.Labels...), Value: s.Value}
+					if s.Histogram != nil {
+						h := s.Histogram.clone()
+						ns.Histogram = &h
+					}
+					out[fi].Samples = append(out[fi].Samples, ns)
+					samples[sig] = sampleSlot{fam: fi, idx: len(out[fi].Samples) - 1}
+					continue
+				}
+				dst := &out[slot.fam].Samples[slot.idx]
+				switch f.Kind {
+				case KindCounter:
+					dst.Value += s.Value
+				case KindGauge:
+					dst.Value = s.Value
+				case KindHistogram:
+					if s.Histogram == nil {
+						continue
+					}
+					if dst.Histogram == nil {
+						h := s.Histogram.clone()
+						dst.Histogram = &h
+						continue
+					}
+					merged, err := dst.Histogram.Merge(*s.Histogram)
+					if err != nil {
+						return nil, fmt.Errorf("obs: merge %q: %w", f.Name, err)
+					}
+					*dst.Histogram = merged
+				}
+			}
+		}
+	}
+	return out, nil
+}

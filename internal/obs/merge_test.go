@@ -1,0 +1,86 @@
+package obs
+
+import "testing"
+
+func gatherOf(build func(r *Registry)) []Family {
+	r := NewRegistry()
+	build(r)
+	return r.Gather()
+}
+
+func TestMergeFamilies(t *testing.T) {
+	a := gatherOf(func(r *Registry) {
+		r.Counter("rc_m_total", "help a", "w", "1").Add(3)
+		r.Gauge("rc_m_rate", "").Set(10)
+		r.Histogram("rc_m_seconds", "", []float64{1, 2}).Observe(0.5)
+	})
+	b := gatherOf(func(r *Registry) {
+		r.Counter("rc_m_total", "", "w", "1").Add(4)
+		r.Counter("rc_m_total", "", "w", "2").Add(5)
+		r.Gauge("rc_m_rate", "").Set(20)
+		r.Histogram("rc_m_seconds", "", []float64{1, 2}).Observe(1.5)
+	})
+
+	merged, err := MergeFamilies(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Family{}
+	for _, f := range merged {
+		byName[f.Name] = f
+	}
+
+	total := byName["rc_m_total"]
+	if total.Help != "help a" {
+		t.Errorf("help = %q, want first non-empty", total.Help)
+	}
+	if len(total.Samples) != 2 {
+		t.Fatalf("counter samples = %d, want 2", len(total.Samples))
+	}
+	// First-seen order: w=1 (from a) before w=2 (from b); same labels sum.
+	if s := total.Samples[0]; s.Labels[0].Value != "1" || s.Value != 7 {
+		t.Errorf("w=1 sample = %+v, want value 7", s)
+	}
+	if s := total.Samples[1]; s.Labels[0].Value != "2" || s.Value != 5 {
+		t.Errorf("w=2 sample = %+v, want value 5", s)
+	}
+
+	if s := byName["rc_m_rate"].Samples[0]; s.Value != 20 {
+		t.Errorf("gauge = %g, want last-snapshot value 20", s.Value)
+	}
+
+	hist := byName["rc_m_seconds"].Samples[0].Histogram
+	if hist == nil || hist.Count != 2 || hist.Sum != 2 {
+		t.Fatalf("histogram = %+v, want merged count 2 sum 2", hist)
+	}
+	// The merge must not alias the input snapshots.
+	hist.Counts[0] = 99
+	if a[2].Samples[0].Histogram.Counts[0] == 99 {
+		t.Error("merged histogram aliases input snapshot")
+	}
+}
+
+func TestMergeFamiliesKindMismatch(t *testing.T) {
+	a := gatherOf(func(r *Registry) { r.Counter("rc_m_x", "").Inc() })
+	b := gatherOf(func(r *Registry) { r.Gauge("rc_m_x", "").Set(1) })
+	if _, err := MergeFamilies(a, b); err == nil {
+		t.Fatal("expected kind-mismatch error")
+	}
+}
+
+func TestMergeFamiliesBoundsMismatch(t *testing.T) {
+	a := gatherOf(func(r *Registry) { r.Histogram("rc_m_h", "", []float64{1}).Observe(0.5) })
+	b := gatherOf(func(r *Registry) { r.Histogram("rc_m_h", "", []float64{1, 2}).Observe(0.5) })
+	if _, err := MergeFamilies(a, b); err == nil {
+		t.Fatal("expected bounds-mismatch error")
+	}
+}
+
+func TestMergeFamiliesEmpty(t *testing.T) {
+	if got, err := MergeFamilies(); err != nil || got != nil {
+		t.Fatalf("MergeFamilies() = %v, %v; want nil, nil", got, err)
+	}
+	if got, err := MergeFamilies(nil, nil); err != nil || got != nil {
+		t.Fatalf("MergeFamilies(nil, nil) = %v, %v; want nil, nil", got, err)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+var (
+	benchOnce sync.Once
+	benchTr   *trace.Trace
+	benchErr  error
+)
+
+// benchTrace generates the shared benchmark trace: ten days and enough
+// VMs to keep a 2000-server cluster visibly loaded.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 10
+		cfg.TargetVMs = 12000
+		cfg.MaxDeploymentVMs = 150
+		cfg.Seed = 7
+		res, err := synth.Generate(cfg)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchTr = res.Trace
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchTr
+}
+
+// fixedPredictor returns a constant bucket with full confidence; it keeps
+// scheduler benchmarks from being dominated by predictor cost.
+type fixedPredictor struct{ bucket int }
+
+func (p fixedPredictor) PredictP95Bucket(*trace.VM, int) (int, float64, bool) {
+	return p.bucket, 1, true
+}
+
+func benchClusterConfig(policy cluster.Policy, servers int) cluster.Config {
+	return cluster.Config{
+		Servers:        servers,
+		CoresPerServer: 16,
+		MemGBPerServer: 112,
+		Policy:         policy,
+		MaxOversub:     1.25,
+		MaxUtil:        1.0,
+	}
+}
+
+// BenchmarkSimRun measures one full trace replay at growing cluster sizes
+// (the Section 6.2 Fig. 11 run). The subbenchmarks are the scaling curve:
+// before the indexed scheduler and streaming aggregation, both time and
+// allocations grew with servers × intervals.
+func BenchmarkSimRun(b *testing.B) {
+	tr := benchTrace(b)
+	for _, servers := range []int{250, 500, 1000, 2000} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			cfg := Config{
+				Cluster:   benchClusterConfig(cluster.RCSoft, servers),
+				Predictor: fixedPredictor{bucket: 2},
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(tr, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimSweep replays a six-point policy grid (the Fig. 11
+// comparison plus two sensitivity points) through RunSweep at several
+// worker counts. Points are independent full simulations, so scaling
+// should track available cores.
+func BenchmarkSimSweep(b *testing.B) {
+	tr := benchTrace(b)
+	grid := func() []Config {
+		pred := fixedPredictor{bucket: 2}
+		return []Config{
+			{Cluster: benchClusterConfig(cluster.Baseline, 500)},
+			{Cluster: benchClusterConfig(cluster.Naive, 500)},
+			{Cluster: benchClusterConfig(cluster.RCHard, 500), Predictor: pred},
+			{Cluster: benchClusterConfig(cluster.RCSoft, 500), Predictor: pred},
+			{Cluster: benchClusterConfig(cluster.RCSoft, 500), Predictor: pred, UtilScale: 1.25},
+			{Cluster: benchClusterConfig(cluster.RCSoft, 500), Predictor: pred, BucketShift: 1},
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunSweep(tr, grid(), SweepOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/trace"
+)
+
+// referenceRun is the pre-streaming implementation of Run, kept verbatim
+// (minus metrics): it materializes the full servers×intervals float32
+// matrix and derives the utilization statistics in a final pass. The one
+// deliberate difference from the historical code is the mean reduction:
+// per-server row subtotals summed in server-ID order, matching the
+// regrouping the streaming implementation documents — every other field
+// is computed exactly as before.
+func referenceRun(tr *trace.Trace, cfg Config) (*Result, error) {
+	if cfg.ConfidenceThreshold == 0 {
+		cfg.ConfidenceThreshold = 0.6
+	}
+	if cfg.UtilScale == 0 {
+		cfg.UtilScale = 1
+	}
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	intervals := int(tr.Horizon / trace.ReadingIntervalMin)
+	series := make([][]float32, len(cl.Servers))
+	for i := range series {
+		series[i] = make([]float32, intervals)
+	}
+	deployRequested := countInitialWaves(tr)
+	res := &Result{Policy: cfg.Cluster.Policy}
+	var completions completionHeap
+	for i := range tr.VMs {
+		v := &tr.VMs[i]
+		for len(completions) > 0 && completions[0].at <= v.Created {
+			done := heap.Pop(&completions).(completion)
+			srv, err := cl.VMCompleted(done.req)
+			if err != nil {
+				return nil, err
+			}
+			if srv.Empty() {
+				res.ServerDrains++
+			}
+		}
+		res.Arrivals++
+		req := &cluster.Request{
+			VM:         v,
+			Production: v.Production,
+			Deployment: v.Deployment,
+		}
+		req.PredUtilCores = c95Cores(v, cfg, deployRequested[v.Deployment])
+		if cfg.LifetimePredictor != nil {
+			if b, score, ok := cfg.LifetimePredictor.PredictLifetimeBucket(v, deployRequested[v.Deployment]); ok && score >= cfg.ConfidenceThreshold {
+				req.PredEndTime = v.Created + trace.Minutes(metric.Lifetime.BucketHigh(b))
+			}
+		}
+		server, ok := cl.Schedule(req)
+		if !ok {
+			res.Failures++
+			if req.Production {
+				res.FailuresProd++
+			} else {
+				res.FailuresNonProd++
+			}
+			continue
+		}
+		res.Placed++
+		end := v.Deleted
+		if end > tr.Horizon {
+			end = tr.Horizon
+		}
+		res.AllocatedCoreHours += float64(end-v.Created) / 60 * float64(v.Cores)
+		cores := float64(v.Cores)
+		for t := alignUp(v.Created); t+trace.ReadingIntervalMin <= end; t += trace.ReadingIntervalMin {
+			idx := int(t / trace.ReadingIntervalMin)
+			if idx < 0 || idx >= intervals {
+				continue
+			}
+			_, _, max := v.Util.At(t)
+			series[server.ID][idx] += float32(max / 100 * cores * cfg.UtilScale)
+		}
+		if v.Deleted < trace.NoEnd {
+			heap.Push(&completions, completion{at: v.Deleted, req: req})
+		}
+	}
+	capacity := float32(cfg.Cluster.CoresPerServer)
+	var sum float64
+	for _, s := range series {
+		var rowSum float64
+		for _, reading := range s {
+			pct := float64(reading) / float64(capacity) * 100
+			rowSum += pct
+			if reading > 0 {
+				res.BusyReadings++
+			}
+			if pct > 100 {
+				res.ReadingsAbove100++
+			}
+			if pct > res.MaxReadingPct {
+				res.MaxReadingPct = pct
+			}
+		}
+		sum += rowSum
+	}
+	res.AvgUtilizationPct = sum / float64(len(series)*intervals)
+	res.FailureRate = float64(res.Failures) / float64(res.Arrivals)
+	return res, nil
+}
+
+// TestStreamingMatchesMatrix proves the streaming aggregation reproduces
+// the matrix implementation's Result bit-for-bit across all policies and
+// the sensitivity-study knobs.
+func TestStreamingMatchesMatrix(t *testing.T) {
+	tr := loadTrace(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", Config{Cluster: clusterConfig(cluster.Baseline, 2000)}},
+		{"naive", Config{Cluster: clusterConfig(cluster.Naive, 2000)}},
+		{"rc-hard", Config{
+			Cluster:   clusterConfig(cluster.RCHard, 2000),
+			Predictor: &OraclePredictor{Horizon: tr.Horizon},
+		}},
+		{"rc-soft", Config{
+			Cluster:   clusterConfig(cluster.RCSoft, 2000),
+			Predictor: &OraclePredictor{Horizon: tr.Horizon},
+		}},
+		{"rc-soft/scaled", Config{
+			Cluster:   clusterConfig(cluster.RCSoft, 2000),
+			Predictor: &OraclePredictor{Horizon: tr.Horizon},
+			UtilScale: 1.25,
+		}},
+		{"rc-soft/shifted", Config{
+			Cluster:     clusterConfig(cluster.RCSoft, 2000),
+			Predictor:   &OraclePredictor{Horizon: tr.Horizon},
+			BucketShift: 1,
+		}},
+		{"rc-soft/small-cluster", Config{
+			Cluster:   clusterConfig(cluster.RCSoft, 600),
+			Predictor: &OraclePredictor{Horizon: tr.Horizon},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Run(tr, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := referenceRun(tr, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("streaming Result diverges from matrix reference:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestStreamingMatchesMatrixLifetime covers the lifetime-aware extension
+// (predicted end times change placements and drain counting).
+func TestStreamingMatchesMatrixLifetime(t *testing.T) {
+	tr := loadTrace(t)
+	cc := clusterConfig(cluster.RCSoft, 2000)
+	cc.LifetimeAware = true
+	for _, threshold := range []float64{0.6, 0.9} {
+		t.Run(fmt.Sprintf("threshold=%g", threshold), func(t *testing.T) {
+			cfg := Config{
+				Cluster:             cc,
+				Predictor:           &OraclePredictor{Horizon: tr.Horizon},
+				LifetimePredictor:   &OracleLifetimePredictor{Horizon: tr.Horizon},
+				ConfidenceThreshold: threshold,
+			}
+			got, err := Run(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := referenceRun(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("streaming Result diverges from matrix reference:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}

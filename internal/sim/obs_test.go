@@ -8,11 +8,16 @@ import (
 )
 
 // TestRunInstrumented checks the simulation reports arrival/placement
-// counters, rule-evaluation counts, and a placement rate.
+// counters, rule-evaluation counts, and a placement rate, all labeled by
+// policy (plus the run label when set).
 func TestRunInstrumented(t *testing.T) {
 	tr := loadTrace(t)
 	reg := obs.NewRegistry()
-	res, err := Run(tr, Config{Cluster: clusterConfig(cluster.Baseline, 2000), Obs: reg})
+	res, err := Run(tr, Config{
+		Cluster:  clusterConfig(cluster.Baseline, 2000),
+		Obs:      reg,
+		RunLabel: "unit",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,28 +34,29 @@ func TestRunInstrumented(t *testing.T) {
 		}
 	}
 
-	if got := values["rc_sim_arrivals_total"][""]; got != float64(res.Arrivals) {
+	run := "policy=baseline;run=unit;"
+	if got := values["rc_sim_arrivals_total"][run]; got != float64(res.Arrivals) {
 		t.Errorf("arrivals metric = %g, want %d", got, res.Arrivals)
 	}
-	if got := values["rc_sim_placements_total"][""]; got != float64(res.Placed) {
+	if got := values["rc_sim_placements_total"][run]; got != float64(res.Placed) {
 		t.Errorf("placements metric = %g, want %d", got, res.Placed)
 	}
-	if got := values["rc_sim_failures_total"][""]; got != float64(res.Failures) {
+	if got := values["rc_sim_failures_total"][run]; got != float64(res.Failures) {
 		t.Errorf("failures metric = %g, want %d", got, res.Failures)
 	}
 	// Every Schedule call evaluates the admission rule; spread and
 	// packing only run when candidates exist (all of them here, since
 	// nothing failed).
-	if got := values["rc_sim_rule_evaluations_total"]["rule=admission;"]; got != float64(res.Arrivals) {
+	if got := values["rc_sim_rule_evaluations_total"][run+"rule=admission;"]; got != float64(res.Arrivals) {
 		t.Errorf("admission evaluations = %g, want %d", got, res.Arrivals)
 	}
-	if got := values["rc_sim_rule_evaluations_total"]["rule=packing;"]; got != float64(res.Placed) {
+	if got := values["rc_sim_rule_evaluations_total"][run+"rule=packing;"]; got != float64(res.Placed) {
 		t.Errorf("packing evaluations = %g, want %d", got, res.Placed)
 	}
-	if got := values["rc_sim_placements_per_second"][""]; got <= 0 {
+	if got := values["rc_sim_placements_per_second"][run]; got <= 0 {
 		t.Errorf("placements/sec = %g, want > 0", got)
 	}
-	if snap, ok := reg.Snapshot("rc_sim_run_seconds"); !ok || snap.Count != 1 {
+	if snap, ok := reg.Snapshot("rc_sim_run_seconds", "policy", "baseline", "run", "unit"); !ok || snap.Count != 1 {
 		t.Errorf("run_seconds count = %d (ok=%v)", snap.Count, ok)
 	}
 }

@@ -52,8 +52,13 @@ type Config struct {
 	LifetimePredictor LifetimePredictor
 	// Obs receives simulation metrics: arrivals/placements/failures,
 	// rule-evaluation counts by rule, predictor calls, and the
-	// placements-per-second rate of the run (nil disables them).
+	// placements-per-second rate of the run (nil disables them). All sim
+	// metrics are labeled by policy (and by RunLabel when set) so sweep
+	// points sharing a registry don't clobber each other.
 	Obs *obs.Registry
+	// RunLabel, when non-empty, is added as a "run" label on every sim
+	// metric, distinguishing sweep points that share a policy.
+	RunLabel string
 }
 
 // Result summarizes one run.
@@ -101,18 +106,25 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		cfg.UtilScale = 1
 	}
 	reg := cfg.Obs
+	runLabels := []string{"policy", cfg.Cluster.Policy.String()}
+	if cfg.RunLabel != "" {
+		runLabels = append(runLabels, "run", cfg.RunLabel)
+	}
+	withLabels := func(extra ...string) []string {
+		return append(append(make([]string, 0, len(runLabels)+len(extra)), runLabels...), extra...)
+	}
 	runSpan := reg.StartSpan("sim.run")
-	arrivals := reg.Counter("rc_sim_arrivals_total", "VM arrivals simulated.")
-	placements := reg.Counter("rc_sim_placements_total", "VMs placed by the scheduler.")
-	failures := reg.Counter("rc_sim_failures_total", "Scheduling failures.")
+	arrivals := reg.Counter("rc_sim_arrivals_total", "VM arrivals simulated.", runLabels...)
+	placements := reg.Counter("rc_sim_placements_total", "VMs placed by the scheduler.", runLabels...)
+	failures := reg.Counter("rc_sim_failures_total", "Scheduling failures.", runLabels...)
 	predictions := reg.Counter("rc_sim_predictions_total",
-		"Predictor calls made by the simulation, by kind.", "kind", "p95cpu")
-	lifetimePreds := reg.Counter("rc_sim_predictions_total", "", "kind", "lifetime")
+		"Predictor calls made by the simulation, by kind.", withLabels("kind", "p95cpu")...)
+	lifetimePreds := reg.Counter("rc_sim_predictions_total", "", withLabels("kind", "lifetime")...)
 	if reg.Enabled() {
 		ruleCounters := map[string]obs.Counter{}
 		for _, rule := range []string{"admission", "spread", "lifetime", "packing"} {
 			ruleCounters[rule] = reg.Counter("rc_sim_rule_evaluations_total",
-				"Scheduler rule-chain evaluations, by rule.", "rule", rule)
+				"Scheduler rule-chain evaluations, by rule.", withLabels("rule", rule)...)
 		}
 		prev := cfg.Cluster.RuleHook
 		cfg.Cluster.RuleHook = func(rule string) {
@@ -133,10 +145,14 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if intervals <= 0 {
 		return nil, fmt.Errorf("sim: horizon %d too short", tr.Horizon)
 	}
-	series := make([][]float32, len(cl.Servers))
-	for i := range series {
-		series[i] = make([]float32, intervals)
-	}
+	// One streaming accumulator per server instead of a servers×intervals
+	// matrix: each placement advances the target server's finalized-interval
+	// frontier before joining its active set, and the final flush drains
+	// every accumulator to the horizon.
+	accums := make([]serverAccum, len(cl.Servers))
+	// The original stats pass divided by a float32 capacity; keep that
+	// rounding so per-reading percentages stay bit-identical.
+	capacity := float64(float32(cfg.Cluster.CoresPerServer))
 
 	deployRequested := countInitialWaves(tr)
 
@@ -194,35 +210,41 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			end = tr.Horizon
 		}
 		res.AllocatedCoreHours += float64(end-v.Created) / 60 * float64(v.Cores)
-		addUtilization(series[server.ID], v, end, cfg.UtilScale)
+		a := &accums[server.ID]
+		startIdx := int(alignUp(v.Created) / trace.ReadingIntervalMin)
+		if startIdx > intervals {
+			startIdx = intervals
+		}
+		a.advance(startIdx, cfg.UtilScale, capacity)
+		a.active = append(a.active, activeVM{v: v, end: end, cores: float64(v.Cores)})
 		if v.Deleted < trace.NoEnd {
 			heap.Push(&completions, completion{at: v.Deleted, req: req})
 		}
 	}
 
-	capacity := float32(cfg.Cluster.CoresPerServer)
+	// Flush every accumulator to the horizon, then combine per-server
+	// statistics in server-ID order. The counters and maximum are
+	// order-independent; the utilization mean sums per-server subtotals
+	// instead of one global chain over every matrix cell — the only float
+	// regrouping relative to the matrix implementation (see the streaming
+	// equivalence test, whose reference reduces the same way).
 	var sum float64
-	for _, s := range series {
-		for _, reading := range s {
-			pct := float64(reading) / float64(capacity) * 100
-			sum += pct
-			if reading > 0 {
-				res.BusyReadings++
-			}
-			if pct > 100 {
-				res.ReadingsAbove100++
-			}
-			if pct > res.MaxReadingPct {
-				res.MaxReadingPct = pct
-			}
+	for i := range accums {
+		a := &accums[i]
+		a.advance(intervals, cfg.UtilScale, capacity)
+		sum += a.sumPct
+		res.BusyReadings += a.busy
+		res.ReadingsAbove100 += a.above100
+		if a.maxPct > res.MaxReadingPct {
+			res.MaxReadingPct = a.maxPct
 		}
 	}
-	res.AvgUtilizationPct = sum / float64(len(series)*intervals)
+	res.AvgUtilizationPct = sum / float64(len(accums)*intervals)
 	res.FailureRate = float64(res.Failures) / float64(res.Arrivals)
 	if d := runSpan.End(reg.Histogram("rc_sim_run_seconds",
-		"Wall time of one simulation run.", obs.DefaultDurationBuckets)); d > 0 {
+		"Wall time of one simulation run.", obs.DefaultDurationBuckets, runLabels...)); d > 0 {
 		reg.Gauge("rc_sim_placements_per_second",
-			"Placement throughput of the most recent run.").
+			"Placement throughput of the most recent run.", runLabels...).
 			Set(float64(res.Placed) / d.Seconds())
 	}
 	return res, nil
@@ -247,27 +269,77 @@ func c95Cores(v *trace.VM, cfg Config, requested int) float64 {
 	return metric.P95CPU.BucketHigh(bucket) / 100 * full
 }
 
-// addUtilization folds the VM's per-interval maximum utilization (in
-// cores) into the server's series, following the paper's pessimistic
-// aggregation. Contributions are aligned to the 5-minute grid and only
-// cover intervals the VM fully occupies: two VMs that time-share a server
-// slot within one window must not double-count, otherwise even
-// non-oversubscribed servers would report readings above 100% (the paper's
-// Baseline never does).
-func addUtilization(series []float32, v *trace.VM, end trace.Minutes, scale float64) {
-	cores := float64(v.Cores)
-	start := v.Created
-	if rem := start % trace.ReadingIntervalMin; rem != 0 {
-		start += trace.ReadingIntervalMin - rem
-	}
-	for t := start; t+trace.ReadingIntervalMin <= end; t += trace.ReadingIntervalMin {
-		idx := int(t / trace.ReadingIntervalMin)
-		if idx < 0 || idx >= len(series) {
+// activeVM is one VM currently contributing to a server's utilization
+// readings: its contribution window was fixed at placement time.
+type activeVM struct {
+	v     *trace.VM
+	end   trace.Minutes // Deleted clamped to the horizon
+	cores float64
+}
+
+// serverAccum streams one server's utilization statistics without
+// materializing its per-interval series. Intervals below frontier are
+// finalized; active holds the VMs that can still contribute, in placement
+// order — the same order the matrix implementation accumulated each
+// float32 cell in, which keeps every reading bit-identical.
+type serverAccum struct {
+	frontier int // next unfinalized 5-minute interval
+	active   []activeVM
+	sumPct   float64
+	busy     int
+	above100 int
+	maxPct   float64
+}
+
+// advance finalizes intervals [frontier, upto), folding the paper's
+// pessimistic aggregation — the sum of co-located VMs' interval-maximum
+// utilizations, each pessimistically held for the whole 5-minute window —
+// into the running statistics. Contributions only cover intervals the VM
+// fully occupies: two VMs that time-share a server slot within one window
+// must not double-count, otherwise even non-oversubscribed servers would
+// report readings above 100% (the paper's Baseline never does). VMs whose
+// window has passed are compacted out in place, preserving order; once the
+// active set is empty every remaining reading is exactly zero, so the
+// frontier jumps straight to upto.
+func (a *serverAccum) advance(upto int, scale, capacity float64) {
+	for ; a.frontier < upto; a.frontier++ {
+		if len(a.active) == 0 {
+			a.frontier = upto
+			break
+		}
+		t := trace.Minutes(a.frontier) * trace.ReadingIntervalMin
+		var reading float32
+		live := a.active[:0]
+		for _, vm := range a.active {
+			if t+trace.ReadingIntervalMin > vm.end {
+				continue
+			}
+			live = append(live, vm)
+			_, _, max := vm.v.Util.At(t)
+			reading += float32(max / 100 * vm.cores * scale)
+		}
+		a.active = live
+		if reading <= 0 {
 			continue
 		}
-		_, _, max := v.Util.At(t)
-		series[idx] += float32(max / 100 * cores * scale)
+		pct := float64(reading) / capacity * 100
+		a.sumPct += pct
+		a.busy++
+		if pct > 100 {
+			a.above100++
+		}
+		if pct > a.maxPct {
+			a.maxPct = pct
+		}
 	}
+}
+
+// alignUp rounds t up to the 5-minute reading grid.
+func alignUp(t trace.Minutes) trace.Minutes {
+	if rem := t % trace.ReadingIntervalMin; rem != 0 {
+		t += trace.ReadingIntervalMin - rem
+	}
+	return t
 }
 
 // countInitialWaves maps deployment id to its initial request size (the

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/trace"
+)
+
+// SweepOptions tunes RunSweep.
+type SweepOptions struct {
+	// Workers caps concurrent simulation runs; <= 0 uses GOMAXPROCS.
+	Workers int
+	// CollectObs gives every point without a registry its own, and merges
+	// all per-point registries into SweepResult.Metrics.
+	CollectObs bool
+}
+
+// SweepResult is the outcome of one sweep.
+type SweepResult struct {
+	// Results holds one entry per input config, in input order; entries
+	// whose run failed are nil (and the error is reported by RunSweep).
+	Results []*Result
+	// Metrics is the merged snapshot of every per-point registry (nil
+	// unless CollectObs was set or configs carried registries).
+	Metrics []obs.Family
+}
+
+// RunSweep replays the trace against every config concurrently — the
+// Fig. 11 policy grid and the sensitivity studies are embarrassingly
+// parallel, since each point simulates a fresh cluster. Points missing a
+// RunLabel get "point<i>" so their metrics stay distinguishable after the
+// merge. Run errors don't abort the sweep; they are joined into the
+// returned error while the remaining points complete.
+func RunSweep(tr *trace.Trace, cfgs []Config, opt SweepOptions) (*SweepResult, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	points := make([]Config, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg.RunLabel == "" {
+			cfg.RunLabel = fmt.Sprintf("point%d", i)
+		}
+		if cfg.Obs == nil && opt.CollectObs {
+			cfg.Obs = obs.NewRegistry()
+		}
+		points[i] = cfg
+	}
+
+	res := &SweepResult{Results: make([]*Result, len(points))}
+	errs := make([]error, len(points))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				r, err := Run(tr, points[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("sweep point %q: %w", points[i].RunLabel, err)
+					continue
+				}
+				res.Results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge per-point registries in point order so the snapshot is
+	// deterministic; a registry shared by several points contributes once.
+	var snaps [][]obs.Family
+	seen := map[*obs.Registry]bool{}
+	for _, cfg := range points {
+		if cfg.Obs == nil || seen[cfg.Obs] {
+			continue
+		}
+		seen[cfg.Obs] = true
+		snaps = append(snaps, cfg.Obs.Gather())
+	}
+	merged, err := obs.MergeFamilies(snaps...)
+	if err != nil {
+		errs = append(errs, err)
+	}
+	res.Metrics = merged
+	return res, errors.Join(errs...)
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/trace"
+)
+
+func sweepGrid(tr *trace.Trace) []Config {
+	oracle := &OraclePredictor{Horizon: tr.Horizon}
+	return []Config{
+		{Cluster: clusterConfig(cluster.Baseline, 90)},
+		{Cluster: clusterConfig(cluster.Naive, 90)},
+		{Cluster: clusterConfig(cluster.RCHard, 90), Predictor: oracle},
+		{Cluster: clusterConfig(cluster.RCSoft, 90), Predictor: oracle},
+		{Cluster: clusterConfig(cluster.RCSoft, 90), Predictor: oracle, UtilScale: 1.25},
+		{Cluster: clusterConfig(cluster.RCSoft, 90), Predictor: oracle, BucketShift: 1},
+	}
+}
+
+// TestRunSweepMatchesSequential proves the parallel sweep returns exactly
+// the results sequential Run calls produce, in input order, for any
+// worker count.
+func TestRunSweepMatchesSequential(t *testing.T) {
+	tr := loadTrace(t)
+	grid := sweepGrid(tr)
+	want := make([]*Result, len(grid))
+	for i, cfg := range grid {
+		r, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := RunSweep(tr, sweepGrid(tr), SweepOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Results, want) {
+				t.Errorf("sweep results diverge from sequential runs")
+			}
+			if got.Metrics != nil {
+				t.Errorf("metrics collected without CollectObs")
+			}
+		})
+	}
+}
+
+// TestRunSweepMergedMetrics checks per-point registries merge into one
+// labeled snapshot where no point clobbers another.
+func TestRunSweepMergedMetrics(t *testing.T) {
+	tr := loadTrace(t)
+	grid := sweepGrid(tr)
+	got, err := RunSweep(tr, grid, SweepOptions{Workers: 4, CollectObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placed []obs.Sample
+	for _, fam := range got.Metrics {
+		if fam.Name == "rc_sim_placements_total" {
+			placed = fam.Samples
+		}
+	}
+	if len(placed) != len(grid) {
+		t.Fatalf("placements samples = %d, want one per point", len(placed))
+	}
+	byRun := map[string]float64{}
+	for _, s := range placed {
+		var run string
+		for _, l := range s.Labels {
+			if l.Key == "run" {
+				run = l.Value
+			}
+		}
+		byRun[run] = s.Value
+	}
+	for i, r := range got.Results {
+		label := fmt.Sprintf("point%d", i)
+		if v, ok := byRun[label]; !ok || v != float64(r.Placed) {
+			t.Errorf("%s: metric %g, want %d placements", label, v, r.Placed)
+		}
+	}
+}
+
+// TestRunSweepPartialFailure: a bad point reports its error without
+// aborting the healthy points.
+func TestRunSweepPartialFailure(t *testing.T) {
+	tr := loadTrace(t)
+	grid := []Config{
+		{Cluster: clusterConfig(cluster.Baseline, 90)},
+		{Cluster: cluster.Config{}}, // invalid
+	}
+	got, err := RunSweep(tr, grid, SweepOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("expected error from invalid point")
+	}
+	if got.Results[0] == nil || got.Results[1] != nil {
+		t.Errorf("results = [%v, %v], want [ok, nil]", got.Results[0], got.Results[1])
+	}
+}
