@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-sim bench-paper fmt
+.PHONY: check build test vet lint race bench bench-sim bench-paper fmt
 
 # Tier-1 gate: everything CI (and reviewers) must see green.
-check: vet build test race
+check: vet lint build test race
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,22 @@ vet:
 test:
 	$(GO) test ./...
 
+# Repo-specific static analysis (cmd/rcvet): determinism of seeded
+# packages, map-iteration order, lock scope/copies, and constant metric
+# names. Findings are emitted in stable file:line order and any finding
+# fails the build. Also runnable as `go vet -vettool=$$(pwd)/bin/rcvet`.
+lint:
+	$(GO) run ./cmd/rcvet ./...
+
 # Race-check the packages with concurrent hot paths: the client caches,
 # the store's subscriber fan-out, the parallel feature-data build, the
-# metrics registry, the parallel sweep runner, the indexed cluster, and
-# the parallel characterization pass.
+# metrics registry, the parallel sweep runner, the indexed cluster, the
+# parallel characterization pass, the pipeline's publish fan-out, the
+# health prober, and the rcserve handlers.
 race:
 	$(GO) test -race ./internal/core ./internal/featuredata ./internal/store/... ./internal/obs/... \
-		./internal/sim ./internal/cluster ./internal/charz
+		./internal/sim ./internal/cluster ./internal/charz \
+		./internal/pipeline ./internal/health ./cmd/rcserve
 
 # Performance benchmarks for the hot paths (README "Performance").
 # Output is test2json (one JSON event per line) so future PRs can track

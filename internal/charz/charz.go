@@ -279,6 +279,7 @@ func DeploymentSizeCDF(tr *trace.Trace) ([]GroupCDF, error) {
 					continue
 				}
 			}
+			//rcvet:allow(stats.NewCDF sorts a copy of its input, so append order is immaterial)
 			sizes = append(sizes, float64(a.count))
 		}
 		if len(sizes) == 0 {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -400,6 +401,7 @@ func (c *Client) AvailableModels() []string {
 	for name := range c.models {
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	return names
 }
 

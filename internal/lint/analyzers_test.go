@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"resourcecentral/internal/lint"
+	"resourcecentral/internal/lint/linttest"
+)
+
+// The golden tests double as the acceptance demonstration for the lint
+// gate: each testdata package injects violations of one analyzer (which
+// must be reported), the sanctioned idioms (which must not be), and an
+// //rcvet:allow(reason) escape (which must be suppressed).
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder")
+}
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, lint.LockScope, "testdata/lockscope")
+}
+
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, lint.MetricName, "testdata/metricname")
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags wall-clock reads and global (process-seeded)
+// randomness in code that must be a pure function of its seed.
+//
+// The seed-equivalence tests (sim, cluster, featuredata) prove the
+// optimized paths byte-identical to the reference implementations; that
+// proof only holds if nothing in a seeded package consults state outside
+// the seed. Three sources are flagged:
+//
+//   - time.Now, and the wall-clock deltas time.Since / time.Until;
+//   - package-level math/rand and math/rand/v2 functions (rand.IntN,
+//     rand.Float64, rand.Shuffle, ...), which draw from the global,
+//     process-seeded source. Explicitly-seeded generators
+//     (rand.New(rand.NewPCG(seed, ...)) and methods on *rand.Rand) are
+//     the sanctioned idiom and are not flagged;
+//   - os.Getenv-style ambient reads are NOT covered: configuration is
+//     visible in profiles and diffs, clocks and global rand are not.
+//
+// Drivers run this analyzer only over the seeded packages
+// (SeededPackagePatterns); a clock read in cmd/rcserve's HTTP middleware
+// is fine. Deliberate uses inside seeded code take
+// //rcvet:allow(reason).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag wall-clock (time.Now/Since/Until) and global math/rand reads " +
+		"in seeded packages, where results must be a pure function of the seed",
+	Run: runDeterminism,
+}
+
+// deterministicRandFuncs are the package-level math/rand{,/v2} functions
+// that only construct explicitly-seeded state and therefore stay legal
+// in seeded code.
+var deterministicRandFuncs = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewSource":  true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions matter here: methods on
+			// *rand.Rand or on a caller-supplied clock are seeded state.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(),
+						"time.%s in seeded package %s: results must depend only on the seed; "+
+							"thread a timestamp through, or annotate with //rcvet:allow(reason)",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if !deterministicRandFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global rand.%s in seeded package %s: draws from the process-seeded source; "+
+							"use a *rand.Rand from rand.New(rand.NewPCG(seed, ...)), or annotate with //rcvet:allow(reason)",
+						fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's callee to its types.Func, or nil for
+// calls through variables, built-ins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,237 @@
+// Package lint is a self-contained static-analysis framework plus the
+// rcvet analyzer suite that enforces this repository's determinism,
+// locking, and metrics invariants.
+//
+// The reproduction's evaluation (paper Section 6.2) and its seed
+// equivalence tests depend on byte-identical, seed-deterministic
+// results: no wall-clock or global-rand reads in seeded code, no
+// unordered map iteration feeding floats, slices, or channels, lock
+// discipline around the sharded caches, and constant metric names so
+// obs.MergeFamilies merges are well defined. Those invariants used to be
+// enforced only by convention and after-the-fact tests; this package
+// turns them into build-time checks.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API (Analyzer, Pass, Diagnostic) so the analyzers could be ported to a
+// stock multichecker, but it is implemented entirely on the standard
+// library: packages are loaded with `go list -export` and type-checked
+// with go/types against the build cache's export data (see load.go), so
+// the suite needs no third-party modules.
+//
+// Deliberate violations are annotated in source with
+//
+//	//rcvet:allow(reason)
+//
+// on the offending line or the line above it; the framework suppresses
+// diagnostics at annotated positions and the reason is kept next to the
+// code it excuses.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one rcvet check. It intentionally has the same
+// shape as golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the rcvet
+	// command line.
+	Name string
+	// Doc is the one-paragraph description shown by `rcvet -list`.
+	Doc string
+	// Run executes the check over one package, reporting findings via
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics that survived allow-comment
+	// suppression.
+	report func(Diagnostic)
+	// allow maps "filename:line" to the allow reason for lines carrying
+	// (or directly below) an //rcvet:allow(reason) comment.
+	allow map[string]string
+	// suppressed counts diagnostics dropped by allow comments.
+	suppressed int
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// allowRe matches the escape-hatch comment. The reason is mandatory:
+// an annotation that does not say why it is safe is not an annotation.
+var allowRe = regexp.MustCompile(`//rcvet:allow\(([^)]+)\)`)
+
+// buildAllowIndex records, for every file, the lines on which an
+// //rcvet:allow(reason) comment suppresses diagnostics: the comment's
+// own line and, for a comment alone on its line, the line below it.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]string {
+	idx := make(map[string]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = m[1]
+				idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = m[1]
+			}
+		}
+	}
+	return idx
+}
+
+// Report emits a diagnostic unless an //rcvet:allow comment covers its
+// line.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	position := p.Fset.Position(pos)
+	if _, ok := p.allow[fmt.Sprintf("%s:%d", position.Filename, position.Line)]; ok {
+		p.suppressed++
+		return
+	}
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: position, Message: msg})
+}
+
+// Reportf is Report with formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// RunAnalyzers executes the given analyzers over one loaded package and
+// returns the surviving diagnostics in a stable order (file, line,
+// column, analyzer name, message). Test files (*_test.go) are excluded:
+// tests are allowed to read clocks and drive maps however they like.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(pkg.Syntax))
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	allow := buildAllowIndex(pkg.Fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			allow:     allow,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer, and
+// message so rcvet output is byte-stable across runs — the lint gate
+// itself honors the invariant it enforces.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// All returns the full rcvet suite in the order findings are reported.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, LockScope, MetricName}
+}
+
+// ByName returns the named analyzers, or an error naming the first
+// unknown one.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// SeededPackagePatterns lists the import-path suffixes of the packages
+// whose results must be byte-identical for a fixed seed: the synthetic
+// trace generator, the simulator and its cluster model, the
+// characterization pass, the offline pipeline, feature-data generation,
+// the FFT period detector, the statistics helpers, and the ML stack.
+// The determinism analyzer runs only on these (plus anything a driver
+// adds); wall-clock and global-rand reads elsewhere are legitimate.
+var SeededPackagePatterns = []string{
+	"internal/synth",
+	"internal/sim",
+	"internal/cluster",
+	"internal/charz",
+	"internal/pipeline",
+	"internal/featuredata",
+	"internal/fftperiod",
+	"internal/stats",
+	"internal/ml/",
+}
+
+// IsSeededPackage reports whether the import path belongs to the seeded
+// (deterministic-by-contract) part of the tree. A trailing slash in a
+// pattern matches a whole subtree; otherwise the pattern must match a
+// full trailing path component.
+func IsSeededPackage(path string) bool {
+	for _, pat := range SeededPackagePatterns {
+		if strings.HasSuffix(pat, "/") {
+			if strings.Contains(path+"/", pat) {
+				return true
+			}
+			continue
+		}
+		if path == pat || strings.HasSuffix(path, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}

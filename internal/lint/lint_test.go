@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"go/token"
+	"testing"
+
+	"resourcecentral/internal/lint"
+)
+
+func TestIsSeededPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"resourcecentral/internal/synth", true},
+		{"resourcecentral/internal/sim", true},
+		{"resourcecentral/internal/cluster", true},
+		{"resourcecentral/internal/charz", true},
+		{"resourcecentral/internal/pipeline", true},
+		{"resourcecentral/internal/featuredata", true},
+		{"resourcecentral/internal/fftperiod", true},
+		{"resourcecentral/internal/stats", true},
+		{"resourcecentral/internal/ml/forest", true},
+		{"resourcecentral/internal/ml/gbt", true},
+		{"resourcecentral/internal/obs", false},
+		{"resourcecentral/internal/store", false},
+		{"resourcecentral/internal/core", false},
+		{"resourcecentral/cmd/rcserve", false},
+		// A suffix must match a whole path component.
+		{"resourcecentral/internal/simulator", false},
+		{"resourcecentral/internal/mlx", false},
+	}
+	for _, c := range cases {
+		if got := lint.IsSeededPackage(c.path); got != c.want {
+			t.Errorf("IsSeededPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName([]string{"maporder", "determinism"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "maporder" || as[1].Name != "determinism" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := lint.ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestSortDiagnosticsStable pins the finding order `make lint` emits:
+// file, then line, then column, then analyzer, then message.
+func TestSortDiagnosticsStable(t *testing.T) {
+	at := func(file string, line, col int, a, msg string) lint.Diagnostic {
+		return lint.Diagnostic{
+			Analyzer: a,
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Message:  msg,
+		}
+	}
+	diags := []lint.Diagnostic{
+		at("b.go", 1, 1, "maporder", "z"),
+		at("a.go", 9, 2, "maporder", "m"),
+		at("a.go", 9, 2, "lockscope", "m"),
+		at("a.go", 2, 5, "maporder", "m"),
+	}
+	lint.SortDiagnostics(diags)
+	got := ""
+	for _, d := range diags {
+		got += d.Pos.Filename + ":" + d.Analyzer + ";"
+	}
+	want := "a.go:maporder;a.go:lockscope;a.go:maporder;b.go:maporder;"
+	if got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+}
+
+// TestLoadRealPackage smoke-tests the go list -export loader against a
+// real module package and runs the full suite over it; the shipped tree
+// must be clean.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := lint.Load("../..", []string{"./internal/metric"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "resourcecentral/internal/metric" {
+		t.Fatalf("Load returned %+v", pkgs)
+	}
+	diags, err := lint.RunAnalyzers(pkgs[0], lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("internal/metric should be clean, got %v", diags)
+	}
+}

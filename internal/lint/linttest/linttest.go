@@ -1,0 +1,126 @@
+// Package linttest is a golden-test harness for the rcvet analyzers,
+// modeled on golang.org/x/tools/go/analysis/analysistest but built on
+// the stdlib-only framework in internal/lint.
+//
+// A test points Run at a directory of Go source under testdata/. Lines
+// that must produce a diagnostic carry a trailing comment of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// Each quoted regexp must match the message of a distinct diagnostic
+// reported on that line; diagnostics on lines without a matching want,
+// and wants without a matching diagnostic, fail the test. Lines
+// carrying //rcvet:allow(reason) exercise the suppression path: the
+// framework drops their diagnostics before matching, so an allow line
+// simply expects nothing.
+package linttest
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"resourcecentral/internal/lint"
+)
+
+// wantRe matches a want comment; quoted patterns follow.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRe matches one double-quoted or backquoted pattern.
+var patRe = regexp.MustCompile("^(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)\\s*")
+
+// Run loads dir as one package (resolving imports against this module)
+// and checks the analyzer's diagnostics against the want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(".", dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	remaining := make(map[lineKey][]string)
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		remaining[k] = append(remaining[k], d.Message)
+	}
+
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			k := lineKey{name, i + 1}
+			for _, pat := range wantPatterns(t, name, i+1, line) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				if !matchAndRemove(remaining, k, re) {
+					t.Errorf("%s:%d: no diagnostic matching %q (got %v)",
+						name, i+1, pat, remaining[k])
+				}
+			}
+		}
+	}
+
+	for k, msgs := range remaining {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// wantPatterns extracts the quoted regexps of a want comment on one
+// source line.
+func wantPatterns(t *testing.T, file string, lineNo int, line string) []string {
+	m := wantRe.FindStringSubmatch(line)
+	if m == nil {
+		return nil
+	}
+	rest := strings.TrimSpace(m[1])
+	var pats []string
+	for rest != "" {
+		pm := patRe.FindStringSubmatch(rest)
+		if pm == nil {
+			t.Fatalf("%s:%d: malformed want comment near %q", file, lineNo, rest)
+		}
+		if pm[1] != "" {
+			pats = append(pats, pm[1])
+		} else {
+			pats = append(pats, pm[2])
+		}
+		rest = strings.TrimSpace(rest[len(pm[0]):])
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s:%d: want comment with no patterns", file, lineNo)
+	}
+	return pats
+}
+
+// lineKey addresses one source line of the package under test.
+type lineKey struct {
+	file string
+	line int
+}
+
+// matchAndRemove consumes one diagnostic at k whose message matches re.
+func matchAndRemove(remaining map[lineKey][]string, k lineKey, re *regexp.Regexp) bool {
+	msgs := remaining[k]
+	for i, m := range msgs {
+		if re.MatchString(m) {
+			remaining[k] = append(msgs[:i:i], msgs[i+1:]...)
+			if len(remaining[k]) == 0 {
+				delete(remaining, k)
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (in module dir), resolves
+// every dependency's export data out of the build cache, and
+// type-checks the matched packages from source. It shells out to
+// `go list -export`, so the tree must build; run it after `go build`.
+//
+// This is the stdlib replacement for golang.org/x/tools/go/packages:
+// dependencies are consumed as compiler export data (the same artifacts
+// `go build` produces), only the packages under analysis are parsed.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+		"--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var roots []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			roots = append(roots, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) (string, error) {
+		if f, ok := exports[path]; ok {
+			return f, nil
+		}
+		return "", fmt.Errorf("no export data for %q (does the tree build?)", path)
+	})
+
+	pkgs := make([]*Package, 0, len(roots))
+	for _, root := range roots {
+		paths := make([]string, len(root.GoFiles))
+		for i, name := range root.GoFiles {
+			paths[i] = filepath.Join(root.Dir, name)
+		}
+		pkg, err := check(fset, imp, root.ImportPath, root.Dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of a single directory
+// that `go list` cannot see (analyzer testdata lives under testdata/,
+// which package patterns skip). Imports are resolved lazily: the first
+// use of each dependency runs `go list -export` for just that path, so
+// testdata may import both the standard library and this module's
+// packages. moduleDir anchors the `go list` invocations.
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, lazyExportLookup(moduleDir))
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(names))
+	for i, name := range names {
+		paths[i] = filepath.Join(abs, name)
+	}
+	return check(fset, imp, filepath.ToSlash(filepath.Base(abs)), abs, paths)
+}
+
+// CheckFiles type-checks an explicit file list as one package,
+// resolving imports through resolve (import path → gc export data
+// file). It is the loading primitive for `go vet -vettool` mode, where
+// the go command hands rcvet the file list and the export-file map.
+func CheckFiles(importPath, dir string, filePaths []string, resolve func(string) (string, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, resolve)
+	return check(fset, imp, importPath, dir, filePaths)
+}
+
+// check parses the files (full paths) and type-checks them into a
+// Package.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, filePaths []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filePaths))
+	for _, fp := range filePaths {
+		f, err := parser.ParseFile(fset, fp, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// exportImporter adapts a path→export-file resolver into a go/types
+// importer reading gc export data.
+func exportImporter(fset *token.FileSet, resolve func(string) (string, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+}
+
+// lazyExportLookup resolves one import path at a time with
+// `go list -export`, caching results for the process lifetime.
+func lazyExportLookup(moduleDir string) func(string) (string, error) {
+	var mu sync.Mutex
+	cache := make(map[string]string)
+	return func(path string) (string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if f, ok := cache[path]; ok {
+			return f, nil
+		}
+		cmd := exec.Command("go", "list", "-export", "-deps",
+			"-json=ImportPath,Export", "--", path)
+		cmd.Dir = moduleDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return "", fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return "", err
+			}
+			if p.Export != "" {
+				cache[p.ImportPath] = p.Export
+			}
+		}
+		f, ok := cache[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return f, nil
+	}
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockScope enforces the two lock-discipline rules the sharded hot
+// paths rely on:
+//
+//  1. Mutex-bearing values must not be copied. The result cache's
+//     resultShard, the store, and the obs registry all embed sync
+//     mutexes; a by-value copy silently forks the lock while sharing
+//     the guarded data. Flagged sites: assignments that read an
+//     existing lock-bearing value, passing one as a call argument, and
+//     ranging over a container of them with a value variable (take
+//     `&slice[i]` instead).
+//
+//  2. Shard-lock critical sections must stay small and local. While a
+//     sync.Mutex/RWMutex is held, calls into obs *Registry methods,
+//     anything in store, and Featurize (the expensive feature-vector
+//     build) are flagged: obs registration/lookup takes the registry
+//     lock (lock-order risk and contention on the hottest path), store
+//     calls can block on subscriber fan-out, and featurization is
+//     exactly the work the batched PredictMany paths hoist out of the
+//     lock. Lock-free metric operations (Counter.Inc,
+//     Histogram.Observe) are a single atomic op and stay legal. Record
+//     under the lock, observe after unlock — or annotate with
+//     //rcvet:allow(reason).
+//
+// Rule 2 is a per-block syntactic approximation: a region opens at
+// `x.Lock()` / `x.RLock()` and closes at the matching `x.Unlock()` /
+// `x.RUnlock()` in the same statement list (a deferred unlock keeps the
+// region open to the end of the list). Nested blocks inherit the held
+// set; function literals do not (they run elsewhere).
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: "flag by-value copies of mutex-bearing structs and calls into " +
+		"obs/store/Featurize while a shard lock is held",
+	Run: runLockScope,
+}
+
+// LockScopeForbidden lists import-path suffixes that must not be called
+// while a mutex is held (see IsSeededPackage for the matching rules).
+var LockScopeForbidden = []string{
+	"internal/obs",
+	"internal/store",
+}
+
+// forbiddenUnderLock reports whether a callee package path is banned
+// inside critical sections.
+func forbiddenUnderLock(path string) bool {
+	for _, pat := range LockScopeForbidden {
+		if path == pat || strings.HasSuffix(path, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func runLockScope(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkLockCopyAssign(pass, n)
+			case *ast.CallExpr:
+				checkLockCopyArgs(pass, n)
+			case *ast.RangeStmt:
+				checkLockCopyRange(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					walkLocked(pass, n.Body.List, nil)
+				}
+			case *ast.FuncLit:
+				walkLocked(pass, n.Body.List, nil)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- rule 1: no by-value copies of mutex-bearing structs ---
+
+func checkLockCopyAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		// Assigning to _ discards the copy; nothing can use the forked
+		// mutex afterwards.
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if !isValueRead(rhs) {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(rhs); containsLock(t) {
+			pass.Reportf(rhs.Pos(),
+				"assignment copies lock-bearing %s by value: the copy's mutex no longer guards "+
+					"the original's state; use a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func checkLockCopyArgs(pass *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if !isValueRead(arg) {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(arg); containsLock(t) {
+			pass.Reportf(arg.Pos(),
+				"call passes lock-bearing %s by value: the callee receives a forked mutex; "+
+					"pass a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func checkLockCopyRange(pass *Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(rs.Value); containsLock(t) {
+		pass.Reportf(rs.Value.Pos(),
+			"range copies lock-bearing %s by value each iteration; iterate by index and "+
+				"take a pointer (&xs[i])", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// isValueRead reports whether the expression reads an existing value
+// (as opposed to constructing a fresh one, which owns its zero mutex).
+func isValueRead(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.TypeAssertExpr:
+		return isValueRead(e.X)
+	}
+	return false
+}
+
+// containsLock reports whether a value of type t embeds sync lock state
+// (directly, via struct fields, or via arrays).
+func containsLock(t types.Type) bool {
+	return containsLock1(t, 0)
+}
+
+func containsLock1(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock1(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock1(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// --- rule 2: no obs/store/Featurize calls while a lock is held ---
+
+// walkLocked processes a statement list in order, tracking which lock
+// receivers are held, and checks every statement executed under a lock.
+// Nested statement lists are processed with a copy of the held set;
+// lock transitions inside them stay local to that list (a conservative
+// approximation that cannot leak a false "held" state out of a branch).
+func walkLocked(pass *Pass, stmts []ast.Stmt, held []string) {
+	held = append([]string(nil), held...)
+	for _, s := range stmts {
+		if recv, kind := lockCall(pass.TypesInfo, s); recv != "" {
+			if kind == lockAcquire {
+				held = append(held, recv)
+			} else {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == recv {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			continue
+		}
+		if len(held) > 0 {
+			checkUnderLock(pass, s, held)
+		}
+		walkNested(pass, s, held)
+	}
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCall recognizes a statement of the form `expr.Lock()`,
+// `expr.RLock()`, `expr.Unlock()`, or `expr.RUnlock()` on a sync
+// mutex and returns the receiver expression's source form.
+func lockCall(info *types.Info, s ast.Stmt) (recv string, kind lockKind) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", lockNone
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", lockNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return types.ExprString(sel.X), lockAcquire
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), lockRelease
+	}
+	return "", lockNone
+}
+
+// checkUnderLock flags forbidden calls syntactically inside one
+// statement executed while locks are held. Function literals are
+// skipped (they run at their call site, not here), and so are nested
+// statement lists, which walkNested re-checks with the same held set.
+func checkUnderLock(pass *Pass, s ast.Stmt, held []string) {
+	if _, ok := s.(*ast.DeferStmt); ok {
+		// Deferred calls (canonically `defer mu.Unlock()`) run at
+		// function exit, outside this region.
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == pass.Pkg.Path() {
+			return true // intra-package helpers manage their own discipline
+		}
+		switch {
+		case forbiddenUnderLock(fn.Pkg().Path()) && locksInternally(fn):
+			pass.Reportf(call.Pos(),
+				"call to %s.%s while %q is locked: metrics/store calls take their own locks and "+
+					"can block; record under the lock, call after unlock, or annotate with "+
+					"//rcvet:allow(reason)", fn.Pkg().Name(), fn.Name(), held[len(held)-1])
+		case fn.Name() == "Featurize":
+			pass.Reportf(call.Pos(),
+				"Featurize while %q is locked: feature-vector builds are the expensive step the "+
+					"batched paths hoist out of shard locks; featurize before locking, or annotate "+
+					"with //rcvet:allow(reason)", held[len(held)-1])
+		}
+		return true
+	})
+}
+
+// locksInternally reports whether a call into a forbidden package can
+// itself take locks or block. For obs, only *Registry methods do
+// (family registration and lookup take the registry lock); the metric
+// operations themselves (Counter.Inc, Histogram.Observe, Gauge.Set)
+// are single atomic ops and are fine inside a critical section.
+// Everything in store is fan-out or blob I/O and always counts.
+func locksInternally(fn *types.Func) bool {
+	p := fn.Pkg().Path()
+	if p == "internal/obs" || strings.HasSuffix(p, "/internal/obs") {
+		return isObsRegistryMethod(fn)
+	}
+	return true
+}
+
+// walkNested recurses into the statement lists nested inside s,
+// carrying the current held set.
+func walkNested(pass *Pass, s ast.Stmt, held []string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		walkLocked(pass, s.List, held)
+	case *ast.IfStmt:
+		walkLocked(pass, s.Body.List, held)
+		if s.Else != nil {
+			walkNested(pass, s.Else, held)
+		}
+	case *ast.ForStmt:
+		walkLocked(pass, s.Body.List, held)
+	case *ast.RangeStmt:
+		walkLocked(pass, s.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLocked(pass, cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLocked(pass, cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkLocked(pass, cc.Body, held)
+			}
+		}
+	case *ast.LabeledStmt:
+		walkNested(pass, s.Stmt, held)
+	}
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops whose bodies produce
+// order-sensitive output: appending to a slice declared outside the
+// loop, accumulating into a float, or sending on a channel. Go
+// randomizes map iteration order per run, so each of these bodies is a
+// source of run-to-run nondeterminism — exactly the bug class the
+// simulator's regrouping tests (AvgUtilizationPct per-server subtotals)
+// exist to catch after the fact.
+//
+// The canonical safe idiom — collect the keys, sort, then iterate — is
+// recognized: an append whose slice is passed to a sort/slices function
+// later in the same block is not flagged. Integer counters and other
+// commutative updates are not flagged either (addition over uint64 is
+// order-independent; float addition is not associative and is).
+// Deliberately order-free walks take //rcvet:allow(reason).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that append to outer slices, accumulate " +
+		"floats, or send on channels without sorting, making output depend on " +
+		"randomized map iteration order",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+				return true
+			}
+			checkMapRange(pass, rs, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one range-over-map body. stack is the node
+// path from the file down to rs, used to find the statements that
+// follow the loop (for the sorted-after-range exemption).
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	following := stmtsAfter(rs, stack)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure built in the loop runs later (or elsewhere);
+			// its body is that call site's problem.
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"send on a channel inside range over map: receivers observe randomized "+
+					"map iteration order; collect and sort the keys first, or annotate with //rcvet:allow(reason)")
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, rs, n)
+		case *ast.CallExpr:
+			checkUnsortedAppend(pass, rs, n, following)
+		}
+		return true
+	})
+}
+
+// checkFloatAccum flags `acc op= v` where acc is a float declared
+// outside the loop: float addition is not associative, so the result
+// depends on map iteration order.
+func checkFloatAccum(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(as.Lhs[0])
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return
+	}
+	if obj := refObject(pass.TypesInfo, as.Lhs[0]); obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"float accumulation inside range over map: float addition is not associative, so the "+
+			"sum depends on randomized iteration order; accumulate over sorted keys or "+
+			"per-key subtotals, or annotate with //rcvet:allow(reason)")
+}
+
+// checkUnsortedAppend flags `s = append(s, ...)` where s outlives the
+// loop and is not sorted afterwards in the same block.
+func checkUnsortedAppend(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr, following []ast.Stmt) {
+	if b, ok := pass.TypesInfo.Uses[calleeIdent(call)].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	obj := refObject(pass.TypesInfo, call.Args[0])
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	if sortedLater(pass.TypesInfo, following, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %s inside range over map without a later sort: element order follows "+
+			"randomized map iteration order; sort %s after the loop (sort/slices in the same "+
+			"block), or annotate with //rcvet:allow(reason)", obj.Name(), obj.Name())
+}
+
+// stmtsAfter returns the statements that follow rs in its innermost
+// enclosing statement list.
+func stmtsAfter(rs *ast.RangeStmt, stack []ast.Node) []ast.Stmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			continue
+		}
+		for j, s := range list {
+			if s == ast.Stmt(rs) {
+				return list[j+1:]
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// sortedLater reports whether any of the statements passes obj to a
+// function from package sort or slices.
+func sortedLater(info *types.Info, stmts []ast.Stmt, obj types.Object) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if refObject(info, arg) == obj {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// refObject resolves an assignable expression (ident, field selector,
+// index, deref) to the root object that names the storage being
+// referenced: for `f.MeanCores` or `out[k]` that is `f` / `out`. Using
+// the root is what lets per-entry updates through a loop-local pointer
+// (`for _, f := range m { f.Sum /= n }`) pass: each iteration touches
+// its own entry, so iteration order cannot leak into the result.
+func refObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[e]; o != nil {
+			return o
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		root := refObject(info, e.X)
+		if _, isPkg := root.(*types.PkgName); root == nil || isPkg {
+			// Qualified identifier (pkg.Var): the named object is the root.
+			return info.Uses[e.Sel]
+		}
+		return root
+	case *ast.IndexExpr:
+		return refObject(info, e.X)
+	case *ast.StarExpr:
+		return refObject(info, e.X)
+	}
+	return nil
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop-local state cannot leak iteration order out).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+// calleeIdent returns the identifier of a call's callee, if it is a
+// plain identifier (built-ins always are).
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}

@@ -1,0 +1,57 @@
+// Package determinism exercises the rcvet determinism analyzer. The
+// golden test runs the analyzer on this package directly, standing in
+// for a seeded package (the driver scopes the analyzer by import path).
+package determinism
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()    // want `time\.Now in seeded package`
+	d := time.Since(t0) // want `time\.Since in seeded package`
+	_ = time.Until(t0)  // want `time\.Until in seeded package`
+	return d
+}
+
+func notWallClock() time.Time {
+	// Constructing times from parts is deterministic; only reading the
+	// clock is flagged.
+	return time.Date(2017, time.October, 28, 0, 0, 0, 0, time.UTC)
+}
+
+func globalRand() {
+	_ = rand.IntN(10)                  // want `global rand\.IntN in seeded package`
+	_ = rand.Float64()                 // want `global rand\.Float64 in seeded package`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle in seeded package`
+	_ = mrand.Intn(10)                 // want `global rand\.Intn in seeded package`
+}
+
+func seededRand(seed uint64) float64 {
+	// The sanctioned idiom: explicitly-seeded generator state. Neither
+	// the constructors nor methods on *rand.Rand are flagged.
+	r := rand.New(rand.NewPCG(seed, 0x5ca1ab1e))
+	if r.IntN(2) == 0 {
+		return r.Float64()
+	}
+	return r.NormFloat64()
+}
+
+func allowedWallClock() time.Time {
+	//rcvet:allow(progress logging only; never feeds a seeded result)
+	return time.Now()
+}
+
+func allowedSameLine() int64 {
+	return time.Now().UnixNano() //rcvet:allow(entropy for a throwaway temp-file name)
+}
+
+// clock is a caller-supplied time source: methods named Now on our own
+// types are seeded state, not wall-clock reads.
+type clock struct{ t time.Time }
+
+func (c clock) Now() time.Time { return c.t }
+
+func viaClock(c clock) time.Time { return c.Now() }

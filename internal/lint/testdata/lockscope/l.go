@@ -1,0 +1,107 @@
+// Package lockscope exercises the rcvet lockscope analyzer: by-value
+// copies of mutex-bearing structs and heavyweight calls inside mutex
+// critical sections.
+package lockscope
+
+import (
+	"sync"
+
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/store"
+)
+
+// shard mirrors the result cache's lock-per-shard shape.
+type shard struct {
+	mu      sync.Mutex
+	entries map[uint64]int
+}
+
+func consume(shard) {}
+
+func copies(s *shard, all []shard) {
+	bad := *s // want `assignment copies lock-bearing shard by value`
+	_ = bad
+	consume(*s)              // want `call passes lock-bearing shard by value`
+	for _, sh := range all { // want `range copies lock-bearing shard by value`
+		_ = sh
+	}
+}
+
+// pointerDiscipline is the sanctioned idiom: index and take addresses.
+func pointerDiscipline(all []shard) {
+	for i := range all {
+		sh := &all[i]
+		sh.mu.Lock()
+		sh.entries[0]++
+		sh.mu.Unlock()
+	}
+}
+
+// freshValue constructs a new value whose zero mutex is unshared; not a
+// copy of live lock state, so not flagged.
+func freshValue() shard {
+	return shard{entries: make(map[uint64]int)}
+}
+
+type cache struct {
+	mu   sync.Mutex
+	reg  *obs.Registry
+	st   *store.Store
+	hits obs.Counter
+	n    int
+}
+
+func (c *cache) underLock(spec *model.Spec, in *model.ClientInputs) {
+	c.mu.Lock()
+	c.n++
+	c.hits.Inc()                                                                     // lock-free atomic op: fine under the lock
+	ctr := c.reg.Counter("rc_test_total", "registry lookup takes the registry lock") // want `call to obs\.Counter while`
+	_, _ = c.st.Get("model/lifetime")                                                // want `call to store\.Get while`
+	buf := spec.Featurize(in, nil, nil)                                              // want `Featurize while`
+	_ = buf
+	c.mu.Unlock()
+	ctr.Inc()
+	c.reg.Counter("rc_test_total", "after unlock: fine").Inc()
+}
+
+func (c *cache) deferredUnlock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.reg.Gauge("rc_test_gauge", "deferred unlock keeps the region open") // want `call to obs\.Gauge while`
+}
+
+func (c *cache) rlockRegion(mu *sync.RWMutex) {
+	mu.RLock()
+	c.reg.Counter("rc_test_total", "read locks count too") // want `call to obs\.Counter while`
+	mu.RUnlock()
+}
+
+func (c *cache) nestedBranch(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.reg.Counter("rc_test_total", "held state reaches nested blocks") // want `call to obs\.Counter while`
+	}
+	c.mu.Unlock()
+}
+
+func (c *cache) allowedStartup() {
+	c.mu.Lock()
+	//rcvet:allow(one-time registration during construction, before any concurrency)
+	c.reg.Counter("rc_test_startup_total", "annotated")
+	c.mu.Unlock()
+}
+
+// goroutineBody spawns work from inside the critical section; the
+// closure runs elsewhere, after the lock may be gone, so its body is
+// not treated as under-lock.
+func (c *cache) goroutineBody(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.reg.Counter("rc_test_async_total", "runs outside the region")
+	}()
+	c.mu.Unlock()
+}

@@ -1,0 +1,107 @@
+// Package maporder exercises the rcvet maporder analyzer: range-over-map
+// bodies whose output depends on randomized iteration order.
+package maporder
+
+import (
+	"slices"
+	"sort"
+)
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map without a later sort`
+	}
+	return keys
+}
+
+// sortedAfter is the canonical collect-then-sort idiom and must not be
+// flagged: the sort erases the iteration order.
+func sortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slicesSorted uses the slices package instead of sort; also exempt.
+func slicesSorted(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+func floatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation inside range over map`
+	}
+	return sum
+}
+
+// intSum is commutative and exact; integer accumulation is never
+// order-sensitive and must not be flagged.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sendEach(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `send on a channel inside range over map`
+	}
+}
+
+type acc struct{ sum float64 }
+
+// perEntry mutates each map entry through the loop-local pointer: every
+// iteration touches only its own entry, so order cannot leak out. Must
+// not be flagged (the featuredata normalization pass is this shape).
+func perEntry(m map[string]*acc) {
+	for _, a := range m {
+		a.sum /= 2
+	}
+}
+
+func sharedAccumulator(m map[string]float64, tot *acc) {
+	for _, v := range m {
+		tot.sum += v // want `float accumulation inside range over map`
+	}
+}
+
+func allowedEstimate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		//rcvet:allow(diagnostic estimate only; rounded to whole percent before use)
+		sum += v
+	}
+	return sum
+}
+
+// loopLocal appends to a slice that dies with the iteration; no order
+// can escape. Must not be flagged.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// mapIndexTarget appends into a map-of-slices owned by the caller; the
+// root object is outside the loop, so it is flagged.
+func mapIndexTarget(src map[string]int, dst map[string][]string) {
+	for k := range src {
+		dst["all"] = append(dst["all"], k) // want `append to dst inside range over map`
+	}
+}

@@ -1,0 +1,46 @@
+// Package metricname exercises the rcvet metricname analyzer: metric
+// names and label keys handed to obs registration calls must be
+// compile-time constants.
+package metricname
+
+import (
+	"fmt"
+
+	"resourcecentral/internal/obs"
+)
+
+const goodName = "rc_test_good_total"
+
+func constantNames(reg *obs.Registry, model string) {
+	reg.Counter("rc_test_lit_total", "literal name").Inc()
+	reg.Counter(goodName, "named const").Inc()
+	reg.Counter(goodName+"_suffix", "constant concatenation").Inc()
+	// Dynamic label VALUES are the whole point of labels; only names
+	// and keys must be constant.
+	reg.Histogram("rc_test_exec_seconds", "dynamic value ok", nil, "model", model).Observe(0.1)
+	reg.Gauge("rc_test_depth", "no labels").Set(1)
+}
+
+func dynamicNames(reg *obs.Registry, which string) {
+	reg.Counter(which, "variable name").Inc()                             // want `metric name passed to obs\.Registry\.Counter is not a compile-time constant`
+	reg.Counter(fmt.Sprintf("rc_%s_total", which), "built name").Inc()    // want `metric name passed to obs\.Registry\.Counter is not a compile-time constant`
+	reg.Histogram(which+"_seconds", "partly dynamic", nil).Observe(1)     // want `metric name passed to obs\.Registry\.Histogram is not a compile-time constant`
+	reg.Gauge("rc_test_ok_gauge", "dynamic label key", which, "v").Set(1) // want `label key passed to obs\.Registry\.Gauge is not a compile-time constant`
+}
+
+func gaugeFunc(reg *obs.Registry, key string) {
+	reg.GaugeFunc("rc_test_fn_gauge", "const key", func() float64 { return 0 }, "shard", "0")
+	reg.GaugeFunc("rc_test_fn_gauge", "dynamic key", func() float64 { return 0 }, key, "0") // want `label key passed to obs\.Registry\.GaugeFunc is not a compile-time constant`
+}
+
+// splat passes a prebuilt label slice; the construction site, not this
+// call, is responsible for constant keys (the sim sweep's runLabels
+// pattern). Not flagged here.
+func splat(reg *obs.Registry, labels []string) {
+	reg.Counter("rc_test_splat_total", "spread labels", labels...).Inc()
+}
+
+func allowedDynamic(reg *obs.Registry, shard string) {
+	//rcvet:allow(debug-only registry that is never merged or scraped)
+	reg.Counter(shard, "annotated escape hatch").Inc()
+}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"sort"
+
 	"resourcecentral/internal/fftperiod"
 	"resourcecentral/internal/metric"
 	"resourcecentral/internal/model"
@@ -130,8 +132,17 @@ func (e *extractor) collect(from, to trace.Minutes) map[metric.Metric][]sample {
 	}
 
 	// Deployment-size metrics: one sample per deployment created in the
-	// window, labeled with the maximum size reached by `to`.
-	for _, d := range e.deps {
+	// window, labeled with the maximum size reached by `to`. Deployments
+	// are walked in sorted key order: sample order is training-data order
+	// for the seeded GBT models, so it must not inherit map iteration
+	// randomness.
+	depIDs := make([]string, 0, len(e.deps))
+	for id := range e.deps {
+		depIDs = append(depIDs, id)
+	}
+	sort.Strings(depIDs)
+	for _, id := range depIDs {
+		d := e.deps[id]
 		if d.firstTime < from || d.firstTime >= to {
 			continue
 		}

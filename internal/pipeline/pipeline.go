@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"resourcecentral/internal/featuredata"
@@ -425,8 +426,16 @@ func Publish(st *store.Store, res *Result, obsReg ...*obs.Registry) error {
 		return err
 	}
 	records++
-	for sub, f := range res.Features {
-		rec, err := featuredata.EncodeRecord(f)
+	// Publish per-subscription records in sorted order so the store's
+	// put sequence — and therefore the push-notification stream clients
+	// observe — is identical run to run.
+	subs := make([]string, 0, len(res.Features))
+	for sub := range res.Features {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	for _, sub := range subs {
+		rec, err := featuredata.EncodeRecord(res.Features[sub])
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -238,7 +239,9 @@ func (s *Store) LastLatency() time.Duration {
 	return s.lastLatency
 }
 
-// Keys returns all stored keys.
+// Keys returns all stored keys, sorted: callers walk the result to build
+// user-visible listings (rcserve /models) and publish sweeps, so the
+// order must not leak map iteration randomness.
 func (s *Store) Keys() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -246,6 +249,7 @@ func (s *Store) Keys() []string {
 	for k := range s.blobs {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -665,14 +665,19 @@ func sampleBucket(r *rand.Rand, w [4]float64) int {
 }
 
 func samplePreferredSize(r *rand.Rand, weights map[int]float64) int {
-	// Deterministic iteration order: sort keys.
+	// Deterministic iteration order: sort keys, then accumulate. Summing
+	// the weights during the map walk would make `total` depend on
+	// iteration order in the last bit, which can flip a sample sitting
+	// exactly on a bucket boundary.
 	keys := make([]int, 0, len(weights))
-	total := 0.0
-	for k, w := range weights {
+	for k := range weights {
 		keys = append(keys, k)
-		total += w
 	}
 	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += weights[k]
+	}
 	u := r.Float64() * total
 	acc := 0.0
 	for _, k := range keys {
