@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint race bench bench-sim bench-paper fmt
+.PHONY: check build test vet lint bench-lint race bench bench-sim bench-paper fmt
 
 # Tier-1 gate: everything CI (and reviewers) must see green.
 check: vet lint build test race
@@ -14,12 +14,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# Repo-specific static analysis (cmd/rcvet): determinism of seeded
-# packages, map-iteration order, lock scope/copies, and constant metric
-# names. Findings are emitted in stable file:line order and any finding
-# fails the build. Also runnable as `go vet -vettool=$$(pwd)/bin/rcvet`.
+# Repo-specific static analysis (cmd/rcvet), eight analyzers over
+# interprocedural call-graph summaries: determinism of seeded packages,
+# map-iteration order, lock scope/copies, lock-order deadlock cycles,
+# //rcvet:hotpath zero-alloc enforcement, goroutine join reachability,
+# ignored I/O errors, and constant metric names. Findings carry the
+# witness call chain, are emitted in stable file:line order, and any
+# finding fails the build. Per-package summary sidecars are cached in
+# .rcvet-cache (content-hash keyed; safe to delete). Also runnable as
+# `go vet -vettool=$$(pwd)/bin/rcvet`.
 lint:
-	$(GO) run ./cmd/rcvet ./...
+	$(GO) run ./cmd/rcvet -summarydir .rcvet-cache ./...
+
+# Wall-clock for a full cold rcvet pass (summaries + all analyzers,
+# whole module); also fails on any repo-wide finding.
+bench-lint:
+	$(GO) test -run '^$$' -bench BenchmarkRcvetWholeRepo ./internal/lint
 
 # Race-check the packages with concurrent hot paths: the client caches,
 # the store's subscriber fan-out, the parallel feature-data build, the

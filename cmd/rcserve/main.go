@@ -152,12 +152,16 @@ func newHandler(client *core.Client, reg *obs.Registry, start time.Time) http.Ha
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
-		_ = json.NewEncoder(w).Encode(map[string]any{
+		if err := json.NewEncoder(w).Encode(map[string]any{
 			"status":         state,
 			"uptime_seconds": time.Since(start).Seconds(),
 			"models":         len(models),
 			"result_cache":   client.ResultCacheLen(),
-		})
+		}); err != nil {
+			// Headers are already on the wire; all we can do is record
+			// the failed health response.
+			log.Printf("healthz: %v", err)
+		}
 	})
 	handle("/predict", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()

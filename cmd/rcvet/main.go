@@ -1,16 +1,22 @@
 // Command rcvet runs the repository's custom static-analysis suite
-// (internal/lint): determinism, maporder, lockscope, and metricname —
-// the invariants the paper's evaluation and the seed-equivalence tests
-// depend on, enforced at build time instead of by convention.
+// (internal/lint): determinism, maporder, lockscope, metricname, and —
+// riding the interprocedural summary engine — lockorder, allocfree,
+// goroleak, and errflow. These are the invariants the paper's
+// evaluation and the seed-equivalence tests depend on, enforced at
+// build time instead of by convention.
 //
 // Standalone (the `make lint` / `make check` path):
 //
-//	rcvet [-json] [-analyzers determinism,maporder,...] [packages]
+//	rcvet [-json] [-analyzers determinism,maporder,...] [-summarydir dir] [packages]
 //
-// Packages default to ./... resolved in the current module. Findings
-// are printed one per line in a stable order (file, line, column,
-// analyzer) and the exit status is 2 when there are findings, 1 on an
-// internal error, 0 on a clean tree.
+// Packages default to ./... resolved in the current module. They are
+// summarized in dependency order first (so cross-package facts carry
+// full witness chains), then analyzed; -summarydir caches the per-
+// package summary sidecars keyed by a content hash of the package's
+// sources and its dependencies' hashes. Findings are printed one per
+// line in a stable order (file, line, column, analyzer) and the exit
+// status is 2 when there are findings, 1 on an internal error, 0 on a
+// clean tree.
 //
 // rcvet also speaks the `go vet -vettool=` protocol (-flags, -V=full,
 // and *.cfg package units), so it can run under the go command's
@@ -18,9 +24,15 @@
 //
 //	go vet -vettool=$(pwd)/bin/rcvet ./...
 //
+// In that mode the summary sidecars travel through the protocol's facts
+// channel: each unit writes its package summary to VetxOutput and reads
+// its dependencies' summaries from PackageVetx, so unit-at-a-time
+// analysis still sees whole-program facts.
+//
 // The determinism analyzer only runs over the seeded packages
-// (lint.SeededPackagePatterns); the other three run everywhere.
-// Deliberate violations are annotated //rcvet:allow(reason) in source.
+// (lint.SeededPackagePatterns) and errflow over the I/O-bearing ones
+// (lint.ErrFlowPackagePatterns); the rest run everywhere. Deliberate
+// violations are annotated //rcvet:allow(reason) in source.
 package main
 
 import (
@@ -50,6 +62,7 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	names := flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	summaryDir := flag.String("summarydir", "", "cache per-package summary sidecars in this directory (standalone mode)")
 	flag.Var(versionFlag{}, "V", "print version and exit (go vet protocol)")
 	flag.Var(flagsFlag{}, "flags", "print flag metadata and exit (go vet protocol)")
 	flag.Parse()
@@ -74,12 +87,14 @@ func run() int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return runVetUnit(args[0], analyzers, *jsonOut)
 	}
-	return runStandalone(args, analyzers, *jsonOut)
+	return runStandalone(args, analyzers, *jsonOut, *summaryDir)
 }
 
-// runStandalone loads the requested packages with `go list -export`
-// and runs the suite over each.
-func runStandalone(patterns []string, analyzers []*lint.Analyzer, jsonOut bool) int {
+// runStandalone loads the requested packages with `go list -export`,
+// summarizes them in dependency order into one shared table (reusing
+// -summarydir sidecars whose content hash still matches), and runs the
+// suite over each.
+func runStandalone(patterns []string, analyzers []*lint.Analyzer, jsonOut bool, summaryDir string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -88,9 +103,15 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer, jsonOut bool) 
 		fmt.Fprintln(os.Stderr, "rcvet:", err)
 		return 1
 	}
+	table := lint.NewSummaryTable()
+	ordered := topoOrder(pkgs)
+	hashes := make(map[string]string, len(ordered))
+	for _, pkg := range ordered {
+		summarizeCached(table, pkg, summaryDir, hashes)
+	}
 	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		ds, err := lint.RunAnalyzers(pkg, forPackage(pkg.Path, analyzers))
+		ds, err := lint.RunAnalyzers(pkg, forPackage(pkg.Path, analyzers), table)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rcvet:", err)
 			return 1
@@ -101,12 +122,78 @@ func runStandalone(patterns []string, analyzers []*lint.Analyzer, jsonOut bool) 
 	return report(diags, jsonOut)
 }
 
+// topoOrder sorts loaded packages dependencies-first (imports within
+// the loaded set only), so summaries compose against real facts instead
+// of conservative defaults.
+func topoOrder(pkgs []*lint.Package) []*lint.Package {
+	byPath := make(map[string]*lint.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	seen := make(map[string]bool, len(pkgs))
+	out := make([]*lint.Package, 0, len(pkgs))
+	var visit func(p *lint.Package)
+	visit = func(p *lint.Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, imp := range p.Types.Imports() {
+			if dep := byPath[imp.Path()]; dep != nil {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// summarizeCached computes (or restores) one package's summary. With a
+// summary dir, the sidecar is keyed by a hash of the package sources
+// and its in-set dependencies' hashes; a stale or missing sidecar is
+// recomputed and rewritten.
+func summarizeCached(table *lint.SummaryTable, pkg *lint.Package, summaryDir string, hashes map[string]string) {
+	var depHashes []string
+	for _, imp := range pkg.Types.Imports() {
+		if h, ok := hashes[imp.Path()]; ok {
+			depHashes = append(depHashes, h)
+		}
+	}
+	hash := lint.HashPackage(pkg, depHashes)
+	hashes[pkg.Path] = hash
+	if summaryDir == "" {
+		table.Summarize(pkg)
+		return
+	}
+	if err := os.MkdirAll(summaryDir, 0o755); err != nil {
+		table.Summarize(pkg)
+		return
+	}
+	sidecar := filepath.Join(summaryDir, strings.ReplaceAll(pkg.Path, "/", "_")+".json")
+	if ps, _ := lint.ReadSidecar(sidecar); ps != nil && ps.Hash == hash {
+		table.AddPackage(ps)
+		return
+	}
+	ps := table.Summarize(pkg)
+	ps.Hash = hash
+	if err := lint.WriteSidecar(sidecar, ps); err != nil {
+		fmt.Fprintf(os.Stderr, "rcvet: writing summary cache %s: %v\n", sidecar, err)
+	}
+}
+
 // forPackage scopes the suite to one package: determinism applies only
-// to the seeded packages, everything else runs everywhere.
+// to the seeded packages, errflow only to the I/O-bearing pipeline/
+// store/server packages; everything else runs everywhere.
 func forPackage(path string, analyzers []*lint.Analyzer) []*lint.Analyzer {
 	out := make([]*lint.Analyzer, 0, len(analyzers))
 	for _, a := range analyzers {
 		if a == lint.Determinism && !lint.IsSeededPackage(path) {
+			continue
+		}
+		if a == lint.ErrFlow && !lint.IsErrFlowPackage(path) {
 			continue
 		}
 		out = append(out, a)
@@ -167,17 +254,6 @@ func runVetUnit(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "rcvet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// rcvet has no cross-package facts, but go vet requires the facts
-	// file to exist for its cache.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "rcvet:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 	resolve := func(path string) (string, error) {
 		if canonical, ok := cfg.ImportMap[path]; ok {
 			path = canonical
@@ -195,7 +271,34 @@ func runVetUnit(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, "rcvet:", err)
 		return 1
 	}
-	diags, err := lint.RunAnalyzers(pkg, forPackage(cfg.ImportPath, analyzers))
+	// Dependency summaries arrive through the vet facts channel: the go
+	// command hands us each dependency's VetxOutput as PackageVetx.
+	// Missing or foreign-format files degrade to conservative defaults.
+	// Standard-library units are deliberately skipped: their facts come
+	// from the curated intrinsic tables, which encode gc guarantees a
+	// source-level summary cannot see (strconv.Append* writing into the
+	// caller's buffer, sort.Search's inlined closure), and which the
+	// standalone driver uses too — both modes must agree.
+	table := lint.NewSummaryTable()
+	for path, vetx := range cfg.PackageVetx {
+		if cfg.Standard[path] {
+			continue
+		}
+		if ps, _ := lint.ReadSidecar(vetx); ps != nil {
+			table.AddPackage(ps)
+		}
+	}
+	ps := table.Summarize(pkg)
+	if cfg.VetxOutput != "" {
+		if err := lint.WriteSidecar(cfg.VetxOutput, ps); err != nil {
+			fmt.Fprintln(os.Stderr, "rcvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	diags, err := lint.RunAnalyzers(pkg, forPackage(cfg.ImportPath, analyzers), table)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rcvet:", err)
 		return 1

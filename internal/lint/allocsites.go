@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// forEachAllocSite walks a syntax tree and reports every statically
+// detected allocation site: the base facts behind the allocfree
+// analyzer and the Alloc component of function summaries. Nested
+// function literals are reported as one site (the closure allocation)
+// and not entered — they are separate summary nodes. Calls into other
+// functions are NOT classified here; callers compose callee Alloc
+// summaries themselves (composeCall in the engine, the call walk in
+// allocfree).
+//
+// The site model, chosen to make PR 2's measured-zero-alloc hot paths
+// provably clean while staying conservative everywhere else:
+//
+//   - make, new, growing append: allocate. append always counts — cap
+//     headroom is not statically provable.
+//   - slice and map composite literals allocate; struct and array
+//     literals are stack values, but taking their address (&T{...})
+//     escapes and counts.
+//   - non-constant string concatenation allocates.
+//   - string<->[]byte/[]rune conversions allocate, EXCEPT in call
+//     argument position, which models the gc compiler's non-escaping
+//     conversion optimization — string(strconv.AppendInt(buf[:0], ...))
+//     as an argument does not copy, and CacheKey relies on exactly that.
+//   - boxing a non-pointer-shaped concrete value into an interface
+//     (call arguments, assignments, var decls) allocates; pointers,
+//     channels, maps, and funcs are stored directly.
+//   - variadic calls with at least one variadic argument allocate the
+//     argument slice.
+//   - map assignment may grow the table.
+//   - function literals allocate their closure; go statements allocate
+//     the goroutine.
+//   - calls through function-typed values have unknown targets and are
+//     reported here (named callees are composed via summaries instead).
+func forEachAllocSite(info *types.Info, root ast.Node, report func(pos token.Pos, what string)) {
+	// Conversions appearing directly as call arguments are exempt from
+	// the string-conversion rule; parents are visited before children,
+	// so the marking below is always seen in time.
+	exemptConv := make(map[ast.Expr]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closure allocation)")
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement (goroutine spawn allocates)")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n) && !isConstExpr(info, n) {
+				report(n.Pos(), "string concatenation")
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal (escapes to heap)")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, ok := info.TypeOf(idx.X).Underlying().(*types.Map); ok {
+						report(lhs.Pos(), "map assignment (may grow the table)")
+					}
+				}
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if boxes(info, info.TypeOf(n.Lhs[i]), rhs) {
+						report(rhs.Pos(), "interface boxing of "+info.TypeOf(rhs).String())
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				for _, v := range n.Values {
+					if boxes(info, info.TypeOf(n.Type), v) {
+						report(v.Pos(), "interface boxing of "+info.TypeOf(v).String())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			classifyCallAlloc(info, n, exemptConv, report)
+		}
+		return true
+	})
+}
+
+// classifyCallAlloc handles the call-shaped allocation sites: builtins,
+// conversions, variadic packing, argument boxing, and dynamic calls.
+func classifyCallAlloc(info *types.Info, call *ast.CallExpr, exemptConv map[ast.Expr]bool, report func(token.Pos, string)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if exemptConv[call] {
+			return
+		}
+		classifyConversion(info, call, tv.Type, report)
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			case "append":
+				report(call.Pos(), "append (may grow the backing array)")
+			}
+			return
+		}
+	}
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	// Mark conversion arguments exempt before they are visited.
+	for _, a := range call.Args {
+		if conv, ok := ast.Unparen(a).(*ast.CallExpr); ok {
+			if tv, ok := info.Types[conv.Fun]; ok && tv.IsType() && stringBytesConversion(info, conv, tv.Type) {
+				exemptConv[conv] = true
+			}
+		}
+	}
+	if calleeFunc(info, call) == nil {
+		if _, isLit := ast.Unparen(call.Fun).(*ast.FuncLit); !isLit {
+			report(call.Pos(), "call through function value (unknown target)")
+			return
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		report(call.Pos(), "variadic call (allocates the argument slice)")
+	}
+	for i, a := range call.Args {
+		if pt := paramType(sig, i); pt != nil && boxes(info, pt, a) {
+			report(a.Pos(), "interface boxing of "+info.TypeOf(a).String())
+		}
+	}
+}
+
+// classifyConversion reports conversions that copy memory: between
+// string and byte/rune slices, or rune/int to string.
+func classifyConversion(info *types.Info, conv *ast.CallExpr, dst types.Type, report func(token.Pos, string)) {
+	if stringBytesConversion(info, conv, dst) {
+		report(conv.Pos(), "string/[]byte conversion (copies)")
+		return
+	}
+	if len(conv.Args) != 1 {
+		return
+	}
+	if isString(dst) {
+		if b, ok := info.TypeOf(conv.Args[0]).Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			report(conv.Pos(), "integer-to-string conversion")
+		}
+	}
+}
+
+// stringBytesConversion reports whether conv converts between string
+// and []byte / []rune (either direction).
+func stringBytesConversion(info *types.Info, conv *ast.CallExpr, dst types.Type) bool {
+	if len(conv.Args) != 1 {
+		return false
+	}
+	src := info.TypeOf(conv.Args[0])
+	if src == nil {
+		return false
+	}
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isString(t)
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// boxes reports whether assigning e to a destination of type dst stores
+// a concrete non-pointer-shaped value into an interface, which heap-
+// allocates the boxed copy. Pointer-shaped values (pointers, channels,
+// maps, funcs, unsafe pointers) are stored directly; nil and
+// interface-to-interface assignments never box.
+func boxes(info *types.Info, dst types.Type, e ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	src := tv.Type
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return false
+	}
+	switch u := src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// paramType returns the static type of the i-th argument slot of sig,
+// unrolling the variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return params.At(i).Type()
+	}
+	return nil
+}

@@ -27,3 +27,24 @@ func TestLockScope(t *testing.T) {
 func TestMetricName(t *testing.T) {
 	linttest.Run(t, lint.MetricName, "testdata/metricname")
 }
+
+// The interprocedural analyzers' goldens import
+// internal/lint/fixture/lintfixture, whose summaries the harness
+// computes first: every transitive case below crosses a real package
+// boundary through the summary table.
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lint.LockOrder, "testdata/lockorder")
+}
+
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, lint.AllocFree, "testdata/allocfree")
+}
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, lint.GoroLeak, "testdata/goroleak")
+}
+
+func TestErrFlow(t *testing.T) {
+	linttest.Run(t, lint.ErrFlow, "testdata/errflow")
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// This file builds the package-local call graph the summary engine
+// (summary.go) runs over. Nodes are the functions and methods declared
+// in one package plus every function literal (literals execute in
+// contexts of their own — a goroutine body, a callback — so they are
+// summarized separately and their facts only flow into an enclosing
+// function when the literal is invoked on the spot). Edges are static
+// calls: identifier and selector calls resolved through the type
+// checker, plus immediately-invoked literals. Calls through interfaces
+// and function values are not edges here; the summary engine resolves
+// those against exported interface-method summaries or conservative
+// defaults at composition time.
+
+// funcNode is one function in the package-local call graph.
+type funcNode struct {
+	// Key identifies the function across packages: types.Func.FullName
+	// for declared functions and methods, a synthesized position-based
+	// key for literals.
+	Key string
+	// Fn is the type-checker object; nil for function literals.
+	Fn *types.Func
+	// Decl / Lit hold the syntax (exactly one is non-nil).
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Calls lists the package-local static callees, in source order.
+	Calls []*funcNode
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// Body returns the function body (nil for bodyless declarations, e.g.
+// assembly-backed functions).
+func (n *funcNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// callGraph is the package-local static call graph.
+type callGraph struct {
+	Pkg   *Package
+	Nodes []*funcNode // deterministic order: file order, then position
+	byFn  map[*types.Func]*funcNode
+	byLit map[*ast.FuncLit]*funcNode
+}
+
+// litKey synthesizes a stable cross-run key for a function literal from
+// its source position.
+func litKey(pkg *Package, lit *ast.FuncLit) string {
+	return litKeyPos(pkg.Fset, pkg.Path, lit.Pos())
+}
+
+func litKeyPos(fset *token.FileSet, pkgPath string, p token.Pos) string {
+	pos := fset.Position(p)
+	return fmt.Sprintf("%s.func@%s:%d:%d", pkgPath, filepath.Base(pos.Filename), pos.Line, pos.Column)
+}
+
+// buildCallGraph collects the package's functions and resolves their
+// static intra-package calls. Test files are excluded by the caller
+// (the graph is built over the files the analyzers see).
+func buildCallGraph(pkg *Package, files []*ast.File) *callGraph {
+	g := &callGraph{
+		Pkg:   pkg,
+		byFn:  make(map[*types.Func]*funcNode),
+		byLit: make(map[*ast.FuncLit]*funcNode),
+	}
+	// Pass 1: nodes.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pkg.TypesInfo.Defs[n.Name].(*types.Func)
+				if fn == nil {
+					return true
+				}
+				node := &funcNode{Key: fn.FullName(), Fn: fn, Decl: n}
+				g.Nodes = append(g.Nodes, node)
+				g.byFn[fn] = node
+			case *ast.FuncLit:
+				node := &funcNode{Key: litKey(pkg, n), Lit: n}
+				g.Nodes = append(g.Nodes, node)
+				g.byLit[n] = node
+			}
+			return true
+		})
+	}
+	// Pass 2: edges. Each node's body is walked without descending into
+	// nested literals (they are their own nodes); a literal invoked on
+	// the spot — (func(){...})() — contributes a regular call edge, so
+	// its facts flow into the enclosing function like any callee's.
+	for _, node := range g.Nodes {
+		body := node.Body()
+		if body == nil {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+					if callee := g.byLit[lit]; callee != nil {
+						node.Calls = append(node.Calls, callee)
+					}
+					return true
+				}
+				if fn := calleeFunc(pkg.TypesInfo, n); fn != nil {
+					if callee := g.byFn[fn]; callee != nil {
+						node.Calls = append(node.Calls, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Resolve maps a call's callee to its local node, or nil when the
+// callee is not declared in this package.
+func (g *callGraph) Resolve(fn *types.Func) *funcNode { return g.byFn[fn] }
+
+// SCCs returns the strongly connected components of the call graph in
+// reverse topological order of the condensation: every component is
+// emitted after all components it calls into, so a bottom-up summary
+// pass can process the slice front to back. Mutual recursion lands two
+// functions in one component; the summary engine iterates such a
+// component to a fixed point.
+func (g *callGraph) SCCs() [][]*funcNode {
+	var (
+		out   [][]*funcNode
+		stack []*funcNode
+		next  = 1
+	)
+	var strongconnect func(v *funcNode)
+	strongconnect = func(v *funcNode) {
+		v.index, v.lowlink = next, next
+		next++
+		stack = append(stack, v)
+		v.onStack = true
+		for _, w := range v.Calls {
+			if w.index == 0 {
+				strongconnect(w)
+				if w.lowlink < v.lowlink {
+					v.lowlink = w.lowlink
+				}
+			} else if w.onStack && w.index < v.lowlink {
+				v.lowlink = w.index
+			}
+		}
+		if v.lowlink == v.index {
+			var scc []*funcNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, v := range g.Nodes {
+		if v.index == 0 {
+			strongconnect(v)
+		}
+	}
+	return out
+}

@@ -22,6 +22,19 @@ import (
 //   - os.Getenv-style ambient reads are NOT covered: configuration is
 //     visible in profiles and diffs, clocks and global rand are not.
 //
+// Beyond the direct (syntactic) checks, the analyzer consults the
+// interprocedural summaries (summary.go): a call from a seeded package
+// into a function whose summary is clock- or rand-tainted is flagged
+// with the full witness chain — `time.Now()` two calls deep in another
+// package no longer hides. Two deliberate exemptions:
+//
+//   - internal/obs is an observational sink: clock values that flow
+//     into it feed metrics, never results, so taint does not propagate
+//     out of obs;
+//   - an //rcvet:allow at a base site clears the fact from the
+//     function's exported summary, so a human-approved clock read does
+//     not re-trigger in every transitive caller.
+//
 // Drivers run this analyzer only over the seeded packages
 // (SeededPackagePatterns); a clock read in cmd/rcserve's HTTP middleware
 // is fine. Deliberate uses inside seeded code take
@@ -55,32 +68,63 @@ func runDeterminism(pass *Pass) error {
 			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			// Only package-level functions matter here: methods on
-			// *rand.Rand or on a caller-supplied clock are seeded state.
-			if fn.Signature().Recv() != nil {
-				return true
-			}
+			// Direct reads. Only package-level functions matter here:
+			// methods on *rand.Rand or on a caller-supplied clock are
+			// seeded state.
 			switch fn.Pkg().Path() {
 			case "time":
-				switch fn.Name() {
-				case "Now", "Since", "Until":
-					pass.Reportf(call.Pos(),
-						"time.%s in seeded package %s: results must depend only on the seed; "+
-							"thread a timestamp through, or annotate with //rcvet:allow(reason)",
-						fn.Name(), pass.Pkg.Path())
+				if fn.Signature().Recv() == nil {
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(call.Pos(),
+							"time.%s in seeded package %s: results must depend only on the seed; "+
+								"thread a timestamp through, or annotate with //rcvet:allow(reason)",
+							fn.Name(), pass.Pkg.Path())
+					}
 				}
+				return true
 			case "math/rand", "math/rand/v2":
-				if !deterministicRandFuncs[fn.Name()] {
+				if fn.Signature().Recv() == nil && !deterministicRandFuncs[fn.Name()] {
 					pass.Reportf(call.Pos(),
 						"global rand.%s in seeded package %s: draws from the process-seeded source; "+
 							"use a *rand.Rand from rand.New(rand.NewPCG(seed, ...)), or annotate with //rcvet:allow(reason)",
 						fn.Name(), pass.Pkg.Path())
 				}
+				return true
 			}
+			checkTransitiveDeterminism(pass, call, fn)
 			return true
 		})
 	}
 	return nil
+}
+
+// checkTransitiveDeterminism flags a call whose callee's summary says
+// the wall clock or the global rand source is reachable from it. Calls
+// within the package are skipped — the base site already got its own
+// diagnostic there; cross-package calls carry the witness chain, since
+// the tainted site is outside the file the reader is looking at.
+func checkTransitiveDeterminism(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	if pkgPath == pass.Pkg.Path() || isObsPath(pkgPath) {
+		return
+	}
+	sum := pass.Summaries.ResolveFunc(fn)
+	if sum.Clock != nil {
+		pass.Reportf(call.Pos(),
+			"call to %s transitively reads the wall clock in seeded package %s "+
+				"(chain: %s); results must depend only on the seed, or annotate with //rcvet:allow(reason)",
+			shortFuncName(fn), pass.Pkg.Path(), sum.Clock)
+	}
+	if sum.Rand != nil {
+		pass.Reportf(call.Pos(),
+			"call to %s transitively draws from global rand in seeded package %s "+
+				"(chain: %s); use explicitly seeded state, or annotate with //rcvet:allow(reason)",
+			shortFuncName(fn), pass.Pkg.Path(), sum.Rand)
+	}
 }
 
 // calleeFunc resolves a call's callee to its types.Func, or nil for

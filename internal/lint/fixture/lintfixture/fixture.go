@@ -1,0 +1,91 @@
+// Package lintfixture is cross-package raw material for the rcvet
+// golden tests: small functions whose interprocedural facts (clock
+// reads, global rand draws, allocations, lock acquisitions, I/O,
+// join signals) the testdata packages observe through the summary
+// table. Each golden exercises real cross-package composition — the
+// analyzer never sees this package's syntax, only its exported
+// summaries — so these functions pin the sidecar format and the
+// chain rendering at the same time.
+//
+// The package itself must stay clean under the full rcvet suite: it
+// contributes single facts (for example, exactly one lock-order edge)
+// and the testdata packages complete the violations.
+package lintfixture
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	"resourcecentral/internal/store"
+)
+
+// Stamp reads the wall clock two hops down (Stamp -> now -> time.Now);
+// determinism goldens want the full chain in the diagnostic.
+func Stamp() time.Time { return now() }
+
+func now() time.Time { return time.Now() }
+
+// Roll draws from the global process-seeded source two hops down.
+func Roll() int { return draw() }
+
+func draw() int { return rand.IntN(6) }
+
+// Pure is deterministic and allocation-free: the must-not-flag control
+// for determinism and allocfree composition.
+func Pure(x int) int { return x*x + 1 }
+
+// Describe allocates two hops down (Describe -> format -> fmt.Sprintf);
+// allocfree goldens want the chain.
+func Describe(x int) string { return format(x) }
+
+func format(x int) string { return fmt.Sprintf("x=%d", x) }
+
+// MuA and MuB are package-level mutexes shared with the lockorder
+// golden. NestBA contributes the single edge MuB -> MuA; the testdata
+// package acquires MuA -> MuB, completing a cycle whose
+// lexicographically-smallest edge it owns, so the diagnostic is
+// reported there (and exactly once).
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// NestBA acquires MuB then MuA: one half of a lock-order cycle.
+func NestBA() {
+	MuB.Lock()
+	MuA.Lock()
+	MuA.Unlock()
+	MuB.Unlock()
+}
+
+// TouchStore reaches a blocking store call; lockscope goldens call it
+// under a lock to exercise the transitive Blocking fact.
+func TouchStore(s *store.Store) store.Blob {
+	b, err := s.Get("model/lifetime")
+	if err != nil {
+		return store.Blob{}
+	}
+	return b
+}
+
+// WriteState performs file I/O and returns its error; errflow goldens
+// discard it to exercise the transitive IO fact.
+func WriteState(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Joined blocks on a channel — a join signal goroleak accepts
+// transitively.
+func Joined(done <-chan struct{}) { <-done }
+
+var spins int
+
+// Forever never reaches a join signal: goroleak's transitive positive.
+func Forever() {
+	for {
+		spins++
+	}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoroLeak requires every goroutine launched in non-test code to be
+// joinable: a join signal must be reachable from the spawned function's
+// body. Accepted signals, composed transitively through the summaries:
+//
+//   - sync.WaitGroup Done/Wait (the repo's dominant idiom:
+//     `defer wg.Done()` in the body, Wait in the owner);
+//   - any channel operation — send, receive, range — including
+//     receiving from ctx.Done() or a done channel;
+//   - a select statement (which always communicates).
+//
+// A goroutine with none of these can outlive its owner: in the paper's
+// deployment model the client library lives inside the fabric
+// controller host, where a leaked goroutine is a leaked OS resource
+// that survives model reloads for the life of the process. This is a
+// reachability heuristic, not a liveness proof — a channel op on the
+// wrong channel satisfies it — but it catches the common failure of a
+// fire-and-forget `go func(){ work() }()` with no join at all.
+// Deliberate daemons take //rcvet:allow(reason) on the go statement.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "require every go statement's body to reach a join signal " +
+		"(WaitGroup Done/Wait, channel op, or select)",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, gs *ast.GoStmt) {
+	var sum *FuncSummary
+	var what string
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		sum = pass.Summaries.Lookup(litKeyAt(pass.Fset, pass.Pkg.Path(), fun))
+		what = "goroutine literal"
+	default:
+		fn := calleeFunc(pass.TypesInfo, gs.Call)
+		if fn == nil {
+			pass.Report(gs.Pos(),
+				"goroutine spawned through a function value: rcvet cannot prove it is ever "+
+					"joined; spawn a named function or literal, or annotate with //rcvet:allow(reason)")
+			return
+		}
+		sum = pass.Summaries.ResolveFunc(fn)
+		what = "goroutine " + shortFuncName(fn)
+	}
+	if sum == nil || !sum.JoinSignal {
+		pass.Reportf(gs.Pos(),
+			"%s has no reachable join signal (WaitGroup Done/Wait, channel op, select, or "+
+				"ctx.Done): it can outlive its owner; join it, or annotate with //rcvet:allow(reason)",
+			what)
+	}
+}
+
+// litKeyAt is litKey without a *Package: the summary key of a function
+// literal, derivable from any Pass.
+func litKeyAt(fset *token.FileSet, pkgPath string, lit *ast.FuncLit) string {
+	return litKeyPos(fset, pkgPath, lit.Pos())
+}

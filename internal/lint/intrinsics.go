@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Intrinsic knowledge about callees that have no computed summary —
+// the standard library, mostly. The rules err conservative: anything
+// not provably clean is assumed to allocate, with a witness frame
+// saying so, which is exactly the behavior the allocfree goldens pin.
+
+// defaultSummary synthesizes a conservative summary for a callee whose
+// package has not been summarized.
+func defaultSummary(fn *types.Func) *FuncSummary {
+	s := &FuncSummary{}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	name := fn.Name()
+	recv := fn.Signature().Recv()
+	switch pkg {
+	case "time":
+		if recv == nil && (name == "Now" || name == "Since" || name == "Until") {
+			// Empty chain: the caller's composed frame ("file.go:12:
+			// calls time.Now") already names the read.
+			s.Clock = &Taint{}
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the global process-seeded
+		// source; constructors and *rand.Rand methods are seeded state.
+		if recv == nil && !deterministicRandFuncs[name] {
+			s.Rand = &Taint{}
+		}
+	}
+	if !allocFreeIntrinsic(fn, pkg, name, recv) {
+		s.Alloc = &Taint{Chain: []Frame{{Call: "no summary for " + shortFuncName(fn) + " (assumed to allocate)"}}}
+	}
+	if ioIntrinsic(fn, pkg, name) {
+		s.IO = true
+	}
+	if pkg == "sync" && (name == "Done" || name == "Wait") {
+		// WaitGroup.Done / WaitGroup.Wait / Cond.Wait are the join
+		// signals goroleak accepts from the stdlib.
+		s.JoinSignal = true
+	}
+	return s
+}
+
+// allocFreeIntrinsic lists the stdlib calls the allocfree analyzer
+// trusts not to allocate. Everything outside this list (and outside
+// computed summaries) is assumed allocating.
+func allocFreeIntrinsic(fn *types.Func, pkg, name string, recv *types.Var) bool {
+	switch pkg {
+	case "math", "math/bits", "sync", "sync/atomic", "unsafe", "errors":
+		// sync: Lock/Unlock/atomic ops; Pool.Get can allocate via New
+		// but returns pooled memory by design — treating the sync
+		// package as clean is the contract hot paths rely on.
+		// errors: only Is/As walk chains without allocating; New/Errorf
+		// are caught because errors.New constructs, but keeping the
+		// whole package simple is wrong — restrict below.
+		if pkg == "errors" {
+			return name == "Is" || name == "As"
+		}
+		return true
+	case "time":
+		if recv == nil {
+			return name == "Now" || name == "Since" || name == "Until"
+		}
+		rt := deref(recv.Type())
+		if named, ok := rt.(*types.Named); ok {
+			switch named.Obj().Name() {
+			case "Duration":
+				// Duration methods are arithmetic (Seconds, Nanoseconds,
+				// ...) except the formatting one.
+				return name != "String"
+			case "Time":
+				switch name {
+				case "Sub", "Before", "After", "Equal", "Compare", "IsZero",
+					"Unix", "UnixNano", "UnixMilli", "UnixMicro":
+					return true
+				}
+			}
+		}
+		return false
+	case "strconv":
+		// strconv.Append* write into a caller-provided buffer.
+		return strings.HasPrefix(name, "Append")
+	case "sort":
+		// sort.Search* binary-search without touching the heap.
+		return strings.HasPrefix(name, "Search")
+	}
+	return false
+}
+
+// ioPackages are the stdlib packages whose calls count as I/O for the
+// errflow analyzer; an error ignored from one of these is a dropped
+// failure the server or pipeline will never see.
+var ioPackages = map[string]bool{
+	"os":            true,
+	"io":            true,
+	"io/fs":         true,
+	"io/ioutil":     true,
+	"bufio":         true,
+	"net":           true,
+	"net/http":      true,
+	"compress/gzip": true,
+	"encoding/csv":  true,
+	"encoding/gob":  true,
+	"database/sql":  true,
+}
+
+// ioIntrinsic reports whether a call into an unsummarized package is an
+// I/O operation. encoding/json counts only for the streaming
+// Encoder/Decoder methods, which wrap a writer/reader; Marshal and
+// Unmarshal are pure.
+func ioIntrinsic(fn *types.Func, pkg, name string) bool {
+	if ioPackages[pkg] {
+		return true
+	}
+	if pkg == "encoding/json" {
+		return name == "Encode" || name == "Decode"
+	}
+	return false
+}
+
+// StoreIO reports whether an import path is internal/store. The store
+// models the paper's remote Azure-storage blob tier, so errflow treats
+// every error-returning store call as I/O even though the in-memory
+// implementation's computed summary performs none itself.
+func StoreIO(path string) bool {
+	return path == "internal/store" || strings.HasSuffix(path, "/internal/store")
+}

@@ -57,6 +57,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Summaries holds the interprocedural function summaries for this
+	// package and (when the driver loaded sidecars or summarized
+	// dependencies) its deps. Never nil inside an analyzer Run.
+	Summaries *SummaryTable
 
 	// report receives diagnostics that survived allow-comment
 	// suppression.
@@ -124,15 +128,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // returns the surviving diagnostics in a stable order (file, line,
 // column, analyzer name, message). Test files (*_test.go) are excluded:
 // tests are allowed to read clocks and drive maps however they like.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	files := make([]*ast.File, 0, len(pkg.Syntax))
-	for _, f := range pkg.Syntax {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		if strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		files = append(files, f)
+//
+// table carries interprocedural summaries. Passing nil gets a fresh
+// table (cross-package callees fall back to conservative defaults);
+// drivers that loaded sidecars or summarized dependencies pass their
+// shared table. The package itself is summarized here if it has not
+// been already.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, table *SummaryTable) ([]Diagnostic, error) {
+	if table == nil {
+		table = NewSummaryTable()
 	}
+	table.Summarize(pkg)
+	files := nonTestFiles(pkg)
 	allow := buildAllowIndex(pkg.Fset, files)
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -142,6 +149,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Summaries: table,
 			allow:     allow,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
@@ -177,7 +185,10 @@ func SortDiagnostics(diags []Diagnostic) {
 
 // All returns the full rcvet suite in the order findings are reported.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, LockScope, MetricName}
+	return []*Analyzer{
+		Determinism, MapOrder, LockScope, MetricName,
+		LockOrder, AllocFree, GoroLeak, ErrFlow,
+	}
 }
 
 // ByName returns the named analyzers, or an error naming the first

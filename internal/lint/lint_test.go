@@ -88,7 +88,7 @@ func TestLoadRealPackage(t *testing.T) {
 	if len(pkgs) != 1 || pkgs[0].Path != "resourcecentral/internal/metric" {
 		t.Fatalf("Load returned %+v", pkgs)
 	}
-	diags, err := lint.RunAnalyzers(pkgs[0], lint.All())
+	diags, err := lint.RunAnalyzers(pkgs[0], lint.All(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package linttest
 
 import (
+	"go/types"
 	"os"
 	"regexp"
 	"strings"
@@ -32,13 +33,21 @@ var patRe = regexp.MustCompile("^(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)\\s*")
 
 // Run loads dir as one package (resolving imports against this module)
 // and checks the analyzer's diagnostics against the want comments.
+//
+// Before the analyzer runs, every module package the testdata imports
+// (directly or transitively) is loaded and summarized into the pass's
+// summary table, dependency-first — so goldens can exercise real
+// cross-package summary composition against packages like
+// internal/lint/fixture/lintfixture.
 func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	t.Helper()
 	pkg, err := lint.LoadDir(".", dir)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	table := lint.NewSummaryTable()
+	summarizeModuleImports(t, table, pkg.Types.Imports())
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a}, table)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
@@ -73,6 +82,27 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	for k, msgs := range remaining {
 		for _, m := range msgs {
 			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// summarizeModuleImports loads and summarizes this module's packages
+// reachable from the testdata package's import graph, dependencies
+// before dependents.
+func summarizeModuleImports(t *testing.T, table *lint.SummaryTable, imps []*types.Package) {
+	t.Helper()
+	for _, imp := range imps {
+		path := imp.Path()
+		if !strings.HasPrefix(path, "resourcecentral/") || table.HasPackage(path) {
+			continue
+		}
+		summarizeModuleImports(t, table, imp.Imports())
+		pkgs, err := lint.Load(".", []string{path})
+		if err != nil {
+			t.Fatalf("loading dependency %s for summaries: %v", path, err)
+		}
+		for _, p := range pkgs {
+			table.Summarize(p)
 		}
 	}
 }

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// LockOrder builds the global lock-acquisition-order graph from the
+// interprocedural summaries and reports every cycle as a potential
+// deadlock, with a witness chain for each edge.
+//
+// An edge A -> B means: somewhere, code acquires lock class B while
+// holding lock class A (directly, or through any chain of calls — the
+// summaries carry transitive acquisitions). Classes name locks by
+// owning type and field ("resourcecentral/internal/core.resultShard.mu")
+// or package-level variable, so the same field on any instance is one
+// class: the sharded result cache, the store mutex, and the obs
+// registry mutex each collapse to a single node. A cycle A -> B -> A
+// means two goroutines can each hold one lock while waiting for the
+// other — the classic deadlock the paper's "the client library must
+// never take the host down" requirement cannot tolerate.
+//
+// Each cycle is reported exactly once repo-wide: by the package owning
+// the cycle's lexicographically smallest edge, at that edge's witness
+// position. Function-local mutexes never form edges (they cannot be
+// contended across functions); intentional nesting can be excused with
+// //rcvet:allow(reason) on the inner acquisition, which removes the
+// edge from the summary.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "build the cross-package lock-acquisition-order graph from function " +
+		"summaries and report ordering cycles as potential deadlocks",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	edges := pass.Summaries.AllEdges()
+	adj := make(map[string][]LockEdge)
+	for _, e := range edges {
+		adj[e.Held] = append(adj[e.Held], e)
+	}
+	for _, e := range edges {
+		if e.Pkg != pass.Pkg.Path() {
+			continue // another unit owns (and reports) this edge's cycles
+		}
+		back := shortestLockPath(adj, e.Acquired, e.Held)
+		if back == nil {
+			continue
+		}
+		cycle := append([]LockEdge{e}, back...)
+		if !isCanonicalEdge(e, cycle) {
+			continue // the cycle's smallest edge reports it, once
+		}
+		var classes []string
+		for _, ce := range cycle {
+			classes = append(classes, ce.Held)
+		}
+		classes = append(classes, e.Held)
+		var witnesses []string
+		for _, ce := range cycle {
+			witnesses = append(witnesses, fmt.Sprintf("holding %s: %s", ce.Held, renderChain(ce.Chain)))
+		}
+		pass.Reportf(edgePos(pass, e),
+			"lock-order cycle %s: two goroutines interleaving these acquisitions deadlock; "+
+				"witnesses: [%s]; fix the ordering or annotate the inner acquisition with //rcvet:allow(reason)",
+			strings.Join(classes, " -> "), strings.Join(witnesses, " | "))
+	}
+	return nil
+}
+
+// shortestLockPath BFSes from lock class `from` to `to` over the edge
+// adjacency, returning the edge path, or nil. Deterministic: adjacency
+// lists come from AllEdges' sorted order.
+func shortestLockPath(adj map[string][]LockEdge, from, to string) []LockEdge {
+	type state struct {
+		cls  string
+		path []LockEdge
+	}
+	seen := map[string]bool{from: true}
+	queue := []state{{cls: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur.cls] {
+			path := append(append([]LockEdge(nil), cur.path...), e)
+			if e.Acquired == to {
+				return path
+			}
+			if !seen[e.Acquired] {
+				seen[e.Acquired] = true
+				queue = append(queue, state{cls: e.Acquired, path: path})
+			}
+		}
+	}
+	return nil
+}
+
+// isCanonicalEdge reports whether e is the lexicographically smallest
+// (held, acquired) edge of the cycle.
+func isCanonicalEdge(e LockEdge, cycle []LockEdge) bool {
+	for _, ce := range cycle {
+		if ce.Held < e.Held || (ce.Held == e.Held && ce.Acquired < e.Acquired) {
+			return false
+		}
+	}
+	return true
+}
+
+// edgePos recovers a token.Pos for an edge's witness (stored in the
+// summary as short "file.go:line" strings) so the diagnostic lands on
+// the acquisition line and //rcvet:allow suppression applies there.
+func edgePos(pass *Pass, e LockEdge) token.Pos {
+	short := ""
+	if len(e.Chain) > 0 {
+		short = e.Chain[0].Pos
+	}
+	base, line := splitShortPos(short)
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || filepath.Base(tf.Name()) != base {
+			continue
+		}
+		if line >= 1 && line <= tf.LineCount() {
+			return tf.LineStart(line)
+		}
+	}
+	if len(pass.Files) > 0 {
+		return pass.Files[0].Pos()
+	}
+	return token.NoPos
+}
+
+func splitShortPos(s string) (file string, line int) {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return s, 0
+	}
+	fmt.Sscanf(s[i+1:], "%d", &line)
+	return s[:i], line
+}

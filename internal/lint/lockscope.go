@@ -246,6 +246,13 @@ func lockCall(info *types.Info, s ast.Stmt) (recv string, kind lockKind) {
 // statement executed while locks are held. Function literals are
 // skipped (they run at their call site, not here), and so are nested
 // statement lists, which walkNested re-checks with the same held set.
+//
+// Two tiers: a direct call into obs-registry/store/Featurize is flagged
+// as before, and any other call — including an intra-package helper —
+// whose interprocedural summary says such a call is *reachable* is
+// flagged with the witness chain. PR 4's version trusted intra-package
+// helpers ("manage their own discipline"); the summaries close that
+// hole.
 func checkUnderLock(pass *Pass, s ast.Stmt, held []string) {
 	if _, ok := s.(*ast.DeferStmt); ok {
 		// Deferred calls (canonically `defer mu.Unlock()`) run at
@@ -265,20 +272,29 @@ func checkUnderLock(pass *Pass, s ast.Stmt, held []string) {
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
-		if fn.Pkg().Path() == pass.Pkg.Path() {
-			return true // intra-package helpers manage their own discipline
+		if fn.Pkg().Path() != pass.Pkg.Path() {
+			switch {
+			case forbiddenUnderLock(fn.Pkg().Path()) && locksInternally(fn):
+				pass.Reportf(call.Pos(),
+					"call to %s.%s while %q is locked: metrics/store calls take their own locks and "+
+						"can block; record under the lock, call after unlock, or annotate with "+
+						"//rcvet:allow(reason)", fn.Pkg().Name(), fn.Name(), held[len(held)-1])
+				return true
+			case fn.Name() == "Featurize":
+				pass.Reportf(call.Pos(),
+					"Featurize while %q is locked: feature-vector builds are the expensive step the "+
+						"batched paths hoist out of shard locks; featurize before locking, or annotate "+
+						"with //rcvet:allow(reason)", held[len(held)-1])
+				return true
+			}
 		}
-		switch {
-		case forbiddenUnderLock(fn.Pkg().Path()) && locksInternally(fn):
+		// Transitive: the callee's summary says an obs-registry, store,
+		// or Featurize call is reachable from it.
+		if sum := pass.Summaries.ResolveFunc(fn); sum.Blocking != nil {
 			pass.Reportf(call.Pos(),
-				"call to %s.%s while %q is locked: metrics/store calls take their own locks and "+
-					"can block; record under the lock, call after unlock, or annotate with "+
-					"//rcvet:allow(reason)", fn.Pkg().Name(), fn.Name(), held[len(held)-1])
-		case fn.Name() == "Featurize":
-			pass.Reportf(call.Pos(),
-				"Featurize while %q is locked: feature-vector builds are the expensive step the "+
-					"batched paths hoist out of shard locks; featurize before locking, or annotate "+
-					"with //rcvet:allow(reason)", held[len(held)-1])
+				"call to %s while %q is locked transitively reaches a blocking call "+
+					"(chain: %s); hoist it out of the critical section, or annotate with "+
+					"//rcvet:allow(reason)", shortFuncName(fn), held[len(held)-1], sum.Blocking)
 		}
 		return true
 	})

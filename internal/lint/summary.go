@@ -1,0 +1,890 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the interprocedural layer of rcvet: per-function
+// summaries computed bottom-up over the package-local call graph
+// (callgraph.go), iterated to a fixed point inside each strongly
+// connected component, installed in a SummaryTable, and composed across
+// package boundaries. The table can be serialized to JSON sidecar files
+// so `go vet -vettool=` unit-at-a-time runs (and the standalone driver's
+// -summarydir cache) see facts for dependency packages they did not
+// type-check themselves.
+//
+// Facts are monotone: a summary only ever gains taints, locks, and
+// edges, and every taint keeps the first witness chain that established
+// it. That makes the SCC fixed point trivially terminating (the fact
+// lattice is finite) and keeps witness chains stable across iterations.
+
+// Frame is one hop of a witness chain: a source position (short form,
+// "file.go:12") and what happens there.
+type Frame struct {
+	Pos  string `json:"pos,omitempty"`
+	Call string `json:"call"`
+}
+
+// maxChain caps witness-chain length; recursion and deep call stacks
+// truncate with a trailing "..." frame.
+const maxChain = 8
+
+// Taint is a reachable fact (wall-clock read, global-rand read,
+// allocation, blocking call) with the call chain that witnesses it.
+// A nil *Taint means "provably free of this fact".
+type Taint struct {
+	Chain []Frame `json:"chain,omitempty"`
+}
+
+// String renders the witness chain for diagnostics:
+// "a.go:10: calls core.fetch -> b.go:3: time.Now".
+func (t *Taint) String() string { return renderChain(t.Chain) }
+
+func renderChain(chain []Frame) string {
+	parts := make([]string, 0, len(chain))
+	for _, f := range chain {
+		if f.Pos != "" {
+			parts = append(parts, f.Pos+": "+f.Call)
+		} else {
+			parts = append(parts, f.Call)
+		}
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func capChain(chain []Frame) []Frame {
+	if len(chain) <= maxChain {
+		return chain
+	}
+	out := append([]Frame(nil), chain[:maxChain]...)
+	out = append(out, Frame{Call: "..."})
+	return out
+}
+
+func prependFrame(f Frame, chain []Frame) []Frame {
+	out := make([]Frame, 0, len(chain)+1)
+	out = append(out, f)
+	out = append(out, chain...)
+	return capChain(out)
+}
+
+// LockAcq records that a function (transitively) acquires a lock class,
+// with the chain from the function's entry to the acquisition.
+type LockAcq struct {
+	Class string  `json:"class"`
+	Chain []Frame `json:"chain,omitempty"`
+}
+
+// LockEdge records a lock-order constraint: while Held was held,
+// Acquired was (transitively) acquired. Pkg is the package whose code
+// establishes the edge — lockorder uses it to report each cycle exactly
+// once. Chain witnesses the acquisition of the second lock.
+type LockEdge struct {
+	Held     string  `json:"held"`
+	Acquired string  `json:"acquired"`
+	Pkg      string  `json:"pkg"`
+	Chain    []Frame `json:"chain,omitempty"`
+}
+
+// FuncSummary is the exported interprocedural fact set for one function,
+// method, function literal, or interface method (joined over its known
+// implementations).
+type FuncSummary struct {
+	// Clock / Rand: the function transitively reads the wall clock /
+	// the global process-seeded rand source (determinism).
+	Clock *Taint `json:"clock,omitempty"`
+	Rand  *Taint `json:"rand,omitempty"`
+	// Alloc: the function may allocate (allocfree).
+	Alloc *Taint `json:"alloc,omitempty"`
+	// Blocking: the function transitively calls into obs-registry /
+	// store / Featurize — the calls lockscope bans under shard locks.
+	Blocking *Taint `json:"blocking,omitempty"`
+	// IO: the function reaches stdlib I/O (errflow).
+	IO bool `json:"io,omitempty"`
+	// JoinSignal: the body contains (or reaches) a goroutine join
+	// mechanism — WaitGroup.Done/Wait, a channel op, or a select
+	// (goroleak).
+	JoinSignal bool `json:"join,omitempty"`
+	// SpawnsGoroutine / DropsError are informational facts.
+	SpawnsGoroutine bool `json:"spawns,omitempty"`
+	DropsError      bool `json:"dropserr,omitempty"`
+	// Locks lists the lock classes the function (transitively)
+	// acquires; LockEdges the lock-order constraints its body creates.
+	Locks     []LockAcq  `json:"locks,omitempty"`
+	LockEdges []LockEdge `json:"edges,omitempty"`
+}
+
+// PackageSummary is the sidecar payload for one package.
+type PackageSummary struct {
+	Path  string                  `json:"path"`
+	Hash  string                  `json:"hash,omitempty"`
+	Funcs map[string]*FuncSummary `json:"funcs"`
+}
+
+// SummaryTable accumulates function summaries across packages. It is
+// not safe for concurrent use; drivers summarize packages in dependency
+// order on one goroutine.
+type SummaryTable struct {
+	funcs    map[string]*FuncSummary
+	pkgs     map[string]*PackageSummary
+	defaults map[string]*FuncSummary
+}
+
+// NewSummaryTable returns an empty table.
+func NewSummaryTable() *SummaryTable {
+	return &SummaryTable{
+		funcs:    make(map[string]*FuncSummary),
+		pkgs:     make(map[string]*PackageSummary),
+		defaults: make(map[string]*FuncSummary),
+	}
+}
+
+// AddPackage installs a previously computed (sidecar-loaded) package
+// summary.
+func (t *SummaryTable) AddPackage(ps *PackageSummary) {
+	if ps == nil || ps.Path == "" {
+		return
+	}
+	t.pkgs[ps.Path] = ps
+	for k, s := range ps.Funcs {
+		t.funcs[k] = s
+	}
+}
+
+// HasPackage reports whether the table already holds summaries for the
+// import path.
+func (t *SummaryTable) HasPackage(path string) bool { return t.pkgs[path] != nil }
+
+// Package returns the stored summary for an import path, or nil.
+func (t *SummaryTable) Package(path string) *PackageSummary { return t.pkgs[path] }
+
+// Lookup returns the stored summary for a function key (the
+// types.Func.FullName form), or nil.
+func (t *SummaryTable) Lookup(key string) *FuncSummary { return t.funcs[key] }
+
+// ResolveFunc returns the best available summary for a callee: the
+// stored cross-package summary when the callee's package has been
+// summarized, otherwise a conservative default derived from the stdlib
+// intrinsic tables below.
+func (t *SummaryTable) ResolveFunc(fn *types.Func) *FuncSummary {
+	key := fn.FullName()
+	if s, ok := t.funcs[key]; ok {
+		return s
+	}
+	if s, ok := t.defaults[key]; ok {
+		return s
+	}
+	s := defaultSummary(fn)
+	t.defaults[key] = s
+	return s
+}
+
+// AllEdges returns every lock-order edge in the table, deduplicated by
+// (held, acquired) with the first witness in sorted-function-key order,
+// sorted by (held, acquired) — the input to lockorder's cycle search.
+func (t *SummaryTable) AllEdges() []LockEdge {
+	keys := make([]string, 0, len(t.funcs))
+	for k := range t.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := make(map[[2]string]bool)
+	var out []LockEdge
+	for _, k := range keys {
+		for _, e := range t.funcs[k].LockEdges {
+			id := [2]string{e.Held, e.Acquired}
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Held != out[j].Held {
+			return out[i].Held < out[j].Held
+		}
+		return out[i].Acquired < out[j].Acquired
+	})
+	return out
+}
+
+// WriteSidecar serializes a package summary to path (the .vetx payload
+// for vettool mode and the -summarydir cache format).
+func WriteSidecar(path string, ps *PackageSummary) error {
+	data, err := json.Marshal(ps)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadSidecar loads a sidecar written by WriteSidecar. Unreadable or
+// foreign-format files (e.g. empty placeholders from other vet tools)
+// return (nil, nil): summaries are an optimization, not a correctness
+// requirement, so drivers fall back to conservative defaults.
+func ReadSidecar(path string) (*PackageSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return nil, nil
+	}
+	var ps PackageSummary
+	if err := json.Unmarshal(data, &ps); err != nil || ps.Path == "" {
+		return nil, nil
+	}
+	return &ps, nil
+}
+
+// HashPackage fingerprints a package's non-test sources plus its
+// dependencies' hashes; the -summarydir cache invalidates on any change
+// below the package.
+func HashPackage(pkg *Package, depHashes []string) string {
+	h := sha256.New()
+	var names []string
+	for _, f := range nonTestFiles(pkg) {
+		names = append(names, pkg.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(h, "%s %d\n", filepath.Base(name), len(data))
+		h.Write(data)
+	}
+	deps := append([]string(nil), depHashes...)
+	sort.Strings(deps)
+	for _, d := range deps {
+		fmt.Fprintf(h, "dep %s\n", d)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// nonTestFiles returns the package's syntax trees excluding *_test.go,
+// the file set every analyzer and the summary engine run over.
+func nonTestFiles(pkg *Package) []*ast.File {
+	files := make([]*ast.File, 0, len(pkg.Syntax))
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// isObsPath reports whether an import path is the observability
+// package. obs is an observational sink: clock values flowing into it
+// only feed metrics, never results, so Clock/Rand taints do not
+// propagate out of it (see DESIGN.md).
+func isObsPath(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+// shortFuncName renders a types.Func for humans: the import path in its
+// FullName is collapsed to the package name —
+// "(resourcecentral/internal/obs.Counter).Inc" → "(obs.Counter).Inc".
+func shortFuncName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return strings.ReplaceAll(fn.FullName(), fn.Pkg().Path(), fn.Pkg().Name())
+}
+
+// Summarize computes summaries for every function in pkg (bottom-up
+// over call-graph SCCs, fixed point within each), derives
+// interface-method summaries by joining the package's concrete
+// implementations, installs everything in the table, and returns the
+// package summary. Summarize is idempotent per path.
+func (t *SummaryTable) Summarize(pkg *Package) *PackageSummary {
+	if ps := t.pkgs[pkg.Path]; ps != nil {
+		return ps
+	}
+	files := nonTestFiles(pkg)
+	g := buildCallGraph(pkg, files)
+	s := &summarizer{
+		pkg:   pkg,
+		table: t,
+		graph: g,
+		local: make(map[*funcNode]*FuncSummary, len(g.Nodes)),
+		allow: buildAllowIndex(pkg.Fset, files),
+	}
+	for _, n := range g.Nodes {
+		s.local[n] = &FuncSummary{}
+	}
+	for _, scc := range g.SCCs() {
+		for {
+			s.changed = false
+			for _, n := range scc {
+				s.computePass(n)
+			}
+			if !s.changed {
+				break
+			}
+		}
+	}
+	ps := &PackageSummary{Path: pkg.Path, Funcs: make(map[string]*FuncSummary, len(g.Nodes))}
+	for n, sum := range s.local {
+		ps.Funcs[n.Key] = sum
+	}
+	s.interfaceEntries(ps)
+	t.AddPackage(ps)
+	return ps
+}
+
+// summarizer holds the in-progress state for one package.
+type summarizer struct {
+	pkg     *Package
+	table   *SummaryTable
+	graph   *callGraph
+	local   map[*funcNode]*FuncSummary
+	allow   map[string]string
+	changed bool
+}
+
+// allowed reports whether an //rcvet:allow comment covers the position.
+// A fact arising at an allowed line is cleared from the summary, not
+// just silenced at report time: the human judged the site safe, so
+// transitive propagation to callers is suppressed too.
+func (s *summarizer) allowed(pos token.Pos) bool {
+	p := s.pkg.Fset.Position(pos)
+	_, ok := s.allow[fmt.Sprintf("%s:%d", p.Filename, p.Line)]
+	return ok
+}
+
+func (s *summarizer) shortPos(pos token.Pos) string {
+	p := s.pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func (s *summarizer) setTaint(dst **Taint, chain []Frame) {
+	if *dst != nil {
+		return
+	}
+	*dst = &Taint{Chain: capChain(chain)}
+	s.changed = true
+}
+
+func (s *summarizer) setBool(dst *bool) {
+	if !*dst {
+		*dst = true
+		s.changed = true
+	}
+}
+
+func (s *summarizer) addLock(sum *FuncSummary, acq LockAcq) {
+	for _, have := range sum.Locks {
+		if have.Class == acq.Class {
+			return
+		}
+	}
+	sum.Locks = append(sum.Locks, acq)
+	s.changed = true
+}
+
+func (s *summarizer) addEdge(sum *FuncSummary, held string, acq LockAcq) {
+	if held == acq.Class || isLocalLockClass(held) || isLocalLockClass(acq.Class) {
+		// Re-entrant self-edges are a different bug (lockscope/runtime
+		// territory), and function-local mutexes cannot participate in
+		// cross-function ordering cycles.
+		return
+	}
+	for _, have := range sum.LockEdges {
+		if have.Held == held && have.Acquired == acq.Class {
+			return
+		}
+	}
+	sum.LockEdges = append(sum.LockEdges, LockEdge{
+		Held: held, Acquired: acq.Class, Pkg: s.pkg.Path, Chain: acq.Chain,
+	})
+	s.changed = true
+}
+
+// computePass re-walks one function, merging newly provable facts into
+// its persistent summary. Facts are set-once, so repeated passes are
+// cheap and chains stay stable; s.changed records whether anything new
+// was learned.
+func (s *summarizer) computePass(n *funcNode) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	sum := s.local[n]
+	// Base facts: allocation sites, join signals, goroutine spawns,
+	// dropped errors. These don't depend on the held-lock set, so one
+	// whole-body walk (cutting at nested function literals, which are
+	// their own nodes) suffices.
+	s.scanBaseFacts(sum, body)
+	// Call composition and lock tracking, statement list by statement
+	// list with the held set threaded through.
+	s.walkStmts(sum, body.List, nil)
+}
+
+// --- base facts ---
+
+func (s *summarizer) scanBaseFacts(sum *FuncSummary, body *ast.BlockStmt) {
+	forEachAllocSite(s.pkg.TypesInfo, body, func(pos token.Pos, what string) {
+		if s.allowed(pos) {
+			return
+		}
+		s.setTaint(&sum.Alloc, []Frame{{Pos: s.shortPos(pos), Call: what}})
+	})
+	info := s.pkg.TypesInfo
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			s.setBool(&sum.SpawnsGoroutine)
+		case *ast.SelectStmt, *ast.SendStmt:
+			s.setBool(&sum.JoinSignal)
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW {
+				s.setBool(&sum.JoinSignal)
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(nd.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					s.setBool(&sum.JoinSignal)
+				}
+			}
+		case ast.Stmt:
+			if call := ignoredErrorCall(info, nd); call != nil && !s.allowed(call.Pos()) {
+				s.setBool(&sum.DropsError)
+			}
+		}
+		return true
+	})
+}
+
+// ignoredErrorCall recognizes a statement that discards an error result:
+// an expression or defer statement whose call returns an error, or an
+// assignment binding an error result to the blank identifier. Returns
+// the call, or nil.
+func ignoredErrorCall(info *types.Info, st ast.Node) *ast.CallExpr {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && callReturnsError(info, call) {
+			return call
+		}
+	case *ast.DeferStmt:
+		if callReturnsError(info, st.Call) {
+			return st.Call
+		}
+	case *ast.AssignStmt:
+		if len(st.Rhs) != 1 {
+			return nil
+		}
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		t := info.TypeOf(call)
+		if t == nil {
+			return nil
+		}
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len() && i < len(st.Lhs); i++ {
+				if !isErrorType(tup.At(i).Type()) {
+					continue
+				}
+				if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					return call
+				}
+			}
+			return nil
+		}
+		if isErrorType(t) {
+			if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+				return call
+			}
+		}
+	}
+	return nil
+}
+
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// --- call composition and lock tracking ---
+
+// walkStmts processes one statement list in order, tracking held lock
+// classes exactly like lockscope's walkLocked: a region opens at Lock/
+// RLock and closes at the matching Unlock/RUnlock in the same list; a
+// deferred unlock keeps it open to the end of the list; nested lists
+// get a copy of the held set.
+func (s *summarizer) walkStmts(sum *FuncSummary, stmts []ast.Stmt, held []string) {
+	held = append([]string(nil), held...)
+	for _, st := range stmts {
+		if cls, kind := s.lockStmt(st); cls != "" {
+			if kind == lockAcquire {
+				if !s.allowed(st.Pos()) && !isLocalLockClass(cls) {
+					acq := LockAcq{Class: cls, Chain: []Frame{{Pos: s.shortPos(st.Pos()), Call: "acquires " + cls}}}
+					for _, h := range held {
+						s.addEdge(sum, h, acq)
+					}
+					s.addLock(sum, acq)
+				}
+				held = append(held, cls)
+			} else {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == cls {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			continue
+		}
+		s.scanCalls(sum, st, held)
+		s.walkNestedStmts(sum, st, held)
+	}
+}
+
+func (s *summarizer) walkNestedStmts(sum *FuncSummary, st ast.Stmt, held []string) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		s.walkStmts(sum, st.List, held)
+	case *ast.IfStmt:
+		s.walkStmts(sum, st.Body.List, held)
+		if st.Else != nil {
+			s.walkNestedStmts(sum, st.Else, held)
+		}
+	case *ast.ForStmt:
+		s.walkStmts(sum, st.Body.List, held)
+	case *ast.RangeStmt:
+		s.walkStmts(sum, st.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.walkStmts(sum, cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.walkStmts(sum, cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.walkStmts(sum, cc.Body, held)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.walkNestedStmts(sum, st.Stmt, held)
+	}
+}
+
+// scanCalls composes callee summaries for the calls syntactically inside
+// one statement (cutting at nested statement lists, which walkStmts
+// re-visits with the right held set, and at function literals, which are
+// separate nodes). Deferred calls run at function exit: their facts
+// compose, but with no held locks.
+func (s *summarizer) scanCalls(sum *FuncSummary, st ast.Stmt, held []string) {
+	root := ast.Node(st)
+	switch st := st.(type) {
+	case *ast.DeferStmt:
+		root, held = st.Call, nil
+	case *ast.GoStmt:
+		// The spawned body is its own summary node; goroleak inspects
+		// it directly. Its facts do not merge into the spawner.
+		return
+	}
+	ast.Inspect(root, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit, *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return false
+		case *ast.CallExpr:
+			s.composeCall(sum, nd, held)
+		}
+		return true
+	})
+}
+
+// composeCall merges one callee's facts into the caller's summary.
+func (s *summarizer) composeCall(sum *FuncSummary, call *ast.CallExpr, held []string) {
+	if s.allowed(call.Pos()) {
+		return
+	}
+	var cs *FuncSummary
+	var calleePkg, calleeName string
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Immediately invoked literal: its facts flow into the caller.
+		node := s.graph.byLit[lit]
+		if node == nil {
+			return
+		}
+		cs = s.local[node]
+		calleePkg, calleeName = s.pkg.Path, "func literal"
+	} else {
+		fn := calleeFunc(s.pkg.TypesInfo, call)
+		if fn == nil {
+			return // builtins and dynamic calls: handled by forEachAllocSite
+		}
+		if fn.Pkg() != nil {
+			calleePkg = fn.Pkg().Path()
+		}
+		calleeName = shortFuncName(fn)
+		if node := s.graph.Resolve(fn); node != nil {
+			cs = s.local[node]
+		} else {
+			cs = s.table.ResolveFunc(fn)
+		}
+		// Base blocking fact: a cross-package call into the obs
+		// registry, the store, or Featurize — what lockscope bans under
+		// shard locks.
+		if calleePkg != s.pkg.Path &&
+			((forbiddenUnderLock(calleePkg) && locksInternally(fn)) || fn.Name() == "Featurize") {
+			s.setTaint(&sum.Blocking, []Frame{{Pos: s.shortPos(call.Pos()), Call: "calls " + calleeName}})
+		}
+	}
+	frame := Frame{Pos: s.shortPos(call.Pos()), Call: "calls " + calleeName}
+	// Clock/Rand taints stop at the obs boundary: obs is an
+	// observational sink (clock values only feed metrics).
+	if !isObsPath(calleePkg) {
+		if cs.Clock != nil {
+			s.setTaint(&sum.Clock, prependFrame(frame, cs.Clock.Chain))
+		}
+		if cs.Rand != nil {
+			s.setTaint(&sum.Rand, prependFrame(frame, cs.Rand.Chain))
+		}
+	}
+	if cs.Alloc != nil {
+		s.setTaint(&sum.Alloc, prependFrame(frame, cs.Alloc.Chain))
+	}
+	if cs.Blocking != nil {
+		s.setTaint(&sum.Blocking, prependFrame(frame, cs.Blocking.Chain))
+	}
+	if cs.IO {
+		s.setBool(&sum.IO)
+	}
+	if cs.JoinSignal {
+		s.setBool(&sum.JoinSignal)
+	}
+	if cs.SpawnsGoroutine {
+		s.setBool(&sum.SpawnsGoroutine)
+	}
+	for _, acq := range cs.Locks {
+		chain := prependFrame(frame, acq.Chain)
+		composed := LockAcq{Class: acq.Class, Chain: chain}
+		s.addLock(sum, composed)
+		for _, h := range held {
+			s.addEdge(sum, h, composed)
+		}
+	}
+}
+
+// --- lock classes ---
+
+// isLocalLockClass reports whether a class names a function-local mutex,
+// which cannot participate in cross-function lock-order cycles.
+func isLocalLockClass(cls string) bool { return strings.HasPrefix(cls, "local:") }
+
+// lockStmt recognizes `expr.Lock()` / `expr.RLock()` (acquire) and
+// `expr.Unlock()` / `expr.RUnlock()` (release) statements and names the
+// lock's class. Classes are stable across packages:
+//
+//	pkgpath.Type.field  — a mutex field (core.resultShard.mu)
+//	pkgpath.varname     — a package-level mutex
+//	local:<expr>        — a function-local mutex (held-tracked, no facts)
+func (s *summarizer) lockStmt(st ast.Stmt) (string, lockKind) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", lockNone
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", lockNone
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	fn, _ := s.pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	var kind lockKind
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	return lockClass(s.pkg.TypesInfo, sel.X), kind
+}
+
+// lockClass names the lock a receiver expression denotes. See lockStmt.
+func lockClass(info *types.Info, recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	switch recv := recv.(type) {
+	case *ast.SelectorExpr:
+		// Package-level mutex referenced as pkg.mu.
+		if v, ok := info.Uses[recv.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+			v.Pkg().Scope().Lookup(v.Name()) == v {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// Field selection: name by the owning named type.
+		if t := deref(info.TypeOf(recv.X)); t != nil {
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + recv.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[recv].(*types.Var); ok && v.Pkg() != nil {
+			if v.Pkg().Scope().Lookup(v.Name()) == v {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			// A named non-sync type used directly as the receiver means
+			// an embedded mutex: class by the embedding type.
+			if named, ok := deref(v.Type()).(*types.Named); ok && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() != "sync" {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".<embedded>"
+			}
+		}
+	}
+	return "local:" + types.ExprString(recv)
+}
+
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// --- interface-method summaries ---
+
+// interfaceEntries derives summaries for the interfaces this package
+// defines by joining the facts of its concrete implementations — the
+// method-set half of the call graph. A call through obs.Counter then
+// resolves to the join of counter and nopCounter instead of the
+// conservative default. Implementations living in other packages are
+// not visible here; calls through such interfaces fall back to defaults
+// (unknown interface methods assume allocation).
+func (s *summarizer) interfaceEntries(ps *PackageSummary) {
+	scope := s.pkg.Types.Scope()
+	var ifaces []*types.Named
+	var concrete []*types.Named
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if iface, ok := named.Underlying().(*types.Interface); ok {
+			if iface.NumMethods() > 0 {
+				ifaces = append(ifaces, named)
+			}
+			continue
+		}
+		concrete = append(concrete, named)
+	}
+	for _, in := range ifaces {
+		iface := in.Underlying().(*types.Interface)
+		for _, cn := range concrete {
+			ptr := types.NewPointer(cn)
+			if !types.Implements(ptr, iface) && !types.Implements(cn, iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i)
+				entry := ps.Funcs[m.FullName()]
+				if entry == nil {
+					entry = &FuncSummary{}
+					ps.Funcs[m.FullName()] = entry
+				}
+				s.joinImpl(entry, ps, cn, m)
+			}
+		}
+	}
+}
+
+// joinImpl merges one concrete implementation's summary into an
+// interface-method entry.
+func (s *summarizer) joinImpl(entry *FuncSummary, ps *PackageSummary, cn *types.Named, m *types.Func) {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(cn), true, s.pkg.Types, m.Name())
+	impl, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	is := ps.Funcs[impl.FullName()]
+	if is == nil {
+		is = s.table.Lookup(impl.FullName())
+	}
+	via := Frame{Call: "via " + shortFuncName(impl)}
+	if is == nil {
+		// Implementation summarized elsewhere (or not at all): assume
+		// the worst for allocation, nothing for the rest.
+		if entry.Alloc == nil {
+			entry.Alloc = &Taint{Chain: []Frame{via, {Call: "no summary (assumed to allocate)"}}}
+		}
+		return
+	}
+	if is.Clock != nil && entry.Clock == nil {
+		entry.Clock = &Taint{Chain: prependFrame(via, is.Clock.Chain)}
+	}
+	if is.Rand != nil && entry.Rand == nil {
+		entry.Rand = &Taint{Chain: prependFrame(via, is.Rand.Chain)}
+	}
+	if is.Alloc != nil && entry.Alloc == nil {
+		entry.Alloc = &Taint{Chain: prependFrame(via, is.Alloc.Chain)}
+	}
+	if is.Blocking != nil && entry.Blocking == nil {
+		entry.Blocking = &Taint{Chain: prependFrame(via, is.Blocking.Chain)}
+	}
+	entry.IO = entry.IO || is.IO
+	entry.JoinSignal = entry.JoinSignal || is.JoinSignal
+	entry.SpawnsGoroutine = entry.SpawnsGoroutine || is.SpawnsGoroutine
+	entry.DropsError = entry.DropsError || is.DropsError
+	for _, acq := range is.Locks {
+		dup := false
+		for _, have := range entry.Locks {
+			if have.Class == acq.Class {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			entry.Locks = append(entry.Locks, LockAcq{Class: acq.Class, Chain: prependFrame(via, acq.Chain)})
+		}
+	}
+}

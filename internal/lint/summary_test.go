@@ -1,0 +1,292 @@
+package lint_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"resourcecentral/internal/lint"
+)
+
+const fixturePath = "resourcecentral/internal/lint/fixture/lintfixture"
+
+// loadOne loads a single package by pattern from this directory.
+func loadOne(t testing.TB, pattern string) *lint.Package {
+	t.Helper()
+	pkgs, err := lint.Load(".", []string{pattern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%q) returned %d packages", pattern, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// scopeFunc resolves a package-scope function by name.
+func scopeFunc(t testing.TB, pkg *lint.Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in %s", name, pkg.Path)
+	}
+	return fn
+}
+
+// newFixtureTable summarizes lintfixture (and its module dependency,
+// the store, dependency-first) into a fresh table.
+func newFixtureTable(t testing.TB) (*lint.SummaryTable, *lint.Package) {
+	t.Helper()
+	table := lint.NewSummaryTable()
+	table.Summarize(loadOne(t, "resourcecentral/internal/store"))
+	fixture := loadOne(t, fixturePath)
+	table.Summarize(fixture)
+	return table, fixture
+}
+
+// TestSCCFixedPoint pins the engine's convergence on mutual recursion:
+// ping and pong form one SCC, only pong reads the clock, and the fixed
+// point must taint both (with pong's chain naming time.Now directly).
+func TestSCCFixedPoint(t *testing.T) {
+	pkg, err := lint.LoadDir(".", "testdata/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := lint.NewSummaryTable()
+	table.Summarize(pkg)
+	ping := table.ResolveFunc(scopeFunc(t, pkg, "ping"))
+	pong := table.ResolveFunc(scopeFunc(t, pkg, "pong"))
+	if pong.Clock == nil || !strings.Contains(pong.Clock.String(), "calls time.Now") {
+		t.Fatalf("pong.Clock = %v, want a chain ending at time.Now", pong.Clock)
+	}
+	if ping.Clock == nil {
+		t.Fatalf("ping.Clock = nil: taint did not propagate around the ping<->pong cycle")
+	}
+	// Idempotent: a second Summarize returns the same package summary.
+	ps := table.Summarize(pkg)
+	if ps != table.Package(pkg.Path) {
+		t.Fatal("Summarize is not idempotent per package path")
+	}
+}
+
+// TestCrossPackageComposition pins the composed witness chain of a
+// two-package-deep clock read: engine.wrap -> lintfixture.Stamp ->
+// lintfixture.now -> time.Now, with positions from both packages.
+func TestCrossPackageComposition(t *testing.T) {
+	table, _ := newFixtureTable(t)
+	pkg, err := lint.LoadDir(".", "testdata/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Summarize(pkg)
+	wrap := table.ResolveFunc(scopeFunc(t, pkg, "wrap"))
+	if wrap.Clock == nil {
+		t.Fatal("wrap.Clock = nil: cross-package composition failed")
+	}
+	want := regexp.MustCompile(
+		`^en\.go:\d+: calls lintfixture\.Stamp -> fixture\.go:\d+: calls lintfixture\.now -> fixture\.go:\d+: calls time\.Now$`)
+	if got := wrap.Clock.String(); !want.MatchString(got) {
+		t.Fatalf("wrap.Clock chain = %q, want match for %q", got, want)
+	}
+	clean := table.ResolveFunc(scopeFunc(t, pkg, "clean"))
+	if clean.Clock != nil || clean.Rand != nil || clean.Alloc != nil {
+		t.Fatalf("clean has facts %+v, want none", clean)
+	}
+}
+
+// TestFixtureSummaries pins the base facts the goldens rely on.
+func TestFixtureSummaries(t *testing.T) {
+	table, fixture := newFixtureTable(t)
+	stamp := table.ResolveFunc(scopeFunc(t, fixture, "Stamp"))
+	if stamp.Clock == nil || stamp.Rand != nil {
+		t.Fatalf("Stamp = %+v, want Clock only", stamp)
+	}
+	roll := table.ResolveFunc(scopeFunc(t, fixture, "Roll"))
+	if roll.Rand == nil {
+		t.Fatalf("Roll = %+v, want Rand", roll)
+	}
+	ws := table.ResolveFunc(scopeFunc(t, fixture, "WriteState"))
+	if !ws.IO {
+		t.Fatal("WriteState.IO = false, want true (wraps os.WriteFile)")
+	}
+	joined := table.ResolveFunc(scopeFunc(t, fixture, "Joined"))
+	if !joined.JoinSignal {
+		t.Fatal("Joined.JoinSignal = false, want true (channel receive)")
+	}
+	touch := table.ResolveFunc(scopeFunc(t, fixture, "TouchStore"))
+	if touch.Blocking == nil {
+		t.Fatal("TouchStore.Blocking = nil, want a store-call taint")
+	}
+}
+
+// TestAllEdges pins the lock-order edge lintfixture contributes and
+// that edge enumeration is deterministic.
+func TestAllEdges(t *testing.T) {
+	table, _ := newFixtureTable(t)
+	edges := table.AllEdges()
+	found := false
+	for _, e := range edges {
+		if strings.HasSuffix(e.Held, "lintfixture.MuB") && strings.HasSuffix(e.Acquired, "lintfixture.MuA") {
+			found = true
+			if e.Pkg != fixturePath {
+				t.Fatalf("edge Pkg = %q, want %q", e.Pkg, fixturePath)
+			}
+		}
+		if strings.HasSuffix(e.Held, "lintfixture.MuA") {
+			t.Fatalf("unexpected reverse edge %+v: fixture must contribute only MuB -> MuA", e)
+		}
+	}
+	if !found {
+		t.Fatalf("edge MuB -> MuA not found in %+v", edges)
+	}
+	if again := table.AllEdges(); !reflect.DeepEqual(edges, again) {
+		t.Fatal("AllEdges is not deterministic")
+	}
+}
+
+// TestInterfaceEntrySummaries pins the interface-method join: the obs
+// Counter/Histogram hit operations must summarize allocation-free, or
+// every //rcvet:hotpath function that bumps a metric would flag.
+func TestInterfaceEntrySummaries(t *testing.T) {
+	table := lint.NewSummaryTable()
+	obs := loadOne(t, "resourcecentral/internal/obs")
+	table.Summarize(obs)
+	for _, name := range []string{
+		"(resourcecentral/internal/obs.Counter).Inc",
+		"(resourcecentral/internal/obs.Histogram).Observe",
+		"(resourcecentral/internal/obs.Histogram).ObserveSince",
+	} {
+		sum := table.Lookup(name)
+		if sum == nil {
+			t.Fatalf("no interface-method summary for %s", name)
+		}
+		if sum.Alloc != nil {
+			t.Fatalf("%s joins to may-allocate (%v); the hotpath contract depends on it being clean", name, sum.Alloc)
+		}
+	}
+}
+
+// TestSidecarRoundTrip pins the exported-summary format: facts survive
+// the write/read cycle byte-for-byte at the chain level.
+func TestSidecarRoundTrip(t *testing.T) {
+	table, fixture := newFixtureTable(t)
+	ps := table.Summarize(fixture)
+	path := filepath.Join(t.TempDir(), "lintfixture.json")
+	if err := lint.WriteSidecar(path, ps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lint.ReadSidecar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil || back.Path != ps.Path || len(back.Funcs) != len(ps.Funcs) {
+		t.Fatalf("round trip lost shape: %+v", back)
+	}
+	table2 := lint.NewSummaryTable()
+	table2.AddPackage(back)
+	stampKey := fixturePath + ".Stamp"
+	a, b := table.Lookup(stampKey), table2.Lookup(stampKey)
+	if a == nil || b == nil || a.Clock.String() != b.Clock.String() {
+		t.Fatalf("Stamp chain changed across the sidecar: %v vs %v", a, b)
+	}
+	edges1, edges2 := table.AllEdges(), table2.AllEdges()
+	if !reflect.DeepEqual(edges1, edges2) {
+		t.Fatalf("edges changed across the sidecar: %v vs %v", edges1, edges2)
+	}
+}
+
+// TestReadSidecarTolerant: missing and foreign files degrade to nil
+// (conservative defaults), never an error that would break `go vet`.
+func TestReadSidecarTolerant(t *testing.T) {
+	if ps, err := lint.ReadSidecar(filepath.Join(t.TempDir(), "absent.json")); ps != nil || err != nil {
+		t.Fatalf("missing sidecar: got %v, %v", ps, err)
+	}
+}
+
+// TestHashPackage pins the cache key: stable for identical inputs,
+// sensitive to dependency hashes.
+func TestHashPackage(t *testing.T) {
+	pkg := loadOne(t, "resourcecentral/internal/metric")
+	h1 := lint.HashPackage(pkg, nil)
+	h2 := lint.HashPackage(pkg, nil)
+	if h1 == "" || h1 != h2 {
+		t.Fatalf("hash unstable: %q vs %q", h1, h2)
+	}
+	if h3 := lint.HashPackage(pkg, []string{"dep-hash"}); h3 == h1 {
+		t.Fatal("dependency hashes do not affect the package hash")
+	}
+}
+
+// topoSort orders loaded packages dependencies-first, mirroring the
+// rcvet driver, so summaries compose against real facts.
+func topoSort(pkgs []*lint.Package) []*lint.Package {
+	byPath := make(map[string]*lint.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	seen := make(map[string]bool, len(pkgs))
+	out := make([]*lint.Package, 0, len(pkgs))
+	var visit func(p *lint.Package)
+	visit = func(p *lint.Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, imp := range p.Types.Imports() {
+			if dep := byPath[imp.Path()]; dep != nil {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// gated mirrors the driver's per-package analyzer scoping.
+func gated(path string) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if a == lint.Determinism && !lint.IsSeededPackage(path) {
+			continue
+		}
+		if a == lint.ErrFlow && !lint.IsErrFlowPackage(path) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// BenchmarkRcvetWholeRepo measures a full cold rcvet pass — summarize
+// every module package bottom-up, then run all eight analyzers — the
+// cost `make lint` pays with an empty summary cache. It doubles as the
+// repo-wide cleanliness gate: any diagnostic fails the benchmark.
+func BenchmarkRcvetWholeRepo(b *testing.B) {
+	pkgs, err := lint.Load("../..", []string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ordered := topoSort(pkgs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table := lint.NewSummaryTable()
+		for _, pkg := range ordered {
+			table.Summarize(pkg)
+		}
+		for _, pkg := range pkgs {
+			diags, err := lint.RunAnalyzers(pkg, gated(pkg.Path), table)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(diags) != 0 {
+				b.Fatalf("%s: %d unexpected findings, first: %s", pkg.Path, len(diags), diags[0].Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package allocfree exercises the rcvet allocfree analyzer: functions
+// annotated //rcvet:hotpath must be transitively allocation-free, and
+// violations name the allocating chain.
+package allocfree
+
+import (
+	"strconv"
+	"sync"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+// Direct allocation sites inside an annotated body are each reported
+// by kind.
+//
+//rcvet:hotpath
+func direct(n int, s string) int {
+	buf := make([]byte, n) // want `make in //rcvet:hotpath function direct`
+	m := map[int]int{}     // want `map literal in //rcvet:hotpath function direct`
+	m[n] = n               // want `map assignment \(may grow the table\) in //rcvet:hotpath function direct`
+	t := s + "x"           // want `string concatenation in //rcvet:hotpath function direct`
+	return len(buf) + len(m) + len(t)
+}
+
+//rcvet:hotpath
+func closes() func() int {
+	x := 0
+	return func() int { x++; return x } // want `function literal \(closure allocation\) in //rcvet:hotpath function closes`
+}
+
+func sink(args ...any) {}
+
+//rcvet:hotpath
+func vararg(x int) {
+	sink(x) // want `variadic call \(allocates the argument slice\) in //rcvet:hotpath function vararg` `interface boxing of int in //rcvet:hotpath function vararg`
+}
+
+// Transitive, same package: helper is not annotated, but its summary
+// says it may allocate, and the diagnostic carries the chain down to
+// the stdlib default.
+//
+//rcvet:hotpath
+func viaHelper(n int) string {
+	return helper(n) // want `call to allocfree\.helper in //rcvet:hotpath function viaHelper may allocate \(chain: a\.go:\d+: calls strconv\.Itoa -> no summary for strconv\.Itoa \(assumed to allocate\)\)`
+}
+
+func helper(n int) string { return strconv.Itoa(n) }
+
+// Transitive, cross-package and multi-hop: Describe -> format ->
+// fmt.Sprintf, all outside this package, witnessed through the
+// composed summary chain.
+//
+//rcvet:hotpath
+func crossPackage(x int) string {
+	return lintfixture.Describe(x) // want `call to lintfixture\.Describe in //rcvet:hotpath function crossPackage may allocate \(chain: fixture\.go:\d+: calls lintfixture\.format -> fixture\.go:\d+: variadic call`
+}
+
+// Must not flag: the CacheKey idiom. strconv.Append* writes into the
+// caller's buffer and the string conversion in call-argument position
+// does not copy (the gc non-escaping optimization the site model
+// encodes).
+//
+//rcvet:hotpath
+func fold(h uint64, c int64) uint64 {
+	var num [32]byte
+	return fnv(h, string(strconv.AppendInt(num[:0], c, 10)))
+}
+
+//rcvet:hotpath
+func fnv(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// Must not flag: lock/unlock and plain loads are free, and a
+// summarized-clean cross-package callee composes clean.
+//
+//rcvet:hotpath
+func locked(mu *sync.Mutex, v *int) int {
+	mu.Lock()
+	x := lintfixture.Pure(*v)
+	mu.Unlock()
+	return x
+}
+
+// Must not flag: un-annotated functions may allocate freely.
+func coldPath(n int) []int { return make([]int, n) }
+
+// An allow on the site clears it (and keeps the summary clean for
+// callers).
+//
+//rcvet:hotpath
+func allowedSetup(n int) []float64 {
+	buf := make([]float64, n) //rcvet:allow(one-time setup allocation, amortized across the run)
+	return buf
+}

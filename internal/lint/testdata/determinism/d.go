@@ -7,6 +7,8 @@ import (
 	mrand "math/rand"
 	"math/rand/v2"
 	"time"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
 )
 
 func wallClock() time.Duration {
@@ -46,6 +48,35 @@ func allowedWallClock() time.Time {
 
 func allowedSameLine() int64 {
 	return time.Now().UnixNano() //rcvet:allow(entropy for a throwaway temp-file name)
+}
+
+// Transitive positives: the taint lives two hops away in another
+// package; the diagnostic must carry the full witness chain composed
+// from lintfixture's exported summary.
+
+func transitiveClock() time.Time {
+	return lintfixture.Stamp() // want `call to lintfixture\.Stamp transitively reads the wall clock .*chain: fixture\.go:\d+: calls lintfixture\.now -> fixture\.go:\d+: calls time\.Now`
+}
+
+func transitiveRand() int {
+	return lintfixture.Roll() // want `call to lintfixture\.Roll transitively draws from global rand .*chain: fixture\.go:\d+: calls lintfixture\.draw -> fixture\.go:\d+: calls rand\.IntN`
+}
+
+// localHop's in-package call to hop is NOT flagged (the tainted site in
+// hop already gets its own diagnostic); only the cross-package call is.
+func localHop() time.Time {
+	return hop()
+}
+
+func hop() time.Time { return lintfixture.Stamp() } // want `call to lintfixture\.Stamp transitively reads the wall clock`
+
+// transitiveClean must not flag: the callee is summarized and clean.
+func transitiveClean() int { return lintfixture.Pure(7) }
+
+// allowedTransitive: an allow on the call site suppresses the
+// transitive report (and keeps this function's own summary clean).
+func allowedTransitive() time.Time {
+	return lintfixture.Stamp() //rcvet:allow(startup banner timestamp; not part of any seeded result)
 }
 
 // clock is a caller-supplied time source: methods named Now on our own

@@ -1,0 +1,33 @@
+// Package engine is raw material for the summary-engine unit tests:
+// mutual recursion for the SCC fixed point, and cross-package wrappers
+// whose summaries must compose through lintfixture's exported facts.
+package engine
+
+import (
+	"time"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+// ping and pong are mutually recursive; only pong reads the clock. The
+// per-SCC fixed point must taint both.
+func ping(n int) time.Time {
+	if n == 0 {
+		return pong(n)
+	}
+	return ping(n - 1)
+}
+
+func pong(n int) time.Time {
+	if n > 0 {
+		return ping(n - 1)
+	}
+	return time.Now()
+}
+
+// wrap composes lintfixture.Stamp's summary: the chain runs three
+// frames deep, ending at time.Now two packages away.
+func wrap() time.Time { return lintfixture.Stamp() }
+
+// clean calls only summarized-clean code and must stay untainted.
+func clean(x int) int { return lintfixture.Pure(x) + 1 }

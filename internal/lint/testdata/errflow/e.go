@@ -1,0 +1,60 @@
+// Package errflow exercises the rcvet errflow analyzer: ignored error
+// returns from I/O — direct stdlib calls, store calls (modeled remote
+// blob I/O), and calls whose summaries say I/O is reachable.
+package errflow
+
+import (
+	"os"
+	"strconv"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+	"resourcecentral/internal/store"
+)
+
+// Direct discards of stdlib I/O errors.
+func direct(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) // want `error from os\.WriteFile ignored: an I/O failure here is silently dropped`
+	_ = os.Remove(path)             // want `error from os\.Remove ignored: an I/O failure here is silently dropped`
+}
+
+func deferred(f *os.File) {
+	defer f.Close()             // want `error from \(\*os\.File\)\.Close ignored: an I/O failure here is silently dropped`
+	_, _ = f.Write([]byte("x")) // want `error from \(\*os\.File\)\.Write ignored: an I/O failure here is silently dropped`
+}
+
+// Store calls model the remote Azure-storage tier: their errors must
+// be handled even though the in-memory implementation cannot fail.
+func viaStore(s *store.Store) {
+	s.Put("model/lifetime", nil) // want `error from \(\*store\.Store\)\.Put ignored: store calls model remote blob I/O`
+}
+
+// Transitive: WriteState wraps os.WriteFile one package away.
+func transitive(path string) {
+	lintfixture.WriteState(path, nil) // want `error from lintfixture\.WriteState ignored: I/O is reachable from this call`
+}
+
+// Deeper still: persist -> lintfixture.WriteState -> os.WriteFile,
+// three hops, composed through two summaries.
+func deep(path string) {
+	persist(path) // want `error from errflow\.persist ignored: I/O is reachable from this call`
+}
+
+func persist(path string) error { return lintfixture.WriteState(path, nil) }
+
+// Must not flag: handled errors and non-I/O discards.
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func pureDiscard(s string) int {
+	n, _ := strconv.Atoi(s) // pure computation: ignoring its error is local style
+	return n
+}
+
+// Best-effort discards take an allow with the justification inline.
+func allowedCleanup(tmp string) {
+	_ = os.Remove(tmp) //rcvet:allow(best-effort temp cleanup; failure only leaks a file)
+}

@@ -1,0 +1,79 @@
+// Package goroleak exercises the rcvet goroleak analyzer: every go
+// statement's body must reach a join signal (WaitGroup Done/Wait, a
+// channel operation, or a select), possibly through the summaries.
+package goroleak
+
+import (
+	"context"
+	"sync"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+var counter int
+
+func fireAndForget() {
+	go func() { // want `goroutine literal has no reachable join signal`
+		counter++
+	}()
+}
+
+// The repo's dominant idiom: deferred Done with a Wait in the owner.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		counter++
+	}()
+}
+
+// Any channel operation counts as a join signal.
+func channelJoined(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// A select over ctx.Done is the daemon-with-shutdown idiom.
+func ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				counter++
+			}
+		}
+	}()
+}
+
+// Transitive join, multi-hop and cross-package: waitFor ->
+// lintfixture.Joined -> channel receive. Must not flag.
+func transitiveJoin(done chan struct{}) {
+	go waitFor(done)
+}
+
+func waitFor(done chan struct{}) { lintfixture.Joined(done) }
+
+// Transitive leak, multi-hop and cross-package: spin ->
+// lintfixture.Forever, which never joins.
+func transitiveLeak() {
+	go spin() // want `goroutine goroleak\.spin has no reachable join signal`
+}
+
+func spin() { lintfixture.Forever() }
+
+// A function value has an unknown target: rcvet cannot prove a join.
+func funcValue(f func()) {
+	go f() // want `goroutine spawned through a function value`
+}
+
+func daemon() {
+	for {
+		counter++
+	}
+}
+
+// Deliberate process-lifetime daemons take an allow on the go statement.
+func allowedDaemon() {
+	go daemon() //rcvet:allow(process-lifetime counter by design; dies with the process)
+}

@@ -1,0 +1,59 @@
+// Package lockorder completes a lock-order cycle whose other half
+// lives in lintfixture (NestBA acquires MuB then MuA): this package
+// acquires MuA and then — transitively, through a helper — MuB. It
+// owns the cycle's lexicographically smallest edge, so the cycle is
+// reported here, once, at the edge's witness line.
+package lockorder
+
+import (
+	"sync"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+func viaHelper() {
+	lintfixture.MuA.Lock()
+	grabB() // want `lock-order cycle .*lintfixture\.MuA -> .*lintfixture\.MuB -> .*lintfixture\.MuA: two goroutines interleaving these acquisitions deadlock; witnesses: \[holding .*lintfixture\.MuA: lo\.go:\d+: calls lockorder\.grabB -> lo\.go:\d+: acquires .*lintfixture\.MuB \| holding .*lintfixture\.MuB: fixture\.go:\d+: acquires .*lintfixture\.MuA\]`
+	lintfixture.MuA.Unlock()
+}
+
+// grabB acquires MuB with nothing held: the edge exists only through
+// viaHelper's composition.
+func grabB() {
+	lintfixture.MuB.Lock()
+	lintfixture.MuB.Unlock()
+}
+
+var (
+	pMu sync.Mutex
+	qMu sync.Mutex
+)
+
+// consistent nests p -> q; an edge, but no cycle: must not flag.
+func consistent() {
+	pMu.Lock()
+	qMu.Lock()
+	qMu.Unlock()
+	pMu.Unlock()
+}
+
+// allowedInversion nests q -> p, which would complete a cycle with
+// consistent's edge; the allow on the inner acquisition removes the
+// edge from the summary, so no cycle exists anywhere.
+func allowedInversion() {
+	qMu.Lock()
+	//rcvet:allow(init-time only: runs before any goroutine can hold pMu)
+	pMu.Lock()
+	pMu.Unlock()
+	qMu.Unlock()
+}
+
+// localOnly nests a function-local mutex under pMu; local locks cannot
+// be contended across functions and never form edges.
+func localOnly() {
+	var mu sync.Mutex
+	pMu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	pMu.Unlock()
+}

@@ -6,6 +6,7 @@ package lockscope
 import (
 	"sync"
 
+	"resourcecentral/internal/lint/fixture/lintfixture"
 	"resourcecentral/internal/model"
 	"resourcecentral/internal/obs"
 	"resourcecentral/internal/store"
@@ -90,6 +91,31 @@ func (c *cache) allowedStartup() {
 	c.mu.Lock()
 	//rcvet:allow(one-time registration during construction, before any concurrency)
 	c.reg.Counter("rc_test_startup_total", "annotated")
+	c.mu.Unlock()
+}
+
+// transitiveBlocking reaches the store two hops away: the direct call
+// is innocuous-looking, but lintfixture.TouchStore's summary carries
+// the Blocking taint with the witness chain.
+func (c *cache) transitiveBlocking() {
+	c.mu.Lock()
+	lintfixture.TouchStore(c.st) // want `call to lintfixture\.TouchStore while .* transitively reaches a blocking call \(chain: fixture\.go:\d+: calls \(\*store\.Store\)\.Get`
+	c.mu.Unlock()
+}
+
+// transitiveClean calls a summarized-clean function under the lock:
+// must not flag.
+func (c *cache) transitiveClean() {
+	c.mu.Lock()
+	c.n = lintfixture.Pure(c.n)
+	c.mu.Unlock()
+}
+
+// allowedTransitive: the allow on the call site suppresses the report.
+func (c *cache) allowedTransitive() {
+	c.mu.Lock()
+	//rcvet:allow(shutdown path; no concurrent predictions remain)
+	lintfixture.TouchStore(c.st)
 	c.mu.Unlock()
 }
 

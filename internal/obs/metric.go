@@ -11,8 +11,15 @@ type counter struct {
 	v atomic.Uint64
 }
 
-func (c *counter) Inc()          { c.v.Add(1) }
-func (c *counter) Add(n uint64)  { c.v.Add(n) }
+// Inc/Add are single atomic ops, called from inside prediction and
+// store fast paths; allocfree enforces that they stay heap-free.
+//
+//rcvet:hotpath
+func (c *counter) Inc() { c.v.Add(1) }
+
+//rcvet:hotpath
+func (c *counter) Add(n uint64) { c.v.Add(n) }
+
 func (c *counter) Value() uint64 { return c.v.Load() }
 
 // gauge is the atomic Gauge implementation; the value is stored as
@@ -21,8 +28,10 @@ type gauge struct {
 	bits atomic.Uint64
 }
 
+//rcvet:hotpath
 func (g *gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+//rcvet:hotpath
 func (g *gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -42,18 +51,29 @@ func (g *gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // baseline.
 type nopCounter struct{}
 
-func (nopCounter) Inc()          {}
-func (nopCounter) Add(uint64)    {}
+//rcvet:hotpath
+func (nopCounter) Inc() {}
+
+//rcvet:hotpath
+func (nopCounter) Add(uint64) {}
+
 func (nopCounter) Value() uint64 { return 0 }
 
 type nopGauge struct{}
 
-func (nopGauge) Set(float64)    {}
-func (nopGauge) Add(float64)    {}
+//rcvet:hotpath
+func (nopGauge) Set(float64) {}
+
+//rcvet:hotpath
+func (nopGauge) Add(float64) {}
+
 func (nopGauge) Value() float64 { return 0 }
 
 type nopHistogram struct{}
 
-func (nopHistogram) Observe(float64)        {}
+//rcvet:hotpath
+func (nopHistogram) Observe(float64) {}
+
+//rcvet:hotpath
 func (nopHistogram) ObserveSince(time.Time) {}
 func (nopHistogram) Snapshot() HistSnapshot { return HistSnapshot{} }

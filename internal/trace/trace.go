@@ -271,6 +271,8 @@ func SummarizeSeries(v *VM, horizon Minutes, series, maxes []float64) (avgCPU, p
 // quickP95 computes the 95th percentile with a partial selection rather
 // than a full sort; it is on the hot path of characterization and feature
 // generation over millions of intervals.
+//
+//rcvet:hotpath
 func quickP95(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -288,6 +290,8 @@ func quickP95(xs []float64) float64 {
 }
 
 // quickSelect returns the k-th smallest element (0-based), reordering xs.
+//
+//rcvet:hotpath
 func quickSelect(xs []float64, k int) float64 {
 	lo, hi := 0, len(xs)-1
 	for lo < hi {
@@ -304,6 +308,7 @@ func quickSelect(xs []float64, k int) float64 {
 	return xs[k]
 }
 
+//rcvet:hotpath
 func partition(xs []float64, lo, hi int) int {
 	// Median-of-three pivot to avoid quadratic behaviour on sorted input.
 	mid := (lo + hi) / 2
