@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint bench-lint race bench bench-sim bench-paper fmt
+.PHONY: check build test vet lint bench-lint race bench bench-sim bench-serve bench-paper fmt
 
 # Tier-1 gate: everything CI (and reviewers) must see green.
 check: vet lint build test race
@@ -35,11 +35,13 @@ bench-lint:
 # the store's subscriber fan-out, the parallel feature-data build, the
 # metrics registry, the parallel sweep runner, the indexed cluster, the
 # parallel characterization pass, the pipeline's publish fan-out, the
-# health prober, and the rcserve handlers.
+# health prober, the serving tier (coalescer/batcher/hub), the rcserve
+# handlers, and the load generator.
 race:
 	$(GO) test -race ./internal/core ./internal/featuredata ./internal/store/... ./internal/obs/... \
 		./internal/sim ./internal/cluster ./internal/charz \
-		./internal/pipeline ./internal/health ./cmd/rcserve
+		./internal/pipeline ./internal/health ./internal/serve \
+		./cmd/rcserve ./cmd/rcload
 
 # Performance benchmarks for the hot paths (README "Performance").
 # Output is test2json (one JSON event per line) so future PRs can track
@@ -54,6 +56,24 @@ bench: bench-sim
 bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkSimSweep|BenchmarkSchedule' -benchmem -json \
 		./internal/sim ./internal/cluster > BENCH_sim.json
+
+# Serving-tier load story: the coalescing micro-benchmark (upstream
+# predictions per 64 concurrent identical lookups), then a live
+# rcserve + rcload open-loop run writing BENCH_serve.json (latency
+# quantiles, achieved QPS, shed rate, coalesce hit rate, SSE fan-out).
+# Scale with e.g. `make bench-serve LOAD_RATE=5000 LOAD_DURATION=30s`.
+SERVE_DAYS ?= 10
+SERVE_VMS ?= 4000
+LOAD_RATE ?= 2000
+LOAD_DURATION ?= 10s
+LOAD_WORKERS ?= 64
+LOAD_SUBSCRIBERS ?= 8
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkServeCoalesce -benchmem ./internal/serve
+	SERVE_DAYS="$(SERVE_DAYS)" SERVE_VMS="$(SERVE_VMS)" \
+	LOAD_RATE="$(LOAD_RATE)" LOAD_DURATION="$(LOAD_DURATION)" \
+	LOAD_WORKERS="$(LOAD_WORKERS)" LOAD_SUBSCRIBERS="$(LOAD_SUBSCRIBERS)" \
+		./scripts/bench_serve.sh
 
 # Regenerate the paper's evaluation numbers (Tables 4-6, Figs 9-11).
 bench-paper:

@@ -1,0 +1,688 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
+)
+
+// Request classes. "single" and "hot" are GET /predict lookups (cold
+// draws across the whole population vs. draws from the small hot set);
+// "batch" is POST /predict with several inputs.
+const (
+	classSingle = "single"
+	classHot    = "hot"
+	classBatch  = "batch"
+)
+
+// loadConfig is the resolved generator configuration.
+type loadConfig struct {
+	BaseURL       string
+	Rate          float64
+	Duration      time.Duration
+	Workers       int
+	Timeout       time.Duration
+	BatchFraction float64
+	BatchSize     int
+	HotFraction   float64
+	HotKeys       int
+	Subscribers   int
+	Seed          uint64
+	Population    []model.ClientInputs
+	// Models overrides the model list fetched from GET /models.
+	Models []string
+}
+
+// latencySummary is the report form of one latency histogram.
+type latencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// requestCounts breaks down every scheduled arrival by what became of it.
+type requestCounts struct {
+	// Sent is every request put on the wire (OK + Degraded + Errors).
+	Sent uint64 `json:"sent"`
+	// OK answered 200 with a usable prediction.
+	OK uint64 `json:"ok"`
+	// NoPrediction answered 200 but with the no-prediction flag clear of
+	// a usable bucket (shed responses and unknown subscriptions).
+	NoPrediction uint64 `json:"no_prediction"`
+	// Degraded carried the X-RC-Degraded header: the tier shed the work.
+	Degraded uint64 `json:"degraded"`
+	// Errors are transport failures and non-200 statuses.
+	Errors uint64 `json:"errors"`
+	// ClientOverflow arrivals were dropped inside the generator because
+	// its own queue was full — the server never saw them.
+	ClientOverflow uint64 `json:"client_overflow"`
+}
+
+// serverCounters is the end-of-run scrape of the tier's own /metrics.
+type serverCounters struct {
+	CoalesceLeaders    float64 `json:"coalesce_leaders"`
+	CoalesceFollowers  float64 `json:"coalesce_followers"`
+	Batches            float64 `json:"batches"`
+	MeanBatchSize      float64 `json:"mean_batch_size"`
+	ShedAdmission      float64 `json:"shed_admission"`
+	ShedQueue          float64 `json:"shed_queue"`
+	Degraded           float64 `json:"degraded"`
+	EventsSent         float64 `json:"events_sent"`
+	SubscribersDropped float64 `json:"subscribers_dropped"`
+}
+
+// report is what rcload writes to -out.
+type report struct {
+	GeneratedAt string       `json:"generated_at"`
+	Config      reportConfig `json:"config"`
+
+	Requests    requestCounts `json:"requests"`
+	AchievedQPS float64       `json:"achieved_qps"`
+	// ShedRate is degraded responses over sent requests.
+	ShedRate float64 `json:"shed_rate"`
+
+	// Latency is keyed by request class plus "overall", measured from
+	// each request's scheduled (open-loop) arrival time.
+	Latency map[string]latencySummary `json:"latency"`
+
+	Coalesce struct {
+		Leaders   float64 `json:"leaders"`
+		Followers float64 `json:"followers"`
+		// HitRate is followers / (leaders + followers): the fraction of
+		// upstream-bound lookups answered by another request's flight.
+		HitRate float64 `json:"hit_rate"`
+	} `json:"coalesce"`
+
+	Server serverCounters `json:"server"`
+
+	SSE struct {
+		Subscribers    int    `json:"subscribers"`
+		EventsReceived uint64 `json:"events_received"`
+		Dropped        uint64 `json:"dropped"`
+	} `json:"sse"`
+}
+
+// reportConfig echoes the generator knobs into the report so a BENCH
+// file is self-describing.
+type reportConfig struct {
+	Rate            float64  `json:"rate"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	Workers         int      `json:"workers"`
+	BatchFraction   float64  `json:"batch_fraction"`
+	BatchSize       int      `json:"batch_size"`
+	HotFraction     float64  `json:"hot_fraction"`
+	HotKeys         int      `json:"hot_keys"`
+	Subscribers     int      `json:"subscribers"`
+	Population      int      `json:"population"`
+	Seed            uint64   `json:"seed"`
+	Models          []string `json:"models"`
+}
+
+// job is one scheduled arrival. at is the open-loop arrival time —
+// latency is measured from it, so generator queueing counts.
+type job struct {
+	at    time.Time
+	class string
+	url   string
+	body  []byte // non-nil for batch POSTs
+}
+
+// runner holds the per-run state shared by the pacer and workers.
+type runner struct {
+	cfg    loadConfig
+	client *http.Client
+	models []string
+	// itemQuery/itemJSON are the pre-encoded forms of each population
+	// input, so the pacer does no encoding work on the arrival path.
+	itemQuery []string
+	itemJSON  []json.RawMessage
+
+	reg     *obs.Registry
+	latency map[string]obs.Histogram
+
+	sent, okC, noPred, degraded, errs, overflow atomic.Uint64
+	subEvents, subDropped                       atomic.Uint64
+}
+
+// predictResponse is the subset of the server's prediction result the
+// generator inspects (core.Prediction has no JSON tags).
+type predictResponse struct {
+	OK bool `json:"OK"`
+}
+
+// runLoad executes one open-loop run against a ready server and
+// assembles the report.
+func runLoad(cfg loadConfig) (*report, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	subCtx, stopSubs := context.WithCancel(context.Background())
+	defer stopSubs()
+	var subWG sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			r.subscribe(subCtx)
+		}()
+	}
+
+	// Queue sized for ~250 ms of arrivals: big enough to ride out GC
+	// pauses in the generator, small enough that a saturated server
+	// shows up as client overflow instead of unbounded memory.
+	queueCap := int(cfg.Rate / 4)
+	if queueCap < 256 {
+		queueCap = 256
+	}
+	jobs := make(chan job, queueCap)
+
+	var workerWG sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for j := range jobs {
+				r.do(j)
+			}
+		}()
+	}
+
+	start := time.Now()
+	r.pace(jobs, start)
+	close(jobs)
+	workerWG.Wait()
+	elapsed := time.Since(start)
+
+	stopSubs()
+	subWG.Wait()
+
+	rep := r.buildReport(elapsed)
+	if err := r.scrapeServer(rep); err != nil {
+		// The load numbers stand on their own; a failed scrape only
+		// loses the server-side counters.
+		fmt.Fprintf(os.Stderr, "rcload: metrics scrape failed: %v\n", err)
+	}
+	return rep, nil
+}
+
+func newRunner(cfg loadConfig) (*runner, error) {
+	r := &runner{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.Timeout},
+		reg:     obs.NewRegistry(),
+		latency: make(map[string]obs.Histogram, 4),
+	}
+	// 50 µs .. ~26 s, factor 1.6: tight enough at the bottom to resolve
+	// a result-cache hit behind loopback HTTP, wide enough at the top
+	// for a saturated queue.
+	bounds := obs.ExponentialBuckets(50e-6, 1.6, 28)
+	for _, cls := range []string{classSingle, classHot, classBatch, "overall"} {
+		r.latency[cls] = r.reg.Histogram("rc_load_latency_seconds",
+			"Client-observed request latency from scheduled arrival, by class.",
+			bounds, "class", cls)
+	}
+
+	models := cfg.Models
+	if len(models) == 0 {
+		var err error
+		if models, err = fetchModels(r.client, cfg.BaseURL); err != nil {
+			return nil, err
+		}
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("server lists no models to predict against")
+	}
+	r.models = models
+
+	r.itemQuery = make([]string, len(cfg.Population))
+	r.itemJSON = make([]json.RawMessage, len(cfg.Population))
+	for i := range cfg.Population {
+		in := &cfg.Population[i]
+		r.itemQuery[i] = inputQuery(in)
+		raw, err := json.Marshal(inputItem(in))
+		if err != nil {
+			return nil, fmt.Errorf("encode population input %d: %w", i, err)
+		}
+		r.itemJSON[i] = raw
+	}
+	return r, nil
+}
+
+// pace schedules Poisson arrivals at cfg.Rate until the duration ends,
+// dropping (and counting) arrivals when the queue is full rather than
+// slowing down — the open-loop contract.
+func (r *runner) pace(jobs chan<- job, start time.Time) {
+	rng := rand.New(rand.NewPCG(r.cfg.Seed, 0x9e3779b97f4a7c15))
+	end := start.Add(r.cfg.Duration)
+	hot := r.cfg.HotKeys
+	if hot > len(r.cfg.Population) {
+		hot = len(r.cfg.Population)
+	}
+	next := start
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / r.cfg.Rate * float64(time.Second)))
+		if next.After(end) {
+			return
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		m := r.models[rng.IntN(len(r.models))]
+		var j job
+		if rng.Float64() < r.cfg.BatchFraction {
+			j = r.batchJob(rng, m, hot, next)
+		} else {
+			cls, idx := classSingle, rng.IntN(len(r.cfg.Population))
+			if rng.Float64() < r.cfg.HotFraction {
+				cls, idx = classHot, rng.IntN(hot)
+			}
+			j = job{at: next, class: cls, url: r.cfg.BaseURL + "/predict?model=" + m + "&" + r.itemQuery[idx]}
+		}
+		select {
+		case jobs <- j:
+		default:
+			r.overflow.Add(1)
+		}
+	}
+}
+
+// batchJob assembles one POST /predict arrival whose items follow the
+// same hot/cold mix as single lookups.
+func (r *runner) batchJob(rng *rand.Rand, m string, hot int, at time.Time) job {
+	var body bytes.Buffer
+	body.WriteByte('[')
+	for k := 0; k < r.cfg.BatchSize; k++ {
+		if k > 0 {
+			body.WriteByte(',')
+		}
+		idx := rng.IntN(len(r.cfg.Population))
+		if rng.Float64() < r.cfg.HotFraction {
+			idx = rng.IntN(hot)
+		}
+		body.Write(r.itemJSON[idx])
+	}
+	body.WriteByte(']')
+	return job{at: at, class: classBatch, url: r.cfg.BaseURL + "/predict?model=" + m, body: body.Bytes()}
+}
+
+// do issues one request and records its outcome. Latency runs from the
+// scheduled arrival, not from when a worker picked the job up.
+func (r *runner) do(j job) {
+	r.sent.Add(1)
+	var (
+		resp *http.Response
+		err  error
+	)
+	if j.body == nil {
+		resp, err = r.client.Get(j.url)
+	} else {
+		resp, err = r.client.Post(j.url, "application/json", bytes.NewReader(j.body))
+	}
+	if err != nil {
+		r.errs.Add(1)
+		r.observe(j, time.Since(j.at))
+		return
+	}
+	body, readErr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+	if cerr := resp.Body.Close(); cerr != nil && readErr == nil {
+		readErr = cerr
+	}
+	r.observe(j, time.Since(j.at))
+	if readErr != nil || resp.StatusCode != http.StatusOK {
+		r.errs.Add(1)
+		return
+	}
+	if resp.Header.Get(degradedHeader) != "" {
+		r.degraded.Add(1)
+	}
+	r.classify(j, body)
+}
+
+// maxResponseBody bounds what a worker reads back; a full batch
+// response is well under this.
+const maxResponseBody = 1 << 20
+
+// degradedHeader mirrors serve.DegradedHeader; rcload speaks only the
+// wire protocol, not the server's internals.
+const degradedHeader = "X-RC-Degraded"
+
+// classify counts usable vs. no-prediction answers from a 200 body.
+func (r *runner) classify(j job, body []byte) {
+	if j.class == classBatch {
+		var results []predictResponse
+		if json.Unmarshal(body, &results) != nil {
+			r.errs.Add(1)
+			return
+		}
+		r.okC.Add(1)
+		for _, res := range results {
+			if !res.OK {
+				r.noPred.Add(1)
+			}
+		}
+		return
+	}
+	var res predictResponse
+	if json.Unmarshal(body, &res) != nil {
+		r.errs.Add(1)
+		return
+	}
+	r.okC.Add(1)
+	if !res.OK {
+		r.noPred.Add(1)
+	}
+}
+
+func (r *runner) observe(j job, d time.Duration) {
+	r.latency[j.class].Observe(d.Seconds())
+	r.latency["overall"].Observe(d.Seconds())
+}
+
+// subscribe attaches one SSE consumer to /subscribe until ctx ends,
+// counting invalidation events. A consumer the hub drops for falling
+// behind sees "event: dropped" and stays down — rcload measures the
+// drop, it does not hide it by reconnecting.
+func (r *runner) subscribe(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/subscribe", nil)
+	if err != nil {
+		r.errs.Add(1)
+		return
+	}
+	// No overall timeout: the stream is open-ended and ends with ctx.
+	client := &http.Client{}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			r.errs.Add(1)
+		}
+		return
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil && ctx.Err() == nil {
+			r.errs.Add(1)
+		}
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		switch strings.TrimSpace(sc.Text()) {
+		case "event: invalidate":
+			r.subEvents.Add(1)
+		case "event: dropped":
+			r.subDropped.Add(1)
+			return
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil && !errors.Is(err, io.EOF) {
+		r.errs.Add(1)
+	}
+}
+
+func (r *runner) buildReport(elapsed time.Duration) *report {
+	rep := &report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Config: reportConfig{
+			Rate:            r.cfg.Rate,
+			DurationSeconds: r.cfg.Duration.Seconds(),
+			Workers:         r.cfg.Workers,
+			BatchFraction:   r.cfg.BatchFraction,
+			BatchSize:       r.cfg.BatchSize,
+			HotFraction:     r.cfg.HotFraction,
+			HotKeys:         r.cfg.HotKeys,
+			Subscribers:     r.cfg.Subscribers,
+			Population:      len(r.cfg.Population),
+			Seed:            r.cfg.Seed,
+			Models:          r.models,
+		},
+		Requests: requestCounts{
+			Sent:           r.sent.Load(),
+			OK:             r.okC.Load(),
+			NoPrediction:   r.noPred.Load(),
+			Degraded:       r.degraded.Load(),
+			Errors:         r.errs.Load(),
+			ClientOverflow: r.overflow.Load(),
+		},
+		Latency: make(map[string]latencySummary, 4),
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(rep.Requests.Sent) / elapsed.Seconds()
+	}
+	if rep.Requests.Sent > 0 {
+		rep.ShedRate = float64(rep.Requests.Degraded) / float64(rep.Requests.Sent)
+	}
+	for _, cls := range []string{classSingle, classHot, classBatch, "overall"} {
+		snap, ok := r.reg.Snapshot("rc_load_latency_seconds", "class", cls)
+		if !ok || snap.Count == 0 {
+			rep.Latency[cls] = latencySummary{}
+			continue
+		}
+		rep.Latency[cls] = latencySummary{
+			Count:  snap.Count,
+			MeanMs: snap.Mean() * 1e3,
+			P50Ms:  snap.Quantile(0.50) * 1e3,
+			P95Ms:  snap.Quantile(0.95) * 1e3,
+			P99Ms:  snap.Quantile(0.99) * 1e3,
+		}
+	}
+	rep.SSE.Subscribers = r.cfg.Subscribers
+	rep.SSE.EventsReceived = r.subEvents.Load()
+	rep.SSE.Dropped = r.subDropped.Load()
+	return rep
+}
+
+// scrapeServer folds the server's own rc_serve_* counters into the
+// report via GET /metrics?format=json.
+func (r *runner) scrapeServer(rep *report) error {
+	fams, err := fetchFamilies(r.client, r.cfg.BaseURL+"/metrics?format=json")
+	if err != nil {
+		return err
+	}
+	rep.Coalesce.Leaders = famValue(fams, "rc_serve_coalesce_leaders_total", nil)
+	rep.Coalesce.Followers = famValue(fams, "rc_serve_coalesce_followers_total", nil)
+	if total := rep.Coalesce.Leaders + rep.Coalesce.Followers; total > 0 {
+		rep.Coalesce.HitRate = rep.Coalesce.Followers / total
+	}
+	rep.Server = serverCounters{
+		CoalesceLeaders:    rep.Coalesce.Leaders,
+		CoalesceFollowers:  rep.Coalesce.Followers,
+		Batches:            famValue(fams, "rc_serve_batches_total", nil),
+		ShedAdmission:      famValue(fams, "rc_serve_shed_total", map[string]string{"reason": "admission"}),
+		ShedQueue:          famValue(fams, "rc_serve_shed_total", map[string]string{"reason": "queue"}),
+		Degraded:           famValue(fams, "rc_serve_degraded_total", nil),
+		EventsSent:         famValue(fams, "rc_serve_events_sent_total", nil),
+		SubscribersDropped: famValue(fams, "rc_serve_subscribers_dropped_total", nil),
+	}
+	if snap, ok := famHistogram(fams, "rc_serve_batch_size"); ok && snap.Count > 0 {
+		rep.Server.MeanBatchSize = snap.Mean()
+	}
+	return nil
+}
+
+// fetchModels asks the server which models it serves.
+func fetchModels(client *http.Client, baseURL string) ([]string, error) {
+	resp, err := client.Get(baseURL + "/models")
+	if err != nil {
+		return nil, fmt.Errorf("fetch models: %w", err)
+	}
+	defer func() {
+		// The body is fully decoded below; a close failure costs only
+		// connection reuse.
+		if err := resp.Body.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rcload: close models response: %v\n", err)
+		}
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch models: status %s", resp.Status)
+	}
+	var models []string
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBody)).Decode(&models); err != nil {
+		return nil, fmt.Errorf("decode models: %w", err)
+	}
+	return models, nil
+}
+
+// fetchFamilies retrieves and decodes a JSON metrics exposition.
+func fetchFamilies(client *http.Client, url string) ([]obs.Family, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "rcload: close metrics response: %v\n", err)
+		}
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %s", resp.Status)
+	}
+	var fams []obs.Family
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&fams); err != nil {
+		return nil, fmt.Errorf("decode metrics: %w", err)
+	}
+	return fams, nil
+}
+
+// famValue sums the samples of the named family whose labels include
+// every key/value in want (nil matches all samples).
+func famValue(fams []obs.Family, name string, want map[string]string) float64 {
+	var sum float64
+	for _, fam := range fams {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Samples {
+			if sampleMatches(s, want) {
+				sum += s.Value
+			}
+		}
+	}
+	return sum
+}
+
+// famHistogram merges the named family's histogram samples into one
+// snapshot.
+func famHistogram(fams []obs.Family, name string) (obs.HistSnapshot, bool) {
+	var merged obs.HistSnapshot
+	found := false
+	for _, fam := range fams {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Samples {
+			if s.Histogram == nil {
+				continue
+			}
+			if !found {
+				merged, found = *s.Histogram, true
+				continue
+			}
+			m, err := merged.Merge(*s.Histogram)
+			if err != nil {
+				continue
+			}
+			merged = m
+		}
+	}
+	return merged, found
+}
+
+func sampleMatches(s obs.Sample, want map[string]string) bool {
+	for k, v := range want {
+		ok := false
+		for _, l := range s.Labels {
+			if l.Key == k && l.Value == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// inputQuery pre-encodes one population input as /predict query
+// parameters.
+func inputQuery(in *model.ClientInputs) string {
+	v := url.Values{}
+	v.Set("subscription", in.Subscription)
+	v.Set("type", in.VMType)
+	v.Set("role", in.Role)
+	v.Set("os", in.OS)
+	v.Set("party", in.Party)
+	v.Set("production", strconv.FormatBool(in.Production))
+	v.Set("cores", strconv.Itoa(in.Cores))
+	v.Set("memgb", strconv.FormatFloat(in.MemoryGB, 'g', -1, 64))
+	v.Set("requested", strconv.Itoa(in.RequestedVMs))
+	v.Set("minute", strconv.FormatInt(int64(in.CreateMinute), 10))
+	return v.Encode()
+}
+
+// inputItem maps one population input to the POST /predict item shape
+// (same field names as the query parameters).
+func inputItem(in *model.ClientInputs) map[string]any {
+	return map[string]any{
+		"subscription": in.Subscription,
+		"type":         in.VMType,
+		"role":         in.Role,
+		"os":           in.OS,
+		"party":        in.Party,
+		"production":   in.Production,
+		"cores":        in.Cores,
+		"memgb":        in.MemoryGB,
+		"requested":    in.RequestedVMs,
+		"minute":       int64(in.CreateMinute),
+	}
+}
+
+// waitForReady polls /healthz until the server answers 200.
+func waitForReady(baseURL string, budget time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			_, copyErr := io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBody))
+			closeErr := resp.Body.Close()
+			if copyErr == nil && closeErr == nil && resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not ready within %v: %w", baseURL, budget, err)
+			}
+			return fmt.Errorf("server at %s not ready within %v", baseURL, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// writeReport pretty-prints the report to path.
+func writeReport(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resourcecentral/internal/cli"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
+)
+
+// fakeServe is a minimal stand-in for rcserve speaking the same wire
+// protocol: /models, /healthz, /predict (GET and POST), /subscribe and
+// /metrics?format=json.
+type fakeServe struct {
+	*httptest.Server
+	gets, posts, subs atomic.Int64
+	reg               *obs.Registry
+}
+
+func newFakeServe(t *testing.T) *fakeServe {
+	t.Helper()
+	f := &fakeServe{reg: obs.NewRegistry()}
+	f.reg.Counter("rc_serve_coalesce_leaders_total", "h").Add(10)
+	f.reg.Counter("rc_serve_coalesce_followers_total", "h").Add(30)
+	f.reg.Counter("rc_serve_shed_total", "h", "reason", "admission").Add(5)
+	f.reg.Counter("rc_serve_shed_total", "h", "reason", "queue").Add(2)
+	f.reg.Histogram("rc_serve_batch_size", "h", obs.ExponentialBuckets(1, 2, 8)).Observe(4)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewEncoder(w).Encode([]string{"lifetime", "avgcpu"}); err != nil {
+			t.Error(err)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
+		f.gets.Add(1)
+		if r.URL.Query().Get("subscription") == "" {
+			http.Error(w, "missing subscription", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprint(w, `{"OK":true,"Bucket":2}`)
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		f.posts.Add(1)
+		var items []map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res := make([]map[string]any, len(items))
+		for i := range items {
+			// One no-prediction per batch so the counter moves.
+			res[i] = map[string]any{"OK": i != 0}
+		}
+		w.Header().Set(degradedHeader, "shed")
+		if err := json.NewEncoder(w).Encode(res); err != nil {
+			t.Error(err)
+		}
+	})
+	mux.HandleFunc("GET /subscribe", func(w http.ResponseWriter, r *http.Request) {
+		f.subs.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i := 0; i < 2; i++ {
+			fmt.Fprintf(w, "event: invalidate\ndata: {\"seq\":%d}\n\n", i+1)
+		}
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		<-r.Context().Done()
+	})
+	mux.Handle("GET /metrics", f.reg.Handler())
+	f.Server = httptest.NewServer(mux)
+	t.Cleanup(f.Close)
+	return f
+}
+
+func testPopulation(t *testing.T, n int) []model.ClientInputs {
+	t.Helper()
+	src := cli.TraceSource{Days: 3, VMs: 400, Seed: 7}
+	tr, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := buildPopulation(tr.VMs, n)
+	if len(pop) == 0 {
+		t.Fatal("empty population")
+	}
+	return pop
+}
+
+// TestRunLoadEndToEnd drives the full generator against the fake server
+// and checks the assembled report.
+func TestRunLoadEndToEnd(t *testing.T) {
+	f := newFakeServe(t)
+	cfg := loadConfig{
+		BaseURL:       f.URL,
+		Rate:          400,
+		Duration:      400 * time.Millisecond,
+		Workers:       8,
+		Timeout:       5 * time.Second,
+		BatchFraction: 0.25,
+		BatchSize:     4,
+		HotFraction:   0.5,
+		HotKeys:       8,
+		Subscribers:   2,
+		Seed:          42,
+		Population:    testPopulation(t, 64),
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitForReady(cfg.BaseURL, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Requests.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.Requests.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Requests.Errors)
+	}
+	if rep.Requests.OK == 0 {
+		t.Error("no OK responses")
+	}
+	if got := rep.Requests.OK + rep.Requests.Errors; got != rep.Requests.Sent {
+		t.Errorf("ok+errors = %d, sent = %d", got, rep.Requests.Sent)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Errorf("achieved qps = %g", rep.AchievedQPS)
+	}
+	if rep.Latency["overall"].Count != rep.Requests.Sent {
+		t.Errorf("overall latency count = %d, sent = %d", rep.Latency["overall"].Count, rep.Requests.Sent)
+	}
+	if rep.Latency["overall"].P99Ms < rep.Latency["overall"].P50Ms {
+		t.Errorf("p99 %.3f < p50 %.3f", rep.Latency["overall"].P99Ms, rep.Latency["overall"].P50Ms)
+	}
+
+	// The fake answers every POST with the degraded header.
+	if f.posts.Load() > 0 {
+		if rep.Requests.Degraded == 0 || rep.ShedRate <= 0 {
+			t.Errorf("degraded = %d, shed rate = %g, want > 0", rep.Requests.Degraded, rep.ShedRate)
+		}
+		if rep.Requests.NoPrediction == 0 {
+			t.Error("no-prediction count = 0, want > 0 (one per batch)")
+		}
+		if rep.Latency[classBatch].Count == 0 {
+			t.Error("no batch latency samples")
+		}
+	}
+	if f.gets.Load() == 0 {
+		t.Error("fake server saw no GET /predict")
+	}
+
+	// Scraped server counters: 30 followers / 40 total.
+	if rep.Coalesce.HitRate != 0.75 {
+		t.Errorf("coalesce hit rate = %g, want 0.75", rep.Coalesce.HitRate)
+	}
+	if rep.Server.ShedAdmission != 5 || rep.Server.ShedQueue != 2 {
+		t.Errorf("shed admission/queue = %g/%g, want 5/2", rep.Server.ShedAdmission, rep.Server.ShedQueue)
+	}
+	if rep.Server.MeanBatchSize != 4 {
+		t.Errorf("mean batch size = %g, want 4", rep.Server.MeanBatchSize)
+	}
+
+	// Both subscribers saw both pushed events.
+	if rep.SSE.EventsReceived != 4 {
+		t.Errorf("sse events = %d, want 4", rep.SSE.EventsReceived)
+	}
+	if f.subs.Load() != 2 {
+		t.Errorf("fake server saw %d subscribers, want 2", f.subs.Load())
+	}
+
+	// The report round-trips through the writer.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := writeReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests.Sent != rep.Requests.Sent || back.Coalesce.HitRate != rep.Coalesce.HitRate {
+		t.Errorf("report did not round-trip: %+v", back.Requests)
+	}
+}
+
+// TestOpenLoopLatencyIncludesQueueing: a slow server must show up as
+// high measured latency even though each HTTP call is fast to schedule.
+func TestOpenLoopLatencyIncludesQueueing(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(30 * time.Millisecond)
+		fmt.Fprint(w, `{"OK":true}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cfg := loadConfig{
+		BaseURL:     srv.URL,
+		Rate:        200,
+		Duration:    300 * time.Millisecond,
+		Workers:     1, // single worker: arrivals queue behind the slow server
+		Timeout:     5 * time.Second,
+		HotFraction: 1,
+		HotKeys:     1,
+		BatchSize:   1,
+		Seed:        1,
+		Population:  testPopulation(t, 4),
+		Models:      []string{"lifetime"},
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	// With one worker and a 30 ms server, open-loop latency must exceed
+	// a single service time for the later arrivals.
+	if rep.Latency["overall"].P99Ms < 60 {
+		t.Errorf("p99 = %.1fms; open-loop measurement should include queueing delay", rep.Latency["overall"].P99Ms)
+	}
+}
+
+func TestBuildPopulationStrides(t *testing.T) {
+	pop := testPopulation(t, 50)
+	if len(pop) > 50 {
+		t.Errorf("population = %d, want <= 50", len(pop))
+	}
+	subs := map[string]bool{}
+	for _, in := range pop {
+		if in.Subscription == "" {
+			t.Fatal("population input missing subscription")
+		}
+		subs[in.Subscription] = true
+	}
+	if len(subs) < 2 {
+		t.Errorf("population spans %d subscriptions, want several", len(subs))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := loadConfig{
+		Rate: 10, Duration: time.Second, Workers: 1, BatchSize: 1,
+		HotKeys: 1, Population: make([]model.ClientInputs, 1),
+	}
+	if err := base.validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*loadConfig){
+		"rate":           func(c *loadConfig) { c.Rate = 0 },
+		"duration":       func(c *loadConfig) { c.Duration = 0 },
+		"workers":        func(c *loadConfig) { c.Workers = 0 },
+		"batch-fraction": func(c *loadConfig) { c.BatchFraction = 1.5 },
+		"hot-fraction":   func(c *loadConfig) { c.HotFraction = -0.1 },
+		"batch-size":     func(c *loadConfig) { c.BatchSize = 0 },
+		"hot-keys":       func(c *loadConfig) { c.HotKeys = 0 },
+		"population":     func(c *loadConfig) { c.Population = nil },
+	} {
+		cfg := base
+		mut(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestInputQueryParses(t *testing.T) {
+	pop := testPopulation(t, 4)
+	q, err := url.ParseQuery(inputQuery(&pop[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"subscription", "type", "role", "os", "party", "production", "cores", "memgb", "requested", "minute"} {
+		if q.Get(key) == "" {
+			t.Errorf("query missing %s", key)
+		}
+	}
+}
+
+func TestWaitForReadyRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	if err := waitForReady(srv.URL, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() < 3 {
+		t.Errorf("ready after %d polls, want >= 3", calls.Load())
+	}
+	if err := waitForReady("http://127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("unreachable server reported ready")
+	}
+}
+
+func TestFamValueFilters(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "h", "reason", "a").Add(3)
+	reg.Counter("x_total", "h", "reason", "b").Add(4)
+	fams := reg.Gather()
+	if got := famValue(fams, "x_total", nil); got != 7 {
+		t.Errorf("unfiltered sum = %g, want 7", got)
+	}
+	if got := famValue(fams, "x_total", map[string]string{"reason": "a"}); got != 3 {
+		t.Errorf("filtered sum = %g, want 3", got)
+	}
+	if got := famValue(fams, "missing_total", nil); got != 0 {
+		t.Errorf("missing family sum = %g, want 0", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Command rcload drives a live rcserve deployment with open-loop load
+// and writes the measured serving story to a JSON report.
+//
+// Open-loop means arrivals are scheduled by a Poisson process at the
+// requested rate regardless of how fast the server answers — the
+// coordinated-omission-free way to measure a serving tier. Latency is
+// measured from each request's *scheduled* arrival time, so queueing
+// delay inside the generator counts against the server, exactly as a
+// fabric controller would experience it.
+//
+// The request mix mirrors how Resource Central is consumed in
+// production (paper Section 5): mostly single lookups at VM-deployment
+// time, a configurable fraction of batch lookups (one POST per
+// deployment request covering several VMs), and a skewed "hot" subset
+// of subscriptions that dominate deployments — the population the
+// serving tier's coalescer and result cache exist for. The request
+// population is derived from the same synthetic trace the server
+// trained on (same -trace/-days/-vms/-seed flags), so lookups hit real
+// feature-data rows rather than unknown subscriptions.
+//
+// Optionally, -subscribers SSE consumers attach to /subscribe for the
+// run's duration and count invalidation events (pair with rcserve
+// -republish to exercise push fan-out under load).
+//
+// The report (default BENCH_serve.json) contains client-side latency
+// quantiles per request class, achieved QPS, degraded/shed rates, and
+// the server's own coalesce/batch/shed counters scraped from /metrics
+// at the end of the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"resourcecentral/internal/cli"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rcload: ")
+
+	var src cli.TraceSource
+	src.RegisterFlags(flag.CommandLine)
+	addr := flag.String("addr", "127.0.0.1:8080", "rcserve address to load")
+	rate := flag.Float64("rate", 2000, "target arrival rate in requests/second (open loop)")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	workers := flag.Int("workers", 64, "concurrent request workers")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	batchFraction := flag.Float64("batch-fraction", 0.05, "fraction of arrivals that are POST /predict batches")
+	batchSize := flag.Int("batch-size", 16, "inputs per batch request")
+	hotFraction := flag.Float64("hot-fraction", 0.5, "fraction of single lookups drawn from the hot key set")
+	hotKeys := flag.Int("hot-keys", 32, "size of the hot key set (distinct inputs)")
+	population := flag.Int("population", 4096, "distinct request inputs sampled from the trace")
+	subscribers := flag.Int("subscribers", 0, "SSE /subscribe consumers to attach for the run")
+	out := flag.String("out", "BENCH_serve.json", "report output path")
+	waitReady := flag.Duration("wait-ready", 30*time.Second, "poll /healthz for up to this long before loading")
+	maxErrorRate := flag.Float64("max-error-rate", 0.01, "exit non-zero if transport/server errors exceed this fraction of sent requests")
+	flag.Parse()
+
+	tr, err := src.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(tr.VMs) == 0 {
+		log.Fatal("trace has no VMs to build a request population from")
+	}
+	pop := buildPopulation(tr.VMs, *population)
+	log.Printf("request population: %d distinct inputs from %d trace VMs", len(pop), len(tr.VMs))
+
+	cfg := loadConfig{
+		BaseURL:       "http://" + *addr,
+		Rate:          *rate,
+		Duration:      *duration,
+		Workers:       *workers,
+		Timeout:       *timeout,
+		BatchFraction: *batchFraction,
+		BatchSize:     *batchSize,
+		HotFraction:   *hotFraction,
+		HotKeys:       *hotKeys,
+		Subscribers:   *subscribers,
+		Seed:          src.Seed,
+		Population:    pop,
+	}
+	if err := cfg.validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := waitForReady(cfg.BaseURL, *waitReady); err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := runLoad(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeReport(*out, rep); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+	log.Printf("sent=%d ok=%d degraded=%d errors=%d overflow=%d achieved=%.0f qps p50=%.2fms p99=%.2fms coalesce_hit=%.3f shed=%.4f",
+		rep.Requests.Sent, rep.Requests.OK, rep.Requests.Degraded, rep.Requests.Errors,
+		rep.Requests.ClientOverflow, rep.AchievedQPS,
+		rep.Latency["overall"].P50Ms, rep.Latency["overall"].P99Ms,
+		rep.Coalesce.HitRate, rep.ShedRate)
+
+	if rep.Requests.Sent > 0 {
+		errRate := float64(rep.Requests.Errors) / float64(rep.Requests.Sent)
+		if errRate > *maxErrorRate {
+			log.Printf("error rate %.4f exceeds -max-error-rate %.4f", errRate, *maxErrorRate)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildPopulation samples up to n distinct inputs across the whole
+// trace (strided, so the population spans subscriptions created at
+// different times rather than just the earliest VMs).
+func buildPopulation(vms []trace.VM, n int) []model.ClientInputs {
+	if n < 1 {
+		n = 1
+	}
+	stride := len(vms) / n
+	if stride < 1 {
+		stride = 1
+	}
+	pop := make([]model.ClientInputs, 0, n)
+	for i := 0; i < len(vms) && len(pop) < n; i += stride {
+		pop = append(pop, model.FromVM(&vms[i], 1+i%4))
+	}
+	return pop
+}
+
+func (c loadConfig) validate() error {
+	switch {
+	case c.Rate <= 0:
+		return fmt.Errorf("-rate must be positive, got %g", c.Rate)
+	case c.Duration <= 0:
+		return fmt.Errorf("-duration must be positive, got %v", c.Duration)
+	case c.Workers < 1:
+		return fmt.Errorf("-workers must be at least 1, got %d", c.Workers)
+	case c.BatchFraction < 0 || c.BatchFraction > 1:
+		return fmt.Errorf("-batch-fraction must be in [0,1], got %g", c.BatchFraction)
+	case c.HotFraction < 0 || c.HotFraction > 1:
+		return fmt.Errorf("-hot-fraction must be in [0,1], got %g", c.HotFraction)
+	case c.BatchSize < 1:
+		return fmt.Errorf("-batch-size must be at least 1, got %d", c.BatchSize)
+	case c.HotKeys < 1:
+		return fmt.Errorf("-hot-keys must be at least 1, got %d", c.HotKeys)
+	case len(c.Population) == 0:
+		return fmt.Errorf("empty request population")
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/serve"
+	"resourcecentral/internal/trace"
+)
+
+// maxBatchBody bounds the POST /predict request body; maxBatchItems
+// bounds the inputs per batch request (the tier sheds per-item past its
+// admission budget, but a single request must not be able to pin
+// unbounded memory before admission even runs).
+const (
+	maxBatchBody  = 4 << 20
+	maxBatchItems = 1024
+)
+
+// server bundles what the handlers need: the serving tier in front of
+// the client library, the invalidation hub, and the shared registry.
+type server struct {
+	client *core.Client
+	tier   *serve.Tier
+	hub    *serve.Hub
+	reg    *obs.Registry
+	start  time.Time
+}
+
+// newHandler builds the HTTP mux with per-route metrics middleware.
+func newHandler(s *server) http.Handler {
+	mux := http.NewServeMux()
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, instrument(s.reg, route, h))
+	}
+	handle("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.client.AvailableModels())
+	})
+	handle("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.client.Stats())
+	})
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /predict", s.handlePredict)
+	handle("POST /predict", s.handlePredictBatch)
+	handle("GET /subscribe", s.handleSubscribe)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	models := s.client.AvailableModels()
+	status := http.StatusOK
+	state := "ok"
+	if len(models) == 0 {
+		// No models loaded: the client can only answer no-predictions.
+		status = http.StatusServiceUnavailable
+		state = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(map[string]any{
+		"status":         state,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"models":         len(models),
+		"result_cache":   s.client.ResultCacheLen(),
+		"subscribers":    s.hub.Subscribers(),
+	}); err != nil {
+		// Headers are already on the wire; all we can do is record
+		// the failed health response.
+		log.Printf("healthz: %v", err)
+	}
+}
+
+// handlePredict is the single-lookup path, routed through the serving
+// tier (coalescer → batcher → client library). Degraded (shed)
+// responses carry the no-prediction flag in the body and DegradedHeader
+// on the wire.
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	modelName := q.Get("model")
+	if modelName == "" {
+		http.Error(w, "missing model parameter", http.StatusBadRequest)
+		return
+	}
+	in, err := inputsFromQuery(q.Get)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.tier.Predict(r.Context(), modelName, in)
+	if err != nil {
+		writePredictError(w, r, err)
+		return
+	}
+	if res.Degraded {
+		w.Header().Set(serve.DegradedHeader, "shed")
+	}
+	writeJSON(w, res)
+}
+
+// handlePredictBatch is the batch path: a JSON array of input objects
+// (same field names as the GET query parameters) answered with a JSON
+// array of results in input order. Inputs share the tier's coalescer
+// and batcher with the single-lookup path.
+func (s *server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	modelName := r.URL.Query().Get("model")
+	if modelName == "" {
+		http.Error(w, "missing model parameter", http.StatusBadRequest)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.UseNumber()
+	var items []map[string]any
+	if err := dec.Decode(&items); err != nil {
+		http.Error(w, "batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(items) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(items) > maxBatchItems {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(items), maxBatchItems), http.StatusBadRequest)
+		return
+	}
+	ins := make([]*model.ClientInputs, len(items))
+	for i, item := range items {
+		in, err := inputsFromJSON(item)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("input %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		ins[i] = in
+	}
+	results, err := s.tier.PredictBatch(r.Context(), modelName, ins)
+	if err != nil {
+		writePredictError(w, r, err)
+		return
+	}
+	for _, res := range results {
+		if res.Degraded {
+			w.Header().Set(serve.DegradedHeader, "shed")
+			break
+		}
+	}
+	writeJSON(w, results)
+}
+
+// handleSubscribe streams model/feature-data invalidation events as
+// server-sent events: the paper's push cache mode re-broadcast from the
+// tier's single store subscription. The stream ends when the client
+// disconnects, the server drains, or the hub drops this consumer for
+// falling behind (event: dropped — the client should resubscribe and
+// force-refresh).
+func (s *server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	sub := s.hub.Subscribe()
+	defer s.hub.Unsubscribe(sub)
+
+	rc := http.NewResponseController(w)
+	// A server-wide write timeout would sever long-lived streams;
+	// subscriptions manage their own liveness via the event flow.
+	if err := rc.SetWriteDeadline(time.Time{}); err != nil {
+		log.Printf("subscribe: clear write deadline: %v", err)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Dropped for falling behind (or server shutdown): tell
+				// the client before closing so it resubscribes.
+				if _, err := fmt.Fprint(w, "event: dropped\ndata: {}\n\n"); err != nil {
+					return
+				}
+				if err := rc.Flush(); err != nil {
+					log.Printf("subscribe: flush: %v", err)
+				}
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				log.Printf("subscribe: encode event: %v", err)
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: invalidate\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// writePredictError maps tier errors to HTTP statuses: cancellations
+// (client gone or server draining) and a closed tier are unavailability,
+// anything else is internal.
+func writePredictError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded), errors.Is(err, serve.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap exposes the underlying writer so http.NewResponseController
+// reaches Flush/SetWriteDeadline through the middleware wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
+}
+
+// instrument wraps a handler with request counting and latency
+// observation, labeled by route (the registered pattern, not the raw
+// URL, to keep label cardinality bounded).
+func instrument(reg *obs.Registry, route string, next http.Handler) http.Handler {
+	seconds := reg.Histogram("rc_http_request_seconds",
+		"HTTP request latency in seconds, by route.", nil, "route", route)
+	requests := func(code int) obs.Counter {
+		return reg.Counter("rc_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			"route", route, "code", strconv.Itoa(code))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		seconds.ObserveSince(start)
+		requests(rec.status).Inc()
+	})
+}
+
+// knownInputKeys are the accepted batch-item fields — exactly the GET
+// query parameters, so the two paths validate identically.
+var knownInputKeys = map[string]bool{
+	"subscription": true, "type": true, "role": true, "os": true,
+	"party": true, "cores": true, "memgb": true, "production": true,
+	"requested": true, "minute": true,
+}
+
+// inputsFromJSON converts one decoded batch item into client inputs by
+// routing it through inputsFromQuery — the JSON path shares the query
+// path's validation, defaults and error messages verbatim.
+func inputsFromJSON(item map[string]any) (*model.ClientInputs, error) {
+	keys := make([]string, 0, len(item))
+	for k := range item {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !knownInputKeys[k] {
+			return nil, fmt.Errorf("unknown field %q", k)
+		}
+	}
+	return inputsFromQuery(func(k string) string {
+		switch v := item[k].(type) {
+		case nil:
+			return ""
+		case string:
+			return v
+		case bool:
+			return strconv.FormatBool(v)
+		case json.Number:
+			return v.String()
+		default:
+			return fmt.Sprint(v)
+		}
+	})
+}
+
+// inputsFromQuery parses client inputs from URL query parameters, with
+// sensible defaults for omitted fields.
+func inputsFromQuery(get func(string) string) (*model.ClientInputs, error) {
+	in := &model.ClientInputs{
+		Subscription: get("subscription"),
+		VMType:       orDefault(get("type"), "IaaS"),
+		Role:         orDefault(get("role"), "IaaS"),
+		OS:           orDefault(get("os"), "linux"),
+		Party:        orDefault(get("party"), "third"),
+		Cores:        1,
+		MemoryGB:     1.75,
+		RequestedVMs: 1,
+	}
+	if in.Subscription == "" {
+		return nil, fmt.Errorf("missing subscription parameter")
+	}
+	if s := get("cores"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("cores: %w", err)
+		}
+		in.Cores = v
+	}
+	if s := get("memgb"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("memgb: %w", err)
+		}
+		in.MemoryGB = v
+	}
+	if s := get("production"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("production: %w", err)
+		}
+		in.Production = v
+	}
+	if s := get("requested"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("requested: %w", err)
+		}
+		in.RequestedVMs = v
+	}
+	if s := get("minute"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("minute: %w", err)
+		}
+		in.CreateMinute = trace.Minutes(v)
+	}
+	return in, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

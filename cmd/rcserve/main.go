@@ -1,42 +1,48 @@
 // Command rcserve is a long-running Resource Central deployment demo: it
 // trains models on a synthetic trace, publishes them to the store,
 // periodically re-publishes (exercising push-based cache updates), and
-// serves predictions over HTTP through the client library.
+// serves predictions over HTTP through the fleet-scale serving tier
+// (internal/serve) in front of the client library.
 //
-//	GET /models
-//	GET /predict?model=lifetime&subscription=sub-...&type=IaaS&cores=2&memgb=3.5
-//	GET /stats
-//	GET /healthz
-//	GET /metrics            (Prometheus text v0.0.4; ?format=json for JSON)
+//	GET  /models
+//	GET  /predict?model=lifetime&subscription=sub-...&type=IaaS&cores=2&memgb=3.5
+//	POST /predict?model=lifetime     (JSON array of input objects → array of results)
+//	GET  /subscribe                  (SSE stream of model-version invalidation events)
+//	GET  /stats
+//	GET  /healthz
+//	GET  /metrics                    (Prometheus text v0.0.4; ?format=json for JSON)
 //
-// The prediction path never blocks on the store: it runs entirely against
-// the client-side caches, as in the paper's DLL design. /metrics exposes
-// the Section 6.1 numbers live — predict-latency histograms split by
-// result-cache hit/miss, per-model execution times, store pull latency —
-// plus HTTP middleware metrics. The server shuts down gracefully on
-// SIGINT/SIGTERM, draining in-flight requests before closing the client.
+// The prediction path never blocks on the store: it runs entirely
+// against the client-side caches, as in the paper's DLL design. On top
+// of that the serving tier coalesces concurrent identical lookups into
+// one upstream prediction, aggregates distinct in-flight lookups into
+// batched PredictMany calls, and sheds load past its admission budget
+// by answering with the paper's no-prediction flag (X-RC-Degraded on
+// the wire) instead of queueing. /metrics exposes the Section 6.1
+// numbers plus the tier's coalesce/batch/shed counters live. The server
+// shuts down gracefully on SIGINT/SIGTERM: the signal cancels the
+// server-wide base context (aborting predictions still waiting in the
+// batcher and ending /subscribe streams), in-flight requests drain, and
+// the tier, hub and client close in order.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
-	"strconv"
 	"syscall"
 	"time"
 
 	"resourcecentral/internal/cli"
 	"resourcecentral/internal/core"
-	"resourcecentral/internal/model"
 	"resourcecentral/internal/obs"
 	"resourcecentral/internal/pipeline"
+	"resourcecentral/internal/serve"
 	"resourcecentral/internal/store"
-	"resourcecentral/internal/trace"
 )
 
 func main() {
@@ -46,8 +52,25 @@ func main() {
 	var src cli.TraceSource
 	src.RegisterFlags(flag.CommandLine)
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	republish := flag.Duration("republish", 0, "re-run the pipeline and push new models at this interval (0 = never)")
+	republish := flag.Duration("republish", 0, "re-run the publish step and push new models at this interval (0 = never)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+
+	// HTTP server hygiene.
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max duration for reading an entire request")
+	writeTimeout := flag.Duration("write-timeout", 0, "max duration for writing a response (0 = none; /subscribe clears it per-stream regardless)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "max duration for reading request headers")
+	maxHeaderBytes := flag.Int("max-header-bytes", 1<<20, "max request header size in bytes")
+
+	// Serving-tier knobs.
+	maxBatch := flag.Int("max-batch", 64, "max distinct lookups aggregated into one upstream PredictMany")
+	batchDelay := flag.Duration("batch-delay", 500*time.Microsecond, "batch aggregation window")
+	maxInflight := flag.Int("max-inflight", 4096, "admission budget; requests beyond it are shed with the no-prediction flag")
+	// A republish bursts one notification per store key — six models
+	// plus a feature-data record per subscription — at memory speed,
+	// far faster than an SSE write per event drains. The default buffer
+	// is sized to absorb such a burst for fleet-sized traces; consumers
+	// slower than the steady state still get dropped.
+	subBuffer := flag.Int("sub-buffer", 4096, "per-subscriber invalidation event buffer; slow consumers past it are dropped")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -77,6 +100,18 @@ func main() {
 	}
 	defer client.Close()
 
+	tier, err := serve.New(serve.Config{
+		Upstream:    client,
+		MaxBatch:    *maxBatch,
+		MaxDelay:    *batchDelay,
+		MaxInFlight: *maxInflight,
+		Obs:         reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hub := serve.NewHub(st, *subBuffer, reg)
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -99,13 +134,25 @@ func main() {
 		}()
 	}
 
-	handler := newHandler(client, reg, time.Now())
-	server := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	handler := newHandler(&server{client: client, tier: tier, hub: hub, reg: reg, start: time.Now()})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+		// Every request context derives from the signal context, so a
+		// shutdown signal cancels handler-initiated predictions (waits
+		// in the batcher window) and ends /subscribe streams instead of
+		// letting them outlive the drain budget.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("serving predictions on http://%s", *addr)
-		errCh <- server.ListenAndServe()
+		errCh <- httpServer.ListenAndServe()
 	}()
 
 	select {
@@ -115,172 +162,20 @@ func main() {
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests (so a
-	// final /metrics scrape completes), then close the client's
-	// background cache maintenance.
+	// final /metrics scrape completes; predictions and subscriptions were
+	// already canceled via BaseContext), then stop the tier's batcher,
+	// the invalidation hub, and the client's background cache
+	// maintenance — in dependency order.
 	log.Printf("signal received, draining (budget %v)", *shutdownTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
-	if err := server.Shutdown(shCtx); err != nil {
+	if err := httpServer.Shutdown(shCtx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)
 	}
+	hub.Close()
+	tier.Close()
 	log.Printf("drained, closing client")
-}
-
-// newHandler builds the HTTP mux with per-route metrics middleware.
-func newHandler(client *core.Client, reg *obs.Registry, start time.Time) http.Handler {
-	mux := http.NewServeMux()
-	handle := func(route string, h http.HandlerFunc) {
-		mux.Handle("GET "+route, instrument(reg, route, h))
-	}
-	handle("/models", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, client.AvailableModels())
-	})
-	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, client.Stats())
-	})
-	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		models := client.AvailableModels()
-		status := http.StatusOK
-		state := "ok"
-		if len(models) == 0 {
-			// No models loaded: the client can only answer no-predictions.
-			status = http.StatusServiceUnavailable
-			state = "degraded"
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		if err := json.NewEncoder(w).Encode(map[string]any{
-			"status":         state,
-			"uptime_seconds": time.Since(start).Seconds(),
-			"models":         len(models),
-			"result_cache":   client.ResultCacheLen(),
-		}); err != nil {
-			// Headers are already on the wire; all we can do is record
-			// the failed health response.
-			log.Printf("healthz: %v", err)
-		}
-	})
-	handle("/predict", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		modelName := q.Get("model")
-		if modelName == "" {
-			http.Error(w, "missing model parameter", http.StatusBadRequest)
-			return
-		}
-		in, err := inputsFromQuery(q.Get)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		pred, err := client.PredictSingle(modelName, in)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, pred)
-	})
-	mux.Handle("GET /metrics", reg.Handler())
-	return mux
-}
-
-// statusRecorder captures the response code for the request counter.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps a handler with request counting and latency
-// observation, labeled by route (the registered pattern, not the raw
-// URL, to keep label cardinality bounded).
-func instrument(reg *obs.Registry, route string, next http.Handler) http.Handler {
-	seconds := reg.Histogram("rc_http_request_seconds",
-		"HTTP request latency in seconds, by route.", nil, "route", route)
-	requests := func(code int) obs.Counter {
-		return reg.Counter("rc_http_requests_total",
-			"HTTP requests served, by route and status code.",
-			"route", route, "code", strconv.Itoa(code))
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		seconds.ObserveSince(start)
-		requests(rec.status).Inc()
-	})
-}
-
-// inputsFromQuery parses client inputs from URL query parameters, with
-// sensible defaults for omitted fields.
-func inputsFromQuery(get func(string) string) (*model.ClientInputs, error) {
-	in := &model.ClientInputs{
-		Subscription: get("subscription"),
-		VMType:       orDefault(get("type"), "IaaS"),
-		Role:         orDefault(get("role"), "IaaS"),
-		OS:           orDefault(get("os"), "linux"),
-		Party:        orDefault(get("party"), "third"),
-		Cores:        1,
-		MemoryGB:     1.75,
-		RequestedVMs: 1,
-	}
-	if in.Subscription == "" {
-		return nil, fmt.Errorf("missing subscription parameter")
-	}
-	if s := get("cores"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return nil, fmt.Errorf("cores: %w", err)
-		}
-		in.Cores = v
-	}
-	if s := get("memgb"); s != "" {
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return nil, fmt.Errorf("memgb: %w", err)
-		}
-		in.MemoryGB = v
-	}
-	if s := get("production"); s != "" {
-		v, err := strconv.ParseBool(s)
-		if err != nil {
-			return nil, fmt.Errorf("production: %w", err)
-		}
-		in.Production = v
-	}
-	if s := get("requested"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return nil, fmt.Errorf("requested: %w", err)
-		}
-		in.RequestedVMs = v
-	}
-	if s := get("minute"); s != "" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("minute: %w", err)
-		}
-		in.CreateMinute = trace.Minutes(v)
-	}
-	return in, nil
-}
-
-func orDefault(s, def string) string {
-	if s == "" {
-		return def
-	}
-	return s
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
 }

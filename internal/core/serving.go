@@ -1,0 +1,27 @@
+package core
+
+import "resourcecentral/internal/model"
+
+// Key returns the coalescing key for one (model, inputs) prediction
+// request: the same FNV-64a hash the result cache indexes by. Identical
+// requests always map to the same key, so a serving tier can use it to
+// collapse N concurrent identical lookups into one upstream prediction
+// (and the collapsed prediction lands in the result-cache slot every
+// follower would have probed). Exported for internal/serve; it sits on
+// the per-request fast path, so it inherits CacheKey's zero-alloc
+// contract.
+//
+//rcvet:hotpath
+func Key(modelName string, in *model.ClientInputs) uint64 {
+	return in.CacheKey(modelName)
+}
+
+// BatchPredictor is the upstream hook a serving tier batches into: one
+// call predicts a whole set of distinct in-flight inputs (Table 2:
+// predict_many). *Client implements it with shard-grouped cache passes
+// and in-batch dedup; tests substitute counting fakes.
+type BatchPredictor interface {
+	PredictMany(modelName string, ins []*model.ClientInputs) ([]Prediction, error)
+}
+
+var _ BatchPredictor = (*Client)(nil)

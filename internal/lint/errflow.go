@@ -20,9 +20,11 @@ import (
 //
 // Drivers scope this analyzer to ErrFlowPackagePatterns: the offline
 // pipeline (artifacts silently missing poison later stages), the store,
-// and the server (a dropped write error turns a failed response into a
-// hung client). Pure in-memory error returns elsewhere stay unflagged.
-// Deliberate discards take //rcvet:allow(reason).
+// the server (a dropped write error turns a failed response into a
+// hung client), and the load generator (a swallowed response error
+// would overstate measured throughput). Pure in-memory error returns
+// elsewhere stay unflagged. Deliberate discards take
+// //rcvet:allow(reason).
 var ErrFlow = &Analyzer{
 	Name: "errflow",
 	Doc: "flag ignored error returns from I/O calls (direct, via store, or " +
@@ -36,6 +38,7 @@ var ErrFlowPackagePatterns = []string{
 	"internal/pipeline",
 	"internal/store",
 	"cmd/rcserve",
+	"cmd/rcload",
 }
 
 // IsErrFlowPackage reports whether errflow applies to an import path.

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"resourcecentral/internal/model"
+)
+
+// batchLoop is the aggregation goroutine: it accumulates leader calls
+// into per-model groups and flushes a group into one upstream
+// PredictMany call when it reaches Config.MaxBatch or when the
+// aggregation window (Config.MaxDelay, armed at the first pending
+// arrival) expires. Flushes execute in their own goroutines so a slow
+// upstream call never stalls aggregation of the next window.
+func (t *Tier) batchLoop() {
+	defer t.wg.Done()
+
+	groups := make(map[string][]*call)
+	pending := 0
+
+	// timer is armed iff timerC is non-nil; it is started when the
+	// first call of an empty tier arrives and drained on expiry. A
+	// max-batch flush may leave it armed with nothing pending — the
+	// subsequent no-op expiry just disarms it.
+	var timer *time.Timer
+	var timerC <-chan time.Time
+
+	flush := func(modelName string) {
+		calls := groups[modelName]
+		if len(calls) == 0 {
+			return
+		}
+		delete(groups, modelName)
+		pending -= len(calls)
+		t.startBatch(modelName, calls)
+	}
+	flushAll := func() {
+		// Models flush in insertion-agnostic order; each group is an
+		// independent upstream call, so order carries no semantics.
+		for name := range groups { //rcvet:allow(each flushed group is independent; no cross-group state accumulates in map order)
+			flush(name)
+		}
+	}
+
+	for {
+		select {
+		case <-t.done:
+			// Fail everything still pending or queued so no waiter
+			// blocks past Close.
+			for _, calls := range groups { //rcvet:allow(shutdown fan-out; per-call completion is order-independent)
+				for _, c := range calls {
+					t.failCall(c, ErrClosed)
+				}
+			}
+			for {
+				select {
+				case c := <-t.in:
+					t.failCall(c, ErrClosed)
+				default:
+					if timer != nil {
+						timer.Stop()
+					}
+					return
+				}
+			}
+		case c := <-t.in:
+			groups[c.key.model] = append(groups[c.key.model], c)
+			pending++
+			if len(groups[c.key.model]) >= t.cfg.MaxBatch {
+				flush(c.key.model)
+			} else if timerC == nil {
+				if timer == nil {
+					timer = time.NewTimer(t.cfg.MaxDelay)
+				} else {
+					timer.Reset(t.cfg.MaxDelay)
+				}
+				timerC = timer.C
+			}
+		case <-timerC:
+			timerC = nil
+			flushAll()
+		}
+	}
+}
+
+// startBatch executes one aggregated upstream call in its own
+// goroutine (joined by t.wg in Close) and completes every member call.
+func (t *Tier) startBatch(modelName string, calls []*call) {
+	t.obs.batches.Inc()
+	t.obs.batchSize.Observe(float64(len(calls)))
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		now := time.Now()
+		for _, c := range calls {
+			t.obs.batchWait.Observe(now.Sub(c.enqueued).Seconds())
+		}
+		ins := make([]*model.ClientInputs, len(calls))
+		for i, c := range calls {
+			ins[i] = c.in
+		}
+		start := time.Now()
+		preds, err := t.cfg.Upstream.PredictMany(modelName, ins)
+		t.obs.upstreamSeconds.ObserveSince(start)
+		if err == nil && len(preds) != len(calls) {
+			err = errUpstreamShape
+		}
+		for i, c := range calls {
+			if err != nil {
+				t.failCall(c, err)
+				continue
+			}
+			t.co.remove(c.key)
+			c.pred = preds[i]
+			close(c.done)
+		}
+	}()
+}
+
+// failCall completes a call with an error, releasing its coalescer key
+// first so new arrivals start a fresh flight.
+func (t *Tier) failCall(c *call, err error) {
+	t.co.remove(c.key)
+	c.err = err
+	close(c.done)
+}
+
+// errUpstreamShape guards against a misbehaving BatchPredictor returning
+// the wrong number of results.
+var errUpstreamShape = errors.New("serve: upstream returned mismatched batch length")

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/model"
+)
+
+// reqKey identifies one coalescable request: the model name plus the
+// client library's own result-cache hash of the inputs. Two requests
+// with equal keys would probe the same result-cache slot, so answering
+// both from one upstream call preserves the sequential semantics
+// exactly (the second would have been a cache hit anyway).
+type reqKey struct {
+	model string
+	hash  uint64
+}
+
+// requestKey derives the coalescing key. It runs once per arriving
+// request — at fleet request rates this is the tier's hottest
+// instruction path, so it must stay allocation-free end to end
+// (core.Key → ClientInputs.CacheKey are hotpath-certified; the struct
+// literal stays in registers).
+//
+//rcvet:hotpath
+func requestKey(modelName string, in *model.ClientInputs) reqKey {
+	return reqKey{model: modelName, hash: core.Key(modelName, in)}
+}
+
+// call is one coalesced in-flight prediction: the leader's request plus
+// every follower waiting on it. pred/err/degraded are written exactly
+// once, before done is closed; waiters read them only after <-done.
+type call struct {
+	key reqKey
+	in  *model.ClientInputs
+
+	// enqueued stamps the hand-off to the batcher, feeding the
+	// batch-wait histogram.
+	enqueued time.Time
+
+	pred     core.Prediction
+	err      error
+	degraded bool
+	done     chan struct{}
+}
+
+// coalescer is a singleflight group keyed by reqKey. The first joiner
+// of a key becomes the leader (responsible for feeding the batcher);
+// later joiners attach to the leader's call. Keys are removed before
+// the call completes, so a request arriving after completion starts a
+// fresh flight instead of reading a stale result.
+type coalescer struct {
+	mu    sync.Mutex
+	calls map[reqKey]*call
+}
+
+func newCoalescer() coalescer {
+	return coalescer{calls: make(map[reqKey]*call)}
+}
+
+// join returns the in-flight call for key, creating it (leader=true) if
+// none exists.
+func (co *coalescer) join(key reqKey, modelName string, in *model.ClientInputs) (*call, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if c, ok := co.calls[key]; ok {
+		return c, false
+	}
+	c := &call{key: key, in: in, done: make(chan struct{})}
+	co.calls[key] = c
+	return c, true
+}
+
+// remove clears the key's flight. Callers must remove before closing
+// the call's done channel.
+func (co *coalescer) remove(key reqKey) {
+	co.mu.Lock()
+	delete(co.calls, key)
+	co.mu.Unlock()
+}
+
+// size reports the number of in-flight coalesced keys.
+func (co *coalescer) size() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.calls)
+}

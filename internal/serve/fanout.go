@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"sync"
+
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/store"
+)
+
+// Event is one model/feature-data version change pushed to subscribers.
+// Seq is a hub-local monotonically increasing sequence number, so a
+// reconnecting client can tell whether it missed events while away.
+type Event struct {
+	Key     string `json:"key"`
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+}
+
+// Subscriber is one registered event consumer. Read events from C; a
+// closed C means the hub dropped the subscriber (it fell behind by more
+// than its buffer, or the hub closed) and the consumer should
+// re-subscribe and force-refresh its caches.
+type Subscriber struct {
+	C <-chan Event
+	c chan Event
+}
+
+// Hub fans store publish notifications out to many subscribers — the
+// paper's push-based cache maintenance (Section 4.2) at serving scale:
+// instead of every fabric-controller client holding its own store
+// subscription, the serving tier holds one and re-broadcasts.
+//
+// Broadcast never blocks on a consumer: a subscriber whose buffer is
+// full is dropped (its channel closed) rather than queued behind,
+// so one stalled client cannot delay invalidation for the fleet. The
+// dropped client detects the closed channel and recovers by
+// re-subscribing, mirroring the client library's force_reload_cache
+// path after a missed push.
+type Hub struct {
+	buffer int
+
+	notif chan store.Notification
+	st    *store.Store
+
+	mu   sync.Mutex
+	subs []*Subscriber
+	seq  uint64
+
+	done   chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	sent     obs.Counter
+	droppedC obs.Counter
+}
+
+// NewHub subscribes to st's publish notifications and starts the
+// broadcast goroutine. buffer is each subscriber's event buffer
+// (minimum 1); reg receives the fan-out metrics (nil disables).
+func NewHub(st *store.Store, buffer int, reg *obs.Registry) *Hub {
+	if buffer < 1 {
+		buffer = 1
+	}
+	h := &Hub{
+		buffer: buffer,
+		st:     st,
+		// Deep enough that a whole republish burst (one notification
+		// per store key) queues here instead of being dropped by the
+		// store's non-blocking send.
+		notif:  make(chan store.Notification, 8192),
+		done:   make(chan struct{}),
+		sent: reg.Counter("rc_serve_events_sent_total",
+			"Invalidation events delivered to serve-tier subscribers."),
+		droppedC: reg.Counter("rc_serve_subscribers_dropped_total",
+			"Subscribers dropped for falling behind the broadcast."),
+	}
+	reg.GaugeFunc("rc_serve_subscribers",
+		"Live serve-tier invalidation subscribers.",
+		func() float64 {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return float64(len(h.subs))
+		})
+	st.Subscribe(h.notif)
+	h.wg.Add(1)
+	go h.loop()
+	return h
+}
+
+// Subscribe registers a new consumer.
+func (h *Hub) Subscribe() *Subscriber {
+	sub := &Subscriber{c: make(chan Event, h.buffer)}
+	sub.C = sub.c
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(sub.c)
+		return sub
+	}
+	h.subs = append(h.subs, sub)
+	return sub
+}
+
+// Unsubscribe detaches a consumer and closes its channel. Safe to call
+// after the hub already dropped the subscriber.
+func (h *Hub) Unsubscribe(sub *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.removeLocked(sub)
+}
+
+// removeLocked detaches sub if still attached, closing its channel
+// exactly once (only the remover closes; both drop paths hold mu).
+func (h *Hub) removeLocked(sub *Subscriber) {
+	for i, s := range h.subs {
+		if s == sub {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			close(sub.c)
+			return
+		}
+	}
+}
+
+// Subscribers reports the live subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// loop receives store notifications and broadcasts them.
+func (h *Hub) loop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.done:
+			return
+		case n := <-h.notif:
+			h.broadcast(n)
+		}
+	}
+}
+
+// broadcast delivers one event to every subscriber, dropping those
+// whose buffers are full. It holds mu for the (non-blocking) sends, so
+// Subscribe/Unsubscribe order cleanly against the event stream.
+func (h *Hub) broadcast(n store.Notification) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	ev := Event{Key: n.Key, Version: n.Version, Seq: h.seq}
+	live := h.subs[:0]
+	for _, sub := range h.subs {
+		select {
+		case sub.c <- ev:
+			h.sent.Inc()
+			live = append(live, sub)
+		default:
+			// Fell behind: drop the consumer, never the publisher.
+			close(sub.c)
+			h.droppedC.Inc()
+		}
+	}
+	// Clear the tail so dropped subscribers are collectable.
+	for i := len(live); i < len(h.subs); i++ {
+		h.subs[i] = nil
+	}
+	h.subs = live
+}
+
+// Close detaches from the store, stops the broadcast loop and closes
+// every subscriber channel. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+
+	h.st.Unsubscribe(h.notif)
+	close(h.done)
+	h.wg.Wait()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, sub := range h.subs {
+		close(sub.c)
+	}
+	h.subs = nil
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/store"
+)
+
+func newTestHub(t *testing.T, buffer int) (*Hub, *store.Store, *obs.Registry) {
+	t.Helper()
+	st := store.New()
+	reg := obs.NewRegistry()
+	h := NewHub(st, buffer, reg)
+	t.Cleanup(h.Close)
+	return h, st, reg
+}
+
+func recvEvent(t *testing.T, sub *Subscriber) (Event, bool) {
+	t.Helper()
+	select {
+	case ev, ok := <-sub.C:
+		return ev, ok
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for event")
+		return Event{}, false
+	}
+}
+
+// TestFanoutDeliversToAll: one store publish reaches every subscriber.
+func TestFanoutDeliversToAll(t *testing.T) {
+	h, st, _ := newTestHub(t, 8)
+	const n = 10
+	subs := make([]*Subscriber, n)
+	for i := range subs {
+		subs[i] = h.Subscribe()
+	}
+
+	if _, err := st.Put("model/lifetime", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range subs {
+		ev, ok := recvEvent(t, sub)
+		if !ok {
+			t.Fatalf("subscriber %d dropped", i)
+		}
+		if ev.Key != "model/lifetime" || ev.Version != 1 || ev.Seq == 0 {
+			t.Errorf("subscriber %d event = %+v", i, ev)
+		}
+	}
+}
+
+// TestFanoutDropsSlowConsumer: a subscriber that stops reading is
+// dropped (channel closed) and the publisher never blocks.
+func TestFanoutDropsSlowConsumer(t *testing.T) {
+	h, st, _ := newTestHub(t, 1)
+	slow := h.Subscribe()
+	fast := h.Subscribe()
+
+	// Publish more than the slow subscriber's buffer without reading it.
+	// Put must return promptly every time (drop the consumer, never
+	// block the publisher).
+	for i := 0; i < 3; i++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := st.Put("model/lifetime", []byte{byte(i)}); err != nil {
+				t.Error(err)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("publish blocked on a slow subscriber")
+		}
+		// The fast consumer keeps reading, so only the slow one lags.
+		if _, ok := recvEvent(t, fast); !ok {
+			t.Fatal("fast subscriber dropped")
+		}
+	}
+
+	// The slow subscriber eventually sees: its one buffered event, then
+	// a closed channel.
+	deadline := time.Now().Add(5 * time.Second)
+	closed := false
+	for !closed {
+		select {
+		case _, ok := <-slow.C:
+			closed = !ok
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("slow subscriber never dropped")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if h.Subscribers() != 1 {
+		t.Errorf("subscribers = %d, want 1 (slow one removed)", h.Subscribers())
+	}
+}
+
+// TestFanoutSequenceIncreases: events carry increasing sequence numbers
+// so reconnecting clients can detect gaps.
+func TestFanoutSequenceIncreases(t *testing.T) {
+	h, st, _ := newTestHub(t, 16)
+	sub := h.Subscribe()
+	for i := 0; i < 3; i++ {
+		if _, err := st.Put("featuredata/all", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last uint64
+	for i := 0; i < 3; i++ {
+		ev, ok := recvEvent(t, sub)
+		if !ok {
+			t.Fatal("subscriber dropped")
+		}
+		if ev.Seq <= last {
+			t.Errorf("event %d: seq %d not increasing past %d", i, ev.Seq, last)
+		}
+		last = ev.Seq
+	}
+}
+
+// TestUnsubscribe: detaching closes the channel and stops delivery.
+func TestUnsubscribe(t *testing.T) {
+	h, st, _ := newTestHub(t, 4)
+	sub := h.Subscribe()
+	h.Unsubscribe(sub)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("unsubscribed channel still open")
+	}
+	if _, err := st.Put("model/lifetime", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	h.Unsubscribe(sub) // double-unsubscribe is a no-op
+}
+
+// TestHubCloseClosesSubscribers: Close ends every subscriber stream and
+// is idempotent; Subscribe afterwards yields an already-closed channel.
+func TestHubCloseClosesSubscribers(t *testing.T) {
+	st := store.New()
+	h := NewHub(st, 4, obs.NewRegistry())
+	sub := h.Subscribe()
+	h.Close()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("subscriber channel open after hub close")
+	}
+	h.Close()
+	if _, ok := <-h.Subscribe().C; ok {
+		t.Fatal("post-close Subscribe returned a live channel")
+	}
+}
+
+// TestFanoutConcurrentChurn: subscribes, reads and publishes racing —
+// exercised for the -race suite; nothing must deadlock or panic.
+func TestFanoutConcurrentChurn(t *testing.T) {
+	h, st, _ := newTestHub(t, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				sub := h.Subscribe()
+				select {
+				case <-sub.C:
+				case <-time.After(time.Millisecond):
+				}
+				h.Unsubscribe(sub)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			if _, err := st.Put("model/lifetime", []byte{byte(j)}); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,283 @@
+// Package serve is the fleet-scale prediction serving tier: the layer
+// between the HTTP surface (cmd/rcserve) and the Resource Central client
+// library (internal/core). The paper's RC instance answers prediction
+// requests from every fabric controller in an Azure datacenter
+// (Section 4.2); at that rate the server cannot afford one upstream model
+// execution per arriving request, cannot queue unboundedly under
+// overload, and cannot let each client poll the store for model-version
+// changes. The tier therefore composes four mechanisms:
+//
+//   - Request coalescing (coalesce.go): concurrent identical lookups —
+//     same model, same client inputs, keyed by core.Key — collapse onto
+//     one in-flight upstream call. N callers, one prediction.
+//   - Server-side batching (batch.go): distinct in-flight lookups that
+//     arrive within a small window (Config.MaxDelay, capped at
+//     Config.MaxBatch) are aggregated into a single PredictMany call,
+//     which amortizes lock traffic and featurization scratch across the
+//     batch exactly as the client library's batch path was built for.
+//   - Admission control (this file): a bounded in-flight budget
+//     (Config.MaxInFlight). Over budget the tier degrades gracefully —
+//     it answers immediately with the paper's no-prediction flag
+//     (Section 4.2: callers must always handle a no-prediction) instead
+//     of queueing, so overload raises the shed rate, not the tail
+//     latency. Shed and degraded counts are exported via obs.
+//   - Push invalidation fan-out (fanout.go): a Hub broadcasts store
+//     publish notifications (new model versions) to many subscribed
+//     clients, the paper's push cache mode at serving scale.
+//
+// The tier is deliberately model-agnostic: its upstream is the
+// core.BatchPredictor hook, so tests drive it with counting fakes and
+// cmd/rcserve drives it with a *core.Client.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
+)
+
+// ReasonShed is the Prediction.Reason of responses degraded by admission
+// control. Callers treat it like any other no-prediction (the scheduler
+// assumes 100% utilization); load generators use it to split shed
+// responses from model-level no-predictions.
+const ReasonShed = "shed: serving tier over capacity"
+
+// DegradedHeader is the HTTP response header rcserve sets on responses
+// the tier degraded (value: "shed"). It lets thin clients detect
+// degradation without parsing the body.
+const DegradedHeader = "X-RC-Degraded"
+
+// ErrClosed is returned by Predict and PredictBatch after Close.
+var ErrClosed = errors.New("serve: tier closed")
+
+// Config configures a Tier.
+type Config struct {
+	// Upstream executes the aggregated predictions. Required; cmd/rcserve
+	// passes the *core.Client.
+	Upstream core.BatchPredictor
+	// MaxBatch bounds the distinct lookups aggregated into one upstream
+	// PredictMany call (0 = 64). A full group flushes immediately.
+	MaxBatch int
+	// MaxDelay is the batch aggregation window: the longest a lookup
+	// waits for companions before its group flushes (0 = 500µs).
+	MaxDelay time.Duration
+	// MaxInFlight is the admission budget: requests admitted and not yet
+	// answered, across Predict and PredictBatch items (0 = 4096). Beyond
+	// it, requests are shed with ReasonShed.
+	MaxInFlight int
+	// QueueCap bounds the batcher's input queue (0 = MaxInFlight). A
+	// full queue sheds like an exhausted admission budget.
+	QueueCap int
+	// Obs receives the tier's metrics; nil disables recording.
+	Obs *obs.Registry
+}
+
+// Result is the tier's answer to one prediction request.
+type Result struct {
+	core.Prediction
+	// Degraded marks responses produced without consulting the model:
+	// admission control shed the request and answered with the
+	// no-prediction flag.
+	Degraded bool
+	// Coalesced marks responses served by another concurrent identical
+	// request's upstream call.
+	Coalesced bool
+}
+
+// Tier is the serving tier. It is safe for concurrent use; create with
+// New and release with Close.
+type Tier struct {
+	cfg Config
+	obs *tierMetrics
+
+	co coalescer
+
+	// in feeds the batcher goroutine; each element is one coalesced
+	// leader call awaiting aggregation.
+	in chan *call
+
+	inflight atomic.Int64
+
+	done   chan struct{}
+	closed atomic.Bool
+	// wg joins every goroutine the tier starts: the batcher loop and the
+	// per-batch upstream completion goroutines.
+	wg sync.WaitGroup
+}
+
+// New creates a serving tier over cfg.Upstream and starts its batcher.
+func New(cfg Config) (*Tier, error) {
+	if cfg.Upstream == nil {
+		return nil, errors.New("serve: Config.Upstream is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 500 * time.Microsecond
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = cfg.MaxInFlight
+	}
+	t := &Tier{
+		cfg:  cfg,
+		obs:  newTierMetrics(cfg.Obs),
+		co:   newCoalescer(),
+		in:   make(chan *call, cfg.QueueCap),
+		done: make(chan struct{}),
+	}
+	t.obs.registerInflight(&t.inflight)
+	t.wg.Add(1)
+	go t.batchLoop()
+	return t, nil
+}
+
+// Close stops the batcher and its in-flight upstream calls' completion
+// goroutines. Requests still waiting are answered with ErrClosed. Close
+// is idempotent.
+func (t *Tier) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(t.done)
+	t.wg.Wait()
+}
+
+// Predict answers one prediction request through admission control, the
+// coalescer and the batcher. ctx cancellation abandons the wait (the
+// upstream call still completes and serves any coalesced companions).
+// Degraded results report the shed, not an error.
+func (t *Tier) Predict(ctx context.Context, modelName string, in *model.ClientInputs) (Result, error) {
+	if in == nil {
+		return Result{}, errors.New("serve: nil client inputs")
+	}
+	n := t.inflight.Add(1)
+	defer t.inflight.Add(-1)
+	if n > int64(t.cfg.MaxInFlight) {
+		return t.shed(shedAdmission), nil
+	}
+	c, leader := t.join(modelName, in)
+	if leader && !t.enqueue(c) {
+		return t.shed(shedQueue), nil
+	}
+	return t.await(ctx, c, leader)
+}
+
+// PredictBatch answers a batch of requests (the POST /predict path).
+// Each input is admitted individually against the shared budget and
+// routed through the same coalescer and batcher as single lookups, so
+// identical inputs — within the batch or across concurrent requests —
+// still cost one upstream prediction. Entry i corresponds to ins[i].
+func (t *Tier) PredictBatch(ctx context.Context, modelName string, ins []*model.ClientInputs) ([]Result, error) {
+	for _, in := range ins {
+		if in == nil {
+			return nil, errors.New("serve: nil client inputs in batch")
+		}
+	}
+	n := t.inflight.Add(int64(len(ins)))
+	defer t.inflight.Add(int64(-len(ins)))
+
+	out := make([]Result, len(ins))
+	calls := make([]*call, len(ins))
+	leaders := make([]bool, len(ins))
+
+	// Issue pass: admit and enqueue every input before waiting on any,
+	// so the whole batch shares one aggregation window instead of
+	// serializing window after window.
+	admitted := int64(t.cfg.MaxInFlight) - (n - int64(len(ins)))
+	for i, in := range ins {
+		if int64(i) >= admitted {
+			out[i] = t.shed(shedAdmission)
+			continue
+		}
+		c, leader := t.join(modelName, in)
+		if leader && !t.enqueue(c) {
+			out[i] = t.shed(shedQueue)
+			continue
+		}
+		calls[i], leaders[i] = c, leader
+	}
+
+	// Wait pass.
+	for i, c := range calls {
+		if c == nil {
+			continue // shed above
+		}
+		r, err := t.await(ctx, c, leaders[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// join registers the request with the coalescer, becoming the leader for
+// its key or a follower of an identical in-flight request.
+func (t *Tier) join(modelName string, in *model.ClientInputs) (*call, bool) {
+	c, leader := t.co.join(requestKey(modelName, in), modelName, in)
+	if leader {
+		t.obs.coalesceLeaders.Inc()
+	} else {
+		t.obs.coalesceFollowers.Inc()
+	}
+	return c, leader
+}
+
+// enqueue hands a leader call to the batcher. A full queue fails the
+// call for every joined waiter (sheds) and reports false.
+func (t *Tier) enqueue(c *call) bool {
+	c.enqueued = time.Now()
+	select {
+	case t.in <- c:
+		return true
+	default:
+		// The batcher is saturated beyond its queue: complete the call
+		// as shed so followers that already joined degrade too, and
+		// clear the key so later arrivals get a fresh attempt.
+		t.co.remove(c.key)
+		c.pred = core.Prediction{OK: false, Reason: ReasonShed}
+		c.degraded = true
+		close(c.done)
+		return false
+	}
+}
+
+// await blocks until the call completes, the caller's ctx is canceled,
+// or the tier closes.
+func (t *Tier) await(ctx context.Context, c *call, leader bool) (Result, error) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return Result{}, c.err
+		}
+		if c.degraded {
+			t.obs.degraded.Inc()
+			return Result{Prediction: c.pred, Degraded: true}, nil
+		}
+		return Result{Prediction: c.pred, Coalesced: !leader}, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-t.done:
+		return Result{}, ErrClosed
+	}
+}
+
+// shed produces the degraded no-prediction response and counts it.
+func (t *Tier) shed(reason string) Result {
+	t.obs.shedFor(reason).Inc()
+	t.obs.degraded.Inc()
+	return Result{
+		Prediction: core.Prediction{OK: false, Reason: ReasonShed},
+		Degraded:   true,
+	}
+}

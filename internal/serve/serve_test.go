@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"resourcecentral/internal/core"
+	"resourcecentral/internal/model"
+	"resourcecentral/internal/obs"
+)
+
+// fakeUpstream is a counting core.BatchPredictor. When gate is non-nil,
+// PredictMany blocks until the gate closes, so tests can hold flights
+// in-flight while more requests join them.
+type fakeUpstream struct {
+	gate chan struct{}
+	err  error
+
+	mu         sync.Mutex
+	calls      int
+	inputs     int
+	batchSizes []int
+}
+
+func (f *fakeUpstream) PredictMany(modelName string, ins []*model.ClientInputs) ([]core.Prediction, error) {
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.calls++
+	f.inputs += len(ins)
+	f.batchSizes = append(f.batchSizes, len(ins))
+	f.mu.Unlock()
+	if f.err != nil {
+		return nil, f.err
+	}
+	out := make([]core.Prediction, len(ins))
+	for i, in := range ins {
+		out[i] = core.Prediction{OK: true, Bucket: len(in.Subscription), Score: 0.5}
+	}
+	return out, nil
+}
+
+func (f *fakeUpstream) stats() (calls, inputs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.inputs
+}
+
+func testInput(sub string) *model.ClientInputs {
+	return &model.ClientInputs{
+		Subscription: sub, VMType: "IaaS", Role: "IaaS", OS: "linux",
+		Party: "third", Cores: 2, MemoryGB: 3.5, RequestedVMs: 1,
+	}
+}
+
+func newTestTier(t *testing.T, cfg Config) (*Tier, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	tier, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tier.Close)
+	return tier, reg
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestCoalesceIdenticalLookups is the tentpole invariant: N concurrent
+// identical lookups cost exactly one upstream prediction.
+func TestCoalesceIdenticalLookups(t *testing.T) {
+	const n = 64
+	up := &fakeUpstream{gate: make(chan struct{})}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: 128, MaxDelay: time.Millisecond})
+
+	in := testInput("sub-1")
+	var wg sync.WaitGroup
+	results := make([]Result, n)
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = tier.Predict(context.Background(), "lifetime", in)
+		}(i)
+	}
+
+	// Hold the flight open until every request has joined it, then let
+	// the single upstream call answer all of them.
+	waitFor(t, "all requests joined", func() bool {
+		return tier.obs.coalesceLeaders.Value()+tier.obs.coalesceFollowers.Value() == n
+	})
+	close(up.gate)
+	wg.Wait()
+
+	calls, inputs := up.stats()
+	if calls != 1 || inputs != 1 {
+		t.Fatalf("upstream saw %d calls / %d inputs, want 1/1", calls, inputs)
+	}
+	leaders := 0
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !results[i].OK || results[i].Degraded {
+			t.Fatalf("request %d: got %+v, want OK non-degraded", i, results[i])
+		}
+		if !results[i].Coalesced {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders = %d, want 1", leaders)
+	}
+	if f := tier.obs.coalesceFollowers.Value(); f != n-1 {
+		t.Errorf("follower counter = %d, want %d", f, n-1)
+	}
+	if tier.co.size() != 0 {
+		t.Errorf("coalescer still tracks %d keys after completion", tier.co.size())
+	}
+}
+
+// TestBatchWindowAggregates: distinct lookups inside one MaxDelay window
+// land in a single upstream PredictMany.
+func TestBatchWindowAggregates(t *testing.T) {
+	const n = 8
+	up := &fakeUpstream{}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: 64, MaxDelay: 50 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			r, err := tier.Predict(context.Background(), "lifetime", testInput("sub-"+string(rune('a'+i))))
+			if err != nil || !r.OK {
+				t.Errorf("request %d: r=%+v err=%v", i, r, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	calls, inputs := up.stats()
+	if inputs != n {
+		t.Fatalf("upstream inputs = %d, want %d (distinct lookups must all execute)", inputs, n)
+	}
+	if calls != 1 {
+		t.Errorf("upstream calls = %d, want 1 (one aggregated batch)", calls)
+	}
+}
+
+// TestBatchMaxBatchFlushesEarly: a full group flushes immediately, long
+// before the (deliberately huge) window expires.
+func TestBatchMaxBatchFlushesEarly(t *testing.T) {
+	const n = 4
+	up := &fakeUpstream{}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: n, MaxDelay: time.Hour})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if _, err := tier.Predict(context.Background(), "lifetime", testInput("s"+string(rune('0'+i)))); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("full batch took %v; max-batch flush did not bypass the window", elapsed)
+	}
+	if calls, inputs := up.stats(); calls != 1 || inputs != n {
+		t.Errorf("upstream calls/inputs = %d/%d, want 1/%d", calls, inputs, n)
+	}
+}
+
+// TestBatchRespectsMaxBatch: more distinct lookups than MaxBatch split
+// into several upstream calls, none exceeding the cap.
+func TestBatchRespectsMaxBatch(t *testing.T) {
+	const n, maxBatch = 10, 3
+	up := &fakeUpstream{}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: maxBatch, MaxDelay: 20 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if _, err := tier.Predict(context.Background(), "lifetime", testInput("q"+string(rune('0'+i)))); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if up.inputs != n {
+		t.Fatalf("upstream inputs = %d, want %d", up.inputs, n)
+	}
+	for _, size := range up.batchSizes {
+		if size > maxBatch {
+			t.Errorf("batch of %d exceeds MaxBatch %d", size, maxBatch)
+		}
+	}
+}
+
+// TestAdmissionSheds: beyond the in-flight budget the tier answers
+// immediately with the degraded no-prediction flag instead of queueing.
+func TestAdmissionSheds(t *testing.T) {
+	up := &fakeUpstream{gate: make(chan struct{})}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxInFlight: 2, MaxBatch: 1, MaxDelay: time.Millisecond})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if r, err := tier.Predict(context.Background(), "lifetime", testInput("h"+string(rune('0'+i)))); err != nil || !r.OK {
+				t.Errorf("held request %d: r=%+v err=%v", i, r, err)
+			}
+		}(i)
+	}
+	waitFor(t, "both requests in flight", func() bool { return tier.inflight.Load() == 2 })
+
+	r, err := tier.Predict(context.Background(), "lifetime", testInput("h9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded || r.OK || r.Reason != ReasonShed {
+		t.Fatalf("over-budget request = %+v, want degraded no-prediction with ReasonShed", r)
+	}
+	if v := tier.obs.shedFor(shedAdmission).Value(); v != 1 {
+		t.Errorf("shed counter = %d, want 1", v)
+	}
+	if v := tier.obs.degraded.Value(); v != 1 {
+		t.Errorf("degraded counter = %d, want 1", v)
+	}
+
+	close(up.gate)
+	wg.Wait()
+}
+
+// TestPredictBatch: the batch entry point answers every input, coalesces
+// duplicates inside the batch, and sheds the tail past the budget.
+func TestPredictBatch(t *testing.T) {
+	up := &fakeUpstream{}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: 64, MaxDelay: 5 * time.Millisecond})
+
+	ins := []*model.ClientInputs{
+		testInput("b1"), testInput("b2"), testInput("b1"), // b1 repeats
+	}
+	out, err := tier.PredictBatch(context.Background(), "lifetime", ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	for i, r := range out {
+		if !r.OK || r.Degraded {
+			t.Errorf("result %d = %+v, want OK", i, r)
+		}
+	}
+	if out[0].Bucket != out[2].Bucket || out[0].Score != out[2].Score {
+		t.Errorf("duplicate inputs disagree: %+v vs %+v", out[0], out[2])
+	}
+	if !out[2].Coalesced {
+		t.Errorf("repeated input not marked coalesced: %+v", out[2])
+	}
+	if calls, inputs := up.stats(); calls != 1 || inputs != 2 {
+		t.Errorf("upstream calls/inputs = %d/%d, want 1/2 (in-batch dedup)", calls, inputs)
+	}
+}
+
+func TestPredictBatchShedsPastBudget(t *testing.T) {
+	up := &fakeUpstream{}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxInFlight: 2, MaxBatch: 8, MaxDelay: time.Millisecond})
+
+	ins := []*model.ClientInputs{testInput("c1"), testInput("c2"), testInput("c3"), testInput("c4")}
+	out, err := tier.PredictBatch(context.Background(), "lifetime", ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted, shed := 0, 0
+	for _, r := range out {
+		if r.Degraded {
+			shed++
+			if r.Reason != ReasonShed {
+				t.Errorf("shed reason = %q, want %q", r.Reason, ReasonShed)
+			}
+		} else if r.OK {
+			admitted++
+		}
+	}
+	if admitted != 2 || shed != 2 {
+		t.Errorf("admitted/shed = %d/%d, want 2/2", admitted, shed)
+	}
+}
+
+// TestContextCancelAbandonsWait: a canceled caller stops waiting but the
+// flight completes for everyone else.
+func TestContextCancelAbandonsWait(t *testing.T) {
+	up := &fakeUpstream{gate: make(chan struct{})}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: 1, MaxDelay: time.Millisecond})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tier.Predict(ctx, "lifetime", testInput("z1"))
+		errCh <- err
+	}()
+	waitFor(t, "request in flight", func() bool { return tier.obs.coalesceLeaders.Value() == 1 })
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled request did not return")
+	}
+	close(up.gate) // let the in-flight batch goroutine finish for Close
+}
+
+// TestCloseFailsPendingWaiters: Close answers pending requests with
+// ErrClosed instead of leaving them blocked.
+func TestCloseFailsPendingWaiters(t *testing.T) {
+	up := &fakeUpstream{}
+	reg := obs.NewRegistry()
+	tier, err := New(Config{Upstream: up, MaxBatch: 64, MaxDelay: time.Hour, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tier.Predict(context.Background(), "lifetime", testInput("p1"))
+		errCh <- err
+	}()
+	waitFor(t, "request pending in batcher", func() bool { return tier.obs.coalesceLeaders.Value() == 1 })
+	tier.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending request did not return after Close")
+	}
+	tier.Close() // idempotent
+}
+
+// TestUpstreamErrorPropagates: a failed aggregated call errors every
+// member request.
+func TestUpstreamErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	up := &fakeUpstream{err: boom}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: 1, MaxDelay: time.Millisecond})
+
+	if _, err := tier.Predict(context.Background(), "lifetime", testInput("e1")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want upstream error", err)
+	}
+	if tier.co.size() != 0 {
+		t.Errorf("failed flight leaked a coalescer key")
+	}
+}
+
+// TestNoPredictionPassesThrough: a model-level no-prediction is relayed
+// verbatim, not marked degraded — degradation is the tier's own signal.
+func TestNoPredictionPassesThrough(t *testing.T) {
+	up := &noPredictUpstream{}
+	tier, _ := newTestTier(t, Config{Upstream: up, MaxBatch: 1, MaxDelay: time.Millisecond})
+	r, err := tier.Predict(context.Background(), "lifetime", testInput("n1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK || r.Degraded || r.Reason != "model lifetime not available" {
+		t.Fatalf("r = %+v, want pass-through no-prediction", r)
+	}
+}
+
+type noPredictUpstream struct{}
+
+func (noPredictUpstream) PredictMany(modelName string, ins []*model.ClientInputs) ([]core.Prediction, error) {
+	out := make([]core.Prediction, len(ins))
+	for i := range out {
+		out[i] = core.Prediction{OK: false, Reason: "model " + modelName + " not available"}
+	}
+	return out, nil
+}
+
+// BenchmarkServeCoalesce measures the tentpole claim: 64 concurrent
+// identical lookups per round, reporting how many upstream predictions
+// each round actually cost (~1, vs 64 uncoalesced).
+func BenchmarkServeCoalesce(b *testing.B) {
+	up := &fakeUpstream{}
+	tier, err := New(Config{Upstream: up, MaxBatch: 128, MaxDelay: 200 * time.Microsecond, MaxInFlight: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tier.Close()
+	in := testInput("bench-sub")
+	ctx := context.Background()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(64)
+		for g := 0; g < 64; g++ {
+			go func() {
+				defer wg.Done()
+				_, _ = tier.Predict(ctx, "lifetime", in)
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	_, inputs := up.stats()
+	b.ReportMetric(float64(inputs)/float64(b.N), "upstream_preds/64req")
+}

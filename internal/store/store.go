@@ -261,6 +261,21 @@ func (s *Store) Subscribe(ch chan<- Notification) {
 	s.subs = append(s.subs, ch)
 }
 
+// Unsubscribe removes a previously registered push channel. A Put that
+// snapshotted the subscriber list concurrently may deliver one final
+// notification, so callers should drain rather than close ch (sends are
+// non-blocking either way). Unknown channels are a no-op.
+func (s *Store) Unsubscribe(ch chan<- Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, sub := range s.subs {
+		if sub == ch {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			return
+		}
+	}
+}
+
 // SetAvailable toggles availability as seen by Get.
 func (s *Store) SetAvailable(up bool) {
 	s.mu.Lock()

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# bench_serve.sh — measured load story for the serving tier.
+#
+# Builds rcserve and rcload, starts rcserve on a loopback port with
+# periodic republish (so push invalidation fan-out is live), drives it
+# open-loop with rcload, and leaves the report in BENCH_serve.json.
+# Both sides get the same trace flags, so the request population matches
+# the feature data the server trained on.
+#
+# Knobs (env, with CI-sized defaults overridable for real runs):
+#   SERVE_ADDR SERVE_DAYS SERVE_VMS SERVE_SEED SERVE_REPUBLISH
+#   LOAD_RATE LOAD_DURATION LOAD_WORKERS LOAD_SUBSCRIBERS LOAD_OUT
+set -eu
+
+SERVE_ADDR=${SERVE_ADDR:-127.0.0.1:8237}
+SERVE_DAYS=${SERVE_DAYS:-10}
+SERVE_VMS=${SERVE_VMS:-4000}
+SERVE_SEED=${SERVE_SEED:-1}
+SERVE_REPUBLISH=${SERVE_REPUBLISH:-2s}
+LOAD_RATE=${LOAD_RATE:-2000}
+LOAD_DURATION=${LOAD_DURATION:-10s}
+LOAD_WORKERS=${LOAD_WORKERS:-64}
+LOAD_SUBSCRIBERS=${LOAD_SUBSCRIBERS:-8}
+LOAD_OUT=${LOAD_OUT:-BENCH_serve.json}
+
+cd "$(dirname "$0")/.."
+mkdir -p bin
+go build -o bin/rcserve ./cmd/rcserve
+go build -o bin/rcload ./cmd/rcload
+
+bin/rcserve -addr "$SERVE_ADDR" -days "$SERVE_DAYS" -vms "$SERVE_VMS" \
+	-seed "$SERVE_SEED" -republish "$SERVE_REPUBLISH" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT INT TERM
+
+bin/rcload -addr "$SERVE_ADDR" -days "$SERVE_DAYS" -vms "$SERVE_VMS" \
+	-seed "$SERVE_SEED" -rate "$LOAD_RATE" -duration "$LOAD_DURATION" \
+	-workers "$LOAD_WORKERS" -subscribers "$LOAD_SUBSCRIBERS" \
+	-wait-ready 120s -out "$LOAD_OUT"
+
+# SIGTERM exercises the graceful-drain path instead of SIGKILL.
+kill "$SERVE_PID"
+wait "$SERVE_PID" || true
+trap - EXIT INT TERM
+echo "bench_serve: report in $LOAD_OUT"
