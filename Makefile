@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint bench-lint race bench bench-sim bench-serve bench-paper fmt
+.PHONY: check build test vet lint bench-lint race bench bench-sim bench-serve bench-trace bench-paper fmt
 
 # Tier-1 gate: everything CI (and reviewers) must see green.
 check: vet lint build test race
@@ -41,6 +41,7 @@ race:
 	$(GO) test -race ./internal/core ./internal/featuredata ./internal/store/... ./internal/obs/... \
 		./internal/sim ./internal/cluster ./internal/charz \
 		./internal/pipeline ./internal/health ./internal/serve \
+		./internal/trace \
 		./cmd/rcserve ./cmd/rcload
 
 # Performance benchmarks for the hot paths (README "Performance").
@@ -74,6 +75,16 @@ bench-serve:
 	LOAD_RATE="$(LOAD_RATE)" LOAD_DURATION="$(LOAD_DURATION)" \
 	LOAD_WORKERS="$(LOAD_WORKERS)" LOAD_SUBSCRIBERS="$(LOAD_SUBSCRIBERS)" \
 		./scripts/bench_serve.sh
+
+# Columnar trace substrate: CSV read/write baselines vs the binary
+# codec (build/encode/decode) and the row-vs-columnar characterization
+# pass. Sizes default to 100k and 500k VMs; override with e.g.
+# `make bench-trace TRACE_SIZES=100000`.
+TRACE_SIZES ?= 100000,500000
+bench-trace:
+	RC_TRACE_BENCH_SIZES="$(TRACE_SIZES)" $(GO) test -run '^$$' \
+		-bench 'BenchmarkReadCSV|BenchmarkWriteCSV|BenchmarkColumnsBuild|BenchmarkColumnsEncode|BenchmarkColumnsDecode|BenchmarkCharz' \
+		-benchmem -json ./internal/trace ./internal/charz > BENCH_trace.json
 
 # Regenerate the paper's evaluation numbers (Tables 4-6, Figs 9-11).
 bench-paper:

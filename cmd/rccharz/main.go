@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 
 	"resourcecentral/internal/charz"
 	"resourcecentral/internal/cli"
@@ -22,19 +23,22 @@ func main() {
 	src.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	tr, err := src.Load()
+	// The characterization runs columnar end-to-end: the trace is loaded
+	// (or decoded straight from the binary format) as columns and every
+	// figure walks chunks instead of row structs.
+	cols, err := src.LoadColumns()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trace: %d VMs over %d days\n\n", len(tr.VMs), tr.Horizon/(24*60))
+	fmt.Printf("trace: %d VMs over %d days\n\n", cols.Len(), cols.Horizon/(24*60))
 
-	vs, err := charz.ComputeVMStats(tr, nil)
+	vs, err := charz.ComputeVMStatsColumns(cols, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("== Figure 1: CPU utilization CDFs (percent -> cumulative fraction) ==")
-	pairs, err := charz.UtilizationCDFs(tr, vs)
+	pairs, err := charz.UtilizationCDFsColumns(cols, vs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,14 +55,14 @@ func main() {
 	}
 
 	fmt.Println("\n== Figure 2: virtual cores per VM ==")
-	cores := charz.CoreBuckets(tr)
+	cores := charz.CoreBucketsColumns(cols)
 	printBreakdown(cores)
 
 	fmt.Println("\n== Figure 3: memory per VM (GB) ==")
-	printBreakdown(charz.MemoryBuckets(tr))
+	printBreakdown(charz.MemoryBucketsColumns(cols))
 
 	fmt.Println("\n== Figure 4: max deployment size CDF (per subscription-region-day) ==")
-	deps, err := charz.DeploymentSizeCDF(tr)
+	deps, err := charz.DeploymentSizeCDFColumns(cols)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +75,7 @@ func main() {
 	}
 
 	fmt.Println("\n== Figure 5: VM lifetime CDF (minutes) ==")
-	lifetimes, err := charz.LifetimeCDF(tr, vs)
+	lifetimes, err := charz.LifetimeCDFColumns(cols, vs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,13 +88,13 @@ func main() {
 	}
 
 	fmt.Println("\n== Figure 6: core-hour share by workload class ==")
-	for _, s := range charz.WorkloadClassShares(tr, vs) {
+	for _, s := range charz.WorkloadClassSharesColumns(cols, vs) {
 		fmt.Printf("%-12s delay-insensitive:%.2f interactive:%.2f unknown:%.2f\n",
 			s.Group, s.DelayInsensitive, s.Interactive, s.Unknown)
 	}
 
 	fmt.Println("\n== Figure 7: arrivals (first week, hourly) ==")
-	arr, err := charz.ArrivalSeries(tr, "")
+	arr, err := charz.ArrivalSeriesColumns(cols, "")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +114,7 @@ func main() {
 
 	for _, g := range charz.Groups {
 		fmt.Printf("\n== Figure 8: Spearman correlations (%s) ==\n", g)
-		corr, err := charz.CorrelationsGroup(tr, vs, g)
+		corr, err := charz.CorrelationsGroupColumns(cols, vs, g)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -129,15 +133,20 @@ func main() {
 	}
 
 	fmt.Println("\n== Per-subscription consistency (Section 3) ==")
-	cons, err := charz.Consistency(tr, vs, 5)
+	cons, err := charz.ConsistencyColumns(cols, vs, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("subscriptions with >=%d VMs: %d\n", cons.MinVMs, cons.Subscriptions)
 	fmt.Printf("single-type subscriptions: %.0f%% (paper: 96%%)\n", 100*cons.SingleType)
 	fmt.Printf("single-class subscriptions: %.0f%% (paper: 76%%)\n", 100*cons.SingleClass)
-	for name, frac := range cons.CoVBelow1 {
-		fmt.Printf("CoV<1 for %-10s %.0f%%\n", name+":", 100*frac)
+	covNames := make([]string, 0, len(cons.CoVBelow1))
+	for name := range cons.CoVBelow1 {
+		covNames = append(covNames, name)
+	}
+	sort.Strings(covNames)
+	for _, name := range covNames {
+		fmt.Printf("CoV<1 for %-10s %.0f%%\n", name+":", 100*cons.CoVBelow1[name])
 	}
 	fmt.Printf(">1-day VMs' core-hour share: %.0f%% (paper: >95%%)\n", 100*cons.LongRunnerCoreHourShare)
 	fmt.Printf("classified (>=3d) VMs' core-hour share: %.0f%% (paper: 94%%)\n", 100*cons.ClassifiedCoreHourShare)

@@ -1,9 +1,11 @@
 // Command rcgen generates a synthetic Azure-like VM workload trace
-// (the Section 3 characterization substrate) and writes it as CSV.
+// (the Section 3 characterization substrate) and writes it as CSV or as
+// the compact columnar binary format.
 //
 // Usage:
 //
 //	rcgen -out trace.csv -days 90 -vms 50000 -seed 1
+//	rcgen -out trace.rctb -format bin -days 90 -vms 500000
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"resourcecentral/internal/synth"
 	"resourcecentral/internal/trace"
@@ -20,13 +23,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rcgen: ")
 
-	out := flag.String("out", "trace.csv", "output CSV path (- for stdout)")
+	out := flag.String("out", "trace.csv", "output path (- for stdout)")
+	format := flag.String("format", "auto", "output format: csv, bin, or auto (bin unless the path ends in .csv or is stdout)")
 	days := flag.Int("days", 90, "observation window in days")
 	vms := flag.Int("vms", 50000, "approximate VM count")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	regions := flag.Int("regions", 8, "number of regions")
 	firstParty := flag.Float64("first-party", 0.52, "first-party VM volume fraction")
 	flag.Parse()
+
+	binary := false
+	switch *format {
+	case "csv":
+	case "bin":
+		binary = true
+	case "auto":
+		binary = *out != "-" && !strings.HasSuffix(*out, ".csv")
+	default:
+		log.Fatalf("unknown -format %q (want csv, bin, or auto)", *format)
+	}
 
 	cfg := synth.DefaultConfig()
 	cfg.Days = *days
@@ -53,9 +68,18 @@ func main() {
 		}()
 		w = f
 	}
-	if err := trace.WriteCSV(w, res.Trace); err != nil {
+	if binary {
+		err = trace.WriteColumns(w, trace.FromTrace(res.Trace))
+	} else {
+		err = trace.WriteCSV(w, res.Trace)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "rcgen: wrote %d VMs over %d days (%d subscriptions) to %s\n",
-		len(res.Trace.VMs), *days, len(res.Subscriptions), *out)
+	fmtName := "csv"
+	if binary {
+		fmtName = "binary"
+	}
+	fmt.Fprintf(os.Stderr, "rcgen: wrote %d VMs over %d days (%d subscriptions) to %s (%s)\n",
+		len(res.Trace.VMs), *days, len(res.Subscriptions), *out, fmtName)
 }

@@ -34,16 +34,18 @@ func main() {
 	latency := flag.Bool("latency", false, "also run the Section 6.1 latency study")
 	flag.Parse()
 
-	tr, err := src.Load()
+	// Train over the columnar trace (binary files decode straight into
+	// it); the latency study below still walks rows.
+	cols, err := src.LoadColumns()
 	if err != nil {
 		log.Fatal(err)
 	}
-	cutoff := trace.Minutes(float64(tr.Horizon) * *cutoffFrac)
+	cutoff := trace.Minutes(float64(cols.Horizon) * *cutoffFrac)
 	fmt.Printf("trace: %d VMs over %d days; training on first %d days\n\n",
-		len(tr.VMs), tr.Horizon/(24*60), cutoff/(24*60))
+		cols.Len(), cols.Horizon/(24*60), cutoff/(24*60))
 
 	start := time.Now()
-	res, err := pipeline.Run(tr, pipeline.Config{
+	res, err := pipeline.RunColumns(cols, pipeline.Config{
 		TrainCutoff: cutoff,
 		Threshold:   *threshold,
 		ForestTrees: *trees,
@@ -60,7 +62,7 @@ func main() {
 	printTopFeatures(res)
 
 	if *latency {
-		runLatencyStudy(tr, res, cutoff)
+		runLatencyStudy(cols.ToTrace(), res, cutoff)
 	}
 }
 

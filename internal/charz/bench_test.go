@@ -1,0 +1,63 @@
+package charz
+
+import (
+	"sync"
+	"testing"
+
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+var (
+	benchOnce  sync.Once
+	benchTr    *trace.Trace
+	benchCols  *trace.Columns
+	benchGenEr error
+)
+
+func benchFixture(b *testing.B) (*trace.Trace, *trace.Columns) {
+	benchOnce.Do(func() {
+		cfg := synth.DefaultConfig()
+		cfg.Days = 33
+		cfg.TargetVMs = 8000
+		cfg.MaxDeploymentVMs = 250
+		cfg.Seed = 33
+		res, err := synth.Generate(cfg)
+		if err != nil {
+			benchGenEr = err
+			return
+		}
+		benchTr = res.Trace
+		benchCols = trace.FromTrace(benchTr)
+	})
+	if benchGenEr != nil {
+		b.Fatal(benchGenEr)
+	}
+	return benchTr, benchCols
+}
+
+// BenchmarkCharzRows is the row-path characterization baseline
+// BenchmarkCharzColumnar is measured against.
+func BenchmarkCharzRows(b *testing.B) {
+	tr, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeVMStats(tr, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharzColumnar measures the chunk-iterating statistics pass
+// over the columnar trace.
+func BenchmarkCharzColumnar(b *testing.B) {
+	_, cols := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeVMStatsColumns(cols, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

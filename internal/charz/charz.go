@@ -135,18 +135,22 @@ type CDFPair struct {
 
 // UtilizationCDFs computes Figure 1 for the three groups.
 func UtilizationCDFs(tr *trace.Trace, vs []VMStat) ([]CDFPair, error) {
-	if len(vs) != len(tr.VMs) {
-		return nil, fmt.Errorf("charz: %d stats for %d VMs", len(vs), len(tr.VMs))
+	return utilizationCDFs(rowSource(tr), vs)
+}
+
+func utilizationCDFs(src source, vs []VMStat) ([]CDFPair, error) {
+	if len(vs) != src.n {
+		return nil, fmt.Errorf("charz: %d stats for %d VMs", len(vs), src.n)
 	}
 	out := make([]CDFPair, 0, len(Groups))
 	for _, g := range Groups {
 		var avgs, p95s []float64
-		for i := range tr.VMs {
-			if g.match(&tr.VMs[i]) {
+		src.each(func(i int, v *trace.VM) {
+			if g.match(v) {
 				avgs = append(avgs, vs[i].AvgCPU)
 				p95s = append(p95s, vs[i].P95MaxCPU)
 			}
-		}
+		})
 		if len(avgs) == 0 {
 			continue
 		}
@@ -172,16 +176,19 @@ type Breakdown struct {
 
 // CoreBuckets computes Figure 2: virtual core counts per VM.
 func CoreBuckets(tr *trace.Trace) *Breakdown {
+	return coreBuckets(rowSource(tr))
+}
+
+func coreBuckets(src source) *Breakdown {
 	cats := []int{1, 2, 4, 8, 16}
 	labels := []string{"1", "2", "4", "8", ">=16"}
 	b := &Breakdown{Labels: labels, Share: make(map[Group][]float64)}
 	for _, g := range Groups {
 		counts := make([]float64, len(cats))
 		total := 0.0
-		for i := range tr.VMs {
-			v := &tr.VMs[i]
+		src.each(func(i int, v *trace.VM) {
 			if !g.match(v) {
-				continue
+				return
 			}
 			total++
 			idx := len(cats) - 1
@@ -192,7 +199,7 @@ func CoreBuckets(tr *trace.Trace) *Breakdown {
 				}
 			}
 			counts[idx]++
-		}
+		})
 		if total > 0 {
 			for k := range counts {
 				counts[k] /= total
@@ -205,16 +212,19 @@ func CoreBuckets(tr *trace.Trace) *Breakdown {
 
 // MemoryBuckets computes Figure 3: memory per VM in GBytes.
 func MemoryBuckets(tr *trace.Trace) *Breakdown {
+	return memoryBuckets(rowSource(tr))
+}
+
+func memoryBuckets(src source) *Breakdown {
 	bounds := []float64{0.75, 1.75, 3.5, 7, 14, 28}
 	labels := []string{"0.75", "1.75", "3.5", "7", "14", "28", ">28"}
 	b := &Breakdown{Labels: labels, Share: make(map[Group][]float64)}
 	for _, g := range Groups {
 		counts := make([]float64, len(bounds)+1)
 		total := 0.0
-		for i := range tr.VMs {
-			v := &tr.VMs[i]
+		src.each(func(i int, v *trace.VM) {
 			if !g.match(v) {
-				continue
+				return
 			}
 			total++
 			idx := len(bounds)
@@ -225,7 +235,7 @@ func MemoryBuckets(tr *trace.Trace) *Breakdown {
 				}
 			}
 			counts[idx]++
-		}
+		})
 		if total > 0 {
 			for k := range counts {
 				counts[k] /= total
@@ -246,6 +256,10 @@ type GroupCDF struct {
 // the set of VMs a subscription deploys to one region during one day, then
 // takes each deployment's maximum (final) size.
 func DeploymentSizeCDF(tr *trace.Trace) ([]GroupCDF, error) {
+	return deploymentSizeCDF(rowSource(tr))
+}
+
+func deploymentSizeCDF(src source) ([]GroupCDF, error) {
 	type key struct {
 		sub, region string
 		day         int64
@@ -255,8 +269,7 @@ func DeploymentSizeCDF(tr *trace.Trace) ([]GroupCDF, error) {
 		party trace.Party
 	}
 	groups := make(map[key]*agg)
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	src.each(func(i int, v *trace.VM) {
 		k := key{sub: v.Subscription, region: v.Region, day: int64(v.Created) / (24 * 60)}
 		a := groups[k]
 		if a == nil {
@@ -264,7 +277,7 @@ func DeploymentSizeCDF(tr *trace.Trace) ([]GroupCDF, error) {
 			groups[k] = a
 		}
 		a.count++
-	}
+	})
 	var out []GroupCDF
 	for _, g := range Groups {
 		var sizes []float64
@@ -296,14 +309,18 @@ func DeploymentSizeCDF(tr *trace.Trace) ([]GroupCDF, error) {
 
 // LifetimeCDF computes Figure 5 over VMs that completed in the window.
 func LifetimeCDF(tr *trace.Trace, vs []VMStat) ([]GroupCDF, error) {
+	return lifetimeCDF(rowSource(tr), vs)
+}
+
+func lifetimeCDF(src source, vs []VMStat) ([]GroupCDF, error) {
 	var out []GroupCDF
 	for _, g := range Groups {
 		var lifetimes []float64
-		for i := range tr.VMs {
-			if g.match(&tr.VMs[i]) && vs[i].Completed {
+		src.each(func(i int, v *trace.VM) {
+			if g.match(v) && vs[i].Completed {
 				lifetimes = append(lifetimes, vs[i].LifetimeMin)
 			}
-		}
+		})
 		if len(lifetimes) == 0 {
 			continue
 		}
@@ -327,14 +344,18 @@ type ClassShares struct {
 
 // WorkloadClassShares computes Figure 6.
 func WorkloadClassShares(tr *trace.Trace, vs []VMStat) []ClassShares {
+	return workloadClassShares(rowSource(tr), vs)
+}
+
+func workloadClassShares(src source, vs []VMStat) []ClassShares {
 	out := make([]ClassShares, 0, len(Groups))
 	for _, g := range Groups {
 		var s ClassShares
 		s.Group = g
 		total := 0.0
-		for i := range tr.VMs {
-			if !g.match(&tr.VMs[i]) {
-				continue
+		src.each(func(i int, v *trace.VM) {
+			if !g.match(v) {
+				return
 			}
 			ch := vs[i].CoreHours
 			total += ch
@@ -346,7 +367,7 @@ func WorkloadClassShares(tr *trace.Trace, vs []VMStat) []ClassShares {
 			default:
 				s.Unknown += ch
 			}
-		}
+		})
 		if total > 0 {
 			s.Interactive /= total
 			s.DelayInsensitive /= total
@@ -371,17 +392,20 @@ type ArrivalReport struct {
 
 // ArrivalSeries computes Figure 7 for one region ("" = whole platform).
 func ArrivalSeries(tr *trace.Trace, region string) (*ArrivalReport, error) {
-	hours := int(tr.Horizon / 60)
+	return arrivalSeries(rowSource(tr), region)
+}
+
+func arrivalSeries(src source, region string) (*ArrivalReport, error) {
+	hours := int(src.horizon / 60)
 	if hours == 0 {
 		return nil, errors.New("charz: horizon shorter than an hour")
 	}
 	rep := &ArrivalReport{Region: region, Hourly: make([]int, hours)}
 	seen := make(map[string]bool)
 	var arrivals []float64
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	src.each(func(i int, v *trace.VM) {
 		if region != "" && v.Region != region {
-			continue
+			return
 		}
 		if h := int(v.Created / 60); h < hours {
 			rep.Hourly[h]++
@@ -390,7 +414,7 @@ func ArrivalSeries(tr *trace.Trace, region string) (*ArrivalReport, error) {
 			seen[v.Deployment] = true
 			arrivals = append(arrivals, float64(v.Created))
 		}
-	}
+	})
 	gaps := make([]float64, 0, len(arrivals))
 	for i := 1; i < len(arrivals); i++ {
 		if d := arrivals[i] - arrivals[i-1]; d > 0 {
@@ -424,23 +448,25 @@ func Correlations(tr *trace.Trace, vs []VMStat) (*CorrelationMatrix, error) {
 // (the paper notes the correlations differ between first- and third-party
 // workloads).
 func CorrelationsGroup(tr *trace.Trace, vs []VMStat, g Group) (*CorrelationMatrix, error) {
+	return correlationsGroup(rowSource(tr), vs, g)
+}
+
+func correlationsGroup(src source, vs []VMStat, g Group) (*CorrelationMatrix, error) {
 	// Deployment sizes via the Figure 4 grouping.
 	type key struct {
 		sub, region string
 		day         int64
 	}
 	sizes := make(map[key]int)
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	src.each(func(i int, v *trace.VM) {
 		sizes[key{v.Subscription, v.Region, int64(v.Created) / (24 * 60)}]++
-	}
+	})
 
 	names := []string{"avg util", "p95 util", "cores", "memory", "lifetime", "deploy size", "class"}
 	cols := make([][]float64, len(names))
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	src.each(func(i int, v *trace.VM) {
 		if !g.match(v) || vs[i].Class == fftperiod.ClassUnknown {
-			continue
+			return
 		}
 		class := 1.0
 		if vs[i].Class == fftperiod.ClassInteractive {
@@ -453,8 +479,8 @@ func CorrelationsGroup(tr *trace.Trace, vs []VMStat, g Group) (*CorrelationMatri
 		life := vs[i].LifetimeMin
 		if !vs[i].Completed {
 			end := v.Deleted
-			if end > tr.Horizon {
-				end = tr.Horizon
+			if end > src.horizon {
+				end = src.horizon
 			}
 			life = float64(end - v.Created)
 		}
@@ -466,7 +492,7 @@ func CorrelationsGroup(tr *trace.Trace, vs []VMStat, g Group) (*CorrelationMatri
 		for c, x := range row {
 			cols[c] = append(cols[c], x)
 		}
-	}
+	})
 	if len(cols[0]) < 2 {
 		return nil, errors.New("charz: too few complete VMs for correlations")
 	}
@@ -511,6 +537,10 @@ type ConsistencyReport struct {
 // Consistency computes the per-subscription statistics quoted throughout
 // Section 3.
 func Consistency(tr *trace.Trace, vs []VMStat, minVMs int) (*ConsistencyReport, error) {
+	return consistency(rowSource(tr), vs, minVMs)
+}
+
+func consistency(src source, vs []VMStat, minVMs int) (*ConsistencyReport, error) {
 	if minVMs < 2 {
 		minVMs = 2
 	}
@@ -520,8 +550,7 @@ func Consistency(tr *trace.Trace, vs []VMStat, minVMs int) (*ConsistencyReport, 
 		classCounts                     [3]int
 	}
 	subs := make(map[string]*acc)
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	src.each(func(i int, v *trace.VM) {
 		a := subs[v.Subscription]
 		if a == nil {
 			a = &acc{types: make(map[trace.VMType]bool)}
@@ -536,7 +565,7 @@ func Consistency(tr *trace.Trace, vs []VMStat, minVMs int) (*ConsistencyReport, 
 		}
 		a.types[v.Type] = true
 		a.classCounts[int(vs[i].Class)]++
-	}
+	})
 
 	rep := &ConsistencyReport{
 		MinVMs:    minVMs,
@@ -593,13 +622,12 @@ func Consistency(tr *trace.Trace, vs []VMStat, minVMs int) (*ConsistencyReport, 
 	}
 
 	var longCH, classifiedCH, totalCH float64
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	src.each(func(i int, v *trace.VM) {
 		ch := vs[i].CoreHours
 		totalCH += ch
 		end := v.Deleted
-		if end > tr.Horizon {
-			end = tr.Horizon
+		if end > src.horizon {
+			end = src.horizon
 		}
 		if end-v.Created > 1440 {
 			longCH += ch
@@ -607,7 +635,7 @@ func Consistency(tr *trace.Trace, vs []VMStat, minVMs int) (*ConsistencyReport, 
 		if vs[i].Class != fftperiod.ClassUnknown {
 			classifiedCH += ch
 		}
-	}
+	})
 	if totalCH > 0 {
 		rep.LongRunnerCoreHourShare = longCH / totalCH
 		rep.ClassifiedCoreHourShare = classifiedCH / totalCH

@@ -1,0 +1,173 @@
+package charz
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"resourcecentral/internal/fftperiod"
+	"resourcecentral/internal/trace"
+)
+
+// The columnar entry points. Every figure function has one body,
+// written against source, and two wrappers; the row and columnar paths
+// therefore execute identical float operations in identical order, so
+// their outputs are bit-identical (proven by the equivalence tests).
+
+// source abstracts the two trace representations for the figure walks:
+// the window, the VM count, and an in-order iteration. each lends fn a
+// VM that is only valid during the call — the columnar side fills one
+// scratch struct per walk. Strings are interned instances and safe to
+// retain; anything else must be copied.
+type source struct {
+	horizon trace.Minutes
+	n       int
+	each    func(fn func(i int, v *trace.VM))
+}
+
+func rowSource(tr *trace.Trace) source {
+	return source{
+		horizon: tr.Horizon,
+		n:       len(tr.VMs),
+		each: func(fn func(i int, v *trace.VM)) {
+			for i := range tr.VMs {
+				fn(i, &tr.VMs[i])
+			}
+		},
+	}
+}
+
+func colSource(c *trace.Columns) source {
+	return source{
+		horizon: c.Horizon,
+		n:       c.Len(),
+		each: func(fn func(i int, v *trace.VM)) {
+			var v trace.VM
+			_ = c.ForEachChunk(func(base int, ch *trace.Chunk) error {
+				for j := 0; j < ch.Len(); j++ {
+					ch.VMAt(j, &v)
+					fn(base+j, &v)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// ComputeVMStatsColumns is ComputeVMStats over the columnar trace. The
+// walk reads the schedule and utilization-model columns directly — no
+// row structs — and shares the row path's summarize/core-hour kernels,
+// so the output is bit-identical to ComputeVMStats on the equivalent
+// row trace for any worker count.
+func ComputeVMStatsColumns(c *trace.Columns, det *fftperiod.Detector) ([]VMStat, error) {
+	return computeVMStatsColumns(c, det, runtime.GOMAXPROCS(0))
+}
+
+func computeVMStatsColumns(c *trace.Columns, det *fftperiod.Detector, workers int) ([]VMStat, error) {
+	if c.Len() == 0 {
+		return nil, errors.New("charz: empty trace")
+	}
+	if det == nil {
+		det = fftperiod.NewDetector()
+	}
+	out := make([]VMStat, c.Len())
+	if workers < 1 {
+		workers = 1
+	}
+	// Same chunked work-stealing as the row path: 64-VM claims over the
+	// global index space, far finer than the 8192-VM storage chunks, so
+	// long-lived VMs don't serialize a whole storage chunk on one worker.
+	const chunk = 64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var plan fftperiod.Plan
+			var um trace.UtilModel
+			var series, maxes []float64
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= c.Len() {
+					return
+				}
+				hi := lo + chunk
+				if hi > c.Len() {
+					hi = c.Len()
+				}
+				for i := lo; i < hi; i++ {
+					ch, base := c.ChunkAt(i / trace.ChunkSize)
+					off := i - base
+					created := trace.Minutes(ch.Created[off])
+					deleted := trace.Minutes(ch.Deleted[off])
+					ch.UtilAt(off, &um)
+					st := &out[i]
+					st.AvgCPU, st.P95MaxCPU, series, maxes =
+						trace.SummarizeModel(&um, created, deleted, c.Horizon, series, maxes)
+					if deleted != trace.NoEnd {
+						st.LifetimeMin = float64(deleted - created)
+						st.Completed = true
+					}
+					st.Class, _ = det.ClassifyWith(&plan, series)
+					st.CoreHours = trace.CoreHoursOf(int(ch.Cores[off]), created, deleted, c.Horizon)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// UtilizationCDFsColumns computes Figure 1 from the columnar trace.
+func UtilizationCDFsColumns(c *trace.Columns, vs []VMStat) ([]CDFPair, error) {
+	return utilizationCDFs(colSource(c), vs)
+}
+
+// CoreBucketsColumns computes Figure 2 from the columnar trace.
+func CoreBucketsColumns(c *trace.Columns) *Breakdown {
+	return coreBuckets(colSource(c))
+}
+
+// MemoryBucketsColumns computes Figure 3 from the columnar trace.
+func MemoryBucketsColumns(c *trace.Columns) *Breakdown {
+	return memoryBuckets(colSource(c))
+}
+
+// DeploymentSizeCDFColumns computes Figure 4 from the columnar trace.
+func DeploymentSizeCDFColumns(c *trace.Columns) ([]GroupCDF, error) {
+	return deploymentSizeCDF(colSource(c))
+}
+
+// LifetimeCDFColumns computes Figure 5 from the columnar trace.
+func LifetimeCDFColumns(c *trace.Columns, vs []VMStat) ([]GroupCDF, error) {
+	return lifetimeCDF(colSource(c), vs)
+}
+
+// WorkloadClassSharesColumns computes Figure 6 from the columnar trace.
+func WorkloadClassSharesColumns(c *trace.Columns, vs []VMStat) []ClassShares {
+	return workloadClassShares(colSource(c), vs)
+}
+
+// ArrivalSeriesColumns computes Figure 7 from the columnar trace.
+func ArrivalSeriesColumns(c *trace.Columns, region string) (*ArrivalReport, error) {
+	return arrivalSeries(colSource(c), region)
+}
+
+// CorrelationsColumns computes Figure 8 from the columnar trace.
+func CorrelationsColumns(c *trace.Columns, vs []VMStat) (*CorrelationMatrix, error) {
+	return correlationsGroup(colSource(c), vs, All)
+}
+
+// CorrelationsGroupColumns computes Figure 8 for one workload group from
+// the columnar trace.
+func CorrelationsGroupColumns(c *trace.Columns, vs []VMStat, g Group) (*CorrelationMatrix, error) {
+	return correlationsGroup(colSource(c), vs, g)
+}
+
+// ConsistencyColumns computes the Section 3 per-subscription statistics
+// from the columnar trace.
+func ConsistencyColumns(c *trace.Columns, vs []VMStat, minVMs int) (*ConsistencyReport, error) {
+	return consistency(colSource(c), vs, minVMs)
+}

@@ -1,0 +1,88 @@
+package charz
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"resourcecentral/internal/trace"
+)
+
+// TestColumnsStatsEquivalence proves the columnar statistics pass is
+// bit-identical to the row path: both share the SummarizeModel and
+// CoreHoursOf kernels, so every float is computed by the same
+// operations in the same order.
+func TestColumnsStatsEquivalence(t *testing.T) {
+	tr, want := fixture(t)
+	cols := trace.FromTrace(tr)
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := computeVMStatsColumns(cols, nil, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("len = %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("vm %d: %+v != %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestColumnsFiguresEquivalence proves every figure walk produces
+// deep-equal output from the two representations.
+func TestColumnsFiguresEquivalence(t *testing.T) {
+	tr, vs := fixture(t)
+	cols := trace.FromTrace(tr)
+
+	check := func(name string, row, col any, rowErr, colErr error) {
+		t.Helper()
+		if rowErr != nil || colErr != nil {
+			t.Fatalf("%s: errors row=%v col=%v", name, rowErr, colErr)
+		}
+		if !reflect.DeepEqual(row, col) {
+			t.Errorf("%s: columnar output diverges from row output", name)
+		}
+	}
+
+	rowCDF, err1 := UtilizationCDFs(tr, vs)
+	colCDF, err2 := UtilizationCDFsColumns(cols, vs)
+	check("UtilizationCDFs", rowCDF, colCDF, err1, err2)
+
+	check("CoreBuckets", CoreBuckets(tr), CoreBucketsColumns(cols), nil, nil)
+	check("MemoryBuckets", MemoryBuckets(tr), MemoryBucketsColumns(cols), nil, nil)
+
+	rowDep, err1 := DeploymentSizeCDF(tr)
+	colDep, err2 := DeploymentSizeCDFColumns(cols)
+	check("DeploymentSizeCDF", rowDep, colDep, err1, err2)
+
+	rowLife, err1 := LifetimeCDF(tr, vs)
+	colLife, err2 := LifetimeCDFColumns(cols, vs)
+	check("LifetimeCDF", rowLife, colLife, err1, err2)
+
+	check("WorkloadClassShares", WorkloadClassShares(tr, vs), WorkloadClassSharesColumns(cols, vs), nil, nil)
+
+	rowArr, err1 := ArrivalSeries(tr, "")
+	colArr, err2 := ArrivalSeriesColumns(cols, "")
+	check("ArrivalSeries", rowArr, colArr, err1, err2)
+
+	for _, g := range Groups {
+		rowCorr, err1 := CorrelationsGroup(tr, vs, g)
+		colCorr, err2 := CorrelationsGroupColumns(cols, vs, g)
+		check(fmt.Sprintf("Correlations/%s", g), rowCorr, colCorr, err1, err2)
+	}
+
+	rowCons, err1 := Consistency(tr, vs, 5)
+	colCons, err2 := ConsistencyColumns(cols, vs, 5)
+	check("Consistency", rowCons, colCons, err1, err2)
+}
+
+func TestComputeVMStatsColumnsEmpty(t *testing.T) {
+	if _, err := ComputeVMStatsColumns(trace.NewColumns(100), nil); err == nil {
+		t.Error("expected error on empty trace")
+	}
+}

@@ -1,11 +1,14 @@
 // Package cli carries the flag plumbing shared by the command-line tools:
-// every tool consumes a workload trace that either comes from a CSV file
-// (written by rcgen) or is synthesized on the fly.
+// every tool consumes a workload trace that either comes from a file
+// written by rcgen (CSV or the compact binary format, sniffed by magic
+// bytes) or is synthesized on the fly.
 package cli
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"resourcecentral/internal/synth"
@@ -22,26 +25,80 @@ type TraceSource struct {
 
 // RegisterFlags installs the shared flags on fs.
 func (s *TraceSource) RegisterFlags(fs *flag.FlagSet) {
-	fs.StringVar(&s.Path, "trace", "", "trace CSV produced by rcgen (empty = synthesize)")
+	fs.StringVar(&s.Path, "trace", "", "trace file produced by rcgen, CSV or binary (empty = synthesize)")
 	fs.IntVar(&s.Days, "days", 30, "synthetic trace length in days")
 	fs.IntVar(&s.VMs, "vms", 30000, "synthetic trace target VM count")
 	fs.Uint64Var(&s.Seed, "seed", 1, "synthetic trace seed")
 }
 
-// Load returns the trace from the file or the generator.
+// Load returns the row trace from the file or the generator.
 func (s *TraceSource) Load() (*trace.Trace, error) {
-	if s.Path != "" {
-		f, err := os.Open(s.Path)
-		if err != nil {
-			return nil, fmt.Errorf("open trace: %w", err)
-		}
-		defer f.Close()
-		tr, err := trace.ReadCSV(f)
-		if err != nil {
-			return nil, fmt.Errorf("parse trace %s: %w", s.Path, err)
-		}
-		return tr, nil
+	if s.Path == "" {
+		return s.synthesize()
 	}
+	var tr *trace.Trace
+	err := s.readFile(func(br *bufio.Reader, binary bool) error {
+		var err error
+		if binary {
+			var c *trace.Columns
+			if c, err = trace.ReadColumns(br); err == nil {
+				tr = c.ToTrace()
+			}
+			return err
+		}
+		tr, err = trace.ReadCSV(br)
+		return err
+	})
+	return tr, err
+}
+
+// LoadColumns returns the columnar trace from the file or the generator.
+// Binary traces decode straight into columns; CSV and synthetic traces
+// are converted after reading.
+func (s *TraceSource) LoadColumns() (*trace.Columns, error) {
+	if s.Path == "" {
+		tr, err := s.synthesize()
+		if err != nil {
+			return nil, err
+		}
+		return trace.FromTrace(tr), nil
+	}
+	var c *trace.Columns
+	err := s.readFile(func(br *bufio.Reader, binary bool) error {
+		var err error
+		if binary {
+			c, err = trace.ReadColumns(br)
+			return err
+		}
+		var tr *trace.Trace
+		if tr, err = trace.ReadCSV(br); err == nil {
+			c = trace.FromTrace(tr)
+		}
+		return err
+	})
+	return c, err
+}
+
+// readFile opens the trace file, sniffs its format off the first bytes,
+// and hands the buffered reader to parse.
+func (s *TraceSource) readFile(parse func(br *bufio.Reader, binary bool) error) error {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	prefix, err := br.Peek(len(trace.ColumnsMagic))
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("read trace %s: %w", s.Path, err)
+	}
+	if err := parse(br, string(prefix) == trace.ColumnsMagic); err != nil {
+		return fmt.Errorf("parse trace %s: %w", s.Path, err)
+	}
+	return nil
+}
+
+func (s *TraceSource) synthesize() (*trace.Trace, error) {
 	cfg := synth.DefaultConfig()
 	cfg.Days = s.Days
 	cfg.TargetVMs = s.VMs

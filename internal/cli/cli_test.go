@@ -63,6 +63,80 @@ func TestLoadFromFile(t *testing.T) {
 	}
 }
 
+// TestLoadSniffsBinary writes the same trace in both formats and checks
+// that Load and LoadColumns each accept either file, dispatching on the
+// magic bytes rather than the extension.
+func TestLoadSniffsBinary(t *testing.T) {
+	src := TraceSource{Days: 4, VMs: 300, Seed: 9}
+	orig, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	csvPath := filepath.Join(dir, "trace.anyext")
+	binPath := filepath.Join(dir, "trace.csv") // deliberately misleading name
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteColumns(f, trace.FromTrace(orig)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{csvPath, binPath} {
+		fileSrc := TraceSource{Path: path}
+		tr, err := fileSrc.Load()
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		if len(tr.VMs) != len(orig.VMs) || tr.Horizon != orig.Horizon {
+			t.Errorf("Load(%s): %d VMs horizon %d, want %d/%d",
+				path, len(tr.VMs), tr.Horizon, len(orig.VMs), orig.Horizon)
+		}
+		c, err := fileSrc.LoadColumns()
+		if err != nil {
+			t.Fatalf("LoadColumns(%s): %v", path, err)
+		}
+		if c.Len() != len(orig.VMs) || c.Horizon != orig.Horizon {
+			t.Errorf("LoadColumns(%s): %d VMs horizon %d, want %d/%d",
+				path, c.Len(), c.Horizon, len(orig.VMs), orig.Horizon)
+		}
+	}
+}
+
+func TestLoadColumnsSynthesizes(t *testing.T) {
+	src := TraceSource{Days: 5, VMs: 500, Seed: 3}
+	c, err := src.LoadColumns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Fatal("no VMs synthesized")
+	}
+	tr, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != len(tr.VMs) || c.Horizon != tr.Horizon {
+		t.Errorf("columns (%d, %d) != rows (%d, %d)",
+			c.Len(), c.Horizon, len(tr.VMs), tr.Horizon)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	if _, err := (&TraceSource{Path: "/nonexistent/trace.csv"}).Load(); err == nil {
 		t.Error("expected error for missing file")

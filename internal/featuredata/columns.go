@@ -1,0 +1,125 @@
+package featuredata
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"resourcecentral/internal/fftperiod"
+	"resourcecentral/internal/trace"
+)
+
+// BuildColumns is BuildColumnsParallel with GOMAXPROCS workers.
+func BuildColumns(c *trace.Columns, cutoff trace.Minutes, det *fftperiod.Detector) (map[string]*SubscriptionFeatures, error) {
+	return BuildColumnsParallel(c, cutoff, det, 0)
+}
+
+// colBuilder wraps the shared per-VM accumulation kernel with a scratch
+// VM filled from the columns; the strings it carries are interned
+// instances, so the fill allocates nothing.
+type colBuilder struct {
+	subBuilder
+	cols *trace.Columns
+	v    trace.VM
+}
+
+func (b *colBuilder) build(w *subWork) *SubscriptionFeatures {
+	f := &SubscriptionFeatures{Subscription: w.name}
+	for _, i := range w.vms {
+		b.cols.VMAt(i, &b.v)
+		b.subBuilder.addVM(f, &b.v)
+	}
+	return f
+}
+
+// BuildColumnsParallel is BuildParallel over the columnar trace. The
+// grouping pass reads the subscription/deployment/schedule columns
+// directly; the heavy pass runs the same addVM kernel over per-worker
+// scratch VMs with each subscription's VMs in trace order. The output
+// is byte-identical (same EncodeSet bytes) to the row build on the
+// equivalent trace, for any worker count.
+func BuildColumnsParallel(c *trace.Columns, cutoff trace.Minutes, det *fftperiod.Detector, workers int) (map[string]*SubscriptionFeatures, error) {
+	if cutoff <= 0 || cutoff > c.Horizon {
+		return nil, fmt.Errorf("featuredata: cutoff %d outside (0, %d]", cutoff, c.Horizon)
+	}
+	if det == nil {
+		det = fftperiod.NewDetector()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Pass 1 (serial, cheap): group global VM indices by subscription
+	// and aggregate deployments, in trace order, straight off the
+	// columns — no row structs.
+	deps := make(map[string]*depAgg)
+	subIdx := make(map[string]int)
+	var subs []*subWork
+	tab := c.Strings()
+	if err := c.ForEachChunk(func(base int, ch *trace.Chunk) error {
+		for j := 0; j < ch.Len(); j++ {
+			if trace.Minutes(ch.Created[j]) >= cutoff {
+				continue
+			}
+			sub := tab.StringAt(ch.Sub[j])
+			k, ok := subIdx[sub]
+			if !ok {
+				k = len(subs)
+				subIdx[sub] = k
+				subs = append(subs, &subWork{name: sub})
+			}
+			subs[k].vms = append(subs[k].vms, base+j)
+
+			dep := tab.StringAt(ch.Dep[j])
+			d := deps[dep]
+			if d == nil {
+				d = &depAgg{sub: sub}
+				deps[dep] = d
+			}
+			d.vms++
+			d.cores += int(ch.Cores[j])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Pass 2 (parallel): the per-VM heavy work, one subscription at a
+	// time per worker, each worker with its own scratch VM and detector
+	// state.
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	results := make([]*SubscriptionFeatures, len(subs))
+	if workers <= 1 {
+		b := &colBuilder{subBuilder: subBuilder{cutoff: cutoff, det: det}, cols: c}
+		for j, w := range subs {
+			results[j] = b.build(w)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := &colBuilder{subBuilder: subBuilder{cutoff: cutoff, det: det}, cols: c}
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(subs) {
+						return
+					}
+					results[j] = b.build(subs[j])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out := make(map[string]*SubscriptionFeatures, len(subs))
+	for j, w := range subs {
+		out[w.name] = results[j]
+	}
+	finalize(out, deps)
+	return out, nil
+}

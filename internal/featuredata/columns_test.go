@@ -1,0 +1,60 @@
+package featuredata
+
+import (
+	"bytes"
+	"testing"
+
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// TestBuildColumnsByteIdentical is the columnar half of the determinism
+// guarantee: the encoded feature dataset from the columnar build must be
+// byte-identical to the row build on the equivalent trace, for any
+// worker count.
+func TestBuildColumnsByteIdentical(t *testing.T) {
+	cfg := synth.DefaultConfig()
+	cfg.Days = 8
+	cfg.TargetVMs = 1200
+	cfg.MaxDeploymentVMs = 200
+	cfg.Seed = 7
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	cols := trace.FromTrace(tr)
+	cutoff := tr.Horizon * 2 / 3
+
+	rowSet, err := BuildParallel(tr, cutoff, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeSet(rowSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		set, err := BuildColumnsParallel(cols, cutoff, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		enc, err := EncodeSet(set)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("workers=%d: columnar EncodeSet bytes differ from row build", workers)
+		}
+	}
+}
+
+func TestBuildColumnsCutoffValidation(t *testing.T) {
+	cols := trace.NewColumns(100)
+	for _, cutoff := range []trace.Minutes{0, -5, 101} {
+		if _, err := BuildColumnsParallel(cols, cutoff, nil, 1); err == nil {
+			t.Errorf("cutoff %d: expected error", cutoff)
+		}
+	}
+}

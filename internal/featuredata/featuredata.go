@@ -107,44 +107,50 @@ type subBuilder struct {
 func (b *subBuilder) build(w *subWork) *SubscriptionFeatures {
 	f := &SubscriptionFeatures{Subscription: w.name}
 	for _, i := range w.vms {
-		v := &b.tr.VMs[i]
-		f.VMCount++
-		f.MeanCores += float64(v.Cores)
-		f.MeanMemoryGB += v.MemoryGB
-		if v.Type == trace.IaaS {
-			f.IaaSFrac++
-		}
-		if v.Production {
-			f.ProdFrac++
-		}
-
-		// One fused walk over the VM's telemetry yields the summary stats
-		// and the series for the FFT; the utilization model is by far the
-		// most expensive thing to evaluate here.
-		var avg, p95 float64
-		avg, p95, b.series, b.stats = trace.SummarizeSeries(v, b.cutoff, b.series, b.stats)
-		f.AvgUtilBuckets[metric.AvgCPU.Bucket(avg)]++
-		f.P95UtilBuckets[metric.P95CPU.Bucket(p95)]++
-		f.MeanAvgUtil += avg
-		f.MeanP95Util += p95
-
-		if v.Deleted <= b.cutoff {
-			life, _ := v.Lifetime()
-			f.LifetimeBuckets[metric.Lifetime.Bucket(float64(life))]++
-			f.MeanLifetimeMin += float64(life)
-		}
-
-		cls, _ := b.det.ClassifyWith(&b.plan, b.series)
-		switch cls {
-		case fftperiod.ClassDelayInsensitive:
-			f.ClassShares[1]++
-		case fftperiod.ClassInteractive:
-			f.ClassShares[2]++
-		default:
-			f.ClassShares[0]++
-		}
+		b.addVM(f, &b.tr.VMs[i])
 	}
 	return f
+}
+
+// addVM folds one VM into the subscription's aggregates. It is the one
+// accumulation kernel both the row and columnar builds run, which makes
+// their outputs bit-identical when VMs arrive in the same order.
+func (b *subBuilder) addVM(f *SubscriptionFeatures, v *trace.VM) {
+	f.VMCount++
+	f.MeanCores += float64(v.Cores)
+	f.MeanMemoryGB += v.MemoryGB
+	if v.Type == trace.IaaS {
+		f.IaaSFrac++
+	}
+	if v.Production {
+		f.ProdFrac++
+	}
+
+	// One fused walk over the VM's telemetry yields the summary stats
+	// and the series for the FFT; the utilization model is by far the
+	// most expensive thing to evaluate here.
+	var avg, p95 float64
+	avg, p95, b.series, b.stats = trace.SummarizeSeries(v, b.cutoff, b.series, b.stats)
+	f.AvgUtilBuckets[metric.AvgCPU.Bucket(avg)]++
+	f.P95UtilBuckets[metric.P95CPU.Bucket(p95)]++
+	f.MeanAvgUtil += avg
+	f.MeanP95Util += p95
+
+	if v.Deleted <= b.cutoff {
+		life, _ := v.Lifetime()
+		f.LifetimeBuckets[metric.Lifetime.Bucket(float64(life))]++
+		f.MeanLifetimeMin += float64(life)
+	}
+
+	cls, _ := b.det.ClassifyWith(&b.plan, b.series)
+	switch cls {
+	case fftperiod.ClassDelayInsensitive:
+		f.ClassShares[1]++
+	case fftperiod.ClassInteractive:
+		f.ClassShares[2]++
+	default:
+		f.ClassShares[0]++
+	}
 }
 
 // BuildParallel is Build with an explicit worker count (≤ 0 means
@@ -167,11 +173,6 @@ func BuildParallel(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detecto
 
 	// Pass 1 (serial, cheap): group VM indices by subscription and
 	// aggregate deployments, both in trace order.
-	type depAgg struct {
-		sub   string
-		vms   int
-		cores int
-	}
 	deps := make(map[string]*depAgg)
 	subIdx := make(map[string]int)
 	var subs []*subWork
@@ -231,18 +232,28 @@ func BuildParallel(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detecto
 	for j, w := range subs {
 		out[w.name] = results[j]
 	}
+	finalize(out, deps)
+	return out, nil
+}
 
-	// Pass 3 (serial): deployment aggregates. Map iteration order is
-	// random, but every merge adds small integers — exact in float64 —
-	// so the result does not depend on the order.
+// depAgg accumulates one deployment's size during the grouping pass.
+type depAgg struct {
+	sub   string
+	vms   int
+	cores int
+}
+
+// finalize folds the deployment aggregates in and normalizes counts
+// into fractions — the serial tail both builds share. Map iteration
+// order is random, but every deployment merge adds small integers —
+// exact in float64 — so the result does not depend on the order.
+func finalize(out map[string]*SubscriptionFeatures, deps map[string]*depAgg) {
 	for _, d := range deps {
 		f := out[d.sub]
 		f.DeployCount++
 		f.DeployVMBuckets[metric.DeploySizeVMs.Bucket(float64(d.vms))]++
 		f.DeployCoreBuckets[metric.DeploySizeCores.Bucket(float64(d.cores))]++
 	}
-
-	// Normalize counts into fractions.
 	for _, f := range out {
 		n := float64(f.VMCount)
 		f.MeanCores /= n
@@ -261,7 +272,6 @@ func BuildParallel(tr *trace.Trace, cutoff trace.Minutes, det *fftperiod.Detecto
 		normalize(f.DeployVMBuckets[:])
 		normalize(f.DeployCoreBuckets[:])
 	}
-	return out, nil
 }
 
 // normalize divides xs by its sum in place and returns the original sum.

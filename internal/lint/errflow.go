@@ -20,11 +20,12 @@ import (
 //
 // Drivers scope this analyzer to ErrFlowPackagePatterns: the offline
 // pipeline (artifacts silently missing poison later stages), the store,
-// the server (a dropped write error turns a failed response into a
-// hung client), and the load generator (a swallowed response error
-// would overstate measured throughput). Pure in-memory error returns
-// elsewhere stay unflagged. Deliberate discards take
-// //rcvet:allow(reason).
+// the trace spill/codec paths (a dropped write error leaves a truncated
+// trace file that only fails the next run), the server (a dropped write
+// error turns a failed response into a hung client), and the load
+// generator (a swallowed response error would overstate measured
+// throughput). Pure in-memory error returns elsewhere stay unflagged.
+// Deliberate discards take //rcvet:allow(reason).
 var ErrFlow = &Analyzer{
 	Name: "errflow",
 	Doc: "flag ignored error returns from I/O calls (direct, via store, or " +
@@ -37,6 +38,7 @@ var ErrFlow = &Analyzer{
 var ErrFlowPackagePatterns = []string{
 	"internal/pipeline",
 	"internal/store",
+	"internal/trace",
 	"cmd/rcserve",
 	"cmd/rcload",
 }

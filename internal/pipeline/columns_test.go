@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"resourcecentral/internal/metric"
+	"resourcecentral/internal/trace"
+)
+
+// TestExtractorColumnsEquivalence compares the raw sample streams: the
+// columnar extractor must produce exactly the same per-metric samples
+// (inputs, labels, order) as the row extractor for both windows.
+func TestExtractorColumnsEquivalence(t *testing.T) {
+	tr := testTrace(t)
+	cols := trace.FromTrace(tr)
+	cfg := fastConfig(tr).withDefaults()
+
+	rowExt := newExtractor(tr, cfg)
+	colExt := newExtractorColumns(cols, cfg)
+
+	if len(rowExt.deps) != len(colExt.deps) {
+		t.Fatalf("deployment count: row %d, columnar %d", len(rowExt.deps), len(colExt.deps))
+	}
+	for id, rd := range rowExt.deps {
+		cd := colExt.deps[id]
+		if cd == nil {
+			t.Fatalf("deployment %q missing from columnar index", id)
+		}
+		if rd.firstVM != cd.firstVM || rd.firstTime != cd.firstTime || rd.requested != cd.requested {
+			t.Fatalf("deployment %q indexed differently", id)
+		}
+	}
+
+	for _, win := range []struct {
+		name     string
+		from, to trace.Minutes
+	}{
+		{"train", 0, cfg.TrainCutoff},
+		{"test", cfg.TrainCutoff, tr.Horizon},
+	} {
+		rowSamples := rowExt.collect(win.from, win.to)
+		colSamples := colExt.collect(win.from, win.to)
+		for _, m := range metric.All {
+			if !reflect.DeepEqual(rowSamples[m], colSamples[m]) {
+				t.Errorf("%s window, metric %s: columnar samples differ from row samples",
+					win.name, m)
+			}
+		}
+	}
+}
+
+// TestRunColumnsEquivalence is the end-to-end guarantee: RunColumns on
+// the columnar trace trains identical models and produces the same
+// validation reports as Run on the row trace. Models are compared
+// structurally (DeepEqual) rather than by Encode bytes: gob writes the
+// one-hot vocabulary maps in randomized iteration order, so even two
+// encodes of the *same* model differ byte-wise.
+func TestRunColumnsEquivalence(t *testing.T) {
+	tr := testTrace(t)
+	cols := trace.FromTrace(tr)
+	cfg := fastConfig(tr)
+
+	rowRes := runPipeline(t)
+	colRes, err := RunColumns(cols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if colRes.FeatureDataBytes != rowRes.FeatureDataBytes {
+		t.Errorf("FeatureDataBytes: row %d, columnar %d",
+			rowRes.FeatureDataBytes, colRes.FeatureDataBytes)
+	}
+	if !reflect.DeepEqual(colRes.Features, rowRes.Features) {
+		t.Error("feature data differs between row and columnar runs")
+	}
+	for _, m := range metric.All {
+		rm, cm := rowRes.ByMetric[m], colRes.ByMetric[m]
+		if rm == nil || cm == nil {
+			t.Fatalf("metric %s missing from a run", m)
+		}
+		if !reflect.DeepEqual(rm.Model, cm.Model) {
+			t.Errorf("metric %s: trained models differ", m)
+		}
+		if !reflect.DeepEqual(rm.Report, cm.Report) {
+			t.Errorf("metric %s: validation reports differ", m)
+		}
+		if rm.TrainSamples != cm.TrainSamples || rm.TestSamples != cm.TestSamples ||
+			rm.NoFeatureData != cm.NoFeatureData {
+			t.Errorf("metric %s: sample counts differ", m)
+		}
+	}
+}
+
+func TestRunColumnsValidation(t *testing.T) {
+	tr := testTrace(t)
+	cols := trace.FromTrace(tr)
+	if _, err := RunColumns(cols, Config{TrainCutoff: 0}); err == nil {
+		t.Error("expected error for zero cutoff")
+	}
+	if _, err := RunColumns(cols, Config{TrainCutoff: cols.Horizon}); err == nil {
+		t.Error("expected error for cutoff at horizon")
+	}
+	if _, err := RunColumns(trace.NewColumns(100), Config{TrainCutoff: 50}); err == nil {
+		t.Error("expected error for empty trace")
+	}
+}

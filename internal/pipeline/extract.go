@@ -24,10 +24,16 @@ type sample struct {
 // extractor walks a trace once to index deployments, then collects
 // per-metric samples for arbitrary windows. It is not safe for concurrent
 // use: the FFT plan and scratch buffers below are reused across VMs so
-// the per-VM labeling loop allocates nothing in steady state.
+// the per-VM labeling loop allocates nothing in steady state. The trace
+// representation is abstracted behind each — the row and columnar
+// constructors both run the same indexing and collection code, so their
+// samples (and the models trained on them) are identical.
 type extractor struct {
-	tr  *trace.Trace
 	cfg Config
+
+	// each iterates the trace in order; the lent VM is only valid for
+	// the callback (the columnar side fills one scratch struct).
+	each func(fn func(v *trace.VM))
 
 	// deployments indexed by id.
 	deps map[string]*deployment
@@ -39,7 +45,9 @@ type extractor struct {
 
 // deployment aggregates a deployment's waves.
 type deployment struct {
-	firstVM   *trace.VM
+	// firstVM is a value copy: the iteration only lends VMs for the
+	// duration of a callback. Its strings are interned and safe to keep.
+	firstVM   trace.VM
 	firstTime trace.Minutes
 	// requested is the size of the initial wave (what the scheduler sees).
 	requested int
@@ -49,21 +57,43 @@ type deployment struct {
 }
 
 func newExtractor(tr *trace.Trace, cfg Config) *extractor {
-	e := &extractor{tr: tr, cfg: cfg, deps: make(map[string]*deployment)}
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	return buildExtractor(cfg, func(fn func(v *trace.VM)) {
+		for i := range tr.VMs {
+			fn(&tr.VMs[i])
+		}
+	})
+}
+
+// newExtractorColumns indexes the columnar trace without materializing
+// rows: the walk fills one reusable scratch VM per sweep.
+func newExtractorColumns(c *trace.Columns, cfg Config) *extractor {
+	var scratch trace.VM
+	return buildExtractor(cfg, func(fn func(v *trace.VM)) {
+		_ = c.ForEachChunk(func(base int, ch *trace.Chunk) error {
+			for j := 0; j < ch.Len(); j++ {
+				ch.VMAt(j, &scratch)
+				fn(&scratch)
+			}
+			return nil
+		})
+	})
+}
+
+func buildExtractor(cfg Config, each func(fn func(v *trace.VM))) *extractor {
+	e := &extractor{cfg: cfg, each: each, deps: make(map[string]*deployment)}
+	e.each(func(v *trace.VM) {
 		d := e.deps[v.Deployment]
 		if d == nil {
-			d = &deployment{firstVM: v, firstTime: v.Created}
+			d = &deployment{firstVM: *v, firstTime: v.Created}
 			e.deps[v.Deployment] = d
 		}
 		if v.Created < d.firstTime {
 			d.firstTime = v.Created
-			d.firstVM = v
+			d.firstVM = *v
 		}
 		d.times = append(d.times, v.Created)
 		d.cores = append(d.cores, v.Cores)
-	}
+	})
 	for _, d := range e.deps {
 		for _, t := range d.times {
 			if t == d.firstTime {
@@ -90,10 +120,9 @@ func (d *deployment) sizeBy(end trace.Minutes) (vms, cores int) {
 func (e *extractor) collect(from, to trace.Minutes) map[metric.Metric][]sample {
 	out := make(map[metric.Metric][]sample, len(metric.All))
 
-	for i := range e.tr.VMs {
-		v := &e.tr.VMs[i]
+	e.each(func(v *trace.VM) {
 		if v.Created < from || v.Created >= to {
-			continue
+			return
 		}
 		d := e.deps[v.Deployment]
 		in := model.FromVM(v, d.requested)
@@ -129,7 +158,7 @@ func (e *extractor) collect(from, to trace.Minutes) map[metric.Metric][]sample {
 			out[metric.WorkloadClass] = append(out[metric.WorkloadClass],
 				sample{in: in, label: metric.ClassDelayInsensitive})
 		}
-	}
+	})
 
 	// Deployment-size metrics: one sample per deployment created in the
 	// window, labeled with the maximum size reached by `to`. Deployments
@@ -150,7 +179,7 @@ func (e *extractor) collect(from, to trace.Minutes) map[metric.Metric][]sample {
 		if vms == 0 {
 			continue
 		}
-		in := model.FromVM(d.firstVM, d.requested)
+		in := model.FromVM(&d.firstVM, d.requested)
 		out[metric.DeploySizeVMs] = append(out[metric.DeploySizeVMs],
 			sample{in: in, label: metric.DeploySizeVMs.Bucket(float64(vms))})
 		out[metric.DeploySizeCores] = append(out[metric.DeploySizeCores],

@@ -133,6 +133,37 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if len(tr.VMs) == 0 {
 		return nil, errors.New("pipeline: empty trace")
 	}
+	return run(cfg, tr.Horizon,
+		func() (map[string]*featuredata.SubscriptionFeatures, error) {
+			return featuredata.Build(tr, cfg.TrainCutoff, cfg.Detector)
+		},
+		func() *extractor { return newExtractor(tr, cfg) })
+}
+
+// RunColumns executes the offline pipeline directly on a columnar trace,
+// without materializing row structs. The result — trained model bytes,
+// validation reports, feature data — is identical to Run on the
+// equivalent row trace.
+func RunColumns(c *trace.Columns, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TrainCutoff <= 0 || cfg.TrainCutoff >= c.Horizon {
+		return nil, fmt.Errorf("pipeline: TrainCutoff %d outside (0, %d)", cfg.TrainCutoff, c.Horizon)
+	}
+	if c.Len() == 0 {
+		return nil, errors.New("pipeline: empty trace")
+	}
+	return run(cfg, c.Horizon,
+		func() (map[string]*featuredata.SubscriptionFeatures, error) {
+			return featuredata.BuildColumns(c, cfg.TrainCutoff, cfg.Detector)
+		},
+		func() *extractor { return newExtractorColumns(c, cfg) })
+}
+
+// run is the trace-representation-independent pipeline body. cfg must
+// already have defaults applied and a validated TrainCutoff.
+func run(cfg Config, horizon trace.Minutes,
+	buildFeats func() (map[string]*featuredata.SubscriptionFeatures, error),
+	newExt func() *extractor) (*Result, error) {
 
 	reg := cfg.Obs
 	runSpan := reg.StartSpan("pipeline.run")
@@ -140,7 +171,7 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 
 	// Feature-data generation over the training window.
 	span := reg.StartSpan("pipeline.featuredata")
-	feats, err := featuredata.Build(tr, cfg.TrainCutoff, cfg.Detector)
+	feats, err := buildFeats()
 	if err != nil {
 		return nil, err
 	}
@@ -156,9 +187,9 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 
 	// Extraction: training and test samples for every metric.
 	span = reg.StartSpan("pipeline.extract")
-	ext := newExtractor(tr, cfg)
+	ext := newExt()
 	trainSamples := ext.collect(0, cfg.TrainCutoff)
-	testSamples := ext.collect(cfg.TrainCutoff, tr.Horizon)
+	testSamples := ext.collect(cfg.TrainCutoff, horizon)
 	span.End(stageHist(reg, "extract"))
 	for _, m := range metric.All {
 		reg.Counter("rc_pipeline_samples_total",

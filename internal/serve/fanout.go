@@ -67,8 +67,8 @@ func NewHub(st *store.Store, buffer int, reg *obs.Registry) *Hub {
 		// Deep enough that a whole republish burst (one notification
 		// per store key) queues here instead of being dropped by the
 		// store's non-blocking send.
-		notif:  make(chan store.Notification, 8192),
-		done:   make(chan struct{}),
+		notif: make(chan store.Notification, 8192),
+		done:  make(chan struct{}),
 		sent: reg.Counter("rc_serve_events_sent_total",
 			"Invalidation events delivered to serve-tier subscribers."),
 		droppedC: reg.Counter("rc_serve_subscribers_dropped_total",

@@ -1,0 +1,36 @@
+package store
+
+import (
+	"fmt"
+
+	"resourcecentral/internal/trace"
+)
+
+// TraceKey is the store key of a persisted columnar trace.
+func TraceKey(name string) string { return "trace/" + name }
+
+// PutTrace persists a columnar trace under TraceKey(name) using the
+// compact binary codec and returns the new version. Traces are the
+// largest records the store holds; the binary layout keeps them roughly
+// an order of magnitude smaller than the CSV spill format.
+func PutTrace(st *Store, name string, c *trace.Columns) (int, error) {
+	data, err := trace.EncodeColumns(c)
+	if err != nil {
+		return 0, fmt.Errorf("store: encode trace %q: %w", name, err)
+	}
+	return st.Put(TraceKey(name), data)
+}
+
+// GetTrace fetches and decodes the columnar trace stored under
+// TraceKey(name).
+func GetTrace(st *Store, name string) (*trace.Columns, int, error) {
+	blob, err := st.Get(TraceKey(name))
+	if err != nil {
+		return nil, 0, err
+	}
+	c, err := trace.DecodeColumns(blob.Data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: decode trace %q: %w", name, err)
+	}
+	return c, blob.Version, nil
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"resourcecentral/internal/trace"
+)
+
+func traceFixture() *trace.Columns {
+	tr := &trace.Trace{Horizon: 10080}
+	for i := 0; i < 100; i++ {
+		tr.VMs = append(tr.VMs, trace.VM{
+			ID:           int64(i + 1),
+			Subscription: "sub-" + string(rune('a'+i%3)),
+			Deployment:   "dep-" + string(rune('a'+i%7)),
+			Region:       "us-east",
+			Cores:        1 << (i % 4),
+			MemoryGB:     1.75,
+			Created:      trace.Minutes(i * 13),
+			Deleted:      trace.Minutes(i*13 + 500),
+		})
+	}
+	return trace.FromTrace(tr)
+}
+
+func TestPutGetTrace(t *testing.T) {
+	st := New()
+	c := traceFixture()
+
+	v, err := PutTrace(st, "azure-2016", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+
+	got, gv, err := GetTrace(st, "azure-2016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv != v {
+		t.Fatalf("get version = %d, want %d", gv, v)
+	}
+	if got.Len() != c.Len() || got.Horizon != c.Horizon {
+		t.Fatalf("round-trip shape: got (%d, %d), want (%d, %d)",
+			got.Len(), got.Horizon, c.Len(), c.Horizon)
+	}
+	if !reflect.DeepEqual(got.ToTrace(), c.ToTrace()) {
+		t.Fatal("round-tripped trace differs")
+	}
+
+	// A second put bumps the version like any other record.
+	if v2, err := PutTrace(st, "azure-2016", c); err != nil || v2 != 2 {
+		t.Fatalf("second put: version %d, err %v", v2, err)
+	}
+}
+
+func TestGetTraceMissing(t *testing.T) {
+	st := New()
+	if _, _, err := GetTrace(st, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetTraceCorrupt(t *testing.T) {
+	st := New()
+	if _, err := st.Put(TraceKey("bad"), []byte("not a trace")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := GetTrace(st, "bad"); !errors.Is(err, trace.ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}

@@ -1,0 +1,822 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Compact binary trace codec. The CSV format spends most of its load
+// time in field splitting, strconv parsing, and per-field string
+// allocation; the binary format instead ships the columns of each chunk
+// as contiguous runs — varint-delta integers, raw little-endian
+// float64s, byte enums, a production bitset — with the intern table
+// streamed as per-frame dictionary deltas. Decoding is a handful of
+// tight kernels per chunk (all //rcvet:hotpath, zero allocations) plus
+// one column-slice allocation batch per 8192 VMs.
+//
+// Wire format (all multi-byte integers little-endian; varints are the
+// standard LEB128 base-128 encoding, signed values zigzag-folded):
+//
+//	header:  "RCTB" | version byte (1) | horizon zigzag-varint
+//	frames:  payloadLen uvarint | payload    (payloadLen 0 = end)
+//	trailer: total VM count uvarint          (after the 0 sentinel)
+//
+// Each frame payload carries one chunk (1..ChunkSize VMs):
+//
+//	n uvarint
+//	newStrings uvarint, then per string: len uvarint | bytes
+//	  (the strings first referenced by this frame, in intern-ID order)
+//	id         n × zigzag delta (running, reset to 0 per frame)
+//	sub, dep, region, role, os   n × uvarint intern IDs each
+//	type, party                  n bytes each
+//	production                   ⌈n/8⌉ bitset bytes (LSB first)
+//	cores      n × uvarint
+//	created    n × zigzag delta (running, reset per frame)
+//	deleted    n × zigzag of (deleted − created); NoEnd encodes −1
+//	memgb      n × float64
+//	utilkind   n bytes
+//	base, amplitude, noisesd     n × float64 each
+//	phasemin   n × zigzag
+//	spikeprob  n × float64
+//	seed       n × fixed 8-byte little-endian (seeds are high-entropy;
+//	           varints would expand them)
+//	ramplifetime n × zigzag
+//
+// Frames are self-delimiting, so a reader can stream chunk by chunk
+// without loading the file; the per-frame delta reset keeps every frame
+// independently decodable given the dictionary built so far.
+
+// Magic and version of the binary trace format.
+var colsMagic = [4]byte{'R', 'C', 'T', 'B'}
+
+// ColumnsMagic is the binary trace format's 4-byte header prefix, for
+// callers that sniff a file's format before choosing a reader.
+const ColumnsMagic = "RCTB"
+
+const colsVersion = 1
+
+// maxVarintLen is the longest LEB128 encoding of a uint64.
+const maxVarintLen = 10
+
+// Sentinel errors for malformed input; the decode wrappers add frame
+// context. The hot kernels only flip a flag, so they stay
+// allocation-free on both the clean and the corrupt path.
+var (
+	// ErrBadMagic marks input that is not a binary trace (useful for
+	// format sniffing).
+	ErrBadMagic     = errors.New("trace: not a binary trace (bad magic)")
+	errCorrupt      = errors.New("trace: corrupt binary trace")
+	errBadFrame     = errors.New("malformed frame")
+	errShortNotLast = errors.New("short frame is not the final frame")
+)
+
+// --- varint / little-endian primitives ---
+
+// appendUvarint appends the LEB128 encoding of v.
+func appendUvarint(p []byte, v uint64) []byte {
+	for v >= 0x80 {
+		p = append(p, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(p, byte(v))
+}
+
+// putUvarint writes the LEB128 encoding of v into b (which must have
+// room for maxVarintLen bytes) and returns the encoded length.
+func putUvarint(b []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		b[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	b[i] = byte(v)
+	return i + 1
+}
+
+// appendZigzag appends the zigzag-folded LEB128 encoding of v.
+func appendZigzag(p []byte, v int64) []byte {
+	return appendUvarint(p, uint64(v)<<1^uint64(v>>63))
+}
+
+// appendF64 appends the little-endian IEEE-754 bits of f.
+func appendF64(p []byte, f float64) []byte {
+	u := math.Float64bits(f)
+	return append(p, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// appendU64 appends v as fixed 8 little-endian bytes.
+func appendU64(p []byte, v uint64) []byte {
+	return append(p, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// uvarint decodes a LEB128 varint from the front of b, returning the
+// value and the number of bytes consumed (0 = truncated, negative =
+// overflow at |n| bytes), mirroring encoding/binary.Uvarint but staying
+// inside the package so the summary engine proves it allocation-free.
+//
+//rcvet:hotpath
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c < 0x80 {
+			if i >= maxVarintLen-1 && c > 1 {
+				return 0, -(i + 1)
+			}
+			return x | uint64(c)<<s, i + 1
+		}
+		if i >= maxVarintLen-1 {
+			return 0, -(i + 1)
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// le64 reads 8 little-endian bytes (b must hold at least 8).
+//
+//rcvet:hotpath
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// --- frame decoding ---
+
+// frameDec is a cursor over one frame payload. The kernels record
+// corruption in bad instead of returning errors so they stay off the
+// allocator; decodeFrame translates bad into a wrapped error once.
+type frameDec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+//rcvet:hotpath
+func (d *frameDec) uvarint() uint64 {
+	x, n := uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+//rcvet:hotpath
+func (d *frameDec) zigzag() int64 {
+	u := d.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// deltaColumn fills dst with a running-sum zigzag-delta column.
+//
+//rcvet:hotpath
+func (d *frameDec) deltaColumn(dst []int64) {
+	prev := int64(0)
+	for i := range dst {
+		prev += d.zigzag()
+		dst[i] = prev
+	}
+}
+
+// zigzagColumn fills dst with independent zigzag values.
+//
+//rcvet:hotpath
+func (d *frameDec) zigzagColumn(dst []int64) {
+	for i := range dst {
+		dst[i] = d.zigzag()
+	}
+}
+
+// stringIDColumn fills dst with uvarint intern IDs, validating each
+// against the table size.
+//
+//rcvet:hotpath
+func (d *frameDec) stringIDColumn(dst []uint32, tabLen int) {
+	for i := range dst {
+		v := d.uvarint()
+		if v >= uint64(tabLen) {
+			d.bad = true
+			return
+		}
+		dst[i] = uint32(v)
+	}
+}
+
+// byteColumn copies n raw bytes, validating each is at most max.
+//
+//rcvet:hotpath
+func (d *frameDec) byteColumn(dst []uint8, max uint8) {
+	n := len(dst)
+	if d.off+n > len(d.b) {
+		d.bad = true
+		return
+	}
+	copy(dst, d.b[d.off:d.off+n])
+	d.off += n
+	for _, v := range dst {
+		if v > max {
+			d.bad = true
+			return
+		}
+	}
+}
+
+// boolColumn unpacks an LSB-first bitset.
+//
+//rcvet:hotpath
+func (d *frameDec) boolColumn(dst []bool) {
+	nb := (len(dst) + 7) / 8
+	if d.off+nb > len(d.b) {
+		d.bad = true
+		return
+	}
+	for i := range dst {
+		dst[i] = d.b[d.off+i/8]>>(uint(i)&7)&1 == 1
+	}
+	d.off += nb
+}
+
+// coresColumn fills dst with uvarint core counts bounded to int32.
+//
+//rcvet:hotpath
+func (d *frameDec) coresColumn(dst []int32) {
+	for i := range dst {
+		v := d.uvarint()
+		if v > math.MaxInt32 {
+			d.bad = true
+			return
+		}
+		dst[i] = int32(v)
+	}
+}
+
+// deletedColumn reconstructs Deleted from zigzag deltas against
+// Created; −1 is the NoEnd sentinel and other negatives are corrupt.
+//
+//rcvet:hotpath
+func (d *frameDec) deletedColumn(dst, created []int64) {
+	for i := range dst {
+		delta := d.zigzag()
+		switch {
+		case delta == -1:
+			dst[i] = int64(NoEnd)
+		case delta < 0:
+			d.bad = true
+			return
+		default:
+			del := created[i] + delta
+			if del < created[i] { // int64 overflow would not re-encode
+				d.bad = true
+				return
+			}
+			dst[i] = del
+		}
+	}
+}
+
+// f64Column fills dst with raw little-endian float64s.
+//
+//rcvet:hotpath
+func (d *frameDec) f64Column(dst []float64) {
+	if d.off+8*len(dst) > len(d.b) {
+		d.bad = true
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(le64(d.b[d.off:]))
+		d.off += 8
+	}
+}
+
+// u64Column fills dst with fixed 8-byte little-endian values.
+//
+//rcvet:hotpath
+func (d *frameDec) u64Column(dst []uint64) {
+	if d.off+8*len(dst) > len(d.b) {
+		d.bad = true
+		return
+	}
+	for i := range dst {
+		dst[i] = le64(d.b[d.off:])
+		d.off += 8
+	}
+}
+
+// decodeFrame parses one frame payload into a fresh chunk, appending
+// any new dictionary strings to tab.
+func decodeFrame(payload []byte, tab *StringTable) (*Chunk, error) {
+	d := &frameDec{b: payload}
+	n64 := d.uvarint()
+	if d.bad || n64 == 0 || n64 > ChunkSize {
+		return nil, fmt.Errorf("%w: frame VM count %d", errBadFrame, n64)
+	}
+	n := int(n64)
+
+	// Dictionary delta. Each new string needs at least one length byte,
+	// so the count is bounded by the remaining payload.
+	nnew := d.uvarint()
+	if d.bad || nnew > uint64(len(payload)-d.off) {
+		return nil, fmt.Errorf("%w: dictionary count %d", errBadFrame, nnew)
+	}
+	for i := uint64(0); i < nnew; i++ {
+		slen := d.uvarint()
+		if d.bad || slen > uint64(len(payload)-d.off) {
+			return nil, fmt.Errorf("%w: dictionary string %d", errBadFrame, i)
+		}
+		tab.add(string(payload[d.off : d.off+int(slen)]))
+		d.off += int(slen)
+	}
+
+	ch := newChunk(tab, n)
+	ch.ID = ch.ID[:n]
+	ch.Sub, ch.Dep, ch.Region, ch.Role, ch.OS =
+		ch.Sub[:n], ch.Dep[:n], ch.Region[:n], ch.Role[:n], ch.OS[:n]
+	ch.Type, ch.Party, ch.UtilKind = ch.Type[:n], ch.Party[:n], ch.UtilKind[:n]
+	ch.Production = ch.Production[:n]
+	ch.Cores = ch.Cores[:n]
+	ch.MemoryGB = ch.MemoryGB[:n]
+	ch.Created, ch.Deleted = ch.Created[:n], ch.Deleted[:n]
+	ch.Base, ch.Amplitude, ch.NoiseSD = ch.Base[:n], ch.Amplitude[:n], ch.NoiseSD[:n]
+	ch.SpikeProb = ch.SpikeProb[:n]
+	ch.PhaseMin, ch.RampLifetime = ch.PhaseMin[:n], ch.RampLifetime[:n]
+	ch.Seed = ch.Seed[:n]
+
+	d.deltaColumn(ch.ID)
+	d.stringIDColumn(ch.Sub, tab.Len())
+	d.stringIDColumn(ch.Dep, tab.Len())
+	d.stringIDColumn(ch.Region, tab.Len())
+	d.stringIDColumn(ch.Role, tab.Len())
+	d.stringIDColumn(ch.OS, tab.Len())
+	d.byteColumn(ch.Type, uint8(PaaS))
+	d.byteColumn(ch.Party, uint8(ThirdParty))
+	d.boolColumn(ch.Production)
+	d.coresColumn(ch.Cores)
+	d.deltaColumn(ch.Created)
+	d.deletedColumn(ch.Deleted, ch.Created)
+	d.f64Column(ch.MemoryGB)
+	d.byteColumn(ch.UtilKind, uint8(UtilIdle))
+	d.f64Column(ch.Base)
+	d.f64Column(ch.Amplitude)
+	d.f64Column(ch.NoiseSD)
+	d.zigzagColumn(ch.PhaseMin)
+	d.f64Column(ch.SpikeProb)
+	d.u64Column(ch.Seed)
+	d.zigzagColumn(ch.RampLifetime)
+	if d.bad {
+		return nil, fmt.Errorf("%w: truncated or out-of-range column at byte %d", errBadFrame, d.off)
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errBadFrame, len(payload)-d.off)
+	}
+	return ch, nil
+}
+
+// --- frame encoding ---
+
+// frameEnc tracks the dictionary high-water mark and reuses the payload
+// scratch across frames.
+type frameEnc struct {
+	tab     *StringTable
+	emitted int
+	payload []byte
+}
+
+// appendFrame encodes ch into e.payload and writes the length-prefixed
+// frame to w.
+func (e *frameEnc) writeFrame(w io.Writer, ch *Chunk) error {
+	p := e.payload[:0]
+	n := ch.Len()
+	p = appendUvarint(p, uint64(n))
+
+	need := e.emitted
+	for _, col := range [...][]uint32{ch.Sub, ch.Dep, ch.Region, ch.Role, ch.OS} {
+		for _, id := range col {
+			if int(id) >= need {
+				need = int(id) + 1
+			}
+		}
+	}
+	p = appendUvarint(p, uint64(need-e.emitted))
+	for _, s := range e.tab.strs[e.emitted:need] {
+		p = appendUvarint(p, uint64(len(s)))
+		p = append(p, s...)
+	}
+	e.emitted = need
+
+	prev := int64(0)
+	for _, id := range ch.ID {
+		p = appendZigzag(p, id-prev)
+		prev = id
+	}
+	for _, col := range [...][]uint32{ch.Sub, ch.Dep, ch.Region, ch.Role, ch.OS} {
+		for _, id := range col {
+			p = appendUvarint(p, uint64(id))
+		}
+	}
+	p = append(p, ch.Type...)
+	p = append(p, ch.Party...)
+	nb := (n + 7) / 8
+	for b := 0; b < nb; b++ {
+		var bits uint8
+		for j := 0; j < 8 && b*8+j < n; j++ {
+			if ch.Production[b*8+j] {
+				bits |= 1 << uint(j)
+			}
+		}
+		p = append(p, bits)
+	}
+	for i, c := range ch.Cores {
+		if c < 0 {
+			return fmt.Errorf("trace: vm %d: negative core count %d is not encodable", ch.ID[i], c)
+		}
+		p = appendUvarint(p, uint64(c))
+	}
+	prev = 0
+	for _, t := range ch.Created {
+		p = appendZigzag(p, t-prev)
+		prev = t
+	}
+	for i, del := range ch.Deleted {
+		if Minutes(del) == NoEnd {
+			p = appendZigzag(p, -1)
+			continue
+		}
+		delta := del - ch.Created[i]
+		if delta < 0 {
+			return fmt.Errorf("trace: vm %d: deleted %d before created %d is not encodable",
+				ch.ID[i], del, ch.Created[i])
+		}
+		p = appendZigzag(p, delta)
+	}
+	for _, f := range ch.MemoryGB {
+		p = appendF64(p, f)
+	}
+	p = append(p, ch.UtilKind...)
+	for _, f := range ch.Base {
+		p = appendF64(p, f)
+	}
+	for _, f := range ch.Amplitude {
+		p = appendF64(p, f)
+	}
+	for _, f := range ch.NoiseSD {
+		p = appendF64(p, f)
+	}
+	for _, v := range ch.PhaseMin {
+		p = appendZigzag(p, v)
+	}
+	for _, f := range ch.SpikeProb {
+		p = appendF64(p, f)
+	}
+	for _, s := range ch.Seed {
+		p = appendU64(p, s)
+	}
+	for _, v := range ch.RampLifetime {
+		p = appendZigzag(p, v)
+	}
+	e.payload = p
+
+	var head [maxVarintLen]byte
+	hn := putUvarint(head[:], uint64(len(p)))
+	if _, err := w.Write(head[:hn]); err != nil {
+		return fmt.Errorf("trace: write frame header: %w", err)
+	}
+	if _, err := w.Write(p); err != nil {
+		return fmt.Errorf("trace: write frame: %w", err)
+	}
+	return nil
+}
+
+// writeColumnsHeader writes the magic, version, and horizon.
+func writeColumnsHeader(w io.Writer, horizon Minutes) error {
+	var head [4 + 1 + maxVarintLen]byte
+	copy(head[:], colsMagic[:])
+	head[4] = colsVersion
+	n := 5 + putUvarint(head[5:], uint64(int64(horizon))<<1^uint64(int64(horizon)>>63))
+	if _, err := w.Write(head[:n]); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	return nil
+}
+
+// writeColumnsTrailer writes the end sentinel and the total VM count.
+func writeColumnsTrailer(w io.Writer, total int) error {
+	var tail [1 + maxVarintLen]byte
+	tail[0] = 0 // zero-length frame = end of stream
+	n := 1 + putUvarint(tail[1:], uint64(total))
+	if _, err := w.Write(tail[:n]); err != nil {
+		return fmt.Errorf("trace: write trailer: %w", err)
+	}
+	return nil
+}
+
+// WriteColumns writes the binary encoding of c to w.
+func WriteColumns(w io.Writer, c *Columns) error {
+	if err := writeColumnsHeader(w, c.Horizon); err != nil {
+		return err
+	}
+	enc := frameEnc{tab: c.tab}
+	for _, ch := range c.chunks {
+		if ch.Len() == 0 {
+			continue
+		}
+		if err := enc.writeFrame(w, ch); err != nil {
+			return err
+		}
+	}
+	return writeColumnsTrailer(w, c.n)
+}
+
+// EncodeColumns returns the binary encoding of c as one byte slice
+// (the shape store blobs use).
+func EncodeColumns(c *Columns) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteColumns(&buf, c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// --- streaming reader ---
+
+// ColumnsReader streams a binary trace chunk by chunk, so consumers can
+// process traces larger than memory. Chunks share the reader's string
+// table and remain valid after further reads.
+type ColumnsReader struct {
+	br      *bufio.Reader
+	tab     *StringTable
+	horizon Minutes
+	payload []byte
+	total   int
+	short   bool
+	done    bool
+}
+
+// NewColumnsReader parses the header eagerly, so a bad-magic error can
+// be used to sniff the format.
+func NewColumnsReader(r io.Reader) (*ColumnsReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if magic != colsMagic {
+		return nil, ErrBadMagic
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing version: %v", errCorrupt, err)
+	}
+	if version != colsVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", errCorrupt, version, colsVersion)
+	}
+	h, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: horizon: %v", errCorrupt, err)
+	}
+	horizon := int64(h>>1) ^ -int64(h&1)
+	return &ColumnsReader{br: br, tab: NewStringTable(), horizon: Minutes(horizon)}, nil
+}
+
+// Horizon returns the trace window length.
+func (r *ColumnsReader) Horizon() Minutes { return r.horizon }
+
+// Strings returns the dictionary built so far; after the stream is
+// drained it is the complete table.
+func (r *ColumnsReader) Strings() *StringTable { return r.tab }
+
+// Total returns the VM count read so far; after io.EOF it has been
+// verified against the trailer.
+func (r *ColumnsReader) Total() int { return r.total }
+
+// Next returns the next chunk, or io.EOF after the verified trailer.
+func (r *ColumnsReader) Next() (*Chunk, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	plen, err := readUvarint(r.br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: frame length: %v", errCorrupt, err)
+	}
+	if plen == 0 {
+		total, err := readUvarint(r.br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: trailer: %v", errCorrupt, err)
+		}
+		if int(total) != r.total {
+			return nil, fmt.Errorf("%w: trailer count %d, read %d VMs", errCorrupt, total, r.total)
+		}
+		r.done = true
+		return nil, io.EOF
+	}
+	if r.short {
+		// Only the last chunk may be partial; anything after one is
+		// corrupt and would break global chunk indexing.
+		return nil, fmt.Errorf("%w: %v", errCorrupt, errShortNotLast)
+	}
+	payload, err := r.readPayload(plen)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := decodeFrame(payload, r.tab)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	if ch.Len() < ChunkSize {
+		r.short = true
+	}
+	r.total += ch.Len()
+	return ch, nil
+}
+
+// readPayload fills the reusable frame buffer with plen bytes. Growth
+// is incremental so a forged multi-gigabyte length fails on the read,
+// not with a huge up-front allocation.
+func (r *ColumnsReader) readPayload(plen uint64) ([]byte, error) {
+	if plen > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("%w: frame length %d", errCorrupt, plen)
+	}
+	need := int(plen)
+	if cap(r.payload) < need {
+		grow := cap(r.payload)*2 + 1024
+		if grow > need {
+			grow = need
+		}
+		// Read what we can into the grown buffer first; if the stream
+		// really has `need` bytes, keep growing toward it.
+		r.payload = make([]byte, 0, grow)
+	}
+	r.payload = r.payload[:0]
+	for len(r.payload) < need {
+		chunk := need - len(r.payload)
+		if room := cap(r.payload) - len(r.payload); chunk > room {
+			chunk = room
+		}
+		if chunk == 0 {
+			next := cap(r.payload) * 2
+			if next > need {
+				next = need
+			}
+			bigger := make([]byte, len(r.payload), next)
+			copy(bigger, r.payload)
+			r.payload = bigger
+			continue
+		}
+		n, err := io.ReadFull(r.br, r.payload[len(r.payload):len(r.payload)+chunk])
+		r.payload = r.payload[:len(r.payload)+n]
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated frame (%d of %d bytes): %v", errCorrupt, len(r.payload), need, err)
+		}
+	}
+	return r.payload, nil
+}
+
+// readUvarint reads a LEB128 varint from a byte reader.
+func readUvarint(br io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < maxVarintLen; i++ {
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if c < 0x80 {
+			if i == maxVarintLen-1 && c > 1 {
+				return 0, errors.New("varint overflows uint64")
+			}
+			return x | uint64(c)<<s, nil
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, errors.New("varint overflows uint64")
+}
+
+// ReadColumns loads a whole binary trace, rejecting trailing garbage.
+func ReadColumns(r io.Reader) (*Columns, error) {
+	cr, err := NewColumnsReader(r)
+	if err != nil {
+		return nil, err
+	}
+	cols := &Columns{Horizon: cr.Horizon(), tab: cr.tab}
+	for {
+		ch, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cols.appendChunk(ch)
+	}
+	if _, err := cr.br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after trailer", errCorrupt)
+	}
+	return cols, nil
+}
+
+// DecodeColumns parses a blob produced by EncodeColumns.
+func DecodeColumns(data []byte) (*Columns, error) {
+	return ReadColumns(bytes.NewReader(data))
+}
+
+// --- streaming writer ---
+
+// ColumnsWriter writes a binary trace incrementally, one VM at a time,
+// the spill path for traces larger than memory (the CSV analog is
+// CSVWriter). Frames are flushed at every full chunk; Close flushes the
+// final partial chunk and the trailer.
+type ColumnsWriter struct {
+	w       io.Writer
+	horizon Minutes
+	tab     *StringTable
+	cur     *Chunk
+	enc     frameEnc
+	started bool
+	closed  bool
+	total   int
+}
+
+// NewColumnsWriter creates a streaming writer for a trace with the
+// given horizon.
+func NewColumnsWriter(w io.Writer, horizon Minutes) *ColumnsWriter {
+	tab := NewStringTable()
+	return &ColumnsWriter{
+		w:       w,
+		horizon: horizon,
+		tab:     tab,
+		cur:     newChunk(tab, ChunkSize),
+		enc:     frameEnc{tab: tab},
+	}
+}
+
+// Write appends one VM record, flushing a frame at each full chunk.
+func (cw *ColumnsWriter) Write(v *VM) error {
+	if cw.closed {
+		return errors.New("trace: write after Close")
+	}
+	if !cw.started {
+		cw.started = true
+		if err := writeColumnsHeader(cw.w, cw.horizon); err != nil {
+			return err
+		}
+	}
+	cw.cur.appendVM(v)
+	cw.total++
+	if cw.cur.Len() == ChunkSize {
+		if err := cw.enc.writeFrame(cw.w, cw.cur); err != nil {
+			return err
+		}
+		cw.cur.reset()
+	}
+	return nil
+}
+
+// Close flushes the final partial chunk and the trailer. An empty trace
+// still gets its header and trailer so the output parses back as a
+// valid zero-VM trace.
+func (cw *ColumnsWriter) Close() error {
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	if !cw.started {
+		if err := writeColumnsHeader(cw.w, cw.horizon); err != nil {
+			return err
+		}
+	}
+	if cw.cur.Len() > 0 {
+		if err := cw.enc.writeFrame(cw.w, cw.cur); err != nil {
+			return err
+		}
+		cw.cur.reset()
+	}
+	return writeColumnsTrailer(cw.w, cw.total)
+}
+
+// reset truncates all columns, keeping their capacity for the next
+// frame.
+func (c *Chunk) reset() {
+	c.ID = c.ID[:0]
+	c.Sub, c.Dep, c.Region, c.Role, c.OS = c.Sub[:0], c.Dep[:0], c.Region[:0], c.Role[:0], c.OS[:0]
+	c.Type, c.Party, c.UtilKind = c.Type[:0], c.Party[:0], c.UtilKind[:0]
+	c.Production = c.Production[:0]
+	c.Cores = c.Cores[:0]
+	c.MemoryGB = c.MemoryGB[:0]
+	c.Created, c.Deleted = c.Created[:0], c.Deleted[:0]
+	c.Base, c.Amplitude, c.NoiseSD = c.Base[:0], c.Amplitude[:0], c.NoiseSD[:0]
+	c.SpikeProb = c.SpikeProb[:0]
+	c.PhaseMin, c.RampLifetime = c.PhaseMin[:0], c.RampLifetime[:0]
+	c.Seed = c.Seed[:0]
+}

@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, tr := range []*Trace{
+		sampleTrace(),
+		{Horizon: 77},             // empty trace still has header+trailer
+		genTrace(ChunkSize),       // exact chunk boundary
+		genTrace(2*ChunkSize + 9), // multi-chunk + short tail
+	} {
+		data, err := EncodeColumns(FromTrace(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols, err := DecodeColumns(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cols.ToTrace()
+		if got.Horizon != tr.Horizon || len(got.VMs) != len(tr.VMs) {
+			t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.Horizon, len(got.VMs), tr.Horizon, len(tr.VMs))
+		}
+		for i := range tr.VMs {
+			if got.VMs[i] != tr.VMs[i] {
+				t.Fatalf("vm %d mismatch:\n got %+v\nwant %+v", i, got.VMs[i], tr.VMs[i])
+			}
+		}
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	tr := genTrace(ChunkSize + 500)
+	a, err := EncodeColumns(FromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeColumns(FromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same trace differ")
+	}
+}
+
+func TestColumnsWriterMatchesEncode(t *testing.T) {
+	// The streaming writer must produce byte-identical output to the
+	// one-shot encoder: both intern strings in trace order.
+	tr := genTrace(ChunkSize + 321)
+	want, err := EncodeColumns(FromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cw := NewColumnsWriter(&buf, tr.Horizon)
+	for i := range tr.VMs {
+		if err := cw.Write(&tr.VMs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("streaming bytes differ from one-shot encode (%d vs %d bytes)", buf.Len(), len(want))
+	}
+	// Close is idempotent; Write after Close fails.
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(&tr.VMs[0]); err == nil {
+		t.Fatal("expected write-after-close error")
+	}
+}
+
+func TestColumnsWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewColumnsWriter(&buf, 123)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cols, err := DecodeColumns(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Len() != 0 || cols.Horizon != 123 {
+		t.Fatalf("empty round trip: len=%d horizon=%d", cols.Len(), cols.Horizon)
+	}
+}
+
+func TestColumnsReaderStreaming(t *testing.T) {
+	tr := genTrace(2*ChunkSize + 40)
+	data, err := EncodeColumns(FromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewColumnsReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Horizon() != tr.Horizon {
+		t.Fatalf("horizon = %d, want %d", r.Horizon(), tr.Horizon)
+	}
+	var v VM
+	i := 0
+	for {
+		ch, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < ch.Len(); j++ {
+			ch.VMAt(j, &v)
+			if v != tr.VMs[i] {
+				t.Fatalf("vm %d mismatch", i)
+			}
+			i++
+		}
+	}
+	if i != len(tr.VMs) || r.Total() != len(tr.VMs) {
+		t.Fatalf("streamed %d VMs (Total=%d), want %d", i, r.Total(), len(tr.VMs))
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestCodecNegativeHorizonAndIDs(t *testing.T) {
+	// Zigzag paths: negative horizon, negative/decreasing IDs and
+	// timestamps must survive.
+	tr := &Trace{Horizon: -5, VMs: []VM{
+		{ID: -10, Subscription: "s", Deployment: "d", Region: "r", Role: "ro", OS: "o",
+			Cores: 3, Created: -100, Deleted: -50, Util: UtilModel{PhaseMin: -7, RampLifetime: -1}},
+		{ID: -40, Subscription: "s", Deployment: "d", Region: "r", Role: "ro", OS: "o",
+			Created: 200, Deleted: NoEnd},
+	}}
+	data, err := EncodeColumns(FromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := DecodeColumns(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cols.ToTrace()
+	for i := range tr.VMs {
+		if got.VMs[i] != tr.VMs[i] {
+			t.Fatalf("vm %d mismatch:\n got %+v\nwant %+v", i, got.VMs[i], tr.VMs[i])
+		}
+	}
+}
+
+func TestCodecEncodeRejectsInvalidSchedules(t *testing.T) {
+	// deleted < created (and not NoEnd) has no wire representation.
+	bad := FromTrace(&Trace{Horizon: 10, VMs: []VM{{Created: 100, Deleted: 50}}})
+	if _, err := EncodeColumns(bad); err == nil {
+		t.Fatal("expected error for deleted < created")
+	}
+	neg := FromTrace(&Trace{Horizon: 10, VMs: []VM{{Cores: -1, Deleted: NoEnd}}})
+	if _, err := EncodeColumns(neg); err == nil {
+		t.Fatal("expected error for negative core count")
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	valid, err := EncodeColumns(FromTrace(sampleTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE")},
+		{"csv input", []byte("#horizon,100\n")},
+		{"magic only", valid[:4]},
+		{"bad version", append(append([]byte{}, "RCTB"...), 99)},
+		{"header only", valid[:6]},
+		{"truncated frame", valid[:len(valid)/2]},
+		{"missing trailer", valid[:len(valid)-2]},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xff)},
+	}
+	for _, c := range cases {
+		if _, err := DecodeColumns(c.data); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+
+	// Bad magic is distinguishable for format sniffing.
+	if _, err := DecodeColumns([]byte("#horizon,100\n")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("csv input: err = %v, want ErrBadMagic", err)
+	}
+	// A well-formed binary stream with a corrupted payload byte must
+	// error, not panic. Flip each byte of a small trace in turn.
+	small, err := EncodeColumns(FromTrace(&Trace{Horizon: 9, VMs: sampleTrace().VMs[:1]}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small {
+		mut := append([]byte{}, small...)
+		mut[i] ^= 0x41
+		cols, err := DecodeColumns(mut) // must not panic
+		if err == nil && cols.Len() > ChunkSize {
+			t.Fatalf("flip at %d produced oversized decode", i)
+		}
+	}
+}
+
+func TestCodecRejectsShortInteriorFrame(t *testing.T) {
+	// Two short frames back to back: hand-build a stream by closing two
+	// writers and splicing the first's frame before the second's. The
+	// reader must reject the interior short frame to preserve the
+	// all-but-last-chunk-full indexing invariant.
+	tr := genTrace(10)
+	var one bytes.Buffer
+	cw := NewColumnsWriter(&one, tr.Horizon)
+	for i := range tr.VMs {
+		if err := cw.Write(&tr.VMs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := one.Bytes()
+	// Locate the frame: header is 4 (magic) + 1 (version) + horizon varint.
+	hdrLen := 5
+	for full[hdrLen]&0x80 != 0 {
+		hdrLen++
+	}
+	hdrLen++
+	frame := full[hdrLen : len(full)-2] // strip sentinel 0x00 + trailer count
+	spliced := append([]byte{}, full[:hdrLen]...)
+	spliced = append(spliced, frame...)
+	spliced = append(spliced, frame...)
+	spliced = append(spliced, 0, 20) // sentinel + total=20
+	if _, err := DecodeColumns(spliced); err == nil {
+		t.Fatal("expected error for short interior frame")
+	}
+}
+
+func TestCodecTrailerCountMismatch(t *testing.T) {
+	data, err := EncodeColumns(FromTrace(sampleTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte{}, data...)
+	mut[len(mut)-1]++ // trailer varint is the last byte for small counts
+	if _, err := DecodeColumns(mut); err == nil {
+		t.Fatal("expected trailer count mismatch error")
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	var buf [maxVarintLen]byte
+	for _, v := range []uint64{0, 1, 127, 128, 300, 1<<32 - 1, 1 << 40, 1<<64 - 1} {
+		n := putUvarint(buf[:], v)
+		got, m := uvarint(buf[:n])
+		if got != v || m != n {
+			t.Fatalf("uvarint(%d): got %d (len %d vs %d)", v, got, m, n)
+		}
+		p := appendUvarint(nil, v)
+		if !bytes.Equal(p, buf[:n]) {
+			t.Fatalf("appendUvarint(%d) differs from putUvarint", v)
+		}
+	}
+	// Truncated and overlong inputs are rejected.
+	if _, n := uvarint([]byte{0x80}); n != 0 {
+		t.Fatalf("truncated varint: n = %d, want 0", n)
+	}
+	if _, n := uvarint([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}); n >= 0 {
+		t.Fatalf("overlong varint accepted: n = %d", n)
+	}
+}

@@ -1,0 +1,267 @@
+package trace
+
+// Columnar trace representation. Trace keeps VMs as a row-major []VM,
+// which is convenient but caps fleet scale: every consumer walk drags
+// all 21 fields through the cache per VM, and persistence goes through
+// CSV, whose parse cost and per-field string allocations dominate load
+// time at hundreds of thousands of VMs. Columns is the column-major
+// alternative: fixed-size chunks of parallel arrays, one per VM field,
+// with subscription/deployment/region/role/OS strings interned in a
+// shared table. Consumers iterate chunks (ForEachChunk) and either read
+// the column slices directly or fill a caller-owned scratch VM via VMAt,
+// so hot paths never materialize per-row structs or allocate.
+//
+// The representation is lossless: FromTrace followed by ToTrace yields
+// a trace equal to the input, field for field, and every columnar
+// consumer in charz/featuredata/pipeline is proven byte-identical to
+// the retained row path by equivalence tests.
+
+// ChunkSize is the number of VMs per chunk. 8192 VMs keep a full chunk
+// of one int64 column at 64 KiB — a few L1 caches' worth of one field —
+// while leaving per-chunk bookkeeping (parallel worker claims, codec
+// frames) negligible even at million-VM traces.
+const ChunkSize = 8192
+
+// StringTable interns the trace's repeated strings (subscription,
+// deployment, region, role, OS share one table). IDs are assigned
+// densely in first-use order, so a table built by appending VMs in
+// trace order is deterministic, and the codec can ship per-frame
+// dictionary deltas: every ID referenced by a chunk was interned at or
+// before that chunk's frame.
+type StringTable struct {
+	strs []string
+	idx  map[string]uint32
+}
+
+// NewStringTable creates an empty table.
+func NewStringTable() *StringTable {
+	return &StringTable{idx: make(map[string]uint32)}
+}
+
+// Intern returns the ID of s, assigning the next dense ID on first use.
+func (t *StringTable) Intern(s string) uint32 {
+	if id, ok := t.idx[s]; ok {
+		return id
+	}
+	id := uint32(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.idx[s] = id
+	return id
+}
+
+// add appends a string decoded from the wire, which arrives in ID order.
+func (t *StringTable) add(s string) {
+	t.idx[s] = uint32(len(t.strs))
+	t.strs = append(t.strs, s)
+}
+
+// Len returns the number of interned strings.
+func (t *StringTable) Len() int { return len(t.strs) }
+
+// StringAt returns the string with ID i. IDs come from chunk columns,
+// which are validated on decode, so the lookup is a bare index.
+//
+//rcvet:hotpath
+func (t *StringTable) StringAt(i uint32) string { return t.strs[i] }
+
+// Chunk holds up to ChunkSize VMs as parallel column slices, all of the
+// same length. String-valued fields store StringTable IDs; Deleted
+// stores the raw Minutes value including the NoEnd sentinel; Type,
+// Party and UtilKind are the enum values narrowed to a byte.
+type Chunk struct {
+	tab *StringTable
+
+	ID                         []int64
+	Sub, Dep, Region, Role, OS []uint32
+	Type, Party, UtilKind      []uint8
+	Production                 []bool
+	Cores                      []int32
+	MemoryGB                   []float64
+	Created, Deleted           []int64
+	Base, Amplitude, NoiseSD   []float64
+	SpikeProb                  []float64
+	PhaseMin, RampLifetime     []int64
+	Seed                       []uint64
+}
+
+// newChunk allocates a chunk with capacity for n VMs.
+func newChunk(tab *StringTable, n int) *Chunk {
+	return &Chunk{
+		tab: tab,
+		ID:  make([]int64, 0, n),
+		Sub: make([]uint32, 0, n), Dep: make([]uint32, 0, n),
+		Region: make([]uint32, 0, n), Role: make([]uint32, 0, n), OS: make([]uint32, 0, n),
+		Type: make([]uint8, 0, n), Party: make([]uint8, 0, n), UtilKind: make([]uint8, 0, n),
+		Production: make([]bool, 0, n),
+		Cores:      make([]int32, 0, n),
+		MemoryGB:   make([]float64, 0, n),
+		Created:    make([]int64, 0, n), Deleted: make([]int64, 0, n),
+		Base: make([]float64, 0, n), Amplitude: make([]float64, 0, n), NoiseSD: make([]float64, 0, n),
+		SpikeProb: make([]float64, 0, n),
+		PhaseMin:  make([]int64, 0, n), RampLifetime: make([]int64, 0, n),
+		Seed: make([]uint64, 0, n),
+	}
+}
+
+// Len returns the number of VMs in the chunk.
+//
+//rcvet:hotpath
+func (c *Chunk) Len() int { return len(c.ID) }
+
+// Strings returns the table the chunk's string IDs index into.
+func (c *Chunk) Strings() *StringTable { return c.tab }
+
+// VMAt fills v with row i of the chunk. The strings are shared with the
+// intern table, so the call performs no allocation; callers on hot
+// paths reuse one scratch VM per worker.
+//
+//rcvet:hotpath
+func (c *Chunk) VMAt(i int, v *VM) {
+	v.ID = c.ID[i]
+	v.Subscription = c.tab.strs[c.Sub[i]]
+	v.Deployment = c.tab.strs[c.Dep[i]]
+	v.Region = c.tab.strs[c.Region[i]]
+	v.Role = c.tab.strs[c.Role[i]]
+	v.OS = c.tab.strs[c.OS[i]]
+	v.Type = VMType(c.Type[i])
+	v.Party = Party(c.Party[i])
+	v.Production = c.Production[i]
+	v.Cores = int(c.Cores[i])
+	v.MemoryGB = c.MemoryGB[i]
+	v.Created = Minutes(c.Created[i])
+	v.Deleted = Minutes(c.Deleted[i])
+	c.UtilAt(i, &v.Util)
+}
+
+// UtilAt fills m with row i's utilization model.
+//
+//rcvet:hotpath
+func (c *Chunk) UtilAt(i int, m *UtilModel) {
+	m.Kind = UtilKind(c.UtilKind[i])
+	m.Base = c.Base[i]
+	m.Amplitude = c.Amplitude[i]
+	m.NoiseSD = c.NoiseSD[i]
+	m.PhaseMin = c.PhaseMin[i]
+	m.SpikeProb = c.SpikeProb[i]
+	m.Seed = c.Seed[i]
+	m.RampLifetime = c.RampLifetime[i]
+}
+
+// appendVM appends one VM to the chunk's columns.
+func (c *Chunk) appendVM(v *VM) {
+	c.ID = append(c.ID, v.ID)
+	c.Sub = append(c.Sub, c.tab.Intern(v.Subscription))
+	c.Dep = append(c.Dep, c.tab.Intern(v.Deployment))
+	c.Region = append(c.Region, c.tab.Intern(v.Region))
+	c.Role = append(c.Role, c.tab.Intern(v.Role))
+	c.OS = append(c.OS, c.tab.Intern(v.OS))
+	c.Type = append(c.Type, uint8(v.Type))
+	c.Party = append(c.Party, uint8(v.Party))
+	c.Production = append(c.Production, v.Production)
+	c.Cores = append(c.Cores, int32(v.Cores))
+	c.MemoryGB = append(c.MemoryGB, v.MemoryGB)
+	c.Created = append(c.Created, int64(v.Created))
+	c.Deleted = append(c.Deleted, int64(v.Deleted))
+	c.UtilKind = append(c.UtilKind, uint8(v.Util.Kind))
+	c.Base = append(c.Base, v.Util.Base)
+	c.Amplitude = append(c.Amplitude, v.Util.Amplitude)
+	c.NoiseSD = append(c.NoiseSD, v.Util.NoiseSD)
+	c.SpikeProb = append(c.SpikeProb, v.Util.SpikeProb)
+	c.PhaseMin = append(c.PhaseMin, v.Util.PhaseMin)
+	c.RampLifetime = append(c.RampLifetime, v.Util.RampLifetime)
+	c.Seed = append(c.Seed, v.Util.Seed)
+}
+
+// Columns is a chunked column-major trace: the window, the shared
+// string table, and the chunk list. Every chunk except the last holds
+// exactly ChunkSize VMs, so VMAt resolves a global index with a single
+// division.
+type Columns struct {
+	Horizon Minutes
+
+	tab    *StringTable
+	chunks []*Chunk
+	n      int
+}
+
+// NewColumns creates an empty columnar trace with the given window.
+func NewColumns(horizon Minutes) *Columns {
+	return &Columns{Horizon: horizon, tab: NewStringTable()}
+}
+
+// Append adds one VM to the last chunk, opening a new chunk when it is
+// full. VMs must be appended in trace order for the string table (and
+// therefore the codec output) to be deterministic.
+func (c *Columns) Append(v *VM) {
+	if len(c.chunks) == 0 || c.chunks[len(c.chunks)-1].Len() == ChunkSize {
+		c.chunks = append(c.chunks, newChunk(c.tab, ChunkSize))
+	}
+	c.chunks[len(c.chunks)-1].appendVM(v)
+	c.n++
+}
+
+// appendChunk attaches a decoded chunk (used by the codec; the chunk
+// must already index c's table, and only the final chunk may be short).
+func (c *Columns) appendChunk(ch *Chunk) {
+	c.chunks = append(c.chunks, ch)
+	c.n += ch.Len()
+}
+
+// Len returns the total VM count.
+//
+//rcvet:hotpath
+func (c *Columns) Len() int { return c.n }
+
+// NumChunks returns the chunk count.
+func (c *Columns) NumChunks() int { return len(c.chunks) }
+
+// ChunkAt returns chunk i and the global index of its first VM.
+//
+//rcvet:hotpath
+func (c *Columns) ChunkAt(i int) (ch *Chunk, base int) {
+	return c.chunks[i], i * ChunkSize
+}
+
+// Strings returns the shared intern table.
+func (c *Columns) Strings() *StringTable { return c.tab }
+
+// ForEachChunk calls fn for every chunk in order with the global index
+// of the chunk's first VM, stopping at the first error.
+func (c *Columns) ForEachChunk(fn func(base int, ch *Chunk) error) error {
+	for i, ch := range c.chunks {
+		if err := fn(i*ChunkSize, ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VMAt fills v with the VM at global index i.
+//
+//rcvet:hotpath
+func (c *Columns) VMAt(i int, v *VM) {
+	c.chunks[i/ChunkSize].VMAt(i%ChunkSize, v)
+}
+
+// FromTrace converts a row-major trace losslessly. The string table is
+// built in first-use order, so the result (and its encoding) is
+// deterministic for a given input.
+func FromTrace(tr *Trace) *Columns {
+	c := NewColumns(tr.Horizon)
+	for i := range tr.VMs {
+		c.Append(&tr.VMs[i])
+	}
+	return c
+}
+
+// ToTrace materializes the row-major form, the inverse of FromTrace.
+func (c *Columns) ToTrace() *Trace {
+	tr := &Trace{Horizon: c.Horizon, VMs: make([]VM, c.n)}
+	for i, ch := range c.chunks {
+		base := i * ChunkSize
+		for j := 0; j < ch.Len(); j++ {
+			ch.VMAt(j, &tr.VMs[base+j])
+		}
+	}
+	return tr
+}

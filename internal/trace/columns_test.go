@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// genTrace builds a deterministic synthetic trace with realistic string
+// cardinalities (many VMs share subscriptions/deployments) spanning
+// multiple chunks when n > ChunkSize. Tests and benchmarks share it so
+// row/columnar comparisons run over the same population.
+func genTrace(n int) *Trace {
+	r := rand.New(rand.NewPCG(42, uint64(n)))
+	tr := &Trace{Horizon: 30 * 24 * 60}
+	regions := []string{"us-east", "us-west", "eu-north", "ap-south"}
+	roles := []string{"web", "worker", "db", "cache", "batch"}
+	oses := []string{"linux", "windows"}
+	tr.VMs = make([]VM, 0, n)
+	created := Minutes(0)
+	for i := 0; i < n; i++ {
+		created += Minutes(r.Int64N(3))
+		deleted := created + Minutes(1+r.Int64N(int64(tr.Horizon)))
+		if r.IntN(5) == 0 {
+			deleted = NoEnd
+		}
+		v := VM{
+			ID:           int64(i + 1),
+			Subscription: fmt.Sprintf("sub-%d", r.IntN(n/50+1)),
+			Deployment:   fmt.Sprintf("dep-%d", r.IntN(n/10+1)),
+			Region:       regions[r.IntN(len(regions))],
+			Role:         roles[r.IntN(len(roles))],
+			OS:           oses[r.IntN(len(oses))],
+			Type:         VMType(r.IntN(2)),
+			Party:        Party(r.IntN(2)),
+			Production:   r.IntN(2) == 0,
+			Cores:        1 << r.IntN(5),
+			MemoryGB:     0.75 * float64(int(1)<<r.IntN(6)),
+			Created:      created,
+			Deleted:      deleted,
+			Util: UtilModel{
+				Kind:         UtilKind(r.IntN(5)),
+				Base:         float64(r.IntN(60)),
+				Amplitude:    float64(r.IntN(40)),
+				NoiseSD:      float64(r.IntN(8)),
+				PhaseMin:     int64(r.IntN(1440)),
+				SpikeProb:    float64(r.IntN(30)) / 100,
+				Seed:         r.Uint64(),
+				RampLifetime: int64(1 + r.IntN(20000)),
+			},
+		}
+		tr.VMs = append(tr.VMs, v)
+	}
+	return tr
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	for _, tr := range []*Trace{
+		sampleTrace(),
+		{Horizon: 5},              // empty
+		genTrace(ChunkSize),       // exactly one chunk
+		genTrace(2*ChunkSize + 7), // multiple chunks + short tail
+	} {
+		c := FromTrace(tr)
+		if c.Len() != len(tr.VMs) || c.Horizon != tr.Horizon {
+			t.Fatalf("Len/Horizon = %d/%d, want %d/%d", c.Len(), c.Horizon, len(tr.VMs), tr.Horizon)
+		}
+		got := c.ToTrace()
+		if got.Horizon != tr.Horizon || len(got.VMs) != len(tr.VMs) {
+			t.Fatalf("round trip shape mismatch")
+		}
+		for i := range tr.VMs {
+			if got.VMs[i] != tr.VMs[i] {
+				t.Fatalf("vm %d mismatch:\n got %+v\nwant %+v", i, got.VMs[i], tr.VMs[i])
+			}
+		}
+	}
+}
+
+func TestColumnsVMAt(t *testing.T) {
+	tr := genTrace(ChunkSize + 100)
+	c := FromTrace(tr)
+	var v VM
+	for _, i := range []int{0, 1, ChunkSize - 1, ChunkSize, ChunkSize + 99} {
+		c.VMAt(i, &v)
+		if v != tr.VMs[i] {
+			t.Fatalf("VMAt(%d):\n got %+v\nwant %+v", i, v, tr.VMs[i])
+		}
+	}
+}
+
+func TestColumnsForEachChunk(t *testing.T) {
+	tr := genTrace(2*ChunkSize + 5)
+	c := FromTrace(tr)
+	if c.NumChunks() != 3 {
+		t.Fatalf("NumChunks = %d, want 3", c.NumChunks())
+	}
+	var bases []int
+	total := 0
+	err := c.ForEachChunk(func(base int, ch *Chunk) error {
+		bases = append(bases, base)
+		// Every chunk except the last must be exactly ChunkSize — the
+		// invariant VMAt's index arithmetic depends on.
+		if base+ch.Len() < c.Len() && ch.Len() != ChunkSize {
+			t.Fatalf("interior chunk at base %d has %d VMs", base, ch.Len())
+		}
+		var v VM
+		for j := 0; j < ch.Len(); j++ {
+			ch.VMAt(j, &v)
+			if v != tr.VMs[base+j] {
+				return fmt.Errorf("vm %d mismatch", base+j)
+			}
+		}
+		total += ch.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != c.Len() {
+		t.Fatalf("visited %d VMs, want %d", total, c.Len())
+	}
+	if bases[0] != 0 || bases[1] != ChunkSize || bases[2] != 2*ChunkSize {
+		t.Fatalf("bases = %v", bases)
+	}
+
+	// Errors stop iteration and propagate.
+	calls := 0
+	sentinel := fmt.Errorf("stop")
+	if err := c.ForEachChunk(func(base int, ch *Chunk) error {
+		calls++
+		return sentinel
+	}); err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("iteration continued after error: %d calls", calls)
+	}
+}
+
+func TestStringTableIntern(t *testing.T) {
+	tab := NewStringTable()
+	a := tab.Intern("alpha")
+	b := tab.Intern("beta")
+	if a != 0 || b != 1 {
+		t.Fatalf("dense first-use IDs: got %d, %d", a, b)
+	}
+	if tab.Intern("alpha") != a {
+		t.Fatal("re-intern changed the ID")
+	}
+	if tab.Len() != 2 || tab.StringAt(a) != "alpha" || tab.StringAt(b) != "beta" {
+		t.Fatalf("table contents wrong: len=%d", tab.Len())
+	}
+}
+
+func TestColumnsSharedStrings(t *testing.T) {
+	// Strings handed out by VMAt must be the interned instances, not
+	// copies, so repeated fills allocate nothing.
+	tr := genTrace(100)
+	c := FromTrace(tr)
+	var v VM
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < c.Len(); i++ {
+			c.VMAt(i, &v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("VMAt allocated %v per run, want 0", allocs)
+	}
+}

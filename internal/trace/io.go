@@ -66,19 +66,17 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	}
 
 	tr := &Trace{Horizon: Minutes(horizon)}
-	line := 2
-	for {
+	for rowNum := 1; ; rowNum++ {
 		row, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, fmt.Errorf("trace: vm row %d: %w", rowNum, err)
 		}
-		line++
 		v, err := parseVMRow(row)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			return nil, fmt.Errorf("trace: vm row %d: %w", rowNum, err)
 		}
 		tr.VMs = append(tr.VMs, v)
 	}

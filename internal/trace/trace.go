@@ -138,14 +138,22 @@ func (v *VM) AliveAt(t Minutes) bool {
 // CoreHours returns the core-hours the VM consumed inside the window
 // [0, horizon).
 func (v *VM) CoreHours(horizon Minutes) float64 {
-	end := v.Deleted
+	return CoreHoursOf(v.Cores, v.Created, v.Deleted, horizon)
+}
+
+// CoreHoursOf is CoreHours over bare schedule columns, shared by the
+// row and columnar walks so both produce bit-identical values.
+//
+//rcvet:hotpath
+func CoreHoursOf(cores int, created, deleted, horizon Minutes) float64 {
+	end := deleted
 	if end > horizon {
 		end = horizon
 	}
-	if end <= v.Created {
+	if end <= created {
 		return 0
 	}
-	return float64(end-v.Created) / 60 * float64(v.Cores)
+	return float64(end-created) / 60 * float64(cores)
 }
 
 // Reading is one 5-minute utilization report: min, avg and max virtual CPU
@@ -247,17 +255,25 @@ func SummaryStatsBuf(v *VM, horizon Minutes, scratch []float64) (avgCPU, p95Max 
 // scratch buffers (contents overwritten, capacity reused); the returned
 // slices must be taken back by the caller.
 func SummarizeSeries(v *VM, horizon Minutes, series, maxes []float64) (avgCPU, p95Max float64, seriesOut, maxesOut []float64) {
+	return SummarizeModel(&v.Util, v.Created, v.Deleted, horizon, series, maxes)
+}
+
+// SummarizeModel is SummarizeSeries over bare columns: the utilization
+// model plus the schedule timestamps, without a materialized VM. It is
+// the one walk kernel both representations share, which is what makes
+// the columnar consumers bit-identical to the row path.
+func SummarizeModel(m *UtilModel, created, deleted, horizon Minutes, series, maxes []float64) (avgCPU, p95Max float64, seriesOut, maxesOut []float64) {
 	series, maxes = series[:0], maxes[:0]
-	end := v.Deleted
+	end := deleted
 	if end > horizon {
 		end = horizon
 	}
-	if end <= v.Created {
+	if end <= created {
 		return 0, 0, series, maxes
 	}
 	var sum float64
-	for t := v.Created; t < end; t += ReadingIntervalMin {
-		_, avg, max := v.Util.At(t)
+	for t := created; t < end; t += ReadingIntervalMin {
+		_, avg, max := m.At(t)
 		sum += avg
 		series = append(series, avg)
 		maxes = append(maxes, max)

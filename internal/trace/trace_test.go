@@ -286,6 +286,31 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+func TestReadCSVRowNumberInErrors(t *testing.T) {
+	header := "#horizon,10\n" + strings.Join(vmHeader, ",") + "\n"
+	good := "1,s,d,rg,r,os,IaaS,third,true,2,3.5,0,500,diurnal,20,50,4,60,0,77,0\n"
+	badType := "9,s,d,rg,r,os,Bogus,third,true,2,3.5,0,500,diurnal,20,50,4,60,0,77,0\n"
+	badCores, badFields := strings.Replace(good, ",2,3.5,", ",two,3.5,", 1), "just,three,fields\n"
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"bad row 1", header + badType, "vm row 1:"},
+		{"bad row 2", header + good + badType, "vm row 2:"},
+		{"bad row 3", header + good + good + badCores, "vm row 3:"},
+		{"wrong field count row 2", header + good + badFields, "vm row 2:"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not name %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
 func TestReadCSVBadRow(t *testing.T) {
 	tr := sampleTrace()
 	var buf bytes.Buffer
