@@ -52,10 +52,13 @@ bench: bench-sim
 	$(GO) test -run '^$$' -bench 'BenchmarkFeatureDataBuild|BenchmarkFFTDetector|BenchmarkFFT1024' -benchmem -json \
 		./internal/featuredata ./internal/fftperiod > BENCH_pipeline.json
 
-# Simulator benchmarks: trace replay at growing cluster sizes, the
-# parallel sweep grid, and linear-vs-indexed candidate selection.
+# Simulator benchmarks: trace replay at growing cluster sizes (row and
+# chunk-fed), the parallel sweep grid over both representations, and
+# linear-vs-indexed candidate selection. Sweep points with more workers
+# than GOMAXPROCS are skipped — they would just remeasure the serial
+# work under timesharing.
 bench-sim:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkSimSweep|BenchmarkSchedule' -benchmem -json \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimRun|BenchmarkSimRunColumns|BenchmarkSimSweep|BenchmarkSimSweepColumns|BenchmarkSchedule' -benchmem -json \
 		./internal/sim ./internal/cluster > BENCH_sim.json
 
 # Serving-tier load story: the coalescing micro-benchmark (upstream
@@ -77,13 +80,15 @@ bench-serve:
 		./scripts/bench_serve.sh
 
 # Columnar trace substrate: CSV read/write baselines vs the binary
-# codec (build/encode/decode) and the row-vs-columnar characterization
+# codec (build/encode/decode, serial and parallel), the streaming
+# Azure-vmtable transcode, and the row-vs-columnar characterization
 # pass. Sizes default to 100k and 500k VMs; override with e.g.
-# `make bench-trace TRACE_SIZES=100000`.
+# `make bench-trace TRACE_SIZES=100000`. Parallel-codec speedup is
+# bounded by GOMAXPROCS — on a single-core host the worker axis is flat.
 TRACE_SIZES ?= 100000,500000
 bench-trace:
 	RC_TRACE_BENCH_SIZES="$(TRACE_SIZES)" $(GO) test -run '^$$' \
-		-bench 'BenchmarkReadCSV|BenchmarkWriteCSV|BenchmarkColumnsBuild|BenchmarkColumnsEncode|BenchmarkColumnsDecode|BenchmarkCharz' \
+		-bench 'BenchmarkReadCSV|BenchmarkWriteCSV|BenchmarkColumnsBuild|BenchmarkColumnsEncode|BenchmarkColumnsDecode|BenchmarkColumnsDecodeParallel|BenchmarkColumnsEncodeParallel|BenchmarkAzureTranscode|BenchmarkCharz' \
 		-benchmem -json ./internal/trace ./internal/charz > BENCH_trace.json
 
 # Regenerate the paper's evaluation numbers (Tables 4-6, Figs 9-11).

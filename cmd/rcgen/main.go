@@ -1,16 +1,23 @@
-// Command rcgen generates a synthetic Azure-like VM workload trace
-// (the Section 3 characterization substrate) and writes it as CSV or as
-// the compact columnar binary format.
+// Command rcgen produces workload traces (the Section 3
+// characterization substrate): it either generates a synthetic
+// Azure-like population and writes it as CSV or as the compact columnar
+// binary format (RCTB), or transcodes an existing trace between
+// formats — including the public Azure dataset's vmtable CSV — in one
+// streaming pass with bounded memory.
 //
 // Usage:
 //
 //	rcgen -out trace.csv -days 90 -vms 50000 -seed 1
 //	rcgen -out trace.rctb -format bin -days 90 -vms 500000
+//	rcgen -in trace.csv -out trace.rctb
+//	rcgen -in vmtable.csv -in-format azure -azure-horizon-days 30 -out azure.rctb
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -25,11 +32,14 @@ func main() {
 
 	out := flag.String("out", "trace.csv", "output path (- for stdout)")
 	format := flag.String("format", "auto", "output format: csv, bin, or auto (bin unless the path ends in .csv or is stdout)")
-	days := flag.Int("days", 90, "observation window in days")
-	vms := flag.Int("vms", 50000, "approximate VM count")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	regions := flag.Int("regions", 8, "number of regions")
-	firstParty := flag.Float64("first-party", 0.52, "first-party VM volume fraction")
+	in := flag.String("in", "", "input trace to transcode instead of synthesizing (- for stdin)")
+	inFormat := flag.String("in-format", "auto", "input format: csv, bin, azure, or auto (sniffed from the magic bytes; azure must be explicit)")
+	azureDays := flag.Int("azure-horizon-days", 30, "observation window for -in-format azure, in days")
+	days := flag.Int("days", 90, "observation window in days (synthesis only)")
+	vms := flag.Int("vms", 50000, "approximate VM count (synthesis only)")
+	seed := flag.Uint64("seed", 1, "generator seed (synthesis only)")
+	regions := flag.Int("regions", 8, "number of regions (synthesis only)")
+	firstParty := flag.Float64("first-party", 0.52, "first-party VM volume fraction (synthesis only)")
 	flag.Parse()
 
 	binary := false
@@ -41,18 +51,6 @@ func main() {
 		binary = *out != "-" && !strings.HasSuffix(*out, ".csv")
 	default:
 		log.Fatalf("unknown -format %q (want csv, bin, or auto)", *format)
-	}
-
-	cfg := synth.DefaultConfig()
-	cfg.Days = *days
-	cfg.TargetVMs = *vms
-	cfg.Seed = *seed
-	cfg.Regions = *regions
-	cfg.FirstPartyFrac = *firstParty
-
-	res, err := synth.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	w := os.Stdout
@@ -68,18 +66,175 @@ func main() {
 		}()
 		w = f
 	}
+
+	if *in != "" {
+		transcode(w, *in, *inFormat, binary, *out, *azureDays)
+		return
+	}
+
+	cfg := synth.DefaultConfig()
+	cfg.Days = *days
+	cfg.TargetVMs = *vms
+	cfg.Seed = *seed
+	cfg.Regions = *regions
+	cfg.FirstPartyFrac = *firstParty
+
+	var err error
+	var n, subs int
 	if binary {
-		err = trace.WriteColumns(w, trace.FromTrace(res.Trace))
+		// Direct-to-columns: the row slice is dropped as soon as the
+		// chunks are built, so the write holds only columnar memory.
+		var res *synth.ColumnsResult
+		if res, err = synth.GenerateColumns(cfg); err == nil {
+			n, subs = res.Columns.Len(), len(res.Subscriptions)
+			err = trace.WriteColumns(w, res.Columns)
+		}
 	} else {
-		err = trace.WriteCSV(w, res.Trace)
+		var res *synth.Result
+		if res, err = synth.Generate(cfg); err == nil {
+			n, subs = len(res.Trace.VMs), len(res.Subscriptions)
+			err = trace.WriteCSV(w, res.Trace)
+		}
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmtName := "csv"
-	if binary {
-		fmtName = "binary"
-	}
 	fmt.Fprintf(os.Stderr, "rcgen: wrote %d VMs over %d days (%d subscriptions) to %s (%s)\n",
-		len(res.Trace.VMs), *days, len(res.Subscriptions), *out, fmtName)
+		n, *days, subs, *out, formatName(binary))
+}
+
+func formatName(binary bool) string {
+	if binary {
+		return "binary"
+	}
+	return "csv"
+}
+
+// transcode streams the input trace into the requested output format.
+// Every pair goes through one pass with bounded memory: no path
+// materializes a row []VM.
+func transcode(w io.Writer, in, inFormat string, binOut bool, out string, azureDays int) {
+	r := os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+
+	binIn := false
+	switch inFormat {
+	case "csv":
+	case "bin":
+		binIn = true
+	case "azure":
+		n, err := transcodeAzure(w, br, binOut, int64(azureDays)*24*3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rcgen: transcoded %d VMs from %s (azure) to %s (%s)\n",
+			n, in, out, formatName(binOut))
+		return
+	case "auto":
+		// The RCTB magic distinguishes binary from CSV; the Azure vmtable
+		// has no marker, so it must be requested explicitly.
+		prefix, err := br.Peek(len(trace.ColumnsMagic))
+		if err != nil && err != io.EOF {
+			log.Fatal(err)
+		}
+		binIn = string(prefix) == trace.ColumnsMagic
+	default:
+		log.Fatalf("unknown -in-format %q (want csv, bin, azure, or auto)", inFormat)
+	}
+
+	var n int
+	var err error
+	switch {
+	case binIn && binOut:
+		n, err = copyColumns(w, br)
+	case binIn && !binOut:
+		n, err = trace.TranscodeColumnsToCSV(w, br)
+	case !binIn && binOut:
+		n, err = trace.TranscodeCSVToColumns(w, br)
+	default:
+		n, err = copyCSV(w, br)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rcgen: transcoded %d VMs from %s (%s) to %s (%s)\n",
+		n, in, formatName(binIn), out, formatName(binOut))
+}
+
+// transcodeAzure converts the public dataset's vmtable schema; binary
+// output streams chunk by chunk, CSV output streams row by row.
+func transcodeAzure(w io.Writer, r io.Reader, binOut bool, horizonSeconds int64) (int, error) {
+	if binOut {
+		return trace.TranscodeAzureVMTable(w, r, horizonSeconds)
+	}
+	cw := trace.NewCSVWriter(w, trace.Minutes(horizonSeconds/60))
+	n := 0
+	err := trace.EachAzureVM(r, horizonSeconds, func(v *trace.VM) error {
+		n++
+		return cw.Write(v)
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, cw.Flush()
+}
+
+// copyColumns re-encodes a binary trace (normalizing its framing and
+// dictionary layout) chunk by chunk.
+func copyColumns(w io.Writer, r io.Reader) (int, error) {
+	crr, err := trace.NewColumnsReader(r)
+	if err != nil {
+		return 0, err
+	}
+	cw := trace.NewColumnsWriter(w, crr.Horizon())
+	var v trace.VM
+	for {
+		ch, err := crr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return crr.Total(), err
+		}
+		for j := 0; j < ch.Len(); j++ {
+			ch.VMAt(j, &v)
+			if err := cw.Write(&v); err != nil {
+				return crr.Total(), err
+			}
+		}
+	}
+	return crr.Total(), cw.Close()
+}
+
+// copyCSV re-encodes a trace CSV (normalizing quoting and float
+// formatting) row by row.
+func copyCSV(w io.Writer, r io.Reader) (int, error) {
+	cr, err := trace.NewCSVReader(r)
+	if err != nil {
+		return 0, err
+	}
+	cw := trace.NewCSVWriter(w, cr.Horizon())
+	n := 0
+	for {
+		v, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		if err := cw.Write(&v); err != nil {
+			return n, err
+		}
+	}
+	return n, cw.Flush()
 }

@@ -42,17 +42,20 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	tr, err := src.Load()
+	// The whole tool runs columnar end to end: binary traces decode
+	// straight into chunks, CSV streams into them, and training,
+	// simulation, and the sweep all consume the chunks directly.
+	cols, err := src.LoadColumns()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trace: %d VMs over %d days; cluster: %d servers x %d cores x %gGB\n\n",
-		len(tr.VMs), tr.Horizon/(24*60), *servers, *coresPer, *memPer)
+		cols.Len(), cols.Horizon/(24*60), *servers, *coresPer, *memPer)
 
 	// Train RC on the first third of the window so predictions are
 	// available for the simulated arrivals.
-	cutoff := tr.Horizon / 3
-	client := trainClient(tr, cutoff, src.Seed)
+	cutoff := cols.Horizon / 3
+	client := trainClient(cols, cutoff, src.Seed)
 	defer client.Close()
 
 	base := cluster.Config{
@@ -63,8 +66,8 @@ func main() {
 		MaxUtil:        1.0,
 	}
 	rcPred := &sim.ClientPredictor{Client: client}
-	oracle := &sim.OraclePredictor{Horizon: tr.Horizon}
-	wrong := &sim.WrongPredictor{Horizon: tr.Horizon}
+	oracle := &sim.OraclePredictor{Horizon: cols.Horizon}
+	wrong := &sim.WrongPredictor{Horizon: cols.Horizon}
 
 	var points []point
 	add := func(section, name string, policy cluster.Policy, pred sim.Predictor, mutate func(*sim.Config)) {
@@ -125,7 +128,7 @@ func main() {
 	for i, p := range points {
 		cfgs[i] = p.cfg
 	}
-	res, err := sim.RunSweep(tr, cfgs, sim.SweepOptions{Workers: *workers})
+	res, err := sim.RunSweepColumns(cols, cfgs, sim.SweepOptions{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,8 +153,8 @@ func main() {
 
 // trainClient runs the offline pipeline on the pre-cutoff window and
 // returns an initialized push-mode client.
-func trainClient(tr *trace.Trace, cutoff trace.Minutes, seed uint64) *core.Client {
-	res, err := pipeline.Run(tr, pipeline.Config{TrainCutoff: cutoff, Seed: seed})
+func trainClient(cols *trace.Columns, cutoff trace.Minutes, seed uint64) *core.Client {
+	res, err := pipeline.RunColumns(cols, pipeline.Config{TrainCutoff: cutoff, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
 	}

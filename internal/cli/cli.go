@@ -53,15 +53,16 @@ func (s *TraceSource) Load() (*trace.Trace, error) {
 }
 
 // LoadColumns returns the columnar trace from the file or the generator.
-// Binary traces decode straight into columns; CSV and synthetic traces
-// are converted after reading.
+// Binary traces decode straight into columns, and CSV streams row by row
+// into chunks — neither path materializes a row slice; only the
+// generator builds one (transiently, for arrival-time sorting).
 func (s *TraceSource) LoadColumns() (*trace.Columns, error) {
 	if s.Path == "" {
-		tr, err := s.synthesize()
+		res, err := s.synthesizeColumns()
 		if err != nil {
 			return nil, err
 		}
-		return trace.FromTrace(tr), nil
+		return res.Columns, nil
 	}
 	var c *trace.Columns
 	err := s.readFile(func(br *bufio.Reader, binary bool) error {
@@ -70,10 +71,7 @@ func (s *TraceSource) LoadColumns() (*trace.Columns, error) {
 			c, err = trace.ReadColumns(br)
 			return err
 		}
-		var tr *trace.Trace
-		if tr, err = trace.ReadCSV(br); err == nil {
-			c = trace.FromTrace(tr)
-		}
+		c, err = trace.ReadCSVColumns(br)
 		return err
 	})
 	return c, err
@@ -98,14 +96,22 @@ func (s *TraceSource) readFile(parse func(br *bufio.Reader, binary bool) error) 
 	return nil
 }
 
-func (s *TraceSource) synthesize() (*trace.Trace, error) {
+func (s *TraceSource) synthConfig() synth.Config {
 	cfg := synth.DefaultConfig()
 	cfg.Days = s.Days
 	cfg.TargetVMs = s.VMs
 	cfg.Seed = s.Seed
-	res, err := synth.Generate(cfg)
+	return cfg
+}
+
+func (s *TraceSource) synthesize() (*trace.Trace, error) {
+	res, err := synth.Generate(s.synthConfig())
 	if err != nil {
 		return nil, err
 	}
 	return res.Trace, nil
+}
+
+func (s *TraceSource) synthesizeColumns() (*synth.ColumnsResult, error) {
+	return synth.GenerateColumns(s.synthConfig())
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"path/filepath"
@@ -134,6 +135,62 @@ func TestLoadColumnsSynthesizes(t *testing.T) {
 	if c.Len() != len(tr.VMs) || c.Horizon != tr.Horizon {
 		t.Errorf("columns (%d, %d) != rows (%d, %d)",
 			c.Len(), c.Horizon, len(tr.VMs), tr.Horizon)
+	}
+}
+
+// LoadColumns must produce exactly what FromTrace over Load produces —
+// for CSV (now streamed row→chunk without a []VM), for binary, and for
+// the generator (GenerateColumns) — proven byte for byte through the
+// codec.
+func TestLoadColumnsMatchesRowPath(t *testing.T) {
+	src := TraceSource{Days: 4, VMs: 300, Seed: 9}
+	orig, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := trace.EncodeColumns(trace.FromTrace(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "trace.csv")
+	binPath := filepath.Join(dir, "trace.rctb")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteColumns(f, trace.FromTrace(orig)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{"", csvPath, binPath} {
+		fileSrc := src
+		fileSrc.Path = path
+		c, err := fileSrc.LoadColumns()
+		if err != nil {
+			t.Fatalf("LoadColumns(%q): %v", path, err)
+		}
+		got, err := trace.EncodeColumns(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("LoadColumns(%q) differs from FromTrace(Load())", path)
+		}
 	}
 }
 

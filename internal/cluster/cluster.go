@@ -170,8 +170,13 @@ type Cluster struct {
 	// placement remembers which server each VM landed on.
 	placement map[int64]*Server
 	// deployDomains counts VMs per (deployment, fault domain) for the
-	// spreading rule.
+	// spreading rule. Entries are removed (and their slices recycled via
+	// domainsFree) once a deployment fully drains, so the map is sized by
+	// concurrent deployments, not every deployment the cluster ever saw —
+	// on a month-scale trace the difference is the dominant allocation.
 	deployDomains map[string][]int
+	// domainsFree holds drained (all-zero) domain-count slices for reuse.
+	domainsFree [][]int
 	// index is the free-capacity server index behind selectCandidates.
 	index serverIndex
 	// candScratch, allocScratch and lifeScratch are reusable candidate
@@ -509,7 +514,12 @@ func (c *Cluster) PlaceVM(req *Request, s *Server) {
 	c.placement[req.VM.ID] = s
 	counts := c.deployDomains[req.Deployment]
 	if counts == nil {
-		counts = make([]int, c.cfg.FaultDomains)
+		if n := len(c.domainsFree); n > 0 {
+			counts = c.domainsFree[n-1] // all zeros: recycled only when drained
+			c.domainsFree = c.domainsFree[:n-1]
+		} else {
+			counts = make([]int, c.cfg.FaultDomains)
+		}
 		c.deployDomains[req.Deployment] = counts
 	}
 	counts[s.FaultDomain]++
@@ -550,6 +560,17 @@ func (c *Cluster) VMCompleted(req *Request) (*Server, error) {
 	counts := c.deployDomains[req.Deployment]
 	if counts != nil {
 		counts[s.FaultDomain]--
+		live := 0
+		for _, n := range counts {
+			live += n
+		}
+		// A drained deployment's all-zero table is behaviorally identical
+		// to an absent one (spreadRule keeps every candidate either way),
+		// so drop it and recycle the slice.
+		if live == 0 {
+			delete(c.deployDomains, req.Deployment)
+			c.domainsFree = append(c.domainsFree, counts)
+		}
 	}
 	return s, nil
 }

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"resourcecentral/internal/cluster"
+	"resourcecentral/internal/obs"
+	"resourcecentral/internal/synth"
+	"resourcecentral/internal/trace"
+)
+
+// genEquivTrace synthesizes a multi-chunk trace for a given seed so the
+// columnar equivalence runs cover chunk-boundary crossings.
+func genEquivTrace(t *testing.T, seed uint64) *trace.Trace {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Days = 10
+	cfg.TargetVMs = 12000
+	cfg.MaxDeploymentVMs = 150
+	cfg.Seed = seed
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+// equivConfigs is the policy grid the byte-identity claim covers: all
+// four policies, the sensitivity knobs, and lifetime-aware co-location.
+func equivConfigs(tr *trace.Trace, servers int) []Config {
+	oracle := &OraclePredictor{Horizon: tr.Horizon}
+	return []Config{
+		{Cluster: clusterConfig(cluster.Baseline, servers)},
+		{Cluster: clusterConfig(cluster.Naive, servers)},
+		{Cluster: clusterConfig(cluster.RCHard, servers), Predictor: oracle},
+		{Cluster: clusterConfig(cluster.RCSoft, servers), Predictor: oracle},
+		{Cluster: clusterConfig(cluster.RCSoft, servers), Predictor: oracle, UtilScale: 1.25},
+		{Cluster: clusterConfig(cluster.RCSoft, servers), Predictor: oracle, BucketShift: 1},
+		func() Config {
+			c := clusterConfig(cluster.RCSoft, servers)
+			c.LifetimeAware = true
+			return Config{Cluster: c, Predictor: oracle,
+				LifetimePredictor: &OracleLifetimePredictor{Horizon: tr.Horizon}}
+		}(),
+	}
+}
+
+// RunColumns must be byte-identical to Run — same placements, same
+// stats, same floats — for every policy, across seeds. Both paths
+// share one core; this pins the arrival sources to equal behaviour.
+func TestRunColumnsMatchesRun(t *testing.T) {
+	for _, seed := range []uint64{21, 97} {
+		tr := genEquivTrace(t, seed)
+		cols := trace.FromTrace(tr)
+		for i, cfg := range equivConfigs(tr, 400) {
+			want, err := Run(tr, cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %d: %v", seed, i, err)
+			}
+			got, err := RunColumns(cols, cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %d: %v", seed, i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d cfg %d (%v): columnar result differs:\n got %+v\nwant %+v",
+					seed, i, cfg.Cluster.Policy, got, want)
+			}
+		}
+	}
+}
+
+// The columnar wave-size pass must agree with the row map for every VM.
+func TestCountInitialWavesColumnsMatchesRows(t *testing.T) {
+	tr := genEquivTrace(t, 21)
+	cols := trace.FromTrace(tr)
+	rows := countInitialWaves(tr)
+	byID := countInitialWavesColumns(cols)
+	err := cols.ForEachChunk(func(base int, ch *trace.Chunk) error {
+		tab := ch.Strings()
+		for j, id := range ch.Dep {
+			if byID[id] != rows[tab.StringAt(id)] {
+				t.Fatalf("vm %d dep %q: columnar wave %d, row wave %d",
+					base+j, tab.StringAt(id), byID[id], rows[tab.StringAt(id)])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RunColumns validation mirrors Run's.
+func TestRunColumnsValidation(t *testing.T) {
+	if _, err := RunColumns(trace.NewColumns(100), Config{}); err == nil {
+		t.Error("expected error for empty columns")
+	}
+	cols := trace.FromTrace(loadTrace(t))
+	if _, err := RunColumns(cols, Config{Cluster: cluster.Config{}}); err == nil {
+		t.Error("expected error for invalid cluster config")
+	}
+}
+
+// RunSweepColumns must reproduce RunSweep point for point, including
+// the merged counter metrics (timings are wall-clock and excluded).
+func TestRunSweepColumnsMatchesRunSweep(t *testing.T) {
+	tr := genEquivTrace(t, 21)
+	cols := trace.FromTrace(tr)
+	cfgs := equivConfigs(tr, 400)
+	want, err := RunSweep(tr, cfgs, SweepOptions{Workers: 2, CollectObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSweepColumns(cols, cfgs, SweepOptions{Workers: 2, CollectObs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Errorf("sweep results differ:\n got %+v\nwant %+v", got.Results, want.Results)
+	}
+	if !reflect.DeepEqual(counterFamilies(got.Metrics), counterFamilies(want.Metrics)) {
+		t.Errorf("merged counters differ:\n got %+v\nwant %+v",
+			counterFamilies(got.Metrics), counterFamilies(want.Metrics))
+	}
+}
+
+// counterFamilies filters a metric snapshot down to the deterministic
+// counters (run-duration histograms and throughput gauges depend on
+// wall time and cannot be compared across runs).
+func counterFamilies(fams []obs.Family) []obs.Family {
+	var out []obs.Family
+	for _, f := range fams {
+		if f.Kind == obs.KindCounter {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// An empty columnar sweep fails every point, like the row sweep.
+func TestRunSweepColumnsEmpty(t *testing.T) {
+	res, err := RunSweepColumns(trace.NewColumns(100), []Config{{}}, SweepOptions{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if res.Results[0] != nil {
+		t.Fatal("expected nil result for failed point")
+	}
+}

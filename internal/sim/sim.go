@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -99,6 +98,28 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	if len(tr.VMs) == 0 {
 		return nil, errors.New("sim: empty trace")
 	}
+	return runSource(newRowSource(tr), cfg)
+}
+
+// RunColumns simulates a columnar trace against a fresh cluster without
+// materializing row structs: arrivals are filled from chunk columns
+// into a bounded pool of scratch VMs, so allocations stay flat in trace
+// length. The result is byte-identical to Run over the equivalent row
+// trace — both drive the same core, executing the same float operations
+// in the same order (see the columns equivalence tests).
+func RunColumns(c *trace.Columns, cfg Config) (*Result, error) {
+	if c.Len() == 0 {
+		return nil, errors.New("sim: empty trace")
+	}
+	return runSource(newColSource(c, countInitialWavesColumns(c)), cfg)
+}
+
+// runSource is the shared Section 6.2 core: it drains completions,
+// schedules each arrival the source yields, and folds placements into
+// the streaming per-server accumulators. Everything trace-shaped is
+// behind src, so the row and columnar paths differ only in how arrivals
+// are produced.
+func runSource(src arrivalSource, cfg Config) (*Result, error) {
 	if cfg.ConfidenceThreshold == 0 {
 		cfg.ConfidenceThreshold = 0.6
 	}
@@ -141,9 +162,10 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	intervals := int(tr.Horizon / trace.ReadingIntervalMin)
+	horizon := src.horizon()
+	intervals := int(horizon / trace.ReadingIntervalMin)
 	if intervals <= 0 {
-		return nil, fmt.Errorf("sim: horizon %d too short", tr.Horizon)
+		return nil, fmt.Errorf("sim: horizon %d too short", horizon)
 	}
 	// One streaming accumulator per server instead of a servers×intervals
 	// matrix: each placement advances the target server's finalized-interval
@@ -154,39 +176,37 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 	// rounding so per-reading percentages stay bit-identical.
 	capacity := float64(float32(cfg.Cluster.CoresPerServer))
 
-	deployRequested := countInitialWaves(tr)
-
 	res := &Result{Policy: cfg.Cluster.Policy}
 	var completions completionHeap
 
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
+	err = src.each(func(v *trace.VM, req *cluster.Request, requested int) error {
 		// Release every VM that completed before this arrival.
 		for len(completions) > 0 && completions[0].at <= v.Created {
-			done := heap.Pop(&completions).(completion)
+			done := completions.pop()
 			srv, err := cl.VMCompleted(done.req)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if srv.Empty() {
 				res.ServerDrains++
 			}
+			src.release(done.req)
 		}
 
 		res.Arrivals++
 		arrivals.Inc()
-		req := &cluster.Request{
+		*req = cluster.Request{
 			VM:         v,
 			Production: v.Production,
 			Deployment: v.Deployment,
 		}
-		req.PredUtilCores = c95Cores(v, cfg, deployRequested[v.Deployment])
+		req.PredUtilCores = c95Cores(v, cfg, requested)
 		if cfg.Predictor != nil {
 			predictions.Inc()
 		}
 		if cfg.LifetimePredictor != nil {
 			lifetimePreds.Inc()
-			if b, score, ok := cfg.LifetimePredictor.PredictLifetimeBucket(v, deployRequested[v.Deployment]); ok && score >= cfg.ConfidenceThreshold {
+			if b, score, ok := cfg.LifetimePredictor.PredictLifetimeBucket(v, requested); ok && score >= cfg.ConfidenceThreshold {
 				req.PredEndTime = v.Created + trace.Minutes(metric.Lifetime.BucketHigh(b))
 			}
 		}
@@ -200,14 +220,15 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			} else {
 				res.FailuresNonProd++
 			}
-			continue
+			src.release(req)
+			return nil
 		}
 		res.Placed++
 		placements.Inc()
 
 		end := v.Deleted
-		if end > tr.Horizon {
-			end = tr.Horizon
+		if end > horizon {
+			end = horizon
 		}
 		res.AllocatedCoreHours += float64(end-v.Created) / 60 * float64(v.Cores)
 		a := &accums[server.ID]
@@ -216,10 +237,18 @@ func Run(tr *trace.Trace, cfg Config) (*Result, error) {
 			startIdx = intervals
 		}
 		a.advance(startIdx, cfg.UtilScale, capacity)
-		a.active = append(a.active, activeVM{v: v, end: end, cores: float64(v.Cores)})
+		a.active = append(a.active, activeVM{util: v.Util, end: end, cores: float64(v.Cores)})
 		if v.Deleted < trace.NoEnd {
-			heap.Push(&completions, completion{at: v.Deleted, req: req})
+			completions.push(completion{at: v.Deleted, req: req})
+		} else {
+			// The VM never completes inside the window; the cluster keeps
+			// only its ID-keyed bookkeeping, so the request can recycle.
+			src.release(req)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Flush every accumulator to the horizon, then combine per-server
@@ -270,9 +299,13 @@ func c95Cores(v *trace.VM, cfg Config, requested int) float64 {
 }
 
 // activeVM is one VM currently contributing to a server's utilization
-// readings: its contribution window was fixed at placement time.
+// readings: its contribution window was fixed at placement time. The
+// utilization model is held by value — not via the *trace.VM — because
+// accumulators read it long after the arrival is gone, and the columnar
+// path recycles its scratch VMs (At is a pure function of the model's
+// fields, so the copy reads identically).
 type activeVM struct {
-	v     *trace.VM
+	util  trace.UtilModel
 	end   trace.Minutes // Deleted clamped to the horizon
 	cores float64
 }
@@ -310,12 +343,13 @@ func (a *serverAccum) advance(upto int, scale, capacity float64) {
 		t := trace.Minutes(a.frontier) * trace.ReadingIntervalMin
 		var reading float32
 		live := a.active[:0]
-		for _, vm := range a.active {
+		for i := range a.active {
+			vm := &a.active[i]
 			if t+trace.ReadingIntervalMin > vm.end {
 				continue
 			}
-			live = append(live, vm)
-			_, _, max := vm.v.Util.At(t)
+			live = append(live, *vm)
+			_, _, max := vm.util.At(t)
 			reading += float32(max / 100 * vm.cores * scale)
 		}
 		a.active = live
@@ -342,34 +376,68 @@ func alignUp(t trace.Minutes) trace.Minutes {
 	return t
 }
 
-// countInitialWaves maps deployment id to its initial request size (the
-// number of VMs in its first wave), the client input RC models consume.
-func countInitialWaves(tr *trace.Trace) map[string]int {
-	first := make(map[string]trace.Minutes)
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
-		if t, ok := first[v.Deployment]; !ok || v.Created < t {
-			first[v.Deployment] = v.Created
-		}
-	}
-	count := make(map[string]int, len(first))
-	for i := range tr.VMs {
-		v := &tr.VMs[i]
-		if v.Created == first[v.Deployment] {
-			count[v.Deployment]++
-		}
-	}
-	return count
-}
-
 // completion is a pending VM termination.
 type completion struct {
 	at  trace.Minutes
 	req *cluster.Request
 }
 
+// completionHeap is a binary min-heap on completion time. The typed
+// push/pop replicate container/heap's sift algorithm exactly — same
+// child choice, same tie behaviour — so pop order (and therefore every
+// downstream float) matches the original container/heap implementation,
+// without boxing each completion into an interface per push.
 type completionHeap []completion
 
+func (h *completionHeap) push(c completion) {
+	*h = append(*h, c)
+	j := len(*h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if (*h)[j].at >= (*h)[i].at {
+			break
+		}
+		(*h)[i], (*h)[j] = (*h)[j], (*h)[i]
+		j = i
+	}
+}
+
+// pop removes and returns the earliest completion.
+//
+//rcvet:hotpath
+func (h *completionHeap) pop() completion {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old[:n].down(0)
+	c := old[n]
+	*h = old[:n]
+	return c
+}
+
+//rcvet:hotpath
+func (h completionHeap) down(i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].at < h[j1].at {
+			j = j2
+		}
+		if h[j].at >= h[i].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// Len, Less, Swap, Push and Pop keep completionHeap usable with
+// container/heap; the matrix-reference equivalence test drives it that
+// way to prove the typed operations above preserve the original order.
 func (h completionHeap) Len() int           { return len(h) }
 func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
 func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }

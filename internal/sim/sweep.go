@@ -35,8 +35,42 @@ type SweepResult struct {
 // parallel, since each point simulates a fresh cluster. Points missing a
 // RunLabel get "point<i>" so their metrics stay distinguishable after the
 // merge. Run errors don't abort the sweep; they are joined into the
-// returned error while the remaining points complete.
+// returned error while the remaining points complete. The initial-wave
+// sizes are computed once and shared read-only across all points.
 func RunSweep(tr *trace.Trace, cfgs []Config, opt SweepOptions) (*SweepResult, error) {
+	if len(tr.VMs) == 0 {
+		return runSweepPoints(cfgs, opt, func(Config) (*Result, error) {
+			return nil, errors.New("sim: empty trace")
+		})
+	}
+	src := newRowSource(tr) // stateless per run; safe to share across points
+	return runSweepPoints(cfgs, opt, func(cfg Config) (*Result, error) {
+		return runSource(src, cfg)
+	})
+}
+
+// RunSweepColumns is RunSweep over a columnar trace: every point runs
+// RunColumns against the shared chunks, with the wave sizes computed
+// once per sweep. Each point gets its own arrival pool (the pool is the
+// only per-run state), so points stay independent while the underlying
+// columns are shared read-only.
+func RunSweepColumns(c *trace.Columns, cfgs []Config, opt SweepOptions) (*SweepResult, error) {
+	if c.Len() == 0 {
+		return runSweepPoints(cfgs, opt, func(Config) (*Result, error) {
+			return nil, errors.New("sim: empty trace")
+		})
+	}
+	waves := countInitialWavesColumns(c)
+	return runSweepPoints(cfgs, opt, func(cfg Config) (*Result, error) {
+		return runSource(newColSource(c, waves), cfg)
+	})
+}
+
+// runSweepPoints is the sweep scaffolding shared by the row and
+// columnar entry points: label/registry defaulting, the worker pool
+// over points, and the deterministic metric merge. runOne executes a
+// single point and must be safe for concurrent calls.
+func runSweepPoints(cfgs []Config, opt SweepOptions, runOne func(Config) (*Result, error)) (*SweepResult, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,7 +103,7 @@ func RunSweep(tr *trace.Trace, cfgs []Config, opt SweepOptions) (*SweepResult, e
 				if i >= len(points) {
 					return
 				}
-				r, err := Run(tr, points[i])
+				r, err := runOne(points[i])
 				if err != nil {
 					errs[i] = fmt.Errorf("sweep point %q: %w", points[i].RunLabel, err)
 					continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"resourcecentral/internal/cluster"
 	"resourcecentral/internal/obs"
@@ -85,6 +86,42 @@ func TestRunSweepMergedMetrics(t *testing.T) {
 		if v, ok := byRun[label]; !ok || v != float64(r.Placed) {
 			t.Errorf("%s: metric %g, want %d placements", label, v, r.Placed)
 		}
+	}
+}
+
+// TestRunSweepPointsConcurrency proves the sweep fan-out actually runs
+// points concurrently: with two workers, two runOne calls must be in
+// flight at the same time. This is the property bench numbers cannot
+// show on a single-core host — there GOMAXPROCS=1 timeshares the
+// goroutines and every worker count measures the same serial work, so
+// the engagement proof lives here instead of in BenchmarkSimSweep.
+func TestRunSweepPointsConcurrency(t *testing.T) {
+	const points = 4
+	arrived := make(chan int, points)
+	proceed := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := runSweepPoints(make([]Config, points), SweepOptions{Workers: 2},
+			func(Config) (*Result, error) {
+				arrived <- 1
+				<-proceed
+				return &Result{}, nil
+			})
+		done <- err
+	}()
+	// Two workers must both enter runOne before either is released; a
+	// serial pool would hold the second point back until the first
+	// finishes, so bound the wait.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(10 * time.Second):
+			t.Fatal("sweep ran points serially: second worker never entered runOne")
+		}
+	}
+	close(proceed)
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -207,6 +207,35 @@ func Generate(cfg Config) (*Result, error) {
 	}, nil
 }
 
+// ColumnsResult bundles a columnar trace with the subscription ground
+// truth, for consumers that never need the row representation.
+type ColumnsResult struct {
+	Columns       *trace.Columns
+	Subscriptions []*Subscription
+	// BySubscription maps subscription id to its record.
+	BySubscription map[string]*Subscription
+}
+
+// GenerateColumns produces the synthetic trace in columnar form. The
+// generator's working set is still row-shaped (arrival-time sorting and
+// ID assignment need the full population), but the rows are released as
+// soon as the chunks are built, so downstream holds only the columns.
+// The result is exactly FromTrace over Generate's trace: same VMs, same
+// intern order, same chunking.
+func GenerateColumns(cfg Config) (*ColumnsResult, error) {
+	res, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := trace.FromTrace(res.Trace)
+	res.Trace = nil // drop the row slice; columns are the only live copy
+	return &ColumnsResult{
+		Columns:        c,
+		Subscriptions:  res.Subscriptions,
+		BySubscription: res.BySubscription,
+	}, nil
+}
+
 type generator struct {
 	cfg  Config
 	r    *rand.Rand

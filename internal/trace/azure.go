@@ -26,40 +26,101 @@ import (
 // scheduler consume. horizonSeconds bounds the observation window; VMs
 // deleted at or beyond it are treated as still running.
 func ReadAzureVMTable(r io.Reader, horizonSeconds int64) (*Trace, error) {
+	tr := &Trace{Horizon: Minutes(horizonSeconds / 60)}
+	err := EachAzureVM(r, horizonSeconds, func(v *VM) error {
+		tr.VMs = append(tr.VMs, *v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// EachAzureVM streams a public-dataset vmtable (the format
+// ReadAzureVMTable documents), calling fn once per VM in file order
+// with IDs assigned 1..n. The VM behind v is reused between calls; fn
+// must copy what it keeps. This is the row iterator every Azure ingest
+// path shares — the row reader, the columnar reader, and the RCTB
+// transcoder differ only in their fn.
+func EachAzureVM(r io.Reader, horizonSeconds int64, fn func(v *VM) error) error {
 	if horizonSeconds <= 0 {
-		return nil, fmt.Errorf("trace: horizon %d must be positive", horizonSeconds)
+		return fmt.Errorf("trace: horizon %d must be positive", horizonSeconds)
 	}
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	horizon := Minutes(horizonSeconds / 60)
 
-	tr := &Trace{Horizon: Minutes(horizonSeconds / 60)}
-	line := 0
+	var v VM
+	line, n := 0, int64(0)
 	for {
 		row, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: azure vmtable line %d: %w", line+1, err)
+			return fmt.Errorf("trace: azure vmtable line %d: %w", line+1, err)
 		}
 		line++
 		if line == 1 && looksLikeHeader(row) {
 			continue
 		}
 		if len(row) != 11 {
-			return nil, fmt.Errorf("trace: azure vmtable line %d has %d fields, want 11", line, len(row))
+			return fmt.Errorf("trace: azure vmtable line %d has %d fields, want 11", line, len(row))
 		}
-		v, err := parseAzureRow(row, tr.Horizon)
+		v, err = parseAzureRow(row, horizon)
 		if err != nil {
-			return nil, fmt.Errorf("trace: azure vmtable line %d: %w", line, err)
+			return fmt.Errorf("trace: azure vmtable line %d: %w", line, err)
 		}
-		v.ID = int64(len(tr.VMs) + 1)
-		tr.VMs = append(tr.VMs, v)
+		n++
+		v.ID = n
+		if err := fn(&v); err != nil {
+			return err
+		}
 	}
-	if len(tr.VMs) == 0 {
-		return nil, fmt.Errorf("trace: azure vmtable contains no VM rows")
+	if n == 0 {
+		return fmt.Errorf("trace: azure vmtable contains no VM rows")
 	}
-	return tr, nil
+	return nil
+}
+
+// ReadAzureVMTableColumns transcodes a public-dataset vmtable straight
+// into columnar form: rows are parsed, interned, and appended chunk by
+// chunk without ever materializing a row []VM. The result equals
+// FromTrace(ReadAzureVMTable(...)) — same intern order, same chunks —
+// by the transcode equivalence test.
+func ReadAzureVMTableColumns(r io.Reader, horizonSeconds int64) (*Columns, error) {
+	if horizonSeconds <= 0 {
+		return nil, fmt.Errorf("trace: horizon %d must be positive", horizonSeconds)
+	}
+	c := NewColumns(Minutes(horizonSeconds / 60))
+	if err := EachAzureVM(r, horizonSeconds, func(v *VM) error {
+		c.Append(v)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// TranscodeAzureVMTable streams a public-dataset vmtable from r into
+// RCTB binary frames on w with bounded memory: one chunk plus the
+// dictionary, independent of trace size. It returns the VM count. The
+// bytes equal WriteColumns(FromTrace(ReadAzureVMTable(...))).
+func TranscodeAzureVMTable(w io.Writer, r io.Reader, horizonSeconds int64) (int, error) {
+	if horizonSeconds <= 0 {
+		return 0, fmt.Errorf("trace: horizon %d must be positive", horizonSeconds)
+	}
+	cw := NewColumnsWriter(w, Minutes(horizonSeconds/60))
+	n := 0
+	if err := EachAzureVM(r, horizonSeconds, func(v *VM) error {
+		n++
+		return cw.Write(v)
+	}); err != nil {
+		return n, err
+	}
+	return n, cw.Close()
 }
 
 func looksLikeHeader(row []string) bool {

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -120,5 +122,89 @@ func TestFitUtilModelEdgeCases(t *testing.T) {
 	m = fitUtilModel(120, 150, 200, "Interactive", 2)
 	if m.Base > 100 || m.Base+m.Amplitude > 200 {
 		t.Errorf("clamping failed: %+v", m)
+	}
+}
+
+// A synthetic vmtable large enough to cross a chunk boundary, so the
+// transcode tests exercise multi-frame output.
+func genAzureCSV(n int) string {
+	var b strings.Builder
+	b.WriteString("vmid,subscriptionid,deploymentid,vmcreated,vmdeleted,maxcpu,avgcpu,p95maxcpu,vmcategory,vmcorecount,vmmemory\n")
+	cats := []string{"Delay-insensitive", "Interactive", "Unknown"}
+	for i := 0; i < n; i++ {
+		created := int64(i) * 300
+		deleted := created + int64(600+i%7*43200)
+		fmt.Fprintf(&b, "vm-%d,sub-%d,dep-%d,%d,%d,%.1f,%.1f,%.1f,%s,%d,%g\n",
+			i, i%97, i%311, created, deleted,
+			float64(30+i%70), float64(5+i%25), float64(20+i%60),
+			cats[i%3], 1+i%8, 0.75*float64(1+i%16))
+	}
+	return b.String()
+}
+
+// The columnar Azure reader must equal FromTrace over the row reader —
+// same intern order, same chunks — proven byte for byte through the
+// codec; and the streaming RCTB transcode must produce those same
+// bytes with bounded memory.
+func TestAzureColumnsTranscodeEquivalence(t *testing.T) {
+	raw := genAzureCSV(ChunkSize + 123)
+	const horizon = 30 * 24 * 3600
+
+	tr, err := ReadAzureVMTable(strings.NewReader(raw), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeColumns(FromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cols, err := ReadAzureVMTableColumns(strings.NewReader(raw), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Len() != len(tr.VMs) {
+		t.Fatalf("columns has %d VMs, want %d", cols.Len(), len(tr.VMs))
+	}
+	got, err := EncodeColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("ReadAzureVMTableColumns differs from FromTrace(ReadAzureVMTable(...))")
+	}
+
+	var stream bytes.Buffer
+	n, err := TranscodeAzureVMTable(&stream, strings.NewReader(raw), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tr.VMs) {
+		t.Fatalf("transcoded %d VMs, want %d", n, len(tr.VMs))
+	}
+	if !bytes.Equal(stream.Bytes(), want) {
+		t.Fatal("streaming transcode differs from one-shot encode")
+	}
+}
+
+// The columnar and transcoding Azure paths reject exactly what the row
+// reader rejects.
+func TestAzureColumnsErrors(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		raw  string
+		hz   int64
+	}{
+		{"bad horizon", azureSample, 0},
+		{"empty", "", 86400},
+		{"short row", "a,b,c\n", 86400},
+	} {
+		if _, err := ReadAzureVMTableColumns(strings.NewReader(c.raw), c.hz); err == nil {
+			t.Errorf("columns %s: expected error", c.name)
+		}
+		var buf bytes.Buffer
+		if _, err := TranscodeAzureVMTable(&buf, strings.NewReader(c.raw), c.hz); err == nil {
+			t.Errorf("transcode %s: expected error", c.name)
+		}
 	}
 }

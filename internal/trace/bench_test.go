@@ -156,6 +156,77 @@ func BenchmarkColumnsDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkColumnsDecodeParallel measures DecodeColumnsParallel at
+// growing worker counts. The column pass is embarrassingly parallel
+// across frames; observed speedup is bounded by GOMAXPROCS — on a
+// single-core host every worker count serializes onto one core and
+// ns/op stays flat, so read these numbers against the host's core
+// count, not the worker axis alone.
+func BenchmarkColumnsDecodeParallel(b *testing.B) {
+	for _, n := range benchSizes(b) {
+		data, err := EncodeColumns(FromTrace(benchTrace(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("vms=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := DecodeColumnsParallel(data, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkColumnsEncodeParallel measures the worker-pipelined frame
+// encoder; output bytes are identical to WriteColumns at any worker
+// count. The same GOMAXPROCS bound as the decode benchmark applies.
+func BenchmarkColumnsEncodeParallel(b *testing.B) {
+	for _, n := range benchSizes(b) {
+		c := FromTrace(benchTrace(n))
+		data, err := EncodeColumns(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("vms=%d/workers=%d", n, workers), func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := WriteColumnsParallel(io.Discard, c, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAzureTranscode measures the streaming vmtable → RCTB path:
+// one CSV pass, chunked encode, no row slice.
+func BenchmarkAzureTranscode(b *testing.B) {
+	for _, n := range benchSizes(b) {
+		b.Run(fmt.Sprintf("vms=%d", n), func(b *testing.B) {
+			raw := genAzureCSV(n)
+			const horizon = 30 * 24 * 3600
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := TranscodeAzureVMTable(io.Discard, strings.NewReader(raw), horizon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSummaryStatsMonth(b *testing.B) {
 	v := VM{
 		Cores: 2, Created: 0, Deleted: 30 * 24 * 60,

@@ -318,27 +318,51 @@ func (d *frameDec) u64Column(dst []uint64) {
 // any new dictionary strings to tab.
 func decodeFrame(payload []byte, tab *StringTable) (*Chunk, error) {
 	d := &frameDec{b: payload}
+	n, err := decodeFrameDict(d, tab)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFrameCols(d, tab, tab.Len(), n)
+}
+
+// decodeFrameDict parses a frame's VM count and dictionary delta,
+// appending the new strings to tab, and leaves d positioned at the
+// column runs. It is the order-dependent part of frame decoding: the
+// dictionary must be applied in frame order, while the column runs that
+// follow are independent (see DecodeColumnsParallel).
+func decodeFrameDict(d *frameDec, tab *StringTable) (int, error) {
 	n64 := d.uvarint()
 	if d.bad || n64 == 0 || n64 > ChunkSize {
-		return nil, fmt.Errorf("%w: frame VM count %d", errBadFrame, n64)
+		return 0, fmt.Errorf("%w: frame VM count %d", errBadFrame, n64)
 	}
-	n := int(n64)
 
 	// Dictionary delta. Each new string needs at least one length byte,
 	// so the count is bounded by the remaining payload.
 	nnew := d.uvarint()
-	if d.bad || nnew > uint64(len(payload)-d.off) {
-		return nil, fmt.Errorf("%w: dictionary count %d", errBadFrame, nnew)
+	if d.bad || nnew > uint64(len(d.b)-d.off) {
+		return 0, fmt.Errorf("%w: dictionary count %d", errBadFrame, nnew)
 	}
 	for i := uint64(0); i < nnew; i++ {
 		slen := d.uvarint()
-		if d.bad || slen > uint64(len(payload)-d.off) {
-			return nil, fmt.Errorf("%w: dictionary string %d", errBadFrame, i)
+		if d.bad || slen > uint64(len(d.b)-d.off) {
+			return 0, fmt.Errorf("%w: dictionary string %d", errBadFrame, i)
 		}
-		tab.add(string(payload[d.off : d.off+int(slen)]))
+		tab.add(string(d.b[d.off : d.off+int(slen)]))
 		d.off += int(slen)
 	}
+	return int(n64), nil
+}
 
+// decodeFrameCols decodes the column runs that follow a frame's
+// dictionary delta into a fresh n-VM chunk. tabLen is the dictionary
+// size visible to this frame — the snapshot taken right after its delta
+// was applied. The serial reader passes the live table size; the
+// parallel decoder passes the recorded snapshot, because by the time a
+// worker runs the shared table already holds later frames' strings and
+// validating against it would accept forward references the serial
+// decoder rejects.
+func decodeFrameCols(d *frameDec, tab *StringTable, tabLen, n int) (*Chunk, error) {
+	payload := d.b
 	ch := newChunk(tab, n)
 	ch.ID = ch.ID[:n]
 	ch.Sub, ch.Dep, ch.Region, ch.Role, ch.OS =
@@ -354,11 +378,11 @@ func decodeFrame(payload []byte, tab *StringTable) (*Chunk, error) {
 	ch.Seed = ch.Seed[:n]
 
 	d.deltaColumn(ch.ID)
-	d.stringIDColumn(ch.Sub, tab.Len())
-	d.stringIDColumn(ch.Dep, tab.Len())
-	d.stringIDColumn(ch.Region, tab.Len())
-	d.stringIDColumn(ch.Role, tab.Len())
-	d.stringIDColumn(ch.OS, tab.Len())
+	d.stringIDColumn(ch.Sub, tabLen)
+	d.stringIDColumn(ch.Dep, tabLen)
+	d.stringIDColumn(ch.Region, tabLen)
+	d.stringIDColumn(ch.Role, tabLen)
+	d.stringIDColumn(ch.OS, tabLen)
 	d.byteColumn(ch.Type, uint8(PaaS))
 	d.byteColumn(ch.Party, uint8(ThirdParty))
 	d.boolColumn(ch.Production)
@@ -393,14 +417,38 @@ type frameEnc struct {
 	payload []byte
 }
 
-// appendFrame encodes ch into e.payload and writes the length-prefixed
+// writeFrame encodes ch into e.payload and writes the length-prefixed
 // frame to w.
 func (e *frameEnc) writeFrame(w io.Writer, ch *Chunk) error {
-	p := e.payload[:0]
-	n := ch.Len()
-	p = appendUvarint(p, uint64(n))
+	need := dictNeed(ch, e.emitted)
+	p, err := appendFramePayload(e.payload[:0], ch, e.tab, e.emitted, need)
+	if err != nil {
+		return err
+	}
+	e.payload = p
+	e.emitted = need
 
-	need := e.emitted
+	var head [maxVarintLen]byte
+	hn := putUvarint(head[:], uint64(len(p)))
+	if _, err := w.Write(head[:hn]); err != nil {
+		return fmt.Errorf("trace: write frame header: %w", err)
+	}
+	if _, err := w.Write(p); err != nil {
+		return fmt.Errorf("trace: write frame: %w", err)
+	}
+	return nil
+}
+
+// dictNeed returns the dictionary high-water mark after ch: one past
+// the highest string ID its string columns reference, or emitted when
+// the chunk only reuses already-shipped strings. Because IDs are
+// assigned in first-use order, the spans [emitted, need) for every
+// frame are computable in one cheap serial scan — which is what lets
+// frame payloads encode in parallel (see WriteColumnsParallel).
+//
+//rcvet:hotpath
+func dictNeed(ch *Chunk, emitted int) int {
+	need := emitted
 	for _, col := range [...][]uint32{ch.Sub, ch.Dep, ch.Region, ch.Role, ch.OS} {
 		for _, id := range col {
 			if int(id) >= need {
@@ -408,12 +456,21 @@ func (e *frameEnc) writeFrame(w io.Writer, ch *Chunk) error {
 			}
 		}
 	}
-	p = appendUvarint(p, uint64(need-e.emitted))
-	for _, s := range e.tab.strs[e.emitted:need] {
+	return need
+}
+
+// appendFramePayload appends ch's frame payload — VM count, the
+// dictionary delta covering tab's IDs [emitted, need), and the column
+// runs — to p. It only reads ch and tab, so distinct frames can encode
+// concurrently once their dictionary spans are known.
+func appendFramePayload(p []byte, ch *Chunk, tab *StringTable, emitted, need int) ([]byte, error) {
+	n := ch.Len()
+	p = appendUvarint(p, uint64(n))
+	p = appendUvarint(p, uint64(need-emitted))
+	for _, s := range tab.strs[emitted:need] {
 		p = appendUvarint(p, uint64(len(s)))
 		p = append(p, s...)
 	}
-	e.emitted = need
 
 	prev := int64(0)
 	for _, id := range ch.ID {
@@ -439,7 +496,7 @@ func (e *frameEnc) writeFrame(w io.Writer, ch *Chunk) error {
 	}
 	for i, c := range ch.Cores {
 		if c < 0 {
-			return fmt.Errorf("trace: vm %d: negative core count %d is not encodable", ch.ID[i], c)
+			return nil, fmt.Errorf("trace: vm %d: negative core count %d is not encodable", ch.ID[i], c)
 		}
 		p = appendUvarint(p, uint64(c))
 	}
@@ -455,7 +512,7 @@ func (e *frameEnc) writeFrame(w io.Writer, ch *Chunk) error {
 		}
 		delta := del - ch.Created[i]
 		if delta < 0 {
-			return fmt.Errorf("trace: vm %d: deleted %d before created %d is not encodable",
+			return nil, fmt.Errorf("trace: vm %d: deleted %d before created %d is not encodable",
 				ch.ID[i], del, ch.Created[i])
 		}
 		p = appendZigzag(p, delta)
@@ -485,17 +542,7 @@ func (e *frameEnc) writeFrame(w io.Writer, ch *Chunk) error {
 	for _, v := range ch.RampLifetime {
 		p = appendZigzag(p, v)
 	}
-	e.payload = p
-
-	var head [maxVarintLen]byte
-	hn := putUvarint(head[:], uint64(len(p)))
-	if _, err := w.Write(head[:hn]); err != nil {
-		return fmt.Errorf("trace: write frame header: %w", err)
-	}
-	if _, err := w.Write(p); err != nil {
-		return fmt.Errorf("trace: write frame: %w", err)
-	}
-	return nil
+	return p, nil
 }
 
 // writeColumnsHeader writes the magic, version, and horizon.

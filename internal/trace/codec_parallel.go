@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel forms of the RCTB codec. Frames are self-delimiting, and the
+// only order-dependent state is the dictionary: on decode, deltas must
+// be applied in frame order; on encode, each frame's delta span depends
+// on the running high-water mark. Both are cheap structural scans, so
+// the codec splits into a serial structure pass and a parallel column
+// pass — the ~21 varint/float kernels per chunk that dominate the
+// cost. Every frame lands at a fixed position, so for any worker count
+// the decoded Columns and the encoded bytes are identical to the
+// serial codec's, byte for byte.
+
+// parseColumnsHeader validates an in-memory blob's magic, version, and
+// horizon, returning the horizon and the offset of the first frame.
+func parseColumnsHeader(data []byte) (Minutes, int, error) {
+	if len(data) < 5 || string(data[:4]) != ColumnsMagic {
+		return 0, 0, ErrBadMagic
+	}
+	if data[4] != colsVersion {
+		return 0, 0, fmt.Errorf("%w: unsupported version %d (have %d)", errCorrupt, data[4], colsVersion)
+	}
+	h, n := uvarint(data[5:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: horizon", errCorrupt)
+	}
+	return Minutes(int64(h>>1) ^ -int64(h&1)), 5 + n, nil
+}
+
+// DecodeColumnsParallel parses a blob produced by EncodeColumns using
+// up to workers goroutines for the column kernels (workers <= 0 means
+// GOMAXPROCS). The result is identical to DecodeColumns.
+func DecodeColumnsParallel(data []byte, workers int) (*Columns, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	horizon, off, err := parseColumnsHeader(data)
+	if err != nil {
+		return nil, err
+	}
+
+	// Serial structure pass: frame boundaries, VM counts, and dictionary
+	// deltas, with the same validation the streaming reader applies
+	// (short frames only at the end, verified trailer, no trailing data).
+	type frameSpan struct {
+		d      frameDec
+		n      int // VM count
+		tabLen int // dictionary size visible to this frame
+	}
+	tab := NewStringTable()
+	var spans []frameSpan
+	total, short := 0, false
+	for {
+		plen, n := uvarint(data[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: frame length", errCorrupt)
+		}
+		off += n
+		if plen == 0 {
+			tot, n := uvarint(data[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: trailer", errCorrupt)
+			}
+			off += n
+			if int(tot) != total {
+				return nil, fmt.Errorf("%w: trailer count %d, read %d VMs", errCorrupt, tot, total)
+			}
+			if off != len(data) {
+				return nil, fmt.Errorf("%w: trailing data after trailer", errCorrupt)
+			}
+			break
+		}
+		if short {
+			return nil, fmt.Errorf("%w: %v", errCorrupt, errShortNotLast)
+		}
+		if plen > uint64(len(data)-off) {
+			return nil, fmt.Errorf("%w: truncated frame (%d of %d bytes)", errCorrupt, len(data)-off, plen)
+		}
+		sp := frameSpan{d: frameDec{b: data[off : off+int(plen)]}}
+		off += int(plen)
+		nvm, err := decodeFrameDict(&sp.d, tab)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+		}
+		if nvm < ChunkSize {
+			short = true
+		}
+		sp.n, sp.tabLen = nvm, tab.Len()
+		total += nvm
+		spans = append(spans, sp)
+	}
+
+	// Column pass: with the dictionary complete, every frame is
+	// independent given its recorded table snapshot. Chunks land at
+	// their frame's index, so the assembled Columns matches the serial
+	// decoder for any worker count.
+	chunks := make([]*Chunk, len(spans))
+	errs := make([]error, len(spans))
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	if workers <= 1 {
+		for i := range spans {
+			chunks[i], errs[i] = decodeFrameCols(&spans[i].d, tab, spans[i].tabLen, spans[i].n)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(spans) {
+						return
+					}
+					chunks[i], errs[i] = decodeFrameCols(&spans[i].d, tab, spans[i].tabLen, spans[i].n)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+		}
+	}
+
+	cols := &Columns{Horizon: horizon, tab: tab}
+	for _, ch := range chunks {
+		cols.appendChunk(ch)
+	}
+	return cols, nil
+}
+
+// WriteColumnsParallel writes the binary encoding of c to w, encoding
+// frame payloads across up to workers goroutines (workers <= 0 means
+// GOMAXPROCS). Frames are written strictly in order, so the output is
+// byte-identical to WriteColumns; in-flight payload memory is bounded
+// to about two frames per worker.
+func WriteColumnsParallel(w io.Writer, c *Columns, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := make([]*Chunk, 0, len(c.chunks))
+	for _, ch := range c.chunks {
+		if ch.Len() > 0 {
+			chunks = append(chunks, ch)
+		}
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		return WriteColumns(w, c)
+	}
+
+	// Serial dictionary pass: the delta span of every frame from one
+	// scan of the string-ID columns.
+	type dictSpan struct{ emitted, need int }
+	spans := make([]dictSpan, len(chunks))
+	emitted := 0
+	for i, ch := range chunks {
+		need := dictNeed(ch, emitted)
+		spans[i] = dictSpan{emitted, need}
+		emitted = need
+	}
+
+	// Parallel payload pass. Workers claim the next frame after taking a
+	// semaphore token; the writer releases one token per frame written,
+	// so at most 2×workers encoded payloads exist at once and the claim
+	// order keeps the in-flight window contiguous (the writer always
+	// waits on a frame some worker has already claimed).
+	slots := make([]struct {
+		payload []byte
+		err     error
+		ready   chan struct{}
+	}, len(chunks))
+	for i := range slots {
+		slots[i].ready = make(chan struct{})
+	}
+	sem := make(chan struct{}, 2*workers)
+	stop := make(chan struct{})
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}:
+				case <-stop:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(chunks) {
+					<-sem
+					return
+				}
+				slots[i].payload, slots[i].err =
+					appendFramePayload(nil, chunks[i], c.tab, spans[i].emitted, spans[i].need)
+				close(slots[i].ready)
+			}
+		}()
+	}
+	finish := func(err error) error {
+		close(stop)
+		wg.Wait()
+		return err
+	}
+
+	if err := writeColumnsHeader(w, c.Horizon); err != nil {
+		return finish(err)
+	}
+	var head [maxVarintLen]byte
+	for i := range chunks {
+		<-slots[i].ready
+		if err := slots[i].err; err != nil {
+			return finish(err)
+		}
+		p := slots[i].payload
+		hn := putUvarint(head[:], uint64(len(p)))
+		if _, err := w.Write(head[:hn]); err != nil {
+			return finish(fmt.Errorf("trace: write frame header: %w", err))
+		}
+		if _, err := w.Write(p); err != nil {
+			return finish(fmt.Errorf("trace: write frame: %w", err))
+		}
+		slots[i].payload = nil
+		<-sem
+	}
+	return finish(writeColumnsTrailer(w, c.n))
+}
+
+// EncodeColumnsParallel returns the binary encoding of c, encoding
+// frames across up to workers goroutines. The bytes are identical to
+// EncodeColumns.
+func EncodeColumnsParallel(c *Columns, workers int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteColumnsParallel(&buf, c, workers); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// The parallel encoder must be byte-identical to the serial one for
+// any worker count, including degenerate shapes (empty, exact chunk
+// boundary, short tail).
+func TestParallelEncodeMatchesSerial(t *testing.T) {
+	for _, tr := range []*Trace{
+		sampleTrace(),
+		{Horizon: 77},
+		genTrace(ChunkSize),
+		genTrace(3*ChunkSize + 9),
+	} {
+		cols := FromTrace(tr)
+		want, err := EncodeColumns(cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4, 8} {
+			got, err := EncodeColumnsParallel(cols, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("vms=%d workers=%d: parallel encoding differs from serial", len(tr.VMs), workers)
+			}
+		}
+	}
+}
+
+// The parallel decoder must produce the same Columns as the serial one
+// for any worker count: same horizon, same chunks, same dictionary —
+// proven by re-encoding to the identical bytes.
+func TestParallelDecodeMatchesSerial(t *testing.T) {
+	for _, tr := range []*Trace{
+		sampleTrace(),
+		{Horizon: 77},
+		genTrace(ChunkSize),
+		genTrace(3*ChunkSize + 9),
+	} {
+		data, err := EncodeColumns(FromTrace(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4, 8} {
+			cols, err := DecodeColumnsParallel(data, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			again, err := EncodeColumns(cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, data) {
+				t.Fatalf("vms=%d workers=%d: parallel decode is not the serial fixpoint", len(tr.VMs), workers)
+			}
+			got := cols.ToTrace()
+			if got.Horizon != tr.Horizon || len(got.VMs) != len(tr.VMs) {
+				t.Fatalf("workers=%d: shape mismatch", workers)
+			}
+			for i := range tr.VMs {
+				if got.VMs[i] != tr.VMs[i] {
+					t.Fatalf("workers=%d: vm %d mismatch", workers, i)
+				}
+			}
+		}
+	}
+}
+
+// The parallel decoder applies the same validation as the serial path:
+// every malformed input the serial decoder rejects must be rejected,
+// and on byte flips the two must agree input by input.
+func TestParallelDecodeErrors(t *testing.T) {
+	valid, err := EncodeColumns(FromTrace(sampleTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE")},
+		{"csv input", []byte("#horizon,100\n")},
+		{"magic only", valid[:4]},
+		{"bad version", append(append([]byte{}, "RCTB"...), 99)},
+		{"header only", valid[:6]},
+		{"truncated frame", valid[:len(valid)/2]},
+		{"missing trailer", valid[:len(valid)-2]},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xff)},
+	}
+	for _, c := range cases {
+		if _, err := DecodeColumnsParallel(c.data, 4); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := DecodeColumnsParallel([]byte("#horizon,100\n"), 4); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("csv input: err = %v, want ErrBadMagic", err)
+	}
+
+	small, err := EncodeColumns(FromTrace(&Trace{Horizon: 9, VMs: sampleTrace().VMs[:1]}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small {
+		mut := append([]byte{}, small...)
+		mut[i] ^= 0x41
+		scols, serr := DecodeColumns(mut)
+		pcols, perr := DecodeColumnsParallel(mut, 4) // must not panic
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("flip at %d: serial err=%v, parallel err=%v", i, serr, perr)
+		}
+		if serr != nil {
+			continue
+		}
+		senc, err := EncodeColumns(scols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		penc, err := EncodeColumns(pcols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(senc, penc) {
+			t.Fatalf("flip at %d: serial and parallel decodes differ", i)
+		}
+	}
+}
+
+// A short interior frame breaks global chunk indexing and must be
+// rejected by the structural pass, exactly like the streaming reader.
+func TestParallelDecodeRejectsShortInteriorFrame(t *testing.T) {
+	tr := genTrace(10)
+	var one bytes.Buffer
+	cw := NewColumnsWriter(&one, tr.Horizon)
+	for i := range tr.VMs {
+		if err := cw.Write(&tr.VMs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := one.Bytes()
+	hdrLen := 5
+	for full[hdrLen]&0x80 != 0 {
+		hdrLen++
+	}
+	hdrLen++
+	frame := full[hdrLen : len(full)-2]
+	spliced := append([]byte{}, full[:hdrLen]...)
+	spliced = append(spliced, frame...)
+	spliced = append(spliced, frame...)
+	spliced = append(spliced, 0, 20)
+	if _, err := DecodeColumnsParallel(spliced, 4); err == nil {
+		t.Fatal("expected error for short interior frame")
+	}
+}

@@ -66,13 +66,29 @@ func FuzzColumnsCodec(f *testing.F) {
 	f.Add([]byte("RCTB\x01\x00\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cols, err := DecodeColumns(data)
+		// The parallel decoder must agree with the serial one on every
+		// input: reject exactly what it rejects, accept the same trace.
+		pcols, perr := DecodeColumnsParallel(data, 3)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("serial/parallel decode disagree: %v vs %v", err, perr)
+		}
 		if err != nil {
 			return
+		}
+		penc, err := EncodeColumns(pcols)
+		if err != nil {
+			t.Fatalf("parallel-decoded columns failed to encode: %v", err)
 		}
 		// Accepted input must round-trip losslessly.
 		again, err := EncodeColumns(cols)
 		if err != nil {
 			t.Fatalf("accepted columns failed to encode: %v", err)
+		}
+		if !bytes.Equal(again, penc) {
+			t.Fatal("serial and parallel decodes differ")
+		}
+		if pagain, err := EncodeColumnsParallel(cols, 3); err != nil || !bytes.Equal(pagain, again) {
+			t.Fatalf("parallel encode differs from serial (err=%v)", err)
 		}
 		cols2, err := DecodeColumns(again)
 		if err != nil {

@@ -115,6 +115,85 @@ func (r *CSVReader) Read() (VM, error) {
 	return v, nil
 }
 
+// ReadCSVColumns streams a trace CSV (the WriteCSV format) straight
+// into columnar form without materializing a row []VM; the result
+// equals FromTrace(ReadCSV(...)).
+func ReadCSVColumns(r io.Reader) (*Columns, error) {
+	cr, err := NewCSVReader(r)
+	if err != nil {
+		return nil, err
+	}
+	c := NewColumns(cr.Horizon())
+	for {
+		v, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.Append(&v)
+	}
+	return c, nil
+}
+
+// TranscodeCSVToColumns streams a trace CSV from r into RCTB binary
+// frames on w with bounded memory (one chunk plus the dictionary),
+// returning the VM count. The bytes equal
+// WriteColumns(FromTrace(ReadCSV(...))).
+func TranscodeCSVToColumns(w io.Writer, r io.Reader) (int, error) {
+	cr, err := NewCSVReader(r)
+	if err != nil {
+		return 0, err
+	}
+	cw := NewColumnsWriter(w, cr.Horizon())
+	n := 0
+	for {
+		v, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := cw.Write(&v); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, cw.Close()
+}
+
+// TranscodeColumnsToCSV streams an RCTB binary trace from r into the
+// CSV format on w, chunk by chunk through one scratch VM, returning
+// the VM count.
+func TranscodeColumnsToCSV(w io.Writer, r io.Reader) (int, error) {
+	crr, err := NewColumnsReader(r)
+	if err != nil {
+		return 0, err
+	}
+	cw := NewCSVWriter(w, crr.Horizon())
+	var v VM
+	n := 0
+	for {
+		ch, err := crr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		for j := 0; j < ch.Len(); j++ {
+			ch.VMAt(j, &v)
+			if err := cw.Write(&v); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, cw.Flush()
+}
+
 // encodeVMRow fills row with v's columns (row must have len(vmHeader)).
 func encodeVMRow(v *VM, row []string) {
 	deleted := int64(v.Deleted)

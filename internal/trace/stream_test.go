@@ -129,3 +129,68 @@ func TestStreamReaderErrors(t *testing.T) {
 		t.Errorf("expected parse error, got %v", err)
 	}
 }
+
+// ReadCSVColumns and the two streaming transcoders must match the
+// row-materializing compositions byte for byte.
+func TestCSVColumnsTranscodeEquivalence(t *testing.T) {
+	tr := genTrace(ChunkSize + 57)
+	var csvBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := csvBuf.Bytes()
+
+	want, err := EncodeColumns(FromTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cols, err := ReadCSVColumns(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EncodeColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("ReadCSVColumns differs from FromTrace(ReadCSV(...))")
+	}
+
+	var bin bytes.Buffer
+	n, err := TranscodeCSVToColumns(&bin, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tr.VMs) {
+		t.Fatalf("transcoded %d VMs, want %d", n, len(tr.VMs))
+	}
+	if !bytes.Equal(bin.Bytes(), want) {
+		t.Fatal("CSV->RCTB transcode differs from one-shot encode")
+	}
+
+	var backCSV bytes.Buffer
+	n, err = TranscodeColumnsToCSV(&backCSV, bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tr.VMs) {
+		t.Fatalf("transcoded back %d VMs, want %d", n, len(tr.VMs))
+	}
+	if !bytes.Equal(backCSV.Bytes(), raw) {
+		t.Fatal("RCTB->CSV transcode differs from WriteCSV")
+	}
+}
+
+func TestCSVColumnsTranscodeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := ReadCSVColumns(strings.NewReader("nope")); err == nil {
+		t.Error("ReadCSVColumns: expected error on garbage")
+	}
+	if _, err := TranscodeCSVToColumns(&buf, strings.NewReader("nope")); err == nil {
+		t.Error("TranscodeCSVToColumns: expected error on garbage")
+	}
+	if _, err := TranscodeColumnsToCSV(&buf, strings.NewReader("nope")); err == nil {
+		t.Error("TranscodeColumnsToCSV: expected error on garbage")
+	}
+}
