@@ -1,7 +1,8 @@
 // Command rcvet runs the repository's custom static-analysis suite
 // (internal/lint): determinism, maporder, lockscope, metricname, and —
 // riding the interprocedural summary engine — lockorder, allocfree,
-// goroleak, and errflow. These are the invariants the paper's
+// goroleak, errflow, and the concurrency value-flow trio atomicfield,
+// poolescape, and ctxflow. These are the invariants the paper's
 // evaluation and the seed-equivalence tests depend on, enforced at
 // build time instead of by convention.
 //
@@ -202,14 +203,16 @@ func forPackage(path string, analyzers []*lint.Analyzer) []*lint.Analyzer {
 }
 
 // report prints findings in stable order and returns the exit status.
+// -json emits the machine-readable {file, line, column, analyzer,
+// message, witness} array CI uses to annotate pull requests.
 func report(diags []lint.Diagnostic, jsonOut bool) int {
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "\t")
-		if err := enc.Encode(diags); err != nil {
+		data, err := lint.EncodeDiagnosticsJSON(diags)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "rcvet:", err)
 			return 1
 		}
+		fmt.Fprintln(os.Stdout, string(data))
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)

@@ -48,3 +48,15 @@ func TestGoroLeak(t *testing.T) {
 func TestErrFlow(t *testing.T) {
 	linttest.Run(t, lint.ErrFlow, "testdata/errflow")
 }
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, lint.AtomicField, "testdata/atomicfield")
+}
+
+func TestPoolEscape(t *testing.T) {
+	linttest.Run(t, lint.PoolEscape, "testdata/poolescape")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "testdata/ctxflow")
+}

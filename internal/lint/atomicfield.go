@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field: a
+// field that is accessed through sync/atomic anywhere in the repo —
+// directly or through a multi-hop call chain, witnessed by the
+// AtomicFields summary facts — must be accessed atomically everywhere.
+// A plain read or write of such a field races with the atomic side
+// (the Go memory model gives plain accesses no ordering against
+// atomic ones), which is exactly how a "lock-free" counter silently
+// corrupts: one careless `s.n++` in a cold path undoes every
+// atomic.Add in the hot one. This guards internal/obs's counters and
+// gauges, internal/serve's admission budget, and internal/core's
+// cache stats.
+//
+// Taking a field's address is sanctioned only where the atomic
+// discipline is visible: as the pointer argument of a sync/atomic
+// call, or — for fields of sync/atomic's typed atomics, whose every
+// method is atomic — anywhere, since the type itself enforces the
+// discipline.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "report plain (non-atomic) accesses of struct fields that are accessed " +
+		"via sync/atomic elsewhere in the repository, including through " +
+		"multi-hop call chains recorded in summary sidecars",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	facts := pass.Summaries.AllAtomicFields()
+	if len(facts) == 0 {
+		return nil
+	}
+	atomicFields := make(map[string]FieldFact, len(facts))
+	for _, f := range facts {
+		atomicFields[f.Field] = f
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		// Pass 1: collect the sanctioned selector nodes — receivers of
+		// atomic-type method calls, address-of arguments to sync/atomic
+		// functions, and addresses of typed-atomic fields (handing
+		// &t.inflight to a registrar is fine; the type stays atomic).
+		sanctioned := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if atomicAccessField(info, n) == "" {
+					return true
+				}
+				sel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if fsel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					sanctioned[fsel] = true
+				}
+				if len(n.Args) > 0 {
+					if ue, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						if fsel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+							sanctioned[fsel] = true
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				if fsel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && isAtomicType(info.TypeOf(fsel)) {
+					sanctioned[fsel] = true
+				}
+			}
+			return true
+		})
+		// Pass 2: any other selector of a known-atomic field is a plain
+		// access racing with the atomic side.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key := fieldKeyOf(info, sel)
+			fact, hot := atomicFields[key]
+			if !hot {
+				return true
+			}
+			pass.ReportWitness(sel.Pos(), fact.Chain,
+				"plain access of %s, which is accessed atomically elsewhere (%s): "+
+					"plain and atomic accesses of the same field race; use the atomic "+
+					"API here too, or annotate with //rcvet:allow(reason)",
+				shortFieldKey(key), renderChain(fact.Chain))
+			return true
+		})
+	}
+	return nil
+}

@@ -128,6 +128,17 @@ func buildCallGraph(pkg *Package, files []*ast.File) *callGraph {
 	return g
 }
 
+// callsSelf reports whether the node has a direct self-edge (direct
+// recursion), which keeps it on the summary engine's fixed-point path.
+func callsSelf(n *funcNode) bool {
+	for _, c := range n.Calls {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
 // Resolve maps a call's callee to its local node, or nil when the
 // callee is not declared in this package.
 func (g *callGraph) Resolve(fn *types.Func) *funcNode { return g.byFn[fn] }

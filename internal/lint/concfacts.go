@@ -1,0 +1,675 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file computes the concurrency value-flow facts the atomicfield,
+// poolescape, and ctxflow analyzers compose through the summary table:
+// which struct fields a function touches through sync/atomic, whether
+// a function returns pooled memory or recycles a parameter, and
+// whether it blocks without consuming a cancellation signal. The
+// scanners run inside the summarizer's SCC fixed point (summary.go),
+// so the facts — like every other taint — carry witness chains and
+// compose across packages through the sidecars.
+
+// --- atomic field facts ---
+
+// FieldFact records that a struct field (keyed "pkgpath.Type.field",
+// the same naming scheme lock classes use) is accessed through
+// sync/atomic somewhere, with the chain witnessing the access.
+type FieldFact struct {
+	Field string  `json:"field"`
+	Chain []Frame `json:"chain,omitempty"`
+}
+
+// fieldKeyOf names the struct field a selector denotes, or "" when the
+// selector is not a field selection (a method, a package name, a
+// qualified import). The owning type comes from the selection's
+// receiver, so promoted fields key by the embedded type that declares
+// them — one field, one key, across every access path.
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr) string {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	field := selection.Obj().(*types.Var)
+	recv := selection.Recv()
+	for i := 0; i < len(selection.Index())-1; i++ {
+		recv = deref(recv).Underlying().(*types.Struct).Field(selection.Index()[i]).Type()
+	}
+	named, ok := deref(recv).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field.Name()
+}
+
+// shortFieldKey collapses a field key's import path to its last
+// element for diagnostics: "a/b/internal/obs.counter.v" → "obs.counter.v".
+func shortFieldKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// isAtomicType reports whether a type is one of sync/atomic's typed
+// atomics (Int64, Uint64, Bool, Value, Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// scanAtomicFacts records the fields this body accesses atomically:
+// method calls on atomic-typed fields (s.f.Add(1)) and sync/atomic
+// package functions over a field's address (atomic.AddUint64(&s.f, 1)).
+func (s *summarizer) scanAtomicFacts(sum *FuncSummary, body *ast.BlockStmt) {
+	info := s.pkg.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if s.allowed(n.Pos()) {
+				return true
+			}
+			if key := atomicAccessField(info, n); key != "" {
+				s.addAtomicField(sum, FieldFact{Field: key, Chain: []Frame{{
+					Pos: s.shortPos(n.Pos()), Call: "atomic access of " + shortFieldKey(key),
+				}}})
+			}
+		}
+		return true
+	})
+}
+
+// atomicAccessField names the field one call accesses atomically, or "".
+func atomicAccessField(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Method on an atomic-typed field: s.f.Add(1).
+	if isAtomicType(info.TypeOf(sel.X)) {
+		if fsel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			return fieldKeyOf(info, fsel)
+		}
+		return ""
+	}
+	// sync/atomic package function over a field address.
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+		fn.Signature().Recv() != nil || len(call.Args) == 0 {
+		return ""
+	}
+	ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return ""
+	}
+	if fsel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+		return fieldKeyOf(info, fsel)
+	}
+	return ""
+}
+
+func (s *summarizer) addAtomicField(sum *FuncSummary, f FieldFact) {
+	for _, have := range sum.AtomicFields {
+		if have.Field == f.Field {
+			return
+		}
+	}
+	f.Chain = capChain(f.Chain)
+	sum.AtomicFields = append(sum.AtomicFields, f)
+	s.changed = true
+}
+
+// AllAtomicFields returns every atomically-accessed field known to the
+// table, one fact per field key, sorted by key. Among competing
+// witnesses the shortest chain wins (ties broken by sorted function
+// key), so the witness names the direct access site rather than a
+// caller of it.
+func (t *SummaryTable) AllAtomicFields() []FieldFact {
+	keys := make([]string, 0, len(t.funcs))
+	for k := range t.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best := make(map[string]FieldFact)
+	var order []string
+	for _, k := range keys {
+		for _, f := range t.funcs[k].AtomicFields {
+			have, ok := best[f.Field]
+			if !ok {
+				best[f.Field] = f
+				order = append(order, f.Field)
+				continue
+			}
+			if len(f.Chain) < len(have.Chain) {
+				best[f.Field] = f
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]FieldFact, 0, len(order))
+	for _, field := range order {
+		out = append(out, best[field])
+	}
+	return out
+}
+
+// --- blocking / cancellation facts ---
+
+// cancelNameRe matches identifiers that name a stop/done channel by
+// convention; receiving from one is consuming a cancellation signal,
+// not blocking on data.
+var cancelNameRe = regexp.MustCompile(`(?i)(done|stop|quit|shut|cancel|clos|exit)`)
+
+// isCancelExpr reports whether a received-from expression is a
+// cancellation source: ctx.Done() (any context.Context method named
+// Done), time.After (a bounded wait), or a channel whose name follows
+// the done/stop convention.
+func isCancelExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		if fn.Name() == "Done" && fn.Pkg().Path() == "context" {
+			return true
+		}
+		return fn.Pkg().Path() == "time" && fn.Name() == "After"
+	}
+	var name string
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	return cancelNameRe.MatchString(name)
+}
+
+// scanBlockFacts records the ctxflow facts of one body: Blocks (an
+// unguarded potentially-unbounded wait — a channel op outside a select
+// that has a default or cancellation case) and Cancel (the body
+// consumes a cancellation signal: a ctx.Done/stop-channel case, a
+// close-terminated comma-ok receive, or ranging over a channel, which
+// the producer ends by closing it). Bodies spawned by go statements
+// are their own summary nodes and do not leak facts into the spawner.
+func (s *summarizer) scanBlockFacts(sum *FuncSummary, body *ast.BlockStmt) {
+	info := s.pkg.TypesInfo
+	guarded := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault, hasCancel := false, false
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				markGuardedComm(guarded, cc.Comm)
+				if recv := commRecvExpr(cc.Comm); recv != nil && isCancelExpr(info, recv) {
+					hasCancel = true
+				}
+			}
+			if hasCancel {
+				s.setBool(&sum.Cancel)
+			} else if !hasDefault && !s.allowed(n.Pos()) {
+				s.setTaint(&sum.Blocks, []Frame{{
+					Pos: s.shortPos(n.Pos()), Call: "select with no cancellation case or default",
+				}})
+			}
+		case *ast.AssignStmt:
+			// Comma-ok receive: v, ok := <-ch is close-aware by
+			// construction — the ok arm is the producer's stop signal.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ue, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					guarded[ue] = true
+					s.setBool(&sum.Cancel)
+				}
+			}
+		case *ast.SendStmt:
+			if !guarded[n] && !s.allowed(n.Pos()) {
+				s.setTaint(&sum.Blocks, []Frame{{Pos: s.shortPos(n.Pos()), Call: "channel send"}})
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || guarded[n] {
+				return true
+			}
+			if isCancelExpr(info, n.X) {
+				s.setBool(&sum.Cancel)
+			} else if !s.allowed(n.Pos()) {
+				s.setTaint(&sum.Blocks, []Frame{{Pos: s.shortPos(n.Pos()), Call: "channel receive"}})
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					// Close-terminated loop: closing the channel stops it.
+					s.setBool(&sum.Cancel)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markGuardedComm marks the channel-op nodes of one select comm clause
+// so the channel-op cases above skip them: the select, not the op,
+// decides whether the wait is guarded.
+func markGuardedComm(guarded map[ast.Node]bool, comm ast.Stmt) {
+	guarded[comm] = true
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		if ue, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok {
+			guarded[ue] = true
+		}
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			if ue, ok := ast.Unparen(c.Rhs[0]).(*ast.UnaryExpr); ok {
+				guarded[ue] = true
+			}
+		}
+	}
+}
+
+// commRecvExpr returns the received-from expression of a select comm
+// statement, or nil for sends.
+func commRecvExpr(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		e = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) != 1 {
+			return nil
+		}
+		e = c.Rhs[0]
+	default:
+		return nil
+	}
+	if ue, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+		return ue.X
+	}
+	return nil
+}
+
+// --- pool / free-list facts ---
+
+// findFreelistFields identifies the package's free-list fields: a
+// pointer-slice field that some function both indexes (the pop) and
+// shrinks via a reslice (s.free = s.free[:n-1]). Indexing alone (a
+// live table) or appending alone (a plain collection) does not
+// qualify, so subscriber lists and batch groups stay out of the set.
+func findFreelistFields(info *types.Info, files []*ast.File) map[string]bool {
+	indexed := make(map[string]bool)
+	shrunk := make(map[string]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if key := ptrSliceFieldKey(info, n.X); key != "" {
+					indexed[key] = true
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				key := ptrSliceFieldKey(info, n.Lhs[0])
+				if key == "" {
+					return true
+				}
+				if sl, ok := ast.Unparen(n.Rhs[0]).(*ast.SliceExpr); ok && ptrSliceFieldKey(info, sl.X) == key {
+					shrunk[key] = true
+				}
+			}
+			return true
+		})
+	}
+	out := make(map[string]bool)
+	for key := range indexed {
+		if shrunk[key] {
+			out[key] = true
+		}
+	}
+	return out
+}
+
+// ptrSliceFieldKey returns the field key of a selector denoting a
+// pointer-slice struct field, or "".
+func ptrSliceFieldKey(info *types.Info, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	t := info.TypeOf(sel)
+	if t == nil {
+		return ""
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return ""
+	}
+	if _, ok := sl.Elem().Underlying().(*types.Pointer); !ok {
+		return ""
+	}
+	return fieldKeyOf(info, sel)
+}
+
+// poolEnv bundles what pool-origin recognition needs, so the
+// summarizer (computing exported facts during the fixed point) and the
+// poolescape analyzer (reporting diagnostics afterwards) share one
+// implementation. resolve returns the best available summary for a
+// call — the in-progress local one inside the summarizer, the table's
+// inside the analyzer.
+type poolEnv struct {
+	info       *types.Info
+	fset       *token.FileSet
+	freeFields map[string]bool
+	resolve    func(*ast.CallExpr) (*FuncSummary, *types.Func)
+}
+
+func (s *summarizer) poolEnv() *poolEnv {
+	return &poolEnv{
+		info:       s.pkg.TypesInfo,
+		fset:       s.pkg.Fset,
+		freeFields: s.freeFields,
+		resolve:    s.calleeSummary,
+	}
+}
+
+func (e *poolEnv) shortPos(pos token.Pos) string {
+	p := e.fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// originChain recognizes an expression that produces pooled memory —
+// sync.Pool.Get (possibly type-asserted), a free-list pop, or a call
+// into a function whose summary says it returns pooled memory — and
+// returns the witness chain, or nil.
+func (e *poolEnv) originChain(x ast.Expr) []Frame {
+	x = ast.Unparen(x)
+	if ta, ok := x.(*ast.TypeAssertExpr); ok {
+		return e.originChain(ta.X)
+	}
+	if idx, ok := x.(*ast.IndexExpr); ok {
+		if key := ptrSliceFieldKey(e.info, idx.X); key != "" && e.freeFields[key] {
+			return []Frame{{Pos: e.shortPos(x.Pos()), Call: "pops free list " + shortFieldKey(key)}}
+		}
+		return nil
+	}
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if isPoolGet(e.info, call) {
+		return []Frame{{Pos: e.shortPos(call.Pos()), Call: "sync.Pool.Get"}}
+	}
+	cs, fn := e.resolve(call)
+	if cs == nil || cs.PoolSource == nil {
+		return nil
+	}
+	name := "func literal"
+	if fn != nil {
+		name = shortFuncName(fn)
+	}
+	return prependFrame(Frame{Pos: e.shortPos(call.Pos()), Call: "calls " + name}, cs.PoolSource.Chain)
+}
+
+// isPoolGet / isPoolPut recognize sync.Pool's accessors.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	named, ok := deref(recv.Type()).(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool { return isPoolMethod(info, call, "Get") }
+func isPoolPut(info *types.Info, call *ast.CallExpr) bool { return isPoolMethod(info, call, "Put") }
+
+// recycledArgs returns the expressions a statement hands back to a
+// pool or free list: sync.Pool.Put's argument, the arguments at a
+// callee's recycled parameter indices, or the values appended to a
+// free-list field. Deferred puts run at function exit and recycle
+// nothing mid-body.
+func (e *poolEnv) recycledArgs(st ast.Stmt) []ast.Expr {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if isPoolPut(e.info, call) && len(call.Args) == 1 {
+			return call.Args[:1]
+		}
+		cs, _ := e.resolve(call)
+		if cs == nil || len(cs.PoolPuts) == 0 {
+			return nil
+		}
+		var out []ast.Expr
+		for _, i := range cs.PoolPuts {
+			if i < len(call.Args) {
+				out = append(out, call.Args[i])
+			}
+		}
+		return out
+	case *ast.AssignStmt:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return nil
+		}
+		key := ptrSliceFieldKey(e.info, st.Lhs[0])
+		if key == "" || !e.freeFields[key] {
+			return nil
+		}
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return nil
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+			return nil
+		}
+		return call.Args[1:]
+	}
+	return nil
+}
+
+// scanPoolFacts computes the exported pool facts of one function:
+// PoolSource when a return statement hands out pooled memory, and
+// PoolPuts for parameters the body recycles. Both compose through the
+// summary table, so multi-hop accessors (get2 → get1 → Pool.Get) carry
+// full chains across packages.
+// poolSites are the statements scanPoolFacts needs to revisit on each
+// fixed-point pass, collected in one body walk: return statements, and
+// statements that could recycle a value (expression-statement calls
+// and single-assign appends). Iterating these lists per pass replaces
+// a full AST walk — the fact scan's cost no longer scales with pass
+// count times body size.
+type poolSites struct {
+	rets  []*ast.ReturnStmt
+	calls []ast.Stmt
+}
+
+func (s *summarizer) poolSitesFor(n *funcNode, body *ast.BlockStmt) *poolSites {
+	if sites, ok := s.sites[n]; ok {
+		return sites
+	}
+	sites := &poolSites{}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			sites.rets = append(sites.rets, nd)
+		case *ast.ExprStmt:
+			if _, ok := ast.Unparen(nd.X).(*ast.CallExpr); ok {
+				sites.calls = append(sites.calls, nd)
+			}
+		case *ast.AssignStmt:
+			if len(nd.Lhs) == 1 && len(nd.Rhs) == 1 {
+				if call, ok := ast.Unparen(nd.Rhs[0]).(*ast.CallExpr); ok && isAppendCall(call) {
+					sites.calls = append(sites.calls, nd)
+				}
+			}
+		}
+		return true
+	})
+	s.sites[n] = sites
+	return sites
+}
+
+func (s *summarizer) scanPoolFacts(n *funcNode, sum *FuncSummary, body *ast.BlockStmt) {
+	env := s.poolEnv()
+	sites := s.poolSitesFor(n, body)
+	vf := s.flows[n]
+	if vf == nil {
+		vf = buildValueFlow(s.pkg.TypesInfo, body)
+		s.flows[n] = vf
+	}
+
+	// PoolSource: a return of a pooled origin or a pooled variable.
+	if sum.PoolSource == nil && len(sites.rets) > 0 {
+		pooled := vf.originSet(func(e ast.Expr) bool { return env.originChain(e) != nil })
+		for _, ret := range sites.rets {
+			for _, res := range ret.Results {
+				if chain := env.returnChain(vf, res, pooled); chain != nil {
+					s.setTaint(&sum.PoolSource, chain)
+					break
+				}
+			}
+			if sum.PoolSource != nil {
+				break
+			}
+		}
+	}
+
+	// PoolPuts: a recycled argument that is one of our parameters.
+	params := s.paramVars(n)
+	if len(params) == 0 {
+		return
+	}
+	for _, st := range sites.calls {
+		for _, arg := range env.recycledArgs(st) {
+			v := baseIdentVar(s.pkg.TypesInfo, arg)
+			if v == nil || s.allowed(st.Pos()) {
+				continue
+			}
+			for i, p := range params {
+				if p == v {
+					s.addPoolPut(sum, i)
+				}
+			}
+		}
+	}
+}
+
+// returnChain resolves the witness chain of a returned pooled value:
+// either the expression is an origin itself, or it is (an alias of) a
+// pooled variable, in which case the chain starts at one of the
+// variable's origin definitions.
+func (e *poolEnv) returnChain(vf *valueFlow, x ast.Expr, pooled map[*types.Var]bool) []Frame {
+	if chain := e.originChain(x); chain != nil {
+		return chain
+	}
+	v := baseIdentVar(e.info, ast.Unparen(x))
+	if v == nil || !pooled[v] {
+		return nil
+	}
+	return prependFrame(Frame{Pos: e.shortPos(x.Pos()), Call: "returns pooled " + v.Name()},
+		e.varOriginChain(vf, v, make(map[*types.Var]bool)))
+}
+
+// varOriginChain finds the first origin chain reachable from a pooled
+// variable's definitions, in source order.
+func (e *poolEnv) varOriginChain(vf *valueFlow, v *types.Var, seen map[*types.Var]bool) []Frame {
+	if seen[v] {
+		return nil
+	}
+	seen[v] = true
+	for _, rhs := range vf.defs[v] {
+		if chain := e.originChain(rhs); chain != nil {
+			return chain
+		}
+	}
+	for _, rhs := range vf.defs[v] {
+		if w := baseIdentVar(e.info, ast.Unparen(rhs)); w != nil && w != v {
+			if chain := e.varOriginChain(vf, w, seen); chain != nil {
+				return chain
+			}
+		}
+	}
+	return nil
+}
+
+// paramVars returns the declared parameter variables of a node's
+// function, in order (nil for function literals — their parameters are
+// not callable cross-package by name, so no put facts are exported).
+func (s *summarizer) paramVars(n *funcNode) []*types.Var {
+	if n.Fn == nil {
+		return nil
+	}
+	sig := n.Fn.Signature()
+	params := make([]*types.Var, 0, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		params = append(params, sig.Params().At(i))
+	}
+	return params
+}
+
+func (s *summarizer) addPoolPut(sum *FuncSummary, idx int) {
+	for _, have := range sum.PoolPuts {
+		if have == idx {
+			return
+		}
+	}
+	sum.PoolPuts = append(sum.PoolPuts, idx)
+	sort.Ints(sum.PoolPuts)
+	s.changed = true
+}
+
+// calleeSummary resolves a call's best available summary: the local
+// in-progress one during the fixed point, else the table's (sidecar or
+// intrinsic default). The second result is the callee when it is a
+// named function.
+func (s *summarizer) calleeSummary(call *ast.CallExpr) (*FuncSummary, *types.Func) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if node := s.graph.byLit[lit]; node != nil {
+			return s.local[node], nil
+		}
+		return nil, nil
+	}
+	fn := calleeFunc(s.pkg.TypesInfo, call)
+	if fn == nil {
+		return nil, nil
+	}
+	if node := s.graph.Resolve(fn); node != nil {
+		return s.local[node], fn
+	}
+	return s.table.ResolveFunc(fn), fn
+}

@@ -1,0 +1,178 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"resourcecentral/internal/lint"
+)
+
+// TestConcurrencyFacts pins the value-flow fact kinds the atomicfield,
+// poolescape, and ctxflow goldens compose through the sidecars: the
+// facts must exist on the fixture's two-hop wrappers with chains that
+// name the innermost access.
+func TestConcurrencyFacts(t *testing.T) {
+	table, _ := newFixtureTable(t)
+
+	bump := table.Lookup("(*" + fixturePath + ".Stats).Bump")
+	if bump == nil || len(bump.AtomicFields) != 1 {
+		t.Fatalf("Bump = %+v, want one AtomicFields fact", bump)
+	}
+	if f := bump.AtomicFields[0]; f.Field != fixturePath+".Stats.Hits" || len(f.Chain) < 2 {
+		t.Fatalf("Bump atomic fact = %+v, want Stats.Hits with a two-hop chain", f)
+	}
+
+	getBox := table.Lookup(fixturePath + ".GetBox")
+	if getBox == nil || getBox.PoolSource == nil {
+		t.Fatalf("GetBox = %+v, want PoolSource", getBox)
+	}
+	if chain := getBox.PoolSource.String(); !strings.Contains(chain, "sync.Pool.Get") {
+		t.Fatalf("GetBox chain %q does not name sync.Pool.Get", chain)
+	}
+
+	putBox := table.Lookup(fixturePath + ".PutBox")
+	if putBox == nil || len(putBox.PoolPuts) != 1 || putBox.PoolPuts[0] != 0 {
+		t.Fatalf("PutBox = %+v, want PoolPuts [0]", putBox)
+	}
+
+	block := table.Lookup(fixturePath + ".BlockForever")
+	if block == nil || block.Blocks == nil || block.Cancel {
+		t.Fatalf("BlockForever = %+v, want Blocks without Cancel", block)
+	}
+	if chain := block.Blocks.String(); !strings.Contains(chain, "channel receive") {
+		t.Fatalf("BlockForever chain %q does not name the receive", chain)
+	}
+
+	await := table.Lookup(fixturePath + ".AwaitDone")
+	if await == nil || !await.Cancel || await.Blocks != nil {
+		t.Fatalf("AwaitDone = %+v, want Cancel without Blocks", await)
+	}
+}
+
+// TestAllAtomicFields pins the table-wide accessor: one fact per field
+// key, deterministically ordered, shortest witness preferred.
+func TestAllAtomicFields(t *testing.T) {
+	table, _ := newFixtureTable(t)
+	facts := table.AllAtomicFields()
+	var hits *lint.FieldFact
+	for i := range facts {
+		if i > 0 && facts[i-1].Field >= facts[i].Field {
+			t.Fatalf("facts not strictly sorted: %q before %q", facts[i-1].Field, facts[i].Field)
+		}
+		if facts[i].Field == fixturePath+".Stats.Hits" {
+			hits = &facts[i]
+		}
+	}
+	if hits == nil {
+		t.Fatalf("no fact for Stats.Hits in %d facts", len(facts))
+	}
+	// Both Bump (2 hops) and bump (1 hop) carry the fact; the direct
+	// access must win so diagnostics point at the real atomic site.
+	if len(hits.Chain) != 1 || !strings.Contains(hits.Chain[0].Call, "atomic access") {
+		t.Fatalf("Stats.Hits witness = %+v, want the one-frame direct access", hits.Chain)
+	}
+}
+
+// TestSidecarSchemaMismatch: a sidecar written by an older rcvet (or a
+// future one) silently invalidates — its facts predate the current
+// fact kinds, so trusting it would hide diagnostics.
+func TestSidecarSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	stale := `{"schema":1,"path":"example.com/p","funcs":{}}`
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ps, err := lint.ReadSidecar(path); ps != nil || err != nil {
+		t.Fatalf("stale-schema sidecar: got %+v, %v; want nil, nil", ps, err)
+	}
+}
+
+// TestEncodeDiagnosticsJSON pins the -json wire format CI consumes:
+// file/line/column/analyzer/message plus the structural witness chain.
+func TestEncodeDiagnosticsJSON(t *testing.T) {
+	diags := []lint.Diagnostic{{
+		Analyzer: "ctxflow",
+		Pos:      token.Position{Filename: "serve.go", Line: 7, Column: 2},
+		Message:  "goroutine literal blocks",
+		Witness: []lint.Frame{
+			{Pos: "serve.go:9", Call: "calls serve.loop"},
+			{Pos: "loop.go:12", Call: "channel receive"},
+		},
+	}}
+	data, err := lint.EncodeDiagnosticsJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		File     string       `json:"file"`
+		Line     int          `json:"line"`
+		Column   int          `json:"column"`
+		Analyzer string       `json:"analyzer"`
+		Message  string       `json:"message"`
+		Witness  []lint.Frame `json:"witness"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON %s: %v", data, err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d diagnostics, want 1", len(decoded))
+	}
+	d := decoded[0]
+	if d.File != "serve.go" || d.Line != 7 || d.Column != 2 || d.Analyzer != "ctxflow" {
+		t.Fatalf("position/analyzer mismatch: %+v", d)
+	}
+	if len(d.Witness) != 2 || d.Witness[1].Call != "channel receive" {
+		t.Fatalf("witness chain mismatch: %+v", d.Witness)
+	}
+	// Zero findings must encode as [], not null: CI scripts index it.
+	empty, err := lint.EncodeDiagnosticsJSON(nil)
+	if err != nil || strings.TrimSpace(string(empty)) != "[]" {
+		t.Fatalf("empty encoding = %q, %v; want []", empty, err)
+	}
+}
+
+// TestRcvetColdPassBudget is the latency gate behind `make bench-lint`:
+// with RCVET_BUDGET_MS set it runs one cold whole-repo pass (the same
+// work BenchmarkRcvetWholeRepo times, loading excluded) and fails if
+// it exceeds the budget. Unset, it skips — plain `go test ./...` stays
+// robust on loaded machines.
+func TestRcvetColdPassBudget(t *testing.T) {
+	env := os.Getenv("RCVET_BUDGET_MS")
+	if env == "" {
+		t.Skip("RCVET_BUDGET_MS not set")
+	}
+	budget, err := strconv.Atoi(env)
+	if err != nil {
+		t.Fatalf("bad RCVET_BUDGET_MS %q: %v", env, err)
+	}
+	pkgs, err := lint.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := topoSort(pkgs)
+	start := time.Now()
+	table := lint.NewSummaryTable()
+	for _, pkg := range ordered {
+		table.Summarize(pkg)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, gated(pkg.Path), table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Fatalf("%s: %d unexpected findings, first: %s", pkg.Path, len(diags), diags[0].Message)
+		}
+	}
+	elapsed := time.Since(start)
+	t.Logf("cold pass: %v (budget %dms)", elapsed, budget)
+	if elapsed > time.Duration(budget)*time.Millisecond {
+		t.Fatalf("cold rcvet pass took %v, budget %dms", elapsed, budget)
+	}
+}

@@ -13,10 +13,12 @@
 package lintfixture
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resourcecentral/internal/store"
@@ -87,5 +89,49 @@ var spins int
 func Forever() {
 	for {
 		spins++
+	}
+}
+
+// Stats carries a field that is only ever accessed atomically, two
+// hops down (Bump -> bump -> atomic.AddUint64). The atomicfield
+// goldens read it plainly from another package to exercise the
+// transitive AtomicFields fact.
+type Stats struct{ Hits uint64 }
+
+// Bump increments the hit count atomically.
+func (s *Stats) Bump() { s.bump() }
+
+func (s *Stats) bump() { atomic.AddUint64(&s.Hits, 1) }
+
+// Box is pooled scratch memory; GetBox/PutBox are two-hop wrappers
+// around the pool, so the poolescape goldens observe PoolSource and
+// PoolPuts facts across the package boundary rather than seeing
+// sync.Pool syntax.
+type Box struct{ Buf []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(Box) }}
+
+// GetBox leases a Box from the pool (PoolSource, two hops).
+func GetBox() *Box { return getBox() }
+
+func getBox() *Box { return bufPool.Get().(*Box) }
+
+// PutBox returns a Box to the pool (PoolPuts parameter 0, two hops).
+func PutBox(b *Box) { putBox(b) }
+
+func putBox(b *Box) { bufPool.Put(b) }
+
+// BlockForever blocks on a data channel two hops down with no
+// cancellation path: ctxflow's transitive positive.
+func BlockForever(ch chan int) { recvLoop(ch) }
+
+func recvLoop(ch chan int) { <-ch }
+
+// AwaitDone blocks but consumes ctx.Done: ctxflow's transitive
+// negative control.
+func AwaitDone(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
 	}
 }

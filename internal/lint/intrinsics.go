@@ -45,7 +45,46 @@ func defaultSummary(fn *types.Func) *FuncSummary {
 		// signals goroleak accepts from the stdlib.
 		s.JoinSignal = true
 	}
+	if blockingIntrinsic(pkg, name, recv) {
+		s.Blocks = &Taint{Chain: []Frame{{Call: shortFuncName(fn) + " blocks"}}}
+	}
+	if cancelIntrinsic(pkg, name) {
+		s.Cancel = true
+	}
 	return s
+}
+
+// blockingIntrinsic lists the stdlib calls ctxflow treats as unbounded
+// (or unboundedly slow) waits: sleeps, HTTP round trips, dials, and
+// accept loops. Channel operations in repo code are detected
+// syntactically by scanBlockFacts; this table covers the waits hidden
+// behind stdlib calls.
+func blockingIntrinsic(pkg, name string, recv *types.Var) bool {
+	switch pkg {
+	case "time":
+		return recv == nil && name == "Sleep"
+	case "net/http":
+		// Client round trips: package helpers and *Client methods.
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head", "RoundTrip":
+			return true
+		}
+	case "net":
+		if recv == nil {
+			return name == "Dial" || name == "DialTimeout" || name == "DialIP" ||
+				name == "DialTCP" || name == "DialUDP" || name == "DialUnix"
+		}
+		return name == "Accept"
+	}
+	return false
+}
+
+// cancelIntrinsic lists stdlib calls whose presence means the caller
+// threads a context through its blocking work: a request built with
+// NewRequestWithContext (or rebound via WithContext) is cancelled by
+// the context even though the Do call itself shows as blocking.
+func cancelIntrinsic(pkg, name string) bool {
+	return pkg == "net/http" && (name == "NewRequestWithContext" || name == "WithContext")
 }
 
 // allocFreeIntrinsic lists the stdlib calls the allocfree analyzer

@@ -28,6 +28,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -72,15 +73,49 @@ type Pass struct {
 	suppressed int
 }
 
-// Diagnostic is one finding at a source position.
+// Diagnostic is one finding at a source position. Witness, when
+// non-nil, is the interprocedural chain that led the analyzer here
+// (e.g. the call path from a goroutine to its blocking channel op);
+// it is already rendered into Message for humans and carried
+// structurally for -json consumers.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Witness  []Frame
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// jsonDiagnostic is the machine-readable -json form of one finding.
+type jsonDiagnostic struct {
+	File     string  `json:"file"`
+	Line     int     `json:"line"`
+	Column   int     `json:"column"`
+	Analyzer string  `json:"analyzer"`
+	Message  string  `json:"message"`
+	Witness  []Frame `json:"witness,omitempty"`
+}
+
+// EncodeDiagnosticsJSON renders diagnostics as a JSON array of
+// {file, line, column, analyzer, message, witness} objects — the
+// machine-readable format behind `rcvet -json`, stable in the same
+// order SortDiagnostics produces. An empty slice encodes as [].
+func EncodeDiagnosticsJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Witness:  d.Witness,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // allowRe matches the escape-hatch comment. The reason is mandatory:
@@ -122,6 +157,22 @@ func (p *Pass) Report(pos token.Pos, msg string) {
 // Reportf is Report with formatting.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// ReportWitness is Reportf carrying the interprocedural witness chain
+// structurally (for -json output) as well as in the message text.
+func (p *Pass) ReportWitness(pos token.Pos, witness []Frame, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if _, ok := p.allow[fmt.Sprintf("%s:%d", position.Filename, position.Line)]; ok {
+		p.suppressed++
+		return
+	}
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		Witness:  witness,
+	})
 }
 
 // RunAnalyzers executes the given analyzers over one loaded package and
@@ -188,6 +239,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism, MapOrder, LockScope, MetricName,
 		LockOrder, AllocFree, GoroLeak, ErrFlow,
+		AtomicField, PoolEscape, CtxFlow,
 	}
 }
 

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape enforces the lifetime contract of recycled memory: a
+// value obtained from sync.Pool.Get or one of the repo's free lists
+// (the simulator's scratch VMs/requests, the parallel codec's frame
+// slots) must not outlive its lease. Two failure modes are diagnosed:
+//
+//   - retention: storing the pooled value (or an alias into it) in a
+//     field, map, slice, package variable, or channel — a long-lived
+//     structure now points into memory the recycler will hand to
+//     someone else;
+//   - use-after-put: reading the value after sync.Pool.Put, after a
+//     free-list append, or after passing it to a function whose
+//     summary says it recycles that parameter (PoolPuts).
+//
+// Origins are tracked through the intraprocedural value-flow layer
+// (valueflow.go) and across calls through the PoolSource/PoolPuts
+// summary facts, so a wrapper like getBox() → bufPool.Get() is still
+// an origin two packages away. Writing *into* the pooled box
+// (a.vm = x where a is pooled) is the intended use and not flagged;
+// copying a value out of the box (name := a.vm.Name) is a safe copy.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc: "report pooled / free-list values that escape their lease: retained in " +
+		"long-lived structures or used after Put/recycle, tracked through " +
+		"per-function PoolSource/PoolPuts summary facts",
+	Run: runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	env := &poolEnv{
+		info:       pass.TypesInfo,
+		fset:       pass.Fset,
+		freeFields: findFreelistFields(pass.TypesInfo, pass.Files),
+		resolve: func(call *ast.CallExpr) (*FuncSummary, *types.Func) {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				return pass.Summaries.Lookup(litKeyAt(pass.Fset, pass.Pkg.Path(), lit)), nil
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return nil, nil
+			}
+			return pass.Summaries.ResolveFunc(fn), fn
+		},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			checkPoolBody(pass, env, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPoolBody runs both checks over one function body.
+func checkPoolBody(pass *Pass, env *poolEnv, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	vf := buildValueFlow(pass.TypesInfo, body)
+	pooled := vf.originSet(func(e ast.Expr) bool { return env.originChain(e) != nil })
+	if len(pooled) > 0 {
+		checkRetention(pass, env, vf, body, pooled)
+	}
+	checkUseAfterPut(pass, env, body.List, pooled)
+}
+
+// checkRetention flags stores that keep a pooled value reachable past
+// its lease. A store into the pooled box itself is fine; a store whose
+// *target* base is not pooled but whose value aliases a pooled box is
+// a retention. Free-list appends are the sanctioned recycle path, not
+// a retention. Returning a pooled value is a PoolSource fact, not a
+// diagnostic: wrappers are how pools are meant to be consumed.
+func checkRetention(pass *Pass, env *poolEnv, vf *valueFlow, body *ast.BlockStmt, pooled map[*types.Var]bool) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, what string, origin []Frame) {
+		pass.ReportWitness(pos, origin,
+			"pooled value %s: the pool may hand this memory to another goroutine "+
+				"after recycling (origin: %s); copy the needed data out instead, or "+
+				"annotate with //rcvet:allow(reason)",
+			what, renderChain(origin))
+	}
+	originOf := func(e ast.Expr) []Frame {
+		if chain := env.originChain(e); chain != nil {
+			return chain
+		}
+		if v := baseIdentVar(info, e); v != nil && pooled[v] {
+			return env.varOriginChain(vf, v, make(map[*types.Var]bool))
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if aliasesTainted(info, n.Value, pooled) {
+				report(n.Pos(), "sent on a channel", originOf(n.Value))
+			}
+		case *ast.AssignStmt:
+			// The sanctioned recycle path: s.free = append(s.free, x).
+			if len(env.recycledArgs(n)) > 0 {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(n.Lhs) == len(n.Rhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					rhs = n.Rhs[0]
+				default:
+					continue
+				}
+				if !retentionTarget(info, lhs, pooled) {
+					continue
+				}
+				if aliasesTainted(info, rhs, pooled) {
+					report(n.Pos(), "stored in a long-lived structure", originOf(rhs))
+					continue
+				}
+				// append(longlived, pooledValue...) through an assignment.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppendCall(call) {
+					for _, arg := range call.Args[1:] {
+						if aliasesTainted(info, arg, pooled) {
+							report(arg.Pos(), "appended to a long-lived slice", originOf(arg))
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// retentionTarget reports whether an assignment target outlives the
+// function: a field or element of something *not* itself pooled, or a
+// package-level variable. Plain locals (including pooled boxes being
+// written into) are not retention targets.
+func retentionTarget(info *types.Info, lhs ast.Expr, pooled map[*types.Var]bool) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if v := baseIdentVar(info, x); v != nil && pooled[v] {
+			return false // writing into the pooled box is the intended use
+		}
+		return true
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return false
+		}
+		return v.Pkg().Scope().Lookup(v.Name()) == v // package-level variable
+	}
+	return false
+}
+
+func isAppendCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append" && len(call.Args) >= 2
+}
+
+// checkUseAfterPut walks each statement list in order: once a
+// statement recycles a variable (Pool.Put, free-list append, or a call
+// with a PoolPuts summary), any later use of that variable in the same
+// list is a use of memory another goroutine may already own.
+// Reassigning the variable starts a fresh lease. Deferred puts run at
+// function exit and are ignored. Nested lists (blocks, ifs, loops) are
+// checked independently; a put inside a branch does not poison
+// statements after the branch — conservative in the quiet direction.
+func checkUseAfterPut(pass *Pass, env *poolEnv, stmts []ast.Stmt, pooled map[*types.Var]bool) {
+	dead := make(map[*types.Var][]Frame)
+	for _, st := range stmts {
+		// Uses of dead variables in this statement (before it can
+		// reassign or re-recycle anything).
+		if len(dead) > 0 {
+			reportDeadUses(pass, env, st, dead)
+		}
+		// A reassignment revives the variable.
+		if as, ok := st.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if v, _ := pass.TypesInfo.Defs[id].(*types.Var); v != nil {
+						delete(dead, v)
+					} else if v, _ := pass.TypesInfo.Uses[id].(*types.Var); v != nil {
+						delete(dead, v)
+					}
+				}
+			}
+		}
+		// New recycles introduced by this statement.
+		for _, arg := range env.recycledArgs(st) {
+			if v := baseIdentVar(pass.TypesInfo, arg); v != nil {
+				dead[v] = []Frame{{Pos: env.shortPos(st.Pos()), Call: "recycled here"}}
+			}
+		}
+		// Recurse into nested statement lists.
+		for _, nested := range nestedStmtLists(st) {
+			checkUseAfterPut(pass, env, nested, pooled)
+		}
+	}
+}
+
+// reportDeadUses flags identifiers inside one statement that name a
+// recycled variable. Function literals are cut: they are separate
+// summary nodes and their execution time is not statically ordered
+// against the put.
+func reportDeadUses(pass *Pass, env *poolEnv, st ast.Stmt, dead map[*types.Var][]Frame) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok {
+				return true
+			}
+			if witness, isDead := dead[v]; isDead {
+				pass.ReportWitness(n.Pos(), witness,
+					"use of %s after it was recycled (%s): the pool may already have "+
+						"handed this memory to another goroutine; recycle after the last "+
+						"use, or annotate with //rcvet:allow(reason)",
+					n.Name, renderChain(witness))
+				delete(dead, v) // one diagnostic per lease
+			}
+		}
+		return true
+	})
+}
+
+// nestedStmtLists returns the statement lists nested directly inside
+// one statement, for independent use-after-put checking.
+func nestedStmtLists(st ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		out = append(out, st.List)
+	case *ast.IfStmt:
+		out = append(out, st.Body.List)
+		if st.Else != nil {
+			out = append(out, nestedStmtLists(st.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, st.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, st.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(st.Stmt)...)
+	}
+	return out
+}

@@ -121,13 +121,37 @@ type FuncSummary struct {
 	// acquires; LockEdges the lock-order constraints its body creates.
 	Locks     []LockAcq  `json:"locks,omitempty"`
 	LockEdges []LockEdge `json:"edges,omitempty"`
+	// AtomicFields lists struct fields the function (transitively)
+	// accesses through sync/atomic (atomicfield).
+	AtomicFields []FieldFact `json:"atomics,omitempty"`
+	// PoolSource: the function returns memory obtained from sync.Pool
+	// or a free list, possibly through wrappers (poolescape).
+	PoolSource *Taint `json:"poolsrc,omitempty"`
+	// PoolPuts lists parameter indices the function (transitively)
+	// recycles into a pool or free list (poolescape).
+	PoolPuts []int `json:"poolputs,omitempty"`
+	// Blocks: the body contains an unguarded potentially-unbounded
+	// wait — a channel op outside a cancellable select, or a blocking
+	// intrinsic like time.Sleep or an HTTP round trip (ctxflow).
+	Blocks *Taint `json:"blocks,omitempty"`
+	// Cancel: the function consumes a cancellation signal — ctx.Done,
+	// a stop-channel select case, a close-terminated receive (ctxflow).
+	Cancel bool `json:"cancel,omitempty"`
 }
+
+// sidecarSchema versions the sidecar format. Bump it whenever
+// FuncSummary gains fact kinds: a sidecar from an older rcvet silently
+// lacks the new facts, so ReadSidecar discards mismatched files and
+// the driver recomputes (the content hash alone cannot catch this —
+// the sources didn't change, the tool did).
+const sidecarSchema = 2
 
 // PackageSummary is the sidecar payload for one package.
 type PackageSummary struct {
-	Path  string                  `json:"path"`
-	Hash  string                  `json:"hash,omitempty"`
-	Funcs map[string]*FuncSummary `json:"funcs"`
+	Schema int                     `json:"schema,omitempty"`
+	Path   string                  `json:"path"`
+	Hash   string                  `json:"hash,omitempty"`
+	Funcs  map[string]*FuncSummary `json:"funcs"`
 }
 
 // SummaryTable accumulates function summaries across packages. It is
@@ -221,6 +245,7 @@ func (t *SummaryTable) AllEdges() []LockEdge {
 // WriteSidecar serializes a package summary to path (the .vetx payload
 // for vettool mode and the -summarydir cache format).
 func WriteSidecar(path string, ps *PackageSummary) error {
+	ps.Schema = sidecarSchema
 	data, err := json.Marshal(ps)
 	if err != nil {
 		return err
@@ -238,7 +263,7 @@ func ReadSidecar(path string) (*PackageSummary, error) {
 		return nil, nil
 	}
 	var ps PackageSummary
-	if err := json.Unmarshal(data, &ps); err != nil || ps.Path == "" {
+	if err := json.Unmarshal(data, &ps); err != nil || ps.Path == "" || ps.Schema != sidecarSchema {
 		return nil, nil
 	}
 	return &ps, nil
@@ -314,16 +339,28 @@ func (t *SummaryTable) Summarize(pkg *Package) *PackageSummary {
 	files := nonTestFiles(pkg)
 	g := buildCallGraph(pkg, files)
 	s := &summarizer{
-		pkg:   pkg,
-		table: t,
-		graph: g,
-		local: make(map[*funcNode]*FuncSummary, len(g.Nodes)),
-		allow: buildAllowIndex(pkg.Fset, files),
+		pkg:        pkg,
+		table:      t,
+		graph:      g,
+		local:      make(map[*funcNode]*FuncSummary, len(g.Nodes)),
+		allow:      buildAllowIndex(pkg.Fset, files),
+		freeFields: findFreelistFields(pkg.TypesInfo, files),
+		scanned:    make(map[*funcNode]bool, len(g.Nodes)),
+		flows:      make(map[*funcNode]*valueFlow, len(g.Nodes)),
+		sites:      make(map[*funcNode]*poolSites, len(g.Nodes)),
 	}
 	for _, n := range g.Nodes {
 		s.local[n] = &FuncSummary{}
 	}
 	for _, scc := range g.SCCs() {
+		// A non-recursive function (singleton component, no self-edge)
+		// composes only against callees whose components have already
+		// converged, so a single pass is exact; iterating to a fixed
+		// point is only needed inside genuinely recursive components.
+		if len(scc) == 1 && !callsSelf(scc[0]) {
+			s.computePass(scc[0])
+			continue
+		}
 		for {
 			s.changed = false
 			for _, n := range scc {
@@ -345,12 +382,16 @@ func (t *SummaryTable) Summarize(pkg *Package) *PackageSummary {
 
 // summarizer holds the in-progress state for one package.
 type summarizer struct {
-	pkg     *Package
-	table   *SummaryTable
-	graph   *callGraph
-	local   map[*funcNode]*FuncSummary
-	allow   map[string]string
-	changed bool
+	pkg        *Package
+	table      *SummaryTable
+	graph      *callGraph
+	local      map[*funcNode]*FuncSummary
+	allow      map[string]string
+	freeFields map[string]bool
+	scanned    map[*funcNode]bool
+	flows      map[*funcNode]*valueFlow
+	sites      map[*funcNode]*poolSites
+	changed    bool
 }
 
 // allowed reports whether an //rcvet:allow comment covers the position.
@@ -425,7 +466,18 @@ func (s *summarizer) computePass(n *funcNode) {
 	// dropped errors. These don't depend on the held-lock set, so one
 	// whole-body walk (cutting at nested function literals, which are
 	// their own nodes) suffices.
-	s.scanBaseFacts(sum, body)
+	// Base, atomic, and blocking facts are purely syntactic — they read
+	// no other function's summary — so one pass per node suffices even
+	// inside an SCC's fixed point; only the pool scan (which resolves
+	// callee PoolSource/PoolPuts facts) re-runs until convergence, over
+	// a cached def-use and candidate-site index.
+	if !s.scanned[n] {
+		s.scanned[n] = true
+		s.scanBaseFacts(sum, body)
+		s.scanAtomicFacts(sum, body)
+		s.scanBlockFacts(sum, body)
+	}
+	s.scanPoolFacts(n, sum, body)
 	// Call composition and lock tracking, statement list by statement
 	// list with the held set threaded through.
 	s.walkStmts(sum, body.List, nil)
@@ -702,6 +754,18 @@ func (s *summarizer) composeCall(sum *FuncSummary, call *ast.CallExpr, held []st
 			s.addEdge(sum, h, composed)
 		}
 	}
+	for _, af := range cs.AtomicFields {
+		s.addAtomicField(sum, FieldFact{Field: af.Field, Chain: prependFrame(frame, af.Chain)})
+	}
+	if cs.Blocks != nil {
+		s.setTaint(&sum.Blocks, prependFrame(frame, cs.Blocks.Chain))
+	}
+	if cs.Cancel {
+		s.setBool(&sum.Cancel)
+	}
+	// PoolSource and PoolPuts do not compose here: returning or
+	// recycling pooled memory is about *this* function's own returns
+	// and parameters, which scanPoolFacts resolves per call site.
 }
 
 // --- lock classes ---
@@ -871,10 +935,29 @@ func (s *summarizer) joinImpl(entry *FuncSummary, ps *PackageSummary, cn *types.
 	if is.Blocking != nil && entry.Blocking == nil {
 		entry.Blocking = &Taint{Chain: prependFrame(via, is.Blocking.Chain)}
 	}
+	if is.Blocks != nil && entry.Blocks == nil {
+		entry.Blocks = &Taint{Chain: prependFrame(via, is.Blocks.Chain)}
+	}
+	if is.PoolSource != nil && entry.PoolSource == nil {
+		entry.PoolSource = &Taint{Chain: prependFrame(via, is.PoolSource.Chain)}
+	}
 	entry.IO = entry.IO || is.IO
 	entry.JoinSignal = entry.JoinSignal || is.JoinSignal
 	entry.SpawnsGoroutine = entry.SpawnsGoroutine || is.SpawnsGoroutine
 	entry.DropsError = entry.DropsError || is.DropsError
+	entry.Cancel = entry.Cancel || is.Cancel
+	for _, af := range is.AtomicFields {
+		dup := false
+		for _, have := range entry.AtomicFields {
+			if have.Field == af.Field {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			entry.AtomicFields = append(entry.AtomicFields, FieldFact{Field: af.Field, Chain: prependFrame(via, af.Chain)})
+		}
+	}
 	for _, acq := range is.Locks {
 		dup := false
 		for _, have := range entry.Locks {

@@ -264,7 +264,7 @@ func gated(path string) []*lint.Analyzer {
 }
 
 // BenchmarkRcvetWholeRepo measures a full cold rcvet pass — summarize
-// every module package bottom-up, then run all eight analyzers — the
+// every module package bottom-up, then run all eleven analyzers — the
 // cost `make lint` pays with an empty summary cache. It doubles as the
 // repo-wide cleanliness gate: any diagnostic fails the benchmark.
 func BenchmarkRcvetWholeRepo(b *testing.B) {

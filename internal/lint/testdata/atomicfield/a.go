@@ -1,0 +1,51 @@
+// Package atomicfield exercises the rcvet atomicfield analyzer: a
+// struct field accessed through sync/atomic anywhere — locally or
+// through a multi-hop cross-package chain recorded in the summary
+// sidecars — must be accessed atomically everywhere.
+package atomicfield
+
+import (
+	"sync/atomic"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+type counters struct {
+	n    uint64
+	cold uint64
+}
+
+// hot establishes the atomic discipline for counters.n.
+func hot(c *counters) { atomic.AddUint64(&c.n, 1) }
+
+func plainRead(c *counters) uint64 {
+	return c.n // want `plain access of atomicfield\.counters\.n`
+}
+
+func plainWrite(c *counters) {
+	c.n++ // want `plain access of atomicfield\.counters\.n`
+}
+
+// cold is never touched atomically: the must-not-flag control.
+func coldInc(c *counters) { c.cold++ }
+
+// Cross-package, multi-hop transitive positive: lintfixture.Stats.Hits
+// is atomic two hops away (Bump -> bump -> atomic.AddUint64); the
+// analyzer sees only the summary fact, never that package's syntax.
+func peek(s *lintfixture.Stats) uint64 {
+	return s.Hits // want `plain access of lintfixture\.Stats\.Hits`
+}
+
+// The sanctioned forms: typed-atomic methods, and handing out a typed
+// atomic's address (the type keeps the discipline).
+type typed struct{ g atomic.Int64 }
+
+func typedOK(t *typed) int64 { return t.g.Load() }
+
+func handOut(t *typed) *atomic.Int64 { return &t.g }
+
+// The escape hatch: a plain write judged safe (no goroutines yet).
+func initWrite(c *counters) {
+	//rcvet:allow(constructor-time write before the struct is shared)
+	c.n = 0
+}

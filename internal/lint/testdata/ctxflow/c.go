@@ -1,0 +1,67 @@
+// Package ctxflow exercises the rcvet ctxflow analyzer: goroutines
+// and HTTP handlers whose call chains carry blocking taint must also
+// consume a cancellation signal (ctx.Done or a stop channel), with the
+// taint composed through cross-package summary facts.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+// Uncancellable spawn, direct: the literal's receive blocks forever.
+func spawnRecv(ch chan int) {
+	go func() { // want `goroutine literal blocks`
+		<-ch
+	}()
+}
+
+// Cross-package, multi-hop transitive positive: BlockForever ->
+// recvLoop -> channel receive, known only through the sidecar.
+func spawnTransitive(ch chan int) {
+	go lintfixture.BlockForever(ch) // want `goroutine lintfixture\.BlockForever blocks`
+}
+
+// Cancellable two hops down via ctx.Done: must not flag.
+func spawnCancellable(ctx context.Context, ch chan int) {
+	go lintfixture.AwaitDone(ctx, ch)
+}
+
+// A stop-channel select also counts as a cancellation signal.
+func spawnStopChan(stop chan struct{}, ch chan int) {
+	go loopWithStop(stop, ch)
+}
+
+func loopWithStop(stop chan struct{}, ch chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// A blocking handler that ignores r.Context pins its connection
+// goroutine after the client is gone.
+func slowHandler(w http.ResponseWriter, r *http.Request) { // want `HTTP handler ctxflow\.slowHandler blocks`
+	time.Sleep(time.Second)
+}
+
+// A handler that honors the request context: must not flag.
+func politeHandler(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-r.Context().Done():
+	case <-time.After(time.Second):
+	}
+}
+
+// The escape hatch.
+func spawnAllowed(ch chan int) {
+	//rcvet:allow(harness drains ch before joining, so the send is bounded)
+	go func() { ch <- 1 }()
+}

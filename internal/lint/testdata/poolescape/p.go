@@ -1,0 +1,96 @@
+// Package poolescape exercises the rcvet poolescape analyzer: values
+// leased from sync.Pool or a free list must not be retained in
+// long-lived structures or used after they are recycled, with origins
+// tracked through cross-package PoolSource/PoolPuts summary facts.
+package poolescape
+
+import (
+	"sync"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+type obj struct{ id int }
+
+var pool = sync.Pool{New: func() any { return new(obj) }}
+
+type registry struct {
+	last *obj
+	byID map[int]*obj
+}
+
+// Direct retention: a pooled box stored in a field outlives its lease.
+func retainField(r *registry) {
+	o := pool.Get().(*obj)
+	r.last = o // want `pooled value stored in a long-lived structure`
+	pool.Put(o)
+}
+
+// Direct use-after-put.
+func useAfterPut() int {
+	o := pool.Get().(*obj)
+	o.id = 1
+	pool.Put(o)
+	return o.id // want `use of o after it was recycled`
+}
+
+// Cross-package, multi-hop transitive positives: GetBox -> getBox ->
+// sync.Pool.Get and PutBox -> putBox -> sync.Pool.Put are facts from
+// lintfixture's sidecar, not syntax this package can see.
+var kept *lintfixture.Box
+
+func retainTransitive() {
+	b := lintfixture.GetBox()
+	kept = b // want `pooled value stored in a long-lived structure`
+	lintfixture.PutBox(b)
+}
+
+func useAfterPutTransitive() int {
+	b := lintfixture.GetBox()
+	lintfixture.PutBox(b)
+	return len(b.Buf) // want `use of b after it was recycled`
+}
+
+// Correct usage: write into the box, copy out, recycle after the last
+// use. Must not flag.
+func copyOut() int {
+	o := pool.Get().(*obj)
+	o.id = 7
+	id := o.id
+	pool.Put(o)
+	return id
+}
+
+// A free list in the simulator's style: popping and shrinking scratch
+// qualifies it, appending to it is the sanctioned recycle path.
+type src struct {
+	scratch []*obj
+	byID    map[int]*obj
+}
+
+func (s *src) acquire() *obj {
+	if n := len(s.scratch); n > 0 {
+		o := s.scratch[n-1]
+		s.scratch = s.scratch[:n-1]
+		return o
+	}
+	return new(obj)
+}
+
+func (s *src) release(o *obj) {
+	s.scratch = append(s.scratch, o)
+}
+
+// A popped box aliased into a live map escapes the lease.
+func (s *src) leak(id int) {
+	o := s.acquire()
+	s.byID[id] = o // want `pooled value stored in a long-lived structure`
+}
+
+// The escape hatch.
+func allowedUse() int {
+	o := pool.Get().(*obj)
+	pool.Put(o)
+	//rcvet:allow(single-threaded helper; nothing can reuse the box between the put and this read)
+	return o.id
+}

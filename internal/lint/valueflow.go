@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the intraprocedural value-flow layer under the
+// concurrency analyzers (atomicfield, poolescape, ctxflow): def-use
+// chains over one function body's typed AST. It deliberately stays
+// flow-insensitive at the variable level — a variable's origin set is
+// the union of every right-hand side ever assigned to it — and
+// statement-order-sensitive only where the analyzers need it (use
+// after Put). That is cheap (one walk per body), deterministic, and
+// conservative in the direction each client wants: poolescape only
+// *adds* pooled origins, never loses them to a branch.
+//
+// Cross-function flow is not handled here. The summary engine
+// (summary.go) exports per-function facts — "returns pooled memory",
+// "recycles parameter i", "accesses field F atomically" — and the
+// analyzers compose them through the SummaryTable, so a value that
+// crosses a call boundary is tracked by facts, not by chasing syntax
+// into the callee.
+
+// valueFlow holds the def-use chains of one function body.
+type valueFlow struct {
+	info *types.Info
+	// defs maps each local variable to every expression assigned to it:
+	// initializers, plain assignments, and range/type-switch bindings.
+	defs map[*types.Var][]ast.Expr
+}
+
+// buildValueFlow walks one body (cutting at nested function literals,
+// which are separate summary nodes) and records every definition.
+func buildValueFlow(info *types.Info, body *ast.BlockStmt) *valueFlow {
+	vf := &valueFlow{info: info, defs: make(map[*types.Var][]ast.Expr)}
+	if body == nil {
+		return vf
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			vf.recordAssign(n)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if v := vf.localVar(name); v != nil && i < len(n.Values) {
+					vf.defs[v] = append(vf.defs[v], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return vf
+}
+
+// recordAssign records one assignment's variable definitions. A
+// multi-value RHS (x, ok := f()) defines every LHS variable from the
+// same call expression.
+func (vf *valueFlow) recordAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if v := vf.lhsVar(lhs); v != nil {
+				vf.defs[v] = append(vf.defs[v], as.Rhs[i])
+			}
+		}
+		return
+	}
+	if len(as.Rhs) == 1 {
+		for _, lhs := range as.Lhs {
+			if v := vf.lhsVar(lhs); v != nil {
+				vf.defs[v] = append(vf.defs[v], as.Rhs[0])
+			}
+		}
+	}
+}
+
+// lhsVar resolves an assignment target to the local variable it
+// defines (nil for blank, fields, and indexed stores).
+func (vf *valueFlow) lhsVar(lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return vf.localVar(id)
+}
+
+// localVar resolves an identifier to the *types.Var it defines or
+// uses, or nil.
+func (vf *valueFlow) localVar(id *ast.Ident) *types.Var {
+	if v, ok := vf.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := vf.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// baseIdentVar strips an expression down to the variable at its base:
+// parens, pointer derefs, address-of, field selections, indexing, and
+// type assertions all keep the base. `&a.req`, `a.vm.Name`, and
+// `boxes[i]` all resolve to a / boxes. Returns nil when the base is
+// not a simple variable (a call, a literal, a package selector).
+func baseIdentVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// A package-qualified name (pkg.Var) is not a local base.
+			if _, ok := info.Uses[x.Sel].(*types.Var); !ok {
+				return nil
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// originSet computes, by fixed point over the def chains, the set of
+// variables whose value may originate from an expression isOrigin
+// accepts. Copies propagate through plain variable-to-variable
+// assignments, parens, type assertions, and address-of — the aliasing
+// forms that keep a pooled box reachable — but not through field or
+// index *reads*, which copy a value out of the box.
+func (vf *valueFlow) originSet(isOrigin func(ast.Expr) bool) map[*types.Var]bool {
+	tainted := make(map[*types.Var]bool)
+	for changed := true; changed; {
+		changed = false
+		for v, rhss := range vf.defs {
+			if tainted[v] {
+				continue
+			}
+			for _, rhs := range rhss {
+				if vf.exprTainted(rhs, tainted, isOrigin) {
+					tainted[v] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return tainted
+}
+
+// exprTainted reports whether one expression produces a value from an
+// origin or from an already-tainted variable.
+func (vf *valueFlow) exprTainted(e ast.Expr, tainted map[*types.Var]bool, isOrigin func(ast.Expr) bool) bool {
+	e = ast.Unparen(e)
+	if isOrigin(e) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := vf.info.Uses[x].(*types.Var); ok {
+			return tainted[v]
+		}
+	case *ast.TypeAssertExpr:
+		return vf.exprTainted(x.X, tainted, isOrigin)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return vf.exprTainted(x.X, tainted, isOrigin)
+		}
+	}
+	return false
+}
+
+// aliasesTainted reports whether an expression keeps a tainted box
+// reachable when stored: the expression is a tainted variable itself,
+// or an address into one (&v, &v.field, &v.elems[i]). A plain field or
+// index read (v.field) copies the value and does not alias.
+func aliasesTainted(info *types.Info, e ast.Expr, tainted map[*types.Var]bool) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return tainted[v]
+		}
+	case *ast.TypeAssertExpr:
+		return aliasesTainted(info, x.X, tainted)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if v := baseIdentVar(info, x.X); v != nil {
+				return tainted[v]
+			}
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		// Reading a pointer-typed field out of the box hands out memory
+		// the recycler may reuse only if the field points back into the
+		// box; that cannot be decided statically, so only pointer-typed
+		// reads whose base is tainted count when the read's type is a
+		// pointer into the same struct — too rare to model. Value reads
+		// are safe copies.
+		return false
+	}
+	return false
+}

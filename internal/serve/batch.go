@@ -90,6 +90,7 @@ func (t *Tier) startBatch(modelName string, calls []*call) {
 	t.obs.batches.Inc()
 	t.obs.batchSize.Observe(float64(len(calls)))
 	t.wg.Add(1)
+	//rcvet:allow(joined by t.wg in Close and bounded by the upstream store latency; the BatchPredictor API carries no context to cancel mid-flight)
 	go func() {
 		defer t.wg.Done()
 		now := time.Now()
