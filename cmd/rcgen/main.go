@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -202,12 +203,12 @@ func copyColumns(w io.Writer, r io.Reader) (int, error) {
 			break
 		}
 		if err != nil {
-			return crr.Total(), err
+			return crr.Total(), errors.Join(err, cw.Close())
 		}
 		for j := 0; j < ch.Len(); j++ {
 			ch.VMAt(j, &v)
 			if err := cw.Write(&v); err != nil {
-				return crr.Total(), err
+				return crr.Total(), errors.Join(err, cw.Close())
 			}
 		}
 	}

@@ -150,7 +150,6 @@ func main() {
 	}
 
 	errCh := make(chan error, 1)
-	//rcvet:allow(errCh is buffered with capacity 1 and written exactly once, so the send never blocks)
 	go func() {
 		log.Printf("serving predictions on http://%s", *addr)
 		errCh <- httpServer.ListenAndServe()

@@ -251,6 +251,11 @@ func (c *Client) enqueueFetch(key string) {
 
 // Close stops background cache maintenance.
 func (c *Client) Close() {
+	if c.notif != nil {
+		// Push mode registered the notification channel at Init; the
+		// store would keep signaling it after the pushLoop exits.
+		c.cfg.Store.Unsubscribe(c.notif)
+	}
 	close(c.done)
 	c.wg.Wait()
 }

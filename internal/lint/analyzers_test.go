@@ -60,3 +60,11 @@ func TestPoolEscape(t *testing.T) {
 func TestCtxFlow(t *testing.T) {
 	linttest.Run(t, lint.CtxFlow, "testdata/ctxflow")
 }
+
+func TestTypestate(t *testing.T) {
+	linttest.Run(t, lint.Typestate, "testdata/typestate")
+}
+
+func TestNilFlow(t *testing.T) {
+	linttest.Run(t, lint.NilFlow, "testdata/nilflow")
+}

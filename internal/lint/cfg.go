@@ -1,0 +1,552 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow layer under the flow-sensitive
+// analyzers (typestate, nilflow, poolescape's use-after-put): a
+// per-function CFG of basic blocks over the AST, and a small forward
+// dataflow solver that iterates meet-over-paths lattices to a fixed
+// point. The builder is purely syntactic — it reads no type
+// information — so it can be fuzzed over arbitrary parseable bodies
+// (cfg_fuzz_test.go); consumers bring go/types when their transfer
+// functions need it.
+//
+// Two properties the consumers rely on:
+//
+//   - Short-circuit conditions are decomposed: `if leader && !ok {`
+//     places `leader` and `ok` in separate blocks joined by True/False
+//     edges, each edge carrying the condition leaf it refines on. A
+//     typestate obligation conditioned on a bool result is dropped on
+//     the edge where that bool is false, and a call buried in the
+//     right operand is only seen on paths that reach it.
+//
+//   - Every simple statement of the source body is placed in exactly
+//     one block, including statements after a return or terminator
+//     (they land in a fresh block with no predecessor, which the
+//     solver never visits). The fuzz test asserts this placement
+//     property, so an analyzer re-walking blocks sees the whole
+//     function.
+//
+// Composite statements are not themselves placed; their parts are:
+// conditions as decomposed leaves, switch tags and case expressions as
+// nodes of the dispatching blocks, select comm statements as the first
+// node of their clause block. The one exception is *ast.RangeStmt,
+// placed as the loop-head node so transfer functions can see its X and
+// Key/Value bindings — consumers must walk placed nodes with
+// cfgInspect, which cuts at nested *ast.BlockStmt (the range body) and
+// *ast.FuncLit boundaries.
+
+// EdgeKind classifies a CFG edge.
+type EdgeKind uint8
+
+const (
+	// EdgeNext is unconditional flow: sequence, jumps, switch/select
+	// dispatch (which rcvet does not refine on).
+	EdgeNext EdgeKind = iota
+	// EdgeTrue / EdgeFalse leave a decomposed condition leaf. Cond
+	// holds the leaf expression (nil for a range loop's implicit
+	// "another element" test).
+	EdgeTrue
+	EdgeFalse
+	// EdgePanic models unwinding to the function exit: panic(...) and
+	// the process/goroutine terminators (os.Exit, log.Fatal*,
+	// runtime.Goexit). Obligation analyses clear state across it —
+	// leak-on-panic is not a diagnostic rcvet raises.
+	EdgePanic
+)
+
+// Edge is one directed CFG edge.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+	// Cond is the condition leaf a True/False edge tests, for edge
+	// refinement (nil-comparison narrowing, conditional obligations).
+	Cond ast.Expr
+}
+
+// Block is one basic block: nodes that execute in sequence with no
+// branching between them, then the outgoing edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// CFG is the control-flow graph of one function body. Exit is the
+// synthetic block every return, fall-off-the-end, and panic edge
+// reaches; it has no nodes and no successors.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// buildCFG constructs the CFG of one function body. The builder never
+// descends into nested function literals (they are separate summary
+// nodes with CFGs of their own); a FuncLit inside a placed statement
+// is visible to transfer functions as part of that node.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c, labels: make(map[string]*Block)}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.collectLabels(body)
+	b.stmtList(body.List)
+	b.edge(c.Exit, EdgeNext, nil)
+	return c
+}
+
+// cfgBuilder holds the in-progress build state.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// labels maps label names to their (pre-created) target blocks, so
+	// a goto can jump forward to a label not yet reached.
+	labels map[string]*Block
+	// scopes is the stack of enclosing breakable constructs; entries
+	// with a non-nil cont are continuable (loops).
+	scopes []branchScope
+	// ft is the fallthrough target inside a switch case, nil elsewhere.
+	ft *Block
+	// pendingLabel names the label wrapping the next loop/switch/select
+	// statement, so labeled break/continue resolve to it.
+	pendingLabel string
+}
+
+type branchScope struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+func (b *cfgBuilder) edge(to *Block, kind EdgeKind, cond ast.Expr) {
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to, Kind: kind, Cond: cond})
+}
+
+// jump ends the current block with an unconditional edge and continues
+// in a fresh one. Statements after a return/branch land in the fresh
+// block, which has no predecessors and is therefore never solved.
+func (b *cfgBuilder) jump(to *Block) {
+	b.edge(to, EdgeNext, nil)
+	b.cur = b.newBlock()
+}
+
+// collectLabels pre-creates a block per labeled statement so forward
+// gotos have a target. Function literals are cut: their labels are
+// their own CFG's business.
+func (b *cfgBuilder) collectLabels(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.LabeledStmt:
+			if _, ok := b.labels[n.Label.Name]; !ok {
+				b.labels[n.Label.Name] = b.newBlock()
+			}
+		}
+		return true
+	})
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.EmptyStmt:
+		// nothing executes
+	case *ast.LabeledStmt:
+		target := b.labels[s.Label.Name]
+		b.edge(target, EdgeNext, nil)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock()
+		after := b.newBlock()
+		alt := after
+		if s.Else != nil {
+			alt = b.newBlock()
+		}
+		b.cond(s.Cond, then, alt)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(after, EdgeNext, nil)
+		if s.Else != nil {
+			b.cur = alt
+			b.stmt(s.Else)
+			b.edge(after, EdgeNext, nil)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.edge(head, EdgeNext, nil)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, after)
+		} else {
+			b.edge(body, EdgeNext, nil)
+		}
+		b.cur = body
+		b.pushScope(branchScope{label: label, brk: after, cont: post})
+		b.stmtList(s.Body.List)
+		b.popScope()
+		b.edge(post, EdgeNext, nil)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(head, EdgeNext, nil)
+		}
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, EdgeNext, nil)
+		b.cur = head
+		b.add(s) // header only: X and the Key/Value bindings
+		b.edge(body, EdgeTrue, nil)
+		b.edge(after, EdgeFalse, nil)
+		b.cur = body
+		b.pushScope(branchScope{label: label, brk: after, cont: head})
+		b.stmtList(s.Body.List)
+		b.popScope()
+		b.edge(head, EdgeNext, nil)
+		b.cur = after
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(cc *ast.CaseClause, blk *Block) {
+			for _, v := range cc.List {
+				blk.Nodes = append(blk.Nodes, v)
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, nil)
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.pushScope(branchScope{label: label, brk: after})
+		any := false
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			any = true
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, Edge{To: blk, Kind: EdgeNext})
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(after, EdgeNext, nil)
+		}
+		b.popScope()
+		if !any {
+			// select{} blocks forever: no successors.
+			b.cur = b.newBlock()
+			return
+		}
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cfg.Exit, EdgeNext, nil)
+		b.cur = b.newBlock()
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findScope(s.Label, false); t != nil {
+				b.jump(t.brk)
+				return
+			}
+		case token.CONTINUE:
+			if t := b.findScope(s.Label, true); t != nil {
+				b.jump(t.cont)
+				return
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				if target, ok := b.labels[s.Label.Name]; ok {
+					b.jump(target)
+					return
+				}
+			}
+		case token.FALLTHROUGH:
+			if b.ft != nil {
+				b.jump(b.ft)
+				return
+			}
+		}
+		// Malformed branch (unknown label, stray fallthrough): treat as
+		// a dead end so the builder never panics on bad input.
+		b.cur = b.newBlock()
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatorCall(s.X) {
+			b.edge(b.cfg.Exit, EdgePanic, nil)
+			b.cur = b.newBlock()
+		}
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt,
+		// DeferStmt: straight-line nodes. A DeferStmt is placed where
+		// it registers, so deferred releases are flow-sensitive: a
+		// defer reached only on some paths only discharges on them.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the dispatch structure shared by value and type
+// switches: the current block fans out to every case block (and to
+// after, when there is no default), case bodies flow to after, and
+// fallthrough chains to the next case in source order.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, caseExprs func(*ast.CaseClause, *Block)) {
+	head := b.cur
+	after := b.newBlock()
+	b.pushScope(branchScope{label: label, brk: after})
+	blocks := make([]*Block, 0, len(clauses))
+	hasDefault := false
+	for _, clause := range clauses {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		blocks = append(blocks, blk)
+		head.Succs = append(head.Succs, Edge{To: blk, Kind: EdgeNext})
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if caseExprs != nil {
+			caseExprs(cc, blk)
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, Edge{To: after, Kind: EdgeNext})
+	}
+	i := 0
+	for _, clause := range clauses {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = blocks[i]
+		savedFT := b.ft
+		if i+1 < len(blocks) {
+			b.ft = blocks[i+1]
+		} else {
+			b.ft = nil
+		}
+		b.stmtList(cc.Body)
+		b.ft = savedFT
+		b.edge(after, EdgeNext, nil)
+		i++
+	}
+	b.popScope()
+	b.cur = after
+}
+
+// cond decomposes a boolean condition into CFG structure: &&/|| become
+// chained blocks, ! swaps the targets, and each leaf gets True/False
+// edges carrying the leaf for refinement. Leaves are placed as block
+// nodes, so calls inside conditions are visible to transfer functions.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	b.add(e)
+	b.edge(t, EdgeTrue, e)
+	b.edge(f, EdgeFalse, e)
+}
+
+func (b *cfgBuilder) pushScope(s branchScope) { b.scopes = append(b.scopes, s) }
+func (b *cfgBuilder) popScope()               { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// findScope resolves a break/continue target: the innermost matching
+// scope, or the labeled one. Continue only matches loops.
+func (b *cfgBuilder) findScope(label *ast.Ident, needCont bool) *branchScope {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := &b.scopes[i]
+		if needCont && s.cont == nil {
+			continue
+		}
+		if label == nil || s.label == label.Name {
+			return s
+		}
+	}
+	return nil
+}
+
+// isTerminatorCall recognizes, purely syntactically, calls that never
+// return: panic(...), os.Exit, log.Fatal/Fatalf/Fatalln, and
+// runtime.Goexit. The check is deliberately name-based (the builder
+// has no type information); shadowing `os` with a local would
+// misclassify, which costs one spurious panic edge, never a missed
+// statement.
+func isTerminatorCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			return fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}
+
+// cfgInspect walks one placed node the way CFG consumers must: cutting
+// at nested *ast.BlockStmt (a range statement's body belongs to other
+// blocks) and at *ast.FuncLit (separate summary nodes). The root is
+// visited even when it is itself one of the cut kinds.
+func cfgInspect(root ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n != root {
+			switch n.(type) {
+			case *ast.BlockStmt, *ast.FuncLit:
+				f(n)
+				return false
+			}
+		}
+		return f(n)
+	})
+}
+
+// --- forward dataflow solver ---
+
+// FlowProblem defines one forward meet-over-paths dataflow problem
+// over a CFG. Implementations must treat states as immutable values:
+// Transfer and Refine return fresh (or shared-unchanged) states and
+// never mutate their input, because the solver hands one block's
+// out-state to every outgoing edge.
+type FlowProblem[S any] interface {
+	// Boundary is the state on entry to the function.
+	Boundary() S
+	// Transfer applies one placed node's effect.
+	Transfer(n ast.Node, s S) S
+	// Refine narrows the state along one edge (condition leaves on
+	// True/False edges, clearing across EdgePanic). Most edges return
+	// s unchanged.
+	Refine(e Edge, s S) S
+	// Merge joins two states where paths meet; it must be monotone
+	// with Equal detecting the fixed point.
+	Merge(a, b S) S
+	// Equal reports whether two states are indistinguishable.
+	Equal(a, b S) bool
+}
+
+// SolveCFG iterates a forward dataflow problem to its fixed point and
+// returns each reachable block's in-state. Unreachable blocks (dead
+// code after returns, bodies of `select{}`) have no entry in the map.
+// Consumers re-walk a block's nodes with Transfer from its in-state to
+// recover the state at each node for reporting.
+func SolveCFG[S any](c *CFG, p FlowProblem[S]) map[*Block]S {
+	in := make(map[*Block]S, len(c.Blocks))
+	in[c.Entry] = p.Boundary()
+	work := []*Block{c.Entry}
+	queued := make(map[*Block]bool, len(c.Blocks))
+	queued[c.Entry] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		s := in[blk]
+		for _, n := range blk.Nodes {
+			s = p.Transfer(n, s)
+		}
+		for _, e := range blk.Succs {
+			ns := p.Refine(e, s)
+			old, seen := in[e.To]
+			if seen {
+				merged := p.Merge(old, ns)
+				if p.Equal(merged, old) {
+					continue
+				}
+				in[e.To] = merged
+			} else {
+				in[e.To] = ns
+			}
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}

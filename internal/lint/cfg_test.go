@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses one function's source and returns its body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function body")
+	return nil
+}
+
+// simpleStmts collects the body's placeable statements, cutting at
+// nested function literals — the set checkPlacement requires the CFG
+// to place exactly once.
+func simpleStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+			*ast.DeclStmt, *ast.GoStmt, *ast.DeferStmt, *ast.ReturnStmt,
+			*ast.BranchStmt, *ast.RangeStmt:
+			out = append(out, n.(ast.Stmt))
+		}
+		return true
+	})
+	return out
+}
+
+// checkPlacement asserts the builder's core property: every simple
+// statement of the body appears in exactly one block.
+func checkPlacement(t *testing.T, body *ast.BlockStmt, c *CFG) {
+	t.Helper()
+	placed := make(map[ast.Node]int)
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			placed[n]++
+		}
+	}
+	for _, s := range simpleStmts(body) {
+		if placed[s] != 1 {
+			t.Errorf("statement at offset %d (%T) placed %d times, want 1", s.Pos(), s, placed[s])
+		}
+	}
+}
+
+// reachable returns the blocks reachable from entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{c.Entry: true}
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGPlacement(t *testing.T) {
+	cases := map[string]string{
+		"straightline": `func f() { x := 1; x++; _ = x }`,
+		"ifelse":       `func f(a bool) int { if a { return 1 } else { return 2 } }`,
+		"shortcircuit": `func f(a, b bool) { if a && !b { println(1) } else if a || b { println(2) } }`,
+		"forloop":      `func f() { for i := 0; i < 4; i++ { if i == 2 { continue }; if i == 3 { break }; println(i) } }`,
+		"rangeloop":    `func f(xs []int) { for i, x := range xs { _ = i; _ = x } }`,
+		"switch":       `func f(x int) { switch x { case 1: println(1); fallthrough; case 2: println(2); default: println(3) } }`,
+		"typeswitch":   `func f(x any) { switch v := x.(type) { case int: _ = v; default: } }`,
+		"selectstmt":   `func f(ch chan int, done chan struct{}) { select { case v := <-ch: _ = v; case <-done: return; default: } }`,
+		"goto":         `func f() { i := 0; L: i++; if i < 3 { goto L }; goto M; M: println(i) }`,
+		"labels":       `func f() { outer: for i := 0; i < 3; i++ { for { continue outer } }; println() }`,
+		"terminator":   `func f(x int) { if x < 0 { panic("neg") }; os.Exit(1); println("dead") }`,
+		"deferred":     `func f() { defer println("bye"); go println("hi") }`,
+		"funclit":      `func f() { g := func() { println("inner") }; g() }`,
+		"emptyselect":  `func f() { select {}; println("dead") }`,
+		"declstmt":     `func f() { var x, y = 1, 2; _, _ = x, y }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			body := parseBody(t, src)
+			c := buildCFG(body)
+			checkPlacement(t, body, c)
+			if !reachable(c)[c.Exit] && name != "emptyselect" {
+				t.Errorf("exit not reachable from entry")
+			}
+		})
+	}
+}
+
+func TestCFGDeadCodeUnreachable(t *testing.T) {
+	body := parseBody(t, `func f() int { return 1; println("dead"); return 2 }`)
+	c := buildCFG(body)
+	checkPlacement(t, body, c)
+	live := reachable(c)
+	for _, blk := range c.Blocks {
+		if !live[blk] {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				call, _ := es.X.(*ast.CallExpr)
+				if call != nil {
+					t.Errorf("dead call placed in reachable block %d", blk.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestCFGShortCircuitEdges(t *testing.T) {
+	body := parseBody(t, `func f(a, b bool) { if a && b { println(1) } }`)
+	c := buildCFG(body)
+	// The leaf `a` must have a False edge that skips the evaluation of
+	// `b`: find the block holding `a` and check its False target does
+	// not contain `b`.
+	var aBlk *Block
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "a" {
+				aBlk = blk
+			}
+		}
+	}
+	if aBlk == nil {
+		t.Fatal("condition leaf a not placed")
+	}
+	var sawTrue, sawFalse bool
+	for _, e := range aBlk.Succs {
+		switch e.Kind {
+		case EdgeTrue:
+			sawTrue = true
+			found := false
+			for _, n := range e.To.Nodes {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "b" {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("true edge of a does not lead to evaluation of b")
+			}
+		case EdgeFalse:
+			sawFalse = true
+			if e.Cond == nil {
+				t.Error("false edge carries no condition leaf")
+			}
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Errorf("leaf a edges: true=%v false=%v, want both", sawTrue, sawFalse)
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	body := parseBody(t, `func f(x int) { if x < 0 { panic("neg") }; println(x) }`)
+	c := buildCFG(body)
+	found := false
+	for _, blk := range c.Blocks {
+		for _, e := range blk.Succs {
+			if e.Kind == EdgePanic && e.To == c.Exit {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no panic edge to exit")
+	}
+}
+
+// reachingDefs is a tiny flow problem used to test the solver: the set
+// of println arguments (as literal strings) that may have executed.
+type reachingPrints struct{}
+
+func (reachingPrints) Boundary() string { return "" }
+func (reachingPrints) Transfer(n ast.Node, s string) string {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return s
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return s
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return s
+	}
+	name := strings.Trim(lit.Value, `"`)
+	if strings.Contains(s, name) {
+		return s
+	}
+	return s + name
+}
+func (reachingPrints) Refine(e Edge, s string) string { return s }
+func (reachingPrints) Merge(a, b string) string {
+	out := a
+	for _, r := range b {
+		if !strings.ContainsRune(out, r) {
+			out += string(r)
+		}
+	}
+	// canonicalize
+	rs := strings.Split(out, "")
+	for i := range rs {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[j] < rs[i] {
+				rs[i], rs[j] = rs[j], rs[i]
+			}
+		}
+	}
+	return strings.Join(rs, "")
+}
+func (reachingPrints) Equal(a, b string) bool { return a == b }
+
+func TestSolveCFGJoin(t *testing.T) {
+	body := parseBody(t, `func f(c bool) {
+		if c { println("a") } else { println("b") }
+		println("j")
+	}`)
+	c := buildCFG(body)
+	in := SolveCFG[string](c, reachingPrints{})
+	exitState, ok := in[c.Exit]
+	if !ok {
+		t.Fatal("exit unreached")
+	}
+	for _, want := range []string{"a", "b", "j"} {
+		if !strings.Contains(exitState, want) {
+			t.Errorf("exit state %q missing %q", exitState, want)
+		}
+	}
+}
+
+func TestSolveCFGLoopFixpoint(t *testing.T) {
+	body := parseBody(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			println("l")
+		}
+		println("e")
+	}`)
+	c := buildCFG(body)
+	in := SolveCFG[string](c, reachingPrints{})
+	exitState := in[c.Exit]
+	if !strings.Contains(exitState, "l") || !strings.Contains(exitState, "e") {
+		t.Errorf("exit state %q, want both l (loop body may run) and e", exitState)
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"path/filepath"
@@ -247,11 +248,11 @@ func (s *summarizer) scanBlockFacts(sum *FuncSummary, body *ast.BlockStmt) {
 				}
 			}
 		case *ast.SendStmt:
-			if !guarded[n] && !s.allowed(n.Pos()) {
+			if !guarded[n] && !s.boundedSend[n] && !s.semOps[n] && !s.allowed(n.Pos()) {
 				s.setTaint(&sum.Blocks, []Frame{{Pos: s.shortPos(n.Pos()), Call: "channel send"}})
 			}
 		case *ast.UnaryExpr:
-			if n.Op != token.ARROW || guarded[n] {
+			if n.Op != token.ARROW || guarded[n] || s.semOps[n] {
 				return true
 			}
 			if isCancelExpr(info, n.X) {
@@ -269,6 +270,271 @@ func (s *summarizer) scanBlockFacts(sum *FuncSummary, body *ast.BlockStmt) {
 		}
 		return true
 	})
+}
+
+// --- package-wide channel proofs ---
+
+// chanUse accumulates everything scanChanProofs learns about one
+// function-local channel variable.
+type chanUse struct {
+	minCap     int64 // smallest constant make capacity seen (-1: none yet)
+	capUnknown bool  // some make has a non-constant capacity
+	otherDef   bool  // some definition is not a make at all
+	sends      []ast.Node
+	recvs      []ast.Node
+	multiSend  bool // a send may execute more than once per make
+	deferRecv  bool // a receive inside a deferred function literal
+	isToken    bool // element type struct{} (semaphore convention)
+	escapes    bool // the channel value leaves send/recv/close/len/cap/range positions
+}
+
+func (u *chanUse) recordDef(c int64, isMake, constCap bool) {
+	switch {
+	case !isMake:
+		u.otherDef = true
+	case !constCap:
+		// Still a make — fine for the semaphore proof, which needs
+		// only the pairing discipline, but the bounded-send proof
+		// cannot count sends against an unknown capacity.
+		u.capUnknown = true
+	case u.minCap < 0 || c < u.minCap:
+		u.minCap = c
+	}
+}
+
+// scanChanProofs runs once per package, before summarization, and
+// proves two channel disciplines that are invisible statement by
+// statement:
+//
+//   - bounded send: every definition of the channel is
+//     make(chan T, N) with constant N, there are at most N send
+//     statements, none of them can execute twice per channel (no loop
+//     or re-callable literal above them), and the channel never
+//     escapes — so no send can ever block. The rcserve errCh pattern.
+//
+//   - semaphore: a struct{}-element channel whose receives include a
+//     `defer func() { <-sem }()` — the acquire/release pairing whose
+//     sends block only until a peer's deferred release, bounded by
+//     the channel's capacity. The forest worker-limit pattern.
+//
+// Send/receive nodes proven safe are recorded in boundedSend/semOps;
+// scanBlockFacts consults them instead of forcing //rcvet:allow on
+// ordering the flow-insensitive scan cannot see.
+func (s *summarizer) scanChanProofs(files []*ast.File) {
+	s.boundedSend = make(map[ast.Node]bool)
+	s.semOps = make(map[ast.Node]bool)
+	info := s.pkg.TypesInfo
+	uses := make(map[*types.Var]*chanUse)
+	order := make([]*types.Var, 0, 8)
+	useOf := func(v *types.Var) *chanUse {
+		u, ok := uses[v]
+		if !ok {
+			u = &chanUse{minCap: -1}
+			if ch, isch := v.Type().Underlying().(*types.Chan); isch {
+				if st, isst := ch.Elem().Underlying().(*types.Struct); isst && st.NumFields() == 0 {
+					u.isToken = true
+				}
+			}
+			uses[v] = u
+			order = append(order, v)
+		}
+		return u
+	}
+	// chanLocalVar resolves an identifier to a function-local
+	// channel-typed variable, or nil.
+	chanLocalVar := func(id *ast.Ident) *types.Var {
+		var v *types.Var
+		if d, ok := info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v == nil || v.Pkg() == nil || v.Pkg().Scope().Lookup(v.Name()) == v {
+			return nil
+		}
+		if _, ok := v.Type().Underlying().(*types.Chan); !ok {
+			return nil
+		}
+		return v
+	}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v := chanLocalVar(id)
+			if v == nil {
+				return true
+			}
+			u := useOf(v)
+			parent := ast.Node(nil)
+			if len(stack) >= 2 {
+				parent = stack[len(stack)-2]
+			}
+			switch p := parent.(type) {
+			case *ast.SendStmt:
+				if p.Chan == ast.Expr(id) {
+					u.sends = append(u.sends, parent)
+					if multiExec(stack[:len(stack)-1]) {
+						u.multiSend = true
+					}
+					return true
+				}
+			case *ast.UnaryExpr:
+				if p.Op == token.ARROW && p.X == ast.Expr(id) {
+					u.recvs = append(u.recvs, parent)
+					if inDeferredLit(stack[:len(stack)-1]) {
+						u.deferRecv = true
+					}
+					return true
+				}
+			case *ast.CallExpr:
+				if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok &&
+					(fid.Name == "close" || fid.Name == "len" || fid.Name == "cap") {
+					for _, arg := range p.Args {
+						if arg == ast.Expr(id) {
+							return true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if p.X == ast.Expr(id) {
+					return true // close-terminated drain
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range p.Lhs {
+					if lhs != ast.Expr(id) {
+						continue
+					}
+					var rhs ast.Expr
+					if len(p.Lhs) == len(p.Rhs) {
+						rhs = p.Rhs[i]
+					}
+					u.recordDef(makeChanCap(info, rhs))
+					return true
+				}
+			case *ast.ValueSpec:
+				for i, nm := range p.Names {
+					if nm != id {
+						continue
+					}
+					var rhs ast.Expr
+					if i < len(p.Values) {
+						rhs = p.Values[i]
+					}
+					u.recordDef(makeChanCap(info, rhs))
+					return true
+				}
+			}
+			u.escapes = true
+			return true
+		})
+	}
+	for _, v := range order {
+		u := uses[v]
+		if u.escapes || u.otherDef {
+			continue
+		}
+		if u.isToken && u.deferRecv && len(u.sends) > 0 {
+			for _, n := range u.sends {
+				s.semOps[n] = true
+			}
+			for _, n := range u.recvs {
+				s.semOps[n] = true
+			}
+			continue
+		}
+		if !u.capUnknown && !u.multiSend && int64(len(u.sends)) <= u.minCap {
+			for _, n := range u.sends {
+				s.boundedSend[n] = true
+			}
+		}
+	}
+}
+
+// multiExec reports whether the statement at the top of the ancestor
+// stack may execute more than once per enclosing function activation:
+// a loop above it, or a function literal above it that is not in
+// called position (go/defer/immediate invocation) — a stored or
+// passed literal may be invoked any number of times.
+func multiExec(stack []ast.Node) bool {
+	for i, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			call, ok := ast.Node(nil), false
+			if i > 0 {
+				call = stack[i-1]
+			}
+			if c, isCall := call.(*ast.CallExpr); isCall && c.Fun == n {
+				ok = true
+			}
+			if !ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inDeferredLit reports whether the nearest enclosing function literal
+// is the callee of a defer statement.
+func inDeferredLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if i >= 2 {
+			if c, isCall := stack[i-1].(*ast.CallExpr); isCall && c.Fun == lit {
+				if _, isDefer := stack[i-2].(*ast.DeferStmt); isDefer {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// makeChanCap classifies a channel definition's right-hand side:
+// isMake reports a make(chan T, ...) expression, constCap that its
+// capacity is a compile-time constant (capacity 0 for unbuffered
+// makes), and c that capacity.
+func makeChanCap(info *types.Info, e ast.Expr) (c int64, isMake, constCap bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0, false, false
+	}
+	fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fid.Name != "make" || len(call.Args) == 0 {
+		return 0, false, false
+	}
+	if t := info.TypeOf(call); t == nil {
+		return 0, false, false
+	} else if _, isch := t.Underlying().(*types.Chan); !isch {
+		return 0, false, false
+	}
+	if len(call.Args) == 1 {
+		return 0, true, true
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return 0, true, false
+	}
+	n, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, true, false
+	}
+	return n, true, true
 }
 
 // markGuardedComm marks the channel-op nodes of one select comm clause
@@ -583,6 +849,32 @@ func (s *summarizer) scanPoolFacts(n *funcNode, sum *FuncSummary, body *ast.Bloc
 			for i, p := range params {
 				if p == v {
 					s.addPoolPut(sum, i)
+				}
+			}
+			// Map-mediated recycle: the recycled box was looked up in
+			// a map keyed by a parameter (a, ok := s.byReq[req];
+			// s.free = append(s.free, a)). Recycling the box retires
+			// the lease the caller holds through that key, so the put
+			// is attributed to the key parameter — callers of
+			// release(req) must not touch req's box afterwards.
+			for _, rhs := range vf.defs[v] {
+				ix, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if t := s.pkg.TypesInfo.TypeOf(ix.X); t == nil {
+					continue
+				} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				kv := baseIdentVar(s.pkg.TypesInfo, ix.Index)
+				if kv == nil {
+					continue
+				}
+				for i, p := range params {
+					if p == kv {
+						s.addPoolPut(sum, i)
+					}
 				}
 			}
 		}

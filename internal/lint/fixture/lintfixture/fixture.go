@@ -135,3 +135,22 @@ func AwaitDone(ctx context.Context, ch chan int) {
 	case <-ch:
 	}
 }
+
+// OpenScratch leases a temp file two hops down (OpenScratch ->
+// openScratch2 -> os.CreateTemp). Typestate goldens observe the
+// Acquires fact across the package boundary: the caller owes a Close
+// even though no os call is visible in its own syntax.
+func OpenScratch() (*os.File, error) { return openScratch2() }
+
+func openScratch2() (*os.File, error) { return os.CreateTemp("", "rcvet-scratch-*") }
+
+// CloseScratch discharges the obligation (Releases parameter 0, two
+// hops): handing the file here is as good as closing it locally.
+func CloseScratch(f *os.File) error { return closeScratch2(f) }
+
+func closeScratch2(f *os.File) error { return f.Close() }
+
+// DropScratch only borrows the file — it inspects it and returns
+// without closing, so it earns no Releases fact and the caller stays
+// obligated.
+func DropScratch(f *os.File) string { return f.Name() }

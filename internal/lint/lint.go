@@ -240,6 +240,7 @@ func All() []*Analyzer {
 		Determinism, MapOrder, LockScope, MetricName,
 		LockOrder, AllocFree, GoroLeak, ErrFlow,
 		AtomicField, PoolEscape, CtxFlow,
+		Typestate, NilFlow,
 	}
 }
 

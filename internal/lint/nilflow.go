@@ -1,0 +1,556 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilFlow reports pointer dereferences that are guaranteed to panic:
+// uses where the pointer is nil on EVERY control-flow path reaching
+// the dereference. The analyzer is deliberately may-not-must inverted
+// relative to classic nilness checkers — a maybe-nil deref is silent
+// (merge of nil and non-nil facts is unknown), so every report is a
+// crash waiting for its first execution, not a style nit.
+//
+// Two idioms produce definite nils in practice:
+//
+//   - zero-value declarations: `var p *T` followed by a straight-line
+//     dereference, usually after a refactor removed the assignment in
+//     between;
+//
+//   - the (value, error) convention: after `p, err := f()`, Go
+//     convention makes p nil exactly when err != nil, so a dereference
+//     of p inside the `if err != nil` arm — typically a log line
+//     reaching for p.Name while reporting the error — is a guaranteed
+//     nil deref. The flow state pairs each err with its result
+//     pointer, and the branch refinement turns the error test into a
+//     nilness fact about the pointer.
+//
+// Dereference means a memory access the runtime cannot survive on a
+// nil pointer: field selection through the pointer, explicit *p, and
+// calls of value-receiver methods (which auto-deref). Pointer-receiver
+// method calls are NOT derefs — methods on nil pointers are legal Go.
+//
+// Soundness guards: variables whose address is taken, and variables
+// assigned inside nested function literals, are never tracked — a
+// write through an alias or a closure would invalidate the flow facts.
+var NilFlow = &Analyzer{
+	Name: "nilflow",
+	Doc: "report pointer dereferences that execute with a guaranteed-nil " +
+		"pointer on every path, including results the (value, error) " +
+		"convention makes nil inside err != nil branches",
+	Run: runNilFlow,
+}
+
+func runNilFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkNilBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- flow lattice ---
+
+type nilRank uint8
+
+const (
+	nilUnknown nilRank = iota // absent from the state map
+	nilYes
+	nilNo
+)
+
+// nilVal is one pointer variable's fact: definitely nil (with the
+// position that established the nil, for the diagnostic) or definitely
+// non-nil. Unknown pointers are simply absent from the map.
+type nilVal struct {
+	rank   nilRank
+	origin token.Pos
+}
+
+// nilPair records that an error variable and a pointer variable were
+// produced by the same (value, error) call, so refining the error's
+// nilness refines the pointer's.
+type nilPair struct {
+	ptr *types.Var
+	pos token.Pos
+}
+
+type nilState struct {
+	vals  map[*types.Var]nilVal
+	pairs map[*types.Var]nilPair
+}
+
+// nilMut wraps a state with copy-on-write mutation, so unchanged
+// states flow through the solver without allocation.
+type nilMut struct {
+	st     nilState
+	copied bool
+}
+
+func (m *nilMut) ensure() {
+	if m.copied {
+		return
+	}
+	vals := make(map[*types.Var]nilVal, len(m.st.vals)+1)
+	for k, v := range m.st.vals {
+		vals[k] = v
+	}
+	pairs := make(map[*types.Var]nilPair, len(m.st.pairs))
+	for k, v := range m.st.pairs {
+		pairs[k] = v
+	}
+	m.st = nilState{vals: vals, pairs: pairs}
+	m.copied = true
+}
+
+// setVal records a fact about a pointer variable. Any error pairing
+// that points at the variable is stale after a direct assignment, so
+// the caller passes breakPairs=true on writes and false on branch
+// refinements (which only sharpen the existing value).
+func (m *nilMut) setVal(v *types.Var, nv nilVal, breakPairs bool) {
+	if cur, ok := m.st.vals[v]; ok && cur == nv && !breakPairs {
+		return
+	}
+	m.ensure()
+	if nv.rank == nilUnknown {
+		delete(m.st.vals, v)
+	} else {
+		m.st.vals[v] = nv
+	}
+	if breakPairs {
+		for e, p := range m.st.pairs {
+			if p.ptr == v {
+				delete(m.st.pairs, e)
+			}
+		}
+	}
+}
+
+func (m *nilMut) setPair(errv, ptr *types.Var, pos token.Pos) {
+	m.ensure()
+	m.st.pairs[errv] = nilPair{ptr: ptr, pos: pos}
+}
+
+func (m *nilMut) dropPair(errv *types.Var) {
+	if _, ok := m.st.pairs[errv]; !ok {
+		return
+	}
+	m.ensure()
+	delete(m.st.pairs, errv)
+}
+
+// nilFlow is the FlowProblem. excluded holds variables the analysis
+// refuses to track: address-taken, or assigned inside a nested
+// function literal.
+type nilFlow struct {
+	info     *types.Info
+	excluded map[*types.Var]bool
+}
+
+func (nf *nilFlow) Boundary() nilState { return nilState{} }
+
+func (nf *nilFlow) Equal(a, b nilState) bool {
+	if len(a.vals) != len(b.vals) || len(a.pairs) != len(b.pairs) {
+		return false
+	}
+	for k, v := range a.vals {
+		if b.vals[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.pairs {
+		if b.pairs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge keeps only facts both paths agree on: a variable nil on one
+// path and non-nil (or unknown) on the other merges to unknown. This
+// is what restricts reports to guaranteed derefs.
+func (nf *nilFlow) Merge(a, b nilState) nilState {
+	vals := make(map[*types.Var]nilVal)
+	for k, av := range a.vals {
+		bv, ok := b.vals[k]
+		if !ok || bv.rank != av.rank {
+			continue
+		}
+		if bv.origin < av.origin {
+			av.origin = bv.origin
+		}
+		vals[k] = av
+	}
+	pairs := make(map[*types.Var]nilPair)
+	for k, ap := range a.pairs {
+		bp, ok := b.pairs[k]
+		if !ok || bp.ptr != ap.ptr {
+			continue
+		}
+		if bp.pos < ap.pos {
+			ap.pos = bp.pos
+		}
+		pairs[k] = ap
+	}
+	return nilState{vals: vals, pairs: pairs}
+}
+
+func (nf *nilFlow) Transfer(n ast.Node, st nilState) nilState {
+	m := &nilMut{st: st}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		nf.assign(m, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					nf.valueSpec(m, vs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if v := nf.trackedVar(e); v != nil {
+				m.setVal(v, nilVal{}, true)
+			}
+		}
+	}
+	return m.st
+}
+
+// Refine sharpens the state along a conditional edge. Two shapes
+// matter: `p == nil` / `p != nil` on a tracked pointer, and the same
+// tests on an error variable paired with a pointer result — there the
+// (value, error) convention converts the error fact into a pointer
+// fact.
+func (nf *nilFlow) Refine(e Edge, st nilState) nilState {
+	if e.Cond == nil || e.Kind == EdgePanic {
+		return st
+	}
+	be, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return st
+	}
+	var operand ast.Expr
+	switch {
+	case nf.isNilLit(be.Y):
+		operand = be.X
+	case nf.isNilLit(be.X):
+		operand = be.Y
+	default:
+		return st
+	}
+	id, ok := ast.Unparen(operand).(*ast.Ident)
+	if !ok {
+		return st
+	}
+	v, _ := nf.info.Uses[id].(*types.Var)
+	if v == nil || nf.excluded[v] {
+		return st
+	}
+	// nilBranch: this edge is taken when the operand IS nil.
+	nilBranch := (be.Op == token.EQL) == (e.Kind == EdgeTrue)
+	m := &nilMut{st: st}
+	if p, ok := st.pairs[v]; ok && isErrorType(v.Type()) {
+		// err != nil edge → the paired result is nil by convention;
+		// err == nil edge → the result is valid.
+		if nilBranch {
+			m.setVal(p.ptr, nilVal{rank: nilNo}, false)
+		} else {
+			m.setVal(p.ptr, nilVal{rank: nilYes, origin: p.pos}, false)
+		}
+		return m.st
+	}
+	if !isPointerType(v.Type()) {
+		return st
+	}
+	if nilBranch {
+		m.setVal(v, nilVal{rank: nilYes, origin: be.Pos()}, false)
+	} else {
+		m.setVal(v, nilVal{rank: nilNo}, false)
+	}
+	return m.st
+}
+
+func (nf *nilFlow) assign(m *nilMut, a *ast.AssignStmt) {
+	if a.Tok != token.ASSIGN && a.Tok != token.DEFINE {
+		return
+	}
+	if len(a.Lhs) == len(a.Rhs) {
+		for i, lhs := range a.Lhs {
+			nf.assignOne(m, lhs, a.Rhs[i])
+		}
+		return
+	}
+	// Multi-value: p, err := f() with a (pointer, error) result tuple
+	// establishes a pairing; every other shape just kills the targets.
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok && len(a.Lhs) == 2 {
+			if tup, ok := nf.info.TypeOf(call).(*types.Tuple); ok && tup.Len() == 2 &&
+				isPointerType(tup.At(0).Type()) && isErrorType(tup.At(1).Type()) {
+				ptr := nf.trackedVar(a.Lhs[0])
+				errv := nf.defOrUseVar(a.Lhs[1])
+				if ptr != nil {
+					m.setVal(ptr, nilVal{}, true)
+				}
+				if errv != nil {
+					m.dropPair(errv)
+					if ptr != nil {
+						m.setPair(errv, ptr, call.Pos())
+					}
+				}
+				return
+			}
+		}
+	}
+	for _, lhs := range a.Lhs {
+		if v := nf.trackedVar(lhs); v != nil {
+			m.setVal(v, nilVal{}, true)
+		}
+		if v := nf.defOrUseVar(lhs); v != nil && isErrorType(v.Type()) {
+			m.dropPair(v)
+		}
+	}
+}
+
+func (nf *nilFlow) assignOne(m *nilMut, lhs, rhs ast.Expr) {
+	if v := nf.defOrUseVar(lhs); v != nil && isErrorType(v.Type()) {
+		m.dropPair(v)
+	}
+	v := nf.trackedVar(lhs)
+	if v == nil {
+		return
+	}
+	m.setVal(v, nf.eval(m.st, rhs), true)
+}
+
+func (nf *nilFlow) valueSpec(m *nilMut, vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		v := nf.trackedVar(name)
+		if v == nil {
+			continue
+		}
+		if len(vs.Values) == 0 {
+			// Zero value of a pointer declaration is nil.
+			m.setVal(v, nilVal{rank: nilYes, origin: name.Pos()}, true)
+			continue
+		}
+		if i < len(vs.Values) {
+			m.setVal(v, nf.eval(m.st, vs.Values[i]), true)
+		} else {
+			m.setVal(v, nilVal{}, true)
+		}
+	}
+}
+
+// eval computes the nilness of an assigned value.
+func (nf *nilFlow) eval(st nilState, e ast.Expr) nilVal {
+	e = ast.Unparen(e)
+	if nf.isNilLit(e) {
+		return nilVal{rank: nilYes, origin: e.Pos()}
+	}
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nilVal{rank: nilNo}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := nf.info.Uses[id].(*types.Builtin); isBuiltin {
+				return nilVal{rank: nilNo}
+			}
+		}
+		// A pointer conversion — (*T)(x) — carries its operand's
+		// nilness through unchanged.
+		if tv, ok := nf.info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return nf.eval(st, e.Args[0])
+		}
+	case *ast.Ident:
+		if v, ok := nf.info.Uses[e].(*types.Var); ok && !nf.excluded[v] {
+			if nv, ok := st.vals[v]; ok {
+				return nv
+			}
+		}
+	}
+	return nilVal{}
+}
+
+// trackedVar resolves lhs/range idents to a pointer-typed variable the
+// analysis is willing to track.
+func (nf *nilFlow) trackedVar(e ast.Expr) *types.Var {
+	v := nf.defOrUseVar(e)
+	if v == nil || nf.excluded[v] || !isPointerType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func (nf *nilFlow) defOrUseVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := nf.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := nf.info.Uses[id].(*types.Var)
+	return v
+}
+
+func (nf *nilFlow) isNilLit(e ast.Expr) bool {
+	tv, ok := nf.info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func isPointerType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// --- reporting ---
+
+// checkNilBody solves the nilness flow over one body's CFG and walks
+// each reachable block, replaying the transfer node by node and
+// reporting dereferences that execute against a definitely-nil state.
+func checkNilBody(pass *Pass, body *ast.BlockStmt) {
+	nf := &nilFlow{
+		info:     pass.TypesInfo,
+		excluded: nilExcludedVars(pass.TypesInfo, body),
+	}
+	c := pass.Summaries.CFGOf(body)
+	in := SolveCFG[nilState](c, nf)
+	seen := make(map[token.Pos]bool)
+	for _, blk := range c.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, nd := range blk.Nodes {
+			checkNilDerefs(pass, nf, nd, st, seen)
+			st = nf.Transfer(nd, st)
+		}
+	}
+}
+
+// checkNilDerefs reports every dereference inside n of a variable the
+// incoming state proves nil. Nested function literals are separate
+// bodies with their own CFGs, so the walk cuts there.
+func checkNilDerefs(pass *Pass, nf *nilFlow, n ast.Node, st nilState, seen map[token.Pos]bool) {
+	report := func(at token.Pos, v *types.Var, what string, origin token.Pos) {
+		if seen[at] {
+			return
+		}
+		seen[at] = true
+		pass.Reportf(at, "guaranteed nil pointer dereference: %s of %s, which is nil on every "+
+			"path reaching this point (nil established at %s); add a nil check or annotate "+
+			"with //rcvet:allow(reason)",
+			what, v.Name(), shortPosAt(pass.Fset, origin))
+	}
+	nilVarOf := func(e ast.Expr) (*types.Var, token.Pos, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, token.NoPos, false
+		}
+		v, _ := nf.info.Uses[id].(*types.Var)
+		if v == nil || nf.excluded[v] {
+			return nil, token.NoPos, false
+		}
+		nv, ok := st.vals[v]
+		if !ok || nv.rank != nilYes {
+			return nil, token.NoPos, false
+		}
+		return v, nv.origin, true
+	}
+	ast.Inspect(n, func(e ast.Node) bool {
+		switch e := e.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.StarExpr:
+			if v, origin, ok := nilVarOf(e.X); ok {
+				report(e.Pos(), v, "explicit dereference", origin)
+			}
+		case *ast.SelectorExpr:
+			sel, ok := nf.info.Selections[e]
+			if !ok {
+				return true
+			}
+			v, origin, isNil := nilVarOf(e.X)
+			if !isNil {
+				return true
+			}
+			switch sel.Kind() {
+			case types.FieldVal:
+				report(e.Sel.Pos(), v, "field access "+e.Sel.Name, origin)
+			case types.MethodVal:
+				// Value-receiver methods auto-deref the pointer;
+				// pointer-receiver methods are legal on nil.
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					if recv := fn.Type().(*types.Signature).Recv(); recv != nil &&
+						!isPointerType(recv.Type()) {
+						report(e.Sel.Pos(), v, "value-receiver call "+e.Sel.Name, origin)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// nilExcludedVars collects the variables nilflow must not track for
+// this body: anything address-taken (a write through the pointer
+// would invalidate the facts) and anything assigned inside a nested
+// function literal (the closure may run at any point relative to the
+// outer flow).
+func nilExcludedVars(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	ex := make(map[*types.Var]bool)
+	exclude := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				ex[v] = true
+			} else if v, ok := info.Defs[id].(*types.Var); ok {
+				ex[v] = true
+			}
+		}
+	}
+	var depth int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(e ast.Node) bool {
+			switch e := e.(type) {
+			case *ast.FuncLit:
+				depth++
+				walk(e.Body)
+				depth--
+				return false
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					exclude(e.X)
+				}
+			case *ast.AssignStmt:
+				if depth > 0 {
+					for _, lhs := range e.Lhs {
+						exclude(lhs)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return ex
+}

@@ -77,7 +77,7 @@ func checkPoolBody(pass *Pass, env *poolEnv, body *ast.BlockStmt) {
 	if len(pooled) > 0 {
 		checkRetention(pass, env, vf, body, pooled)
 	}
-	checkUseAfterPut(pass, env, body.List, pooled)
+	checkUseAfterPut(pass, env, body)
 }
 
 // checkRetention flags stores that keep a pooled value reachable past
@@ -174,110 +174,173 @@ func isAppendCall(call *ast.CallExpr) bool {
 	return ok && id.Name == "append" && len(call.Args) >= 2
 }
 
-// checkUseAfterPut walks each statement list in order: once a
-// statement recycles a variable (Pool.Put, free-list append, or a call
-// with a PoolPuts summary), any later use of that variable in the same
-// list is a use of memory another goroutine may already own.
-// Reassigning the variable starts a fresh lease. Deferred puts run at
-// function exit and are ignored. Nested lists (blocks, ifs, loops) are
-// checked independently; a put inside a branch does not poison
-// statements after the branch — conservative in the quiet direction.
-func checkUseAfterPut(pass *Pass, env *poolEnv, stmts []ast.Stmt, pooled map[*types.Var]bool) {
-	dead := make(map[*types.Var][]Frame)
-	for _, st := range stmts {
-		// Uses of dead variables in this statement (before it can
-		// reassign or re-recycle anything).
-		if len(dead) > 0 {
-			reportDeadUses(pass, env, st, dead)
+// deadState maps each variable that MAY have been recycled on some
+// path reaching the current point to the witness of its recycle site.
+type deadState map[*types.Var][]Frame
+
+// deadFlow is the may-dead forward problem checkUseAfterPut solves
+// over the CFG: once a node recycles a variable (Pool.Put, free-list
+// append, or a call with a PoolPuts summary), the variable is dead on
+// every path out of that node until a reassignment revives it. Solving
+// on the CFG — instead of the old per-statement-list walk — makes the
+// analysis see through branches (a put inside `if` poisons the code
+// after the join, because SOME execution recycled it) and around loop
+// back edges (a put at the bottom of a loop body kills the use at the
+// top of the next iteration).
+type deadFlow struct {
+	env  *poolEnv
+	info *types.Info
+}
+
+func (d *deadFlow) Boundary() deadState                  { return nil }
+func (d *deadFlow) Refine(e Edge, s deadState) deadState { return s }
+
+func (d *deadFlow) Equal(a, b deadState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Key-set equality: the witness is fixed at the recycle site, so
+	// two states with the same dead variables are the same state.
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
 		}
-		// A reassignment revives the variable.
-		if as, ok := st.(*ast.AssignStmt); ok {
-			for _, lhs := range as.Lhs {
-				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
-					if v, _ := pass.TypesInfo.Defs[id].(*types.Var); v != nil {
-						delete(dead, v)
-					} else if v, _ := pass.TypesInfo.Uses[id].(*types.Var); v != nil {
-						delete(dead, v)
+	}
+	return true
+}
+
+func (d *deadFlow) Merge(a, b deadState) deadState {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(deadState, len(a)+len(b))
+	for k, w := range a {
+		out[k] = w
+	}
+	for k, w := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = w
+		}
+	}
+	return out
+}
+
+func (d *deadFlow) Transfer(n ast.Node, s deadState) deadState {
+	st, ok := n.(ast.Stmt)
+	if !ok {
+		return s
+	}
+	var out deadState
+	mutate := func() {
+		if out == nil {
+			out = make(deadState, len(s)+1)
+			for k, w := range s {
+				out[k] = w
+			}
+		}
+	}
+	// A reassignment revives the variable: a fresh lease (or a fresh
+	// value entirely) now lives in it.
+	if as, ok := st.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				var v *types.Var
+				if dv, _ := d.info.Defs[id].(*types.Var); dv != nil {
+					v = dv
+				} else if uv, _ := d.info.Uses[id].(*types.Var); uv != nil {
+					v = uv
+				}
+				if v != nil {
+					if _, dead := s[v]; dead {
+						mutate()
+						delete(out, v)
 					}
 				}
 			}
 		}
-		// New recycles introduced by this statement.
-		for _, arg := range env.recycledArgs(st) {
-			if v := baseIdentVar(pass.TypesInfo, arg); v != nil {
-				dead[v] = []Frame{{Pos: env.shortPos(st.Pos()), Call: "recycled here"}}
-			}
+	}
+	// Recycles introduced by this node. recycledArgs ignores deferred
+	// puts (they run at function exit), so a defer never kills the
+	// body it protects.
+	for _, arg := range d.env.recycledArgs(st) {
+		if v := baseIdentVar(d.info, arg); v != nil {
+			mutate()
+			out[v] = []Frame{{Pos: d.env.shortPos(st.Pos()), Call: "recycled here"}}
 		}
-		// Recurse into nested statement lists.
-		for _, nested := range nestedStmtLists(st) {
-			checkUseAfterPut(pass, env, nested, pooled)
+	}
+	if out == nil {
+		return s
+	}
+	return out
+}
+
+// checkUseAfterPut solves the may-dead flow over the body's CFG and
+// replays each reachable block, reporting identifiers that read a
+// variable some path has already recycled. The check runs against the
+// state BEFORE the node's own transfer, so `use(x); put(x)` on one
+// line order is respected, and a reassignment in the same statement
+// does not retroactively excuse the read.
+func checkUseAfterPut(pass *Pass, env *poolEnv, body *ast.BlockStmt) {
+	flow := &deadFlow{env: env, info: pass.TypesInfo}
+	c := pass.Summaries.CFGOf(body)
+	in := SolveCFG[deadState](c, flow)
+	seen := make(map[token.Pos]bool)
+	for _, blk := range c.Blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, nd := range blk.Nodes {
+			if len(st) > 0 {
+				reportDeadUses(pass, nd, st, seen)
+			}
+			st = flow.Transfer(nd, st)
 		}
 	}
 }
 
-// reportDeadUses flags identifiers inside one statement that name a
-// recycled variable. Function literals are cut: they are separate
-// summary nodes and their execution time is not statically ordered
-// against the put.
-func reportDeadUses(pass *Pass, env *poolEnv, st ast.Stmt, dead map[*types.Var][]Frame) {
-	ast.Inspect(st, func(n ast.Node) bool {
-		switch n := n.(type) {
+// reportDeadUses flags identifiers inside one node that name a
+// recycled variable, at most once per use position. Function literals
+// are cut: they are separate summary nodes and their execution time is
+// not statically ordered against the put. A plain identifier on the
+// left of an assignment is a rebind, not a use — the transfer revives
+// it — but a selector or index target (o.f = x) still reads the dead
+// base.
+func reportDeadUses(pass *Pass, n ast.Node, dead deadState, seen map[token.Pos]bool) {
+	rebinds := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				rebinds[id] = true
+			}
+		}
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
 		case *ast.FuncLit:
 			return false
 		case *ast.Ident:
-			v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if rebinds[nd] {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[nd].(*types.Var)
 			if !ok {
 				return true
 			}
-			if witness, isDead := dead[v]; isDead {
-				pass.ReportWitness(n.Pos(), witness,
-					"use of %s after it was recycled (%s): the pool may already have "+
-						"handed this memory to another goroutine; recycle after the last "+
-						"use, or annotate with //rcvet:allow(reason)",
-					n.Name, renderChain(witness))
-				delete(dead, v) // one diagnostic per lease
+			witness, isDead := dead[v]
+			if !isDead || seen[nd.Pos()] {
+				return true
 			}
+			seen[nd.Pos()] = true
+			pass.ReportWitness(nd.Pos(), witness,
+				"use of %s after it was recycled (%s): the pool may already have "+
+					"handed this memory to another goroutine; recycle after the last "+
+					"use, or annotate with //rcvet:allow(reason)",
+				nd.Name, renderChain(witness))
 		}
 		return true
 	})
-}
-
-// nestedStmtLists returns the statement lists nested directly inside
-// one statement, for independent use-after-put checking.
-func nestedStmtLists(st ast.Stmt) [][]ast.Stmt {
-	var out [][]ast.Stmt
-	switch st := st.(type) {
-	case *ast.BlockStmt:
-		out = append(out, st.List)
-	case *ast.IfStmt:
-		out = append(out, st.Body.List)
-		if st.Else != nil {
-			out = append(out, nestedStmtLists(st.Else)...)
-		}
-	case *ast.ForStmt:
-		out = append(out, st.Body.List)
-	case *ast.RangeStmt:
-		out = append(out, st.Body.List)
-	case *ast.SwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				out = append(out, cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				out = append(out, cc.Body)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				out = append(out, cc.Body)
-			}
-		}
-	case *ast.LabeledStmt:
-		out = append(out, nestedStmtLists(st.Stmt)...)
-	}
-	return out
 }

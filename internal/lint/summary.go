@@ -137,14 +137,23 @@ type FuncSummary struct {
 	// Cancel: the function consumes a cancellation signal — ctx.Done,
 	// a stop-channel select case, a close-terminated receive (ctxflow).
 	Cancel bool `json:"cancel,omitempty"`
+	// Acquires / Releases are the typestate obligation facts
+	// (typestate.go): the function hands its caller a value that must
+	// be released, or discharges the obligation of a parameter.
+	// Interface-method entries never carry them — joining "releases"
+	// over implementations would grant a discharge some implementation
+	// does not perform.
+	Acquires []AcquireFact `json:"acquires,omitempty"`
+	Releases []ReleaseFact `json:"releases,omitempty"`
 }
 
 // sidecarSchema versions the sidecar format. Bump it whenever
 // FuncSummary gains fact kinds: a sidecar from an older rcvet silently
 // lacks the new facts, so ReadSidecar discards mismatched files and
 // the driver recomputes (the content hash alone cannot catch this —
-// the sources didn't change, the tool did).
-const sidecarSchema = 2
+// the sources didn't change, the tool did). Schema 3 added the
+// typestate obligation facts (Acquires/Releases).
+const sidecarSchema = 3
 
 // PackageSummary is the sidecar payload for one package.
 type PackageSummary struct {
@@ -161,6 +170,11 @@ type SummaryTable struct {
 	funcs    map[string]*FuncSummary
 	pkgs     map[string]*PackageSummary
 	defaults map[string]*FuncSummary
+	cfgs     map[*ast.BlockStmt]*CFG
+	// keyOf memoizes types.Func.FullName, which formats the receiver
+	// type on every call — with thirteen analyzers resolving callee
+	// summaries per call site, recomputing it dominated the cold pass.
+	keyOf map[*types.Func]string
 }
 
 // NewSummaryTable returns an empty table.
@@ -169,7 +183,24 @@ func NewSummaryTable() *SummaryTable {
 		funcs:    make(map[string]*FuncSummary),
 		pkgs:     make(map[string]*PackageSummary),
 		defaults: make(map[string]*FuncSummary),
+		cfgs:     make(map[*ast.BlockStmt]*CFG),
+		keyOf:    make(map[*types.Func]string),
 	}
+}
+
+// CFGOf returns the control-flow graph of a function body, built on
+// first request and cached for the lifetime of the table. The
+// summarizer (obligation facts) and the flow-sensitive analyzers
+// (typestate, nilflow, poolescape) all need the same graphs; sharing
+// them through the table keeps the whole-repo cold pass inside its
+// latency budget.
+func (t *SummaryTable) CFGOf(body *ast.BlockStmt) *CFG {
+	if c, ok := t.cfgs[body]; ok {
+		return c
+	}
+	c := buildCFG(body)
+	t.cfgs[body] = c
+	return c
 }
 
 // AddPackage installs a previously computed (sidecar-loaded) package
@@ -200,7 +231,7 @@ func (t *SummaryTable) Lookup(key string) *FuncSummary { return t.funcs[key] }
 // summarized, otherwise a conservative default derived from the stdlib
 // intrinsic tables below.
 func (t *SummaryTable) ResolveFunc(fn *types.Func) *FuncSummary {
-	key := fn.FullName()
+	key := t.FuncKey(fn)
 	if s, ok := t.funcs[key]; ok {
 		return s
 	}
@@ -210,6 +241,18 @@ func (t *SummaryTable) ResolveFunc(fn *types.Func) *FuncSummary {
 	s := defaultSummary(fn)
 	t.defaults[key] = s
 	return s
+}
+
+// FuncKey returns fn's summary-table key (types.Func.FullName),
+// memoized by object identity — the objects are stable for the life
+// of the loaded package set.
+func (t *SummaryTable) FuncKey(fn *types.Func) string {
+	if key, ok := t.keyOf[fn]; ok {
+		return key
+	}
+	key := fn.FullName()
+	t.keyOf[fn] = key
+	return key
 }
 
 // AllEdges returns every lock-order edge in the table, deduplicated by
@@ -348,7 +391,9 @@ func (t *SummaryTable) Summarize(pkg *Package) *PackageSummary {
 		scanned:    make(map[*funcNode]bool, len(g.Nodes)),
 		flows:      make(map[*funcNode]*valueFlow, len(g.Nodes)),
 		sites:      make(map[*funcNode]*poolSites, len(g.Nodes)),
+		obsites:    make(map[*funcNode][]*ast.CallExpr, len(g.Nodes)),
 	}
+	s.scanChanProofs(files)
 	for _, n := range g.Nodes {
 		s.local[n] = &FuncSummary{}
 	}
@@ -391,7 +436,17 @@ type summarizer struct {
 	scanned    map[*funcNode]bool
 	flows      map[*funcNode]*valueFlow
 	sites      map[*funcNode]*poolSites
-	changed    bool
+	obsites    map[*funcNode][]*ast.CallExpr
+	// boundedSend marks send statements proven non-blocking by the
+	// package-wide channel proofs (scanChanProofs): a buffered channel
+	// with constant capacity, at most cap send sites, none in a loop,
+	// never escaping. semOps marks every op on a proven semaphore
+	// channel (send + deferred receive, token element type). Both let
+	// scanBlockFacts skip the Blocks taint where flow-insensitive
+	// scanning used to force an //rcvet:allow.
+	boundedSend map[ast.Node]bool
+	semOps      map[ast.Node]bool
+	changed     bool
 }
 
 // allowed reports whether an //rcvet:allow comment covers the position.
@@ -478,6 +533,7 @@ func (s *summarizer) computePass(n *funcNode) {
 		s.scanBlockFacts(sum, body)
 	}
 	s.scanPoolFacts(n, sum, body)
+	s.scanObligationFacts(n, sum, body)
 	// Call composition and lock tracking, statement list by statement
 	// list with the held set threaded through.
 	s.walkStmts(sum, body.List, nil)

@@ -1,0 +1,122 @@
+// Package nilflow exercises the rcvet nilflow analyzer: dereferences
+// of pointers that are nil on EVERY path reaching the use. Maybe-nil
+// is deliberately silent — only guaranteed crashes are findings.
+package nilflow
+
+type node struct {
+	val  int
+	next *node
+}
+
+func (n *node) lenChain() int { // pointer receiver: legal on nil
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.lenChain()
+}
+
+type view struct{ n *node }
+
+func (v view) first() *node { return v.n } // value receiver: derefs
+
+// Straight-line: declared without a value, dereferenced before any
+// assignment could make it non-nil.
+func zeroValueDeref() int {
+	var p *node
+	return p.val // want `guaranteed nil pointer dereference`
+}
+
+// The error-pair convention: err != nil proves the pointer result nil
+// on that branch, so using it inside the error arm is a guaranteed
+// crash.
+func errArmDeref(mk func() (*node, error)) int {
+	p, err := mk()
+	if err != nil {
+		return p.val // want `guaranteed nil pointer dereference`
+	}
+	return p.val
+}
+
+// The same pair used correctly: the happy arm proved p non-nil.
+func errArmClean(mk func() (*node, error)) int {
+	p, err := mk()
+	if err != nil {
+		return -1
+	}
+	return p.val
+}
+
+// An explicit nil test guards the dereference.
+func guardedDeref(p *node) int {
+	if p == nil {
+		return 0
+	}
+	return p.val
+}
+
+// ...and the inverted guard dereferencing on the proven-nil arm.
+func invertedGuard(p *node) int {
+	if p != nil {
+		return p.val
+	}
+	return p.val // want `guaranteed nil pointer dereference`
+}
+
+// Maybe-nil at a join is silent: one path assigns, the analyzer only
+// reports when every path agrees the pointer is nil.
+func maybeNil(ok bool) int {
+	var p *node
+	if ok {
+		p = &node{val: 1}
+	}
+	return p.val
+}
+
+// Reassignment revives: the nil fact dies at the new definition.
+func reassigned() int {
+	var p *node
+	p = &node{val: 2}
+	return p.val
+}
+
+// Pointer-receiver method calls on a proven-nil value are legal Go —
+// lenChain handles its own nil receiver.
+func nilReceiverCall() int {
+	var p *node
+	return p.lenChain()
+}
+
+// A value-receiver method call must copy the receiver and crashes.
+func valueReceiverCall() *node {
+	var v *view
+	return v.first() // want `guaranteed nil pointer dereference`
+}
+
+// Explicit dereference of a literal-nil assignment.
+func starDeref() node {
+	p := (*node)(nil)
+	return *p // want `guaranteed nil pointer dereference`
+}
+
+// Address-taken pointers are excluded: somebody else may write
+// through the alias between the definition and the use.
+func addressTaken(fill func(**node)) int {
+	var p *node
+	fill(&p)
+	return p.val
+}
+
+// Assigned inside a closure: execution order is not statically known,
+// so the variable is excluded from tracking.
+func closureAssigned() int {
+	var p *node
+	set := func() { p = &node{val: 3} }
+	set()
+	return p.val
+}
+
+// A human judged the site unreachable in practice.
+func allowedDeref() int {
+	var p *node
+	return p.val //rcvet:allow(exercised only by the panic-path test harness)
+}

@@ -94,3 +94,90 @@ func allowedUse() int {
 	//rcvet:allow(single-threaded helper; nothing can reuse the box between the put and this read)
 	return o.id
 }
+
+// --- flow-sensitive cases: the CFG upgrade ---
+
+// A put inside one branch poisons the join: SOME execution recycled
+// the box, so the read after the if is a use-after-put.
+func branchPut(cold bool) int {
+	o := pool.Get().(*obj)
+	if cold {
+		pool.Put(o)
+	}
+	return o.id // want `use of o after it was recycled`
+}
+
+// Reassignment on the recycling branch revives the variable before
+// the join: no path reaches the read with a dead box.
+func branchRevive(cold bool) int {
+	o := pool.Get().(*obj)
+	if cold {
+		pool.Put(o)
+		o = new(obj)
+	}
+	return o.id
+}
+
+// A put at the bottom of a loop body kills the use at the top of the
+// next iteration: the back edge carries the dead state around.
+func loopPut(rounds int) {
+	o := pool.Get().(*obj)
+	for i := 0; i < rounds; i++ {
+		o.id = i    // want `use of o after it was recycled`
+		pool.Put(o) // want `use of o after it was recycled`
+	}
+}
+
+// Re-leasing each iteration is the correct loop shape.
+func loopLease(rounds int) {
+	for i := 0; i < rounds; i++ {
+		o := pool.Get().(*obj)
+		o.id = i
+		pool.Put(o)
+	}
+}
+
+// --- map-mediated leases: the columnar source's shape ---
+
+// The box is tracked through a side map and the release is keyed by
+// the ticket rather than the box itself. The summarizer follows the
+// map read back to the key parameter (PoolPuts via the map), so a
+// caller touching the ticket after releasing it is flagged.
+type ticket struct{ n int }
+
+type keyed struct {
+	free  []*obj
+	byKey map[*ticket]*obj
+}
+
+func (k *keyed) lease(t *ticket) *obj {
+	if n := len(k.free); n > 0 {
+		o := k.free[n-1]
+		k.free = k.free[:n-1]
+		return o
+	}
+	o := new(obj)
+	k.byKey[t] = o
+	return o
+}
+
+func (k *keyed) releaseFor(t *ticket) {
+	if o, ok := k.byKey[t]; ok {
+		k.free = append(k.free, o)
+	}
+}
+
+func mapMediated(k *keyed, t *ticket) int {
+	o := k.lease(t)
+	o.id = 4
+	k.releaseFor(t)
+	return t.n // want `use of t after it was recycled`
+}
+
+func mapMediatedClean(k *keyed, t *ticket) int {
+	o := k.lease(t)
+	o.id = 5
+	n := t.n
+	k.releaseFor(t)
+	return n
+}

@@ -1,0 +1,140 @@
+// Package typestate exercises the rcvet typestate analyzer: values
+// with a lifecycle protocol (open files, HTTP response bodies) must be
+// released on every path out of the function, with acquire and release
+// facts composed across package boundaries through the summary table.
+package typestate
+
+import (
+	"net/http"
+	"os"
+
+	"resourcecentral/internal/lint/fixture/lintfixture"
+)
+
+// Straight-line leak: opened, inspected, never closed.
+func leakLocal(path string) (string, error) {
+	f, err := os.Open(path) // want `open file acquired here`
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// The paired-error convention: the err != nil early return acquired
+// nothing, and the happy path closes, so no path leaks.
+func cleanDefer(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// One branch closes, the other returns with the file still open: the
+// diagnostic names the leaking return, not the whole function.
+func branchLeak(path string, flush bool) error {
+	f, err := os.Create(path) // want `open file acquired here`
+	if err != nil {
+		return err
+	}
+	if flush {
+		return f.Close()
+	}
+	return nil
+}
+
+// Every path closes — including the error path — so the branchy shape
+// alone is not a finding.
+func branchClean(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Returning the obligated value transfers the duty to the caller:
+// wrappers are how lifecycles compose, so this is an Acquires fact,
+// not a diagnostic.
+func openLog(dir string) (*os.File, error) {
+	return os.Create(dir + "/log")
+}
+
+// ...and the caller of the local wrapper inherits the obligation.
+func useLog(dir string) (string, error) {
+	f, err := openLog(dir) // want `open file acquired here`
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// Cross-package, multi-hop transfer: OpenScratch -> openScratch2 ->
+// os.CreateTemp is a fact from lintfixture's sidecar — no os call is
+// visible in this package's syntax.
+func scratchLeak() (string, error) {
+	f, err := lintfixture.OpenScratch() // want `open file acquired here`
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// Discharged through the cross-package releaser (CloseScratch ->
+// closeScratch2 -> Close, a two-hop Releases fact).
+func scratchRoundTrip() error {
+	f, err := lintfixture.OpenScratch()
+	if err != nil {
+		return err
+	}
+	return lintfixture.CloseScratch(f)
+}
+
+// DropScratch only borrows the file (no Releases fact): handing it
+// over does not discharge the caller.
+func scratchDropped() (string, error) {
+	f, err := lintfixture.OpenScratch() // want `open file acquired here`
+	if err != nil {
+		return "", err
+	}
+	return lintfixture.DropScratch(f), nil
+}
+
+// A human judged this safe: the allow clears the obligation at the
+// acquire site.
+func scratchAllowed() string {
+	f, err := lintfixture.OpenScratch() //rcvet:allow(process-lifetime scratch; the OS reclaims it at exit)
+	if err != nil {
+		return ""
+	}
+	return f.Name()
+}
+
+// Release through a path selection: the obligation lives on the
+// response, the release is Body.Close.
+func fetchClean(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// The response body is never closed on the happy path.
+func fetchLeak(url string) (int, error) {
+	resp, err := http.Get(url) // want `HTTP response acquired here`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}

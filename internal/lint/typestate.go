@@ -1,0 +1,1491 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Typestate enforces resource lifecycle protocols — acquire → use* →
+// release-on-every-path — over the CFG layer (cfg.go). Each protocol
+// is a declarative protoSpec: the type that carries the obligation,
+// the call that creates it, and the operations that discharge it. The
+// registered lifecycles are the ones the repo's correctness depends
+// on: ColumnsWriter.Close (an unclosed writer silently drops the
+// pending chunk and footer), obs Span.End (an unended span corrupts
+// latency histograms), the serve coalescer's flight done-close (an
+// unclosed flight deadlocks every follower), and the stdlib pair
+// os.File / http.Response.Body Close.
+//
+// The analysis is flow-sensitive and path-aware: obligations ride the
+// dataflow solver's meet-over-paths lattice, so `defer w.Close()` on
+// one branch discharges only that branch, an `err != nil` early
+// return is recognized as "nothing was acquired" via the paired error
+// variable, and a flight obligation conditioned on the leader bool is
+// dropped on the follower edge. Leaks are reported once per acquire
+// site, naming the first escaping path.
+//
+// Wrappers compose across packages through two summary fact kinds
+// (sidecar schema 3): Acquires — the function returns a value its
+// caller must release (result/cond indices) — and Releases — the
+// function discharges the obligation of parameter i. A two-hop
+// wrapper chain (OpenScratch → openScratch2 → os.CreateTemp)
+// transfers the obligation to the outermost caller, and CloseScratch
+// discharges it, with witness chains naming the underlying
+// acquisition. Interface-method entries deliberately carry no
+// obligation facts: joining "releases" over implementations would
+// grant a discharge some implementation does not perform.
+//
+// Store/Hub subscriptions (store.Subscribe → Unsubscribe) are checked
+// structurally per package instead: the channel registered at startup
+// is conventionally removed in a Close/shutdown method, a pairing no
+// single function body exhibits.
+var Typestate = &Analyzer{
+	Name: "typestate",
+	Doc: "enforce resource lifecycle protocols (ColumnsWriter/os.File/" +
+		"http body Close, obs Span.End, coalescer flight done-close, " +
+		"store Subscribe/Unsubscribe) on every control-flow path, with " +
+		"obligations transferred across wrappers via summary facts",
+	Run: runTypestate,
+}
+
+// --- protocol registry ---
+
+// protoSpec declares one resource lifecycle.
+type protoSpec struct {
+	// name keys the protocol in Acquire/Release facts ("file", "span").
+	name string
+	// typePkg/typeName identify the obligated named type; a parameter
+	// of this type (pointer or value) seeds an obligation the
+	// summarizer may convert into a Releases fact.
+	typePkg  string
+	typeName string
+	// release is the method that discharges the obligation (Close,
+	// End); releasePath, when set, is the field selected before the
+	// method — "Body" makes resp.Body.Close() the release of resp.
+	release     string
+	releasePath string
+	// doneField, when set, makes close(v.<doneField>) a release — the
+	// coalescer flight's broadcast.
+	doneField string
+	// sendReleases: sending the value on a channel transfers ownership
+	// to a consumer contractually bound to release it (the coalescer
+	// hands flights to the batcher loop); elsewhere a send is an
+	// escape that merely silences the leak report.
+	sendReleases bool
+	// noun and hint render diagnostics.
+	noun string
+	hint string
+}
+
+var protoSpecs = []*protoSpec{
+	{name: "file", typePkg: "os", typeName: "File",
+		release: "Close", noun: "open file", hint: "Close it"},
+	{name: "httpbody", typePkg: "net/http", typeName: "Response",
+		release: "Close", releasePath: "Body", noun: "HTTP response",
+		hint: "close resp.Body"},
+	{name: "colwriter", typePkg: "resourcecentral/internal/trace", typeName: "ColumnsWriter",
+		release: "Close", noun: "columnar writer",
+		hint: "Close it (Close flushes the pending chunk and the footer; an unclosed writer is a truncated trace)"},
+	{name: "span", typePkg: "resourcecentral/internal/obs", typeName: "Span",
+		release: "End", noun: "span",
+		hint: "call End (an unended span never records its latency sample)"},
+	{name: "flight", typePkg: "resourcecentral/internal/serve", typeName: "call",
+		doneField: "done", sendReleases: true, noun: "coalesced flight",
+		hint: "close(c.done) or hand it to the batcher (followers block on done forever otherwise)"},
+}
+
+func protoByName(name string) *protoSpec {
+	for _, p := range protoSpecs {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// protoForType matches a (possibly pointer) type against the registry.
+func protoForType(t types.Type) *protoSpec {
+	if t == nil {
+		return nil
+	}
+	named, ok := deref(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	for _, p := range protoSpecs {
+		if p.typePkg == pkg && p.typeName == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// rootAcquire marks a function whose call mints a fresh obligation:
+// result is the obligated result index, cond (or -1) the index of a
+// bool result gating the obligation — the coalescer's join returns
+// (flight, leader), and only the leader owes the done-close.
+type rootAcquire struct {
+	proto  string
+	result int
+	cond   int
+}
+
+// acquireRoots is keyed by types.Func.FullName. Constructors are
+// listed explicitly because building a struct literal is not
+// acquisition — only these entry points hand out values somebody must
+// release.
+var acquireRoots = map[string]rootAcquire{
+	"os.Open":       {"file", 0, -1},
+	"os.Create":     {"file", 0, -1},
+	"os.OpenFile":   {"file", 0, -1},
+	"os.CreateTemp": {"file", 0, -1},
+
+	"net/http.Get":                {"httpbody", 0, -1},
+	"net/http.Post":               {"httpbody", 0, -1},
+	"net/http.PostForm":           {"httpbody", 0, -1},
+	"net/http.Head":               {"httpbody", 0, -1},
+	"(*net/http.Client).Do":       {"httpbody", 0, -1},
+	"(*net/http.Client).Get":      {"httpbody", 0, -1},
+	"(*net/http.Client).Post":     {"httpbody", 0, -1},
+	"(*net/http.Client).PostForm": {"httpbody", 0, -1},
+	"(*net/http.Client).Head":     {"httpbody", 0, -1},
+
+	"resourcecentral/internal/trace.NewColumnsWriter":    {"colwriter", 0, -1},
+	"(*resourcecentral/internal/obs.Registry).StartSpan": {"span", 0, -1},
+	"(*resourcecentral/internal/serve.coalescer).join":   {"flight", 0, 1},
+}
+
+// acquireRootPkgs holds the package paths occurring in acquireRoots
+// keys, derived at init. types.Func.FullName formats the receiver
+// type on every call, so checking the (interned) package path first
+// skips the allocation for the overwhelming majority of call sites.
+var acquireRootPkgs = func() map[string]bool {
+	out := make(map[string]bool, len(acquireRoots))
+	for k := range acquireRoots {
+		s := k
+		if strings.HasPrefix(s, "(*") {
+			if i := strings.IndexByte(s, ')'); i >= 0 {
+				s = s[2:i]
+			}
+		}
+		if i := strings.LastIndexByte(s, '.'); i >= 0 {
+			out[s[:i]] = true
+		}
+	}
+	return out
+}()
+
+// rootAcquireOf looks fn up in the root table, package path first.
+func rootAcquireOf(fn *types.Func) (rootAcquire, bool) {
+	if fn.Pkg() == nil || !acquireRootPkgs[fn.Pkg().Path()] {
+		return rootAcquire{}, false
+	}
+	r, ok := acquireRoots[fn.FullName()]
+	return r, ok
+}
+
+// --- obligation facts (sidecar schema 3) ---
+
+// AcquireFact exports "calling this function acquires an obligation":
+// the caller receives a Proto-obligated value at result index Result;
+// when Cond >= 0 the bool at that result index gates the obligation
+// (false = some other caller owns it). Chain witnesses the underlying
+// acquisition through however many wrapper hops produced it.
+type AcquireFact struct {
+	Proto  string  `json:"proto"`
+	Result int     `json:"result"`
+	Cond   int     `json:"cond"`
+	Chain  []Frame `json:"chain,omitempty"`
+}
+
+// ReleaseFact exports "this function discharges parameter Param's
+// Proto obligation on every path that returns" — granted only when
+// the parameter is released structurally (release method, done-close,
+// a callee's ReleaseFact, or the flight hand-off send), never when it
+// merely escapes (returned, stored, captured by a closure).
+type ReleaseFact struct {
+	Proto string `json:"proto"`
+	Param int    `json:"param"`
+}
+
+// --- the obligation flow problem ---
+
+// obligation is one outstanding resource, keyed in obState by its
+// acquire position (the call site, or the parameter's declaration for
+// summarizer-seeded obligations).
+type obligation struct {
+	spec  *protoSpec
+	pos   token.Pos
+	chain []Frame
+	// vars are the variables through which the resource is reachable;
+	// pathVars hold the value *behind* releasePath (body := resp.Body),
+	// on which the release method applies without the path.
+	vars     map[*types.Var]bool
+	pathVars map[*types.Var]bool
+	// cond gates the obligation on a bool variable (flight leader);
+	// errv is the error paired with the acquisition — err != nil means
+	// nothing was acquired.
+	cond *types.Var
+	errv *types.Var
+	// param is the seeded parameter index, -1 for local acquisitions.
+	param int
+}
+
+func (ob *obligation) clone() *obligation {
+	nb := *ob
+	nb.vars = make(map[*types.Var]bool, len(ob.vars))
+	for v := range ob.vars {
+		nb.vars[v] = true
+	}
+	if ob.pathVars != nil {
+		nb.pathVars = make(map[*types.Var]bool, len(ob.pathVars))
+		for v := range ob.pathVars {
+			nb.pathVars[v] = true
+		}
+	}
+	return &nb
+}
+
+// aliases reports whether v reaches the resource (directly or behind
+// the release path).
+func (ob *obligation) aliases(v *types.Var) bool {
+	return ob.vars[v] || ob.pathVars[v]
+}
+
+// obState maps acquire position → outstanding obligation. States are
+// immutable values; obMut below implements copy-on-write so Transfer
+// never mutates its input.
+type obState map[token.Pos]*obligation
+
+// obKeys returns the state's acquire positions in ascending order, so
+// scans that accumulate across obligations never observe map iteration
+// order.
+func obKeys(s obState) []token.Pos {
+	ks := make([]token.Pos, 0, len(s))
+	for p := range s {
+		ks = append(ks, p)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+type obMut struct {
+	state  obState
+	copied bool
+}
+
+func (m *obMut) ensure() obState {
+	if !m.copied {
+		ns := make(obState, len(m.state)+1)
+		for k, v := range m.state {
+			ns[k] = v
+		}
+		m.state, m.copied = ns, true
+	}
+	return m.state
+}
+
+func (m *obMut) mutOb(pos token.Pos) *obligation {
+	s := m.ensure()
+	ob := s[pos].clone()
+	s[pos] = ob
+	return ob
+}
+
+func (m *obMut) discharge(pos token.Pos) { delete(m.ensure(), pos) }
+
+// obFlow is the FlowProblem tracking obligations through one body. It
+// serves two masters: the summarizer (seeded parameters, fact
+// derivation via onReturn and the weak-escape veto) and the typestate
+// analyzer (no seeds, leak reporting over the solved states).
+type obFlow struct {
+	info    *types.Info
+	fset    *token.FileSet
+	resolve func(*ast.CallExpr) (*FuncSummary, *types.Func)
+	// seed is the boundary state (summarizer: proto-typed parameters).
+	seed obState
+	// results are the body's named result variables, so a bare
+	// `return` discharges obligations held in them.
+	results []*types.Var
+	// weak records acquire positions discharged by escape rather than
+	// release — returned, stored into a structure, captured by a
+	// closure, handed to a goroutine. An escape silences the leak
+	// report (ownership moved somewhere the analysis cannot follow)
+	// but vetoes a Releases fact.
+	weak map[token.Pos]bool
+	// onReturn fires when a return discharges a locally acquired
+	// obligation: the summarizer derives an AcquireFact from it.
+	onReturn func(ob *obligation, result, cond int)
+	// allowed suppresses obligation creation at //rcvet:allow sites
+	// (summarizer-side; the analyzer reports at the acquire position,
+	// where the framework's own allow check applies).
+	allowed func(token.Pos) bool
+}
+
+func (f *obFlow) Boundary() obState {
+	if len(f.seed) == 0 {
+		return obState{}
+	}
+	out := make(obState, len(f.seed))
+	for k, ob := range f.seed {
+		out[k] = ob
+	}
+	return out
+}
+
+func (f *obFlow) Merge(a, b obState) obState {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(obState, len(a)+len(b))
+	for k, ob := range a {
+		out[k] = ob
+	}
+	for k, ob := range b {
+		have, ok := out[k]
+		if !ok {
+			out[k] = ob
+			continue
+		}
+		out[k] = mergeOb(have, ob)
+	}
+	return out
+}
+
+// mergeOb joins two views of one obligation where paths meet: aliases
+// union (reachable on either path is reachable), cond and errv only
+// survive when both paths agree — dropping them is the conservative
+// direction (the obligation becomes unconditional).
+func mergeOb(a, b *obligation) *obligation {
+	if a == b {
+		return a
+	}
+	if obEqual(a, b) {
+		return a
+	}
+	out := a.clone()
+	for v := range b.vars {
+		out.vars[v] = true
+	}
+	for v := range b.pathVars {
+		if out.pathVars == nil {
+			out.pathVars = make(map[*types.Var]bool)
+		}
+		out.pathVars[v] = true
+	}
+	if a.cond != b.cond {
+		out.cond = nil
+	}
+	if a.errv != b.errv {
+		out.errv = nil
+	}
+	return out
+}
+
+func (f *obFlow) Equal(a, b obState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, oa := range a {
+		ob, ok := b[k]
+		if !ok || !obEqual(oa, ob) {
+			return false
+		}
+	}
+	return true
+}
+
+func obEqual(a, b *obligation) bool {
+	if a == b {
+		return true
+	}
+	if a.spec != b.spec || a.cond != b.cond || a.errv != b.errv ||
+		len(a.vars) != len(b.vars) || len(a.pathVars) != len(b.pathVars) {
+		return false
+	}
+	for v := range a.vars {
+		if !b.vars[v] {
+			return false
+		}
+	}
+	for v := range a.pathVars {
+		if !b.pathVars[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *obFlow) Transfer(n ast.Node, s obState) obState {
+	st := &obMut{state: s}
+	f.scanCalls(n, st)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.assign(n.Lhs, n.Rhs, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, nm := range vs.Names {
+						lhs[i] = nm
+					}
+					f.assign(lhs, vs.Values, st)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		f.ret(n, st)
+	case *ast.SendStmt:
+		f.send(n, st)
+	case *ast.GoStmt:
+		f.escapeRefs(n.Call, st)
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				f.killIdent(id, st)
+			}
+		}
+	}
+	return st.state
+}
+
+func (f *obFlow) Refine(e Edge, s obState) obState {
+	if e.Kind == EdgePanic {
+		// Unwinding: leak-on-panic is not a diagnostic rcvet raises,
+		// and a panic path must not poison the exit join.
+		return obState{}
+	}
+	if e.Cond == nil || len(s) == 0 || (e.Kind != EdgeTrue && e.Kind != EdgeFalse) {
+		return s
+	}
+	st := &obMut{state: s}
+	switch x := ast.Unparen(e.Cond).(type) {
+	case *ast.Ident:
+		// A leader/ok bool gating the obligation: the false edge means
+		// some other caller owns it. The true edge keeps the condition
+		// attached rather than clearing it — a join with an untested
+		// path would otherwise launder the obligation into an
+		// unconditional one, and a wrapper's `return c, leader` would
+		// publish an Acquires fact with the cond index lost.
+		if v, ok := f.info.Uses[x].(*types.Var); ok {
+			for pos, ob := range st.state {
+				if ob.cond == v && e.Kind == EdgeFalse {
+					st.discharge(pos)
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		// `if !leader { ... }`: cond() decomposes the negation, so
+		// this leaf never arrives here — kept for safety.
+	case *ast.BinaryExpr:
+		if x.Op != token.EQL && x.Op != token.NEQ {
+			return s
+		}
+		var operand ast.Expr
+		switch {
+		case isNilIdent(x.Y):
+			operand = x.X
+		case isNilIdent(x.X):
+			operand = x.Y
+		default:
+			return s
+		}
+		v := baseAliasVar(f.info, operand)
+		if v == nil {
+			return s
+		}
+		// Truth of "operand == nil" along this edge.
+		nilBranch := (x.Op == token.EQL) == (e.Kind == EdgeTrue)
+		for pos, ob := range st.state {
+			switch {
+			case ob.errv == v:
+				if nilBranch {
+					// err == nil: the acquisition succeeded; the
+					// obligation stands on its own from here.
+					st.mutOb(pos).errv = nil
+				} else {
+					// err != nil: by the (value, error) contract
+					// nothing was acquired on this path.
+					st.discharge(pos)
+				}
+			case ob.aliases(v):
+				if nilBranch {
+					st.discharge(pos) // the value is nil: nothing to release
+				}
+			}
+		}
+	}
+	return st.state
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// scanCalls applies the call-borne effects syntactically inside one
+// placed node: structural releases (v.Close(), sp.End(),
+// resp.Body.Close(), close(c.done)), callee Releases facts, and
+// closure captures. A call that merely takes an obligated value as an
+// argument — without a Releases fact — is a borrow and has no effect.
+func (f *obFlow) scanCalls(n ast.Node, st *obMut) {
+	cfgInspect(n, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			f.litEscape(nd, st)
+			return false
+		case *ast.BlockStmt:
+			return false
+		case *ast.CallExpr:
+			f.applyCall(nd, st)
+		}
+		return true
+	})
+}
+
+func (f *obFlow) applyCall(call *ast.CallExpr, st *obMut) {
+	// close(v.done): the flight broadcast. Other plain-identifier
+	// callees fall through to the Releases-fact composition below —
+	// a same-package wrapper is spelled as a bare ident too.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			if v := baseIdentVar(f.info, sel.X); v != nil {
+				for pos, ob := range st.state {
+					if ob.spec.doneField == sel.Sel.Name && ob.aliases(v) {
+						st.discharge(pos)
+					}
+				}
+			}
+		}
+		return
+	}
+	// Structural release method.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		for pos, ob := range st.state {
+			if ob.spec.release == "" || sel.Sel.Name != ob.spec.release {
+				continue
+			}
+			target := ast.Unparen(sel.X)
+			if ob.spec.releasePath != "" {
+				if inner, ok := target.(*ast.SelectorExpr); ok && inner.Sel.Name == ob.spec.releasePath {
+					if v := baseIdentVar(f.info, inner.X); v != nil && ob.vars[v] {
+						st.discharge(pos)
+						continue
+					}
+				}
+				// A pathVar (body := resp.Body) releases directly.
+				if v := baseIdentVar(f.info, target); v != nil && ob.pathVars[v] {
+					st.discharge(pos)
+				}
+				continue
+			}
+			if v := baseIdentVar(f.info, target); v != nil && ob.vars[v] {
+				st.discharge(pos)
+			}
+		}
+	}
+	// Callee Releases facts: wrapper(f) discharges f's obligation.
+	cs, _ := f.resolve(call)
+	if cs == nil || len(cs.Releases) == 0 {
+		return
+	}
+	for _, rf := range cs.Releases {
+		if rf.Param < 0 || rf.Param >= len(call.Args) {
+			continue
+		}
+		v := baseAliasVar(f.info, call.Args[rf.Param])
+		if v == nil {
+			continue
+		}
+		for pos, ob := range st.state {
+			if ob.spec.name == rf.Proto && ob.aliases(v) {
+				st.discharge(pos)
+			}
+		}
+	}
+}
+
+// litEscape discharges obligations captured by a nested function
+// literal: the closure's execution is not ordered against this body's
+// paths, so the leak check cannot follow it — ownership is assumed
+// handed over, weakly.
+func (f *obFlow) litEscape(lit *ast.FuncLit, st *obMut) {
+	if len(st.state) == 0 {
+		return
+	}
+	used := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := f.info.Uses[id].(*types.Var); ok {
+				used[v] = true
+			}
+		}
+		return true
+	})
+	for pos, ob := range st.state {
+		for v := range used {
+			if ob.aliases(v) {
+				f.markWeak(ob)
+				st.discharge(pos)
+				break
+			}
+		}
+	}
+}
+
+func (f *obFlow) markWeak(ob *obligation) {
+	if f.weak != nil {
+		f.weak[ob.pos] = true
+	}
+}
+
+func (f *obFlow) assign(lhs, rhs []ast.Expr, st *obMut) {
+	// Pair targets with sources: i-th for a balanced assignment, the
+	// single call for a multi-value one.
+	single := len(rhs) == 1 && len(lhs) > 1
+	// 1. Transfer-out: storing an obligated value into a field, slot,
+	//    element, or package variable passes the duty to the owner of
+	//    that structure (weak: silences the leak, vetoes a Releases
+	//    fact).
+	for i, l := range lhs {
+		var r ast.Expr
+		switch {
+		case len(lhs) == len(rhs):
+			r = rhs[i]
+		case single:
+			continue // call results carry no aliases
+		default:
+			continue
+		}
+		if !obStoreTarget(f.info, l) {
+			continue
+		}
+		f.escapeExpr(r, st)
+	}
+	// 2. Alias sources, read before the kills below (the RHS is
+	//    evaluated before the assignment takes effect).
+	type aliasAdd struct {
+		pos     token.Pos
+		v       *types.Var
+		viaPath bool
+	}
+	var adds []aliasAdd
+	if len(lhs) == len(rhs) {
+		for i, r := range rhs {
+			tv := defVar(f.info, lhs[i])
+			if tv == nil {
+				continue
+			}
+			if v := baseAliasVar(f.info, r); v != nil {
+				for _, pos := range obKeys(st.state) {
+					ob := st.state[pos]
+					if ob.vars[v] {
+						adds = append(adds, aliasAdd{pos, tv, false})
+					} else if ob.pathVars[v] {
+						adds = append(adds, aliasAdd{pos, tv, true})
+					}
+				}
+				continue
+			}
+			// body := resp.Body — the value behind the release path.
+			if sel, ok := ast.Unparen(r).(*ast.SelectorExpr); ok {
+				if v := baseIdentVar(f.info, sel.X); v != nil {
+					for _, pos := range obKeys(st.state) {
+						ob := st.state[pos]
+						if ob.spec.releasePath == sel.Sel.Name && ob.vars[v] {
+							adds = append(adds, aliasAdd{pos, tv, true})
+						}
+					}
+				}
+			}
+			// A composite literal embedding an obligated variable keeps
+			// it reachable through the new value.
+			if cl, ok := ast.Unparen(r).(*ast.CompositeLit); ok {
+				for _, pos := range obKeys(st.state) {
+					if f.compositeAliases(cl, st.state[pos]) {
+						adds = append(adds, aliasAdd{pos, tv, false})
+					}
+				}
+			}
+		}
+	}
+	// 3. Kills: a plain-identifier target loses whatever it pointed at.
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			f.killIdent(id, st)
+		}
+	}
+	// 4. Acquisitions from call RHSs.
+	if single {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			f.acquireCall(call, lhs, st)
+		}
+	} else if len(lhs) == len(rhs) {
+		for i, r := range rhs {
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+				f.acquireCall(call, lhs[i:i+1], st)
+			}
+		}
+	}
+	// 5. Apply the aliases recorded in step 2.
+	for _, a := range adds {
+		if _, live := st.state[a.pos]; !live {
+			continue
+		}
+		nb := st.mutOb(a.pos)
+		if a.viaPath {
+			if nb.pathVars == nil {
+				nb.pathVars = make(map[*types.Var]bool)
+			}
+			nb.pathVars[a.v] = true
+		} else {
+			nb.vars[a.v] = true
+		}
+	}
+}
+
+// escapeExpr weakly discharges obligations aliased by an expression
+// being stored somewhere long-lived (directly, or appended).
+func (f *obFlow) escapeExpr(r ast.Expr, st *obMut) {
+	if v := baseAliasVar(f.info, r); v != nil {
+		for pos, ob := range st.state {
+			if ob.aliases(v) {
+				f.markWeak(ob)
+				st.discharge(pos)
+			}
+		}
+		return
+	}
+	if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && isAppendCall(call) {
+		for _, arg := range call.Args[1:] {
+			f.escapeExpr(arg, st)
+		}
+	}
+	if cl, ok := ast.Unparen(r).(*ast.CompositeLit); ok {
+		for pos, ob := range st.state {
+			if f.compositeAliases(cl, ob) {
+				f.markWeak(ob)
+				st.discharge(pos)
+			}
+		}
+	}
+}
+
+func (f *obFlow) compositeAliases(cl *ast.CompositeLit, ob *obligation) bool {
+	found := false
+	ast.Inspect(cl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := f.info.Uses[id].(*types.Var); ok && ob.aliases(v) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// obStoreTarget reports whether an assignment target outlives this
+// body's locals: a field, element, or dereference, or a package-level
+// variable.
+func obStoreTarget(info *types.Info, l ast.Expr) bool {
+	switch x := ast.Unparen(l).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		return ok && v.Pkg() != nil && v.Pkg().Scope().Lookup(v.Name()) == v
+	}
+	return false
+}
+
+func (f *obFlow) killIdent(id *ast.Ident, st *obMut) {
+	v := defVar(f.info, id)
+	if v == nil {
+		return
+	}
+	for pos, ob := range st.state {
+		if !ob.aliases(v) && ob.cond != v && ob.errv != v {
+			continue
+		}
+		nb := st.mutOb(pos)
+		delete(nb.vars, v)
+		delete(nb.pathVars, v)
+		if nb.cond == v {
+			nb.cond = nil
+		}
+		if nb.errv == v {
+			nb.errv = nil
+		}
+	}
+}
+
+// callAcq is one obligation a call mints: the protocol, the result
+// index carrying the obligated value, the optional gating bool result,
+// and the witness chain through however many wrapper hops produced it.
+type callAcq struct {
+	spec         *protoSpec
+	result, cond int
+	chain        []Frame
+}
+
+// callAcquires lists the obligations one call mints, from the explicit
+// root table or the callee's Acquires facts. Empty under an
+// //rcvet:allow covering the call line.
+func (f *obFlow) callAcquires(call *ast.CallExpr) []callAcq {
+	if f.allowed != nil && f.allowed(call.Pos()) {
+		return nil
+	}
+	var acqs []callAcq
+	fn := calleeFunc(f.info, call)
+	if fn != nil {
+		if root, ok := rootAcquireOf(fn); ok {
+			if spec := protoByName(root.proto); spec != nil {
+				acqs = append(acqs, callAcq{spec, root.result, root.cond, []Frame{{
+					Pos:  shortPosAt(f.fset, call.Pos()),
+					Call: "acquires " + spec.noun + " from " + shortFuncName(fn),
+				}}})
+			}
+		}
+	}
+	if cs, cfn := f.resolve(call); cs != nil {
+		frame := Frame{Pos: shortPosAt(f.fset, call.Pos()), Call: "calls func literal"}
+		if cfn != nil {
+			frame.Call = "calls " + shortFuncName(cfn)
+		}
+		for _, af := range cs.Acquires {
+			dup := false
+			for _, have := range acqs {
+				if have.spec.name == af.Proto && have.result == af.Result {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			if spec := protoByName(af.Proto); spec != nil {
+				acqs = append(acqs, callAcq{spec, af.Result, af.Cond, prependFrame(frame, af.Chain)})
+			}
+		}
+	}
+	return acqs
+}
+
+// acquireCall mints obligations for a call's results: from the
+// explicit root table or from the callee's Acquires facts.
+func (f *obFlow) acquireCall(call *ast.CallExpr, lhs []ast.Expr, st *obMut) {
+	acqs := f.callAcquires(call)
+	if len(acqs) == 0 {
+		return
+	}
+	errIdx := errResultIndex(f.info, call)
+	for _, a := range acqs {
+		if a.result < 0 || a.result >= len(lhs) {
+			continue
+		}
+		v := defVar(f.info, lhs[a.result])
+		if v == nil {
+			continue // blank or non-variable target: deliberately untracked
+		}
+		ob := &obligation{
+			spec:  a.spec,
+			pos:   call.Pos(),
+			chain: a.chain,
+			vars:  map[*types.Var]bool{v: true},
+			param: -1,
+		}
+		if a.cond >= 0 && a.cond < len(lhs) {
+			ob.cond = defVar(f.info, lhs[a.cond])
+		}
+		if errIdx >= 0 && errIdx < len(lhs) {
+			ob.errv = defVar(f.info, lhs[errIdx])
+		}
+		st.ensure()[call.Pos()] = ob
+	}
+}
+
+func (f *obFlow) ret(n *ast.ReturnStmt, st *obMut) {
+	// Direct-return wrappers: `return os.Open(p)` never binds the
+	// obligation to a variable, so the transfer fact is minted straight
+	// off the returned call — this is what lets a two-hop wrapper chain
+	// (OpenScratch -> openScratch2 -> os.CreateTemp) carry the duty
+	// across packages without a single local assignment.
+	if f.onReturn != nil {
+		if len(n.Results) == 1 {
+			if call, ok := ast.Unparen(n.Results[0]).(*ast.CallExpr); ok {
+				for _, a := range f.callAcquires(call) {
+					f.onReturn(&obligation{spec: a.spec, pos: call.Pos(), chain: a.chain, param: -1}, a.result, a.cond)
+				}
+			}
+		} else {
+			for i, res := range n.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				for _, a := range f.callAcquires(call) {
+					// A single-value call in a multi-expression return:
+					// only result 0 exists, and any gating bool lives in
+					// a different expression the fact cannot name.
+					if a.result == 0 {
+						f.onReturn(&obligation{spec: a.spec, pos: call.Pos(), chain: a.chain, param: -1}, i, -1)
+					}
+				}
+			}
+		}
+	}
+	for pos, ob := range st.state {
+		ri, ci := -1, -1
+		if len(n.Results) == 0 {
+			// Bare return with named results.
+			for i, rv := range f.results {
+				if rv == nil {
+					continue
+				}
+				if ob.aliases(rv) && ri < 0 {
+					ri = i
+				}
+				if ob.cond == rv {
+					ci = i
+				}
+			}
+		} else {
+			for i, res := range n.Results {
+				v := baseAliasVar(f.info, res)
+				if v == nil {
+					continue
+				}
+				if ob.aliases(v) && ri < 0 {
+					ri = i
+				}
+				if ob.cond == v {
+					ci = i
+				}
+			}
+		}
+		if ri < 0 {
+			continue
+		}
+		if f.onReturn != nil && ob.param < 0 && len(ob.chain) > 0 {
+			f.onReturn(ob, ri, ci)
+		}
+		f.markWeak(ob)
+		st.discharge(pos)
+	}
+}
+
+func (f *obFlow) send(n *ast.SendStmt, st *obMut) {
+	v := baseAliasVar(f.info, n.Value)
+	if v == nil {
+		return
+	}
+	for pos, ob := range st.state {
+		if !ob.aliases(v) {
+			continue
+		}
+		if !ob.spec.sendReleases {
+			f.markWeak(ob)
+		}
+		st.discharge(pos)
+	}
+}
+
+// escapeRefs weakly discharges every obligation referenced anywhere
+// in a go statement's call: the goroutine's lifetime is not ordered
+// against this body.
+func (f *obFlow) escapeRefs(call *ast.CallExpr, st *obMut) {
+	if len(st.state) == 0 {
+		return
+	}
+	used := make(map[*types.Var]bool)
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := f.info.Uses[id].(*types.Var); ok {
+				used[v] = true
+			}
+		}
+		return true
+	})
+	for pos, ob := range st.state {
+		for v := range used {
+			if ob.aliases(v) {
+				f.markWeak(ob)
+				st.discharge(pos)
+				break
+			}
+		}
+	}
+}
+
+// --- shared helpers ---
+
+// defVar resolves an assignment target identifier to its variable
+// (defined or reused), nil for blank and non-identifiers.
+func defVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// baseAliasVar resolves whole-value alias chains — parens, address-of,
+// dereference, type assertions — to the underlying variable. Unlike
+// baseIdentVar it deliberately refuses selections and indexing:
+// reading a field out of an obligated struct copies data, it does not
+// alias the resource (the one exception, the release path, is handled
+// explicitly by the assign/alias rules).
+func baseAliasVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// errResultIndex finds the error position in a call's result tuple,
+// or -1.
+func errResultIndex(info *types.Info, call *ast.CallExpr) int {
+	t := info.TypeOf(call)
+	if t == nil {
+		return -1
+	}
+	tup, ok := t.(*types.Tuple)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < tup.Len(); i++ {
+		if isErrorType(tup.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func shortPosAt(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// passResolver adapts a Pass to the resolver the flow problem needs —
+// the same shape poolescape builds: function literals resolve to
+// their lit-key summaries, named callees through the table.
+func passResolver(pass *Pass) func(*ast.CallExpr) (*FuncSummary, *types.Func) {
+	return func(call *ast.CallExpr) (*FuncSummary, *types.Func) {
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			return pass.Summaries.Lookup(litKeyAt(pass.Fset, pass.Pkg.Path(), lit)), nil
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return nil, nil
+		}
+		return pass.Summaries.ResolveFunc(fn), fn
+	}
+}
+
+// --- the analyzer ---
+
+func runTypestate(pass *Pass) error {
+	resolve := passResolver(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkTypestateBody(pass, resolve, n.Body, n.Type)
+			case *ast.FuncLit:
+				checkTypestateBody(pass, resolve, n.Body, n.Type)
+			}
+			return true
+		})
+	}
+	checkSubscriptionPairs(pass)
+	return nil
+}
+
+// hasAcquireSite pre-filters bodies: the solver only runs where some
+// call can mint an obligation. This keeps the whole-repo cold pass
+// inside the bench-lint budget — most functions never touch a
+// registered protocol.
+func hasAcquireSite(info *types.Info, resolve func(*ast.CallExpr) (*FuncSummary, *types.Func), body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn != nil {
+				if _, ok := rootAcquireOf(fn); ok {
+					found = true
+					return false
+				}
+			}
+			if cs, _ := resolve(n); cs != nil && len(cs.Acquires) > 0 {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkTypestateBody(pass *Pass, resolve func(*ast.CallExpr) (*FuncSummary, *types.Func), body *ast.BlockStmt, ftyp *ast.FuncType) {
+	if body == nil || !hasAcquireSite(pass.TypesInfo, resolve, body) {
+		return
+	}
+	flow := &obFlow{
+		info:    pass.TypesInfo,
+		fset:    pass.Fset,
+		resolve: resolve,
+		results: namedResultVars(pass.TypesInfo, ftyp),
+	}
+	cfg := pass.Summaries.CFGOf(body)
+	in := SolveCFG[obState](cfg, flow)
+	type leak struct {
+		ob    *obligation
+		where token.Pos
+	}
+	leaks := make(map[token.Pos]leak)
+	record := func(s obState, where token.Pos) {
+		for pos, ob := range s {
+			if ob.param >= 0 {
+				continue // parameters are the caller's obligation
+			}
+			if _, have := leaks[pos]; !have {
+				leaks[pos] = leak{ob, where}
+			}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		s, ok := in[blk]
+		if !ok {
+			continue
+		}
+		lastReturn := false
+		for _, n := range blk.Nodes {
+			s = flow.Transfer(n, s)
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				record(s, ret.Pos())
+				lastReturn = true
+			} else {
+				lastReturn = false
+			}
+		}
+		if lastReturn {
+			continue
+		}
+		for _, e := range blk.Succs {
+			if e.To == cfg.Exit && e.Kind == EdgeNext {
+				record(s, body.Rbrace)
+				break
+			}
+		}
+	}
+	positions := make([]token.Pos, 0, len(leaks))
+	for pos := range leaks {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		l := leaks[pos]
+		where := "the end of the function"
+		if wp := pass.Fset.Position(l.where); l.where != body.Rbrace {
+			where = "the return at line " + strconv.Itoa(wp.Line)
+		}
+		pass.ReportWitness(pos, l.ob.chain,
+			"%s acquired here (%s) is not released on the path reaching %s: %s, "+
+				"or annotate with //rcvet:allow(reason)",
+			l.ob.spec.noun, renderChain(l.ob.chain), where, l.ob.spec.hint)
+	}
+}
+
+// namedResultVars returns the declared result variables of a
+// signature, positionally (nil entries for unnamed results).
+func namedResultVars(info *types.Info, ftyp *ast.FuncType) []*types.Var {
+	if ftyp == nil || ftyp.Results == nil {
+		return nil
+	}
+	var out []*types.Var
+	named := false
+	for _, fld := range ftyp.Results.List {
+		if len(fld.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, nm := range fld.Names {
+			v, _ := info.Defs[nm].(*types.Var)
+			if v != nil {
+				named = true
+			}
+			out = append(out, v)
+		}
+	}
+	if !named {
+		return nil
+	}
+	return out
+}
+
+// --- summarizer-side fact derivation ---
+
+// hasObligationCalls reports whether any call in the body can mint an
+// obligation. The candidate call list is collected once per node and
+// re-evaluated against the (growing) summaries on each fixed-point
+// pass, so a recursive wrapper that acquires through its SCC sibling
+// is still found.
+func (s *summarizer) hasObligationCalls(n *funcNode, body *ast.BlockStmt) bool {
+	calls, ok := s.obsites[n]
+	if !ok {
+		ast.Inspect(body, func(nd ast.Node) bool {
+			switch nd := nd.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				calls = append(calls, nd)
+			}
+			return true
+		})
+		s.obsites[n] = calls
+	}
+	for _, call := range calls {
+		if fn := calleeFunc(s.pkg.TypesInfo, call); fn != nil {
+			if _, ok := rootAcquireOf(fn); ok {
+				return true
+			}
+		}
+		if cs, _ := s.calleeSummary(call); cs != nil && len(cs.Acquires) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// scanObligationFacts derives one function's schema-3 obligation
+// facts by solving the obligation flow over its CFG: Acquires for
+// locally minted obligations the function returns to its caller, and
+// Releases for proto-typed parameters discharged structurally before
+// every return. A parameter that merely escapes (returned, stored,
+// captured) earns no Releases fact — the weak-discharge veto — so an
+// identity wrapper cannot masquerade as a releaser. When the exit is
+// unreachable (a run-forever loop) there is no returning path and
+// "released before every return" holds vacuously.
+func (s *summarizer) scanObligationFacts(n *funcNode, sum *FuncSummary, body *ast.BlockStmt) {
+	params := s.paramVars(n)
+	var seed obState
+	for i, p := range params {
+		spec := protoForType(p.Type())
+		if spec == nil {
+			continue
+		}
+		if seed == nil {
+			seed = make(obState)
+		}
+		seed[p.Pos()] = &obligation{
+			spec:  spec,
+			pos:   p.Pos(),
+			vars:  map[*types.Var]bool{p: true},
+			param: i,
+		}
+	}
+	if seed == nil && !s.hasObligationCalls(n, body) {
+		return
+	}
+	var ftyp *ast.FuncType
+	if n.Decl != nil {
+		ftyp = n.Decl.Type
+	} else {
+		ftyp = n.Lit.Type
+	}
+	flow := &obFlow{
+		info:    s.pkg.TypesInfo,
+		fset:    s.pkg.Fset,
+		resolve: s.calleeSummary,
+		seed:    seed,
+		results: namedResultVars(s.pkg.TypesInfo, ftyp),
+		weak:    make(map[token.Pos]bool),
+		allowed: s.allowed,
+	}
+	flow.onReturn = func(ob *obligation, result, cond int) {
+		s.addAcquire(sum, AcquireFact{Proto: ob.spec.name, Result: result, Cond: cond, Chain: capChain(ob.chain)})
+	}
+	cfg := s.table.CFGOf(body)
+	in := SolveCFG[obState](cfg, flow)
+	exit := in[cfg.Exit]
+	for i, p := range params {
+		spec := protoForType(p.Type())
+		if spec == nil {
+			continue
+		}
+		if _, outstanding := exit[p.Pos()]; outstanding {
+			continue
+		}
+		if flow.weak[p.Pos()] {
+			continue
+		}
+		s.addRelease(sum, ReleaseFact{Proto: spec.name, Param: i})
+	}
+}
+
+func (s *summarizer) addAcquire(sum *FuncSummary, f AcquireFact) {
+	for _, have := range sum.Acquires {
+		if have.Proto == f.Proto && have.Result == f.Result {
+			return
+		}
+	}
+	sum.Acquires = append(sum.Acquires, f)
+	s.changed = true
+}
+
+func (s *summarizer) addRelease(sum *FuncSummary, f ReleaseFact) {
+	for _, have := range sum.Releases {
+		if have.Proto == f.Proto && have.Param == f.Param {
+			return
+		}
+	}
+	sum.Releases = append(sum.Releases, f)
+	s.changed = true
+}
+
+// --- subscription pairing ---
+
+// pairProto declares a package-scope acquire/release pair: the
+// subscription registered somewhere in a package must be removed
+// somewhere in the same package. This is deliberately not
+// flow-sensitive — Subscribe in Initialize and Unsubscribe in Close
+// is the correct shape, and no single body shows both.
+type pairProto struct {
+	what        string
+	subscribe   string
+	unsubscribe string
+	// keyed: match by the field key of the channel argument when
+	// resolvable (core.Client.notif ↔ the same field at the
+	// Unsubscribe site); otherwise any same-package release pairs.
+	keyed bool
+}
+
+var pairProtos = []pairProto{
+	{
+		what:        "store subscription",
+		subscribe:   "(*resourcecentral/internal/store.Store).Subscribe",
+		unsubscribe: "(*resourcecentral/internal/store.Store).Unsubscribe",
+		keyed:       true,
+	},
+	{
+		what:        "hub subscription",
+		subscribe:   "(*resourcecentral/internal/serve.Hub).Subscribe",
+		unsubscribe: "(*resourcecentral/internal/serve.Hub).Unsubscribe",
+		keyed:       false,
+	},
+}
+
+func checkSubscriptionPairs(pass *Pass) {
+	type subSite struct {
+		pos  token.Pos
+		what string
+		key  string
+		idx  int
+	}
+	var subs []subSite
+	released := make(map[int]map[string]bool) // proto index → arg field keys (“” = unkeyed)
+	argKey := func(call *ast.CallExpr) string {
+		if len(call.Args) == 0 {
+			return ""
+		}
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+			return fieldKeyOf(pass.TypesInfo, sel)
+		}
+		return ""
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			full := fn.FullName()
+			for i, p := range pairProtos {
+				switch full {
+				case p.subscribe:
+					key := ""
+					if p.keyed {
+						key = argKey(call)
+					}
+					subs = append(subs, subSite{call.Pos(), p.what, key, i})
+				case p.unsubscribe:
+					if released[i] == nil {
+						released[i] = make(map[string]bool)
+					}
+					if p.keyed {
+						released[i][argKey(call)] = true
+					} else {
+						released[i][""] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, s := range subs {
+		rel := released[s.idx]
+		if rel != nil {
+			if rel[s.key] || (s.key != "" && rel[""]) || (s.key == "" && len(rel) > 0) {
+				continue
+			}
+		}
+		what := s.what
+		if s.key != "" {
+			what += " of " + shortFieldKey(s.key)
+		}
+		pass.Reportf(s.pos,
+			"%s registered here is never unsubscribed in this package: the store "+
+				"will keep signaling a dead channel after shutdown; call Unsubscribe "+
+				"on the teardown path (Close/Stop), or annotate with //rcvet:allow(reason)",
+			what)
+	}
+}

@@ -83,7 +83,6 @@ func Train(ds *feature.Dataset, cfg Config) (*Forest, error) {
 	sem := make(chan struct{}, cfg.Workers)
 	for i := 0; i < cfg.Trees; i++ {
 		wg.Add(1)
-		//rcvet:allow(sem send is a bounded semaphore acquire: every worker frees its slot via the deferred receive and wg.Wait joins them all)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}

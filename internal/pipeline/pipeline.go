@@ -173,10 +173,14 @@ func run(cfg Config, horizon trace.Minutes,
 	span := reg.StartSpan("pipeline.featuredata")
 	feats, err := buildFeats()
 	if err != nil {
+		span.End()
+		runSpan.End()
 		return nil, err
 	}
 	encoded, err := featuredata.EncodeSet(feats)
 	if err != nil {
+		span.End()
+		runSpan.End()
 		return nil, err
 	}
 	span.End(stageHist(reg, "featuredata"))
@@ -206,6 +210,7 @@ func run(cfg Config, horizon trace.Minutes,
 		oses = append(oses, s.in.OS)
 	}
 	if len(roles) == 0 {
+		runSpan.End()
 		return nil, errors.New("pipeline: no training samples before cutoff")
 	}
 
@@ -244,6 +249,7 @@ func run(cfg Config, horizon trace.Minutes,
 	trainSpan.End(stageHist(reg, "train"))
 	for _, err := range errs {
 		if err != nil {
+			runSpan.End()
 			return nil, err
 		}
 	}

@@ -159,12 +159,14 @@ func runSource(src arrivalSource, cfg Config) (*Result, error) {
 	}
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
+		runSpan.End()
 		return nil, err
 	}
 
 	horizon := src.horizon()
 	intervals := int(horizon / trace.ReadingIntervalMin)
 	if intervals <= 0 {
+		runSpan.End()
 		return nil, fmt.Errorf("sim: horizon %d too short", horizon)
 	}
 	// One streaming accumulator per server instead of a servers×intervals
@@ -248,6 +250,7 @@ func runSource(src arrivalSource, cfg Config) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		runSpan.End()
 		return nil, err
 	}
 

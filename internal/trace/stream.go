@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -154,10 +155,10 @@ func TranscodeCSVToColumns(w io.Writer, r io.Reader) (int, error) {
 			break
 		}
 		if err != nil {
-			return n, err
+			return n, errors.Join(err, cw.Close())
 		}
 		if err := cw.Write(&v); err != nil {
-			return n, err
+			return n, errors.Join(err, cw.Close())
 		}
 		n++
 	}
